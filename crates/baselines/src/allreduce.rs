@@ -1,0 +1,142 @@
+//! Allreduce-SGD \[8\]: fully synchronous data-parallel SGD.
+//!
+//! Every round, all workers compute a mini-batch gradient, ring-allreduce
+//! the gradients to their mean, and apply the identical averaged update.
+//! Replicas stay bit-identical, so this is exactly large-batch SGD over
+//! the union of shards. On a heterogeneous network the round is paced by
+//! the slowest straggler *and* the slowest ring link — the weakness the
+//! paper's Fig. 5/8 exposes.
+
+use crate::collectives::ring_allreduce_time;
+use netmax_core::engine::{Algorithm, Environment, Recorder, RunReport};
+
+/// Synchronous ring-allreduce SGD.
+pub struct AllreduceSgd {
+    _private: (),
+}
+
+impl AllreduceSgd {
+    /// Creates the algorithm.
+    pub fn new() -> Self {
+        Self { _private: () }
+    }
+}
+
+impl Default for AllreduceSgd {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Algorithm for AllreduceSgd {
+    fn name(&self) -> &'static str {
+        "allreduce"
+    }
+
+    fn run(&mut self, env: &mut Environment) -> RunReport {
+        let n = env.num_nodes();
+        let mut rec = Recorder::new();
+        let bytes = env.workload.profile.param_bytes();
+        let ring: Vec<usize> = (0..n).collect();
+
+        // Real allreduce training broadcasts rank 0's initialisation so the
+        // replicas are identical from the first step.
+        let init = env.pull_params(0);
+        for i in 1..n {
+            env.nodes[i].model.params_mut().copy_from_slice(&init);
+        }
+
+        while !env.should_stop() {
+            let now = env.nodes[0].clock; // all clocks advance in lockstep
+
+            // Parallel gradient computation; the round waits for the
+            // slowest worker.
+            let mut mean_grad: Vec<f32> = Vec::new();
+            let mut compute: Vec<f64> = Vec::with_capacity(n);
+            for i in 0..n {
+                let (g, c) = env.compute_gradient(i);
+                compute.push(c);
+                if mean_grad.is_empty() {
+                    mean_grad = g;
+                } else {
+                    for (a, b) in mean_grad.iter_mut().zip(&g) {
+                        *a += b;
+                    }
+                }
+            }
+            let inv = 1.0 / n as f32;
+            for a in &mut mean_grad {
+                *a *= inv;
+            }
+            let c_max = compute.iter().copied().fold(0.0, f64::max);
+            let ar = ring_allreduce_time(env.network.as_ref(), &ring, bytes, now + c_max, 1.0);
+
+            for (i, &c) in compute.iter().enumerate() {
+                env.apply_gradient(i, &mean_grad);
+                env.book_iteration(i, c, c_max + ar);
+            }
+            env.global_step += n as u64;
+            rec.maybe_record(env);
+        }
+        rec.finish(env, self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netmax_core::engine::{Scenario, TrainConfig};
+    use netmax_ml::metrics::consensus_diameter;
+    use netmax_ml::workload::Workload;
+    use netmax_net::NetworkKind;
+
+    fn scenario(kind: NetworkKind, seed: u64) -> Scenario {
+        Scenario::builder()
+            .workers(4)
+            .network(kind)
+            .workload(Workload::convex_ridge(7))
+            .train_config(TrainConfig { seed, max_epochs: 3.0, ..TrainConfig::quick_test() })
+            .build()
+    }
+
+    #[test]
+    fn allreduce_trains_and_reduces_loss() {
+        let report = scenario(NetworkKind::Homogeneous, 1).run_with(&mut AllreduceSgd::new());
+        let first = report.samples.first().unwrap().train_loss;
+        assert!(report.final_train_loss < first);
+        assert!(report.epochs_completed >= 3.0);
+    }
+
+    #[test]
+    fn replicas_stay_identical() {
+        let sc = scenario(NetworkKind::Homogeneous, 2);
+        let mut env = sc.build_env();
+        let _ = AllreduceSgd::new().run(&mut env);
+        let models: Vec<_> = env.nodes.iter().map(|x| x.model.clone_box()).collect();
+        // Broadcast init + identical averaged updates ⇒ exact consensus
+        // throughout.
+        assert_eq!(consensus_diameter(&models), 0.0);
+    }
+
+    #[test]
+    fn clocks_advance_in_lockstep() {
+        let sc = scenario(NetworkKind::HeterogeneousDynamic, 3);
+        let mut env = sc.build_env();
+        let _ = AllreduceSgd::new().run(&mut env);
+        let c0 = env.nodes[0].clock;
+        for node in &env.nodes {
+            assert!((node.clock - c0).abs() < 1e-9, "sync rounds must stay in lockstep");
+        }
+    }
+
+    #[test]
+    fn heterogeneous_network_slows_allreduce() {
+        let fast = scenario(NetworkKind::Homogeneous, 4).run_with(&mut AllreduceSgd::new());
+        let slow =
+            scenario(NetworkKind::HeterogeneousDynamic, 4).run_with(&mut AllreduceSgd::new());
+        assert!(
+            slow.wall_clock_s > fast.wall_clock_s,
+            "slow links must hurt the synchronous collective"
+        );
+    }
+}

@@ -1,0 +1,176 @@
+//! Bounded-staleness decentralized training, in the spirit of Hop \[25\]
+//! and Gaia \[3\] (§VI "Heterogeneity-aware Distributed Training").
+//!
+//! Workers gossip asynchronously like AD-PSGD, but a *staleness bound* S
+//! caps how far any worker may run ahead of the slowest one (in local
+//! iterations). When a worker reaches the bound it blocks until the
+//! straggler catches up. The paper's critique, which this implementation
+//! makes measurable: "when network links experience a continuous
+//! slowdown, the whole system would be dragged down by these low-speed
+//! links" — the bound converts one slow link into fleet-wide stalls.
+
+use netmax_core::engine::{Algorithm, Environment, Recorder, RunReport};
+use netmax_net::EventQueue;
+use rand::Rng;
+
+/// AD-PSGD-style gossip with a hard staleness bound.
+pub struct BoundedStaleness {
+    /// Maximum allowed lead (in local iterations) over the slowest worker.
+    bound: u64,
+}
+
+impl BoundedStaleness {
+    /// Creates the algorithm with staleness bound `S ≥ 1`.
+    ///
+    /// # Panics
+    /// Panics if `bound == 0` (that would be fully synchronous lockstep).
+    pub fn new(bound: u64) -> Self {
+        assert!(bound >= 1, "staleness bound must be ≥ 1");
+        Self { bound }
+    }
+}
+
+enum Ev {
+    Done { node: usize, peer: usize, compute_s: f64, iteration_s: f64 },
+}
+
+impl Algorithm for BoundedStaleness {
+    fn name(&self) -> &'static str {
+        "bounded-staleness"
+    }
+
+    fn run(&mut self, env: &mut Environment) -> RunReport {
+        let n = env.num_nodes();
+        let mut rec = Recorder::new();
+        let mut queue: EventQueue<Ev> = EventQueue::new();
+        let compute: Vec<f64> = (0..n)
+            .map(|i| {
+                let b = env.partition.batch_size(i, env.workload.batch_size);
+                env.workload.profile.compute_time(b)
+            })
+            .collect();
+        // Iteration counts for the staleness check.
+        let mut iters = vec![0u64; n];
+        // Nodes currently blocked on the bound.
+        let mut blocked: Vec<usize> = Vec::new();
+
+        let schedule = |env: &mut Environment, queue: &mut EventQueue<Ev>, i: usize, c: f64| {
+            let nbrs = env.topology.neighbors(i);
+            let k = env.rng.gen_range(0..nbrs.len());
+            let peer = nbrs[k];
+            let start = env.nodes[i].clock;
+            let comm = env.comm_time(i, peer, start);
+            let iter = env.cfg.execution.iteration_time(c, comm);
+            queue.push(start + iter, Ev::Done { node: i, peer, compute_s: c, iteration_s: iter });
+        };
+
+        for i in 0..n {
+            schedule(env, &mut queue, i, compute[i]);
+        }
+
+        while let Some((now, Ev::Done { node, peer, compute_s, iteration_s })) = queue.pop() {
+            let _ = env.gradient_step(node);
+            let pulled = env.pull_params(peer);
+            netmax_ml::params::blend(0.5, env.nodes[node].model.params_mut(), &pulled);
+            env.book_iteration(node, compute_s, iteration_s);
+            env.global_step += 1;
+            iters[node] += 1;
+            rec.maybe_record(env);
+            if env.should_stop() {
+                break;
+            }
+
+            // Staleness gate: may `node` start another iteration?
+            let min_iters = iters.iter().copied().min().unwrap_or(0);
+            if iters[node] >= min_iters + self.bound {
+                // Blocked until the stragglers advance; the wait is booked
+                // as exposed communication when released.
+                blocked.push(node);
+            } else {
+                schedule(env, &mut queue, node, compute_s);
+            }
+
+            // Release any blocked workers whose lead is now legal.
+            let min_iters = iters.iter().copied().min().unwrap_or(0);
+            let mut still_blocked = Vec::new();
+            for &b in &blocked {
+                if iters[b] < min_iters + self.bound {
+                    // The blocked worker resumes at the *current* global
+                    // time: charge the stall to its clock.
+                    let stall = (now - env.nodes[b].clock).max(0.0);
+                    env.book_iteration(b, 0.0, stall);
+                    schedule(env, &mut queue, b, compute[b]);
+                } else {
+                    still_blocked.push(b);
+                }
+            }
+            blocked = still_blocked;
+        }
+        rec.finish(env, self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netmax_core::engine::{Scenario, TrainConfig};
+    use netmax_ml::workload::Workload;
+    use netmax_net::NetworkKind;
+
+    fn scenario(kind: NetworkKind, seed: u64) -> Scenario {
+        Scenario::builder()
+            .workers(6)
+            .network(kind)
+            .workload(Workload::convex_ridge(7))
+            .train_config(TrainConfig { seed, max_epochs: 3.0, ..TrainConfig::quick_test() })
+            .build()
+    }
+
+    #[test]
+    fn trains_and_reduces_loss() {
+        let report = scenario(NetworkKind::Homogeneous, 1).run_with(&mut BoundedStaleness::new(8));
+        let first = report.samples.first().unwrap().train_loss;
+        assert!(report.final_train_loss < first);
+    }
+
+    #[test]
+    fn bound_limits_iteration_spread() {
+        let sc = scenario(NetworkKind::HeterogeneousDynamic, 2);
+        let mut env = sc.build_env();
+        let bound = 4;
+        let _ = BoundedStaleness::new(bound).run(&mut env);
+        let iters: Vec<u64> = env.nodes.iter().map(|x| x.local_steps).collect();
+        let spread = iters.iter().max().unwrap() - iters.iter().min().unwrap();
+        // The gate is enforced between scheduling decisions; in-flight
+        // iterations can exceed it by a small constant.
+        assert!(
+            spread <= bound + 2,
+            "iteration spread {spread} exceeds bound {bound} (+slack): {iters:?}"
+        );
+    }
+
+    #[test]
+    fn tight_bound_is_slower_on_heterogeneous_network() {
+        // The §VI critique: a slow link drags the bounded fleet.
+        let tight = scenario(NetworkKind::HeterogeneousDynamic, 3)
+            .run_with(&mut BoundedStaleness::new(1));
+        let loose = scenario(NetworkKind::HeterogeneousDynamic, 3)
+            .run_with(&mut BoundedStaleness::new(64));
+        assert!(
+            loose.wall_clock_s <= tight.wall_clock_s,
+            "loose bound {l} should not be slower than tight {t}",
+            l = loose.wall_clock_s,
+            t = tight.wall_clock_s
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let run = || {
+            scenario(NetworkKind::HeterogeneousDynamic, 5).run_with(&mut BoundedStaleness::new(4))
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.final_train_loss, b.final_train_loss);
+        assert_eq!(a.wall_clock_s, b.wall_clock_s);
+    }
+}

@@ -1,0 +1,80 @@
+//! GoSGD / Gossiping SGD \[12, 17\]: asynchronous gossip with a fixed
+//! mixing weight.
+//!
+//! Structurally identical to AD-PSGD (uniform neighbour selection), but
+//! the pulled model is merged with a configurable weight `w` rather than
+//! exactly one half — the knob the gossip-learning literature tunes. The
+//! paper groups GoSGD with AD-PSGD as "fixed uniform probability
+//! distribution" baselines (§II-B), and it is what §III-D's extension
+//! hook re-weights.
+
+use netmax_core::engine::{
+    run_gossip, Algorithm, Environment, GossipBehavior, PeerChoice, RunReport,
+};
+use rand::Rng;
+
+/// Gossip SGD with a fixed mixing weight.
+pub struct GoSgd {
+    weight: f32,
+}
+
+impl GoSgd {
+    /// Creates GoSGD with mixing weight `w ∈ (0, 1)`; the pulled model
+    /// enters the convex combination with weight `w`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < w < 1`.
+    pub fn new(w: f64) -> Self {
+        assert!(w > 0.0 && w < 1.0, "mixing weight must be in (0, 1)");
+        Self { weight: w as f32 }
+    }
+}
+
+impl GossipBehavior for GoSgd {
+    fn select_peer(&mut self, env: &mut Environment, i: usize) -> PeerChoice {
+        let nbrs = env.topology.neighbors(i);
+        let k = env.rng.gen_range(0..nbrs.len());
+        PeerChoice::Peer(nbrs[k])
+    }
+
+    fn merge(&mut self, env: &mut Environment, i: usize, _m: usize, pulled: &[f32]) {
+        netmax_ml::params::blend(self.weight, env.nodes[i].model.params_mut(), pulled);
+    }
+}
+
+impl Algorithm for GoSgd {
+    fn name(&self) -> &'static str {
+        "gosgd"
+    }
+
+    fn run(&mut self, env: &mut Environment) -> RunReport {
+        run_gossip(self, env, self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netmax_core::engine::{Scenario, TrainConfig};
+    use netmax_ml::workload::Workload;
+    use netmax_net::NetworkKind;
+
+    #[test]
+    fn gosgd_trains_and_reduces_loss() {
+        let sc = Scenario::builder()
+            .workers(4)
+            .network(NetworkKind::Homogeneous)
+            .workload(Workload::convex_ridge(7))
+            .train_config(TrainConfig { max_epochs: 3.0, ..TrainConfig::quick_test() })
+            .build();
+        let report = sc.run_with(&mut GoSgd::new(0.5));
+        let first = report.samples.first().unwrap().train_loss;
+        assert!(report.final_train_loss < first);
+    }
+
+    #[test]
+    #[should_panic(expected = "mixing weight")]
+    fn rejects_degenerate_weight() {
+        let _ = GoSgd::new(1.0);
+    }
+}

@@ -1,0 +1,234 @@
+//! Parameter-server (C-PSGD) baselines — §V-G.
+//!
+//! The server holds the global model; it is co-located with worker 0's
+//! machine (the paper assigns the PS "to one GPU server"), so its link to
+//! worker `i` is the simulator's link `(0, i)`, and all concurrent
+//! transfers share the server NIC (the central bottleneck §VI describes).
+//!
+//! * **PS-sync**: every round all workers push gradients, the server
+//!   averages and applies them once, and all workers pull the new model.
+//!   Paced by the slowest worker and the contended star exchange.
+//! * **PS-async**: every worker loops independently — compute a gradient
+//!   on its (stale) copy, push it, the server applies it immediately, and
+//!   the worker pulls the fresh model. Fast workers iterate more often,
+//!   which is exactly the bias the paper blames for PS-async's poor
+//!   per-epoch convergence in Fig. 14(a).
+
+use netmax_core::engine::{Algorithm, Environment, Recorder, RunReport};
+use netmax_ml::optim::SgdState;
+use netmax_net::EventQueue;
+
+/// Which flavour of parameter server to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Flavor {
+    Sync,
+    Async,
+}
+
+/// Parameter-server training (synchronous or asynchronous).
+pub struct ParameterServer {
+    flavor: Flavor,
+}
+
+impl ParameterServer {
+    /// Synchronous parameter server (PS-syn in the paper's figures).
+    pub fn synchronous() -> Self {
+        Self { flavor: Flavor::Sync }
+    }
+
+    /// Asynchronous parameter server (PS-asyn).
+    pub fn asynchronous() -> Self {
+        Self { flavor: Flavor::Async }
+    }
+
+    /// Round-trip time for worker `i` to exchange one model with the
+    /// server at `now`, under `share`-way NIC sharing.
+    fn round_trip(env: &Environment, i: usize, now: f64, share: f64) -> f64 {
+        if i == 0 {
+            // Co-located with the server: intra-machine copy at the
+            // simulator's fastest link.
+            2.0 * env.comm_time(0, 1, now).min(1e-3)
+        } else {
+            2.0 * env.comm_time(0, i, now) * share
+        }
+    }
+
+    fn run_sync(&self, env: &mut Environment) -> RunReport {
+        let n = env.num_nodes();
+        let mut rec = Recorder::new();
+
+        // Global model starts from worker 0's init; broadcast.
+        let mut global = env.pull_params(0);
+        for i in 1..n {
+            env.nodes[i].model.params_mut().copy_from_slice(&global);
+        }
+        let mut server_opt = SgdState::new(global.len());
+
+        while !env.should_stop() {
+            let now = env.nodes[0].clock;
+            let mut mean_grad: Vec<f32> = Vec::new();
+            let mut compute = Vec::with_capacity(n);
+            for i in 0..n {
+                let (g, c) = env.compute_gradient(i);
+                compute.push(c);
+                if mean_grad.is_empty() {
+                    mean_grad = g;
+                } else {
+                    for (a, b) in mean_grad.iter_mut().zip(&g) {
+                        *a += b;
+                    }
+                }
+            }
+            let inv = 1.0 / n as f32;
+            for a in &mut mean_grad {
+                *a *= inv;
+            }
+            let c_max = compute.iter().copied().fold(0.0, f64::max);
+            // All workers exchange with the shared server NIC concurrently.
+            let comm = (0..n)
+                .map(|i| Self::round_trip(env, i, now + c_max, n as f64))
+                .fold(0.0, f64::max);
+
+            let lr = env.workload.optim.lr_at(env.mean_epoch());
+            server_opt.step(&env.workload.optim, lr, &mut global, &mean_grad);
+            for (i, &c) in compute.iter().enumerate() {
+                env.nodes[i].model.params_mut().copy_from_slice(&global);
+                env.book_iteration(i, c, c_max + comm);
+            }
+            env.global_step += n as u64;
+            rec.maybe_record(env);
+        }
+        rec.finish(env, self.name())
+    }
+
+    fn run_async(&self, env: &mut Environment) -> RunReport {
+        let n = env.num_nodes();
+        let mut rec = Recorder::new();
+
+        let mut global = env.pull_params(0);
+        for i in 1..n {
+            env.nodes[i].model.params_mut().copy_from_slice(&global);
+        }
+        let mut server_opt = SgdState::new(global.len());
+
+        // Per-worker completion events; steady-state NIC sharing ≈ n ways.
+        let mut queue: EventQueue<usize> = EventQueue::new();
+        let compute: Vec<f64> = (0..n)
+            .map(|i| {
+                let b = env.partition.batch_size(i, env.workload.batch_size);
+                env.workload.profile.compute_time(b)
+            })
+            .collect();
+        let share = n as f64;
+        for (i, &c) in compute.iter().enumerate() {
+            let rt = Self::round_trip(env, i, 0.0, share);
+            queue.push(env.cfg.execution.iteration_time(c, rt), i);
+        }
+
+        while let Some((now, i)) = queue.pop() {
+            // Worker i finished: its gradient (computed on its stale copy)
+            // reaches the server, which applies it immediately.
+            let (grad, _c) = env.compute_gradient(i);
+            let lr = env.lr(i);
+            server_opt.step(&env.workload.optim, lr, &mut global, &grad);
+            // Worker receives the fresh model.
+            env.nodes[i].model.params_mut().copy_from_slice(&global);
+
+            let rt = Self::round_trip(env, i, now, share);
+            let iter = env.cfg.execution.iteration_time(compute[i], rt);
+            env.book_iteration(i, compute[i], now - env.nodes[i].clock);
+            env.global_step += 1;
+            rec.maybe_record(env);
+            if env.should_stop() {
+                break;
+            }
+            queue.push(now + iter, i);
+        }
+        rec.finish(env, self.name())
+    }
+}
+
+impl Algorithm for ParameterServer {
+    fn name(&self) -> &'static str {
+        match self.flavor {
+            Flavor::Sync => "ps-syn",
+            Flavor::Async => "ps-asyn",
+        }
+    }
+
+    fn run(&mut self, env: &mut Environment) -> RunReport {
+        match self.flavor {
+            Flavor::Sync => self.run_sync(env),
+            Flavor::Async => self.run_async(env),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netmax_core::engine::{Scenario, TrainConfig};
+    use netmax_ml::workload::Workload;
+    use netmax_net::NetworkKind;
+
+    fn scenario(kind: NetworkKind, seed: u64) -> Scenario {
+        Scenario::builder()
+            .workers(4)
+            .network(kind)
+            .workload(Workload::convex_ridge(7))
+            .train_config(TrainConfig { seed, max_epochs: 3.0, ..TrainConfig::quick_test() })
+            .build()
+    }
+
+    #[test]
+    fn ps_sync_trains() {
+        let report =
+            scenario(NetworkKind::Homogeneous, 1).run_with(&mut ParameterServer::synchronous());
+        let first = report.samples.first().unwrap().train_loss;
+        assert!(report.final_train_loss < first);
+        assert_eq!(report.algorithm, "ps-syn");
+    }
+
+    #[test]
+    fn ps_async_trains() {
+        let report =
+            scenario(NetworkKind::Homogeneous, 2).run_with(&mut ParameterServer::asynchronous());
+        let first = report.samples.first().unwrap().train_loss;
+        assert!(report.final_train_loss < first);
+        assert_eq!(report.algorithm, "ps-asyn");
+    }
+
+    #[test]
+    fn ps_sync_keeps_replicas_identical() {
+        let sc = scenario(NetworkKind::HeterogeneousDynamic, 3);
+        let mut env = sc.build_env();
+        let _ = ParameterServer::synchronous().run(&mut env);
+        let models: Vec<_> = env.nodes.iter().map(|x| x.model.clone_box()).collect();
+        assert_eq!(netmax_ml::metrics::consensus_diameter(&models), 0.0);
+    }
+
+    #[test]
+    fn async_faster_than_sync_on_heterogeneous_network() {
+        // The paper's Fig. 14(b): PS-syn is paced by the slowest link each
+        // round, PS-asyn is not.
+        let sync = scenario(NetworkKind::HeterogeneousDynamic, 4)
+            .run_with(&mut ParameterServer::synchronous());
+        let asyn = scenario(NetworkKind::HeterogeneousDynamic, 4)
+            .run_with(&mut ParameterServer::asynchronous());
+        assert!(
+            asyn.wall_clock_s < sync.wall_clock_s,
+            "async {a} should beat sync {s}",
+            a = asyn.wall_clock_s,
+            s = sync.wall_clock_s
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let r1 = scenario(NetworkKind::HeterogeneousDynamic, 5)
+            .run_with(&mut ParameterServer::asynchronous());
+        let r2 = scenario(NetworkKind::HeterogeneousDynamic, 5)
+            .run_with(&mut ParameterServer::asynchronous());
+        assert_eq!(r1.final_train_loss, r2.final_train_loss);
+    }
+}

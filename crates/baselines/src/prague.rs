@@ -1,0 +1,173 @@
+//! Prague \[14\]: heterogeneity-aware training via randomized
+//! partial-allreduce groups.
+//!
+//! Every round the workers are randomly partitioned into groups; each
+//! group runs a ring partial-allreduce that averages its members' *models*
+//! (after each member's local SGD step). Groups proceed independently,
+//! which tolerates member slowdown — but the grouping is **link-speed
+//! agnostic**, and concurrent group collectives contend for the shared
+//! fabric. The paper identifies exactly these two effects as the source of
+//! Prague's high communication cost (§V-B): they are modelled here by the
+//! slowest-ring-link pacing inside [`ring_allreduce_time`] and by dividing
+//! bandwidth across the concurrently active groups.
+
+use crate::collectives::ring_allreduce_time;
+use netmax_core::engine::{Algorithm, Environment, Recorder, RunReport};
+use rand::seq::SliceRandom;
+
+/// Randomized partial-allreduce training.
+pub struct Prague {
+    group_size: usize,
+}
+
+impl Prague {
+    /// Creates Prague with the given target group size (≥ 2); the last
+    /// group of a round absorbs the remainder.
+    ///
+    /// # Panics
+    /// Panics if `group_size < 2`.
+    pub fn new(group_size: usize) -> Self {
+        assert!(group_size >= 2, "groups need at least 2 members");
+        Self { group_size }
+    }
+}
+
+impl Algorithm for Prague {
+    fn name(&self) -> &'static str {
+        "prague"
+    }
+
+    fn run(&mut self, env: &mut Environment) -> RunReport {
+        let n = env.num_nodes();
+        let mut rec = Recorder::new();
+        let bytes = env.workload.profile.param_bytes();
+
+        while !env.should_stop() {
+            // Random group assignment for this round.
+            let mut order: Vec<usize> = (0..n).collect();
+            order.shuffle(&mut env.rng);
+            let groups: Vec<Vec<usize>> = partition_groups(&order, self.group_size);
+            let n_groups = groups.len().max(1);
+            // Concurrent partial-allreduces contend for the shared fabric.
+            // Contention is partial — groups overlap in time but not
+            // fully, and only cross-server hops share physical links — so
+            // each extra concurrent group costs 25% extra transfer time.
+            let share = 1.0 / (1.0 + 0.25 * (n_groups as f64 - 1.0));
+
+            for group in &groups {
+                // Group rendezvous: members wait for the latest member.
+                let start = group
+                    .iter()
+                    .map(|&i| env.nodes[i].clock)
+                    .fold(0.0f64, f64::max);
+
+                // Local SGD step on every member (models, not gradients).
+                let mut compute = Vec::with_capacity(group.len());
+                for &i in group {
+                    compute.push(env.gradient_step(i));
+                }
+                let c_max = compute.iter().copied().fold(0.0, f64::max);
+
+                let comm = if group.len() >= 2 {
+                    ring_allreduce_time(env.network.as_ref(), group, bytes, start + c_max, share)
+                } else {
+                    0.0
+                };
+
+                // Partial-allreduce: group-average the member models.
+                if group.len() >= 2 {
+                    let dim = env.nodes[group[0]].model.num_params();
+                    let mut mean = vec![0.0f32; dim];
+                    let inv = 1.0 / group.len() as f32;
+                    for &i in group {
+                        for (a, p) in mean.iter_mut().zip(env.nodes[i].model.params()) {
+                            *a += p * inv;
+                        }
+                    }
+                    for &i in group {
+                        env.nodes[i].model.params_mut().copy_from_slice(&mean);
+                    }
+                }
+
+                for (slot, &i) in group.iter().enumerate() {
+                    // Rendezvous wait is booked as exposed communication.
+                    let wait = start - env.nodes[i].clock;
+                    env.book_iteration(i, compute[slot], wait + c_max + comm);
+                }
+                env.global_step += group.len() as u64;
+            }
+            rec.maybe_record(env);
+        }
+        rec.finish(env, self.name())
+    }
+}
+
+/// Splits a shuffled order into groups of `size`, folding a trailing
+/// single node into the previous group.
+fn partition_groups(order: &[usize], size: usize) -> Vec<Vec<usize>> {
+    let mut groups: Vec<Vec<usize>> = order.chunks(size).map(<[usize]>::to_vec).collect();
+    if groups.len() >= 2 && groups.last().is_some_and(|g| g.len() == 1) {
+        let last = groups.pop().expect("checked non-empty");
+        groups
+            .last_mut()
+            .expect("checked len >= 2")
+            .extend(last);
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netmax_core::engine::{Scenario, TrainConfig};
+    use netmax_ml::workload::Workload;
+    use netmax_net::NetworkKind;
+
+    fn scenario(kind: NetworkKind, seed: u64) -> Scenario {
+        Scenario::builder()
+            .workers(8)
+            .network(kind)
+            .workload(Workload::convex_ridge(7))
+            .train_config(TrainConfig { seed, max_epochs: 2.0, ..TrainConfig::quick_test() })
+            .build()
+    }
+
+    #[test]
+    fn partitioning_covers_everyone_without_singletons() {
+        let order: Vec<usize> = (0..9).collect();
+        let groups = partition_groups(&order, 4);
+        let total: usize = groups.iter().map(Vec::len).sum();
+        assert_eq!(total, 9);
+        assert!(groups.iter().all(|g| g.len() >= 2));
+
+        let groups = partition_groups(&(0..8).collect::<Vec<_>>(), 4);
+        assert_eq!(groups.len(), 2);
+    }
+
+    #[test]
+    fn prague_trains_and_reduces_loss() {
+        let report = scenario(NetworkKind::Homogeneous, 1).run_with(&mut Prague::new(4));
+        let first = report.samples.first().unwrap().train_loss;
+        assert!(report.final_train_loss < first);
+        assert!(report.epochs_completed >= 2.0);
+    }
+
+    #[test]
+    fn group_members_agree_after_partial_allreduce() {
+        let sc = scenario(NetworkKind::Homogeneous, 2);
+        let mut env = sc.build_env();
+        let _ = Prague::new(8).run(&mut env); // one group = everyone
+        let d = netmax_ml::metrics::consensus_diameter(
+            &env.nodes.iter().map(|x| x.model.clone_box()).collect::<Vec<_>>(),
+        );
+        assert_eq!(d, 0.0, "a full group partial-allreduce is exact consensus");
+    }
+
+    #[test]
+    fn deterministic() {
+        let r1 = scenario(NetworkKind::HeterogeneousDynamic, 5).run_with(&mut Prague::new(4));
+        let r2 = scenario(NetworkKind::HeterogeneousDynamic, 5).run_with(&mut Prague::new(4));
+        assert_eq!(r1.final_train_loss, r2.final_train_loss);
+        assert_eq!(r1.wall_clock_s, r2.wall_clock_s);
+    }
+}

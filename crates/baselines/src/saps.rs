@@ -1,0 +1,235 @@
+//! SAPS-PSGD \[15\]: communication over a **fixed subgraph of initially
+//! high-speed links**, with optional sparsified model exchange.
+//!
+//! The paper's §I singles this baseline out as the motivation for
+//! NetMax's *dynamic* adaptation: "SAPS-PSGD assumes that the network is
+//! static and lets the worker nodes communicate with each other in a
+//! fixed topology consisting of initially high-speed links. However, in
+//! dynamic networks, some links of the topology … may become low-speed
+//! links during the training" (the Fig. 2 story).
+//!
+//! Implementation: at start-up the algorithm probes every link once,
+//! keeps the fastest links that still form a connected subgraph (a
+//! maximum-spanning-tree-style greedy selection plus extra fast edges up
+//! to a target degree), and then gossips uniformly over that frozen
+//! subgraph forever — no re-measurement, exactly the static assumption
+//! the paper criticises.
+
+use netmax_core::engine::{
+    run_gossip, Algorithm, Environment, GossipBehavior, PeerChoice, RunReport,
+};
+use netmax_net::Topology;
+use rand::Rng;
+
+/// SAPS-PSGD: fixed initially-fast subgraph gossip.
+pub struct SapsPsgd {
+    /// Target node degree of the retained subgraph (paper uses sparse
+    /// topologies; 2 ≈ a ring of fast links).
+    target_degree: usize,
+    /// Sparsification ratio r ∈ (0, 1]: fraction of model coordinates
+    /// exchanged per gossip round (1.0 = full model).
+    sparsity: f64,
+    /// The frozen subgraph, built on the first `run`.
+    subgraph: Option<Topology>,
+}
+
+impl SapsPsgd {
+    /// Creates SAPS-PSGD with the given subgraph degree and exchange
+    /// sparsity (the reference uses sparsified exchange; `1.0` disables
+    /// it).
+    ///
+    /// # Panics
+    /// Panics unless `target_degree ≥ 1` and `0 < sparsity ≤ 1`.
+    pub fn new(target_degree: usize, sparsity: f64) -> Self {
+        assert!(target_degree >= 1, "subgraph degree must be ≥ 1");
+        assert!(sparsity > 0.0 && sparsity <= 1.0, "sparsity must be in (0, 1]");
+        Self { target_degree, sparsity, subgraph: None }
+    }
+
+    /// Paper-flavoured default: degree-2 fast subgraph, 25% sparsified
+    /// exchange.
+    pub fn paper_default() -> Self {
+        Self::new(2, 0.25)
+    }
+
+    /// The frozen subgraph chosen at start-up (after a run).
+    pub fn subgraph(&self) -> Option<&Topology> {
+        self.subgraph.as_ref()
+    }
+
+    /// Builds the initially-fast subgraph: greedy Kruskal on *initial*
+    /// link costs for connectivity, then extra fast edges up to the
+    /// target degree.
+    fn build_subgraph(env: &Environment, target_degree: usize) -> Topology {
+        let n = env.num_nodes();
+        // Probe every adjacent pair once at t = 0 (what SAPS does during
+        // its warm-up phase).
+        let mut edges: Vec<(f64, usize, usize)> = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if env.topology.is_edge(i, j) {
+                    edges.push((env.comm_time(i, j, 0.0), i, j));
+                }
+            }
+        }
+        edges.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("comm time NaN"));
+
+        // Kruskal for connectivity.
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+            if parent[x] != x {
+                let r = find(parent, parent[x]);
+                parent[x] = r;
+            }
+            parent[x]
+        }
+        let mut sub = Topology::empty(n);
+        for &(_, i, j) in &edges {
+            let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+            if ri != rj {
+                parent[ri] = rj;
+                sub.set_edge(i, j, true);
+            }
+        }
+        // Densify with the fastest remaining edges up to target degree.
+        for &(_, i, j) in &edges {
+            if !sub.is_edge(i, j) && sub.degree(i) < target_degree && sub.degree(j) < target_degree
+            {
+                sub.set_edge(i, j, true);
+            }
+        }
+        debug_assert!(sub.is_connected(), "subgraph must stay connected");
+        sub
+    }
+}
+
+impl GossipBehavior for SapsPsgd {
+    fn select_peer(&mut self, env: &mut Environment, i: usize) -> PeerChoice {
+        let sub = self.subgraph.as_ref().expect("subgraph built in run()");
+        let nbrs = sub.neighbors(i);
+        debug_assert!(!nbrs.is_empty(), "connected subgraph leaves no node isolated");
+        let k = env.rng.gen_range(0..nbrs.len());
+        PeerChoice::Peer(nbrs[k])
+    }
+
+    fn merge(&mut self, env: &mut Environment, i: usize, _m: usize, pulled: &[f32]) {
+        if self.sparsity >= 1.0 {
+            netmax_ml::params::blend(0.5, env.nodes[i].model.params_mut(), pulled);
+            return;
+        }
+        // Sparsified exchange: only a strided subset of coordinates is
+        // averaged this round (rotating offset so all coordinates are
+        // covered over successive rounds).
+        let stride = (1.0 / self.sparsity).round().max(1.0) as usize;
+        let offset = env.nodes[i].local_steps as usize % stride;
+        let params = env.nodes[i].model.params_mut();
+        let mut idx = offset;
+        while idx < params.len() {
+            params[idx] = 0.5 * params[idx] + 0.5 * pulled[idx];
+            idx += stride;
+        }
+    }
+}
+
+impl Algorithm for SapsPsgd {
+    fn name(&self) -> &'static str {
+        "saps-psgd"
+    }
+
+    fn run(&mut self, env: &mut Environment) -> RunReport {
+        self.subgraph = Some(Self::build_subgraph(env, self.target_degree));
+        run_gossip(self, env, self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netmax_core::engine::{Scenario, TrainConfig};
+    use netmax_ml::workload::Workload;
+    use netmax_net::NetworkKind;
+
+    fn scenario(kind: NetworkKind, seed: u64, epochs: f64) -> Scenario {
+        Scenario::builder()
+            .workers(8)
+            .network(kind)
+            .workload(Workload::convex_ridge(7))
+            .train_config(TrainConfig { seed, max_epochs: epochs, ..TrainConfig::quick_test() })
+            .build()
+    }
+
+    #[test]
+    fn subgraph_is_connected_and_sparse() {
+        let sc = scenario(NetworkKind::HeterogeneousDynamic, 1, 2.0);
+        let mut algo = SapsPsgd::new(2, 1.0);
+        let _ = sc.run_with(&mut algo);
+        let sub = algo.subgraph().expect("subgraph built");
+        assert!(sub.is_connected());
+        // Far sparser than the complete graph (28 edges at n = 8).
+        assert!(sub.num_edges() < 28);
+        for i in 0..8 {
+            assert!(sub.degree(i) >= 1);
+        }
+    }
+
+    #[test]
+    fn subgraph_prefers_fast_intra_links() {
+        // Build with a *static* network so "initially fast" is stable:
+        // intra-server links must dominate the chosen subgraph.
+        let sc = scenario(NetworkKind::HeterogeneousStatic, 2, 2.0);
+        let env = sc.build_env();
+        let sub = SapsPsgd::build_subgraph(&env, 2);
+        // Count how many chosen edges are intra-server (8 workers over 3
+        // servers: (3,3,2) ⇒ intra pairs exist for every node).
+        let mut intra = 0;
+        let mut total = 0;
+        for i in 0..8 {
+            for j in (i + 1)..8 {
+                if sub.is_edge(i, j) {
+                    total += 1;
+                    let t = env.comm_time(i, j, 0.0);
+                    if t < 0.1 {
+                        intra += 1;
+                    }
+                }
+            }
+        }
+        assert!(total > 0);
+        assert!(
+            intra * 2 >= total,
+            "at least half the subgraph edges should be fast (got {intra}/{total})"
+        );
+    }
+
+    #[test]
+    fn trains_and_reduces_loss() {
+        let sc = scenario(NetworkKind::HeterogeneousDynamic, 3, 3.0);
+        let report = sc.run_with(&mut SapsPsgd::new(2, 1.0));
+        let first = report.samples.first().unwrap().train_loss;
+        assert!(report.final_train_loss < first);
+        assert_eq!(report.algorithm, "saps-psgd");
+    }
+
+    #[test]
+    fn sparsified_exchange_still_converges() {
+        let sc = scenario(NetworkKind::Homogeneous, 4, 3.0);
+        let report = sc.run_with(&mut SapsPsgd::paper_default());
+        let first = report.samples.first().unwrap().train_loss;
+        assert!(
+            report.final_train_loss < first,
+            "sparsified gossip failed to reduce loss: {first} -> {}",
+            report.final_train_loss
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let run = || {
+            scenario(NetworkKind::HeterogeneousDynamic, 5, 2.0)
+                .run_with(&mut SapsPsgd::new(2, 0.5))
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.final_train_loss, b.final_train_loss);
+        assert_eq!(a.wall_clock_s, b.wall_clock_s);
+    }
+}

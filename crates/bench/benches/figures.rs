@@ -1,0 +1,156 @@
+//! One criterion bench per reproduced table/figure, running the `tiny`
+//! preset of each experiment so `cargo bench` regenerates every result's
+//! machinery end-to-end with bounded runtime. The full-scale rows/series
+//! come from the corresponding binaries (`cargo run --release -p
+//! netmax-bench --bin fig08_loss_hetero`, …).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netmax_bench::common::{ExpCtx, Mode};
+use netmax_bench::experiments::*;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn tiny_ctx() -> ExpCtx {
+    ExpCtx::with_mode(Mode::Tiny)
+}
+
+fn group<'a>(c: &'a mut Criterion, name: &str) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group(name);
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(5));
+    g.warm_up_time(Duration::from_secs(1));
+    g
+}
+
+fn bench_fig03(c: &mut Criterion) {
+    let mut g = group(c, "figures");
+    g.bench_function("fig03_iteration_time", |b| b.iter(|| black_box(fig03::run())));
+    g.finish();
+}
+
+fn bench_fig05_fig06(c: &mut Criterion) {
+    let ctx = tiny_ctx();
+    let mut g = group(c, "figures");
+    let p5 = epoch_time::Params::for_mode(&ctx, true);
+    g.bench_function("fig05_epoch_time_hetero", |b| b.iter(|| black_box(epoch_time::run(&p5))));
+    let p6 = epoch_time::Params::for_mode(&ctx, false);
+    g.bench_function("fig06_epoch_time_homo", |b| b.iter(|| black_box(epoch_time::run(&p6))));
+    g.finish();
+}
+
+fn bench_fig07(c: &mut Criterion) {
+    let ctx = tiny_ctx();
+    let mut g = group(c, "figures");
+    let p = fig07::Params::for_mode(&ctx);
+    g.bench_function("fig07_ablation", |b| b.iter(|| black_box(fig07::run(&p))));
+    g.finish();
+}
+
+fn bench_fig08_fig09(c: &mut Criterion) {
+    let ctx = tiny_ctx();
+    let mut g = group(c, "figures");
+    let p8 = loss_curves::Params::for_mode(&ctx, true);
+    g.bench_function("fig08_loss_hetero", |b| b.iter(|| black_box(loss_curves::run(&p8).len())));
+    let p9 = loss_curves::Params::for_mode(&ctx, false);
+    g.bench_function("fig09_loss_homo", |b| b.iter(|| black_box(loss_curves::run(&p9).len())));
+    g.finish();
+}
+
+fn bench_fig10_fig11(c: &mut Criterion) {
+    let ctx = tiny_ctx();
+    let mut g = group(c, "figures");
+    let p10 = scalability::Params::for_mode(&ctx, true);
+    g.bench_function("fig10_scalability_hetero", |b| {
+        b.iter(|| black_box(scalability::run(&p10).len()))
+    });
+    let p11 = scalability::Params::for_mode(&ctx, false);
+    g.bench_function("fig11_scalability_homo", |b| {
+        b.iter(|| black_box(scalability::run(&p11).len()))
+    });
+    g.finish();
+}
+
+fn bench_tab02_tab03(c: &mut Criterion) {
+    let ctx = tiny_ctx();
+    let mut g = group(c, "tables");
+    let p2 = accuracy::Params::for_mode(&ctx, true);
+    g.bench_function("tab02_accuracy_hetero", |b| b.iter(|| black_box(accuracy::run(&p2).len())));
+    let p3 = accuracy::Params::for_mode(&ctx, false);
+    g.bench_function("tab03_accuracy_homo", |b| b.iter(|| black_box(accuracy::run(&p3).len())));
+    g.finish();
+}
+
+fn bench_nonuniform_figs(c: &mut Criterion) {
+    let ctx = tiny_ctx();
+    let mut g = group(c, "figures");
+    for (name, case) in [
+        ("fig12_cifar100_nonuniform", nonuniform::Case::Cifar100),
+        ("fig13_imagenet_nonuniform", nonuniform::Case::ImageNet),
+        ("fig16_cifar10_nonuniform", nonuniform::Case::Cifar10),
+        ("fig17_tiny_imagenet", nonuniform::Case::TinyImageNet),
+        ("fig18_mnist_noniid", nonuniform::Case::MnistNonIid),
+    ] {
+        let p = nonuniform::Params::for_mode(&ctx, case);
+        g.bench_function(name, |b| b.iter(|| black_box(nonuniform::run(&p).results.len())));
+    }
+    g.finish();
+}
+
+fn bench_tab05(c: &mut Criterion) {
+    let ctx = tiny_ctx();
+    let mut g = group(c, "tables");
+    let p = tab05::Params::for_mode(&ctx);
+    g.bench_function("tab05_accuracy_nonuniform", |b| b.iter(|| black_box(tab05::run(&p).len())));
+    g.finish();
+}
+
+fn bench_fig14(c: &mut Criterion) {
+    let ctx = tiny_ctx();
+    let mut g = group(c, "figures");
+    let p = fig14::Params::for_mode(&ctx);
+    g.bench_function("fig14_mobilenet_ps_tab06", |b| b.iter(|| black_box(fig14::run(&p).len())));
+    g.finish();
+}
+
+fn bench_fig15(c: &mut Criterion) {
+    let ctx = tiny_ctx();
+    let mut g = group(c, "figures");
+    let p = fig15::Params::for_mode(&ctx);
+    g.bench_function("fig15_adpsgd_monitor", |b| b.iter(|| black_box(fig15::run(&p).len())));
+    g.finish();
+}
+
+fn bench_fig19(c: &mut Criterion) {
+    let ctx = tiny_ctx();
+    let mut g = group(c, "figures");
+    let p = fig19::Params::for_mode(&ctx);
+    g.bench_function("fig19_cross_cloud", |b| b.iter(|| black_box(fig19::run(&p).len())));
+    g.finish();
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let ctx = tiny_ctx();
+    let mut g = group(c, "ablations");
+    let p = ablations::Params::for_mode(&ctx);
+    g.bench_function("abl_weighting", |b| b.iter(|| black_box(ablations::weighting(&p).len())));
+    g.bench_function("abl_ts_period", |b| b.iter(|| black_box(ablations::ts_period(&p).len())));
+    g.bench_function("abl_ema_beta", |b| b.iter(|| black_box(ablations::ema_beta(&p).len())));
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_fig03,
+    bench_fig05_fig06,
+    bench_fig07,
+    bench_fig08_fig09,
+    bench_fig10_fig11,
+    bench_tab02_tab03,
+    bench_nonuniform_figs,
+    bench_tab05,
+    bench_fig14,
+    bench_fig15,
+    bench_fig19,
+    bench_ablations
+);
+criterion_main!(figures);

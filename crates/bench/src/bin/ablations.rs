@@ -1,0 +1,37 @@
+//! Runs the design-choice ablations from DESIGN.md §6: merge weighting,
+//! Monitor period Ts, and EMA smoothing β.
+
+use netmax_bench::experiments::ablations;
+
+fn main() {
+    let ctx = netmax_bench::ExpCtx::from_env();
+    let p = ablations::Params::for_mode(&ctx);
+
+    let rows = ablations::weighting(&p);
+    ablations::print(
+        &ctx,
+        "Ablation 1 — second-step merge weighting (non-IID MNIST, Table IV)",
+        "abl_weighting",
+        &rows,
+    );
+    println!();
+    let rows = ablations::ts_period(&p);
+    ablations::print(
+        &ctx,
+        "Ablation 2 — Network Monitor period Ts (link change every 120 s)",
+        "abl_ts_period",
+        &rows,
+    );
+    println!();
+    let rows = ablations::ema_beta(&p);
+    ablations::print(&ctx, "Ablation 3 — EMA smoothing factor β", "abl_ema_beta", &rows);
+    println!();
+    let rows = ablations::static_vs_adaptive(&p);
+    ablations::print(
+        &ctx,
+        "Ablation 4 — static subgraph (SAPS-PSGD) vs adaptive NetMax (Fig. 2 narrative; \
+column is STRAGGLER epoch seconds, mean of 3 network seeds)",
+        "abl_static_vs_adaptive",
+        &rows,
+    );
+}

@@ -1,0 +1,7 @@
+//! Reproduces Fig. 3 — intra- vs inter-machine iteration time.
+
+fn main() {
+    let ctx = netmax_bench::ExpCtx::from_env();
+    let rows = netmax_bench::experiments::fig03::run();
+    netmax_bench::experiments::fig03::print(&ctx, &rows);
+}

@@ -1,0 +1,10 @@
+//! Reproduces Fig. 5 — epoch-time breakdown on the heterogeneous network.
+
+use netmax_bench::experiments::epoch_time;
+
+fn main() {
+    let ctx = netmax_bench::ExpCtx::from_env();
+    let p = epoch_time::Params::for_mode(&ctx, true);
+    let rows = epoch_time::run(&p);
+    epoch_time::print(&ctx, &p, &rows);
+}

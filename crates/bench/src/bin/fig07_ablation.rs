@@ -1,0 +1,10 @@
+//! Reproduces Fig. 7 — serial/parallel × uniform/adaptive ablation.
+
+use netmax_bench::experiments::fig07;
+
+fn main() {
+    let ctx = netmax_bench::ExpCtx::from_env();
+    let p = fig07::Params::for_mode(&ctx);
+    let rows = fig07::run(&p);
+    fig07::print(&ctx, &rows);
+}

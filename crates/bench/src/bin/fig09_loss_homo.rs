@@ -1,0 +1,10 @@
+//! Reproduces Fig. 9 — training loss vs time, homogeneous network.
+
+use netmax_bench::experiments::loss_curves;
+
+fn main() {
+    let ctx = netmax_bench::ExpCtx::from_env();
+    let p = loss_curves::Params::for_mode(&ctx, false);
+    let panels = loss_curves::run(&p);
+    loss_curves::print(&ctx, &p, &panels);
+}

@@ -1,0 +1,10 @@
+//! Reproduces Fig. 10 — speedup vs worker count, heterogeneous network.
+
+use netmax_bench::experiments::scalability;
+
+fn main() {
+    let ctx = netmax_bench::ExpCtx::from_env();
+    let p = scalability::Params::for_mode(&ctx, true);
+    let rows = scalability::run(&p);
+    scalability::print(&ctx, &p, &rows);
+}

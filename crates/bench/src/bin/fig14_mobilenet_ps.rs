@@ -1,0 +1,10 @@
+//! Reproduces Fig. 14 + Table VI — MobileNet/CIFAR100 with PS baselines.
+
+use netmax_bench::experiments::fig14;
+
+fn main() {
+    let ctx = netmax_bench::ExpCtx::from_env();
+    let p = fig14::Params::for_mode(&ctx);
+    let results = fig14::run(&p);
+    fig14::print(&ctx, &results);
+}

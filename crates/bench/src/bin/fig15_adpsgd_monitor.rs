@@ -1,0 +1,10 @@
+//! Reproduces Fig. 15 — AD-PSGD extended with the Network Monitor.
+
+use netmax_bench::experiments::fig15;
+
+fn main() {
+    let ctx = netmax_bench::ExpCtx::from_env();
+    let p = fig15::Params::for_mode(&ctx);
+    let results = fig15::run(&p);
+    fig15::print(&ctx, &results);
+}

@@ -1,0 +1,11 @@
+//! Reproduces the paper's non-uniform-partitioning experiment for the
+//! `Cifar10` case (see `netmax_bench::experiments::nonuniform`).
+
+use netmax_bench::experiments::nonuniform::{self, Case};
+
+fn main() {
+    let ctx = netmax_bench::ExpCtx::from_env();
+    let p = nonuniform::Params::for_mode(&ctx, Case::Cifar10);
+    let out = nonuniform::run(&p);
+    nonuniform::print(&ctx, &p, &out);
+}

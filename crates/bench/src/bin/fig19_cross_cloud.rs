@@ -1,0 +1,10 @@
+//! Reproduces Fig. 19 — cross-cloud training over six EC2 regions.
+
+use netmax_bench::experiments::fig19;
+
+fn main() {
+    let ctx = netmax_bench::ExpCtx::from_env();
+    let p = fig19::Params::for_mode(&ctx);
+    let panels = fig19::run(&p);
+    fig19::print(&ctx, &panels);
+}

@@ -1,0 +1,55 @@
+//! Quick end-to-end sanity check of the headline result shape (not one of
+//! the paper figures): on a heterogeneous dynamic network, NetMax should
+//! reach the loss target in less simulated wall-clock time than AD-PSGD,
+//! Allreduce-SGD, and Prague.
+
+use netmax_baselines::algorithm_for;
+use netmax_core::engine::{AlgorithmKind, Scenario, TrainConfig};
+use netmax_core::monitor::MonitorConfig;
+use netmax_core::netmax::{NetMax, NetMaxConfig};
+use netmax_ml::workload::Workload;
+use netmax_net::{NetworkKind, SlowdownConfig};
+
+fn main() {
+    let workload = Workload::resnet18_cifar10(42);
+    let alpha = workload.optim.lr;
+    let sc = Scenario::builder()
+        .workers(8)
+        .network(NetworkKind::HeterogeneousDynamic)
+        .workload(workload)
+        .slowdown(SlowdownConfig { change_period_s: 120.0, ..SlowdownConfig::default() })
+        .train_config(TrainConfig {
+            max_epochs: 48.0,
+            record_every_steps: 40,
+            seed: 7,
+            ..TrainConfig::default()
+        })
+        .build();
+
+    println!(
+        "{:<16} {:>10} {:>10} {:>10} {:>10} {:>8} {:>8} {:>10}",
+        "algorithm", "wall(s)", "epoch_t", "comp/ep", "comm/ep", "loss", "acc", "t@0.40"
+    );
+    for kind in AlgorithmKind::headline_four() {
+        let mut algo = if kind == AlgorithmKind::NetMax {
+            // Monitor period scaled to the compressed epoch time scale.
+            let mut cfg = NetMaxConfig::paper_default(alpha);
+            cfg.monitor = MonitorConfig { period_s: 30.0, ..cfg.monitor };
+            Box::new(NetMax::new(cfg))
+        } else {
+            algorithm_for(kind, alpha)
+        };
+        let r = sc.run_with(algo.as_mut());
+        println!(
+            "{:<16} {:>10.1} {:>10.2} {:>10.2} {:>10.2} {:>8.4} {:>8.3} {:>10.1?}",
+            kind.label(),
+            r.wall_clock_s,
+            r.epoch_time_avg_s(),
+            r.comp_cost_per_epoch_s(),
+            r.comm_cost_per_epoch_s(),
+            r.final_train_loss,
+            r.final_test_accuracy,
+            r.time_to_loss(0.40)
+        );
+    }
+}

@@ -1,0 +1,10 @@
+//! Reproduces Table III — accuracy over a homogeneous network.
+
+use netmax_bench::experiments::accuracy;
+
+fn main() {
+    let ctx = netmax_bench::ExpCtx::from_env();
+    let p = accuracy::Params::for_mode(&ctx, false);
+    let rows = accuracy::run(&p);
+    accuracy::print(&ctx, &p, &rows);
+}

@@ -1,0 +1,10 @@
+//! Reproduces Table V — accuracy with non-uniform data partitioning.
+
+use netmax_bench::experiments::tab05;
+
+fn main() {
+    let ctx = netmax_bench::ExpCtx::from_env();
+    let p = tab05::Params::for_mode(&ctx);
+    let rows = tab05::run(&p);
+    tab05::print(&ctx, &rows);
+}

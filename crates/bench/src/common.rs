@@ -1,0 +1,267 @@
+//! Shared machinery for the figure/table harnesses.
+
+use netmax_baselines::{algorithm_for, AdPsgd};
+use netmax_core::engine::{Algorithm, AlgorithmKind, RunReport, Scenario, TrainConfig};
+use netmax_core::monitor::MonitorConfig;
+use netmax_core::netmax::{NetMax, NetMaxConfig};
+use netmax_net::SlowdownConfig;
+use std::fs;
+use std::path::PathBuf;
+
+/// Compressed Network-Monitor period `Ts` (paper: 120 s — see the crate
+/// docs for the timescale-compression rationale).
+pub const MONITOR_PERIOD_S: f64 = 30.0;
+
+/// Compressed slow-link re-draw period (paper: 300 s).
+pub const LINK_CHANGE_PERIOD_S: f64 = 120.0;
+
+/// Execution scale of an experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Full reproduction (tens of simulated minutes per run).
+    Full,
+    /// ~4× shorter runs; shapes survive, absolute values noisier.
+    Quick,
+    /// Minimal runs for criterion benches and smoke tests.
+    Tiny,
+}
+
+impl Mode {
+    /// Reads the mode from `--quick` / `--tiny` CLI flags or the
+    /// `NETMAX_MODE` environment variable (default: full).
+    pub fn from_env() -> Mode {
+        let args: Vec<String> = std::env::args().collect();
+        if args.iter().any(|a| a == "--tiny") {
+            return Mode::Tiny;
+        }
+        if args.iter().any(|a| a == "--quick") {
+            return Mode::Quick;
+        }
+        match std::env::var("NETMAX_MODE").as_deref() {
+            Ok("tiny") => Mode::Tiny,
+            Ok("quick") => Mode::Quick,
+            _ => Mode::Full,
+        }
+    }
+
+    /// Scales an epoch budget to the mode.
+    pub fn epochs(self, full: f64) -> f64 {
+        match self {
+            Mode::Full => full,
+            Mode::Quick => (full * 0.25).max(3.0),
+            Mode::Tiny => 2.0,
+        }
+    }
+
+    /// Scales a worker-count list to the mode (tiny drops the largest).
+    pub fn nodes<'a>(self, full: &'a [usize], tiny: &'a [usize]) -> &'a [usize] {
+        match self {
+            Mode::Tiny => tiny,
+            _ => full,
+        }
+    }
+}
+
+/// Experiment context: mode + output directory for CSV artefacts.
+pub struct ExpCtx {
+    /// Execution scale.
+    pub mode: Mode,
+    out_dir: PathBuf,
+}
+
+impl Default for ExpCtx {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+impl ExpCtx {
+    /// Builds the context from CLI/env; CSVs go to `results/`.
+    pub fn from_env() -> Self {
+        Self { mode: Mode::from_env(), out_dir: PathBuf::from("results") }
+    }
+
+    /// Builds a context with an explicit mode (used by benches/tests).
+    pub fn with_mode(mode: Mode) -> Self {
+        Self { mode, out_dir: PathBuf::from("results") }
+    }
+
+    /// Writes a CSV artefact; errors are reported but non-fatal (the
+    /// printed rows are the primary output).
+    pub fn write_csv(&self, name: &str, header: &str, rows: &[String]) {
+        let path = self.out_dir.join(format!("{name}.csv"));
+        let body = std::iter::once(header.to_string())
+            .chain(rows.iter().cloned())
+            .collect::<Vec<_>>()
+            .join("\n");
+        if let Err(e) = fs::create_dir_all(&self.out_dir)
+            .and_then(|()| fs::write(&path, body + "\n"))
+        {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        } else {
+            eprintln!("wrote {}", path.display());
+        }
+    }
+}
+
+/// Instantiates an algorithm with the harness-tuned monitor period
+/// ([`MONITOR_PERIOD_S`]); non-monitor algorithms are unaffected.
+pub fn tuned_algorithm(kind: AlgorithmKind, alpha: f64) -> Box<dyn Algorithm> {
+    let monitor = MonitorConfig { period_s: MONITOR_PERIOD_S, ..MonitorConfig::paper_default(alpha) };
+    match kind {
+        AlgorithmKind::NetMax => {
+            Box::new(NetMax::new(NetMaxConfig { monitor, ..NetMaxConfig::paper_default(alpha) }))
+        }
+        AlgorithmKind::NetMaxUniform => {
+            Box::new(NetMax::new(NetMaxConfig { monitor, ..NetMaxConfig::uniform(alpha) }))
+        }
+        AlgorithmKind::AdPsgdMonitored => Box::new(AdPsgd::monitored_with(monitor)),
+        other => algorithm_for(other, alpha),
+    }
+}
+
+/// The harness-standard slowdown regime (paper factors 2–100×, compressed
+/// change period).
+pub fn slowdown() -> SlowdownConfig {
+    SlowdownConfig { change_period_s: LINK_CHANGE_PERIOD_S, ..SlowdownConfig::default() }
+}
+
+/// The harness-standard training config for curve experiments.
+pub fn train_config(epochs: f64, seed: u64) -> TrainConfig {
+    TrainConfig {
+        max_epochs: epochs,
+        record_every_steps: 50,
+        loss_sample_size: 384,
+        test_eval_every_records: 4,
+        seed,
+        ..TrainConfig::default()
+    }
+}
+
+/// Runs the given algorithms on (fresh environments of) one scenario.
+pub fn compare(
+    sc: &Scenario,
+    kinds: &[AlgorithmKind],
+    alpha: f64,
+) -> Vec<(AlgorithmKind, RunReport)> {
+    kinds
+        .iter()
+        .map(|&k| {
+            let mut algo = tuned_algorithm(k, alpha);
+            (k, sc.run_with(algo.as_mut()))
+        })
+        .collect()
+}
+
+/// A loss target every run in the set has reached: slightly above the
+/// worst final loss. Speedups measured at this target are well-defined
+/// for all algorithms (the paper reads its speedups off the Fig. 8 curves
+/// the same way).
+pub fn common_loss_target(results: &[(AlgorithmKind, RunReport)]) -> f64 {
+    let worst = results
+        .iter()
+        .map(|(_, r)| r.final_train_loss)
+        .fold(f64::NEG_INFINITY, f64::max);
+    worst * 1.02 + 1e-4
+}
+
+/// Prints and returns `(algo, time_to_target, speedup-vs-slowest)` rows.
+pub fn speedup_rows(results: &[(AlgorithmKind, RunReport)]) -> Vec<(String, f64, f64)> {
+    let target = common_loss_target(results);
+    let times: Vec<(String, f64)> = results
+        .iter()
+        .map(|(k, r)| {
+            let t = r.time_to_loss(target).unwrap_or(r.wall_clock_s);
+            (k.label().to_string(), t)
+        })
+        .collect();
+    let netmax_time = times
+        .iter()
+        .find(|(n, _)| n == "NetMax")
+        .map(|(_, t)| *t)
+        .unwrap_or_else(|| times.iter().map(|(_, t)| *t).fold(f64::INFINITY, f64::min));
+    times
+        .into_iter()
+        .map(|(n, t)| (n, t, t / netmax_time))
+        .collect()
+}
+
+/// Writes the full loss/accuracy curves of a comparison to one CSV.
+pub fn write_curves(ctx: &ExpCtx, name: &str, results: &[(AlgorithmKind, RunReport)]) {
+    let mut rows = Vec::new();
+    for (kind, report) in results {
+        for s in &report.samples {
+            rows.push(format!(
+                "{},{:.3},{},{:.4},{:.6},{:.6},{}",
+                kind.label(),
+                s.time_s,
+                s.global_step,
+                s.epoch,
+                s.train_loss,
+                s.consensus_diameter,
+                s.test_accuracy.map_or(String::new(), |a| format!("{a:.4}")),
+            ));
+        }
+    }
+    ctx.write_csv(
+        name,
+        "algorithm,time_s,global_step,epoch,train_loss,consensus_diameter,test_accuracy",
+        &rows,
+    );
+}
+
+/// Formats a fixed-width table row.
+pub fn fmt_row(cells: &[String], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_epoch_scaling() {
+        assert_eq!(Mode::Full.epochs(24.0), 24.0);
+        assert_eq!(Mode::Quick.epochs(24.0), 6.0);
+        assert_eq!(Mode::Tiny.epochs(24.0), 2.0);
+        // Quick never goes below 3 epochs.
+        assert_eq!(Mode::Quick.epochs(4.0), 3.0);
+    }
+
+    #[test]
+    fn tuned_algorithms_have_expected_names() {
+        assert_eq!(tuned_algorithm(AlgorithmKind::NetMax, 0.1).name(), "netmax");
+        assert_eq!(tuned_algorithm(AlgorithmKind::AdPsgd, 0.1).name(), "ad-psgd");
+        assert_eq!(
+            tuned_algorithm(AlgorithmKind::AdPsgdMonitored, 0.1).name(),
+            "ad-psgd+monitor"
+        );
+    }
+
+    #[test]
+    fn loss_target_covers_all_runs() {
+        let mk = |loss: f64| RunReport {
+            algorithm: "x".into(),
+            workload: "w".into(),
+            num_nodes: 2,
+            samples: vec![],
+            wall_clock_s: 1.0,
+            epochs_completed: 1.0,
+            global_steps: 1,
+            final_train_loss: loss,
+            final_test_accuracy: 0.5,
+            per_node: vec![],
+        };
+        let results = vec![
+            (AlgorithmKind::NetMax, mk(0.30)),
+            (AlgorithmKind::AdPsgd, mk(0.35)),
+        ];
+        let t = common_loss_target(&results);
+        assert!(t > 0.35);
+    }
+}

@@ -1,0 +1,148 @@
+//! Table II / Table III — test accuracy of the trained models across
+//! worker counts (heterogeneous and homogeneous networks).
+//!
+//! The paper's point is parity: "all the approaches can achieve around
+//! 90% test accuracy for both ResNet18 and VGG19, while NetMax performs
+//! slightly better" (§V-D). Accuracy must *not* be the axis NetMax wins
+//! on — time is.
+
+use crate::common::{self, ExpCtx};
+use netmax_core::engine::{AlgorithmKind, Scenario};
+use netmax_ml::workload::Workload;
+use netmax_net::NetworkKind;
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Heterogeneous (Table II) or homogeneous (Table III).
+    pub heterogeneous: bool,
+    /// Worker counts (paper: 4/8/16 heterogeneous, 4/6/8 homogeneous).
+    pub node_counts: Vec<usize>,
+    /// Epoch budget per run.
+    pub epochs: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Params {
+    /// Full reproduction scale.
+    pub fn full(heterogeneous: bool) -> Self {
+        Self {
+            heterogeneous,
+            node_counts: if heterogeneous { vec![4, 8, 16] } else { vec![4, 6, 8] },
+            epochs: 24.0,
+            seed: 5,
+        }
+    }
+
+    /// Mode-scaled parameters.
+    pub fn for_mode(ctx: &ExpCtx, heterogeneous: bool) -> Self {
+        let mut p = Self::full(heterogeneous);
+        p.epochs = ctx.mode.epochs(p.epochs);
+        if ctx.mode == crate::common::Mode::Tiny {
+            p.node_counts.truncate(1);
+        }
+        p
+    }
+}
+
+/// One table cell group (a row of the paper's table).
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Workload name.
+    pub model: String,
+    /// Worker count.
+    pub nodes: usize,
+    /// `(algorithm label, final test accuracy)`.
+    pub accuracy: Vec<(String, f64)>,
+}
+
+/// Runs the table.
+pub fn run(p: &Params) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for make in [Workload::resnet18_cifar10 as fn(u64) -> Workload, Workload::vgg19_cifar10] {
+        for &nodes in &p.node_counts {
+            let workload = make(p.seed);
+            let alpha = workload.optim.lr;
+            let model = workload.name.clone();
+            let sc = Scenario::builder()
+                .workers(nodes)
+                .network(if p.heterogeneous {
+                    NetworkKind::HeterogeneousDynamic
+                } else {
+                    NetworkKind::Homogeneous
+                })
+                .workload(workload)
+                .slowdown(common::slowdown())
+                .train_config(common::train_config(p.epochs, p.seed))
+                .build();
+            let accuracy = common::compare(&sc, &AlgorithmKind::headline_four(), alpha)
+                .into_iter()
+                .map(|(k, r)| (k.label().to_string(), r.final_test_accuracy))
+                .collect();
+            rows.push(Row { model, nodes, accuracy });
+        }
+    }
+    rows
+}
+
+/// Prints the table and writes the CSV.
+pub fn print(ctx: &ExpCtx, p: &Params, rows: &[Row]) {
+    let tab = if p.heterogeneous { "Table II" } else { "Table III" };
+    println!(
+        "{tab} — test accuracy over a {} network",
+        if p.heterogeneous { "heterogeneous" } else { "homogeneous" }
+    );
+    println!(
+        "{:<20} {:>6} {:>10} {:>10} {:>10} {:>10}",
+        "workload", "nodes", "Prague", "Allreduce", "AD-PSGD", "NetMax"
+    );
+    let mut csv = Vec::new();
+    for r in rows {
+        let get = |name: &str| {
+            r.accuracy
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, a)| *a)
+                .unwrap_or(f64::NAN)
+        };
+        println!(
+            "{:<20} {:>6} {:>9.2}% {:>9.2}% {:>9.2}% {:>9.2}%",
+            r.model,
+            r.nodes,
+            100.0 * get("Prague"),
+            100.0 * get("Allreduce"),
+            100.0 * get("AD-PSGD"),
+            100.0 * get("NetMax"),
+        );
+        csv.push(format!(
+            "{},{},{:.4},{:.4},{:.4},{:.4}",
+            r.model,
+            r.nodes,
+            get("Prague"),
+            get("Allreduce"),
+            get("AD-PSGD"),
+            get("NetMax")
+        ));
+    }
+    let name = if p.heterogeneous { "tab02_accuracy_hetero" } else { "tab03_accuracy_homo" };
+    ctx.write_csv(name, "workload,nodes,prague,allreduce,ad_psgd,netmax", &csv);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_algorithms_reach_comparable_accuracy() {
+        let p = Params { heterogeneous: true, node_counts: vec![4], epochs: 8.0, seed: 5 };
+        let rows = run(&p);
+        for r in &rows {
+            let accs: Vec<f64> = r.accuracy.iter().map(|(_, a)| *a).collect();
+            let lo = accs.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = accs.iter().copied().fold(0.0f64, f64::max);
+            assert!(lo > 0.70, "{}: accuracy too low {accs:?}", r.model);
+            assert!(hi - lo < 0.10, "{}: accuracy spread too wide {accs:?}", r.model);
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Fig. 5 / Fig. 6 — average epoch time split into computation and
+//! communication cost, 8 workers, ResNet18 and VGG19.
+//!
+//! Heterogeneous (Fig. 5): NetMax must incur the lowest communication
+//! cost, Prague the highest, computation costs near-identical across
+//! algorithms. Homogeneous (Fig. 6): everything compresses, NetMax and
+//! AD-PSGD nearly tie.
+
+use crate::common::{self, ExpCtx};
+use netmax_core::engine::{AlgorithmKind, Scenario};
+use netmax_ml::workload::Workload;
+use netmax_net::NetworkKind;
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Heterogeneous (Fig. 5) or homogeneous (Fig. 6).
+    pub heterogeneous: bool,
+    /// Worker count (paper: 8).
+    pub workers: usize,
+    /// Epoch budget per run.
+    pub epochs: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Params {
+    /// Full reproduction scale.
+    pub fn full(heterogeneous: bool) -> Self {
+        Self { heterogeneous, workers: 8, epochs: 24.0, seed: 7 }
+    }
+
+    /// Mode-scaled parameters.
+    pub fn for_mode(ctx: &ExpCtx, heterogeneous: bool) -> Self {
+        let mut p = Self::full(heterogeneous);
+        p.epochs = ctx.mode.epochs(p.epochs);
+        p
+    }
+}
+
+/// One bar of the figure.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Workload name ("resnet18/cifar10", …).
+    pub model: String,
+    /// Algorithm label.
+    pub algorithm: String,
+    /// Computation cost per epoch (s).
+    pub comp_s: f64,
+    /// Communication cost per epoch (s).
+    pub comm_s: f64,
+    /// Total epoch time (s).
+    pub epoch_s: f64,
+}
+
+/// Runs the experiment: 2 workloads × 4 algorithms.
+pub fn run(p: &Params) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for workload in [Workload::resnet18_cifar10(p.seed), Workload::vgg19_cifar10(p.seed)] {
+        let alpha = workload.optim.lr;
+        let name = workload.name.clone();
+        let sc = Scenario::builder()
+            .workers(p.workers)
+            .network(if p.heterogeneous {
+                NetworkKind::HeterogeneousDynamic
+            } else {
+                NetworkKind::Homogeneous
+            })
+            .workload(workload)
+            .slowdown(common::slowdown())
+            .train_config(common::train_config(p.epochs, p.seed))
+            .build();
+        for (kind, report) in common::compare(&sc, &AlgorithmKind::headline_four(), alpha) {
+            rows.push(Row {
+                model: name.clone(),
+                algorithm: kind.label().to_string(),
+                comp_s: report.comp_cost_per_epoch_s(),
+                comm_s: report.comm_cost_per_epoch_s(),
+                epoch_s: report.epoch_time_avg_s(),
+            });
+        }
+    }
+    rows
+}
+
+/// Prints the rows and writes the CSV.
+pub fn print(ctx: &ExpCtx, p: &Params, rows: &[Row]) {
+    let fig = if p.heterogeneous { "Fig. 5" } else { "Fig. 6" };
+    let net = if p.heterogeneous { "heterogeneous" } else { "homogeneous" };
+    println!("{fig} — average epoch time, {} workers, {net} network", p.workers);
+    println!(
+        "{:<20} {:<12} {:>10} {:>10} {:>10}",
+        "workload", "algorithm", "comp(s)", "comm(s)", "epoch(s)"
+    );
+    let mut csv = Vec::new();
+    for r in rows {
+        println!(
+            "{:<20} {:<12} {:>10.2} {:>10.2} {:>10.2}",
+            r.model, r.algorithm, r.comp_s, r.comm_s, r.epoch_s
+        );
+        csv.push(format!(
+            "{},{},{:.3},{:.3},{:.3}",
+            r.model, r.algorithm, r.comp_s, r.comm_s, r.epoch_s
+        ));
+    }
+    let name = if p.heterogeneous { "fig05_epoch_time_hetero" } else { "fig06_epoch_time_homo" };
+    ctx.write_csv(name, "workload,algorithm,comp_s,comm_s,epoch_s", &csv);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::Mode;
+
+    #[test]
+    fn hetero_ordering_matches_paper() {
+        let p = Params { heterogeneous: true, workers: 8, epochs: 6.0, seed: 7 };
+        let rows = run(&p);
+        // Communication ordering for ResNet18: NetMax < AD-PSGD and
+        // Prague the worst (Fig. 5's headline).
+        let get = |algo: &str| {
+            rows.iter()
+                .find(|r| r.model == "resnet18/cifar10" && r.algorithm == algo)
+                .unwrap()
+        };
+        assert!(get("NetMax").comm_s <= get("AD-PSGD").comm_s * 1.05);
+        assert!(get("Prague").comm_s > get("NetMax").comm_s);
+        assert!(get("Allreduce").comm_s > get("AD-PSGD").comm_s);
+        // Computation costs nearly identical across algorithms.
+        let comps: Vec<f64> = ["NetMax", "AD-PSGD", "Allreduce", "Prague"]
+            .iter()
+            .map(|a| get(a).comp_s)
+            .collect();
+        let (lo, hi) = (
+            comps.iter().copied().fold(f64::INFINITY, f64::min),
+            comps.iter().copied().fold(0.0f64, f64::max),
+        );
+        assert!(hi / lo < 1.25, "comp costs should be near-identical: {comps:?}");
+    }
+
+    #[test]
+    fn mode_scaling_applies() {
+        let ctx = ExpCtx::with_mode(Mode::Tiny);
+        let p = Params::for_mode(&ctx, true);
+        assert_eq!(p.epochs, 2.0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Fig. 3 — average iteration time for intra-machine (fast) and
+//! inter-machine (slow) communication, ResNet18 and VGG19.
+//!
+//! The paper measures these on its real cluster; here they follow from
+//! the calibrated link presets and model profiles. The claim under test:
+//! inter-machine iterations are several-fold slower, so "network
+//! communication through a fast link can result in reduced iteration
+//! time" (§II-B).
+
+use crate::common::ExpCtx;
+use netmax_core::engine::ExecutionMode;
+use netmax_ml::profile::ModelProfile;
+use netmax_net::LinkQuality;
+
+/// One bar pair of the figure.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Model name.
+    pub model: String,
+    /// Iteration time over an intra-machine link (s).
+    pub intra_s: f64,
+    /// Iteration time over an inter-machine link (s).
+    pub inter_s: f64,
+}
+
+impl Row {
+    /// Inter/intra slowdown factor.
+    pub fn ratio(&self) -> f64 {
+        self.inter_s / self.intra_s
+    }
+}
+
+/// Computes the figure (no training needed — this is a timing identity).
+pub fn run() -> Vec<Row> {
+    let intra = LinkQuality::intra_machine();
+    let inter = LinkQuality::gbit_ethernet();
+    [ModelProfile::resnet18(), ModelProfile::vgg19()]
+        .into_iter()
+        .map(|p| {
+            let c = p.compute_time(128);
+            let bytes = p.param_bytes();
+            Row {
+                model: p.name.clone(),
+                intra_s: ExecutionMode::Parallel.iteration_time(c, intra.transfer_time(bytes)),
+                inter_s: ExecutionMode::Parallel.iteration_time(c, inter.transfer_time(bytes)),
+            }
+        })
+        .collect()
+}
+
+/// Prints the figure rows and writes the CSV.
+pub fn print(ctx: &ExpCtx, rows: &[Row]) {
+    println!("Fig. 3 — iteration time, intra- vs inter-machine (batch 128)");
+    println!("{:<10} {:>10} {:>10} {:>8}", "model", "intra(s)", "inter(s)", "ratio");
+    let mut csv = Vec::new();
+    for r in rows {
+        println!(
+            "{:<10} {:>10.3} {:>10.3} {:>8.2}",
+            r.model,
+            r.intra_s,
+            r.inter_s,
+            r.ratio()
+        );
+        csv.push(format!("{},{:.4},{:.4},{:.3}", r.model, r.intra_s, r.inter_s, r.ratio()));
+    }
+    ctx.write_csv("fig03_iteration_time", "model,intra_s,inter_s,ratio", &csv);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inter_is_severalfold_slower() {
+        let rows = run();
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(r.ratio() > 2.0, "{}: ratio {} too small", r.model, r.ratio());
+        }
+        // ResNet18's ratio lands near the paper's "up to 4×".
+        let resnet = &rows[0];
+        assert!(resnet.ratio() > 3.0 && resnet.ratio() < 5.0, "ratio {}", resnet.ratio());
+    }
+
+    #[test]
+    fn vgg_is_slower_than_resnet_on_both_links() {
+        let rows = run();
+        assert!(rows[1].intra_s > rows[0].intra_s);
+        assert!(rows[1].inter_s > rows[0].inter_s);
+    }
+}

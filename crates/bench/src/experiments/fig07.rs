@@ -1,0 +1,139 @@
+//! Fig. 7 — source of NetMax's improvement: serial vs parallel execution
+//! × uniform vs adaptive neighbour selection (§V-C).
+//!
+//! The paper's finding: adaptive probabilities contribute the majority of
+//! the gain; the compute/communication overlap is marginal because GPU
+//! compute is much shorter than communication.
+
+use crate::common::{self, ExpCtx};
+use netmax_core::engine::{AlgorithmKind, ExecutionMode, Scenario};
+use netmax_ml::workload::Workload;
+use netmax_net::NetworkKind;
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Worker count (paper: 8).
+    pub workers: usize,
+    /// Epoch budget per run.
+    pub epochs: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Params {
+    /// Full reproduction scale.
+    pub fn full() -> Self {
+        Self { workers: 8, epochs: 24.0, seed: 11 }
+    }
+
+    /// Mode-scaled parameters.
+    pub fn for_mode(ctx: &ExpCtx) -> Self {
+        let mut p = Self::full();
+        p.epochs = ctx.mode.epochs(p.epochs);
+        p
+    }
+}
+
+/// One bar of the figure.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Workload name.
+    pub model: String,
+    /// Setting label ("serial+uniform", …).
+    pub setting: String,
+    /// Average per-node epoch time (s).
+    pub epoch_s: f64,
+    /// Simulated seconds to the common loss target (the Fig. 8-style
+    /// convergence view of the same four settings).
+    pub t_target_s: f64,
+}
+
+/// Runs the 4 settings × 2 workloads.
+pub fn run(p: &Params) -> Vec<Row> {
+    let settings = [
+        ("serial+uniform", ExecutionMode::Serial, AlgorithmKind::NetMaxUniform),
+        ("parallel+uniform", ExecutionMode::Parallel, AlgorithmKind::NetMaxUniform),
+        ("serial+adaptive", ExecutionMode::Serial, AlgorithmKind::NetMax),
+        ("parallel+adaptive", ExecutionMode::Parallel, AlgorithmKind::NetMax),
+    ];
+    let mut rows = Vec::new();
+    for workload in [Workload::resnet18_cifar10(p.seed), Workload::vgg19_cifar10(p.seed)] {
+        let alpha = workload.optim.lr;
+        let name = workload.name.clone();
+        let mut reports = Vec::new();
+        for (label, exec, kind) in settings {
+            let mut cfg = common::train_config(p.epochs, p.seed);
+            cfg.execution = exec;
+            let sc = Scenario::builder()
+                .workers(p.workers)
+                .network(NetworkKind::HeterogeneousDynamic)
+                .workload(workload.clone())
+                .slowdown(common::slowdown())
+                .train_config(cfg)
+                .build();
+            let mut algo = common::tuned_algorithm(kind, alpha);
+            reports.push((label, sc.run_with(algo.as_mut())));
+        }
+        // A loss level every setting reached.
+        let target = reports
+            .iter()
+            .map(|(_, r)| r.final_train_loss)
+            .fold(f64::NEG_INFINITY, f64::max)
+            * 1.02
+            + 1e-4;
+        for (label, report) in reports {
+            rows.push(Row {
+                model: name.clone(),
+                setting: label.to_string(),
+                epoch_s: report.epoch_time_avg_s(),
+                t_target_s: report.time_to_loss(target).unwrap_or(report.wall_clock_s),
+            });
+        }
+    }
+    rows
+}
+
+/// Prints the rows and writes the CSV.
+pub fn print(ctx: &ExpCtx, rows: &[Row]) {
+    println!("Fig. 7 — execution/selection ablation (heterogeneous, 8 workers)");
+    println!("{:<20} {:<20} {:>10} {:>12}", "workload", "setting", "epoch(s)", "t@target(s)");
+    let mut csv = Vec::new();
+    for r in rows {
+        println!(
+            "{:<20} {:<20} {:>10.2} {:>12.1}",
+            r.model, r.setting, r.epoch_s, r.t_target_s
+        );
+        csv.push(format!("{},{},{:.3},{:.2}", r.model, r.setting, r.epoch_s, r.t_target_s));
+    }
+    ctx.write_csv("fig07_ablation", "workload,setting,epoch_s,t_target_s", &csv);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adaptive_beats_uniform_and_parallel_beats_serial() {
+        let p = Params { workers: 8, epochs: 8.0, seed: 11 };
+        let rows = run(&p);
+        let get = |model: &str, setting: &str| {
+            rows.iter()
+                .find(|r| r.model == model && r.setting == setting)
+                .map(|r| r.epoch_s)
+                .unwrap()
+        };
+        for model in ["resnet18/cifar10", "vgg19/cifar10"] {
+            // Full NetMax (parallel+adaptive) is the fastest setting.
+            let full = get(model, "parallel+adaptive");
+            assert!(full <= get(model, "serial+uniform") * 1.02, "{model}");
+            // Parallel beats serial within the same selection policy.
+            assert!(get(model, "parallel+uniform") <= get(model, "serial+uniform"));
+            // Adaptive beats uniform within the same execution mode.
+            assert!(
+                get(model, "parallel+adaptive") <= get(model, "parallel+uniform") * 1.05,
+                "{model}: adaptive should not lose to uniform"
+            );
+        }
+    }
+}

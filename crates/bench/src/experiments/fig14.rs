@@ -1,0 +1,118 @@
+//! Fig. 14 + Table VI — training a small model (MobileNet) on a complex
+//! dataset (CIFAR100), with parameter-server baselines included (§V-G).
+//!
+//! The paper's findings reproduced here: PS-async has the worst
+//! convergence *per epoch* (fast co-located workers dominate the global
+//! model), PS-sync the worst *wall-clock* (slowest-link pacing plus the
+//! central bottleneck), and NetMax leads on time at comparable accuracy
+//! (Table VI: all six approaches within ~1%).
+
+use crate::common::{self, ExpCtx};
+use netmax_core::engine::{AlgorithmKind, PartitionKind, RunReport, Scenario};
+use netmax_ml::workload::Workload;
+use netmax_net::NetworkKind;
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Epoch budget per run.
+    pub epochs: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Params {
+    /// Full reproduction scale (paper's 120-epoch schedule compressed 4×).
+    pub fn full() -> Self {
+        Self { epochs: 30.0, seed: 17 }
+    }
+
+    /// Mode-scaled parameters.
+    pub fn for_mode(ctx: &ExpCtx) -> Self {
+        let mut p = Self::full();
+        p.epochs = ctx.mode.epochs(p.epochs);
+        p
+    }
+}
+
+/// The six algorithms of Fig. 14.
+pub fn algorithms() -> [AlgorithmKind; 6] {
+    [
+        AlgorithmKind::Prague,
+        AlgorithmKind::AllreduceSgd,
+        AlgorithmKind::AdPsgd,
+        AlgorithmKind::PsSync,
+        AlgorithmKind::PsAsync,
+        AlgorithmKind::NetMax,
+    ]
+}
+
+/// Runs MobileNet/CIFAR100 with the §V-F non-uniform setting plus the two
+/// PS baselines.
+pub fn run(p: &Params) -> Vec<(AlgorithmKind, RunReport)> {
+    let workload = Workload::mobilenet_cifar100(p.seed).time_scaled(0.25);
+    let alpha = workload.optim.lr;
+    let sc = Scenario::builder()
+        .workers(8)
+        .servers(2)
+        .network(NetworkKind::HeterogeneousDynamic)
+        .workload(workload)
+        .partition(PartitionKind::Paper8Segments)
+        .slowdown(common::slowdown())
+        .train_config(common::train_config(p.epochs, p.seed))
+        .build();
+    common::compare(&sc, &algorithms(), alpha)
+}
+
+/// Prints the summary/Table VI row and writes the curves CSV.
+pub fn print(ctx: &ExpCtx, results: &[(AlgorithmKind, RunReport)]) {
+    println!("Fig. 14 — MobileNet on CIFAR100 (8 workers, 2 servers, incl. PS baselines)");
+    println!(
+        "{:<12} {:>10} {:>12} {:>12} {:>10} {:>8}",
+        "algorithm", "epochs", "wall(s)", "t@target(s)", "loss", "acc"
+    );
+    for ((label, t, _), (_, r)) in common::speedup_rows(results).iter().zip(results) {
+        println!(
+            "{:<12} {:>10.1} {:>12.1} {:>12.1} {:>10.4} {:>7.2}%",
+            label,
+            r.epochs_completed,
+            r.wall_clock_s,
+            t,
+            r.final_train_loss,
+            100.0 * r.final_test_accuracy
+        );
+    }
+    common::write_curves(ctx, "fig14_mobilenet_ps", results);
+
+    println!("\nTable VI — accuracy of MobileNet on CIFAR100");
+    let cells: Vec<String> = results
+        .iter()
+        .map(|(k, r)| format!("{}={:.2}%", k.label(), 100.0 * r.final_test_accuracy))
+        .collect();
+    println!("{}", cells.join("  "));
+    let csv: Vec<String> = results
+        .iter()
+        .map(|(k, r)| format!("{},{:.4}", k.label(), r.final_test_accuracy))
+        .collect();
+    ctx.write_csv("tab06_accuracy_mobilenet", "algorithm,accuracy", &csv);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_algorithms_run_and_ps_sync_is_slowest_family() {
+        let p = Params { epochs: 3.0, seed: 17 };
+        let results = run(&p);
+        assert_eq!(results.len(), 6);
+        let wall = |kind: AlgorithmKind| {
+            results.iter().find(|(k, _)| *k == kind).unwrap().1.wall_clock_s
+        };
+        // PS-sync pays the central bottleneck *and* slowest-link pacing:
+        // it must be slower than NetMax by a clear margin.
+        assert!(wall(AlgorithmKind::PsSync) > 1.5 * wall(AlgorithmKind::NetMax));
+        // Async PS escapes the round barrier.
+        assert!(wall(AlgorithmKind::PsAsync) < wall(AlgorithmKind::PsSync));
+    }
+}

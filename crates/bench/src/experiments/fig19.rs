@@ -1,0 +1,149 @@
+//! Fig. 19 — distributed training across six cloud regions (Appendix G):
+//! test accuracy versus time for MobileNet and GoogLeNet on MNIST with
+//! the Table VII per-region label skew.
+//!
+//! Paper finding: NetMax converges 1.9× / 1.9× / 2.1× faster than
+//! AD-PSGD / PS-async / PS-sync over the WAN.
+
+use crate::common::{self, ExpCtx};
+use netmax_core::engine::{AlgorithmKind, PartitionKind, RunReport, Scenario};
+use netmax_ml::workload::Workload;
+use netmax_net::NetworkKind;
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Epoch budget per run.
+    pub epochs: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Params {
+    /// Full reproduction scale.
+    pub fn full() -> Self {
+        Self { epochs: 20.0, seed: 23 }
+    }
+
+    /// Mode-scaled parameters.
+    pub fn for_mode(ctx: &ExpCtx) -> Self {
+        let mut p = Self::full();
+        p.epochs = ctx.mode.epochs(p.epochs);
+        p
+    }
+}
+
+/// One panel (model) of the figure.
+pub struct Panel {
+    /// Workload name.
+    pub model: String,
+    /// Per-algorithm reports (accuracy curves inside).
+    pub results: Vec<(AlgorithmKind, RunReport)>,
+}
+
+/// Runs both panels over the 6-region WAN.
+pub fn run(p: &Params) -> Vec<Panel> {
+    [Workload::mobilenet_mnist(p.seed), Workload::googlenet_mnist(p.seed)]
+        .into_iter()
+        .map(|workload| {
+            let alpha = workload.optim.lr;
+            let model = workload.name.clone();
+            let mut cfg = common::train_config(p.epochs, p.seed);
+            // Accuracy-vs-time curves need dense test evaluation.
+            cfg.test_eval_every_records = 1;
+            let sc = Scenario::builder()
+                .workers(6)
+                .network(NetworkKind::Wan)
+                .workload(workload)
+                .partition(PartitionKind::PaperTable7)
+                .train_config(cfg)
+                .build();
+            let results = common::compare(
+                &sc,
+                &[
+                    AlgorithmKind::NetMax,
+                    AlgorithmKind::AdPsgd,
+                    AlgorithmKind::PsAsync,
+                    AlgorithmKind::PsSync,
+                ],
+                alpha,
+            );
+            Panel { model, results }
+        })
+        .collect()
+}
+
+/// Seconds for the averaged model to first reach `target` test accuracy.
+pub fn time_to_accuracy(report: &RunReport, target: f64) -> Option<f64> {
+    report
+        .samples
+        .iter()
+        .find(|s| s.test_accuracy.is_some_and(|a| a >= target))
+        .map(|s| s.time_s)
+}
+
+/// Prints per-panel summaries and writes the curve CSVs.
+pub fn print(ctx: &ExpCtx, panels: &[Panel]) {
+    println!("Fig. 19 — cross-cloud training over six EC2 regions (Table VII skew)");
+    for panel in panels {
+        // A target every algorithm reached.
+        let target = panel
+            .results
+            .iter()
+            .map(|(_, r)| r.final_test_accuracy)
+            .fold(f64::INFINITY, f64::min)
+            * 0.98;
+        println!("\n[{}]  (time to {:.1}% accuracy)", panel.model, 100.0 * target);
+        println!("{:<12} {:>12} {:>12} {:>8}", "algorithm", "t@acc(s)", "wall(s)", "acc");
+        for (kind, r) in &panel.results {
+            let t = time_to_accuracy(r, target)
+                .map_or_else(|| "-".to_string(), |t| format!("{t:.1}"));
+            println!(
+                "{:<12} {:>12} {:>12.1} {:>7.2}%",
+                kind.label(),
+                t,
+                r.wall_clock_s,
+                100.0 * r.final_test_accuracy
+            );
+        }
+        let stem = format!("fig19_cross_cloud_{}", panel.model.replace('/', "_"));
+        common::write_curves(ctx, &stem, &panel.results);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn netmax_reaches_accuracy_before_ps_sync() {
+        let p = Params { epochs: 5.0, seed: 23 };
+        let panels = run(&p);
+        let panel = &panels[0];
+        let target = panel
+            .results
+            .iter()
+            .map(|(_, r)| r.final_test_accuracy)
+            .fold(f64::INFINITY, f64::min)
+            * 0.98;
+        let t = |kind: AlgorithmKind| {
+            let r = &panel.results.iter().find(|(k, _)| *k == kind).unwrap().1;
+            time_to_accuracy(r, target).unwrap_or(r.wall_clock_s)
+        };
+        assert!(
+            t(AlgorithmKind::NetMax) < t(AlgorithmKind::PsSync),
+            "NetMax {n} vs PS-sync {p}",
+            n = t(AlgorithmKind::NetMax),
+            p = t(AlgorithmKind::PsSync)
+        );
+    }
+
+    #[test]
+    fn wan_panels_cover_both_models() {
+        let p = Params { epochs: 2.0, seed: 23 };
+        let panels = run(&p);
+        assert_eq!(panels.len(), 2);
+        assert!(panels[0].model.contains("mobilenet"));
+        assert!(panels[1].model.contains("googlenet"));
+    }
+}

@@ -1,0 +1,29 @@
+//! One module per reproduced table/figure plus the ablations.
+//!
+//! | module | reproduces |
+//! |---|---|
+//! | [`fig03`] | Fig. 3 — intra vs inter machine iteration time |
+//! | [`epoch_time`] | Fig. 5 (heterogeneous) and Fig. 6 (homogeneous) epoch-time split |
+//! | [`fig07`] | Fig. 7 — serial/parallel × uniform/adaptive ablation |
+//! | [`loss_curves`] | Fig. 8 (heterogeneous) and Fig. 9 (homogeneous) loss vs time |
+//! | [`scalability`] | Fig. 10 / Fig. 11 — speedup vs worker count |
+//! | [`accuracy`] | Table II / Table III — final accuracy per node count |
+//! | [`nonuniform`] | Fig. 12/13/16/17/18 — non-uniform & non-IID loss curves |
+//! | [`tab05`] | Table V — accuracy under non-uniform partitioning |
+//! | [`fig14`] | Fig. 14 + Table VI — MobileNet/CIFAR100 incl. PS baselines |
+//! | [`fig15`] | Fig. 15 — AD-PSGD + Network Monitor extension |
+//! | [`fig19`] | Fig. 19 — cross-cloud (WAN) test accuracy vs time |
+//! | [`ablations`] | weighting / Ts / β ablations from DESIGN.md |
+
+pub mod ablations;
+pub mod accuracy;
+pub mod epoch_time;
+pub mod fig03;
+pub mod fig07;
+pub mod fig14;
+pub mod fig15;
+pub mod fig19;
+pub mod loss_curves;
+pub mod nonuniform;
+pub mod scalability;
+pub mod tab05;

@@ -1,0 +1,173 @@
+//! Fig. 10 / Fig. 11 — speedup versus number of worker nodes.
+//!
+//! The paper's baseline is "the training time after finishing a specified
+//! epoch in Allreduce-SGD with 4 worker nodes"; every other run's speedup
+//! is that time divided by its own time to the same per-node epoch count
+//! (§V-E). Heterogeneous sweeps 4–16 nodes, homogeneous 4–8.
+
+use crate::common::{self, ExpCtx};
+use netmax_core::engine::{AlgorithmKind, Scenario};
+use netmax_ml::workload::Workload;
+use netmax_net::NetworkKind;
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Heterogeneous (Fig. 10) or homogeneous (Fig. 11).
+    pub heterogeneous: bool,
+    /// Worker counts to sweep.
+    pub node_counts: Vec<usize>,
+    /// Epoch budget per run.
+    pub epochs: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Params {
+    /// Full reproduction scale (paper's node counts).
+    pub fn full(heterogeneous: bool) -> Self {
+        Self {
+            heterogeneous,
+            node_counts: if heterogeneous { vec![4, 8, 12, 16] } else { vec![4, 6, 8] },
+            epochs: 16.0,
+            seed: 3,
+        }
+    }
+
+    /// Mode-scaled parameters.
+    pub fn for_mode(ctx: &ExpCtx, heterogeneous: bool) -> Self {
+        let mut p = Self::full(heterogeneous);
+        p.epochs = ctx.mode.epochs(p.epochs);
+        if ctx.mode == crate::common::Mode::Tiny {
+            p.node_counts.truncate(2);
+        }
+        p
+    }
+}
+
+/// One point of the figure.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Workload name.
+    pub model: String,
+    /// Algorithm label.
+    pub algorithm: String,
+    /// Worker count.
+    pub nodes: usize,
+    /// Wall-clock seconds to the epoch target.
+    pub time_s: f64,
+    /// Speedup over Allreduce-SGD with 4 workers.
+    pub speedup: f64,
+}
+
+/// Runs the sweep for both workloads.
+pub fn run(p: &Params) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for make in [Workload::resnet18_cifar10 as fn(u64) -> Workload, Workload::vgg19_cifar10] {
+        let workload = make(p.seed);
+        let alpha = workload.optim.lr;
+        let model = workload.name.clone();
+
+        let run_one = |nodes: usize, kind: AlgorithmKind| -> f64 {
+            let sc = Scenario::builder()
+                .workers(nodes)
+                .network(if p.heterogeneous {
+                    NetworkKind::HeterogeneousDynamic
+                } else {
+                    NetworkKind::Homogeneous
+                })
+                .workload(make(p.seed))
+                .slowdown(common::slowdown())
+                .train_config(common::train_config(p.epochs, p.seed))
+                .build();
+            let mut algo = common::tuned_algorithm(kind, alpha);
+            sc.run_with(algo.as_mut()).wall_clock_s
+        };
+
+        let baseline = run_one(4, AlgorithmKind::AllreduceSgd);
+        for &nodes in &p.node_counts {
+            for kind in AlgorithmKind::headline_four() {
+                let time_s = if nodes == 4 && kind == AlgorithmKind::AllreduceSgd {
+                    baseline
+                } else {
+                    run_one(nodes, kind)
+                };
+                rows.push(Row {
+                    model: model.clone(),
+                    algorithm: kind.label().to_string(),
+                    nodes,
+                    time_s,
+                    speedup: baseline / time_s,
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// Prints the rows and writes the CSV.
+pub fn print(ctx: &ExpCtx, p: &Params, rows: &[Row]) {
+    let fig = if p.heterogeneous { "Fig. 10" } else { "Fig. 11" };
+    println!(
+        "{fig} — speedup vs worker count ({}; baseline: Allreduce@4)",
+        if p.heterogeneous { "heterogeneous" } else { "homogeneous" }
+    );
+    println!(
+        "{:<20} {:<12} {:>6} {:>12} {:>9}",
+        "workload", "algorithm", "nodes", "time(s)", "speedup"
+    );
+    let mut csv = Vec::new();
+    for r in rows {
+        println!(
+            "{:<20} {:<12} {:>6} {:>12.1} {:>9.2}",
+            r.model, r.algorithm, r.nodes, r.time_s, r.speedup
+        );
+        csv.push(format!(
+            "{},{},{},{:.2},{:.4}",
+            r.model, r.algorithm, r.nodes, r.time_s, r.speedup
+        ));
+    }
+    let name = if p.heterogeneous { "fig10_scalability_hetero" } else { "fig11_scalability_homo" };
+    ctx.write_csv(name, "workload,algorithm,nodes,time_s,speedup", &csv);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn netmax_speedup_dominates_at_every_node_count() {
+        let p = Params {
+            heterogeneous: true,
+            node_counts: vec![4, 8],
+            epochs: 5.0,
+            seed: 3,
+        };
+        let rows = run(&p);
+        for &nodes in &p.node_counts {
+            {
+                let model = "resnet18/cifar10";
+                let get = |algo: &str| {
+                    rows.iter()
+                        .find(|r| r.model == model && r.nodes == nodes && r.algorithm == algo)
+                        .unwrap()
+                        .speedup
+                };
+                let netmax = get("NetMax");
+                assert!(netmax >= get("Prague"), "nodes={nodes}");
+                assert!(netmax >= get("Allreduce"), "nodes={nodes}");
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce4_speedup_is_exactly_one() {
+        let p = Params { heterogeneous: false, node_counts: vec![4], epochs: 3.0, seed: 3 };
+        let rows = run(&p);
+        let base = rows
+            .iter()
+            .find(|r| r.nodes == 4 && r.algorithm == "Allreduce" && r.model == "resnet18/cifar10")
+            .unwrap();
+        assert!((base.speedup - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,95 @@
+//! Run-level engine configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Whether gradient computation and parameter communication overlap.
+///
+/// Algorithm 2 issues the pull request *before* computing gradients so the
+/// two run concurrently and the iteration time is `max(C_i, N_{i,m})`
+/// (§II-B). The serial mode (`C_i + N_{i,m}`) exists for the Fig. 7
+/// ablation, which quantifies how much that overlap buys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExecutionMode {
+    /// Overlapped compute/communication: `t = max(C, N)` (NetMax default).
+    Parallel,
+    /// Sequential compute then communication: `t = C + N`.
+    Serial,
+}
+
+impl ExecutionMode {
+    /// Iteration time for compute time `c` and communication time `n`.
+    #[inline]
+    pub fn iteration_time(self, c: f64, n: f64) -> f64 {
+        match self {
+            ExecutionMode::Parallel => c.max(n),
+            ExecutionMode::Serial => c + n,
+        }
+    }
+}
+
+/// Stop conditions and recording cadence for one training run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Stop when the mean per-node epoch count reaches this.
+    pub max_epochs: f64,
+    /// Hard stop on simulated wall-clock seconds (safety net; generous).
+    pub max_wall_clock_s: f64,
+    /// Record a metric sample every this many global steps.
+    pub record_every_steps: u64,
+    /// Examples used for the subsampled training-loss estimate.
+    pub loss_sample_size: usize,
+    /// Evaluate test accuracy every this many recorded samples
+    /// (test evaluation is the most expensive part of recording).
+    pub test_eval_every_records: usize,
+    /// Compute/communication overlap mode.
+    pub execution: ExecutionMode,
+    /// Master seed; node init seeds, batch order, and peer selection all
+    /// derive from it deterministically.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            max_epochs: 10.0,
+            max_wall_clock_s: 1e7,
+            record_every_steps: 50,
+            loss_sample_size: 512,
+            test_eval_every_records: 5,
+            execution: ExecutionMode::Parallel,
+            seed: 42,
+        }
+    }
+}
+
+impl TrainConfig {
+    /// Config scaled for fast unit/integration tests.
+    pub fn quick_test() -> Self {
+        Self {
+            max_epochs: 2.0,
+            record_every_steps: 20,
+            loss_sample_size: 128,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iteration_time_modes() {
+        assert_eq!(ExecutionMode::Parallel.iteration_time(0.2, 0.5), 0.5);
+        assert_eq!(ExecutionMode::Parallel.iteration_time(0.7, 0.5), 0.7);
+        assert_eq!(ExecutionMode::Serial.iteration_time(0.2, 0.5), 0.7);
+    }
+
+    #[test]
+    fn defaults_sane() {
+        let c = TrainConfig::default();
+        assert!(c.max_epochs > 0.0);
+        assert!(c.record_every_steps > 0);
+        assert_eq!(c.execution, ExecutionMode::Parallel);
+    }
+}

@@ -1,0 +1,257 @@
+//! Shared simulation state: node replicas, data shards, network, clocks.
+
+use super::config::TrainConfig;
+use netmax_ml::batch::BatchSampler;
+use netmax_ml::model::Model;
+use netmax_ml::optim::SgdState;
+use netmax_ml::partition::Partition;
+use netmax_ml::workload::Workload;
+use netmax_net::{Network, Topology};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-worker simulation state: one model replica plus its optimiser,
+/// shard sampler, and virtual clock.
+pub struct NodeState {
+    /// The node's model replica (`x_i` in the paper).
+    pub model: Box<dyn Model>,
+    /// Momentum state.
+    pub opt: SgdState,
+    /// Mini-batch sampler over this node's shard.
+    pub sampler: BatchSampler,
+    /// The node's virtual clock (seconds).
+    pub clock: f64,
+    /// Accumulated gradient-computation time (`Σ C_i`).
+    pub comp_time_total: f64,
+    /// Accumulated *exposed* communication time: iteration time minus
+    /// compute. Under parallel execution this is the non-overlapped part.
+    pub comm_exposed_total: f64,
+    /// Local iteration counter (`n` of Algorithm 2).
+    pub local_steps: u64,
+    /// Scratch gradient buffer (reused every step).
+    grad: Vec<f32>,
+}
+
+impl NodeState {
+    /// Fractional epochs this node has completed over its own shard.
+    pub fn epochs(&self) -> f64 {
+        self.sampler.epochs_elapsed()
+    }
+}
+
+/// Everything an algorithm needs to run one simulated training job.
+pub struct Environment {
+    /// Communication graph `G` (who may gossip with whom).
+    pub topology: Topology,
+    /// Ground-truth link timing.
+    pub network: Box<dyn Network>,
+    /// Dataset + model + hyper-parameters.
+    pub workload: Workload,
+    /// Which examples each node owns.
+    pub partition: Partition,
+    /// Per-node state.
+    pub nodes: Vec<NodeState>,
+    /// Engine configuration.
+    pub cfg: TrainConfig,
+    /// Seeded RNG for peer selection and any algorithmic randomness.
+    pub rng: StdRng,
+    /// Global step counter `k` (advanced by drivers).
+    pub global_step: u64,
+}
+
+impl Environment {
+    /// Builds an environment: one replica per partition shard.
+    ///
+    /// # Panics
+    /// Panics if the partition, topology, and network disagree on the
+    /// number of nodes, or if any shard is empty.
+    pub fn new(
+        topology: Topology,
+        network: Box<dyn Network>,
+        workload: Workload,
+        partition: Partition,
+        cfg: TrainConfig,
+    ) -> Self {
+        let n = topology.len();
+        assert_eq!(partition.num_nodes(), n, "partition/topology node count mismatch");
+        assert_eq!(network.num_nodes(), n, "network/topology node count mismatch");
+
+        let nodes = (0..n)
+            .map(|i| {
+                let shard = partition.node(i).to_vec();
+                assert!(!shard.is_empty(), "node {i} received an empty shard");
+                let batch = partition.batch_size(i, workload.batch_size);
+                let model = workload.build_model(cfg.seed.wrapping_add(i as u64));
+                let num_params = model.num_params();
+                NodeState {
+                    model,
+                    opt: SgdState::new(num_params),
+                    sampler: BatchSampler::new(
+                        shard,
+                        batch,
+                        cfg.seed.wrapping_add(1000 + i as u64),
+                    ),
+                    clock: 0.0,
+                    comp_time_total: 0.0,
+                    comm_exposed_total: 0.0,
+                    local_steps: 0,
+                    grad: vec![0.0; num_params],
+                }
+            })
+            .collect();
+
+        let rng = StdRng::seed_from_u64(cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        Self { topology, network, workload, partition, nodes, cfg, rng, global_step: 0 }
+    }
+
+    /// Number of worker nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Performs one local SGD step on node `i` (Algorithm 2 line 11):
+    /// draws a mini-batch, computes the gradient, applies the momentum SGD
+    /// update at the scheduled learning rate. Returns the simulated
+    /// compute time `C_i`.
+    pub fn gradient_step(&mut self, i: usize) -> f64 {
+        let node = &mut self.nodes[i];
+        let batch = node.sampler.next_batch();
+        let lr = self.workload.optim.lr_at(node.epochs());
+        let _loss = node
+            .model
+            .loss_grad(&self.workload.train, &batch, &mut node.grad);
+        node.opt
+            .step(&self.workload.optim, lr, node.model.params_mut(), &node.grad);
+        node.local_steps += 1;
+        self.workload.profile.compute_time(batch.len())
+    }
+
+    /// Computes a mini-batch gradient on node `i` **without** applying it
+    /// — the primitive the synchronous baselines (Allreduce-SGD, PS-sync)
+    /// need to average gradients before updating. Returns the gradient
+    /// and the simulated compute time `C_i`.
+    pub fn compute_gradient(&mut self, i: usize) -> (Vec<f32>, f64) {
+        let node = &mut self.nodes[i];
+        let batch = node.sampler.next_batch();
+        let _loss = node
+            .model
+            .loss_grad(&self.workload.train, &batch, &mut node.grad);
+        node.local_steps += 1;
+        (node.grad.clone(), self.workload.profile.compute_time(batch.len()))
+    }
+
+    /// Applies a (possibly aggregated) gradient to node `i` through its
+    /// momentum optimiser at the node's scheduled learning rate.
+    pub fn apply_gradient(&mut self, i: usize, grad: &[f32]) {
+        let lr = self.workload.optim.lr_at(self.nodes[i].epochs());
+        let node = &mut self.nodes[i];
+        node.opt
+            .step(&self.workload.optim, lr, node.model.params_mut(), grad);
+    }
+
+    /// Learning rate currently in effect for node `i`.
+    pub fn lr(&self, i: usize) -> f64 {
+        self.workload.optim.lr_at(self.nodes[i].epochs())
+    }
+
+    /// Communication time to pull one full model from `m` to `i` starting
+    /// at `now` (`N_{i,m}` of §II-B).
+    pub fn comm_time(&self, i: usize, m: usize, now: f64) -> f64 {
+        self.network
+            .comm_time(m, i, self.workload.profile.param_bytes(), now)
+    }
+
+    /// Snapshot of node `m`'s parameters (the pulled `x_m`).
+    pub fn pull_params(&self, m: usize) -> Vec<f32> {
+        self.nodes[m].model.params().to_vec()
+    }
+
+    /// Mean fractional epoch across nodes (the paper's per-epoch x-axes
+    /// average over workers with unequal shard sizes).
+    pub fn mean_epoch(&self) -> f64 {
+        self.nodes.iter().map(NodeState::epochs).sum::<f64>() / self.nodes.len() as f64
+    }
+
+    /// Largest node clock = simulated wall-clock so far.
+    pub fn wall_clock(&self) -> f64 {
+        self.nodes.iter().map(|n| n.clock).fold(0.0, f64::max)
+    }
+
+    /// `true` once a stop condition is met.
+    pub fn should_stop(&self) -> bool {
+        self.mean_epoch() >= self.cfg.max_epochs
+            || self.wall_clock() >= self.cfg.max_wall_clock_s
+    }
+
+    /// Books the timing of one completed iteration on node `i`:
+    /// advances its clock and cost accumulators.
+    pub fn book_iteration(&mut self, i: usize, compute_s: f64, iteration_s: f64) {
+        debug_assert!(iteration_s >= compute_s - 1e-12 || iteration_s >= 0.0);
+        let node = &mut self.nodes[i];
+        node.clock += iteration_s;
+        node.comp_time_total += compute_s;
+        node.comm_exposed_total += (iteration_s - compute_s).max(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netmax_net::HomogeneousNetwork;
+
+    fn tiny_env() -> Environment {
+        let workload = Workload::convex_ridge(1);
+        let n = 4;
+        let topology = Topology::fully_connected(n);
+        let network = Box::new(HomogeneousNetwork::paper_default(n));
+        let partition = Partition::uniform(&workload.train, n, 7);
+        Environment::new(topology, network, workload, partition, TrainConfig::quick_test())
+    }
+
+    #[test]
+    fn environment_builds_replicas() {
+        let env = tiny_env();
+        assert_eq!(env.num_nodes(), 4);
+        assert_eq!(env.mean_epoch(), 0.0);
+        assert_eq!(env.wall_clock(), 0.0);
+        // Replicas start from different seeds.
+        assert_ne!(env.nodes[0].model.params(), env.nodes[1].model.params());
+    }
+
+    #[test]
+    fn gradient_step_changes_params_and_returns_compute_time() {
+        let mut env = tiny_env();
+        let before = env.nodes[0].model.params().to_vec();
+        let c = env.gradient_step(0);
+        assert!(c > 0.0);
+        assert_ne!(env.nodes[0].model.params(), before.as_slice());
+        assert_eq!(env.nodes[0].local_steps, 1);
+        assert!(env.nodes[0].epochs() > 0.0);
+    }
+
+    #[test]
+    fn booking_advances_clock_and_costs() {
+        let mut env = tiny_env();
+        env.book_iteration(0, 0.2, 0.5);
+        assert_eq!(env.nodes[0].clock, 0.5);
+        assert_eq!(env.nodes[0].comp_time_total, 0.2);
+        assert!((env.nodes[0].comm_exposed_total - 0.3).abs() < 1e-12);
+        assert_eq!(env.wall_clock(), 0.5);
+    }
+
+    #[test]
+    fn stop_on_wall_clock() {
+        let mut env = tiny_env();
+        assert!(!env.should_stop());
+        env.cfg.max_wall_clock_s = 1.0;
+        env.book_iteration(0, 0.5, 2.0);
+        assert!(env.should_stop());
+    }
+
+    #[test]
+    fn comm_time_positive_between_distinct_nodes() {
+        let env = tiny_env();
+        assert!(env.comm_time(0, 1, 0.0) > 0.0);
+        assert_eq!(env.comm_time(2, 2, 0.0), 0.0);
+    }
+}

@@ -1,0 +1,269 @@
+//! The asynchronous gossip driver.
+//!
+//! NetMax, AD-PSGD, and GoSGD share the same execution skeleton (§III-B):
+//! every worker loops { pick a peer, pull its model while computing local
+//! gradients, apply the two-step update }, entirely asynchronously. The
+//! driver implements that skeleton once over the virtual clock; the three
+//! algorithms differ only in *how peers are selected* and *how pulled
+//! parameters are merged* — the two methods of [`GossipBehavior`].
+//!
+//! Staleness is modelled faithfully: the parameters a worker merges are
+//! whatever its peer holds at the *completion* time of the pull, exactly
+//! like the freshest-parameter semantics of Algorithm 2 line 10/12.
+
+use super::environment::Environment;
+use super::recorder::{Recorder, RunReport};
+use netmax_net::EventQueue;
+
+/// A worker's choice at the start of an iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeerChoice {
+    /// Pull from neighbour `m` this iteration.
+    Peer(usize),
+    /// Self-selection (`p_{i,i}`): a gradient-only iteration with no
+    /// communication.
+    SelfStep,
+}
+
+/// Algorithm-specific hooks plugged into the gossip driver.
+pub trait GossipBehavior {
+    /// Chooses the peer node `i` communicates with this iteration
+    /// (Algorithm 2 line 9).
+    fn select_peer(&mut self, env: &mut Environment, i: usize) -> PeerChoice;
+
+    /// Merges the pulled parameters into node `i`'s replica
+    /// (Algorithm 2 lines 13–15 for NetMax; plain averaging for AD-PSGD).
+    fn merge(&mut self, env: &mut Environment, i: usize, m: usize, pulled: &[f32]);
+
+    /// Called after node `i` completes an iteration, with the realised
+    /// iteration time (drives the EMA of Algorithm 2 line 16).
+    fn on_iteration(&mut self, _env: &Environment, _i: usize, _peer: Option<usize>, _t: f64) {}
+
+    /// If `Some(Ts)`, a Network-Monitor event fires every `Ts` simulated
+    /// seconds (Algorithm 1's collection period).
+    fn monitor_period(&self) -> Option<f64> {
+        None
+    }
+
+    /// Handles a Network-Monitor firing (collect times, regenerate and
+    /// disseminate the policy).
+    fn on_monitor(&mut self, _env: &mut Environment, _now: f64) {}
+}
+
+enum Ev {
+    NodeDone { node: usize, peer: Option<usize>, compute_s: f64, iteration_s: f64 },
+    Monitor,
+}
+
+/// Runs an asynchronous gossip algorithm to completion and returns its
+/// report.
+///
+/// Workers are dispatched in completion-time order (one dispatch = one
+/// global step `k`); iteration times follow the configured
+/// [`ExecutionMode`](super::config::ExecutionMode).
+pub fn run_gossip<B: GossipBehavior>(
+    behavior: &mut B,
+    env: &mut Environment,
+    name: &str,
+) -> RunReport {
+    let n = env.num_nodes();
+    let mut rec = Recorder::new();
+    let mut queue: EventQueue<Ev> = EventQueue::new();
+
+    // Nominal per-node compute times (fixed batch size ⇒ fixed C_i).
+    let compute: Vec<f64> = (0..n)
+        .map(|i| {
+            let b = env.partition.batch_size(i, env.workload.batch_size);
+            env.workload.profile.compute_time(b)
+        })
+        .collect();
+
+    // Kick off the first iteration of every node.
+    for (i, &c) in compute.iter().enumerate() {
+        schedule_next(behavior, env, &mut queue, i, c);
+    }
+    if let Some(ts) = behavior.monitor_period() {
+        assert!(ts > 0.0, "monitor period must be positive");
+        queue.push(ts, Ev::Monitor);
+    }
+
+    while let Some((now, ev)) = queue.pop() {
+        match ev {
+            Ev::Monitor => {
+                behavior.on_monitor(env, now);
+                if let Some(ts) = behavior.monitor_period() {
+                    queue.push(now + ts, Ev::Monitor);
+                }
+            }
+            Ev::NodeDone { node, peer, compute_s, iteration_s } => {
+                // First update: local gradients (Algorithm 2 line 11).
+                let _ = env.gradient_step(node);
+                // Second update: merge the pulled model (lines 12–15).
+                if let Some(m) = peer {
+                    let pulled = env.pull_params(m);
+                    behavior.merge(env, node, m, &pulled);
+                }
+                env.book_iteration(node, compute_s, iteration_s);
+                env.global_step += 1;
+                behavior.on_iteration(env, node, peer, iteration_s);
+                rec.maybe_record(env);
+
+                if env.should_stop() {
+                    break;
+                }
+                schedule_next(behavior, env, &mut queue, node, compute_s);
+            }
+        }
+    }
+
+    rec.finish(env, name)
+}
+
+/// Starts node `i`'s next iteration: selects a peer at the node's current
+/// clock and schedules the completion event.
+fn schedule_next<B: GossipBehavior>(
+    behavior: &mut B,
+    env: &mut Environment,
+    queue: &mut EventQueue<Ev>,
+    i: usize,
+    compute_s: f64,
+) {
+    let start = env.nodes[i].clock;
+    let (peer, comm_s) = match behavior.select_peer(env, i) {
+        PeerChoice::Peer(m) => {
+            debug_assert!(
+                env.topology.is_edge(i, m),
+                "behavior selected non-neighbour {m} for node {i}"
+            );
+            (Some(m), env.comm_time(i, m, start))
+        }
+        PeerChoice::SelfStep => (None, 0.0),
+    };
+    let iteration_s = env.cfg.execution.iteration_time(compute_s, comm_s);
+    queue.push(
+        start + iteration_s,
+        Ev::NodeDone { node: i, peer, compute_s, iteration_s },
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::config::TrainConfig;
+    use netmax_ml::partition::Partition;
+    use netmax_ml::workload::Workload;
+    use netmax_net::{HomogeneousNetwork, Topology};
+    use rand::Rng;
+
+    /// Minimal AD-PSGD-like behavior for driver tests: uniform neighbour,
+    /// half-half averaging.
+    struct UniformAveraging;
+
+    impl GossipBehavior for UniformAveraging {
+        fn select_peer(&mut self, env: &mut Environment, i: usize) -> PeerChoice {
+            let nbrs = env.topology.neighbors(i);
+            let k = env.rng.gen_range(0..nbrs.len());
+            PeerChoice::Peer(nbrs[k])
+        }
+
+        fn merge(&mut self, env: &mut Environment, i: usize, _m: usize, pulled: &[f32]) {
+            netmax_ml::params::blend(0.5, env.nodes[i].model.params_mut(), pulled);
+        }
+    }
+
+    fn env(seed: u64) -> Environment {
+        let w = Workload::convex_ridge(5);
+        let part = Partition::uniform(&w.train, 4, 1);
+        let cfg = TrainConfig { seed, ..TrainConfig::quick_test() };
+        Environment::new(
+            Topology::fully_connected(4),
+            Box::new(HomogeneousNetwork::paper_default(4)),
+            w,
+            part,
+            cfg,
+        )
+    }
+
+    #[test]
+    fn driver_runs_to_epoch_target() {
+        let mut e = env(11);
+        let report = run_gossip(&mut UniformAveraging, &mut e, "uniform-avg");
+        assert!(report.epochs_completed >= e.cfg.max_epochs);
+        assert!(report.wall_clock_s > 0.0);
+        assert!(report.global_steps > 0);
+        assert!(!report.samples.is_empty());
+    }
+
+    #[test]
+    fn training_loss_decreases() {
+        let mut e = env(12);
+        let report = run_gossip(&mut UniformAveraging, &mut e, "uniform-avg");
+        let first = report.samples.first().unwrap().train_loss;
+        let last = report.final_train_loss;
+        assert!(
+            last < first * 0.8,
+            "gossip training failed to reduce loss: {first} -> {last}"
+        );
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let r1 = run_gossip(&mut UniformAveraging, &mut env(13), "a");
+        let r2 = run_gossip(&mut UniformAveraging, &mut env(13), "a");
+        assert_eq!(r1.global_steps, r2.global_steps);
+        assert_eq!(r1.wall_clock_s, r2.wall_clock_s);
+        assert_eq!(r1.final_train_loss, r2.final_train_loss);
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        // On a homogeneous network iteration *times* are seed-invariant by
+        // construction; the optimisation trajectory is not.
+        let r1 = run_gossip(&mut UniformAveraging, &mut env(1), "a");
+        let r2 = run_gossip(&mut UniformAveraging, &mut env(2), "a");
+        assert_ne!(r1.final_train_loss, r2.final_train_loss);
+    }
+
+    #[test]
+    fn monitor_hook_fires_on_schedule() {
+        struct Monitored {
+            inner: UniformAveraging,
+            fires: Vec<f64>,
+        }
+        impl GossipBehavior for Monitored {
+            fn select_peer(&mut self, env: &mut Environment, i: usize) -> PeerChoice {
+                self.inner.select_peer(env, i)
+            }
+            fn merge(&mut self, env: &mut Environment, i: usize, m: usize, pulled: &[f32]) {
+                self.inner.merge(env, i, m, pulled);
+            }
+            fn monitor_period(&self) -> Option<f64> {
+                Some(0.5)
+            }
+            fn on_monitor(&mut self, _env: &mut Environment, now: f64) {
+                self.fires.push(now);
+            }
+        }
+        let mut b = Monitored { inner: UniformAveraging, fires: Vec::new() };
+        let mut e = env(14);
+        let report = run_gossip(&mut b, &mut e, "monitored");
+        assert!(!b.fires.is_empty(), "monitor never fired");
+        // Fires at 0.5, 1.0, 1.5, ... while the run lasted.
+        for (k, t) in b.fires.iter().enumerate() {
+            assert!((t - 0.5 * (k + 1) as f64).abs() < 1e-9);
+        }
+        assert!(*b.fires.last().unwrap() <= report.wall_clock_s + 0.5);
+    }
+
+    #[test]
+    fn consensus_tightens_over_run() {
+        let mut e = env(15);
+        let report = run_gossip(&mut UniformAveraging, &mut e, "uniform-avg");
+        let first = report.samples.first().unwrap().consensus_diameter;
+        let last = report.samples.last().unwrap().consensus_diameter;
+        assert!(
+            last < first,
+            "replica disagreement should shrink: {first} -> {last}"
+        );
+    }
+}

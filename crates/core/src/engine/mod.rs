@@ -1,0 +1,100 @@
+//! The discrete-event distributed-training engine.
+//!
+//! The engine executes a training algorithm over a simulated heterogeneous
+//! network following the paper's global-step model (§IV): worker nodes own
+//! private virtual clocks, and the engine dispatches whichever worker
+//! completes its iteration first. One dispatch = one global step `k`.
+//!
+//! Layout:
+//! * [`config`] — run-level knobs ([`TrainConfig`], [`ExecutionMode`]).
+//! * [`environment`] — per-node state and the shared [`Environment`]
+//!   (models, shards, network, clocks).
+//! * [`recorder`] — metric sampling and the final [`RunReport`].
+//! * [`gossip`] — the asynchronous gossip driver shared by NetMax,
+//!   AD-PSGD, and GoSGD ([`GossipBehavior`]).
+//! * [`scenario`] — declarative experiment construction
+//!   ([`ScenarioBuilder`]).
+
+pub mod config;
+pub mod environment;
+pub mod gossip;
+pub mod recorder;
+pub mod scenario;
+
+pub use config::{ExecutionMode, TrainConfig};
+pub use environment::{Environment, NodeState};
+pub use gossip::{run_gossip, GossipBehavior, PeerChoice};
+pub use recorder::{Recorder, RunReport, Sample};
+pub use scenario::{PartitionKind, Scenario, ScenarioBuilder, TopologyKind};
+
+use serde::{Deserialize, Serialize};
+
+/// A distributed training algorithm executable by the engine.
+pub trait Algorithm {
+    /// Short identifier used in reports and figures ("netmax", "ad-psgd" …).
+    fn name(&self) -> &'static str;
+
+    /// Runs to completion (per [`TrainConfig`] stop conditions) and
+    /// returns the recorded metrics.
+    fn run(&mut self, env: &mut Environment) -> RunReport;
+}
+
+/// The algorithms evaluated in the paper, for declarative selection in
+/// harnesses and configs. Constructors live in `netmax-core` (NetMax) and
+/// `netmax-baselines` (everything else — see
+/// `netmax_baselines::algorithm_for`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AlgorithmKind {
+    /// The paper's contribution (Algorithms 1–3).
+    NetMax,
+    /// NetMax with the Network Monitor disabled (fixed uniform policy);
+    /// the "uniform" arm of the Fig. 7 ablation.
+    NetMaxUniform,
+    /// Asynchronous decentralized PSGD, Lian et al. \[11\].
+    AdPsgd,
+    /// AD-PSGD steered by a NetMax Network Monitor (§III-D / §V-H).
+    AdPsgdMonitored,
+    /// Gossip SGD with weighted push-pull averaging \[12, 17\].
+    GoSgd,
+    /// Synchronous ring-allreduce SGD \[8\].
+    AllreduceSgd,
+    /// Prague: randomized partial-allreduce groups \[14\].
+    Prague,
+    /// Synchronous parameter server.
+    PsSync,
+    /// Asynchronous parameter server.
+    PsAsync,
+    /// SAPS-PSGD: fixed initially-fast-subgraph gossip \[15\].
+    SapsPsgd,
+    /// Hop/Gaia-style staleness-bounded gossip \[3, 25\].
+    BoundedStaleness,
+}
+
+impl AlgorithmKind {
+    /// Canonical display name (matches the paper's figure legends).
+    pub fn label(self) -> &'static str {
+        match self {
+            AlgorithmKind::NetMax => "NetMax",
+            AlgorithmKind::NetMaxUniform => "NetMax-uniform",
+            AlgorithmKind::AdPsgd => "AD-PSGD",
+            AlgorithmKind::AdPsgdMonitored => "AD-PSGD+Monitor",
+            AlgorithmKind::GoSgd => "GoSGD",
+            AlgorithmKind::AllreduceSgd => "Allreduce",
+            AlgorithmKind::Prague => "Prague",
+            AlgorithmKind::PsSync => "PS-syn",
+            AlgorithmKind::PsAsync => "PS-asyn",
+            AlgorithmKind::SapsPsgd => "SAPS-PSGD",
+            AlgorithmKind::BoundedStaleness => "Bounded-staleness",
+        }
+    }
+
+    /// The four headline competitors of §V-B.
+    pub fn headline_four() -> [AlgorithmKind; 4] {
+        [
+            AlgorithmKind::Prague,
+            AlgorithmKind::AllreduceSgd,
+            AlgorithmKind::AdPsgd,
+            AlgorithmKind::NetMax,
+        ]
+    }
+}

@@ -1,0 +1,340 @@
+//! Metric recording and the final run report.
+
+use super::environment::Environment;
+use netmax_ml::metrics;
+use serde::{Deserialize, Serialize};
+
+/// One recorded point of a training run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Sample {
+    /// Simulated wall-clock seconds.
+    pub time_s: f64,
+    /// Global step `k` at which the sample was taken.
+    pub global_step: u64,
+    /// Mean fractional epoch across nodes.
+    pub epoch: f64,
+    /// Mean (subsampled) training loss across replicas.
+    pub train_loss: f64,
+    /// Maximum pairwise replica parameter distance.
+    pub consensus_diameter: f64,
+    /// Test accuracy of the replica-averaged model, when evaluated.
+    pub test_accuracy: Option<f64>,
+}
+
+/// Per-node cost accounting of one run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NodeCost {
+    /// The node's final virtual clock (s).
+    pub clock_s: f64,
+    /// Epochs the node completed over its own shard.
+    pub epochs: f64,
+    /// Total gradient-compute seconds.
+    pub comp_s: f64,
+    /// Total exposed-communication seconds.
+    pub comm_s: f64,
+}
+
+/// Full record of one training run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Algorithm identifier.
+    pub algorithm: String,
+    /// Workload name.
+    pub workload: String,
+    /// Number of worker nodes.
+    pub num_nodes: usize,
+    /// Time series of recorded samples.
+    pub samples: Vec<Sample>,
+    /// Final simulated wall-clock seconds.
+    pub wall_clock_s: f64,
+    /// Mean epochs completed.
+    pub epochs_completed: f64,
+    /// Total global steps executed.
+    pub global_steps: u64,
+    /// Final training loss (last sample).
+    pub final_train_loss: f64,
+    /// Final test accuracy of the replica-averaged model.
+    pub final_test_accuracy: f64,
+    /// Per-node clocks, epochs, and cost totals.
+    pub per_node: Vec<NodeCost>,
+}
+
+impl RunReport {
+    /// Average epoch wall time — the Fig. 5/6 bar height, computed the
+    /// way a real deployment logs it: each node's own time-per-epoch,
+    /// averaged across nodes. Nodes stuck on slow links are charged their
+    /// long epochs (a fleet-mean-epoch denominator would hide laggards).
+    pub fn epoch_time_avg_s(&self) -> f64 {
+        mean(self.per_node.iter().map(|n| safe_div(n.clock_s, n.epochs)))
+    }
+
+    /// Computation share of the average epoch time (Fig. 5/6 lower bar).
+    pub fn comp_cost_per_epoch_s(&self) -> f64 {
+        mean(self.per_node.iter().map(|n| safe_div(n.comp_s, n.epochs)))
+    }
+
+    /// Communication share of the average epoch time (Fig. 5/6 upper bar).
+    pub fn comm_cost_per_epoch_s(&self) -> f64 {
+        mean(self.per_node.iter().map(|n| safe_div(n.comm_s, n.epochs)))
+    }
+
+    /// Mean over nodes of total gradient-compute seconds.
+    pub fn comp_time_total_s(&self) -> f64 {
+        mean(self.per_node.iter().map(|n| n.comp_s))
+    }
+
+    /// Mean over nodes of total exposed-communication seconds.
+    pub fn comm_time_total_s(&self) -> f64 {
+        mean(self.per_node.iter().map(|n| n.comm_s))
+    }
+
+    /// Slowest node's epoch count — the straggler view of progress.
+    pub fn min_node_epochs(&self) -> f64 {
+        self.per_node.iter().map(|n| n.epochs).fold(f64::INFINITY, f64::min)
+    }
+
+    /// Simulated seconds to reach `loss` (first sample at or below it), if
+    /// ever reached — the paper's convergence-speedup measure.
+    pub fn time_to_loss(&self, loss: f64) -> Option<f64> {
+        self.samples
+            .iter()
+            .find(|s| s.train_loss <= loss)
+            .map(|s| s.time_s)
+    }
+
+    /// Mean epochs to reach `loss`, if ever reached.
+    pub fn epochs_to_loss(&self, loss: f64) -> Option<f64> {
+        self.samples
+            .iter()
+            .find(|s| s.train_loss <= loss)
+            .map(|s| s.epoch)
+    }
+}
+
+/// Collects samples during a run and assembles the [`RunReport`].
+pub struct Recorder {
+    samples: Vec<Sample>,
+    records_taken: usize,
+    last_recorded_step: u64,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Recorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self { samples: Vec::new(), records_taken: 0, last_recorded_step: 0 }
+    }
+
+    /// Records a sample if the configured cadence says so; call after
+    /// every global step.
+    pub fn maybe_record(&mut self, env: &Environment) {
+        let due = env.global_step == 1
+            || env.global_step - self.last_recorded_step >= env.cfg.record_every_steps;
+        if !due {
+            return;
+        }
+        self.force_record(env);
+    }
+
+    /// Records a sample unconditionally.
+    pub fn force_record(&mut self, env: &Environment) {
+        self.last_recorded_step = env.global_step;
+        let models: Vec<_> = env.nodes.iter().map(|n| n.model.clone_box()).collect();
+        let train_loss = metrics::mean_loss_across_replicas(
+            &models,
+            &env.workload.train,
+            env.cfg.loss_sample_size,
+        );
+        let consensus = metrics::consensus_diameter(&models);
+        let test_accuracy = if self.records_taken.is_multiple_of(env.cfg.test_eval_every_records) {
+            Some(evaluate_averaged(env))
+        } else {
+            None
+        };
+        self.records_taken += 1;
+        self.samples.push(Sample {
+            time_s: env.wall_clock(),
+            global_step: env.global_step,
+            epoch: env.mean_epoch(),
+            train_loss,
+            consensus_diameter: consensus,
+            test_accuracy,
+        });
+    }
+
+    /// Finalises the report (records one last sample with test accuracy).
+    pub fn finish(mut self, env: &Environment, algorithm: &str) -> RunReport {
+        // Always end with a fully evaluated sample.
+        self.records_taken = 0; // forces test eval below
+        self.force_record(env);
+        let final_acc = self
+            .samples
+            .last()
+            .and_then(|s| s.test_accuracy)
+            .unwrap_or_default();
+        let final_loss = self.samples.last().map(|s| s.train_loss).unwrap_or(f64::NAN);
+        let per_node = env
+            .nodes
+            .iter()
+            .map(|x| NodeCost {
+                clock_s: x.clock,
+                epochs: x.epochs(),
+                comp_s: x.comp_time_total,
+                comm_s: x.comm_exposed_total,
+            })
+            .collect();
+        RunReport {
+            algorithm: algorithm.to_string(),
+            workload: env.workload.name.clone(),
+            num_nodes: env.num_nodes(),
+            wall_clock_s: env.wall_clock(),
+            epochs_completed: env.mean_epoch(),
+            global_steps: env.global_step,
+            final_train_loss: final_loss,
+            final_test_accuracy: final_acc,
+            per_node,
+            samples: self.samples,
+        }
+    }
+}
+
+fn mean(it: impl Iterator<Item = f64>) -> f64 {
+    let (mut sum, mut n) = (0.0, 0usize);
+    for x in it {
+        sum += x;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+fn safe_div(a: f64, b: f64) -> f64 {
+    if b > 0.0 {
+        a / b
+    } else {
+        0.0
+    }
+}
+
+/// Test accuracy of the parameter-averaged model — the paper evaluates
+/// "the trained model"; at consensus all replicas agree, and averaging is
+/// the standard readout.
+fn evaluate_averaged(env: &Environment) -> f64 {
+    let mut avg = env.nodes[0].model.clone_box();
+    let n = env.num_nodes() as f32;
+    let dim = avg.num_params();
+    let mut acc = vec![0.0f32; dim];
+    for node in &env.nodes {
+        for (a, p) in acc.iter_mut().zip(node.model.params()) {
+            *a += p / n;
+        }
+    }
+    avg.params_mut().copy_from_slice(&acc);
+    metrics::accuracy(avg.as_ref(), &env.workload.test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::config::TrainConfig;
+    use netmax_ml::partition::Partition;
+    use netmax_ml::workload::Workload;
+    use netmax_net::{HomogeneousNetwork, Topology};
+
+    fn env() -> Environment {
+        let w = Workload::convex_ridge(3);
+        let part = Partition::uniform(&w.train, 3, 0);
+        Environment::new(
+            Topology::fully_connected(3),
+            Box::new(HomogeneousNetwork::paper_default(3)),
+            w,
+            part,
+            TrainConfig::quick_test(),
+        )
+    }
+
+    #[test]
+    fn records_on_cadence() {
+        let mut e = env();
+        let mut rec = Recorder::new();
+        for step in 1..=45u64 {
+            e.global_step = step;
+            rec.maybe_record(&e);
+        }
+        // Step 1 and steps 21, 41 (cadence 20).
+        assert_eq!(rec.samples.len(), 3);
+    }
+
+    #[test]
+    fn finish_produces_complete_report() {
+        let mut e = env();
+        e.global_step = 1;
+        e.book_iteration(0, 0.1, 0.3);
+        let rec = Recorder::new();
+        let report = rec.finish(&e, "test-algo");
+        assert_eq!(report.algorithm, "test-algo");
+        assert_eq!(report.num_nodes, 3);
+        assert_eq!(report.samples.len(), 1);
+        assert!(report.final_test_accuracy >= 0.0);
+        assert!(report.final_train_loss.is_finite());
+        assert!(report.comp_time_total_s() > 0.0);
+    }
+
+    #[test]
+    fn epoch_time_breakdown_adds_up() {
+        let r = RunReport {
+            algorithm: "x".into(),
+            workload: "w".into(),
+            num_nodes: 2,
+            samples: vec![],
+            wall_clock_s: 100.0,
+            epochs_completed: 10.0,
+            global_steps: 1000,
+            final_train_loss: 0.1,
+            final_test_accuracy: 0.9,
+            per_node: vec![
+                NodeCost { clock_s: 100.0, epochs: 10.0, comp_s: 40.0, comm_s: 60.0 },
+                NodeCost { clock_s: 100.0, epochs: 5.0, comp_s: 40.0, comm_s: 60.0 },
+            ],
+        };
+        // Node 1: 10 s/epoch; node 2: 20 s/epoch; per-node average 15.
+        assert!((r.epoch_time_avg_s() - 15.0).abs() < 1e-12);
+        assert!((r.comp_cost_per_epoch_s() - 6.0).abs() < 1e-12);
+        assert!((r.comm_cost_per_epoch_s() - 9.0).abs() < 1e-12);
+        assert_eq!(r.min_node_epochs(), 5.0);
+    }
+
+    #[test]
+    fn time_to_loss_lookup() {
+        let mk = |t: f64, l: f64| Sample {
+            time_s: t,
+            global_step: 0,
+            epoch: 0.0,
+            train_loss: l,
+            consensus_diameter: 0.0,
+            test_accuracy: None,
+        };
+        let r = RunReport {
+            algorithm: "x".into(),
+            workload: "w".into(),
+            num_nodes: 1,
+            samples: vec![mk(1.0, 2.0), mk(2.0, 1.0), mk(3.0, 0.5)],
+            wall_clock_s: 3.0,
+            epochs_completed: 1.0,
+            global_steps: 3,
+            final_train_loss: 0.5,
+            final_test_accuracy: 0.0,
+            per_node: vec![],
+        };
+        assert_eq!(r.time_to_loss(1.0), Some(2.0));
+        assert_eq!(r.time_to_loss(0.1), None);
+    }
+}

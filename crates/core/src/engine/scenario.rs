@@ -1,0 +1,413 @@
+//! Declarative experiment construction.
+//!
+//! A [`Scenario`] captures everything that defines one of the paper's
+//! experiments — worker count, network regime, workload, data partitioning,
+//! seed — and builds a fresh [`Environment`] per run so different
+//! algorithms can be compared on byte-identical initial conditions.
+
+use super::config::TrainConfig;
+use super::environment::Environment;
+use super::recorder::RunReport;
+use super::Algorithm;
+use netmax_ml::partition::Partition;
+use netmax_ml::workload::Workload;
+use netmax_net::{
+    HeterogeneousDynamicNetwork, HomogeneousNetwork, Network, NetworkKind, SlowdownConfig,
+    Topology, WanNetwork,
+};
+use serde::{Deserialize, Serialize};
+
+/// Which communication graph shape connects the workers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TopologyKind {
+    /// Complete graph (the paper's default; Appendix B assumes it).
+    FullyConnected,
+    /// Ring graph.
+    Ring,
+    /// 2-D torus (`rows × cols` must equal the worker count).
+    Torus {
+        /// Grid rows.
+        rows: usize,
+        /// Grid columns.
+        cols: usize,
+    },
+    /// Random connected graph with extra-edge probability `p`.
+    Random {
+        /// Probability of each non-tree edge.
+        p: f64,
+    },
+}
+
+/// Which data partitioning scheme to apply (§V-A vs §V-F).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PartitionKind {
+    /// Even split (§V-B–E).
+    Uniform,
+    /// Segmented non-uniform split with explicit per-node segment counts.
+    Segments(Vec<usize>),
+    /// The paper's 8-node ⟨1,1,1,1,2,1,2,1⟩ pattern.
+    Paper8Segments,
+    /// The paper's 16-node pattern.
+    Paper16Segments,
+    /// Non-IID label removal with explicit lost labels per node.
+    LabelSkew(Vec<Vec<u32>>),
+    /// Table IV (8-node MNIST).
+    PaperTable4,
+    /// Table VII (6-region cross-cloud).
+    PaperTable7,
+}
+
+/// A fully specified experiment.
+#[derive(Clone)]
+pub struct Scenario {
+    workers: usize,
+    servers: usize,
+    network: NetworkKind,
+    workload: Workload,
+    partition: PartitionKind,
+    cfg: TrainConfig,
+    slowdown: SlowdownConfig,
+    topology: TopologyKind,
+}
+
+/// Builder for [`Scenario`].
+pub struct ScenarioBuilder {
+    workers: usize,
+    servers: Option<usize>,
+    network: NetworkKind,
+    workload: Option<Workload>,
+    partition: PartitionKind,
+    cfg: TrainConfig,
+    slowdown: SlowdownConfig,
+    topology: TopologyKind,
+}
+
+impl Default for ScenarioBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ScenarioBuilder {
+    /// Starts a builder with the paper's defaults (8 workers,
+    /// heterogeneous dynamic network, uniform partitioning).
+    pub fn new() -> Self {
+        Self {
+            workers: 8,
+            servers: None,
+            network: NetworkKind::HeterogeneousDynamic,
+            workload: None,
+            partition: PartitionKind::Uniform,
+            cfg: TrainConfig::default(),
+            slowdown: SlowdownConfig::default(),
+            topology: TopologyKind::FullyConnected,
+        }
+    }
+
+    /// Selects the communication graph shape (default: fully connected).
+    pub fn topology(mut self, t: TopologyKind) -> Self {
+        self.topology = t;
+        self
+    }
+
+    /// Overrides the slow-link regime (factor range and change period) of
+    /// the heterogeneous network kinds.
+    pub fn slowdown(mut self, sd: SlowdownConfig) -> Self {
+        self.slowdown = sd;
+        self
+    }
+
+    /// Sets the number of worker nodes.
+    pub fn workers(mut self, n: usize) -> Self {
+        assert!(n >= 2, "need at least two workers");
+        self.workers = n;
+        self
+    }
+
+    /// Overrides the number of physical servers (defaults to the paper's
+    /// mapping: 4 workers → 2 servers, 8 → 3, 16 → 4).
+    pub fn servers(mut self, s: usize) -> Self {
+        assert!(s >= 1);
+        self.servers = Some(s);
+        self
+    }
+
+    /// Selects the network regime.
+    pub fn network(mut self, kind: NetworkKind) -> Self {
+        self.network = kind;
+        self
+    }
+
+    /// Sets the workload.
+    pub fn workload(mut self, w: Workload) -> Self {
+        self.workload = Some(w);
+        self
+    }
+
+    /// Convenience: override the timing profile of the workload.
+    pub fn profile(mut self, p: netmax_ml::profile::ModelProfile) -> Self {
+        if let Some(w) = self.workload.as_mut() {
+            w.profile = p;
+        } else {
+            panic!("set a workload before overriding its profile");
+        }
+        self
+    }
+
+    /// Selects the data partitioning scheme.
+    pub fn partition(mut self, p: PartitionKind) -> Self {
+        self.partition = p;
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Overrides the stop/recording configuration.
+    pub fn train_config(mut self, cfg: TrainConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Caps the run at `epochs` mean epochs.
+    pub fn max_epochs(mut self, epochs: f64) -> Self {
+        self.cfg.max_epochs = epochs;
+        self
+    }
+
+    /// Finalises the scenario.
+    ///
+    /// # Panics
+    /// Panics if no workload was provided.
+    pub fn build(self) -> Scenario {
+        let workload = self.workload.expect("scenario needs a workload");
+        let servers = self.servers.unwrap_or(match self.workers {
+            0..=4 => 2,
+            5..=8 => 3,
+            _ => 4,
+        });
+        Scenario {
+            workers: self.workers,
+            servers,
+            network: self.network,
+            workload,
+            partition: self.partition,
+            cfg: self.cfg,
+            slowdown: self.slowdown,
+            topology: self.topology,
+        }
+    }
+}
+
+impl Scenario {
+    /// Starts a builder.
+    pub fn builder() -> ScenarioBuilder {
+        ScenarioBuilder::new()
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The training config (mutable for harness tweaks).
+    pub fn cfg_mut(&mut self) -> &mut TrainConfig {
+        &mut self.cfg
+    }
+
+    /// The workload.
+    pub fn workload(&self) -> &Workload {
+        &self.workload
+    }
+
+    /// Builds a fresh environment for one run. Identical scenarios build
+    /// byte-identical environments.
+    pub fn build_env(&self) -> Environment {
+        let n = self.workers;
+        let topology = match &self.topology {
+            TopologyKind::FullyConnected => Topology::fully_connected(n),
+            TopologyKind::Ring => Topology::ring(n),
+            TopologyKind::Torus { rows, cols } => {
+                assert_eq!(rows * cols, n, "torus dimensions must cover the worker count");
+                Topology::torus(*rows, *cols)
+            }
+            TopologyKind::Random { p } => Topology::random_connected(n, *p, self.cfg.seed),
+        };
+        let network: Box<dyn Network> = match self.network {
+            NetworkKind::Homogeneous => Box::new(HomogeneousNetwork::paper_default(n)),
+            NetworkKind::HeterogeneousDynamic => {
+                let spec = netmax_net::ClusterSpec::paper_default(per_server_counts(
+                    n,
+                    self.servers,
+                ));
+                Box::new(HeterogeneousDynamicNetwork::new(spec, self.slowdown, self.cfg.seed))
+            }
+            NetworkKind::HeterogeneousStatic => {
+                let spec = netmax_net::ClusterSpec::paper_default(per_server_counts(
+                    n,
+                    self.servers,
+                ));
+                let sd = SlowdownConfig { dynamic: false, ..self.slowdown };
+                Box::new(HeterogeneousDynamicNetwork::new(spec, sd, self.cfg.seed))
+            }
+            NetworkKind::Wan => {
+                let regions = (0..n).map(|i| i % 6).collect();
+                Box::new(WanNetwork::new(regions))
+            }
+        };
+        let partition = match &self.partition {
+            PartitionKind::Uniform => {
+                Partition::uniform(&self.workload.train, n, self.cfg.seed)
+            }
+            PartitionKind::Segments(segs) => {
+                assert_eq!(segs.len(), n, "segment list must match worker count");
+                Partition::segmented(&self.workload.train, segs, self.cfg.seed)
+            }
+            PartitionKind::Paper8Segments => {
+                assert_eq!(n, 8, "Paper8Segments requires 8 workers");
+                Partition::paper_8node_segments(&self.workload.train, self.cfg.seed)
+            }
+            PartitionKind::Paper16Segments => {
+                assert_eq!(n, 16, "Paper16Segments requires 16 workers");
+                Partition::paper_16node_segments(&self.workload.train, self.cfg.seed)
+            }
+            PartitionKind::LabelSkew(lost) => {
+                assert_eq!(lost.len(), n, "lost-label list must match worker count");
+                Partition::label_skew(&self.workload.train, lost)
+            }
+            PartitionKind::PaperTable4 => {
+                assert_eq!(n, 8, "Table IV requires 8 workers");
+                Partition::paper_table4(&self.workload.train)
+            }
+            PartitionKind::PaperTable7 => {
+                assert_eq!(n, 6, "Table VII requires 6 workers");
+                Partition::paper_table7(&self.workload.train)
+            }
+        };
+        Environment::new(topology, network, self.workload.clone(), partition, self.cfg.clone())
+    }
+
+    /// Builds an environment and runs `algorithm` on it.
+    pub fn run_with(&self, algorithm: &mut dyn Algorithm) -> RunReport {
+        let mut env = self.build_env();
+        algorithm.run(&mut env)
+    }
+}
+
+fn per_server_counts(n: usize, servers: usize) -> Vec<usize> {
+    let per = n.div_ceil(servers);
+    let mut counts = vec![per; servers];
+    let excess = per * servers - n;
+    for c in counts.iter_mut().take(excess) {
+        *c -= 1;
+    }
+    counts.retain(|&c| c > 0);
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_and_env() {
+        let sc = Scenario::builder()
+            .workers(4)
+            .workload(Workload::convex_ridge(1))
+            .max_epochs(1.0)
+            .seed(9)
+            .build();
+        let env = sc.build_env();
+        assert_eq!(env.num_nodes(), 4);
+        assert!(env.topology.is_connected());
+    }
+
+    #[test]
+    fn identical_scenarios_build_identical_envs() {
+        let mk = || {
+            Scenario::builder()
+                .workers(4)
+                .workload(Workload::convex_ridge(2))
+                .seed(5)
+                .build()
+                .build_env()
+        };
+        let a = mk();
+        let b = mk();
+        for i in 0..4 {
+            assert_eq!(a.nodes[i].model.params(), b.nodes[i].model.params());
+            assert_eq!(a.partition.node(i), b.partition.node(i));
+        }
+    }
+
+    #[test]
+    fn network_kinds_build() {
+        for kind in [
+            NetworkKind::Homogeneous,
+            NetworkKind::HeterogeneousDynamic,
+            NetworkKind::HeterogeneousStatic,
+            NetworkKind::Wan,
+        ] {
+            let sc = Scenario::builder()
+                .workers(6)
+                .network(kind)
+                .workload(Workload::convex_ridge(1))
+                .build();
+            let env = sc.build_env();
+            assert!(env.comm_time(0, 1, 0.0) > 0.0, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn paper_partitions_validate_worker_counts() {
+        let sc = Scenario::builder()
+            .workers(8)
+            .workload(Workload::mobilenet_mnist(1))
+            .partition(PartitionKind::PaperTable4)
+            .build();
+        let env = sc.build_env();
+        assert_eq!(env.partition.num_nodes(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "Table IV requires 8 workers")]
+    fn table4_wrong_worker_count_panics() {
+        let sc = Scenario::builder()
+            .workers(4)
+            .workload(Workload::mobilenet_mnist(1))
+            .partition(PartitionKind::PaperTable4)
+            .build();
+        let _ = sc.build_env();
+    }
+
+    #[test]
+    fn sparse_topologies_build_and_train() {
+        for kind in [
+            TopologyKind::Ring,
+            TopologyKind::Torus { rows: 2, cols: 3 },
+            TopologyKind::Random { p: 0.3 },
+        ] {
+            let sc = Scenario::builder()
+                .workers(6)
+                .topology(kind.clone())
+                .workload(Workload::convex_ridge(1))
+                .max_epochs(1.0)
+                .seed(4)
+                .build();
+            let env = sc.build_env();
+            assert!(env.topology.is_connected(), "{kind:?}");
+            assert!(env.topology.num_edges() <= 15, "{kind:?} should be sparser than K6");
+        }
+    }
+
+    #[test]
+    fn per_server_counts_cover_all_workers() {
+        assert_eq!(per_server_counts(8, 3), vec![2, 3, 3]);
+        assert_eq!(per_server_counts(4, 2), vec![2, 2]);
+        assert_eq!(per_server_counts(16, 4), vec![4, 4, 4, 4]);
+        assert_eq!(per_server_counts(8, 3).iter().sum::<usize>(), 8);
+    }
+}

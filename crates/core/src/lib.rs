@@ -1,0 +1,43 @@
+//! # netmax-core
+//!
+//! The primary contribution of the paper, implemented in full:
+//!
+//! * [`gossip_matrix`] — construction of the expected gossip matrix
+//!   `Y_P = E[(D^k)^T D^k]` from a communication policy (Eq. 19–22) and
+//!   the convergence-bound arithmetic of Theorems 1–2.
+//! * [`policy`] — the communication-policy generation of Algorithm 3: the
+//!   nested (ρ, t̄) search, the LP of Eq. (14) solved with `netmax-lp`,
+//!   and λ₂ evaluation with `netmax-linalg`.
+//! * [`monitor`] — the Network Monitor of Algorithm 1: periodic iteration-
+//!   time collection and policy dissemination.
+//! * [`netmax`] — the consensus SGD worker algorithm of Algorithm 2: the
+//!   two-step update, probabilistic neighbour selection, and EMA
+//!   iteration-time tracking.
+//! * [`engine`] — the discrete-event training engine that executes NetMax
+//!   and the baselines over a simulated network, with full metric
+//!   recording (loss/accuracy/consensus/time breakdowns).
+//! * [`diagnostics`] — policy audits: predicted speedup over uniform
+//!   selection, mixing rate, and the spectral bottleneck cut.
+//!
+//! The engine follows the paper's own execution model (§IV): worker nodes
+//! iterate asynchronously, and at every *global step* exactly one worker
+//! completes an iteration. The engine dispatches workers in completion-time
+//! order on a virtual clock, so asynchrony, staleness, and heterogeneous
+//! link speeds are all captured while runs remain fully deterministic.
+
+pub mod diagnostics;
+pub mod engine;
+pub mod gossip_matrix;
+pub mod monitor;
+pub mod netmax;
+pub mod policy;
+
+pub use diagnostics::{audit_policy, PolicyAudit};
+pub use engine::{
+    Algorithm, AlgorithmKind, Environment, ExecutionMode, Recorder, RunReport, Sample, Scenario,
+    ScenarioBuilder, TrainConfig,
+};
+pub use gossip_matrix::{build_y, convergence_bound, node_probabilities};
+pub use monitor::{MonitorConfig, NetworkMonitor};
+pub use netmax::{MergeWeighting, NetMax, NetMaxConfig};
+pub use policy::{PolicyGenerator, PolicyResult, PolicySearchConfig};

@@ -1,0 +1,294 @@
+//! The Network Monitor — Algorithm 1.
+//!
+//! The monitor is the only centralised component of NetMax, and it is
+//! deliberately *not* a parameter server: "it only collects a small amount
+//! of time-related statistics for evaluating the network condition"
+//! (§III-A). Every period `Ts` it gathers the workers' EMA iteration-time
+//! vectors into the matrix `[t_{i,m}]`, runs the policy generator
+//! (Algorithm 3), and disseminates the resulting `(P, ρ)`.
+//!
+//! [`EmaTimeTracker`] implements the worker-side `UPDATETIMEVECTOR`
+//! procedure (Algorithm 2 lines 19–22): an exponential moving average per
+//! (node, neighbour) pair whose smoothing factor β trades recency against
+//! stability.
+
+use crate::policy::{PolicyGenerator, PolicyResult, PolicySearchConfig};
+use netmax_linalg::Matrix;
+use netmax_net::Topology;
+use serde::{Deserialize, Serialize};
+
+/// Worker-side EMA iteration-time state for the whole fleet (the
+/// simulation keeps all workers' vectors in one place; on a real
+/// deployment each row lives on its worker).
+#[derive(Debug, Clone)]
+pub struct EmaTimeTracker {
+    times: Matrix,
+    observed: Vec<bool>,
+    beta: f64,
+    n: usize,
+}
+
+impl EmaTimeTracker {
+    /// Creates a tracker for `n` workers with smoothing factor `beta`
+    /// (`T[m] ← β·T[m] + (1−β)·t`; smaller β forgets faster).
+    pub fn new(n: usize, beta: f64) -> Self {
+        assert!((0.0..1.0).contains(&beta), "β must be in [0, 1)");
+        Self { times: Matrix::zeros(n, n), observed: vec![false; n * n], beta, n }
+    }
+
+    /// Records a completed iteration of worker `i` with neighbour `m`
+    /// taking `t` seconds (Algorithm 2 line 16 / lines 19–22).
+    pub fn record(&mut self, i: usize, m: usize, t: f64) {
+        assert!(i < self.n && m < self.n && i != m, "bad record indices");
+        assert!(t.is_finite() && t >= 0.0, "bad iteration time");
+        let idx = i * self.n + m;
+        if self.observed[idx] {
+            self.times[(i, m)] = self.beta * self.times[(i, m)] + (1.0 - self.beta) * t;
+        } else {
+            self.times[(i, m)] = t;
+            self.observed[idx] = true;
+        }
+    }
+
+    /// Current EMA estimate for the pair, if any observation exists.
+    pub fn get(&self, i: usize, m: usize) -> Option<f64> {
+        if self.observed[i * self.n + m] {
+            Some(self.times[(i, m)])
+        } else {
+            None
+        }
+    }
+
+    /// Assembles the full iteration-time matrix for the policy generator,
+    /// filling never-observed neighbour pairs with the worst time observed
+    /// anywhere (a pessimistic prior keeps the LP from over-committing to
+    /// links nobody has measured); pairs observed in one direction borrow
+    /// the reverse direction's estimate first.
+    pub fn matrix_for(&self, topo: &Topology) -> Matrix {
+        let n = self.n;
+        let worst = (0..n * n)
+            .filter(|&k| self.observed[k])
+            .map(|k| self.times[(k / n, k % n)])
+            .fold(0.0f64, f64::max);
+        let fallback = if worst > 0.0 { worst } else { 1.0 };
+        let mut out = Matrix::zeros(n, n);
+        for i in 0..n {
+            for m in 0..n {
+                if i == m || !topo.is_edge(i, m) {
+                    continue;
+                }
+                out[(i, m)] = self
+                    .get(i, m)
+                    .or_else(|| self.get(m, i))
+                    .unwrap_or(fallback);
+            }
+        }
+        out
+    }
+
+    /// Fraction of (ordered, adjacent) pairs with at least one observation.
+    pub fn coverage(&self, topo: &Topology) -> f64 {
+        let mut seen = 0usize;
+        let mut total = 0usize;
+        for i in 0..self.n {
+            for m in 0..self.n {
+                if i != m && topo.is_edge(i, m) {
+                    total += 1;
+                    if self.observed[i * self.n + m] {
+                        seen += 1;
+                    }
+                }
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            seen as f64 / total as f64
+        }
+    }
+}
+
+/// Monitor configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MonitorConfig {
+    /// Collection/scheduling period `Ts` in simulated seconds (paper: the
+    /// policy is recomputed every 2 minutes).
+    pub period_s: f64,
+    /// EMA smoothing factor β for the worker-side trackers.
+    pub beta: f64,
+    /// Policy search resolution.
+    pub search: PolicySearchConfig,
+}
+
+impl MonitorConfig {
+    /// Paper defaults: Ts = 120 s, β = 0.5, K = R = 10.
+    pub fn paper_default(alpha: f64) -> Self {
+        Self { period_s: 120.0, beta: 0.5, search: PolicySearchConfig::new(alpha) }
+    }
+}
+
+/// The Network Monitor: wraps the policy generator with collection logic.
+#[derive(Debug, Clone)]
+pub struct NetworkMonitor {
+    cfg: MonitorConfig,
+    rounds: u64,
+    last: Option<PolicyResult>,
+}
+
+impl NetworkMonitor {
+    /// Creates a monitor.
+    pub fn new(cfg: MonitorConfig) -> Self {
+        Self { cfg, rounds: 0, last: None }
+    }
+
+    /// The configured period `Ts`.
+    pub fn period_s(&self) -> f64 {
+        self.cfg.period_s
+    }
+
+    /// The configured EMA β.
+    pub fn beta(&self) -> f64 {
+        self.cfg.beta
+    }
+
+    /// Number of completed monitor rounds.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// The most recent successful policy, if any.
+    pub fn last_policy(&self) -> Option<&PolicyResult> {
+        self.last.as_ref()
+    }
+
+    /// One monitor round (Algorithm 1 lines 3–6): collect the time matrix
+    /// from the tracker, regenerate the policy at the given current
+    /// learning rate α, and return the new `(P, ρ)` for dissemination.
+    ///
+    /// Returns `None` (keeping the previous policy) when coverage is too
+    /// poor or the search finds no feasible candidate.
+    pub fn round(
+        &mut self,
+        tracker: &EmaTimeTracker,
+        topo: &Topology,
+        current_alpha: f64,
+    ) -> Option<PolicyResult> {
+        self.rounds += 1;
+        // Until workers have touched a reasonable share of their links the
+        // pessimistic fill dominates and the LP would chase noise.
+        if tracker.coverage(topo) < 0.5 {
+            return None;
+        }
+        let times = tracker.matrix_for(topo);
+        let search = PolicySearchConfig { alpha: current_alpha, ..self.cfg.search.clone() };
+        let result = PolicyGenerator::new(search).generate(&times, topo)?;
+        self.last = Some(result.clone());
+        Some(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ema_first_observation_is_exact() {
+        let mut t = EmaTimeTracker::new(3, 0.5);
+        assert_eq!(t.get(0, 1), None);
+        t.record(0, 1, 2.0);
+        assert_eq!(t.get(0, 1), Some(2.0));
+    }
+
+    #[test]
+    fn ema_smooths_subsequent_observations() {
+        let mut t = EmaTimeTracker::new(3, 0.5);
+        t.record(0, 1, 2.0);
+        t.record(0, 1, 4.0);
+        // 0.5·2 + 0.5·4 = 3.
+        assert_eq!(t.get(0, 1), Some(3.0));
+    }
+
+    #[test]
+    fn low_beta_tracks_changes_faster() {
+        let run = |beta: f64| {
+            let mut t = EmaTimeTracker::new(2, beta);
+            t.record(0, 1, 1.0);
+            for _ in 0..5 {
+                t.record(0, 1, 10.0);
+            }
+            t.get(0, 1).unwrap()
+        };
+        assert!(run(0.2) > run(0.9) - 9.0); // sanity
+        assert!((run(0.2) - 10.0).abs() < (run(0.9) - 10.0).abs());
+    }
+
+    #[test]
+    fn matrix_fills_unobserved_pessimistically() {
+        let topo = Topology::fully_connected(3);
+        let mut t = EmaTimeTracker::new(3, 0.5);
+        t.record(0, 1, 1.0);
+        t.record(0, 2, 5.0);
+        let m = t.matrix_for(&topo);
+        assert_eq!(m[(0, 1)], 1.0);
+        // (1, 0) borrows the reverse direction.
+        assert_eq!(m[(1, 0)], 1.0);
+        // (1, 2) never observed in either direction → worst observed (5.0).
+        assert_eq!(m[(1, 2)], 5.0);
+        assert_eq!(m[(1, 1)], 0.0);
+    }
+
+    #[test]
+    fn coverage_counts_ordered_pairs() {
+        let topo = Topology::fully_connected(3);
+        let mut t = EmaTimeTracker::new(3, 0.5);
+        assert_eq!(t.coverage(&topo), 0.0);
+        t.record(0, 1, 1.0);
+        assert!((t.coverage(&topo) - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monitor_skips_round_on_poor_coverage() {
+        let topo = Topology::fully_connected(4);
+        let tracker = EmaTimeTracker::new(4, 0.5);
+        let mut mon = NetworkMonitor::new(MonitorConfig::paper_default(0.1));
+        assert!(mon.round(&tracker, &topo, 0.1).is_none());
+        assert_eq!(mon.rounds(), 1);
+    }
+
+    #[test]
+    fn monitor_generates_policy_with_coverage() {
+        // Two-server cluster shape: {0,1,2} and {3,4,5} are fast triads,
+        // the nine cross links are slow. Every node then has fast options
+        // and the optimised policy must favour them (slow links sit at or
+        // near their Eq. 11 floor; fast links get the surplus mass).
+        let topo = Topology::fully_connected(6);
+        let mut tracker = EmaTimeTracker::new(6, 0.5);
+        let fast = |i: usize, m: usize| (i / 3) == (m / 3);
+        for i in 0..6 {
+            for m in 0..6 {
+                if i != m {
+                    tracker.record(i, m, if fast(i, m) { 0.1 } else { 1.0 });
+                }
+            }
+        }
+        let mut mon = NetworkMonitor::new(MonitorConfig::paper_default(0.1));
+        let res = mon.round(&tracker, &topo, 0.1).expect("policy expected");
+        // Aggregate preference per node (simplex optima are vertices, so
+        // per-link comparisons are not meaningful).
+        for i in 0..6 {
+            let (mut fast_sum, mut slow_sum) = (0.0, 0.0);
+            for m in 0..6 {
+                if i == m {
+                    continue;
+                }
+                if fast(i, m) {
+                    fast_sum += res.policy[(i, m)];
+                } else {
+                    slow_sum += res.policy[(i, m)];
+                }
+            }
+            assert!(fast_sum / 2.0 > slow_sum / 3.0, "node {i}: {:?}", res.policy);
+        }
+        assert!(mon.last_policy().is_some());
+    }
+}

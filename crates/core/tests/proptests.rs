@@ -1,0 +1,133 @@
+//! Property-based tests for the NetMax core: policy feasibility over
+//! random heterogeneous time matrices, Y_P structure for random feasible
+//! policies, and EMA tracker behaviour.
+
+use netmax_core::gossip_matrix::{build_y, node_probabilities};
+use netmax_core::monitor::EmaTimeTracker;
+use netmax_core::policy::{PolicyGenerator, PolicySearchConfig};
+use netmax_linalg::{
+    is_doubly_stochastic, is_irreducible, is_nonnegative, is_symmetric,
+    second_largest_eigenvalue, Matrix,
+};
+use netmax_net::Topology;
+use proptest::prelude::*;
+
+/// Strategy: a random symmetric iteration-time matrix over `m` nodes with
+/// entries in [0.05, 5.0].
+fn time_matrix(m: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(0.05f64..5.0, m * (m - 1) / 2).prop_map(move |vals| {
+        let mut t = Matrix::zeros(m, m);
+        let mut it = vals.into_iter();
+        for i in 0..m {
+            for j in (i + 1)..m {
+                let v = it.next().unwrap();
+                t[(i, j)] = v;
+                t[(j, i)] = v;
+            }
+        }
+        t
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For *any* heterogeneous time matrix, the generated policy (when one
+    /// exists) is row-stochastic, respects the Eq. 11 floors, equalises
+    /// row expected times (Eq. 10), and yields a doubly stochastic,
+    /// irreducible Y_P with λ₂ < 1 — the full Theorem-3 pipeline.
+    #[test]
+    fn generated_policy_always_feasible(times in time_matrix(5)) {
+        let m = 5;
+        let topo = Topology::fully_connected(m);
+        let alpha = 0.1;
+        let gen = PolicyGenerator::new(PolicySearchConfig::new(alpha));
+        let Some(res) = gen.generate(&times, &topo) else {
+            // Legitimate for extreme matrices; nothing further to check.
+            return Ok(());
+        };
+        let p = &res.policy;
+
+        // Row stochasticity + floors.
+        for i in 0..m {
+            prop_assert!((p.row_sum(i) - 1.0).abs() < 1e-7);
+            for j in 0..m {
+                if i != j {
+                    prop_assert!(
+                        p[(i, j)] >= 2.0 * alpha * res.rho - 1e-7,
+                        "floor violated at ({i},{j}): {} < {}",
+                        p[(i, j)], 2.0 * alpha * res.rho
+                    );
+                }
+            }
+        }
+
+        // Eq. 10: equal expected row times.
+        let row_time = |i: usize| -> f64 {
+            (0..m).filter(|&j| j != i).map(|j| times[(i, j)] * p[(i, j)]).sum()
+        };
+        let t0 = row_time(0);
+        for i in 1..m {
+            prop_assert!((row_time(i) - t0).abs() < 1e-5, "row {i} time {} vs {t0}", row_time(i));
+        }
+
+        // Y_P structure.
+        let p_node = vec![1.0 / m as f64; m];
+        let y = build_y(p, &topo, &p_node, alpha, res.rho);
+        prop_assert!(is_symmetric(&y, 1e-8));
+        prop_assert!(is_nonnegative(&y, 1e-9));
+        prop_assert!(is_doubly_stochastic(&y, 1e-6));
+        prop_assert!(is_irreducible(&y, 1e-12));
+        let l2 = second_largest_eigenvalue(&y);
+        prop_assert!(l2 < 1.0 && l2 > 0.0);
+        prop_assert!((l2 - res.lambda2).abs() < 1e-9);
+    }
+
+    /// Node firing probabilities (Eq. 3) always form a distribution and
+    /// are uniform exactly when row expected times are equal.
+    #[test]
+    fn node_probabilities_form_distribution(times in time_matrix(4)) {
+        let m = 4;
+        let topo = Topology::fully_connected(m);
+        // Uniform policy over neighbours.
+        let mut p = Matrix::zeros(m, m);
+        for i in 0..m {
+            for j in 0..m {
+                if i != j {
+                    p[(i, j)] = 1.0 / (m as f64 - 1.0);
+                }
+            }
+        }
+        let probs = node_probabilities(&times, &p, &topo);
+        let sum: f64 = probs.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        prop_assert!(probs.iter().all(|&x| x > 0.0));
+    }
+
+    /// The EMA tracker's estimate always lies within the min/max of the
+    /// observations it has seen (a convex-combination invariant).
+    #[test]
+    fn ema_stays_within_observed_range(
+        beta in 0.0f64..0.99,
+        obs in proptest::collection::vec(0.01f64..100.0, 1..30),
+    ) {
+        let mut t = EmaTimeTracker::new(2, beta);
+        for &o in &obs {
+            t.record(0, 1, o);
+        }
+        let est = t.get(0, 1).unwrap();
+        let lo = obs.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = obs.iter().copied().fold(0.0f64, f64::max);
+        prop_assert!(est >= lo - 1e-9 && est <= hi + 1e-9, "{est} outside [{lo}, {hi}]");
+    }
+
+    /// With β = 0 the tracker reports exactly the latest observation.
+    #[test]
+    fn beta_zero_tracks_latest(obs in proptest::collection::vec(0.01f64..100.0, 1..20)) {
+        let mut t = EmaTimeTracker::new(2, 0.0);
+        for &o in &obs {
+            t.record(0, 1, o);
+        }
+        prop_assert!((t.get(0, 1).unwrap() - obs.last().unwrap()).abs() < 1e-12);
+    }
+}

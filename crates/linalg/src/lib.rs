@@ -1,0 +1,39 @@
+//! # netmax-linalg
+//!
+//! Dense linear algebra substrate for the NetMax reproduction.
+//!
+//! The NetMax communication-policy search (Algorithm 3 of the paper) needs,
+//! for every candidate policy matrix `P`, the **second largest eigenvalue**
+//! λ₂ of the symmetric doubly-stochastic matrix
+//! `Y_P = E[(D^k)^T D^k]` (Eq. 20–22). This crate provides:
+//!
+//! * [`Matrix`] — a small, dependency-free dense row-major `f64` matrix with
+//!   the operations the policy machinery needs (products, transpose, norms,
+//!   row/column sums).
+//! * [`eig`] — a cyclic Jacobi eigensolver for symmetric matrices
+//!   ([`eig::symmetric_eigenvalues`]) plus a power-iteration cross-check
+//!   ([`eig::power_iteration`]) used in tests, and the convenience
+//!   [`eig::second_largest_eigenvalue`] that the policy generator calls.
+//! * [`stochastic`] — validators for the structural properties the paper
+//!   proves about `Y_P`: double stochasticity (Lemma 1), non-negativity
+//!   (Lemma 2) and irreducibility/connectivity (Lemma 3).
+//! * [`spectral`] — full eigendecomposition with eigenvectors, used by
+//!   the diagnostics layer to locate communication bottlenecks (the sign
+//!   cut of `Y_P`'s second eigenvector).
+//!
+//! Everything is `f64`; matrices in this problem are tiny (M ≤ a few dozen
+//! worker nodes), so a simple dense representation is both the fastest and
+//! the clearest choice.
+
+pub mod eig;
+pub mod matrix;
+pub mod spectral;
+pub mod stochastic;
+
+pub use eig::{power_iteration, second_largest_eigenvalue, symmetric_eigenvalues};
+pub use matrix::Matrix;
+pub use spectral::{symmetric_eigen, SymmetricEigen};
+pub use stochastic::{is_doubly_stochastic, is_irreducible, is_nonnegative, is_symmetric};
+
+/// Default absolute tolerance used by the structural validators.
+pub const DEFAULT_TOL: f64 = 1e-9;

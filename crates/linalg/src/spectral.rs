@@ -1,0 +1,215 @@
+//! Full eigendecomposition and spectral diagnostics.
+//!
+//! The policy search only needs eigen*values* ([`crate::eig`]), but the
+//! diagnostics layer of the reproduction also wants eigen*vectors*: the
+//! second eigenvector of `Y_P` (the Fiedler-like direction) identifies
+//! *which* worker partition mixes slowest — i.e. where the communication
+//! bottleneck sits — and the spectral gap `1 − λ₂` is the mixing-rate
+//! readout that Theorem 1 turns into a convergence bound.
+
+use crate::matrix::Matrix;
+
+/// A full symmetric eigendecomposition: `a = V diag(λ) Vᵀ`.
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    /// Eigenvalues sorted descending.
+    pub values: Vec<f64>,
+    /// Column `k` of this matrix is the eigenvector for `values[k]`.
+    pub vectors: Matrix,
+}
+
+/// Computes the full eigendecomposition of a symmetric matrix with the
+/// cyclic Jacobi method, accumulating rotations into the eigenvectors.
+///
+/// # Panics
+/// Panics if the matrix is not square.
+pub fn symmetric_eigen(a: &Matrix) -> SymmetricEigen {
+    assert!(a.is_square(), "symmetric_eigen: matrix must be square");
+    let n = a.rows();
+    let mut m = a.clone();
+    let mut v = Matrix::identity(n);
+
+    const MAX_SWEEPS: usize = 100;
+    const TOL: f64 = 1e-12;
+    for _ in 0..MAX_SWEEPS {
+        if m.max_offdiag_abs() < TOL {
+            break;
+        }
+        for p in 0..n.saturating_sub(1) {
+            for q in p + 1..n {
+                rotate_with_vectors(&mut m, &mut v, p, q);
+            }
+        }
+    }
+
+    // Sort eigenpairs by descending eigenvalue.
+    let mut order: Vec<usize> = (0..n).collect();
+    let diag = m.diagonal();
+    order.sort_by(|&x, &y| diag[y].partial_cmp(&diag[x]).expect("eigenvalue NaN"));
+
+    let values: Vec<f64> = order.iter().map(|&k| diag[k]).collect();
+    let mut vectors = Matrix::zeros(n, n);
+    for (new_col, &old_col) in order.iter().enumerate() {
+        for r in 0..n {
+            vectors[(r, new_col)] = v[(r, old_col)];
+        }
+    }
+    SymmetricEigen { values, vectors }
+}
+
+fn rotate_with_vectors(m: &mut Matrix, v: &mut Matrix, p: usize, q: usize) {
+    let apq = m[(p, q)];
+    if apq.abs() < f64::MIN_POSITIVE {
+        return;
+    }
+    let (app, aqq) = (m[(p, p)], m[(q, q)]);
+    let theta = (aqq - app) / (2.0 * apq);
+    let t = if theta >= 0.0 {
+        1.0 / (theta + (1.0 + theta * theta).sqrt())
+    } else {
+        -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+    };
+    let c = 1.0 / (1.0 + t * t).sqrt();
+    let s = t * c;
+
+    let n = m.rows();
+    for k in 0..n {
+        if k != p && k != q {
+            let (akp, akq) = (m[(k, p)], m[(k, q)]);
+            m[(k, p)] = c * akp - s * akq;
+            m[(p, k)] = m[(k, p)];
+            m[(k, q)] = s * akp + c * akq;
+            m[(q, k)] = m[(k, q)];
+        }
+    }
+    m[(p, p)] = app - t * apq;
+    m[(q, q)] = aqq + t * apq;
+    m[(p, q)] = 0.0;
+    m[(q, p)] = 0.0;
+
+    // Accumulate V ← V · J(p, q, θ).
+    for k in 0..n {
+        let (vkp, vkq) = (v[(k, p)], v[(k, q)]);
+        v[(k, p)] = c * vkp - s * vkq;
+        v[(k, q)] = s * vkp + c * vkq;
+    }
+}
+
+impl SymmetricEigen {
+    /// The spectral gap `λ₁ − λ₂` — for doubly stochastic gossip matrices
+    /// (λ₁ = 1) this is the mixing rate `1 − λ₂`.
+    pub fn spectral_gap(&self) -> f64 {
+        assert!(self.values.len() >= 2, "gap needs at least two eigenvalues");
+        self.values[0] - self.values[1]
+    }
+
+    /// The eigenvector for the k-th largest eigenvalue.
+    pub fn vector(&self, k: usize) -> Vec<f64> {
+        (0..self.vectors.rows()).map(|r| self.vectors[(r, k)]).collect()
+    }
+
+    /// Splits nodes by the sign of the second eigenvector — the two
+    /// slowest-mixing communities of the gossip graph (where the
+    /// communication bottleneck lies).
+    pub fn bottleneck_cut(&self) -> (Vec<usize>, Vec<usize>) {
+        let v2 = self.vector(1);
+        let mut pos = Vec::new();
+        let mut neg = Vec::new();
+        for (i, &x) in v2.iter().enumerate() {
+            if x >= 0.0 {
+                pos.push(i);
+            } else {
+                neg.push(i);
+            }
+        }
+        (pos, neg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reconstruct(e: &SymmetricEigen) -> Matrix {
+        // V diag(λ) Vᵀ
+        let n = e.values.len();
+        let mut d = Matrix::zeros(n, n);
+        for (i, &l) in e.values.iter().enumerate() {
+            d[(i, i)] = l;
+        }
+        e.vectors.matmul(&d).matmul(&e.vectors.transpose())
+    }
+
+    #[test]
+    fn decomposition_reconstructs_matrix() {
+        let a = Matrix::from_rows(&[
+            vec![4.0, 1.0, 0.5],
+            vec![1.0, 3.0, 0.2],
+            vec![0.5, 0.2, 1.0],
+        ]);
+        let e = symmetric_eigen(&a);
+        let r = reconstruct(&e);
+        assert!(
+            a.sub(&r).frobenius_norm() < 1e-9,
+            "reconstruction error too large:\n{r:?}"
+        );
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let a = Matrix::from_rows(&[
+            vec![2.0, -1.0, 0.0],
+            vec![-1.0, 2.0, -1.0],
+            vec![0.0, -1.0, 2.0],
+        ]);
+        let e = symmetric_eigen(&a);
+        let vtv = e.vectors.transpose().matmul(&e.vectors);
+        let err = vtv.sub(&Matrix::identity(3)).frobenius_norm();
+        assert!(err < 1e-9, "VᵀV deviates from I by {err}");
+    }
+
+    #[test]
+    fn values_match_scalar_eigensolver() {
+        let a = Matrix::from_rows(&[
+            vec![0.6, 0.3, 0.1],
+            vec![0.3, 0.4, 0.3],
+            vec![0.1, 0.3, 0.6],
+        ]);
+        let e = symmetric_eigen(&a);
+        let vals = crate::eig::symmetric_eigenvalues(&a);
+        for (x, y) in e.values.iter().zip(&vals) {
+            assert!((x - y).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn bottleneck_cut_finds_island_structure() {
+        // Two weakly coupled islands {0,1} and {2,3}: the second
+        // eigenvector must separate them.
+        let eps = 0.01;
+        let a = Matrix::from_rows(&[
+            vec![0.7 - eps, 0.3, eps, 0.0],
+            vec![0.3, 0.7 - eps, 0.0, eps],
+            vec![eps, 0.0, 0.7 - eps, 0.3],
+            vec![0.0, eps, 0.3, 0.7 - eps],
+        ]);
+        let e = symmetric_eigen(&a);
+        let (mut side_a, mut side_b) = e.bottleneck_cut();
+        side_a.sort_unstable();
+        side_b.sort_unstable();
+        let cut = (side_a.clone(), side_b.clone());
+        let ok = cut == (vec![0, 1], vec![2, 3]) || cut == (vec![2, 3], vec![0, 1]);
+        assert!(ok, "cut failed to split the islands: {side_a:?} | {side_b:?}");
+    }
+
+    #[test]
+    fn spectral_gap_of_complete_lazy_walk() {
+        let m = Matrix::from_rows(&[
+            vec![0.5, 0.25, 0.25],
+            vec![0.25, 0.5, 0.25],
+            vec![0.25, 0.25, 0.5],
+        ]);
+        let e = symmetric_eigen(&m);
+        assert!((e.spectral_gap() - 0.75).abs() < 1e-9);
+    }
+}

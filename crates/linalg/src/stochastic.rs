@@ -1,0 +1,147 @@
+//! Structural validators for gossip/consensus matrices.
+//!
+//! Theorem 3 of the NetMax paper rests on three lemmas about the matrix
+//! `Y_P = E[(D^k)^T D^k]` built from any feasible communication policy `P`:
+//!
+//! * **Lemma 1** — `Y_P` is symmetric and each row/column sums to 1;
+//! * **Lemma 2** — `Y_P` is non-negative;
+//! * **Lemma 3** — if the policy graph is connected, the graph of `Y_P` is
+//!   connected (hence `Y_P` is irreducible and, by Perron–Frobenius, its
+//!   second eigenvalue is strictly below 1).
+//!
+//! These predicates are asserted in debug builds by the policy generator and
+//! exercised heavily by the property tests.
+
+use crate::matrix::Matrix;
+
+/// `true` if `m` is symmetric within absolute tolerance `tol`.
+pub fn is_symmetric(m: &Matrix, tol: f64) -> bool {
+    if !m.is_square() {
+        return false;
+    }
+    let n = m.rows();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if (m[(i, j)] - m[(j, i)]).abs() > tol {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// `true` if every entry of `m` is ≥ `-tol`.
+pub fn is_nonnegative(m: &Matrix, tol: f64) -> bool {
+    m.as_slice().iter().all(|&x| x >= -tol)
+}
+
+/// `true` if `m` is square, non-negative, and every row and column sums to 1
+/// within `tol` (a doubly stochastic matrix).
+pub fn is_doubly_stochastic(m: &Matrix, tol: f64) -> bool {
+    if !m.is_square() || !is_nonnegative(m, tol) {
+        return false;
+    }
+    let n = m.rows();
+    (0..n).all(|i| (m.row_sum(i) - 1.0).abs() <= tol)
+        && (0..n).all(|j| (m.col_sum(j) - 1.0).abs() <= tol)
+}
+
+/// `true` if the directed graph induced by the non-zero pattern of `m`
+/// (edge `j -> i` iff `|m[(i,j)]| > tol`) is strongly connected.
+///
+/// For symmetric matrices this coincides with plain connectivity and with
+/// matrix irreducibility, which is the hypothesis of the Perron–Frobenius
+/// argument in the paper's Theorem 3 proof.
+pub fn is_irreducible(m: &Matrix, tol: f64) -> bool {
+    if !m.is_square() {
+        return false;
+    }
+    let n = m.rows();
+    if n == 0 {
+        return false;
+    }
+    // BFS forward and backward from node 0; strong connectivity for this
+    // small n is cheapest checked directly.
+    reaches_all(m, tol, false) && reaches_all(m, tol, true)
+}
+
+fn reaches_all(m: &Matrix, tol: f64, transpose: bool) -> bool {
+    let n = m.rows();
+    let mut seen = vec![false; n];
+    let mut stack = vec![0usize];
+    seen[0] = true;
+    let mut count = 1usize;
+    while let Some(u) = stack.pop() {
+        for v in 0..n {
+            let w = if transpose { m[(v, u)] } else { m[(u, v)] };
+            if !seen[v] && w.abs() > tol {
+                seen[v] = true;
+                count += 1;
+                stack.push(v);
+            }
+        }
+    }
+    count == n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_detection() {
+        let s = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 3.0]]);
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.5, 3.0]]);
+        assert!(is_symmetric(&s, 1e-12));
+        assert!(!is_symmetric(&a, 1e-12));
+        // Within loose tolerance the asymmetric one passes.
+        assert!(is_symmetric(&a, 1.0));
+    }
+
+    #[test]
+    fn doubly_stochastic_detection() {
+        let ds = Matrix::from_rows(&[
+            vec![0.5, 0.25, 0.25],
+            vec![0.25, 0.5, 0.25],
+            vec![0.25, 0.25, 0.5],
+        ]);
+        assert!(is_doubly_stochastic(&ds, 1e-12));
+
+        // Row-stochastic but not column-stochastic.
+        let rs = Matrix::from_rows(&[vec![1.0, 0.0], vec![1.0, 0.0]]);
+        assert!(!is_doubly_stochastic(&rs, 1e-12));
+
+        // Negative entry.
+        let neg = Matrix::from_rows(&[vec![1.5, -0.5], vec![-0.5, 1.5]]);
+        assert!(!is_doubly_stochastic(&neg, 1e-12));
+
+        // Non-square.
+        let ns = Matrix::zeros(2, 3);
+        assert!(!is_doubly_stochastic(&ns, 1e-12));
+    }
+
+    #[test]
+    fn irreducibility_of_connected_and_disconnected() {
+        // Path graph 0-1-2 with self-loops: connected.
+        let path = Matrix::from_rows(&[
+            vec![0.5, 0.5, 0.0],
+            vec![0.5, 0.0, 0.5],
+            vec![0.0, 0.5, 0.5],
+        ]);
+        assert!(is_irreducible(&path, 1e-12));
+
+        // Two disconnected blocks.
+        let blocks = Matrix::from_rows(&[
+            vec![1.0, 0.0, 0.0],
+            vec![0.0, 0.5, 0.5],
+            vec![0.0, 0.5, 0.5],
+        ]);
+        assert!(!is_irreducible(&blocks, 1e-12));
+    }
+
+    #[test]
+    fn identity_is_reducible_for_n_over_1() {
+        assert!(!is_irreducible(&Matrix::identity(3), 1e-12));
+        assert!(is_irreducible(&Matrix::identity(1), 1e-12));
+    }
+}

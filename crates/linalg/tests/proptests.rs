@@ -1,0 +1,131 @@
+//! Property-based tests for the linear-algebra substrate.
+//!
+//! These validate the eigensolver on randomly generated symmetric and
+//! doubly stochastic matrices — exactly the matrix class the NetMax policy
+//! generator feeds it.
+
+use netmax_linalg::{
+    is_doubly_stochastic, is_symmetric, power_iteration, second_largest_eigenvalue,
+    symmetric_eigenvalues, Matrix,
+};
+use proptest::prelude::*;
+
+/// Strategy: a random symmetric n×n matrix with entries in [-5, 5].
+fn symmetric_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-5.0f64..5.0, n * (n + 1) / 2).prop_map(move |upper| {
+        let mut m = Matrix::zeros(n, n);
+        let mut it = upper.into_iter();
+        for i in 0..n {
+            for j in i..n {
+                let v = it.next().unwrap();
+                m[(i, j)] = v;
+                m[(j, i)] = v;
+            }
+        }
+        m
+    })
+}
+
+/// Strategy: a random symmetric doubly stochastic matrix, built as a convex
+/// combination of the identity and symmetrised pairwise-averaging steps
+/// (each `I + γ e_i (e_j - e_i)^T`-style gossip matrix is averaged with its
+/// transpose counterpart). This mirrors how `Y_P` arises in the paper.
+fn doubly_stochastic_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec((0usize..n, 0usize..n, 0.01f64..1.0), 1..12).prop_map(
+        move |steps| {
+            // Start from identity, repeatedly mix mass between pairs (i, j)
+            // symmetrically: a two-sided doubly-stochastic transform.
+            let mut m = Matrix::identity(n);
+            for (i, j, w) in steps {
+                if i == j {
+                    continue;
+                }
+                // Convex combination with the permutation-free averaging
+                // matrix that moves weight w/2 between rows/cols i and j.
+                let mut t = Matrix::identity(n);
+                t[(i, i)] = 1.0 - w / 2.0;
+                t[(j, j)] = 1.0 - w / 2.0;
+                t[(i, j)] = w / 2.0;
+                t[(j, i)] = w / 2.0;
+                // Product of symmetric doubly stochastic with symmetric
+                // doubly stochastic is doubly stochastic but not always
+                // symmetric, so symmetrise via (A B A) which preserves both.
+                m = t.matmul(&m).matmul(&t);
+            }
+            m
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The eigenvalue sum must equal the trace (similarity invariance).
+    #[test]
+    fn eigenvalue_sum_equals_trace(m in symmetric_matrix(5)) {
+        let eigs = symmetric_eigenvalues(&m);
+        let sum: f64 = eigs.iter().sum();
+        prop_assert!((sum - m.trace()).abs() < 1e-6 * (1.0 + m.trace().abs()));
+    }
+
+    /// Eigenvalues must come back sorted descending.
+    #[test]
+    fn eigenvalues_sorted_descending(m in symmetric_matrix(6)) {
+        let eigs = symmetric_eigenvalues(&m);
+        for w in eigs.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    /// Jacobi and (deflated) power iteration must agree on symmetric PSD-ish
+    /// doubly stochastic matrices.
+    #[test]
+    fn jacobi_matches_power_iteration(m in doubly_stochastic_matrix(5)) {
+        prop_assert!(is_symmetric(&m, 1e-9));
+        prop_assert!(is_doubly_stochastic(&m, 1e-9));
+
+        let eigs = symmetric_eigenvalues(&m);
+        // Dominant eigenvalue of a doubly stochastic matrix is exactly 1.
+        prop_assert!((eigs[0] - 1.0).abs() < 1e-9);
+
+        // Power iteration resolves the deflated dominant eigenvalue only if
+        // the spectrum has a usable gap below it; skip near-degenerate draws
+        // (they arise from effectively disconnected gossip graphs).
+        let gap = eigs[1].abs()
+            - eigs[2..].iter().fold(0.0f64, |acc, &e| acc.max(e.abs()));
+        prop_assume!(gap > 0.05);
+
+        let ones = vec![1.0; m.rows()];
+        let p = power_iteration(&m, Some(&ones), 50_000, 1e-14);
+        let l2 = second_largest_eigenvalue(&m);
+        // Power iteration estimates the second-largest-in-magnitude on the
+        // deflated subspace; compare against the larger magnitude of the
+        // remaining spectrum.
+        let max_abs_rest = eigs[1..]
+            .iter()
+            .fold(0.0f64, |acc, &e| acc.max(e.abs()));
+        prop_assert!(
+            (p.eigenvalue.abs() - max_abs_rest).abs() < 1e-6,
+            "power {} vs rest-magnitude {} (λ₂ = {})", p.eigenvalue, max_abs_rest, l2
+        );
+    }
+
+    /// Gershgorin: all eigenvalues of a doubly stochastic matrix lie in [-1, 1].
+    #[test]
+    fn doubly_stochastic_spectrum_bounded(m in doubly_stochastic_matrix(4)) {
+        let eigs = symmetric_eigenvalues(&m);
+        for e in eigs {
+            prop_assert!(e <= 1.0 + 1e-9);
+            prop_assert!(e >= -1.0 - 1e-9);
+        }
+    }
+
+    /// matmul associativity on small matrices (sanity of the kernel).
+    #[test]
+    fn matmul_associative(a in symmetric_matrix(3), b in symmetric_matrix(3), c in symmetric_matrix(3)) {
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        let diff = left.sub(&right).frobenius_norm();
+        prop_assert!(diff < 1e-8 * (1.0 + left.frobenius_norm()));
+    }
+}

@@ -1,0 +1,35 @@
+//! # netmax-lp
+//!
+//! A from-scratch linear-programming solver used by the NetMax
+//! communication-policy generator.
+//!
+//! Algorithm 3 of the paper solves, for every candidate `(ρ, t̄)` pair in
+//! its two nested search loops, the linear program of Eq. (14):
+//!
+//! ```text
+//!   minimize    Σᵢ p_{i,i}
+//!   subject to  Σₘ t_{i,m} · p_{i,m} · d_{i,m} = M · t̄     ∀ i        (Eq. 10)
+//!               p_{i,m} ≥ αρ (d_{i,m} + d_{m,i}) + margin   ∀ edges    (Eq. 11)
+//!               p_{i,m} = 0                                 ∀ non-edges (Eq. 12)
+//!               Σₘ p_{i,m} = 1                              ∀ i        (Eq. 13)
+//! ```
+//!
+//! The reference implementation would reach for an off-the-shelf `linprog`;
+//! here the solver is built from first principles: a **two-phase primal
+//! simplex** on a dense tableau with Bland's anti-cycling rule. Problems in
+//! this workload are small (≤ a few hundred variables, ≤ a few dozen rows),
+//! so a dense tableau is simple, cache-friendly, and plenty fast — the
+//! policy generator solves hundreds of these per Network-Monitor round.
+//!
+//! The public API is deliberately general (arbitrary `≤ / ≥ / =` rows,
+//! per-variable lower bounds), so the solver is reusable and can be tested
+//! against textbook instances independently of NetMax.
+
+pub mod problem;
+pub mod simplex;
+
+pub use problem::{Constraint, LpProblem, Relation};
+pub use simplex::{solve, LpOutcome, LpSolution};
+
+/// Numerical tolerance used for pivoting and feasibility classification.
+pub const LP_EPS: f64 = 1e-9;

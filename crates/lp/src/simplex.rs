@@ -1,0 +1,439 @@
+//! Two-phase primal simplex on a dense tableau.
+//!
+//! Pipeline: shift variables by their lower bounds so everything is ≥ 0,
+//! add slack/surplus columns for inequality rows, flip rows to make the
+//! right-hand side non-negative, then run phase 1 (minimize the sum of
+//! artificial variables) and, if feasible, phase 2 on the real objective.
+//!
+//! Pivoting uses **Bland's rule** (smallest eligible index), which
+//! guarantees termination at the cost of a few extra pivots — a good trade
+//! for a solver embedded in a long-running training loop where a cycling
+//! hang would stall the Network Monitor.
+
+// Index-based loops are kept where they mirror the matrix maths.
+#![allow(clippy::needless_range_loop)]
+
+use crate::problem::{LpProblem, Relation};
+use crate::LP_EPS;
+
+/// A primal-optimal LP solution.
+#[derive(Debug, Clone)]
+pub struct LpSolution {
+    /// Optimal values of the original decision variables.
+    pub x: Vec<f64>,
+    /// Objective value at `x`.
+    pub objective: f64,
+    /// Total simplex pivots across both phases (diagnostics).
+    pub pivots: usize,
+}
+
+/// Outcome of solving an LP.
+#[derive(Debug, Clone)]
+pub enum LpOutcome {
+    /// A finite optimum was found.
+    Optimal(LpSolution),
+    /// No point satisfies all constraints.
+    Infeasible,
+    /// The objective is unbounded below on the feasible region.
+    Unbounded,
+}
+
+impl LpOutcome {
+    /// Returns the solution if optimal, `None` otherwise.
+    pub fn optimal(self) -> Option<LpSolution> {
+        match self {
+            LpOutcome::Optimal(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// `true` if the outcome is [`LpOutcome::Optimal`].
+    pub fn is_optimal(&self) -> bool {
+        matches!(self, LpOutcome::Optimal(_))
+    }
+}
+
+/// Dense simplex tableau in standard form `A y = b, y ≥ 0`.
+struct Tableau {
+    /// m × n coefficient matrix, row-major.
+    a: Vec<f64>,
+    /// Right-hand side, length m (kept ≥ 0 by pivoting invariant).
+    b: Vec<f64>,
+    m: usize,
+    n: usize,
+    /// `basis[r]` = column currently basic in row r.
+    basis: Vec<usize>,
+    pivots: usize,
+}
+
+impl Tableau {
+    #[inline]
+    fn at(&self, r: usize, c: usize) -> f64 {
+        self.a[r * self.n + c]
+    }
+
+    #[inline]
+    fn at_mut(&mut self, r: usize, c: usize) -> &mut f64 {
+        &mut self.a[r * self.n + c]
+    }
+
+    /// Gauss-Jordan pivot on (row, col): normalizes the pivot row and
+    /// eliminates the pivot column from every other row.
+    fn pivot(&mut self, row: usize, col: usize) {
+        let p = self.at(row, col);
+        debug_assert!(p.abs() > LP_EPS, "pivot on (near-)zero element");
+        let inv = 1.0 / p;
+        for c in 0..self.n {
+            *self.at_mut(row, c) *= inv;
+        }
+        self.b[row] *= inv;
+        for r in 0..self.m {
+            if r == row {
+                continue;
+            }
+            let f = self.at(r, col);
+            if f == 0.0 {
+                continue;
+            }
+            for c in 0..self.n {
+                let v = self.at(row, c);
+                *self.at_mut(r, c) -= f * v;
+            }
+            self.b[r] -= f * self.b[row];
+        }
+        self.basis[row] = col;
+        self.pivots += 1;
+    }
+
+    /// Reduced costs for objective `c` given the current basis.
+    fn reduced_costs(&self, c: &[f64]) -> Vec<f64> {
+        // z_j - c_j form: r_j = c_j - Σ_r c_basis[r] * a[r][j]
+        let mut red = c.to_vec();
+        for r in 0..self.m {
+            let cb = c[self.basis[r]];
+            if cb == 0.0 {
+                continue;
+            }
+            for j in 0..self.n {
+                red[j] -= cb * self.at(r, j);
+            }
+        }
+        red
+    }
+
+    /// Runs simplex minimization of `c^T y` from the current basic feasible
+    /// solution. Returns `false` if unbounded.
+    fn minimize(&mut self, c: &[f64], max_pivots: usize) -> bool {
+        for _ in 0..max_pivots {
+            let red = self.reduced_costs(c);
+            // Bland: entering column = smallest index with negative reduced cost.
+            let Some(col) = (0..self.n).find(|&j| red[j] < -LP_EPS) else {
+                return true; // optimal
+            };
+            // Ratio test, Bland tie-break on basis index.
+            let mut best: Option<(f64, usize, usize)> = None; // (ratio, basis_var, row)
+            for r in 0..self.m {
+                let arc = self.at(r, col);
+                if arc > LP_EPS {
+                    let ratio = self.b[r] / arc;
+                    let key = (ratio, self.basis[r]);
+                    match best {
+                        None => best = Some((key.0, key.1, r)),
+                        Some((br, bv, _)) => {
+                            if ratio < br - LP_EPS || ((ratio - br).abs() <= LP_EPS && key.1 < bv) {
+                                best = Some((key.0, key.1, r));
+                            }
+                        }
+                    }
+                }
+            }
+            let Some((_, _, row)) = best else {
+                return false; // unbounded along `col`
+            };
+            self.pivot(row, col);
+        }
+        // Pivot cap exhausted: treat as optimal-enough. With Bland's rule
+        // this is unreachable for well-posed inputs; the cap is a safety net.
+        true
+    }
+
+    /// Extracts the current value of structural variable `j`.
+    fn value_of(&self, j: usize) -> f64 {
+        self.basis
+            .iter()
+            .position(|&bj| bj == j)
+            .map_or(0.0, |r| self.b[r])
+    }
+}
+
+/// Solves the LP with the two-phase simplex method.
+///
+/// Returns [`LpOutcome::Infeasible`] when phase 1 cannot drive the
+/// artificial variables to zero, and [`LpOutcome::Unbounded`] when phase 2
+/// finds a descent ray.
+pub fn solve(problem: &LpProblem) -> LpOutcome {
+    let n_orig = problem.num_vars();
+    let rows = problem.constraints();
+    let m = rows.len();
+    let lb = problem.lower_bounds();
+
+    // Count slack columns needed (one per inequality row).
+    let n_slack = rows
+        .iter()
+        .filter(|r| r.relation != Relation::Eq)
+        .count();
+    // Layout: [ structural (shifted) | slack/surplus | artificial ].
+    let n_struct = n_orig;
+    let n_total_no_art = n_struct + n_slack;
+    let n_total = n_total_no_art + m; // one artificial per row (some unused)
+
+    let mut a = vec![0.0; m * n_total];
+    let mut b = vec![0.0; m];
+
+    let mut slack_cursor = 0usize;
+    for (r, row) in rows.iter().enumerate() {
+        // Shift x = lb + y: rhs' = rhs - Σ a_j lb_j.
+        let mut rhs = row.rhs;
+        for &(v, coef) in &row.coeffs {
+            a[r * n_total + v] = coef;
+            rhs -= coef * lb[v];
+        }
+        match row.relation {
+            Relation::Le => {
+                a[r * n_total + n_struct + slack_cursor] = 1.0;
+                slack_cursor += 1;
+            }
+            Relation::Ge => {
+                a[r * n_total + n_struct + slack_cursor] = -1.0;
+                slack_cursor += 1;
+            }
+            Relation::Eq => {}
+        }
+        b[r] = rhs;
+    }
+    debug_assert_eq!(slack_cursor, n_slack);
+
+    // Flip rows with negative rhs so b ≥ 0 (required for the initial
+    // artificial basis to be feasible).
+    for r in 0..m {
+        if b[r] < 0.0 {
+            for c in 0..n_total {
+                a[r * n_total + c] = -a[r * n_total + c];
+            }
+            b[r] = -b[r];
+        }
+    }
+
+    // Install artificial columns: artificial for row r is column
+    // n_total_no_art + r, forming an identity basis.
+    let mut basis = Vec::with_capacity(m);
+    for r in 0..m {
+        a[r * n_total + n_total_no_art + r] = 1.0;
+        basis.push(n_total_no_art + r);
+    }
+
+    let mut tab = Tableau { a, b, m, n: n_total, basis, pivots: 0 };
+
+    // Phase 1: minimize the sum of artificials.
+    let mut phase1_c = vec![0.0; n_total];
+    for c in phase1_c.iter_mut().skip(n_total_no_art) {
+        *c = 1.0;
+    }
+    let max_pivots = 50 * (n_total + m + 10);
+    if !tab.minimize(&phase1_c, max_pivots) {
+        // Phase 1 objective is bounded below by 0; unbounded is impossible
+        // for well-formed input, treat defensively as infeasible.
+        return LpOutcome::Infeasible;
+    }
+    let phase1_obj: f64 = (0..m)
+        .filter(|&r| tab.basis[r] >= n_total_no_art)
+        .map(|r| tab.b[r])
+        .sum();
+    if phase1_obj > 1e-7 {
+        return LpOutcome::Infeasible;
+    }
+
+    // Drive any residual artificial variables out of the basis (they are at
+    // zero level; pivot them out on any non-artificial column, or drop the
+    // redundant row by leaving it — the zero level keeps it harmless).
+    for r in 0..m {
+        if tab.basis[r] >= n_total_no_art {
+            if let Some(col) = (0..n_total_no_art).find(|&j| tab.at(r, j).abs() > 1e-7) {
+                tab.pivot(r, col);
+            }
+        }
+    }
+
+    // Phase 2: original objective on shifted variables (constant offset
+    // Σ c_j lb_j added back at extraction). Forbid re-entry of artificials
+    // by pricing them prohibitively.
+    let mut phase2_c = vec![0.0; n_total];
+    phase2_c[..n_orig].copy_from_slice(problem.objective());
+    // Large positive cost keeps artificial columns out of the basis.
+    let big = 1.0
+        + problem
+            .objective()
+            .iter()
+            .fold(0.0f64, |acc, &v| acc.max(v.abs()))
+            * 1e6;
+    for c in phase2_c.iter_mut().skip(n_total_no_art) {
+        *c = big;
+    }
+    if !tab.minimize(&phase2_c, max_pivots) {
+        return LpOutcome::Unbounded;
+    }
+
+    // Extract solution: x_j = lb_j + y_j.
+    let x: Vec<f64> = (0..n_orig)
+        .map(|j| lb[j] + tab.value_of(j))
+        .collect();
+    let objective = problem.objective_value(&x);
+    LpOutcome::Optimal(LpSolution { x, objective, pivots: tab.pivots })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{LpProblem, Relation};
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} != {b} (tol {tol})");
+    }
+
+    #[test]
+    fn textbook_maximization_as_minimization() {
+        // max 3x + 5y s.t. x<=4, 2y<=12, 3x+2y<=18  (classic Dantzig)
+        // -> min -3x -5y; optimum x=2, y=6, obj = -36.
+        let mut p = LpProblem::new(2);
+        p.set_objective(0, -3.0).set_objective(1, -5.0);
+        p.add_constraint(vec![(0, 1.0)], Relation::Le, 4.0);
+        p.add_constraint(vec![(1, 2.0)], Relation::Le, 12.0);
+        p.add_constraint(vec![(0, 3.0), (1, 2.0)], Relation::Le, 18.0);
+        let s = solve(&p).optimal().expect("should be optimal");
+        assert_close(s.x[0], 2.0, 1e-8);
+        assert_close(s.x[1], 6.0, 1e-8);
+        assert_close(s.objective, -36.0, 1e-8);
+        assert!(p.is_feasible(&s.x, 1e-8));
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + y s.t. x + y = 1, x - y = 0 -> x = y = 0.5.
+        let mut p = LpProblem::new(2);
+        p.set_objective(0, 1.0).set_objective(1, 1.0);
+        p.add_constraint(vec![(0, 1.0), (1, 1.0)], Relation::Eq, 1.0);
+        p.add_constraint(vec![(0, 1.0), (1, -1.0)], Relation::Eq, 0.0);
+        let s = solve(&p).optimal().expect("optimal");
+        assert_close(s.x[0], 0.5, 1e-8);
+        assert_close(s.x[1], 0.5, 1e-8);
+    }
+
+    #[test]
+    fn ge_constraints_and_lower_bounds() {
+        // min 2x + 3y s.t. x + y >= 10, x >= 2, y >= 3 (via bounds).
+        // Optimum: push the cheap variable: x = 7, y = 3, obj = 23.
+        let mut p = LpProblem::new(2);
+        p.set_objective(0, 2.0).set_objective(1, 3.0);
+        p.set_lower_bound(0, 2.0).set_lower_bound(1, 3.0);
+        p.add_constraint(vec![(0, 1.0), (1, 1.0)], Relation::Ge, 10.0);
+        let s = solve(&p).optimal().expect("optimal");
+        assert_close(s.x[0], 7.0, 1e-8);
+        assert_close(s.x[1], 3.0, 1e-8);
+        assert_close(s.objective, 23.0, 1e-8);
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        // x >= 5 and x <= 1 simultaneously.
+        let mut p = LpProblem::new(1);
+        p.add_constraint(vec![(0, 1.0)], Relation::Ge, 5.0);
+        p.add_constraint(vec![(0, 1.0)], Relation::Le, 1.0);
+        assert!(matches!(solve(&p), LpOutcome::Infeasible));
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        // min -x with only x >= 0: unbounded below.
+        let mut p = LpProblem::new(1);
+        p.set_objective(0, -1.0);
+        p.add_constraint(vec![(0, 1.0)], Relation::Ge, 0.0);
+        assert!(matches!(solve(&p), LpOutcome::Unbounded));
+    }
+
+    #[test]
+    fn negative_rhs_rows() {
+        // min x s.t. -x <= -3  (i.e. x >= 3).
+        let mut p = LpProblem::new(1);
+        p.set_objective(0, 1.0);
+        p.add_constraint(vec![(0, -1.0)], Relation::Le, -3.0);
+        let s = solve(&p).optimal().expect("optimal");
+        assert_close(s.x[0], 3.0, 1e-8);
+    }
+
+    #[test]
+    fn degenerate_does_not_cycle() {
+        // A classically degenerate instance (Beale-like); Bland must terminate.
+        let mut p = LpProblem::new(4);
+        p.set_objective(0, -0.75)
+            .set_objective(1, 150.0)
+            .set_objective(2, -0.02)
+            .set_objective(3, 6.0);
+        p.add_constraint(
+            vec![(0, 0.25), (1, -60.0), (2, -1.0 / 25.0), (3, 9.0)],
+            Relation::Le,
+            0.0,
+        );
+        p.add_constraint(
+            vec![(0, 0.5), (1, -90.0), (2, -1.0 / 50.0), (3, 3.0)],
+            Relation::Le,
+            0.0,
+        );
+        p.add_constraint(vec![(2, 1.0)], Relation::Le, 1.0);
+        let out = solve(&p);
+        let s = out.optimal().expect("Beale instance has optimum -1/20");
+        assert_close(s.objective, -0.05, 1e-6);
+    }
+
+    #[test]
+    fn stochastic_row_structure_like_netmax() {
+        // A miniature of the NetMax LP: 3 nodes in a triangle, probabilities
+        // per row summing to 1, per-row expected time fixed, minimize the
+        // self-selection mass. Variables: p01 p02 p10 p12 p20 p21 p00 p11 p22.
+        let t = [[0.0, 1.0, 2.0], [1.0, 0.0, 1.0], [2.0, 1.0, 0.0]];
+        let target = 0.8; // per-row expected iteration time (must be ≤ min_i max_m t_im = 1.0)
+        let lb = 0.05;
+        let mut p = LpProblem::new(9);
+        let idx = |i: usize, j: usize| -> usize {
+            // off-diagonals first (row-major skipping diagonal), then diagonal.
+            let off = [[usize::MAX, 0, 1], [2, usize::MAX, 3], [4, 5, usize::MAX]];
+            if i == j {
+                6 + i
+            } else {
+                off[i][j]
+            }
+        };
+        for i in 0..3 {
+            p.set_objective(idx(i, i), 1.0);
+            let mut sum_row = vec![(idx(i, i), 1.0)];
+            let mut time_row = Vec::new();
+            for j in 0..3 {
+                if i != j {
+                    sum_row.push((idx(i, j), 1.0));
+                    time_row.push((idx(i, j), t[i][j]));
+                    p.set_lower_bound(idx(i, j), lb);
+                }
+            }
+            p.add_constraint(sum_row, Relation::Eq, 1.0);
+            p.add_constraint(time_row, Relation::Eq, target);
+        }
+        let s = solve(&p).optimal().expect("netmax-like LP is feasible");
+        assert!(p.is_feasible(&s.x, 1e-7));
+        // Row sums are 1 and time rows hit the target.
+        for i in 0..3 {
+            let row_sum: f64 = (0..3).map(|j| s.x[idx(i, j)]).sum();
+            assert_close(row_sum, 1.0, 1e-7);
+            let row_time: f64 = (0..3).filter(|&j| j != i).map(|j| t[i][j] * s.x[idx(i, j)]).sum();
+            assert_close(row_time, target, 1e-7);
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests for the simplex solver.
+//!
+//! Strategy: generate LPs with a *known* feasible point by construction,
+//! then check that (a) the solver never reports infeasible, (b) reported
+//! optima are primal-feasible, and (c) the optimum is no worse than the
+//! known feasible point's objective.
+
+use netmax_lp::{solve, LpOutcome, LpProblem, Relation};
+use proptest::prelude::*;
+
+/// A random LP over `n` variables built around a known interior point.
+#[derive(Debug, Clone)]
+struct SeededLp {
+    problem: LpProblem,
+    witness: Vec<f64>,
+}
+
+fn seeded_lp(n: usize, rows: usize) -> impl Strategy<Value = SeededLp> {
+    (
+        proptest::collection::vec(0.1f64..5.0, n),        // witness point
+        proptest::collection::vec(-3.0f64..3.0, n),       // objective
+        proptest::collection::vec(
+            (proptest::collection::vec(-2.0f64..2.0, n), 0usize..3, 0.0f64..2.0),
+            rows,
+        ),
+    )
+        .prop_map(move |(witness, obj, raw_rows)| {
+            let mut p = LpProblem::new(n);
+            for (j, c) in obj.iter().enumerate() {
+                p.set_objective(j, *c);
+            }
+            for (coeffs, rel_idx, slackness) in raw_rows {
+                let lhs: f64 = coeffs.iter().zip(&witness).map(|(a, x)| a * x).sum();
+                let dense: Vec<(usize, f64)> = coeffs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &c)| c != 0.0)
+                    .map(|(j, &c)| (j, c))
+                    .collect();
+                if dense.is_empty() {
+                    continue;
+                }
+                // Choose rhs so the witness satisfies the row.
+                match rel_idx {
+                    0 => p.add_constraint(dense, Relation::Le, lhs + slackness),
+                    1 => p.add_constraint(dense, Relation::Ge, lhs - slackness),
+                    _ => p.add_constraint(dense, Relation::Eq, lhs),
+                };
+            }
+            SeededLp { problem: p, witness }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// An LP constructed around a feasible witness is never infeasible, and
+    /// any reported optimum is feasible and at least as good as the witness.
+    #[test]
+    fn solver_respects_witness(lp in seeded_lp(5, 4)) {
+        let witness_obj = lp.problem.objective_value(&lp.witness);
+        prop_assert!(lp.problem.is_feasible(&lp.witness, 1e-7),
+            "generator bug: witness must be feasible");
+        match solve(&lp.problem) {
+            LpOutcome::Optimal(s) => {
+                prop_assert!(lp.problem.is_feasible(&s.x, 1e-5),
+                    "optimal point not primal-feasible: {:?}", s.x);
+                prop_assert!(s.objective <= witness_obj + 1e-6,
+                    "optimum {} worse than witness {}", s.objective, witness_obj);
+            }
+            LpOutcome::Unbounded => { /* legitimate: random objectives can descend forever */ }
+            LpOutcome::Infeasible => {
+                prop_assert!(false, "solver claimed infeasible despite witness");
+            }
+        }
+    }
+
+    /// Pure equality systems with witness: solution must satisfy all rows.
+    #[test]
+    fn equality_systems(lp in seeded_lp(4, 3)) {
+        // Rebuild with all-equality rows through the same witness.
+        let witness = lp.witness.clone();
+        let mut p = LpProblem::new(4);
+        for (row_i, c) in lp.problem.constraints().iter().enumerate() {
+            let lhs: f64 = c.coeffs.iter().map(|&(v, a)| a * witness[v]).sum();
+            p.add_constraint(c.coeffs.clone(), Relation::Eq, lhs);
+            // Vary objective a bit per row for coverage.
+            p.set_objective(row_i % 4, 1.0);
+        }
+        match solve(&p) {
+            LpOutcome::Optimal(s) => prop_assert!(p.is_feasible(&s.x, 1e-5)),
+            LpOutcome::Unbounded => {}
+            LpOutcome::Infeasible => prop_assert!(false, "infeasible despite witness"),
+        }
+    }
+}

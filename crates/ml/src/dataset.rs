@@ -1,0 +1,130 @@
+//! In-memory classification dataset.
+//!
+//! Features are stored as one flat `f32` buffer (row = one example) for
+//! cache-friendly batch gradient loops. Labels are class indices.
+
+/// A dense, in-memory labelled dataset.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    features: Vec<f32>,
+    labels: Vec<u32>,
+    dim: usize,
+    num_classes: usize,
+}
+
+impl Dataset {
+    /// Builds a dataset from a flat feature buffer.
+    ///
+    /// # Panics
+    /// Panics if the buffer length is not `labels.len() * dim`, if any
+    /// label is ≥ `num_classes`, or if `dim == 0`.
+    pub fn new(features: Vec<f32>, labels: Vec<u32>, dim: usize, num_classes: usize) -> Self {
+        assert!(dim > 0, "dataset dim must be positive");
+        assert_eq!(features.len(), labels.len() * dim, "feature buffer size mismatch");
+        assert!(
+            labels.iter().all(|&l| (l as usize) < num_classes),
+            "label out of range"
+        );
+        Self { features, labels, dim, num_classes }
+    }
+
+    /// Number of examples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// `true` if the dataset has no examples.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Feature dimensionality.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of classes.
+    #[inline]
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Feature vector of example `i`.
+    #[inline]
+    pub fn feature(&self, i: usize) -> &[f32] {
+        &self.features[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Label of example `i`.
+    #[inline]
+    pub fn label(&self, i: usize) -> u32 {
+        self.labels[i]
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[u32] {
+        &self.labels
+    }
+
+    /// Indices of all examples whose label is in `keep` (used by the
+    /// non-IID label-removal partitioner of Tables IV/VII).
+    pub fn indices_with_labels(&self, keep: impl Fn(u32) -> bool) -> Vec<usize> {
+        (0..self.len()).filter(|&i| keep(self.labels[i])).collect()
+    }
+
+    /// Per-class example counts.
+    pub fn class_histogram(&self) -> Vec<usize> {
+        let mut h = vec![0usize; self.num_classes];
+        for &l in &self.labels {
+            h[l as usize] += 1;
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        Dataset::new(
+            vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0],
+            vec![0, 1, 0],
+            2,
+            2,
+        )
+    }
+
+    #[test]
+    fn accessors() {
+        let d = tiny();
+        assert_eq!(d.len(), 3);
+        assert!(!d.is_empty());
+        assert_eq!(d.dim(), 2);
+        assert_eq!(d.num_classes(), 2);
+        assert_eq!(d.feature(1), &[2.0, 3.0]);
+        assert_eq!(d.label(2), 0);
+    }
+
+    #[test]
+    fn histogram_and_filter() {
+        let d = tiny();
+        assert_eq!(d.class_histogram(), vec![2, 1]);
+        assert_eq!(d.indices_with_labels(|l| l == 0), vec![0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn rejects_bad_buffer() {
+        let _ = Dataset::new(vec![1.0; 5], vec![0, 1], 2, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn rejects_bad_label() {
+        let _ = Dataset::new(vec![1.0; 4], vec![0, 7], 2, 2);
+    }
+}

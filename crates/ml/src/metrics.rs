@@ -1,0 +1,227 @@
+//! Evaluation metrics: loss and accuracy over datasets or subsamples.
+
+use crate::dataset::Dataset;
+use crate::model::Model;
+
+/// Classification accuracy of `model` over the whole `data` set.
+pub fn accuracy(model: &dyn Model, data: &Dataset) -> f64 {
+    assert!(!data.is_empty(), "accuracy over empty dataset");
+    let correct = (0..data.len())
+        .filter(|&i| model.predict(data.feature(i)) == data.label(i))
+        .count();
+    correct as f64 / data.len() as f64
+}
+
+/// Mean loss of `model` over the whole `data` set.
+pub fn full_loss(model: &dyn Model, data: &Dataset) -> f64 {
+    let all: Vec<usize> = (0..data.len()).collect();
+    model.loss(data, &all) as f64
+}
+
+/// Mean loss over an evenly-spaced subsample of at most `max_n` examples —
+/// the engine records loss curves frequently, and full evaluation at every
+/// record point would dominate simulation run time.
+pub fn subsampled_loss(model: &dyn Model, data: &Dataset, max_n: usize) -> f64 {
+    assert!(max_n > 0);
+    if data.len() <= max_n {
+        return full_loss(model, data);
+    }
+    let stride = data.len() / max_n;
+    let idx: Vec<usize> = (0..max_n).map(|k| k * stride).collect();
+    model.loss(data, &idx) as f64
+}
+
+/// Mean of per-node losses — the global objective `F` of Eq. (1) without
+/// the (vanishing-at-consensus) disagreement term.
+pub fn mean_loss_across_replicas(models: &[Box<dyn Model>], data: &Dataset, max_n: usize) -> f64 {
+    assert!(!models.is_empty());
+    models.iter().map(|m| subsampled_loss(m.as_ref(), data, max_n)).sum::<f64>()
+        / models.len() as f64
+}
+
+/// Maximum pairwise parameter distance among replicas — the consensus
+/// residual that Theorems 1–3 drive to (a neighbourhood of) zero.
+pub fn consensus_diameter(models: &[Box<dyn Model>]) -> f64 {
+    let mut worst = 0.0f64;
+    for i in 0..models.len() {
+        for j in (i + 1)..models.len() {
+            let d = crate::params::distance(models[i].params(), models[j].params()) as f64;
+            worst = worst.max(d);
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::{gaussian_mixture, MixtureSpec};
+    use crate::model::{ModelKind, SoftmaxRegression};
+
+    fn spec() -> MixtureSpec {
+        MixtureSpec { num_classes: 3, dim: 6, train_n: 120, test_n: 60, mean_scale: 2.0, noise: 0.3 }
+    }
+
+    #[test]
+    fn untrained_accuracy_near_chance() {
+        let (train, _) = gaussian_mixture(spec(), 1);
+        let m = SoftmaxRegression::new(6, 3, 0);
+        let acc = accuracy(&m, &train);
+        assert!(acc < 0.7, "untrained model unexpectedly accurate: {acc}");
+    }
+
+    #[test]
+    fn subsample_approximates_full_loss() {
+        let (train, _) = gaussian_mixture(spec(), 2);
+        let m = SoftmaxRegression::new(6, 3, 0);
+        let full = full_loss(&m, &train);
+        let sub = subsampled_loss(&m, &train, 40);
+        assert!((full - sub).abs() < 0.3 * full.max(0.1), "sub {sub} vs full {full}");
+        // When max_n exceeds dataset size they must agree exactly.
+        assert_eq!(subsampled_loss(&m, &train, 10_000), full);
+    }
+
+    #[test]
+    fn consensus_diameter_zero_iff_identical() {
+        let a = ModelKind::Softmax.build(6, 3, 1);
+        let b = a.clone();
+        let mut c = a.clone();
+        assert_eq!(consensus_diameter(&[a.clone(), b]), 0.0);
+        c.params_mut()[0] += 2.0;
+        assert!(consensus_diameter(&[a, c]) >= 2.0 - 1e-6);
+    }
+
+    #[test]
+    fn replica_mean_loss_is_mean() {
+        let (train, _) = gaussian_mixture(spec(), 3);
+        let a = ModelKind::Softmax.build(6, 3, 1);
+        let b = ModelKind::Softmax.build(6, 3, 2);
+        let la = subsampled_loss(a.as_ref(), &train, 1000);
+        let lb = subsampled_loss(b.as_ref(), &train, 1000);
+        let mean = mean_loss_across_replicas(&[a, b], &train, 1000);
+        assert!((mean - (la + lb) / 2.0).abs() < 1e-9);
+    }
+}
+
+/// Top-k classification accuracy (the standard ImageNet-style metric):
+/// a prediction counts if the true label is among the k highest-scoring
+/// classes.
+///
+/// Requires a scoring model: implemented for [`crate::model::SoftmaxRegression`]
+/// (probabilities) via [`top_k_accuracy_softmax`]; generic models fall
+/// back to top-1 through [`accuracy`].
+pub fn top_k_accuracy_softmax(
+    model: &crate::model::SoftmaxRegression,
+    data: &Dataset,
+    k: usize,
+) -> f64 {
+    assert!(k >= 1 && k <= data.num_classes(), "k out of range");
+    assert!(!data.is_empty(), "top-k over empty dataset");
+    let mut correct = 0usize;
+    for i in 0..data.len() {
+        let probs = model.probabilities(data.feature(i));
+        let y = data.label(i) as usize;
+        // Rank of the true class: count strictly-greater scores.
+        let rank = probs.iter().filter(|&&p| p > probs[y]).count();
+        if rank < k {
+            correct += 1;
+        }
+    }
+    correct as f64 / data.len() as f64
+}
+
+/// Confusion matrix: `confusion[(true, predicted)]` counts.
+pub fn confusion_matrix(model: &dyn Model, data: &Dataset) -> Vec<Vec<usize>> {
+    let c = data.num_classes();
+    let mut m = vec![vec![0usize; c]; c];
+    for i in 0..data.len() {
+        let t = data.label(i) as usize;
+        let p = (model.predict(data.feature(i)) as usize).min(c - 1);
+        m[t][p] += 1;
+    }
+    m
+}
+
+/// Per-class recall from a confusion matrix (NaN-free: classes with no
+/// examples report 0).
+pub fn per_class_recall(confusion: &[Vec<usize>]) -> Vec<f64> {
+    confusion
+        .iter()
+        .enumerate()
+        .map(|(t, row)| {
+            let total: usize = row.iter().sum();
+            if total == 0 {
+                0.0
+            } else {
+                row[t] as f64 / total as f64
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod extended_metric_tests {
+    use super::*;
+    use crate::datasets::{gaussian_mixture, MixtureSpec};
+    use crate::model::SoftmaxRegression;
+    use crate::optim::{SgdConfig, SgdState};
+
+    fn trained() -> (SoftmaxRegression, Dataset) {
+        let (train, test) = gaussian_mixture(
+            MixtureSpec {
+                num_classes: 5,
+                dim: 8,
+                train_n: 300,
+                test_n: 150,
+                mean_scale: 1.2,
+                noise: 0.8,
+            },
+            9,
+        );
+        let mut m = SoftmaxRegression::new(8, 5, 1);
+        let cfg = SgdConfig::plain(0.5);
+        let mut st = SgdState::new(m.num_params());
+        let mut grad = vec![0.0f32; m.num_params()];
+        let all: Vec<usize> = (0..train.len()).collect();
+        for _ in 0..100 {
+            m.loss_grad(&train, &all, &mut grad);
+            st.step(&cfg, cfg.lr, m.params_mut(), &grad);
+        }
+        (m, test)
+    }
+
+    #[test]
+    fn top_k_is_monotone_in_k() {
+        let (m, test) = trained();
+        let t1 = top_k_accuracy_softmax(&m, &test, 1);
+        let t2 = top_k_accuracy_softmax(&m, &test, 2);
+        let t5 = top_k_accuracy_softmax(&m, &test, 5);
+        assert!(t1 <= t2 && t2 <= t5, "{t1} {t2} {t5}");
+        assert!((t5 - 1.0).abs() < 1e-12, "top-C accuracy must be exactly 1");
+        // And top-1 must agree with the generic accuracy.
+        let a1 = accuracy(&m, &test);
+        assert!((t1 - a1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confusion_matrix_row_sums_match_class_counts() {
+        let (m, test) = trained();
+        let conf = confusion_matrix(&m, &test);
+        let hist = test.class_histogram();
+        for (t, row) in conf.iter().enumerate() {
+            assert_eq!(row.iter().sum::<usize>(), hist[t]);
+        }
+        // Diagonal dominance after training (better than chance).
+        let diag: usize = (0..5).map(|c| conf[c][c]).sum();
+        assert!(diag as f64 / test.len() as f64 > 0.4);
+    }
+
+    #[test]
+    fn per_class_recall_bounds() {
+        let (m, test) = trained();
+        let conf = confusion_matrix(&m, &test);
+        for r in per_class_recall(&conf) {
+            assert!((0.0..=1.0).contains(&r));
+        }
+    }
+}

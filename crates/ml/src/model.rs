@@ -1,0 +1,576 @@
+//! Trainable models.
+//!
+//! Every model exposes its parameters as one flat `f32` slice — that flat
+//! vector is the `x_i` of the paper: it is what SGD updates, what gossip
+//! partners exchange, and what the consensus distance ‖x_i − x_m‖ is
+//! measured on.
+//!
+//! Three models are provided:
+//!
+//! * [`SoftmaxRegression`] — multinomial logistic regression; convex, the
+//!   workhorse for the figure reproductions.
+//! * [`Mlp`] — a one-hidden-layer ReLU network; non-convex, used where the
+//!   paper's point involves escaping sharp minima (§V-D's accuracy
+//!   discussion) and for the larger "model" workloads.
+//! * [`LeastSquares`] — L2-regularised linear regression; **µ-strongly
+//!   convex with L-Lipschitz gradients**, exactly Assumption 1 of the
+//!   paper, so the convergence-theory tests (Theorems 1–3) can be checked
+//!   against a model that satisfies their hypotheses.
+
+use crate::dataset::Dataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A supervised model with flat parameters.
+pub trait Model: Send {
+    /// Number of parameters.
+    fn num_params(&self) -> usize;
+
+    /// Flat parameter vector.
+    fn params(&self) -> &[f32];
+
+    /// Mutable flat parameter vector.
+    fn params_mut(&mut self) -> &mut [f32];
+
+    /// Computes the mean loss over `batch` (example indices into `data`)
+    /// and writes the mean gradient into `grad`.
+    ///
+    /// # Panics
+    /// Implementations panic if `grad.len() != self.num_params()` or the
+    /// dataset shape does not match the model.
+    fn loss_grad(&self, data: &Dataset, batch: &[usize], grad: &mut [f32]) -> f32;
+
+    /// Mean loss over `batch` without computing gradients.
+    fn loss(&self, data: &Dataset, batch: &[usize]) -> f32;
+
+    /// Predicted class for a feature vector. Regression models return 0.
+    fn predict(&self, x: &[f32]) -> u32;
+
+    /// Clones the model behind a trait object (each worker node holds its
+    /// own replica).
+    fn clone_box(&self) -> Box<dyn Model>;
+}
+
+impl Clone for Box<dyn Model> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// Which model a workload trains; a cheap, serialisable factory.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// Multinomial logistic regression.
+    Softmax,
+    /// One-hidden-layer ReLU MLP with the given hidden width.
+    Mlp {
+        /// Hidden-layer width.
+        hidden: usize,
+    },
+    /// Ridge regression with the given L2 coefficient.
+    LeastSquares {
+        /// L2 regularisation weight (µ-strong convexity constant).
+        l2: f64,
+    },
+}
+
+impl ModelKind {
+    /// Instantiates the model for a dataset shape with seeded init.
+    pub fn build(self, dim: usize, num_classes: usize, seed: u64) -> Box<dyn Model> {
+        match self {
+            ModelKind::Softmax => Box::new(SoftmaxRegression::new(dim, num_classes, seed)),
+            ModelKind::Mlp { hidden } => Box::new(Mlp::new(dim, hidden, num_classes, seed)),
+            ModelKind::LeastSquares { l2 } => Box::new(LeastSquares::new(dim, l2 as f32, seed)),
+        }
+    }
+}
+
+fn seeded_init(n: usize, scale: f32, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(-scale..scale)).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Softmax regression
+// ---------------------------------------------------------------------------
+
+/// Multinomial logistic regression: `logit_c = W_c · x + b_c`.
+///
+/// Parameter layout: `[W (C×D row-major) | b (C)]`.
+#[derive(Debug, Clone)]
+pub struct SoftmaxRegression {
+    dim: usize,
+    classes: usize,
+    params: Vec<f32>,
+}
+
+impl SoftmaxRegression {
+    /// Creates a model with small seeded random weights.
+    pub fn new(dim: usize, classes: usize, seed: u64) -> Self {
+        assert!(classes >= 2, "softmax needs ≥ 2 classes");
+        let scale = (1.0 / dim as f32).sqrt() * 0.1;
+        let mut params = seeded_init(dim * classes, scale, seed);
+        params.extend(std::iter::repeat_n(0.0f32, classes));
+        Self { dim, classes, params }
+    }
+
+    /// Class probabilities for a feature vector (softmax of the logits).
+    pub fn probabilities(&self, x: &[f32]) -> Vec<f32> {
+        let mut logits = self.logits(x);
+        softmax_inplace(&mut logits);
+        logits
+    }
+
+    fn logits(&self, x: &[f32]) -> Vec<f32> {
+        debug_assert_eq!(x.len(), self.dim);
+        let (w, b) = self.params.split_at(self.dim * self.classes);
+        (0..self.classes)
+            .map(|c| {
+                let row = &w[c * self.dim..(c + 1) * self.dim];
+                crate::params::dot(row, x) + b[c]
+            })
+            .collect()
+    }
+}
+
+/// Numerically stable in-place softmax.
+fn softmax_inplace(logits: &mut [f32]) {
+    let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    for l in logits.iter_mut() {
+        *l = (*l - max).exp();
+        sum += *l;
+    }
+    for l in logits.iter_mut() {
+        *l /= sum;
+    }
+}
+
+impl Model for SoftmaxRegression {
+    fn num_params(&self) -> usize {
+        self.params.len()
+    }
+
+    fn params(&self) -> &[f32] {
+        &self.params
+    }
+
+    fn params_mut(&mut self) -> &mut [f32] {
+        &mut self.params
+    }
+
+    fn loss_grad(&self, data: &Dataset, batch: &[usize], grad: &mut [f32]) -> f32 {
+        assert_eq!(grad.len(), self.num_params(), "grad buffer size mismatch");
+        assert_eq!(data.dim(), self.dim, "dataset dim mismatch");
+        assert!(!batch.is_empty(), "empty batch");
+        grad.fill(0.0);
+        let inv = 1.0 / batch.len() as f32;
+        let mut loss = 0.0f32;
+        let (gw, gb) = grad.split_at_mut(self.dim * self.classes);
+        for &i in batch {
+            let x = data.feature(i);
+            let y = data.label(i) as usize;
+            let mut p = self.logits(x);
+            softmax_inplace(&mut p);
+            loss -= (p[y].max(1e-12)).ln();
+            for c in 0..self.classes {
+                let coef = (p[c] - if c == y { 1.0 } else { 0.0 }) * inv;
+                if coef == 0.0 {
+                    continue;
+                }
+                let row = &mut gw[c * self.dim..(c + 1) * self.dim];
+                crate::params::axpy(coef, x, row);
+                gb[c] += coef;
+            }
+        }
+        loss * inv
+    }
+
+    fn loss(&self, data: &Dataset, batch: &[usize]) -> f32 {
+        assert!(!batch.is_empty(), "empty batch");
+        let mut loss = 0.0f32;
+        for &i in batch {
+            let p = self.probabilities(data.feature(i));
+            loss -= (p[data.label(i) as usize].max(1e-12)).ln();
+        }
+        loss / batch.len() as f32
+    }
+
+    fn predict(&self, x: &[f32]) -> u32 {
+        let logits = self.logits(x);
+        argmax(&logits)
+    }
+
+    fn clone_box(&self) -> Box<dyn Model> {
+        Box::new(self.clone())
+    }
+}
+
+fn argmax(v: &[f32]) -> u32 {
+    let mut best = 0usize;
+    for (i, &x) in v.iter().enumerate() {
+        if x > v[best] {
+            best = i;
+        }
+    }
+    best as u32
+}
+
+// ---------------------------------------------------------------------------
+// One-hidden-layer MLP
+// ---------------------------------------------------------------------------
+
+/// One-hidden-layer ReLU network: `logits = W2 · relu(W1 x + b1) + b2`.
+///
+/// Parameter layout: `[W1 (H×D) | b1 (H) | W2 (C×H) | b2 (C)]`.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    dim: usize,
+    hidden: usize,
+    classes: usize,
+    params: Vec<f32>,
+}
+
+impl Mlp {
+    /// Creates a model with He-style seeded init.
+    pub fn new(dim: usize, hidden: usize, classes: usize, seed: u64) -> Self {
+        assert!(hidden > 0 && classes >= 2);
+        let s1 = (2.0 / dim as f32).sqrt() * 0.5;
+        let s2 = (2.0 / hidden as f32).sqrt() * 0.5;
+        let mut params = seeded_init(hidden * dim, s1, seed);
+        params.extend(std::iter::repeat_n(0.0f32, hidden));
+        params.extend(seeded_init(classes * hidden, s2, seed.wrapping_add(1)));
+        params.extend(std::iter::repeat_n(0.0f32, classes));
+        Self { dim, hidden, classes, params }
+    }
+
+    fn split(&self) -> (&[f32], &[f32], &[f32], &[f32]) {
+        let (w1, rest) = self.params.split_at(self.hidden * self.dim);
+        let (b1, rest) = rest.split_at(self.hidden);
+        let (w2, b2) = rest.split_at(self.classes * self.hidden);
+        (w1, b1, w2, b2)
+    }
+
+    /// Forward pass; returns (hidden activations post-ReLU, logits).
+    fn forward(&self, x: &[f32]) -> (Vec<f32>, Vec<f32>) {
+        let (w1, b1, w2, b2) = self.split();
+        let mut h = vec![0.0f32; self.hidden];
+        for (j, hj) in h.iter_mut().enumerate() {
+            let row = &w1[j * self.dim..(j + 1) * self.dim];
+            *hj = (crate::params::dot(row, x) + b1[j]).max(0.0);
+        }
+        let mut logits = vec![0.0f32; self.classes];
+        for (c, lc) in logits.iter_mut().enumerate() {
+            let row = &w2[c * self.hidden..(c + 1) * self.hidden];
+            *lc = crate::params::dot(row, &h) + b2[c];
+        }
+        (h, logits)
+    }
+}
+
+impl Model for Mlp {
+    fn num_params(&self) -> usize {
+        self.params.len()
+    }
+
+    fn params(&self) -> &[f32] {
+        &self.params
+    }
+
+    fn params_mut(&mut self) -> &mut [f32] {
+        &mut self.params
+    }
+
+    fn loss_grad(&self, data: &Dataset, batch: &[usize], grad: &mut [f32]) -> f32 {
+        assert_eq!(grad.len(), self.num_params(), "grad buffer size mismatch");
+        assert_eq!(data.dim(), self.dim, "dataset dim mismatch");
+        assert!(!batch.is_empty(), "empty batch");
+        grad.fill(0.0);
+        let inv = 1.0 / batch.len() as f32;
+        let mut loss = 0.0f32;
+
+        let (w1_len, b1_len, w2_len) =
+            (self.hidden * self.dim, self.hidden, self.classes * self.hidden);
+        let (_, _, w2, _) = self.split();
+        let w2 = w2.to_vec(); // borrow w2 while writing into grad
+
+        for &i in batch {
+            let x = data.feature(i);
+            let y = data.label(i) as usize;
+            let (h, mut p) = self.forward(x);
+            softmax_inplace(&mut p);
+            loss -= (p[y].max(1e-12)).ln();
+
+            // dL/dlogit_c = p_c - 1{c=y}
+            let (gw1, rest) = grad.split_at_mut(w1_len);
+            let (gb1, rest) = rest.split_at_mut(b1_len);
+            let (gw2, gb2) = rest.split_at_mut(w2_len);
+
+            // Output layer grads + backprop into hidden.
+            let mut dh = vec![0.0f32; self.hidden];
+            for c in 0..self.classes {
+                let d = (p[c] - if c == y { 1.0 } else { 0.0 }) * inv;
+                if d == 0.0 {
+                    continue;
+                }
+                let row = &mut gw2[c * self.hidden..(c + 1) * self.hidden];
+                crate::params::axpy(d, &h, row);
+                gb2[c] += d;
+                let w2row = &w2[c * self.hidden..(c + 1) * self.hidden];
+                crate::params::axpy(d, w2row, &mut dh);
+            }
+            // ReLU gate, then input layer grads.
+            for (j, dhj) in dh.iter().enumerate() {
+                if h[j] <= 0.0 || *dhj == 0.0 {
+                    continue;
+                }
+                let row = &mut gw1[j * self.dim..(j + 1) * self.dim];
+                crate::params::axpy(*dhj, x, row);
+                gb1[j] += *dhj;
+            }
+        }
+        loss * inv
+    }
+
+    fn loss(&self, data: &Dataset, batch: &[usize]) -> f32 {
+        assert!(!batch.is_empty(), "empty batch");
+        let mut loss = 0.0f32;
+        for &i in batch {
+            let (_, mut p) = self.forward(data.feature(i));
+            softmax_inplace(&mut p);
+            loss -= (p[data.label(i) as usize].max(1e-12)).ln();
+        }
+        loss / batch.len() as f32
+    }
+
+    fn predict(&self, x: &[f32]) -> u32 {
+        let (_, logits) = self.forward(x);
+        argmax(&logits)
+    }
+
+    fn clone_box(&self) -> Box<dyn Model> {
+        Box::new(self.clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ridge regression (the Assumption-1 model)
+// ---------------------------------------------------------------------------
+
+/// L2-regularised least squares: `loss = ½(w·x + b − y)² + ½λ‖w‖²`,
+/// treating the integer label as the regression target.
+///
+/// With `λ > 0` this loss is λ-strongly convex with Lipschitz gradients —
+/// the exact hypotheses of the paper's Assumption 1 — so the convergence
+/// bound of Theorem 1 can be tested against it quantitatively.
+#[derive(Debug, Clone)]
+pub struct LeastSquares {
+    dim: usize,
+    l2: f32,
+    /// Layout: `[w (dim) | b]`.
+    params: Vec<f32>,
+}
+
+impl LeastSquares {
+    /// Creates a model with small seeded random weights.
+    pub fn new(dim: usize, l2: f32, seed: u64) -> Self {
+        assert!(l2 >= 0.0);
+        let mut params = seeded_init(dim, 0.1, seed);
+        params.push(0.0);
+        Self { dim, l2, params }
+    }
+
+    fn value(&self, x: &[f32]) -> f32 {
+        crate::params::dot(&self.params[..self.dim], x) + self.params[self.dim]
+    }
+}
+
+impl Model for LeastSquares {
+    fn num_params(&self) -> usize {
+        self.params.len()
+    }
+
+    fn params(&self) -> &[f32] {
+        &self.params
+    }
+
+    fn params_mut(&mut self) -> &mut [f32] {
+        &mut self.params
+    }
+
+    fn loss_grad(&self, data: &Dataset, batch: &[usize], grad: &mut [f32]) -> f32 {
+        assert_eq!(grad.len(), self.num_params(), "grad buffer size mismatch");
+        assert!(!batch.is_empty(), "empty batch");
+        grad.fill(0.0);
+        let inv = 1.0 / batch.len() as f32;
+        let mut loss = 0.0f32;
+        for &i in batch {
+            let x = data.feature(i);
+            let y = data.label(i) as f32;
+            let r = self.value(x) - y;
+            loss += 0.5 * r * r;
+            crate::params::axpy(r * inv, x, &mut grad[..self.dim]);
+            grad[self.dim] += r * inv;
+        }
+        // L2 term on weights (not bias).
+        let w = &self.params[..self.dim];
+        loss += 0.5 * self.l2 * crate::params::norm_sq(w) * batch.len() as f32;
+        crate::params::axpy(self.l2, w, &mut grad[..self.dim]);
+        loss * inv + 0.0 // already averaged data term; reg term below
+    }
+
+    fn loss(&self, data: &Dataset, batch: &[usize]) -> f32 {
+        assert!(!batch.is_empty(), "empty batch");
+        let mut loss = 0.0f32;
+        for &i in batch {
+            let r = self.value(data.feature(i)) - data.label(i) as f32;
+            loss += 0.5 * r * r;
+        }
+        loss / batch.len() as f32
+            + 0.5 * self.l2 * crate::params::norm_sq(&self.params[..self.dim])
+    }
+
+    fn predict(&self, x: &[f32]) -> u32 {
+        self.value(x).round().max(0.0) as u32
+    }
+
+    fn clone_box(&self) -> Box<dyn Model> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::{gaussian_mixture, MixtureSpec};
+
+    fn small_data() -> Dataset {
+        gaussian_mixture(
+            MixtureSpec {
+                num_classes: 3,
+                dim: 8,
+                train_n: 120,
+                test_n: 30,
+                mean_scale: 2.0,
+                noise: 0.3,
+            },
+            42,
+        )
+        .0
+    }
+
+    /// Central-difference gradient check for any model.
+    fn grad_check(model: &mut dyn Model, data: &Dataset, tol: f32) {
+        let batch: Vec<usize> = (0..16).collect();
+        let n = model.num_params();
+        let mut grad = vec![0.0f32; n];
+        model.loss_grad(data, &batch, &mut grad);
+        let eps = 1e-3f32;
+        // Check a spread of parameter coordinates.
+        for k in (0..n).step_by((n / 13).max(1)) {
+            let orig = model.params()[k];
+            model.params_mut()[k] = orig + eps;
+            let lp = model.loss(data, &batch);
+            model.params_mut()[k] = orig - eps;
+            let lm = model.loss(data, &batch);
+            model.params_mut()[k] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (num - grad[k]).abs() < tol * (1.0 + num.abs()),
+                "param {k}: numeric {num} vs analytic {}",
+                grad[k]
+            );
+        }
+    }
+
+    #[test]
+    fn softmax_gradient_is_correct() {
+        let data = small_data();
+        let mut m = SoftmaxRegression::new(8, 3, 7);
+        grad_check(&mut m, &data, 2e-2);
+    }
+
+    #[test]
+    fn mlp_gradient_is_correct() {
+        let data = small_data();
+        let mut m = Mlp::new(8, 12, 3, 7);
+        grad_check(&mut m, &data, 3e-2);
+    }
+
+    #[test]
+    fn least_squares_gradient_is_correct() {
+        let data = small_data();
+        let mut m = LeastSquares::new(8, 0.01, 7);
+        grad_check(&mut m, &data, 2e-2);
+    }
+
+    #[test]
+    fn sgd_reduces_softmax_loss() {
+        let data = small_data();
+        let mut m = SoftmaxRegression::new(8, 3, 1);
+        let batch: Vec<usize> = (0..data.len()).collect();
+        let mut grad = vec![0.0f32; m.num_params()];
+        let l0 = m.loss(&data, &batch);
+        for _ in 0..50 {
+            m.loss_grad(&data, &batch, &mut grad);
+            crate::params::axpy(-0.5, &grad, m.params_mut());
+        }
+        let l1 = m.loss(&data, &batch);
+        assert!(l1 < 0.5 * l0, "full-batch GD failed to reduce loss: {l0} -> {l1}");
+    }
+
+    #[test]
+    fn trained_softmax_beats_chance() {
+        let (train, test) = gaussian_mixture(
+            MixtureSpec {
+                num_classes: 4,
+                dim: 10,
+                train_n: 400,
+                test_n: 200,
+                mean_scale: 1.5,
+                noise: 0.5,
+            },
+            3,
+        );
+        let mut m = SoftmaxRegression::new(10, 4, 1);
+        let batch: Vec<usize> = (0..train.len()).collect();
+        let mut grad = vec![0.0f32; m.num_params()];
+        for _ in 0..200 {
+            m.loss_grad(&train, &batch, &mut grad);
+            crate::params::axpy(-0.5, &grad, m.params_mut());
+        }
+        let correct = (0..test.len())
+            .filter(|&i| m.predict(test.feature(i)) == test.label(i))
+            .count();
+        let acc = correct as f64 / test.len() as f64;
+        assert!(acc > 0.8, "test accuracy {acc} too low");
+    }
+
+    #[test]
+    fn model_kind_builds_expected_sizes() {
+        let s = ModelKind::Softmax.build(10, 4, 0);
+        assert_eq!(s.num_params(), 10 * 4 + 4);
+        let m = ModelKind::Mlp { hidden: 16 }.build(10, 4, 0);
+        assert_eq!(m.num_params(), 16 * 10 + 16 + 4 * 16 + 4);
+        let l = ModelKind::LeastSquares { l2: 0.1 }.build(10, 4, 0);
+        assert_eq!(l.num_params(), 11);
+    }
+
+    #[test]
+    fn clone_box_is_independent() {
+        let m = SoftmaxRegression::new(4, 2, 9);
+        let mut c = m.clone_box();
+        c.params_mut()[0] += 1.0;
+        assert_ne!(m.params()[0], c.params()[0]);
+    }
+
+    #[test]
+    fn deterministic_init() {
+        let a = SoftmaxRegression::new(6, 3, 5);
+        let b = SoftmaxRegression::new(6, 3, 5);
+        assert_eq!(a.params(), b.params());
+        let c = SoftmaxRegression::new(6, 3, 6);
+        assert_ne!(a.params(), c.params());
+    }
+}

@@ -1,0 +1,140 @@
+//! Flat parameter-vector arithmetic.
+//!
+//! Model parameters travel between workers as flat `f32` buffers (that is
+//! exactly what goes over the wire in the paper — `xm` in Algorithm 2
+//! line 10). These helpers are the hot loops of the whole simulation, so
+//! they are written as simple slice iterations the compiler auto-vectorises.
+
+/// `y += a * x` (BLAS `axpy`).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn axpy(a: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += a * xi;
+    }
+}
+
+/// `y = a * y`.
+pub fn scale(a: f32, y: &mut [f32]) {
+    for yi in y.iter_mut() {
+        *yi *= a;
+    }
+}
+
+/// Dot product.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn dot(x: &[f32], y: &[f32]) -> f32 {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// Squared L2 norm.
+pub fn norm_sq(x: &[f32]) -> f32 {
+    dot(x, x)
+}
+
+/// Euclidean distance between two parameter vectors — the paper's model
+/// difference `‖x_i − x_m‖` from Eq. (1).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn distance(x: &[f32], y: &[f32]) -> f32 {
+    assert_eq!(x.len(), y.len(), "distance: length mismatch");
+    x.iter()
+        .zip(y)
+        .map(|(a, b)| {
+            let d = a - b;
+            d * d
+        })
+        .sum::<f32>()
+        .sqrt()
+}
+
+/// In-place convex blend `x = (1 - w) * x + w * y` — the gossip averaging
+/// step used by AD-PSGD/GoSGD and NetMax's second update.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn blend(w: f32, x: &mut [f32], y: &[f32]) {
+    assert_eq!(x.len(), y.len(), "blend: length mismatch");
+    for (xi, yi) in x.iter_mut().zip(y) {
+        *xi = (1.0 - w) * *xi + w * yi;
+    }
+}
+
+/// Elementwise mean of several equally-long parameter vectors, written into
+/// `out` (used by the allreduce collectives).
+///
+/// # Panics
+/// Panics if `vectors` is empty or lengths mismatch.
+pub fn mean_into(vectors: &[&[f32]], out: &mut [f32]) {
+    assert!(!vectors.is_empty(), "mean_into: need at least one vector");
+    for v in vectors {
+        assert_eq!(v.len(), out.len(), "mean_into: length mismatch");
+    }
+    let inv = 1.0 / vectors.len() as f32;
+    out.fill(0.0);
+    for v in vectors {
+        for (o, x) in out.iter_mut().zip(*v) {
+            *o += x * inv;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axpy_basic() {
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [10.0, 10.0, 10.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 14.0, 16.0]);
+    }
+
+    #[test]
+    fn dot_and_norms() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert_eq!(norm_sq(&[3.0, 4.0]), 25.0);
+        assert_eq!(distance(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    fn blend_endpoints() {
+        let mut x = [1.0, 1.0];
+        blend(0.0, &mut x, &[5.0, 5.0]);
+        assert_eq!(x, [1.0, 1.0]);
+        blend(1.0, &mut x, &[5.0, 7.0]);
+        assert_eq!(x, [5.0, 7.0]);
+        blend(0.5, &mut x, &[1.0, 1.0]);
+        assert_eq!(x, [3.0, 4.0]);
+    }
+
+    #[test]
+    fn mean_into_averages() {
+        let a = [1.0f32, 2.0];
+        let b = [3.0f32, 6.0];
+        let mut out = [0.0f32; 2];
+        mean_into(&[&a, &b], &mut out);
+        assert_eq!(out, [2.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn axpy_length_checked() {
+        let mut y = [0.0f32; 2];
+        axpy(1.0, &[1.0; 3], &mut y);
+    }
+
+    #[test]
+    fn scale_basic() {
+        let mut y = [2.0f32, -4.0];
+        scale(0.5, &mut y);
+        assert_eq!(y, [1.0, -2.0]);
+    }
+}

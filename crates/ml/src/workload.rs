@@ -1,0 +1,268 @@
+//! Named training workloads: dataset + model + hyper-parameters.
+//!
+//! A [`Workload`] bundles everything a distributed-training run needs
+//! other than the network and the algorithm: the (synthetic stand-in)
+//! dataset, the trainable model kind, the SGD configuration, and the
+//! communication [`ModelProfile`]. The constructors mirror the paper's
+//! experiment table: `resnet18_cifar10`, `resnet50_imagenet`, etc.
+
+use crate::dataset::Dataset;
+use crate::datasets;
+use crate::model::{Model, ModelKind};
+use crate::optim::SgdConfig;
+use crate::profile::ModelProfile;
+use std::sync::Arc;
+
+/// A complete training workload.
+#[derive(Clone)]
+pub struct Workload {
+    /// Human-readable name, e.g. `"resnet18/cifar10"`.
+    pub name: String,
+    /// Training data (shared across all simulated workers).
+    pub train: Arc<Dataset>,
+    /// Held-out test data.
+    pub test: Arc<Dataset>,
+    /// Which trainable model each replica instantiates.
+    pub model: ModelKind,
+    /// Optimiser configuration.
+    pub optim: SgdConfig,
+    /// Base batch size (per-node batches may scale with data share).
+    pub batch_size: usize,
+    /// Target epochs for a full run (paper: 64 for ResNet18, 82 for VGG19…).
+    pub target_epochs: f64,
+    /// Communication/compute profile used for simulated timing.
+    pub profile: ModelProfile,
+}
+
+impl Workload {
+    /// Builds one model replica with replica-specific init seed.
+    pub fn build_model(&self, seed: u64) -> Box<dyn Model> {
+        self.model.build(self.train.dim(), self.train.num_classes(), seed)
+    }
+
+    /// ResNet18 on CIFAR10 (the main §V-B–E workload; 64 epochs).
+    pub fn resnet18_cifar10(seed: u64) -> Self {
+        let (train, test) = datasets::cifar10_like(seed);
+        Self {
+            name: "resnet18/cifar10".into(),
+            train: Arc::new(train),
+            test: Arc::new(test),
+            model: ModelKind::Softmax,
+            optim: SgdConfig::paper_default(),
+            batch_size: 128,
+            target_epochs: 64.0,
+            profile: ModelProfile::resnet18(),
+        }
+    }
+
+    /// VGG19 on CIFAR10 (82 epochs).
+    pub fn vgg19_cifar10(seed: u64) -> Self {
+        let (train, test) = datasets::cifar10_like(seed);
+        Self {
+            name: "vgg19/cifar10".into(),
+            train: Arc::new(train),
+            test: Arc::new(test),
+            model: ModelKind::Softmax,
+            optim: SgdConfig::paper_default(),
+            batch_size: 128,
+            target_epochs: 82.0,
+            profile: ModelProfile::vgg19(),
+        }
+    }
+
+    /// ResNet18 on CIFAR100 (§V-F non-uniform runs; 120 epochs, lr decay
+    /// at 80).
+    pub fn resnet18_cifar100(seed: u64) -> Self {
+        let (train, test) = datasets::cifar100_like(seed);
+        Self {
+            name: "resnet18/cifar100".into(),
+            train: Arc::new(train),
+            test: Arc::new(test),
+            model: ModelKind::Softmax,
+            optim: SgdConfig {
+                lr_milestones: vec![80.0],
+                ..SgdConfig::paper_default()
+            },
+            batch_size: 64,
+            target_epochs: 120.0,
+            profile: ModelProfile::resnet18(),
+        }
+    }
+
+    /// ResNet18 on Tiny-ImageNet (§V-F).
+    pub fn resnet18_tiny_imagenet(seed: u64) -> Self {
+        let (train, test) = datasets::tiny_imagenet_like(seed);
+        Self {
+            name: "resnet18/tiny-imagenet".into(),
+            train: Arc::new(train),
+            test: Arc::new(test),
+            model: ModelKind::Softmax,
+            optim: SgdConfig {
+                lr_milestones: vec![40.0],
+                ..SgdConfig::paper_default()
+            },
+            batch_size: 64,
+            target_epochs: 60.0,
+            profile: ModelProfile::resnet18(),
+        }
+    }
+
+    /// ResNet50 on ImageNet with 16 workers (§V-F; 75 epochs, decay at 40).
+    pub fn resnet50_imagenet(seed: u64) -> Self {
+        let (train, test) = datasets::imagenet_like(seed);
+        Self {
+            name: "resnet50/imagenet".into(),
+            train: Arc::new(train),
+            test: Arc::new(test),
+            model: ModelKind::Softmax,
+            optim: SgdConfig {
+                lr_milestones: vec![40.0],
+                ..SgdConfig::paper_default()
+            },
+            batch_size: 64,
+            target_epochs: 75.0,
+            profile: ModelProfile::resnet50(),
+        }
+    }
+
+    /// MobileNet on MNIST non-IID (§V-F extreme condition; batch 32,
+    /// lr 0.01).
+    pub fn mobilenet_mnist(seed: u64) -> Self {
+        let (train, test) = datasets::mnist_like(seed);
+        Self {
+            name: "mobilenet/mnist".into(),
+            train: Arc::new(train),
+            test: Arc::new(test),
+            model: ModelKind::Softmax,
+            optim: SgdConfig {
+                lr: 0.01,
+                lr_milestones: vec![],
+                ..SgdConfig::paper_default()
+            },
+            batch_size: 32,
+            target_epochs: 30.0,
+            profile: ModelProfile::mobilenet(),
+        }
+    }
+
+    /// MobileNet on CIFAR100 (§V-G small-model-complex-data study).
+    pub fn mobilenet_cifar100(seed: u64) -> Self {
+        let (train, test) = datasets::cifar100_like(seed);
+        Self {
+            name: "mobilenet/cifar100".into(),
+            train: Arc::new(train),
+            test: Arc::new(test),
+            // Deliberately weaker trainable model than the
+            // ResNet18/CIFAR100 workload (it plateaus lower on this
+            // mixture), matching the paper's ~63% vs ~72% gap.
+            model: ModelKind::Mlp { hidden: 64 },
+            optim: SgdConfig {
+                lr_milestones: vec![80.0],
+                ..SgdConfig::paper_default()
+            },
+            batch_size: 64,
+            target_epochs: 120.0,
+            profile: ModelProfile::mobilenet(),
+        }
+    }
+
+    /// GoogLeNet on MNIST for the cross-cloud run (Appendix G).
+    pub fn googlenet_mnist(seed: u64) -> Self {
+        let (train, test) = datasets::mnist_like(seed);
+        Self {
+            name: "googlenet/mnist".into(),
+            train: Arc::new(train),
+            test: Arc::new(test),
+            model: ModelKind::Mlp { hidden: 48 },
+            optim: SgdConfig {
+                lr: 0.01,
+                lr_milestones: vec![],
+                ..SgdConfig::paper_default()
+            },
+            batch_size: 32,
+            target_epochs: 30.0,
+            profile: ModelProfile::googlenet(),
+        }
+    }
+
+    /// Small convex workload used by theory tests and quick benches: ridge
+    /// regression, which satisfies the paper's Assumption 1 exactly.
+    pub fn convex_ridge(seed: u64) -> Self {
+        let (train, test) = datasets::mnist_like(seed);
+        Self {
+            name: "ridge/synthetic".into(),
+            train: Arc::new(train),
+            test: Arc::new(test),
+            model: ModelKind::LeastSquares { l2: 0.05 },
+            optim: SgdConfig::plain(0.05),
+            batch_size: 32,
+            target_epochs: 10.0,
+            profile: ModelProfile::mobilenet(),
+        }
+    }
+
+    /// CIFAR10-like convenience constructor used in doc examples.
+    pub fn cifar10_like() -> Self {
+        Self::resnet18_cifar10(0xC1FA_0010)
+    }
+
+    /// Returns a copy with the epoch budget (and learning-rate milestones)
+    /// scaled by `f`. The figure harness runs time-compressed versions of
+    /// the paper's schedules — e.g. the 120-epoch CIFAR100 runs at
+    /// `f = 0.25` become 30 epochs with the decay at epoch 20 — preserving
+    /// the schedule's *shape* while keeping the full sweep tractable.
+    pub fn time_scaled(mut self, f: f64) -> Self {
+        assert!(f > 0.0, "scale must be positive");
+        self.target_epochs *= f;
+        for m in &mut self.optim.lr_milestones {
+            *m *= f;
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_workloads_build() {
+        for w in [
+            Workload::resnet18_cifar10(1),
+            Workload::vgg19_cifar10(1),
+            Workload::resnet18_cifar100(1),
+            Workload::resnet18_tiny_imagenet(1),
+            Workload::resnet50_imagenet(1),
+            Workload::mobilenet_mnist(1),
+            Workload::mobilenet_cifar100(1),
+            Workload::googlenet_mnist(1),
+            Workload::convex_ridge(1),
+        ] {
+            let m = w.build_model(7);
+            assert!(m.num_params() > 0, "{}: no params", w.name);
+            assert!(!w.train.is_empty() && !w.test.is_empty(), "{}: empty data", w.name);
+            assert!(w.batch_size > 0 && w.target_epochs > 0.0);
+        }
+    }
+
+    #[test]
+    fn replica_seeds_differ() {
+        let w = Workload::resnet18_cifar10(1);
+        let a = w.build_model(0);
+        let b = w.build_model(1);
+        assert_ne!(a.params(), b.params());
+    }
+
+    #[test]
+    fn paper_hyperparams_respected() {
+        let w = Workload::mobilenet_mnist(1);
+        assert_eq!(w.batch_size, 32);
+        assert!((w.optim.lr - 0.01).abs() < 1e-12);
+        let w = Workload::resnet18_cifar10(1);
+        assert_eq!(w.batch_size, 128);
+        assert!((w.optim.lr - 0.1).abs() < 1e-12);
+        assert_eq!(w.target_epochs, 64.0);
+        let w = Workload::vgg19_cifar10(1);
+        assert_eq!(w.target_epochs, 82.0);
+    }
+}

@@ -1,0 +1,151 @@
+//! Property-based tests for the ML substrate: gradient correctness on
+//! random models/data, optimiser invariants, partitioner conservation
+//! laws, and sampler coverage.
+
+use netmax_ml::batch::BatchSampler;
+use netmax_ml::dataset::Dataset;
+use netmax_ml::model::ModelKind;
+use netmax_ml::optim::{SgdConfig, SgdState};
+use netmax_ml::partition::Partition;
+use proptest::prelude::*;
+
+/// Strategy: a small random dataset with the given shape bounds.
+fn dataset(max_n: usize, dim: usize, classes: usize) -> impl Strategy<Value = Dataset> {
+    (4..max_n).prop_flat_map(move |n| {
+        (
+            proptest::collection::vec(-2.0f32..2.0, n * dim),
+            proptest::collection::vec(0u32..classes as u32, n),
+        )
+            .prop_map(move |(feats, labels)| Dataset::new(feats, labels, dim, classes))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Analytic gradients of every model match central differences on
+    /// random data (the foundation every training result rests on).
+    #[test]
+    fn gradients_match_finite_differences(
+        data in dataset(24, 6, 3),
+        kind_idx in 0usize..3,
+        seed in 0u64..1000,
+    ) {
+        let kind = [
+            ModelKind::Softmax,
+            ModelKind::Mlp { hidden: 8 },
+            ModelKind::LeastSquares { l2: 0.01 },
+        ][kind_idx];
+        let mut model = kind.build(6, 3, seed);
+        let batch: Vec<usize> = (0..data.len().min(8)).collect();
+        let mut grad = vec![0.0f32; model.num_params()];
+        model.loss_grad(&data, &batch, &mut grad);
+
+        let eps = 1e-2f32;
+        let n = model.num_params();
+        for k in (0..n).step_by((n / 7).max(1)) {
+            let orig = model.params()[k];
+            model.params_mut()[k] = orig + eps;
+            let lp = model.loss(&data, &batch);
+            model.params_mut()[k] = orig - eps;
+            let lm = model.loss(&data, &batch);
+            model.params_mut()[k] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            prop_assert!(
+                (numeric - grad[k]).abs() < 0.05 * (1.0 + numeric.abs()),
+                "param {k}: numeric {numeric} vs analytic {}", grad[k]
+            );
+        }
+    }
+
+    /// A gradient step at a small learning rate does not increase the
+    /// batch loss (descent property on the sampled batch).
+    #[test]
+    fn small_step_descends(data in dataset(32, 6, 3), seed in 0u64..1000) {
+        let mut model = ModelKind::Softmax.build(6, 3, seed);
+        let batch: Vec<usize> = (0..data.len().min(16)).collect();
+        let mut grad = vec![0.0f32; model.num_params()];
+        let before = model.loss_grad(&data, &batch, &mut grad);
+        let cfg = SgdConfig::plain(1e-3);
+        let mut st = SgdState::new(model.num_params());
+        st.step(&cfg, cfg.lr, model.params_mut(), &grad);
+        let after = model.loss(&data, &batch);
+        prop_assert!(after <= before + 1e-4, "loss rose: {before} -> {after}");
+    }
+
+    /// Uniform partitioning conserves every example exactly once.
+    #[test]
+    fn uniform_partition_conserves_examples(
+        data in dataset(64, 4, 2),
+        nodes in 2usize..9,
+        seed in 0u64..1000,
+    ) {
+        let p = Partition::uniform(&data, nodes, seed);
+        let mut all: Vec<usize> = (0..nodes).flat_map(|i| p.node(i).to_vec()).collect();
+        all.sort_unstable();
+        let expected: Vec<usize> = (0..data.len()).collect();
+        prop_assert_eq!(all, expected);
+    }
+
+    /// Segmented partitioning conserves examples and respects ratios.
+    #[test]
+    fn segmented_partition_conserves_examples(
+        data in dataset(96, 4, 2),
+        seed in 0u64..1000,
+    ) {
+        let segments = vec![1usize, 2, 1];
+        prop_assume!(data.len() >= 8);
+        let p = Partition::segmented(&data, &segments, seed);
+        prop_assert_eq!(p.total_examples(), data.len());
+        // Weights mirror segment counts.
+        prop_assert_eq!(p.weight(1), 2.0);
+        prop_assert_eq!(p.batch_size(1, 32), 64);
+    }
+
+    /// Label-skew partitioning never assigns an example with a lost label.
+    #[test]
+    fn label_skew_excludes_lost_labels(data in dataset(64, 4, 4), seed in 0u64..4) {
+        let lost: Vec<Vec<u32>> = vec![vec![0], vec![1], vec![seed as u32 % 4]];
+        let p = Partition::label_skew(&data, &lost);
+        for (node, lost_set) in lost.iter().enumerate() {
+            for &i in p.node(node) {
+                prop_assert!(!lost_set.contains(&data.label(i)));
+            }
+        }
+    }
+
+    /// The batch sampler visits every shard element exactly once per epoch.
+    #[test]
+    fn sampler_covers_shard_each_epoch(
+        shard_len in 2usize..64,
+        batch in 1usize..16,
+        seed in 0u64..1000,
+    ) {
+        let mut s = BatchSampler::new((0..shard_len).collect(), batch, seed);
+        for epoch in 0..3 {
+            let mut seen = Vec::new();
+            while seen.len() < shard_len {
+                seen.extend(s.next_batch());
+            }
+            seen.sort_unstable();
+            prop_assert_eq!(seen.len(), shard_len, "epoch {}", epoch);
+            prop_assert_eq!(seen, (0..shard_len).collect::<Vec<_>>());
+        }
+    }
+
+    /// Momentum state keeps parameter updates finite for sane inputs.
+    #[test]
+    fn sgd_stays_finite(
+        lr in 1e-4f64..0.5,
+        momentum in 0.0f64..0.99,
+        g in proptest::collection::vec(-10.0f32..10.0, 8),
+    ) {
+        let cfg = SgdConfig { lr, momentum, weight_decay: 1e-4, lr_milestones: vec![], lr_decay: 1.0 };
+        let mut st = SgdState::new(8);
+        let mut params = vec![1.0f32; 8];
+        for _ in 0..50 {
+            st.step(&cfg, cfg.lr, &mut params, &g);
+        }
+        prop_assert!(params.iter().all(|p| p.is_finite()));
+    }
+}

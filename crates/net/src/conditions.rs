@@ -1,0 +1,426 @@
+//! Network conditions: the three regimes of the paper's evaluation.
+//!
+//! * [`HomogeneousNetwork`] — all pairs communicate at the same speed
+//!   (the reserved server with a 10 Gbps virtual switch, §V-A).
+//! * [`HeterogeneousDynamicNetwork`] — workers placed across servers with
+//!   fast intra-machine and slow inter-machine links, plus the paper's
+//!   dynamic regime: one randomly chosen link is slowed by 2×–100× and the
+//!   choice is re-drawn on a fixed period ("we further change the slow
+//!   link every 5 minutes", §V-A).
+//! * [`WanNetwork`] — a wide-area latency/bandwidth matrix reproducing the
+//!   6-region EC2 deployment of Appendix G.
+//!
+//! All three are **pure in virtual time**: the cost of a link at time `t`
+//! is a deterministic function of `(seed, t)`, never of call order. This
+//! keeps every simulation exactly reproducible and lets the engine query
+//! link costs speculatively.
+
+use crate::link::LinkQuality;
+use crate::topology::Placement;
+use serde::{Deserialize, Serialize};
+
+/// A network: the ground-truth communication cost between worker nodes.
+pub trait Network: Send + Sync {
+    /// Number of worker nodes.
+    fn num_nodes(&self) -> usize;
+
+    /// Seconds to transfer `bytes` from node `from` to node `to`, starting
+    /// at virtual time `now`.
+    fn comm_time(&self, from: usize, to: usize, bytes: u64, now: f64) -> f64;
+
+    /// The link quality between two nodes at time `now` (diagnostics and
+    /// collectives that need bandwidth directly, e.g. ring allreduce).
+    fn link(&self, from: usize, to: usize, now: f64) -> LinkQuality;
+}
+
+/// Which of the paper's network regimes to instantiate (used by the
+/// scenario builder and the figure harnesses).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum NetworkKind {
+    /// §V-A homogeneous: single server, 10 Gbps virtual switch.
+    Homogeneous,
+    /// §V-A heterogeneous with the dynamic 2×–100× slow link.
+    HeterogeneousDynamic,
+    /// §V-A heterogeneous but with the slow link frozen at its first draw
+    /// (the static assumption SAPS-PSGD makes; used in ablations).
+    HeterogeneousStatic,
+    /// Appendix G: six EC2 regions.
+    Wan,
+}
+
+/// Physical cluster description: how many workers per server and the two
+/// link classes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Workers hosted by each server, e.g. `\[4, 4\]` for the paper's
+    /// two-server, 8-worker deployments.
+    pub workers_per_server: Vec<usize>,
+    /// Link used between workers on the same server.
+    pub intra: LinkQuality,
+    /// Link used between workers on different servers.
+    pub inter: LinkQuality,
+}
+
+impl ClusterSpec {
+    /// The paper's default fabric: intra-machine GPU-class links and
+    /// 1000 Mbps Ethernet between servers.
+    pub fn paper_default(workers_per_server: Vec<usize>) -> Self {
+        Self {
+            workers_per_server,
+            intra: LinkQuality::intra_machine(),
+            inter: LinkQuality::gbit_ethernet(),
+        }
+    }
+
+    /// Total workers.
+    pub fn num_workers(&self) -> usize {
+        self.workers_per_server.iter().sum()
+    }
+
+    /// The worker→server placement implied by the per-server counts.
+    pub fn placement(&self) -> Placement {
+        Placement::from_counts(&self.workers_per_server)
+    }
+}
+
+/// Homogeneous network: every distinct pair communicates over the same link.
+#[derive(Debug, Clone)]
+pub struct HomogeneousNetwork {
+    n: usize,
+    link: LinkQuality,
+}
+
+impl HomogeneousNetwork {
+    /// Creates a homogeneous network over `n` nodes with the given link.
+    pub fn new(n: usize, link: LinkQuality) -> Self {
+        assert!(n > 0);
+        Self { n, link }
+    }
+
+    /// The paper's homogeneous setting: 10 Gbps virtual switch.
+    pub fn paper_default(n: usize) -> Self {
+        Self::new(n, LinkQuality::virtual_switch_10g())
+    }
+}
+
+impl Network for HomogeneousNetwork {
+    fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    fn comm_time(&self, from: usize, to: usize, bytes: u64, _now: f64) -> f64 {
+        if from == to {
+            return 0.0;
+        }
+        self.link.transfer_time(bytes)
+    }
+
+    fn link(&self, _from: usize, _to: usize, _now: f64) -> LinkQuality {
+        self.link
+    }
+}
+
+/// Configuration of the paper's dynamic slow-link regime.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SlowdownConfig {
+    /// Minimum slowdown factor (paper: 2).
+    pub min_factor: f64,
+    /// Maximum slowdown factor (paper: 100).
+    pub max_factor: f64,
+    /// How often the slowed link is re-drawn, in seconds of virtual time
+    /// (paper: every 5 minutes).
+    pub change_period_s: f64,
+    /// When `false`, the link drawn in window 0 stays slowed forever
+    /// (models the static-subgraph assumption of SAPS-PSGD).
+    pub dynamic: bool,
+}
+
+impl Default for SlowdownConfig {
+    fn default() -> Self {
+        Self { min_factor: 2.0, max_factor: 100.0, change_period_s: 300.0, dynamic: true }
+    }
+}
+
+/// Heterogeneous cluster network with a dynamically slowed link.
+///
+/// The slowed (ordered pair collapsed to unordered) link and its factor in
+/// time window `w = floor(now / change_period)` are derived by hashing
+/// `(seed, w)` — no mutable state, fully reproducible.
+#[derive(Debug, Clone)]
+pub struct HeterogeneousDynamicNetwork {
+    spec: ClusterSpec,
+    placement: Placement,
+    slowdown: SlowdownConfig,
+    seed: u64,
+}
+
+impl HeterogeneousDynamicNetwork {
+    /// Creates the network. `seed` drives the slow-link schedule.
+    pub fn new(spec: ClusterSpec, slowdown: SlowdownConfig, seed: u64) -> Self {
+        let placement = spec.placement();
+        assert!(placement.len() >= 2, "need at least two workers");
+        Self { spec, placement, slowdown, seed }
+    }
+
+    /// Paper defaults for `n` workers spread over `servers` machines.
+    pub fn paper_default(n: usize, servers: usize, seed: u64) -> Self {
+        let per = n.div_ceil(servers);
+        let mut counts = vec![per; servers];
+        let excess: usize = per * servers - n;
+        for c in counts.iter_mut().take(excess) {
+            *c -= 1;
+        }
+        counts.retain(|&c| c > 0);
+        Self::new(ClusterSpec::paper_default(counts), SlowdownConfig::default(), seed)
+    }
+
+    /// The unordered pair slowed during `window`, and its factor.
+    fn slowed_pair(&self, window: u64) -> (usize, usize, f64) {
+        let n = self.placement.len();
+        let w = if self.slowdown.dynamic { window } else { 0 };
+        let h1 = splitmix64(self.seed ^ w.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let h2 = splitmix64(h1);
+        let h3 = splitmix64(h2);
+        // Draw an unordered pair (i < j) uniformly.
+        let i = (h1 % n as u64) as usize;
+        let mut j = (h2 % (n as u64 - 1)) as usize;
+        if j >= i {
+            j += 1;
+        }
+        let (a, b) = if i < j { (i, j) } else { (j, i) };
+        let u = (h3 >> 11) as f64 / (1u64 << 53) as f64; // uniform [0,1)
+        let factor = self.slowdown.min_factor
+            + u * (self.slowdown.max_factor - self.slowdown.min_factor);
+        (a, b, factor)
+    }
+
+    fn window_of(&self, now: f64) -> u64 {
+        (now / self.slowdown.change_period_s).floor().max(0.0) as u64
+    }
+
+    /// The cluster spec (used by the figure harnesses for reporting).
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+}
+
+impl Network for HeterogeneousDynamicNetwork {
+    fn num_nodes(&self) -> usize {
+        self.placement.len()
+    }
+
+    fn comm_time(&self, from: usize, to: usize, bytes: u64, now: f64) -> f64 {
+        if from == to {
+            return 0.0;
+        }
+        self.link(from, to, now).transfer_time(bytes)
+    }
+
+    fn link(&self, from: usize, to: usize, now: f64) -> LinkQuality {
+        let base = if self.placement.same_server(from, to) {
+            self.spec.intra
+        } else {
+            self.spec.inter
+        };
+        let (a, b, factor) = self.slowed_pair(self.window_of(now));
+        let (lo, hi) = if from < to { (from, to) } else { (to, from) };
+        if (lo, hi) == (a, b) {
+            base.slowed(factor)
+        } else {
+            base
+        }
+    }
+}
+
+/// SplitMix64: deterministic, platform-independent hash step.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Six-region wide-area network (Appendix G deployment).
+///
+/// Region order: US-West, US-East, Ireland, Mumbai, Singapore, Tokyo —
+/// matching Table VII.
+#[derive(Debug, Clone)]
+pub struct WanNetwork {
+    n: usize,
+    /// `region_of[i]` = region index of worker `i`.
+    region_of: Vec<usize>,
+    /// Upper-triangular one-way latency matrix in seconds, 6×6.
+    latency: [[f64; 6]; 6],
+    /// Inter-region bandwidth in bytes/s, 6×6 (diagonal = intra-region).
+    bandwidth: [[f64; 6]; 6],
+}
+
+/// One-way latencies (seconds) between the six EC2 regions, derived from
+/// published inter-region RTT measurements (half-RTT). The geographic
+/// spread gives the up-to-~12× ratio the paper cites from \[5\].
+const WAN_LATENCY_MS: [[f64; 6]; 6] = [
+    // us-west us-east ireland mumbai singapore tokyo
+    [0.5, 35.0, 65.0, 115.0, 85.0, 55.0],    // us-west
+    [35.0, 0.5, 40.0, 95.0, 115.0, 80.0],    // us-east
+    [65.0, 40.0, 0.5, 60.0, 90.0, 105.0],    // ireland
+    [115.0, 95.0, 60.0, 0.5, 30.0, 60.0],    // mumbai
+    [85.0, 115.0, 90.0, 30.0, 0.5, 35.0],    // singapore
+    [55.0, 80.0, 105.0, 60.0, 35.0, 0.5],    // tokyo
+];
+
+impl WanNetwork {
+    /// One worker per region, in Table VII order.
+    pub fn paper_default() -> Self {
+        Self::new((0..6).collect())
+    }
+
+    /// Creates a WAN with an explicit worker→region assignment.
+    ///
+    /// Bandwidth model: intra-region 1.25 GB/s; inter-region bandwidth
+    /// decays with latency (long fat pipes are throughput-limited by
+    /// congestion control), from ~150 MB/s for near regions down to
+    /// ~30 MB/s for antipodal ones.
+    pub fn new(region_of: Vec<usize>) -> Self {
+        assert!(!region_of.is_empty());
+        assert!(region_of.iter().all(|&r| r < 6), "region index out of range");
+        let mut bandwidth = [[0.0; 6]; 6];
+        for (r, row) in bandwidth.iter_mut().enumerate() {
+            for (c, bw) in row.iter_mut().enumerate() {
+                if r == c {
+                    *bw = 1.25e9;
+                } else {
+                    let lat = WAN_LATENCY_MS[r][c];
+                    // 150 MB/s at 30 ms down to ~30 MB/s at 115 ms.
+                    *bw = (150e6 * 30.0 / lat).clamp(30e6, 150e6);
+                }
+            }
+        }
+        let mut latency = [[0.0; 6]; 6];
+        for (r, row) in latency.iter_mut().enumerate() {
+            for (c, l) in row.iter_mut().enumerate() {
+                *l = WAN_LATENCY_MS[r][c] / 1e3;
+            }
+        }
+        Self { n: region_of.len(), region_of, latency, bandwidth }
+    }
+}
+
+impl Network for WanNetwork {
+    fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    fn comm_time(&self, from: usize, to: usize, bytes: u64, now: f64) -> f64 {
+        if from == to {
+            return 0.0;
+        }
+        self.link(from, to, now).transfer_time(bytes)
+    }
+
+    fn link(&self, from: usize, to: usize, _now: f64) -> LinkQuality {
+        let (a, b) = (self.region_of[from], self.region_of[to]);
+        LinkQuality::new(self.latency[a][b], self.bandwidth[a][b])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MB: u64 = 1_000_000;
+
+    #[test]
+    fn homogeneous_is_uniform_and_symmetric() {
+        let net = HomogeneousNetwork::paper_default(8);
+        let t01 = net.comm_time(0, 1, 10 * MB, 0.0);
+        let t67 = net.comm_time(6, 7, 10 * MB, 1234.5);
+        assert!((t01 - t67).abs() < 1e-12);
+        assert_eq!(net.comm_time(3, 3, 10 * MB, 0.0), 0.0);
+    }
+
+    #[test]
+    fn hetero_intra_faster_than_inter() {
+        let net = HeterogeneousDynamicNetwork::paper_default(8, 2, 7);
+        // Workers 0..3 on server 0, 4..7 on server 1.
+        let intra = net.comm_time(0, 1, 40 * MB, 0.0);
+        let inter = net.comm_time(0, 4, 40 * MB, 0.0);
+        // The slowed pair might be (0,1) or (0,4); check with a pair that is
+        // not slowed in window 0.
+        let (a, b, _) = net.slowed_pair(0);
+        let (i1, i2) = if (a, b) == (0, 1) { (1, 2) } else { (0, 1) };
+        let (j1, j2) = if (a, b) == (0, 4) { (1, 5) } else { (0, 4) };
+        let intra_clean = net.comm_time(i1, i2, 40 * MB, 0.0);
+        let inter_clean = net.comm_time(j1, j2, 40 * MB, 0.0);
+        assert!(
+            inter_clean > 3.0 * intra_clean,
+            "inter {inter_clean} should dwarf intra {intra_clean} (raw {intra}/{inter})"
+        );
+    }
+
+    #[test]
+    fn slow_link_changes_between_windows() {
+        let net = HeterogeneousDynamicNetwork::paper_default(8, 2, 42);
+        let pairs: Vec<_> = (0..20).map(|w| net.slowed_pair(w)).collect();
+        // Factors in range.
+        for &(_, _, f) in &pairs {
+            assert!((2.0..=100.0).contains(&f), "factor {f} out of paper range");
+        }
+        // At least two distinct pairs over 20 windows (overwhelmingly likely).
+        let distinct: std::collections::HashSet<(usize, usize)> =
+            pairs.iter().map(|&(a, b, _)| (a, b)).collect();
+        assert!(distinct.len() > 1, "slow link never moved");
+    }
+
+    #[test]
+    fn static_mode_freezes_slow_link() {
+        let spec = ClusterSpec::paper_default(vec![4, 4]);
+        let sd = SlowdownConfig { dynamic: false, ..SlowdownConfig::default() };
+        let net = HeterogeneousDynamicNetwork::new(spec, sd, 42);
+        let p0 = net.slowed_pair(0);
+        for w in 1..10 {
+            assert_eq!(net.slowed_pair(w), p0);
+        }
+    }
+
+    #[test]
+    fn dynamics_are_pure_in_time() {
+        let net = HeterogeneousDynamicNetwork::paper_default(8, 2, 3);
+        let t1 = net.comm_time(0, 5, 40 * MB, 100.0);
+        // Query other times in between; then re-query.
+        let _ = net.comm_time(0, 5, 40 * MB, 900.0);
+        let _ = net.comm_time(2, 6, 40 * MB, 1500.0);
+        let t1_again = net.comm_time(0, 5, 40 * MB, 100.0);
+        assert_eq!(t1, t1_again);
+    }
+
+    #[test]
+    fn wan_heterogeneity_ratio() {
+        let net = WanNetwork::paper_default();
+        // Mumbai↔Singapore (close) vs US-West↔Mumbai (far).
+        let near = net.comm_time(3, 4, 4 * MB, 0.0);
+        let far = net.comm_time(0, 3, 4 * MB, 0.0);
+        assert!(far > 2.0 * near, "far {far} vs near {near}");
+        assert_eq!(net.num_nodes(), 6);
+    }
+
+    #[test]
+    fn wan_latency_matrix_is_symmetric() {
+        let net = WanNetwork::paper_default();
+        for i in 0..6 {
+            for j in 0..6 {
+                let a = net.comm_time(i, j, MB, 0.0);
+                let b = net.comm_time(j, i, MB, 0.0);
+                assert!((a - b).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn cluster_spec_placement() {
+        let spec = ClusterSpec::paper_default(vec![4, 4]);
+        assert_eq!(spec.num_workers(), 8);
+        let p = spec.placement();
+        assert!(p.same_server(0, 3));
+        assert!(!p.same_server(0, 4));
+    }
+}

@@ -1,0 +1,42 @@
+//! # netmax-net
+//!
+//! Discrete-event heterogeneous network substrate for the NetMax
+//! reproduction.
+//!
+//! The paper evaluates NetMax on a multi-tenant GPU cluster whose links are
+//! purposely slowed down ("we randomly slow down one of the communication
+//! links among nodes by 2× to 100×  ... we further change the slow link
+//! every 5 minutes", §V-A) and on a 6-region AWS deployment (Appendix G).
+//! Neither testbed is reproducible directly, so this crate provides the
+//! simulation equivalents:
+//!
+//! * [`Topology`] — the communication graph `G` of §II-A (who may gossip
+//!   with whom), with the constructors used across the evaluation
+//!   (fully-connected, ring, two-server cluster placement, star for the
+//!   parameter-server baselines).
+//! * [`LinkQuality`] — a `latency + bytes/bandwidth` cost model per
+//!   directed pair.
+//! * [`Network`] (trait) and its implementations in [`conditions`]:
+//!   [`conditions::HomogeneousNetwork`] (reserved virtual-switch setup of
+//!   §V-A), [`conditions::HeterogeneousDynamicNetwork`] (the slowed-link
+//!   regime above, deterministic in virtual time), and
+//!   [`conditions::WanNetwork`] (the 6-region EC2 matrix of Appendix G).
+//! * [`EventQueue`] — a min-heap of timestamped events with stable FIFO
+//!   tie-breaking, used by the simulation engine in `netmax-core`.
+//!
+//! All dynamics are **pure functions of virtual time and the seed**: asking
+//! the network for a link cost at time `t` never mutates it, so simulation
+//! runs are exactly reproducible and events may be replayed.
+
+pub mod conditions;
+pub mod event;
+pub mod link;
+pub mod topology;
+
+pub use conditions::{
+    ClusterSpec, HeterogeneousDynamicNetwork, HomogeneousNetwork, Network, NetworkKind,
+    SlowdownConfig, WanNetwork,
+};
+pub use event::EventQueue;
+pub use link::LinkQuality;
+pub use topology::Topology;

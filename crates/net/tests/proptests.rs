@@ -1,0 +1,147 @@
+//! Property-based tests for the network substrate: timing positivity and
+//! monotonicity, purity of the dynamic regime, topology invariants, and
+//! event-queue ordering.
+
+use netmax_net::{
+    EventQueue, HeterogeneousDynamicNetwork, HomogeneousNetwork, LinkQuality, Network, Topology,
+    WanNetwork,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Transfer time is positive and increases with message size.
+    #[test]
+    fn transfer_time_monotone_in_bytes(
+        lat in 0.0f64..0.1,
+        bw in 1e6f64..1e10,
+        a in 1u64..1_000_000,
+        b in 1u64..1_000_000,
+    ) {
+        let l = LinkQuality::new(lat, bw);
+        prop_assert!(l.transfer_time(a) > 0.0);
+        if a < b {
+            prop_assert!(l.transfer_time(a) <= l.transfer_time(b));
+        }
+    }
+
+    /// Slowdown by factor f multiplies the transfer time by exactly f.
+    #[test]
+    fn slowdown_scales_linearly(f in 1.0f64..100.0, bytes in 1u64..100_000_000) {
+        let l = LinkQuality::gbit_ethernet();
+        let ratio = l.slowed(f).transfer_time(bytes) / l.transfer_time(bytes);
+        prop_assert!((ratio - f).abs() < 1e-9 * f);
+    }
+
+    /// The dynamic heterogeneous network is a pure function of time: the
+    /// same query at the same instant always returns the same cost, in
+    /// any interleaving.
+    #[test]
+    fn dynamic_network_is_pure(
+        seed in 0u64..1000,
+        queries in proptest::collection::vec((0usize..8, 0usize..8, 0.0f64..5000.0), 1..20),
+    ) {
+        let net = HeterogeneousDynamicNetwork::paper_default(8, 3, seed);
+        let bytes = 10_000_000;
+        let first: Vec<f64> = queries
+            .iter()
+            .map(|&(i, j, t)| net.comm_time(i, j, bytes, t))
+            .collect();
+        // Re-query in reverse order — results must be identical.
+        let second: Vec<f64> = queries
+            .iter()
+            .rev()
+            .map(|&(i, j, t)| net.comm_time(i, j, bytes, t))
+            .collect();
+        for (a, b) in first.iter().zip(second.iter().rev()) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Slowdown factors stay inside the configured \[2, 100\] band at all
+    /// times and for all links.
+    #[test]
+    fn slowdown_factors_bounded(seed in 0u64..500, t in 0.0f64..100_000.0) {
+        let net = HeterogeneousDynamicNetwork::paper_default(8, 2, seed);
+        let bytes = 46_800_000; // resnet18
+        let base_inter = LinkQuality::gbit_ethernet().transfer_time(bytes);
+        for i in 0..8usize {
+            for j in 0..8usize {
+                if i == j { continue; }
+                let t_ij = net.comm_time(i, j, bytes, t);
+                // Never faster than intra-machine, never slower than
+                // 100× the inter-machine base.
+                prop_assert!(t_ij > 0.0);
+                prop_assert!(t_ij <= base_inter * 100.0 * 1.001, "({i},{j}) {t_ij}");
+            }
+        }
+    }
+
+    /// Homogeneous network: all distinct pairs cost the same at any time.
+    #[test]
+    fn homogeneous_is_symmetric_and_uniform(t in 0.0f64..10_000.0, bytes in 1u64..1_000_000_000) {
+        let net = HomogeneousNetwork::paper_default(6);
+        let base = net.comm_time(0, 1, bytes, t);
+        for i in 0..6usize {
+            for j in 0..6usize {
+                if i != j {
+                    prop_assert_eq!(net.comm_time(i, j, bytes, t), base);
+                }
+            }
+        }
+    }
+
+    /// WAN: costs are symmetric and self-communication is free.
+    #[test]
+    fn wan_symmetric(bytes in 1u64..100_000_000) {
+        let net = WanNetwork::paper_default();
+        for i in 0..6usize {
+            prop_assert_eq!(net.comm_time(i, i, bytes, 0.0), 0.0);
+            for j in 0..6usize {
+                let a = net.comm_time(i, j, bytes, 0.0);
+                let b = net.comm_time(j, i, bytes, 0.0);
+                prop_assert!((a - b).abs() < 1e-12);
+            }
+        }
+    }
+
+    /// Fully-connected topologies are connected with degree M−1; removing
+    /// one edge keeps them connected for M ≥ 3.
+    #[test]
+    fn fully_connected_robust_to_edge_removal(m in 3usize..12, e1 in 0usize..12, e2 in 0usize..12) {
+        let mut t = Topology::fully_connected(m);
+        prop_assert!(t.is_connected());
+        prop_assert_eq!(t.num_edges(), m * (m - 1) / 2);
+        let (a, b) = (e1 % m, e2 % m);
+        if a != b {
+            t.set_edge(a, b, false);
+            prop_assert!(t.is_connected(), "removing one edge from K_{m} must keep it connected");
+        }
+    }
+
+    /// Event queue pops in non-decreasing time order with FIFO ties.
+    #[test]
+    fn event_queue_ordering(times in proptest::collection::vec(0.0f64..100.0, 1..50)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(t, i);
+        }
+        let mut last_t = f64::NEG_INFINITY;
+        let mut popped = 0;
+        let mut last_seq_at_time: Option<(f64, usize)> = None;
+        while let Some((t, idx)) = q.pop() {
+            prop_assert!(t >= last_t);
+            if let Some((lt, lidx)) = last_seq_at_time {
+                if lt == t {
+                    // FIFO among equal timestamps: insertion index grows.
+                    prop_assert!(idx > lidx);
+                }
+            }
+            last_seq_at_time = Some((t, idx));
+            last_t = t;
+            popped += 1;
+        }
+        prop_assert_eq!(popped, times.len());
+    }
+}

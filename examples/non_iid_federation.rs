@@ -1,0 +1,67 @@
+//! Non-IID decentralized learning (§V-F, Table IV): eight workers on two
+//! servers, each missing three MNIST digit classes, so no worker can
+//! learn the task alone — information must flow through the gossip graph.
+//!
+//! Demonstrates the role of NetMax's inverse-probability merge weighting:
+//! slow neighbours are pulled rarely but merged strongly, so their unique
+//! labels still propagate (§V-H).
+//!
+//! ```sh
+//! cargo run --release --example non_iid_federation
+//! ```
+
+use netmax::core::netmax::MergeWeighting;
+use netmax::prelude::*;
+
+fn main() {
+    let workload = Workload::mobilenet_mnist(5);
+    let alpha = workload.optim.lr;
+
+    let scenario = ScenarioBuilder::new()
+        .workers(8)
+        .servers(2)
+        .network(NetworkKind::HeterogeneousDynamic)
+        .workload(workload)
+        .partition(PartitionKind::PaperTable4)
+        .max_epochs(10.0)
+        .seed(5)
+        .build();
+
+    println!("Table IV non-IID MNIST: each worker is missing 3 digit labels\n");
+
+    // Paper NetMax: inverse-probability weighting.
+    let mut paper = NetMax::paper_default(alpha);
+    let r_paper = scenario.run_with(&mut paper);
+
+    // Ablated NetMax: fixed 0.5 weighting (AD-PSGD style merges).
+    let mut cfg = NetMaxConfig::paper_default(alpha);
+    cfg.weighting = MergeWeighting::Fixed(0.5);
+    let mut fixed = NetMax::new(cfg);
+    let r_fixed = scenario.run_with(&mut fixed);
+
+    // AD-PSGD reference.
+    let mut adpsgd = algorithm_for(AlgorithmKind::AdPsgd, alpha);
+    let r_adpsgd = scenario.run_with(adpsgd.as_mut());
+
+    println!(
+        "{:<36} {:>10} {:>10} {:>8}",
+        "variant", "wall(s)", "loss", "acc"
+    );
+    for (name, r) in [
+        ("NetMax (inverse-probability merge)", &r_paper),
+        ("NetMax (fixed 0.5 merge)", &r_fixed),
+        ("AD-PSGD", &r_adpsgd),
+    ] {
+        println!(
+            "{:<36} {:>10.1} {:>10.4} {:>7.2}%",
+            name,
+            r.wall_clock_s,
+            r.final_train_loss,
+            100.0 * r.final_test_accuracy
+        );
+    }
+
+    println!("\nnote: accuracy sits well below MNIST's usual ~99% — the paper");
+    println!("observes the same (~93%, Table V) and attributes it to the");
+    println!("non-IID label removal.");
+}

@@ -1,0 +1,52 @@
+//! Quickstart: train a model with NetMax over a simulated heterogeneous
+//! cluster and print the run summary.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use netmax::prelude::*;
+
+fn main() {
+    // A CIFAR10-class workload with the ResNet18 communication profile:
+    // 11.7M parameters on the wire per pull, paper hyper-parameters
+    // (batch 128, momentum 0.9, weight decay 1e-4, lr 0.1).
+    let workload = Workload::cifar10_like();
+    let alpha = workload.optim.lr;
+
+    // Eight workers spread over three servers; intra-machine links are
+    // fast, inter-machine links are 1 GbE, and one random link is slowed
+    // 2–100× with the slow link re-drawn periodically — the paper's
+    // multi-tenant cluster (§V-A).
+    let scenario = ScenarioBuilder::new()
+        .workers(8)
+        .network(NetworkKind::HeterogeneousDynamic)
+        .workload(workload)
+        .max_epochs(12.0)
+        .seed(42)
+        .build();
+
+    // NetMax with paper defaults: consensus SGD workers + Network Monitor
+    // (Ts = 120 s) + Algorithm 3 policy generation.
+    let mut netmax = NetMax::paper_default(alpha);
+    let report = scenario.run_with(&mut netmax);
+
+    println!("workload        : {}", report.workload);
+    println!("workers         : {}", report.num_nodes);
+    println!("global steps    : {}", report.global_steps);
+    println!("epochs          : {:.1}", report.epochs_completed);
+    println!("simulated time  : {:.1} s", report.wall_clock_s);
+    println!("  compute/epoch : {:.2} s", report.comp_cost_per_epoch_s());
+    println!("  comm/epoch    : {:.2} s", report.comm_cost_per_epoch_s());
+    println!("final loss      : {:.4}", report.final_train_loss);
+    println!("test accuracy   : {:.2}%", 100.0 * report.final_test_accuracy);
+    println!("policies applied: {}", netmax.policies_applied());
+
+    // The loss curve is available sample by sample:
+    if let (Some(first), Some(last)) = (report.samples.first(), report.samples.last()) {
+        println!(
+            "loss {:.3} @ {:.0}s  ->  {:.3} @ {:.0}s",
+            first.train_loss, first.time_s, last.train_loss, last.time_s
+        );
+    }
+}

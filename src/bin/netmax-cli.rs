@@ -1,0 +1,292 @@
+//! `netmax-cli` — run simulated decentralized-training experiments from
+//! the command line.
+//!
+//! ```text
+//! netmax-cli list
+//! netmax-cli run     --workload resnet18-cifar10 --algorithm netmax --workers 8 \
+//!                    --network hetero --epochs 12 --seed 42
+//! netmax-cli compare --workload resnet18-cifar10 --workers 8 --epochs 12
+//! netmax-cli policy  --workers 8 --fast 0.2 --slow 0.94 --slowdown 50
+//! ```
+
+use netmax::core::diagnostics::audit_policy;
+use netmax::core::policy::{PolicyGenerator, PolicySearchConfig};
+use netmax::linalg::Matrix;
+use netmax::net::Topology;
+use netmax::prelude::*;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        usage();
+        return ExitCode::from(2);
+    };
+    let opts = Options::parse(&args[1..]);
+    match cmd.as_str() {
+        "list" => list(),
+        "run" => run(&opts),
+        "compare" => compare(&opts),
+        "policy" => policy(&opts),
+        "--help" | "-h" | "help" => {
+            usage();
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("unknown command: {other}");
+            usage();
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "netmax-cli — simulated decentralized training (NetMax, ICDE 2021)
+
+commands:
+  list                         available workloads, algorithms, networks
+  run      one algorithm on one scenario
+  compare  the paper's four headline algorithms on one scenario
+  policy   generate + audit a communication policy for a synthetic cluster
+
+options (run/compare):
+  --workload <name>    e.g. resnet18-cifar10 (default)
+  --algorithm <name>   e.g. netmax (run only)
+  --workers <n>        default 8
+  --network <kind>     hetero | homo | static | wan   (default hetero)
+  --epochs <x>         default 8
+  --seed <n>           default 42
+
+options (policy):
+  --workers <n>        default 8
+  --fast <s>           intra-server iteration time (default 0.2)
+  --slow <s>           inter-server iteration time (default 0.94)
+  --slowdown <f>       factor applied to one cross link (default 50)
+  --alpha <a>          learning rate (default 0.1)"
+    );
+}
+
+struct Options {
+    workload: String,
+    algorithm: String,
+    workers: usize,
+    network: String,
+    epochs: f64,
+    seed: u64,
+    fast: f64,
+    slow: f64,
+    slowdown: f64,
+    alpha: f64,
+}
+
+impl Options {
+    fn parse(args: &[String]) -> Self {
+        let mut o = Options {
+            workload: "resnet18-cifar10".into(),
+            algorithm: "netmax".into(),
+            workers: 8,
+            network: "hetero".into(),
+            epochs: 8.0,
+            seed: 42,
+            fast: 0.2,
+            slow: 0.94,
+            slowdown: 50.0,
+            alpha: 0.1,
+        };
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let Some(value) = it.next() else {
+                eprintln!("missing value for {flag}");
+                break;
+            };
+            match flag.as_str() {
+                "--workload" => o.workload = value.clone(),
+                "--algorithm" => o.algorithm = value.clone(),
+                "--workers" => o.workers = value.parse().unwrap_or(o.workers),
+                "--network" => o.network = value.clone(),
+                "--epochs" => o.epochs = value.parse().unwrap_or(o.epochs),
+                "--seed" => o.seed = value.parse().unwrap_or(o.seed),
+                "--fast" => o.fast = value.parse().unwrap_or(o.fast),
+                "--slow" => o.slow = value.parse().unwrap_or(o.slow),
+                "--slowdown" => o.slowdown = value.parse().unwrap_or(o.slowdown),
+                "--alpha" => o.alpha = value.parse().unwrap_or(o.alpha),
+                other => eprintln!("ignoring unknown flag {other}"),
+            }
+        }
+        o
+    }
+}
+
+fn workload_by_name(name: &str, seed: u64) -> Option<Workload> {
+    Some(match name {
+        "resnet18-cifar10" => Workload::resnet18_cifar10(seed),
+        "vgg19-cifar10" => Workload::vgg19_cifar10(seed),
+        "resnet18-cifar100" => Workload::resnet18_cifar100(seed),
+        "resnet18-tiny-imagenet" => Workload::resnet18_tiny_imagenet(seed),
+        "resnet50-imagenet" => Workload::resnet50_imagenet(seed),
+        "mobilenet-mnist" => Workload::mobilenet_mnist(seed),
+        "mobilenet-cifar100" => Workload::mobilenet_cifar100(seed),
+        "googlenet-mnist" => Workload::googlenet_mnist(seed),
+        "ridge" => Workload::convex_ridge(seed),
+        _ => return None,
+    })
+}
+
+fn algorithm_by_name(name: &str, alpha: f64) -> Option<AlgorithmKind> {
+    let _ = alpha;
+    Some(match name {
+        "netmax" => AlgorithmKind::NetMax,
+        "netmax-uniform" => AlgorithmKind::NetMaxUniform,
+        "ad-psgd" => AlgorithmKind::AdPsgd,
+        "ad-psgd-monitor" => AlgorithmKind::AdPsgdMonitored,
+        "gosgd" => AlgorithmKind::GoSgd,
+        "allreduce" => AlgorithmKind::AllreduceSgd,
+        "prague" => AlgorithmKind::Prague,
+        "ps-sync" => AlgorithmKind::PsSync,
+        "ps-async" => AlgorithmKind::PsAsync,
+        _ => return None,
+    })
+}
+
+fn network_by_name(name: &str) -> Option<NetworkKind> {
+    Some(match name {
+        "hetero" => NetworkKind::HeterogeneousDynamic,
+        "static" => NetworkKind::HeterogeneousStatic,
+        "homo" => NetworkKind::Homogeneous,
+        "wan" => NetworkKind::Wan,
+        _ => return None,
+    })
+}
+
+fn list() -> ExitCode {
+    println!("workloads:");
+    for w in [
+        "resnet18-cifar10",
+        "vgg19-cifar10",
+        "resnet18-cifar100",
+        "resnet18-tiny-imagenet",
+        "resnet50-imagenet",
+        "mobilenet-mnist",
+        "mobilenet-cifar100",
+        "googlenet-mnist",
+        "ridge",
+    ] {
+        println!("  {w}");
+    }
+    println!("algorithms:");
+    for a in [
+        "netmax",
+        "netmax-uniform",
+        "ad-psgd",
+        "ad-psgd-monitor",
+        "gosgd",
+        "allreduce",
+        "prague",
+        "ps-sync",
+        "ps-async",
+    ] {
+        println!("  {a}");
+    }
+    println!("networks:\n  hetero\n  static\n  homo\n  wan");
+    ExitCode::SUCCESS
+}
+
+fn build_scenario(o: &Options) -> Option<(Scenario, f64)> {
+    let workload = workload_by_name(&o.workload, o.seed).or_else(|| {
+        eprintln!("unknown workload '{}' (see `netmax-cli list`)", o.workload);
+        None
+    })?;
+    let network = network_by_name(&o.network).or_else(|| {
+        eprintln!("unknown network '{}' (see `netmax-cli list`)", o.network);
+        None
+    })?;
+    let alpha = workload.optim.lr;
+    let workers = if network == NetworkKind::Wan { 6 } else { o.workers };
+    let sc = ScenarioBuilder::new()
+        .workers(workers)
+        .network(network)
+        .workload(workload)
+        .max_epochs(o.epochs)
+        .seed(o.seed)
+        .build();
+    Some((sc, alpha))
+}
+
+fn print_report(r: &netmax::core::engine::RunReport) {
+    println!(
+        "{:<16} wall={:>9.1}s epoch/node={:>7.2}s comm/ep={:>7.2}s loss={:.4} acc={:.2}%",
+        r.algorithm,
+        r.wall_clock_s,
+        r.epoch_time_avg_s(),
+        r.comm_cost_per_epoch_s(),
+        r.final_train_loss,
+        100.0 * r.final_test_accuracy
+    );
+}
+
+fn run(o: &Options) -> ExitCode {
+    let Some((sc, alpha)) = build_scenario(o) else {
+        return ExitCode::from(2);
+    };
+    let Some(kind) = algorithm_by_name(&o.algorithm, alpha) else {
+        eprintln!("unknown algorithm '{}' (see `netmax-cli list`)", o.algorithm);
+        return ExitCode::from(2);
+    };
+    let mut algo = algorithm_for(kind, alpha);
+    let report = sc.run_with(algo.as_mut());
+    print_report(&report);
+    ExitCode::SUCCESS
+}
+
+fn compare(o: &Options) -> ExitCode {
+    let Some((sc, alpha)) = build_scenario(o) else {
+        return ExitCode::from(2);
+    };
+    for kind in AlgorithmKind::headline_four() {
+        let mut algo = algorithm_for(kind, alpha);
+        let report = sc.run_with(algo.as_mut());
+        print_report(&report);
+    }
+    ExitCode::SUCCESS
+}
+
+fn policy(o: &Options) -> ExitCode {
+    let m = o.workers.max(2);
+    let per = m.div_ceil(2);
+    let topo = Topology::fully_connected(m);
+    let mut times = Matrix::zeros(m, m);
+    for i in 0..m {
+        for j in 0..m {
+            if i != j {
+                times[(i, j)] = if (i / per) == (j / per) { o.fast } else { o.slow };
+            }
+        }
+    }
+    // Slow one cross link by the requested factor.
+    if per < m {
+        times[(0, per)] *= o.slowdown;
+        times[(per, 0)] *= o.slowdown;
+    }
+
+    let gen = PolicyGenerator::new(PolicySearchConfig::new(o.alpha));
+    match gen.generate(&times, &topo) {
+        Some(res) => {
+            let audit = audit_policy(&res, &times, &topo, o.alpha);
+            println!("policy for {m} workers (fast {}s / slow {}s / one link ×{}):", o.fast, o.slow, o.slowdown);
+            println!("  rho            = {:.4}", res.rho);
+            println!("  lambda2        = {:.4}", res.lambda2);
+            println!("  spectral gap   = {:.4}", audit.spectral_gap);
+            println!("  E[iter] policy = {:.3}s   uniform = {:.3}s   speedup = {:.2}x",
+                audit.expected_iteration_s, audit.uniform_iteration_s, audit.iteration_speedup());
+            println!("  slow-link mass = {:.4}", audit.slow_link_mass);
+            println!("  bottleneck cut = {:?} | {:?}", audit.bottleneck.0, audit.bottleneck.1);
+            println!("{:?}", res.policy);
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!("no feasible policy for these parameters");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! # netmax
+//!
+//! Umbrella crate for the Rust reproduction of **NetMax** —
+//! *Communication-efficient Decentralized Machine Learning over
+//! Heterogeneous Networks* (Zhou et al., ICDE 2021).
+//!
+//! This crate re-exports the workspace members so downstream users can
+//! depend on a single crate:
+//!
+//! * [`linalg`] — dense matrices and the symmetric eigensolver behind λ₂.
+//! * [`lp`] — the two-phase simplex solver behind the policy LP (Eq. 14).
+//! * [`net`] — the discrete-event heterogeneous network simulator.
+//! * [`ml`] — models, optimisers, synthetic datasets, and partitioners.
+//! * [`core`] — NetMax itself: consensus SGD, the Network Monitor, the
+//!   communication-policy generator, and the simulation engine.
+//! * [`baselines`] — AD-PSGD, Allreduce-SGD, Prague, GoSGD, and
+//!   parameter-server baselines.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use netmax::prelude::*;
+//!
+//! // 8 workers, fully connected, heterogeneous dynamic network,
+//! // CIFAR10-like synthetic workload, ResNet18 communication profile.
+//! let scenario = ScenarioBuilder::new()
+//!     .workers(8)
+//!     .network(NetworkKind::HeterogeneousDynamic)
+//!     .workload(Workload::cifar10_like())
+//!     .profile(ModelProfile::resnet18())
+//!     .seed(42)
+//!     .build();
+//!
+//! let mut algo = algorithm_for(AlgorithmKind::NetMax, 0.1);
+//! let report = scenario.run_with(algo.as_mut());
+//! println!("trained for {:.1} simulated seconds", report.wall_clock_s);
+//! ```
+
+pub use netmax_baselines as baselines;
+pub use netmax_core as core;
+pub use netmax_linalg as linalg;
+pub use netmax_lp as lp;
+pub use netmax_ml as ml;
+pub use netmax_net as net;
+
+/// Convenience re-exports covering the common experiment-driving surface.
+pub mod prelude {
+    pub use netmax_baselines::{
+        algorithm_for, AdPsgd, AllreduceSgd, GoSgd, ParameterServer, Prague,
+    };
+    pub use netmax_core::engine::{
+        AlgorithmKind, PartitionKind, RunReport, Scenario, ScenarioBuilder, TrainConfig,
+    };
+    pub use netmax_core::netmax::{NetMax, NetMaxConfig};
+    pub use netmax_core::policy::{PolicyGenerator, PolicySearchConfig};
+    pub use netmax_ml::profile::ModelProfile;
+    pub use netmax_ml::workload::Workload;
+    pub use netmax_net::NetworkKind;
+}
