@@ -87,7 +87,7 @@ impl GossipBehavior for AdPsgd {
         if let Some(policy) = &self.policy {
             // Monitor-steered selection (same sampling as NetMax).
             let n = env.num_nodes();
-            let u: f64 = env.rng.gen();
+            let u: f64 = env.node_rng(i).gen();
             let mut acc = 0.0;
             for m in 0..n {
                 let p = policy[(i, m)];
@@ -102,7 +102,7 @@ impl GossipBehavior for AdPsgd {
             PeerChoice::SelfStep
         } else {
             let nbrs = env.topology.neighbors(i);
-            let k = env.rng.gen_range(0..nbrs.len());
+            let k = env.node_rng(i).gen_range(0..nbrs.len());
             PeerChoice::Peer(nbrs[k])
         }
     }

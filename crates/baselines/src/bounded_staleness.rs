@@ -56,7 +56,7 @@ impl Algorithm for BoundedStaleness {
 
         let schedule = |env: &mut Environment, queue: &mut EventQueue<Ev>, i: usize, c: f64| {
             let nbrs = env.topology.neighbors(i);
-            let k = env.rng.gen_range(0..nbrs.len());
+            let k = env.node_rng(i).gen_range(0..nbrs.len());
             let peer = nbrs[k];
             let start = env.nodes[i].clock;
             let comm = env.comm_time(i, peer, start);

@@ -108,7 +108,7 @@ impl GossipBehavior for SapsPsgd {
         let sub = self.subgraph.as_ref().expect("subgraph built in run()");
         let nbrs = sub.neighbors(i);
         debug_assert!(!nbrs.is_empty(), "connected subgraph leaves no node isolated");
-        let k = env.rng.gen_range(0..nbrs.len());
+        let k = env.node_rng(i).gen_range(0..nbrs.len());
         PeerChoice::Peer(nbrs[k])
     }
 

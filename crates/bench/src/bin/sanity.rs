@@ -2,6 +2,10 @@
 //! the paper figures): on a heterogeneous dynamic network, NetMax should
 //! reach the loss target in less simulated wall-clock time than AD-PSGD,
 //! Allreduce-SGD, and Prague.
+//!
+//! Besides the human-readable table, writes `BENCH_sanity.json` into the
+//! current directory: per-algorithm simulated metrics plus *real* runtime
+//! and steps/second, the baseline later PRs compare performance against.
 
 use netmax_baselines::algorithm_for;
 use netmax_core::engine::{AlgorithmKind, Scenario, TrainConfig};
@@ -9,19 +13,28 @@ use netmax_core::monitor::MonitorConfig;
 use netmax_core::netmax::{NetMax, NetMaxConfig};
 use netmax_ml::workload::Workload;
 use netmax_net::{NetworkKind, SlowdownConfig};
+use std::time::Instant;
+
+/// Scenario constants, shared between the builder and the JSON header so
+/// the recorded baseline can never drift from what actually ran.
+const WORKERS: usize = 8;
+const MAX_EPOCHS: f64 = 48.0;
+const SEED: u64 = 7;
+const WORKLOAD_NAME: &str = "resnet18/cifar10";
 
 fn main() {
     let workload = Workload::resnet18_cifar10(42);
+    assert_eq!(workload.name, WORKLOAD_NAME);
     let alpha = workload.optim.lr;
     let sc = Scenario::builder()
-        .workers(8)
+        .workers(WORKERS)
         .network(NetworkKind::HeterogeneousDynamic)
         .workload(workload)
         .slowdown(SlowdownConfig { change_period_s: 120.0, ..SlowdownConfig::default() })
         .train_config(TrainConfig {
-            max_epochs: 48.0,
+            max_epochs: MAX_EPOCHS,
             record_every_steps: 40,
-            seed: 7,
+            seed: SEED,
             ..TrainConfig::default()
         })
         .build();
@@ -30,6 +43,7 @@ fn main() {
         "{:<16} {:>10} {:>10} {:>10} {:>10} {:>8} {:>8} {:>10}",
         "algorithm", "wall(s)", "epoch_t", "comp/ep", "comm/ep", "loss", "acc", "t@0.40"
     );
+    let mut json_rows = Vec::new();
     for kind in AlgorithmKind::headline_four() {
         let mut algo = if kind == AlgorithmKind::NetMax {
             // Monitor period scaled to the compressed epoch time scale.
@@ -39,7 +53,9 @@ fn main() {
         } else {
             algorithm_for(kind, alpha)
         };
+        let t0 = Instant::now();
         let r = sc.run_with(algo.as_mut());
+        let real_s = t0.elapsed().as_secs_f64();
         println!(
             "{:<16} {:>10.1} {:>10.2} {:>10.2} {:>10.2} {:>8.4} {:>8.3} {:>10.1?}",
             kind.label(),
@@ -51,5 +67,44 @@ fn main() {
             r.final_test_accuracy,
             r.time_to_loss(0.40)
         );
+        json_rows.push(format!(
+            concat!(
+                "    {{\n",
+                "      \"algorithm\": \"{}\",\n",
+                "      \"simulated_wall_clock_s\": {:.3},\n",
+                "      \"epoch_time_avg_s\": {:.4},\n",
+                "      \"comp_cost_per_epoch_s\": {:.4},\n",
+                "      \"comm_cost_per_epoch_s\": {:.4},\n",
+                "      \"final_train_loss\": {:.6},\n",
+                "      \"final_test_accuracy\": {:.4},\n",
+                "      \"time_to_loss_0_40_s\": {},\n",
+                "      \"global_steps\": {},\n",
+                "      \"real_time_s\": {:.3},\n",
+                "      \"steps_per_real_second\": {:.0}\n",
+                "    }}"
+            ),
+            kind.label(),
+            r.wall_clock_s,
+            r.epoch_time_avg_s(),
+            r.comp_cost_per_epoch_s(),
+            r.comm_cost_per_epoch_s(),
+            r.final_train_loss,
+            r.final_test_accuracy,
+            r.time_to_loss(0.40).map_or("null".to_string(), |t| format!("{t:.2}")),
+            r.global_steps,
+            real_s,
+            r.global_steps as f64 / real_s.max(1e-9),
+        ));
+    }
+    // Hand-rolled JSON: the build environment has no serde_json (see
+    // shims/README.md); all values here are numeric or fixed labels.
+    let json = format!(
+        "{{\n  \"benchmark\": \"sanity\",\n  \"scenario\": {{\n    \"workers\": {WORKERS},\n    \"network\": \"heterogeneous_dynamic\",\n    \"workload\": \"{WORKLOAD_NAME}\",\n    \"max_epochs\": {MAX_EPOCHS:.1},\n    \"seed\": {SEED}\n  }},\n  \"results\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n")
+    );
+    let path = "BENCH_sanity.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("warning: could not write {path}: {e}"),
     }
 }

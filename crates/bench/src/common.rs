@@ -153,16 +153,37 @@ pub fn compare(
         .collect()
 }
 
-/// A loss target every run in the set has reached: slightly above the
-/// worst final loss. Speedups measured at this target are well-defined
-/// for all algorithms (the paper reads its speedups off the Fig. 8 curves
-/// the same way).
+/// A loss target every run in the set has reached, placed in the *descent*
+/// region of the curves rather than at the plateau.
+///
+/// The synthetic workloads converge to their plateau within a few epochs,
+/// after which the recorded losses fluctuate with sampling noise; a target
+/// put right at the worst plateau loss would measure when each curve's
+/// *noise* first dips below it, not convergence speed. Instead the target
+/// sits 10% of the way up from the worst final loss towards the initial
+/// loss — low enough that reaching it requires essentially full
+/// convergence, high enough to sit clear of plateau noise. (The paper
+/// reads its Fig. 8 speedups off the curves at a common loss level the
+/// same way.)
 pub fn common_loss_target(results: &[(AlgorithmKind, RunReport)]) -> f64 {
-    let worst = results
-        .iter()
-        .map(|(_, r)| r.final_train_loss)
-        .fold(f64::NEG_INFINITY, f64::max);
-    worst * 1.02 + 1e-4
+    common_loss_target_of(results.iter().map(|(_, r)| r))
+}
+
+/// [`common_loss_target`] over any collection of reports.
+pub fn common_loss_target_of<'a>(results: impl Iterator<Item = &'a RunReport>) -> f64 {
+    let (mut worst_final, mut initial) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+    for r in results {
+        worst_final = worst_final.max(r.final_train_loss);
+        if let Some(first) = r.samples.first() {
+            initial = initial.max(first.train_loss);
+        }
+    }
+    let floor = worst_final * 1.02 + 1e-4;
+    if initial > worst_final {
+        floor.max(worst_final + 0.10 * (initial - worst_final))
+    } else {
+        floor
+    }
 }
 
 /// Prints and returns `(algo, time_to_target, speedup-vs-slowest)` rows.

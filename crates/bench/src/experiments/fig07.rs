@@ -75,13 +75,8 @@ pub fn run(p: &Params) -> Vec<Row> {
             let mut algo = common::tuned_algorithm(kind, alpha);
             reports.push((label, sc.run_with(algo.as_mut())));
         }
-        // A loss level every setting reached.
-        let target = reports
-            .iter()
-            .map(|(_, r)| r.final_train_loss)
-            .fold(f64::NEG_INFINITY, f64::max)
-            * 1.02
-            + 1e-4;
+        // A loss level every setting reached, clear of plateau noise.
+        let target = common::common_loss_target_of(reports.iter().map(|(_, r)| r));
         for (label, report) in reports {
             rows.push(Row {
                 model: name.clone(),

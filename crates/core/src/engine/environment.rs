@@ -53,8 +53,17 @@ pub struct Environment {
     pub nodes: Vec<NodeState>,
     /// Engine configuration.
     pub cfg: TrainConfig,
-    /// Seeded RNG for peer selection and any algorithmic randomness.
+    /// Seeded RNG for *global* algorithmic randomness (e.g. Prague's
+    /// group matching). Per-node decisions must use [`Environment::node_rng`]
+    /// instead so random streams stay aligned across runs that differ only
+    /// in event interleaving (common random numbers).
     pub rng: StdRng,
+    /// Per-node RNG streams for peer selection and other per-node
+    /// decisions. Keyed by node, not by dispatch order: node `i`'s `k`-th
+    /// draw is identical across execution modes, which is what makes e.g.
+    /// the Fig. 7 serial-vs-parallel comparison a paired experiment rather
+    /// than two independent samples.
+    node_rngs: Vec<StdRng>,
     /// Global step counter `k` (advanced by drivers).
     pub global_step: u64,
 }
@@ -101,12 +110,29 @@ impl Environment {
             .collect();
 
         let rng = StdRng::seed_from_u64(cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-        Self { topology, network, workload, partition, nodes, cfg, rng, global_step: 0 }
+        let node_rngs = (0..n)
+            .map(|i| {
+                StdRng::seed_from_u64(
+                    cfg.seed
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add(0xD1B5_4A32_D192_ED03_u64.wrapping_mul(1 + i as u64)),
+                )
+            })
+            .collect();
+        Self { topology, network, workload, partition, nodes, cfg, rng, node_rngs, global_step: 0 }
     }
 
     /// Number of worker nodes.
     pub fn num_nodes(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Node `i`'s private RNG stream. All randomness attributable to a
+    /// single node (peer selection above all) must come from here, so that
+    /// the node's decision sequence is independent of the global event
+    /// interleaving — see the `node_rngs` field docs.
+    pub fn node_rng(&mut self, i: usize) -> &mut StdRng {
+        &mut self.node_rngs[i]
     }
 
     /// Performs one local SGD step on node `i` (Algorithm 2 line 11):

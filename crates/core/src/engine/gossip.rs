@@ -162,7 +162,7 @@ mod tests {
     impl GossipBehavior for UniformAveraging {
         fn select_peer(&mut self, env: &mut Environment, i: usize) -> PeerChoice {
             let nbrs = env.topology.neighbors(i);
-            let k = env.rng.gen_range(0..nbrs.len());
+            let k = env.node_rng(i).gen_range(0..nbrs.len());
             PeerChoice::Peer(nbrs[k])
         }
 

@@ -25,6 +25,8 @@
 //! order on a virtual clock, so asynchrony, staleness, and heterogeneous
 //! link speeds are all captured while runs remain fully deterministic.
 
+#![deny(missing_docs)]
+
 pub mod diagnostics;
 pub mod engine;
 pub mod gossip_matrix;

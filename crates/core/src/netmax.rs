@@ -116,7 +116,7 @@ impl NetMax {
     fn sample_policy_row(&self, env: &mut Environment, i: usize) -> PeerChoice {
         let policy = self.policy.as_ref().expect("sample_policy_row without policy");
         let n = env.num_nodes();
-        let u: f64 = env.rng.gen();
+        let u: f64 = env.node_rng(i).gen();
         let mut acc = 0.0;
         for m in 0..n {
             let p = policy[(i, m)];
@@ -142,7 +142,7 @@ impl GossipBehavior for NetMax {
             // entries (self included) gets equal probability; on sparse
             // graphs the mass is spread over {self} ∪ neighbours.
             let nbrs = env.topology.neighbors(i);
-            let k = env.rng.gen_range(0..=nbrs.len());
+            let k = env.node_rng(i).gen_range(0..=nbrs.len());
             if k == nbrs.len() {
                 PeerChoice::SelfStep
             } else {

@@ -25,6 +25,8 @@
 //! worker nodes), so a simple dense representation is both the fastest and
 //! the clearest choice.
 
+#![deny(missing_docs)]
+
 pub mod eig;
 pub mod matrix;
 pub mod spectral;

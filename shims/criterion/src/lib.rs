@@ -1,0 +1,259 @@
+//! Offline API-subset shim for `criterion`.
+//!
+//! Provides the macro and builder surface this workspace's benches use.
+//! Each benchmark is warmed up for `warm_up_time`, then timed in batches
+//! until `measurement_time` elapses (or `sample_size` batches complete),
+//! and the mean wall-clock time per iteration is printed to stdout. No
+//! outlier analysis, HTML reports, or regression baselines.
+
+use std::fmt::Display;
+use std::marker::PhantomData;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box` (deprecated upstream in favour
+/// of `std::hint::black_box`, which the sources already use).
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    defaults: Settings,
+}
+
+#[derive(Clone)]
+struct Settings {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            defaults: Settings {
+                sample_size: 30,
+                warm_up_time: Duration::from_millis(300),
+                measurement_time: Duration::from_secs(2),
+            },
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            settings: self.defaults.clone(),
+            _parent: PhantomData,
+            _measurement: PhantomData,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, &self.defaults, f);
+        self
+    }
+}
+
+pub mod measurement {
+    //! Measurement back-ends (subset: wall-clock only).
+
+    /// Wall-clock time measurement.
+    pub struct WallTime;
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `group/function/parameter`-style id.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Id distinguished by the parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// A group of benchmarks sharing configuration, created by
+/// [`Criterion::benchmark_group`].
+pub struct BenchmarkGroup<'a, M> {
+    name: String,
+    settings: Settings,
+    _parent: PhantomData<&'a mut Criterion>,
+    _measurement: PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Sets the number of timing batches collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n;
+        self
+    }
+
+    /// Sets the time budget for the measurement phase.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Sets the duration of the warm-up phase.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.warm_up_time = d;
+        self
+    }
+
+    /// Times `f` under this group's settings.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&format!("{}/{}", self.name, id), &self.settings, f);
+        self
+    }
+
+    /// Times `f`, passing it a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_benchmark(&format!("{}/{}", self.name, id.id), &self.settings, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (flush point in real criterion; a no-op here).
+    pub fn finish(self) {}
+}
+
+/// Timing context passed to benchmark closures.
+pub struct Bencher {
+    settings: Settings,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly and records mean wall-clock per call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run untimed until the warm-up budget is spent, tracking
+        // the apparent per-iteration cost to size timing batches.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.settings.warm_up_time {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().checked_div(warm_iters as u32).unwrap_or_default();
+        // Batch size targeting measurement_time / sample_size per batch.
+        let batch_budget = self.settings.measurement_time.as_secs_f64()
+            / self.settings.sample_size.max(1) as f64;
+        let batch: u64 = if per_iter.is_zero() {
+            1000
+        } else {
+            ((batch_budget / per_iter.as_secs_f64()).ceil() as u64).clamp(1, 1_000_000)
+        };
+        let deadline = Instant::now() + self.settings.measurement_time;
+        let mut samples = 0usize;
+        while samples < self.settings.sample_size && Instant::now() < deadline {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.total += t.elapsed();
+            self.iters += batch;
+            samples += 1;
+        }
+        // Guarantee at least one timed batch even if warm-up overran.
+        if self.iters == 0 {
+            let t = Instant::now();
+            black_box(routine());
+            self.total = t.elapsed();
+            self.iters = 1;
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, settings: &Settings, mut f: F) {
+    let mut b = Bencher { settings: settings.clone(), total: Duration::ZERO, iters: 0 };
+    f(&mut b);
+    if b.iters == 0 {
+        println!("bench {label:<40} (no iterations recorded)");
+        return;
+    }
+    let ns = b.total.as_nanos() as f64 / b.iters as f64;
+    let (value, unit) = if ns >= 1e9 {
+        (ns / 1e9, "s")
+    } else if ns >= 1e6 {
+        (ns / 1e6, "ms")
+    } else if ns >= 1e3 {
+        (ns / 1e3, "µs")
+    } else {
+        (ns, "ns")
+    };
+    println!("bench {label:<40} {value:>10.3} {unit}/iter ({} iters)", b.iters);
+}
+
+/// Declares a function running the listed benchmark targets in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed [`criterion_group!`] functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion::default();
+        c.defaults.warm_up_time = Duration::from_millis(5);
+        c.defaults.measurement_time = Duration::from_millis(20);
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            b.iter(|| std::hint::black_box(3u64.pow(7)));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_builder_chain_compiles() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        g.bench_with_input(BenchmarkId::from_parameter(4), &4u64, |b, &n| {
+            b.iter(|| std::hint::black_box(n * n))
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,17 @@
+//! Offline API-subset shim for `serde`.
+//!
+//! Exposes `Serialize` / `Deserialize` as both traits and no-op derive
+//! macros so source-level annotations compile unchanged. No data-format
+//! backend is provided; see `shims/README.md` for how to swap in the real
+//! crate when registry access is available.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+///
+/// The no-op derive does not implement it; nothing in this workspace
+/// requires the bound yet.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}

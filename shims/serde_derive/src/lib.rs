@@ -1,0 +1,21 @@
+//! Offline no-op stand-in for `serde_derive`.
+//!
+//! The workspace's structs are annotated with `#[derive(Serialize,
+//! Deserialize)]` so a real serialization backend can be enabled once the
+//! build environment has registry access. Until then these derives expand
+//! to nothing: no trait impls are generated, and nothing in the workspace
+//! requires the `Serialize`/`Deserialize` bounds.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -18,23 +18,34 @@
 //!
 //! ## Quickstart
 //!
-//! ```no_run
+//! This example runs as a doctest on every `cargo test --doc` (a small
+//! worker count and `TrainConfig::quick_test`'s 2-epoch budget keep it to
+//! well under a second):
+//!
+//! ```
 //! use netmax::prelude::*;
 //!
-//! // 8 workers, fully connected, heterogeneous dynamic network,
+//! // 4 workers, fully connected, heterogeneous dynamic network,
 //! // CIFAR10-like synthetic workload, ResNet18 communication profile.
 //! let scenario = ScenarioBuilder::new()
-//!     .workers(8)
+//!     .workers(4)
 //!     .network(NetworkKind::HeterogeneousDynamic)
 //!     .workload(Workload::cifar10_like())
 //!     .profile(ModelProfile::resnet18())
+//!     .train_config(TrainConfig::quick_test())
 //!     .seed(42)
 //!     .build();
 //!
 //! let mut algo = algorithm_for(AlgorithmKind::NetMax, 0.1);
 //! let report = scenario.run_with(algo.as_mut());
 //! println!("trained for {:.1} simulated seconds", report.wall_clock_s);
+//! assert!(report.epochs_completed >= 2.0);
+//! assert!(report.final_train_loss.is_finite());
 //! ```
+//!
+//! Scale up the same scenario (8+ workers, 48-epoch budgets, the paper's
+//! network regimes) with the figure binaries in `crates/bench/src/bin/` —
+//! see the README's figure map.
 
 pub use netmax_baselines as baselines;
 pub use netmax_core as core;
