@@ -161,14 +161,14 @@ impl Algorithm for AdPsgd {
 mod tests {
     use super::*;
     use netmax_core::engine::{Scenario, TrainConfig};
-    use netmax_ml::workload::Workload;
+    use netmax_ml::workload::WorkloadSpec;
     use netmax_net::NetworkKind;
 
     fn scenario(seed: u64) -> Scenario {
         Scenario::builder()
             .workers(4)
             .network(NetworkKind::HeterogeneousDynamic)
-            .workload(Workload::convex_ridge(7))
+            .workload(WorkloadSpec::convex_ridge(7))
             .train_config(TrainConfig { seed, max_epochs: 3.0, ..TrainConfig::quick_test() })
             .build()
     }

@@ -56,7 +56,7 @@ impl Algorithm for GoSgd {
 mod tests {
     use super::*;
     use netmax_core::engine::{Scenario, TrainConfig};
-    use netmax_ml::workload::Workload;
+    use netmax_ml::workload::WorkloadSpec;
     use netmax_net::NetworkKind;
 
     #[test]
@@ -64,7 +64,7 @@ mod tests {
         let sc = Scenario::builder()
             .workers(4)
             .network(NetworkKind::Homogeneous)
-            .workload(Workload::convex_ridge(7))
+            .workload(WorkloadSpec::convex_ridge(7))
             .train_config(TrainConfig { max_epochs: 3.0, ..TrainConfig::quick_test() })
             .build();
         let report = sc.run_with(&mut GoSgd::new(0.5));

@@ -1,8 +1,8 @@
 //! One criterion bench per reproduced table/figure, running the `tiny`
 //! preset of each experiment so `cargo bench` regenerates every result's
 //! machinery end-to-end with bounded runtime. The full-scale rows/series
-//! come from the corresponding binaries (`cargo run --release -p
-//! netmax-bench --bin fig08_loss_hetero`, …).
+//! come from the registry CLI (`cargo run --release -p netmax-bench
+//! --bin netmax-bench -- run fig08`, …).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use netmax_bench::common::{ExpCtx, Mode};

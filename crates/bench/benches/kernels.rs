@@ -111,7 +111,7 @@ fn bench_search_resolution(c: &mut Criterion) {
 
 fn bench_engine_throughput(c: &mut Criterion) {
     use netmax_core::engine::{Scenario, TrainConfig};
-    use netmax_ml::workload::Workload;
+    use netmax_ml::workload::WorkloadSpec;
     use netmax_net::NetworkKind;
 
     let mut g = c.benchmark_group("engine_steps");
@@ -119,7 +119,7 @@ fn bench_engine_throughput(c: &mut Criterion) {
     let sc = Scenario::builder()
         .workers(8)
         .network(NetworkKind::HeterogeneousDynamic)
-        .workload(Workload::convex_ridge(1))
+        .workload(WorkloadSpec::convex_ridge(1))
         .train_config(TrainConfig { max_epochs: 1.0, ..TrainConfig::quick_test() })
         .build();
     g.bench_function("gossip_1_epoch_8_workers", |b| {

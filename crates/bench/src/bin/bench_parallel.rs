@@ -1,0 +1,52 @@
+//! Records `BENCH_parallel.json`: wall-clock of the sequential vs
+//! threaded executor on the sanity suite, plus a byte-identity check of
+//! the two result sets.
+//!
+//! The executor parallelises over `(arm, seed)` cells, so the expected
+//! speedup is ≈ min(threads, cells) on an otherwise idle machine; the
+//! artifact records the machine's core count so a ~1× result on a 1-core
+//! container reads as what it is. Respects `--quick`/`--tiny` and
+//! `NETMAX_MODE`.
+
+use netmax_bench::registry::sanity_spec;
+use netmax_bench::{runner, Mode};
+use std::time::Instant;
+
+fn main() {
+    let mode = Mode::from_env();
+    let mut spec = sanity_spec(mode);
+    // Several seeds so the grid has enough cells to occupy a pool.
+    spec.seeds = vec![7, 8, 9];
+    // At least two workers so the scoped-pool path genuinely runs even on
+    // a single-core container (the speedup there is honestly ~1×).
+    let threads = runner::default_threads().max(2);
+    let cells = spec.num_cells();
+
+    eprintln!("sequential pass ({cells} cells)...");
+    let t0 = Instant::now();
+    let sequential = runner::execute_with_threads(&spec, 1);
+    let sequential_s = t0.elapsed().as_secs_f64();
+
+    eprintln!("threaded pass ({threads} threads)...");
+    let t0 = Instant::now();
+    let parallel = runner::execute_with_threads(&spec, threads);
+    let parallel_s = t0.elapsed().as_secs_f64();
+
+    let seq_doc = runner::artifact(std::slice::from_ref(&sequential));
+    let par_doc = runner::artifact(std::slice::from_ref(&parallel));
+    let identical = seq_doc.to_string() == par_doc.to_string();
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"parallel-executor\",\n  \"suite\": \"{name}\",\n  \"mode\": \"{mode:?}\",\n  \"cells\": {cells},\n  \"available_cores\": {cores},\n  \"threads\": {threads},\n  \"sequential_wall_s\": {sequential_s:.3},\n  \"parallel_wall_s\": {parallel_s:.3},\n  \"speedup\": {speedup:.3},\n  \"results_byte_identical\": {identical}\n}}\n",
+        name = spec.name,
+        cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        speedup = sequential_s / parallel_s.max(1e-9),
+    );
+    print!("{json}");
+    assert!(identical, "parallel execution must be byte-identical to sequential");
+    let path = "BENCH_parallel.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("warning: could not write {path}: {e}"),
+    }
+}

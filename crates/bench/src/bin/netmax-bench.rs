@@ -1,0 +1,277 @@
+//! `netmax-bench` — the one runner CLI for every registered experiment.
+//!
+//! ```text
+//! netmax-bench list [--quick|--tiny]
+//! netmax-bench run <name|group|all> [--quick|--tiny] [--seeds N|a,b,c]
+//!                  [--json out.json] [--threads N] [--sequential]
+//! netmax-bench show <artifact.json>
+//! ```
+//!
+//! `run` executes every `(arm, seed)` cell of the matching experiments on
+//! a scoped thread pool (runs are deterministic per cell, so parallelism
+//! cannot change results), prints one summary table per experiment, and
+//! with `--json` writes the versioned `netmax-bench/run-report/v1`
+//! artifact. `show` parses such an artifact back and re-prints its
+//! summaries — it doubles as a schema check in CI.
+
+use netmax_bench::registry::{find, registry};
+use netmax_bench::{common, runner, Mode};
+use netmax_core::engine::AlgorithmKind;
+use netmax_json::Json;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// Flags that consume the following argument as their value.
+const VALUE_FLAGS: [&str; 3] = ["--seeds", "--json", "--threads"];
+
+/// Boolean flags.
+const BOOL_FLAGS: [&str; 3] = ["--sequential", "--quick", "--tiny"];
+
+/// Splits argv into positional arguments, skipping flags *and* the value
+/// each value-taking flag consumes (so `run --seeds 2 sanity` parses the
+/// target as `sanity`, not `2`). Unknown or `--flag=value`-form options
+/// are an error rather than silently ignored — a typo must not drop a
+/// requested artifact or determinism setting.
+fn positionals(args: &[String]) -> Result<Vec<&str>, String> {
+    let mut out = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if VALUE_FLAGS.contains(&a.as_str()) {
+            if it.next().is_none() {
+                return Err(format!("{a} needs a value"));
+            }
+        } else if a.starts_with('-') {
+            if !BOOL_FLAGS.contains(&a.as_str()) {
+                return Err(format!(
+                    "unknown option `{a}` (note: `--flag=value` is not supported, use `--flag value`)"
+                ));
+            }
+        } else {
+            out.push(a.as_str());
+        }
+    }
+    Ok(out)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        usage();
+        return ExitCode::SUCCESS;
+    }
+    let positional = match positionals(&args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            usage();
+            return ExitCode::from(2);
+        }
+    };
+    let Some(cmd) = positional.first() else {
+        usage();
+        return ExitCode::from(2);
+    };
+    match *cmd {
+        "list" => list(),
+        "run" => run(&args, positional.get(1).copied()),
+        "show" => show(positional.get(1).copied()),
+        "help" => {
+            usage();
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("unknown command: {other}");
+            usage();
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "netmax-bench — declarative experiment runner (NetMax, ICDE 2021)
+
+commands:
+  list                      all registered experiments (name, scenario, arms)
+  run <name|group|all>      execute matching experiments over (arm, seed) cells
+  show <artifact.json>      parse a run artifact and re-print its summaries
+
+options:
+  --quick / --tiny          compressed experiment scale (default: full; also
+                            honoured via NETMAX_MODE=quick|tiny)
+  --seeds <N | a,b,c>       N derived seeds, or an explicit seed list
+  --json <path>             write the versioned JSON run artifact
+  --threads <N>             worker threads (default: all cores)
+  --sequential              force one thread (same results, longer wall-clock)"
+    );
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(|s| s.as_str())
+}
+
+fn list() -> ExitCode {
+    let mode = Mode::from_env();
+    let specs = registry(mode);
+    let seeds_heading = "seeds";
+    println!(
+        "{:<32} {:<8} {:>3}  {:<24} {:<7} {:>6} {:>5}x{seeds_heading}",
+        "name", "group", "n", "workload", "network", "epochs", "arms"
+    );
+    for s in &specs {
+        println!(
+            "{:<32} {:<8} {:>3}  {:<24} {:<7} {:>6.1} {:>5}x{}",
+            s.name,
+            s.group,
+            s.scenario.workers(),
+            s.scenario.workload_spec().kind.name(),
+            s.scenario.network_kind().name(),
+            s.scenario.cfg().max_epochs,
+            s.arms.len(),
+            s.effective_seeds().len(),
+        );
+    }
+    println!("\n{} experiments; run one with `netmax-bench run <name|group>`", specs.len());
+    ExitCode::SUCCESS
+}
+
+fn parse_seeds(text: &str, base: &[u64]) -> Option<Vec<u64>> {
+    if let Ok(n) = text.parse::<usize>() {
+        // `--seeds N`: the first registered seed plus N-1 successors.
+        let first = base.first().copied().unwrap_or(0);
+        return Some((0..n as u64).map(|i| first + i).collect());
+    }
+    text.split(',').map(|t| t.trim().parse::<u64>().ok()).collect()
+}
+
+fn run(args: &[String], query: Option<&str>) -> ExitCode {
+    let Some(query) = query else {
+        eprintln!("run needs an experiment name or group (see `netmax-bench list`)");
+        return ExitCode::from(2);
+    };
+    let mode = Mode::from_env();
+    let mut specs = find(&registry(mode), query);
+    if specs.is_empty() {
+        eprintln!("no experiment matches `{query}` (see `netmax-bench list`)");
+        return ExitCode::from(2);
+    }
+    if let Some(text) = flag_value(args, "--seeds") {
+        for spec in &mut specs {
+            let Some(seeds) = parse_seeds(text, &spec.effective_seeds()) else {
+                eprintln!("bad --seeds value `{text}` (want N or a,b,c)");
+                return ExitCode::from(2);
+            };
+            spec.seeds = seeds;
+        }
+    }
+    let threads = if args.iter().any(|a| a == "--sequential") {
+        1
+    } else {
+        flag_value(args, "--threads")
+            .and_then(|t| t.parse().ok())
+            .unwrap_or_else(runner::default_threads)
+    };
+
+    let mut results = Vec::new();
+    for spec in &specs {
+        let cells = spec.num_cells();
+        eprintln!(
+            "running {} ({} cells on {} thread{})...",
+            spec.name,
+            cells,
+            threads.min(cells.max(1)),
+            if threads == 1 { "" } else { "s" }
+        );
+        let t0 = Instant::now();
+        let result = runner::execute_with_threads(spec, threads);
+        eprintln!("  done in {:.1}s real time", t0.elapsed().as_secs_f64());
+        print_result(&result);
+        results.push(result);
+    }
+
+    if let Some(path) = flag_value(args, "--json") {
+        let doc = runner::artifact(&results);
+        match std::fs::write(path, doc.pretty()) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => {
+                eprintln!("could not write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn print_result(result: &runner::ExperimentResult) {
+    println!("\n[{}] {}", result.spec.name, result.spec.title);
+    if result.cells.is_empty() {
+        println!("{}", result.summary().pretty());
+        return;
+    }
+    let target = common::common_loss_target_of(result.cells.iter().map(|c| &c.report));
+    println!(
+        "{:<28} {:>12} {:>10} {:>12} {:>12} {:>10} {:>8}",
+        "arm", "seed", "epochs", "wall(s)", "t@target(s)", "loss", "acc"
+    );
+    for c in &result.cells {
+        let r = &c.report;
+        let t = r
+            .time_to_loss(target)
+            .map_or_else(|| "-".to_string(), |t| format!("{t:.1}"));
+        println!(
+            "{:<28} {:>12} {:>10.1} {:>12.1} {:>12} {:>10.4} {:>7.2}%",
+            c.label,
+            c.seed,
+            r.epochs_completed,
+            r.wall_clock_s,
+            t,
+            r.final_train_loss,
+            100.0 * r.final_test_accuracy
+        );
+    }
+    // The paper's headline ordering, when the headline pair is present.
+    let wall = |kind: AlgorithmKind| {
+        result.cells.iter().find(|c| c.algorithm == kind).map(|c| c.report.wall_clock_s)
+    };
+    if let (Some(nm), Some(ad)) = (wall(AlgorithmKind::NetMax), wall(AlgorithmKind::AdPsgd)) {
+        println!("NetMax vs AD-PSGD wall-clock: {:.1}s vs {:.1}s", nm, ad);
+    }
+}
+
+fn show(path: Option<&str>) -> ExitCode {
+    let Some(path) = path else {
+        eprintln!("show needs an artifact path");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("could not read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let doc = match Json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match runner::parse_artifact(&doc) {
+        Ok(results) => {
+            println!(
+                "{path}: valid {} artifact, {} experiment(s)",
+                runner::ARTIFACT_SCHEMA,
+                results.len()
+            );
+            for r in &results {
+                print_result(r);
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -3,62 +3,46 @@
 //! reach the loss target in less simulated wall-clock time than AD-PSGD,
 //! Allreduce-SGD, and Prague.
 //!
-//! Besides the human-readable table, writes `BENCH_sanity.json` into the
-//! current directory: per-algorithm simulated metrics plus *real* runtime
-//! and steps/second, the baseline later PRs compare performance against.
+//! The scenario is the registry's `sanity` entry (`netmax-bench run
+//! sanity` executes the same cells); this binary additionally measures
+//! *real* runtime per arm — each arm runs alone on one thread, timed —
+//! and writes `BENCH_sanity.json`, the performance baseline later PRs
+//! compare against.
 
-use netmax_baselines::algorithm_for;
-use netmax_core::engine::{AlgorithmKind, Scenario, TrainConfig};
-use netmax_core::monitor::MonitorConfig;
-use netmax_core::netmax::{NetMax, NetMaxConfig};
-use netmax_ml::workload::Workload;
-use netmax_net::{NetworkKind, SlowdownConfig};
+use netmax_bench::registry::sanity_spec;
+use netmax_bench::Mode;
+use netmax_ml::workload::WorkloadKind;
+use netmax_net::NetworkKind;
 use std::time::Instant;
 
-/// Scenario constants, shared between the builder and the JSON header so
-/// the recorded baseline can never drift from what actually ran.
-const WORKERS: usize = 8;
-const MAX_EPOCHS: f64 = 48.0;
-const SEED: u64 = 7;
-const WORKLOAD_NAME: &str = "resnet18/cifar10";
-
 fn main() {
-    let workload = Workload::resnet18_cifar10(42);
-    assert_eq!(workload.name, WORKLOAD_NAME);
+    let spec = sanity_spec(Mode::Full);
+    // The JSON header below names the scenario with fixed strings; these
+    // asserts tie them to the spec so the baseline can never silently
+    // drift from what actually ran.
+    assert_eq!(spec.scenario.workload_spec().kind, WorkloadKind::Resnet18Cifar10);
+    assert_eq!(spec.scenario.network_kind(), NetworkKind::HeterogeneousDynamic);
+    // Datasets instantiated once, outside the timing brackets — the
+    // recorded real_time_s measures training only, as in the PR 1
+    // baseline.
+    let workload = spec.scenario.workload();
     let alpha = workload.optim.lr;
-    let sc = Scenario::builder()
-        .workers(WORKERS)
-        .network(NetworkKind::HeterogeneousDynamic)
-        .workload(workload)
-        .slowdown(SlowdownConfig { change_period_s: 120.0, ..SlowdownConfig::default() })
-        .train_config(TrainConfig {
-            max_epochs: MAX_EPOCHS,
-            record_every_steps: 40,
-            seed: SEED,
-            ..TrainConfig::default()
-        })
-        .build();
 
     println!(
         "{:<16} {:>10} {:>10} {:>10} {:>10} {:>8} {:>8} {:>10}",
         "algorithm", "wall(s)", "epoch_t", "comp/ep", "comm/ep", "loss", "acc", "t@0.40"
     );
     let mut json_rows = Vec::new();
-    for kind in AlgorithmKind::headline_four() {
-        let mut algo = if kind == AlgorithmKind::NetMax {
-            // Monitor period scaled to the compressed epoch time scale.
-            let mut cfg = NetMaxConfig::paper_default(alpha);
-            cfg.monitor = MonitorConfig { period_s: 30.0, ..cfg.monitor };
-            Box::new(NetMax::new(cfg))
-        } else {
-            algorithm_for(kind, alpha)
-        };
+    for arm in &spec.arms {
+        // The real-time clock brackets exactly one training run.
+        let mut algo = arm.instantiate(alpha);
         let t0 = Instant::now();
-        let r = sc.run_with(algo.as_mut());
+        let mut env = spec.scenario.build_env_with(workload.clone());
+        let r = &algo.run(&mut env);
         let real_s = t0.elapsed().as_secs_f64();
         println!(
             "{:<16} {:>10.1} {:>10.2} {:>10.2} {:>10.2} {:>8.4} {:>8.3} {:>10.1?}",
-            kind.label(),
+            arm.label(),
             r.wall_clock_s,
             r.epoch_time_avg_s(),
             r.comp_cost_per_epoch_s(),
@@ -83,7 +67,7 @@ fn main() {
                 "      \"steps_per_real_second\": {:.0}\n",
                 "    }}"
             ),
-            kind.label(),
+            arm.label(),
             r.wall_clock_s,
             r.epoch_time_avg_s(),
             r.comp_cost_per_epoch_s(),
@@ -96,10 +80,12 @@ fn main() {
             r.global_steps as f64 / real_s.max(1e-9),
         ));
     }
-    // Hand-rolled JSON: the build environment has no serde_json (see
-    // shims/README.md); all values here are numeric or fixed labels.
+    let cfg = spec.scenario.cfg();
     let json = format!(
-        "{{\n  \"benchmark\": \"sanity\",\n  \"scenario\": {{\n    \"workers\": {WORKERS},\n    \"network\": \"heterogeneous_dynamic\",\n    \"workload\": \"{WORKLOAD_NAME}\",\n    \"max_epochs\": {MAX_EPOCHS:.1},\n    \"seed\": {SEED}\n  }},\n  \"results\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"benchmark\": \"sanity\",\n  \"scenario\": {{\n    \"workers\": {},\n    \"network\": \"heterogeneous_dynamic\",\n    \"workload\": \"resnet18/cifar10\",\n    \"max_epochs\": {:.1},\n    \"seed\": {}\n  }},\n  \"results\": [\n{}\n  ]\n}}\n",
+        spec.scenario.workers(),
+        cfg.max_epochs,
+        cfg.seed,
         json_rows.join(",\n")
     );
     let path = "BENCH_sanity.json";

@@ -1,9 +1,6 @@
 //! Shared machinery for the figure/table harnesses.
 
-use netmax_baselines::{algorithm_for, AdPsgd};
-use netmax_core::engine::{Algorithm, AlgorithmKind, RunReport, Scenario, TrainConfig};
-use netmax_core::monitor::MonitorConfig;
-use netmax_core::netmax::{NetMax, NetMaxConfig};
+use netmax_core::engine::{Algorithm, AlgorithmKind, RunReport, TrainConfig};
 use netmax_net::SlowdownConfig;
 use std::fs;
 use std::path::PathBuf;
@@ -105,19 +102,11 @@ impl ExpCtx {
 }
 
 /// Instantiates an algorithm with the harness-tuned monitor period
-/// ([`MONITOR_PERIOD_S`]); non-monitor algorithms are unaffected.
+/// ([`MONITOR_PERIOD_S`]); non-monitor algorithms are unaffected. Thin
+/// wrapper over [`crate::spec::Arm`] — the one place tuning lives — kept
+/// for harness code that starts from a bare [`AlgorithmKind`].
 pub fn tuned_algorithm(kind: AlgorithmKind, alpha: f64) -> Box<dyn Algorithm> {
-    let monitor = MonitorConfig { period_s: MONITOR_PERIOD_S, ..MonitorConfig::paper_default(alpha) };
-    match kind {
-        AlgorithmKind::NetMax => {
-            Box::new(NetMax::new(NetMaxConfig { monitor, ..NetMaxConfig::paper_default(alpha) }))
-        }
-        AlgorithmKind::NetMaxUniform => {
-            Box::new(NetMax::new(NetMaxConfig { monitor, ..NetMaxConfig::uniform(alpha) }))
-        }
-        AlgorithmKind::AdPsgdMonitored => Box::new(AdPsgd::monitored_with(monitor)),
-        other => algorithm_for(other, alpha),
-    }
+    crate::spec::Arm::new(kind).instantiate(alpha)
 }
 
 /// The harness-standard slowdown regime (paper factors 2–100×, compressed
@@ -136,21 +125,6 @@ pub fn train_config(epochs: f64, seed: u64) -> TrainConfig {
         seed,
         ..TrainConfig::default()
     }
-}
-
-/// Runs the given algorithms on (fresh environments of) one scenario.
-pub fn compare(
-    sc: &Scenario,
-    kinds: &[AlgorithmKind],
-    alpha: f64,
-) -> Vec<(AlgorithmKind, RunReport)> {
-    kinds
-        .iter()
-        .map(|&k| {
-            let mut algo = tuned_algorithm(k, alpha);
-            (k, sc.run_with(algo.as_mut()))
-        })
-        .collect()
 }
 
 /// A loss target every run in the set has reached, placed in the *descent*

@@ -10,10 +10,10 @@
 //!    policy, on static and dynamic networks.
 
 use crate::common::{self, ExpCtx};
-use netmax_core::engine::{PartitionKind, RunReport, Scenario};
-use netmax_core::monitor::MonitorConfig;
-use netmax_core::netmax::{MergeWeighting, NetMax, NetMaxConfig};
-use netmax_ml::workload::Workload;
+use crate::runner;
+use crate::spec::{Arm, ExperimentSpec, MetricKind};
+use netmax_core::engine::{AlgorithmKind, PartitionKind, RunReport, Scenario};
+use netmax_ml::workload::WorkloadSpec;
 use netmax_net::NetworkKind;
 
 /// Experiment parameters.
@@ -39,23 +39,13 @@ impl Params {
     }
 }
 
-fn netmax_with(alpha: f64, f: impl FnOnce(&mut NetMaxConfig)) -> NetMax {
-    let mut cfg = NetMaxConfig::paper_default(alpha);
-    cfg.monitor = MonitorConfig {
-        period_s: common::MONITOR_PERIOD_S,
-        ..MonitorConfig::paper_default(alpha)
-    };
-    f(&mut cfg);
-    NetMax::new(cfg)
-}
-
 /// Non-IID scenario used by the weighting ablation (Table IV labels).
 fn noniid_scenario(p: &Params) -> Scenario {
     Scenario::builder()
         .workers(8)
         .servers(2)
         .network(NetworkKind::HeterogeneousDynamic)
-        .workload(Workload::mobilenet_mnist(p.seed))
+        .workload(WorkloadSpec::mobilenet_mnist(p.seed))
         .partition(PartitionKind::PaperTable4)
         .slowdown(common::slowdown())
         .train_config(common::train_config(p.epochs, p.seed))
@@ -67,10 +57,108 @@ fn hetero_scenario(p: &Params) -> Scenario {
     Scenario::builder()
         .workers(8)
         .network(NetworkKind::HeterogeneousDynamic)
-        .workload(Workload::resnet18_cifar10(p.seed))
+        .workload(WorkloadSpec::resnet18_cifar10(p.seed))
         .slowdown(common::slowdown())
         .train_config(common::train_config(p.epochs, p.seed))
         .build()
+}
+
+fn abl_spec(
+    name: &str,
+    title: &str,
+    scenario: Scenario,
+    arms: Vec<Arm>,
+    seeds: Vec<u64>,
+    metrics: Vec<MetricKind>,
+) -> ExperimentSpec {
+    ExperimentSpec {
+        name: format!("abl/{name}"),
+        group: "abl".into(),
+        title: title.into(),
+        scenario,
+        arms,
+        seeds,
+        metrics,
+    }
+}
+
+/// The registry entries for all four design-choice ablations.
+pub fn specs(p: &Params) -> Vec<ExperimentSpec> {
+    let mut out = vec![
+        abl_spec(
+            "weighting",
+            "Ablation 1 — second-step merge weighting (non-IID MNIST, Table IV)",
+            noniid_scenario(p),
+            vec![
+                Arm::new(AlgorithmKind::NetMax).labeled("inverse-probability (paper)"),
+                Arm::new(AlgorithmKind::NetMax).fixed_weight(0.5).labeled("fixed 0.5 (AD-PSGD style)"),
+                Arm::new(AlgorithmKind::NetMax).fixed_weight(0.25).labeled("fixed 0.25"),
+            ],
+            vec![p.seed],
+            vec![MetricKind::Accuracy],
+        ),
+        abl_spec(
+            "ts-period",
+            "Ablation 2 — Network Monitor period Ts (link change every 120 s)",
+            hetero_scenario(p),
+            [10.0, 30.0, 60.0, 120.0, 300.0]
+                .into_iter()
+                .map(|ts| {
+                    Arm::new(AlgorithmKind::NetMax).monitor_period(ts).labeled(format!("Ts={ts}s"))
+                })
+                .collect(),
+            vec![p.seed],
+            vec![MetricKind::Accuracy],
+        ),
+        abl_spec(
+            "ema-beta",
+            "Ablation 3 — EMA smoothing factor β",
+            hetero_scenario(p),
+            [0.1, 0.3, 0.5, 0.7, 0.9]
+                .into_iter()
+                .map(|b| Arm::new(AlgorithmKind::NetMax).beta(b).labeled(format!("beta={b}")))
+                .collect(),
+            vec![p.seed],
+            vec![MetricKind::Accuracy],
+        ),
+    ];
+    out.extend(static_vs_adaptive_specs(p));
+    out
+}
+
+/// The two static/dynamic specs of ablation 4.
+fn static_vs_adaptive_specs(p: &Params) -> Vec<ExperimentSpec> {
+    let epochs = p.epochs.max(48.0);
+    // Faster re-draws than the harness default so each run sees many
+    // windows; whether any one window lands on the sparse subgraph is a
+    // coin flip, and the straggler metric surfaces the hits.
+    let slowdown = netmax_net::SlowdownConfig {
+        change_period_s: 60.0,
+        ..netmax_net::SlowdownConfig::default()
+    };
+    [
+        ("static", NetworkKind::HeterogeneousStatic),
+        ("dynamic", NetworkKind::HeterogeneousDynamic),
+    ]
+    .into_iter()
+    .map(|(net_label, kind)| {
+        let scenario = Scenario::builder()
+            .workers(8)
+            .network(kind)
+            .workload(WorkloadSpec::resnet18_cifar10(p.seed))
+            .slowdown(slowdown)
+            .train_config(common::train_config(epochs, p.seed))
+            .build();
+        abl_spec(
+            &format!("static-vs-adaptive/{net_label}"),
+            "Ablation 4 — static subgraph (SAPS-PSGD) vs adaptive NetMax (Fig. 2 narrative)",
+            scenario,
+            vec![Arm::new(AlgorithmKind::SapsPsgd), Arm::new(AlgorithmKind::NetMax)],
+            vec![p.seed, p.seed + 1, p.seed + 2],
+            vec![MetricKind::Straggler, MetricKind::Accuracy],
+        )
+    })
+    .collect()
 }
 
 /// Result row shared by the three ablations.
@@ -95,47 +183,27 @@ fn row(variant: String, r: &RunReport) -> Row {
     }
 }
 
+fn run_abl(spec: &ExperimentSpec) -> Vec<Row> {
+    runner::execute_with_threads(spec, runner::default_threads())
+        .cells
+        .into_iter()
+        .map(|c| row(c.label, &c.report))
+        .collect()
+}
+
 /// Ablation 1: inverse-probability vs fixed-weight merging, non-IID data.
 pub fn weighting(p: &Params) -> Vec<Row> {
-    let sc = noniid_scenario(p);
-    let alpha = sc.workload().optim.lr;
-    [
-        ("inverse-probability (paper)", MergeWeighting::InverseProbability),
-        ("fixed 0.5 (AD-PSGD style)", MergeWeighting::Fixed(0.5)),
-        ("fixed 0.25", MergeWeighting::Fixed(0.25)),
-    ]
-    .into_iter()
-    .map(|(label, w)| {
-        let mut algo = netmax_with(alpha, |c| c.weighting = w);
-        row(label.to_string(), &sc.run_with(&mut algo))
-    })
-    .collect()
+    run_abl(&specs(p)[0])
 }
 
 /// Ablation 2: Network Monitor period Ts vs the 120 s link-change period.
 pub fn ts_period(p: &Params) -> Vec<Row> {
-    let sc = hetero_scenario(p);
-    let alpha = sc.workload().optim.lr;
-    [10.0, 30.0, 60.0, 120.0, 300.0]
-        .into_iter()
-        .map(|ts| {
-            let mut algo = netmax_with(alpha, |c| c.monitor.period_s = ts);
-            row(format!("Ts={ts}s"), &sc.run_with(&mut algo))
-        })
-        .collect()
+    run_abl(&specs(p)[1])
 }
 
 /// Ablation 3: EMA smoothing factor β under dynamic links.
 pub fn ema_beta(p: &Params) -> Vec<Row> {
-    let sc = hetero_scenario(p);
-    let alpha = sc.workload().optim.lr;
-    [0.1, 0.3, 0.5, 0.7, 0.9]
-        .into_iter()
-        .map(|beta| {
-            let mut algo = netmax_with(alpha, |c| c.monitor.beta = beta);
-            row(format!("beta={beta}"), &sc.run_with(&mut algo))
-        })
-        .collect()
+    run_abl(&specs(p)[2])
 }
 
 /// Ablation 4: SAPS-PSGD (fixed initially-fast subgraph) vs NetMax on a
@@ -149,50 +217,32 @@ pub fn ema_beta(p: &Params) -> Vec<Row> {
 /// and averaged over several network seeds, because whether any single
 /// window hits the sparse subgraph is a coin flip.
 pub fn static_vs_adaptive(p: &Params) -> Vec<Row> {
-    use netmax_core::engine::AlgorithmKind;
-    let epochs = p.epochs.max(48.0);
-    let seeds = [p.seed, p.seed + 1, p.seed + 2];
-    // Faster re-draws than the harness default so each run sees many
-    // windows; whether any one window lands on the sparse subgraph is a
-    // coin flip, and the straggler metric below surfaces the hits.
-    let slowdown = netmax_net::SlowdownConfig {
-        change_period_s: 60.0,
-        ..netmax_net::SlowdownConfig::default()
-    };
     let mut rows = Vec::new();
-    for (net_label, kind) in [
-        ("static", NetworkKind::HeterogeneousStatic),
-        ("dynamic", NetworkKind::HeterogeneousDynamic),
-    ] {
-        for algo_kind in [AlgorithmKind::SapsPsgd, AlgorithmKind::NetMax] {
+    for spec in static_vs_adaptive_specs(p) {
+        let net_label =
+            spec.name.rsplit('/').next().expect("ablation 4 spec names end in the net label");
+        let result = runner::execute_with_threads(&spec, runner::default_threads());
+        let n_seeds = spec.effective_seeds().len() as f64;
+        for (arm_idx, arm) in spec.arms.iter().enumerate() {
             let mut acc = Row {
-                variant: format!("{}/{}", algo_kind.label(), net_label),
+                variant: format!("{}/{}", arm.label(), net_label),
                 wall_s: 0.0,
                 loss: 0.0,
                 accuracy: 0.0,
             };
-            for &seed in &seeds {
-                let sc = Scenario::builder()
-                    .workers(8)
-                    .network(kind)
-                    .workload(Workload::resnet18_cifar10(p.seed))
-                    .slowdown(slowdown)
-                    .train_config(common::train_config(epochs, seed))
-                    .build();
-                let alpha = sc.workload().optim.lr;
-                let mut algo = common::tuned_algorithm(algo_kind, alpha);
-                let r = sc.run_with(algo.as_mut());
+            for c in result.arm_cells(arm_idx) {
                 // Straggler view: the slowest node's time per epoch. A
                 // SAPS worker whose (frozen) subgraph edge gets slowed
                 // cannot route around it; NetMax re-routes within Ts.
-                let straggler = r
+                let straggler = c
+                    .report
                     .per_node
                     .iter()
                     .map(|x| if x.epochs > 0.0 { x.clock_s / x.epochs } else { 0.0 })
                     .fold(0.0f64, f64::max);
-                acc.wall_s += straggler / seeds.len() as f64;
-                acc.loss += r.final_train_loss / seeds.len() as f64;
-                acc.accuracy += r.final_test_accuracy / seeds.len() as f64;
+                acc.wall_s += straggler / n_seeds;
+                acc.loss += c.report.final_train_loss / n_seeds;
+                acc.accuracy += c.report.final_test_accuracy / n_seeds;
             }
             rows.push(acc);
         }

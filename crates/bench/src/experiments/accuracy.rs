@@ -7,8 +7,10 @@
 //! on — time is.
 
 use crate::common::{self, ExpCtx};
+use crate::runner;
+use crate::spec::{Arm, ExperimentSpec, MetricKind};
 use netmax_core::engine::{AlgorithmKind, Scenario};
-use netmax_ml::workload::Workload;
+use netmax_ml::workload::WorkloadSpec;
 use netmax_net::NetworkKind;
 
 /// Experiment parameters.
@@ -57,15 +59,15 @@ pub struct Row {
     pub accuracy: Vec<(String, f64)>,
 }
 
-/// Runs the table.
-pub fn run(p: &Params) -> Vec<Row> {
-    let mut rows = Vec::new();
-    for make in [Workload::resnet18_cifar10 as fn(u64) -> Workload, Workload::vgg19_cifar10] {
+/// The registry entries: one spec per (workload, node count).
+pub fn specs(p: &Params) -> Vec<ExperimentSpec> {
+    let group = if p.heterogeneous { "tab02" } else { "tab03" };
+    let mut out = Vec::new();
+    for make in [WorkloadSpec::resnet18_cifar10 as fn(u64) -> WorkloadSpec, WorkloadSpec::vgg19_cifar10] {
         for &nodes in &p.node_counts {
             let workload = make(p.seed);
-            let alpha = workload.optim.lr;
-            let model = workload.name.clone();
-            let sc = Scenario::builder()
+            let name = format!("{group}/{}/n{nodes}", workload.kind.name());
+            let scenario = Scenario::builder()
                 .workers(nodes)
                 .network(if p.heterogeneous {
                     NetworkKind::HeterogeneousDynamic
@@ -76,14 +78,41 @@ pub fn run(p: &Params) -> Vec<Row> {
                 .slowdown(common::slowdown())
                 .train_config(common::train_config(p.epochs, p.seed))
                 .build();
-            let accuracy = common::compare(&sc, &AlgorithmKind::headline_four(), alpha)
-                .into_iter()
-                .map(|(k, r)| (k.label().to_string(), r.final_test_accuracy))
-                .collect();
-            rows.push(Row { model, nodes, accuracy });
+            out.push(ExperimentSpec {
+                name,
+                group: group.into(),
+                title: format!(
+                    "{} — test accuracy over a {} network",
+                    if p.heterogeneous { "Table II" } else { "Table III" },
+                    if p.heterogeneous { "heterogeneous" } else { "homogeneous" }
+                ),
+                scenario,
+                arms: AlgorithmKind::headline_four().map(Arm::new).to_vec(),
+                seeds: vec![p.seed],
+                metrics: vec![MetricKind::Accuracy],
+            });
         }
     }
-    rows
+    out
+}
+
+/// Runs the table.
+pub fn run(p: &Params) -> Vec<Row> {
+    specs(p)
+        .iter()
+        .map(|spec| {
+            let result = runner::execute_with_threads(spec, runner::default_threads());
+            Row {
+                model: result.cells[0].report.workload.clone(),
+                nodes: result.spec.scenario.workers(),
+                accuracy: result
+                    .cells
+                    .into_iter()
+                    .map(|c| (c.label, c.report.final_test_accuracy))
+                    .collect(),
+            }
+        })
+        .collect()
 }
 
 /// Prints the table and writes the CSV.

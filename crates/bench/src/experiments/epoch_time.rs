@@ -7,8 +7,10 @@
 //! AD-PSGD nearly tie.
 
 use crate::common::{self, ExpCtx};
+use crate::runner;
+use crate::spec::{Arm, ExperimentSpec, MetricKind};
 use netmax_core::engine::{AlgorithmKind, Scenario};
-use netmax_ml::workload::Workload;
+use netmax_ml::workload::WorkloadSpec;
 use netmax_net::NetworkKind;
 
 /// Experiment parameters.
@@ -53,30 +55,54 @@ pub struct Row {
     pub epoch_s: f64,
 }
 
+/// The registry entries: one spec per workload panel.
+pub fn specs(p: &Params) -> Vec<ExperimentSpec> {
+    let group = if p.heterogeneous { "fig05" } else { "fig06" };
+    [WorkloadSpec::resnet18_cifar10(p.seed), WorkloadSpec::vgg19_cifar10(p.seed)]
+        .into_iter()
+        .map(|workload| {
+            let name = format!("{group}/{}", workload.kind.name());
+            let scenario = Scenario::builder()
+                .workers(p.workers)
+                .network(if p.heterogeneous {
+                    NetworkKind::HeterogeneousDynamic
+                } else {
+                    NetworkKind::Homogeneous
+                })
+                .workload(workload)
+                .slowdown(common::slowdown())
+                .train_config(common::train_config(p.epochs, p.seed))
+                .build();
+            ExperimentSpec {
+                name,
+                group: group.into(),
+                title: format!(
+                    "{} — average epoch time split, {} workers, {} network",
+                    if p.heterogeneous { "Fig. 5" } else { "Fig. 6" },
+                    p.workers,
+                    if p.heterogeneous { "heterogeneous" } else { "homogeneous" }
+                ),
+                scenario,
+                arms: AlgorithmKind::headline_four().map(Arm::new).to_vec(),
+                seeds: vec![p.seed],
+                metrics: vec![MetricKind::EpochCost],
+            }
+        })
+        .collect()
+}
+
 /// Runs the experiment: 2 workloads × 4 algorithms.
 pub fn run(p: &Params) -> Vec<Row> {
     let mut rows = Vec::new();
-    for workload in [Workload::resnet18_cifar10(p.seed), Workload::vgg19_cifar10(p.seed)] {
-        let alpha = workload.optim.lr;
-        let name = workload.name.clone();
-        let sc = Scenario::builder()
-            .workers(p.workers)
-            .network(if p.heterogeneous {
-                NetworkKind::HeterogeneousDynamic
-            } else {
-                NetworkKind::Homogeneous
-            })
-            .workload(workload)
-            .slowdown(common::slowdown())
-            .train_config(common::train_config(p.epochs, p.seed))
-            .build();
-        for (kind, report) in common::compare(&sc, &AlgorithmKind::headline_four(), alpha) {
+    for spec in specs(p) {
+        let result = runner::execute_with_threads(&spec, runner::default_threads());
+        for c in result.cells {
             rows.push(Row {
-                model: name.clone(),
-                algorithm: kind.label().to_string(),
-                comp_s: report.comp_cost_per_epoch_s(),
-                comm_s: report.comm_cost_per_epoch_s(),
-                epoch_s: report.epoch_time_avg_s(),
+                model: c.report.workload.clone(),
+                algorithm: c.label,
+                comp_s: c.report.comp_cost_per_epoch_s(),
+                comm_s: c.report.comm_cost_per_epoch_s(),
+                epoch_s: c.report.epoch_time_avg_s(),
             });
         }
     }

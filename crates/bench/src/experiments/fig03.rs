@@ -8,8 +8,10 @@
 //! time" (§II-B).
 
 use crate::common::ExpCtx;
-use netmax_core::engine::ExecutionMode;
+use crate::spec::{ExperimentSpec, MetricKind};
+use netmax_core::engine::{ExecutionMode, Scenario};
 use netmax_ml::profile::ModelProfile;
+use netmax_ml::workload::WorkloadSpec;
 use netmax_net::LinkQuality;
 
 /// One bar pair of the figure.
@@ -28,6 +30,26 @@ impl Row {
     pub fn ratio(&self) -> f64 {
         self.inter_s / self.intra_s
     }
+}
+
+/// The registry entry. Fig. 3 is a timing identity computed from the
+/// calibrated profiles, so the spec declares no arms — the executor runs
+/// zero training cells and the artifact carries the
+/// [`MetricKind::IterationTime`] summary.
+pub fn specs() -> Vec<ExperimentSpec> {
+    vec![ExperimentSpec {
+        name: "fig03/iteration-time".into(),
+        group: "fig03".into(),
+        title: "Fig. 3 — iteration time, intra- vs inter-machine (batch 128)".into(),
+        scenario: Scenario::builder()
+            .workers(2)
+            .workload(WorkloadSpec::resnet18_cifar10(1))
+            .max_epochs(0.1)
+            .build(),
+        arms: Vec::new(),
+        seeds: Vec::new(),
+        metrics: vec![MetricKind::IterationTime],
+    }]
 }
 
 /// Computes the figure (no training needed — this is a timing identity).

@@ -6,8 +6,10 @@
 //! compute is much shorter than communication.
 
 use crate::common::{self, ExpCtx};
+use crate::runner;
+use crate::spec::{Arm, ExperimentSpec, MetricKind};
 use netmax_core::engine::{AlgorithmKind, ExecutionMode, Scenario};
-use netmax_ml::workload::Workload;
+use netmax_ml::workload::WorkloadSpec;
 use netmax_net::NetworkKind;
 
 /// Experiment parameters.
@@ -49,41 +51,60 @@ pub struct Row {
     pub t_target_s: f64,
 }
 
-/// Runs the 4 settings × 2 workloads.
-pub fn run(p: &Params) -> Vec<Row> {
-    let settings = [
-        ("serial+uniform", ExecutionMode::Serial, AlgorithmKind::NetMaxUniform),
-        ("parallel+uniform", ExecutionMode::Parallel, AlgorithmKind::NetMaxUniform),
-        ("serial+adaptive", ExecutionMode::Serial, AlgorithmKind::NetMax),
-        ("parallel+adaptive", ExecutionMode::Parallel, AlgorithmKind::NetMax),
-    ];
-    let mut rows = Vec::new();
-    for workload in [Workload::resnet18_cifar10(p.seed), Workload::vgg19_cifar10(p.seed)] {
-        let alpha = workload.optim.lr;
-        let name = workload.name.clone();
-        let mut reports = Vec::new();
-        for (label, exec, kind) in settings {
+/// The registry entries: one spec per (workload, execution mode), each
+/// with the uniform and adaptive arms.
+pub fn specs(p: &Params) -> Vec<ExperimentSpec> {
+    let mut out = Vec::new();
+    for workload in [WorkloadSpec::resnet18_cifar10(p.seed), WorkloadSpec::vgg19_cifar10(p.seed)] {
+        for exec in [ExecutionMode::Serial, ExecutionMode::Parallel] {
             let mut cfg = common::train_config(p.epochs, p.seed);
             cfg.execution = exec;
-            let sc = Scenario::builder()
+            let scenario = Scenario::builder()
                 .workers(p.workers)
                 .network(NetworkKind::HeterogeneousDynamic)
                 .workload(workload.clone())
                 .slowdown(common::slowdown())
                 .train_config(cfg)
                 .build();
-            let mut algo = common::tuned_algorithm(kind, alpha);
-            reports.push((label, sc.run_with(algo.as_mut())));
-        }
-        // A loss level every setting reached, clear of plateau noise.
-        let target = common::common_loss_target_of(reports.iter().map(|(_, r)| r));
-        for (label, report) in reports {
-            rows.push(Row {
-                model: name.clone(),
-                setting: label.to_string(),
-                epoch_s: report.epoch_time_avg_s(),
-                t_target_s: report.time_to_loss(target).unwrap_or(report.wall_clock_s),
+            out.push(ExperimentSpec {
+                name: format!("fig07/{}/{}", workload.kind.name(), exec.name()),
+                group: "fig07".into(),
+                title: "Fig. 7 — execution/selection ablation (heterogeneous, 8 workers)".into(),
+                scenario,
+                arms: vec![
+                    Arm::new(AlgorithmKind::NetMaxUniform)
+                        .labeled(format!("{}+uniform", exec.name())),
+                    Arm::new(AlgorithmKind::NetMax).labeled(format!("{}+adaptive", exec.name())),
+                ],
+                seeds: vec![p.seed],
+                metrics: vec![MetricKind::EpochCost, MetricKind::TimeToTarget],
             });
+        }
+    }
+    out
+}
+
+/// Runs the 4 settings × 2 workloads.
+pub fn run(p: &Params) -> Vec<Row> {
+    let mut rows = Vec::new();
+    // Two specs (serial, parallel) per workload share one loss target.
+    for pair in specs(p).chunks(2) {
+        let results: Vec<_> = pair
+            .iter()
+            .map(|s| runner::execute_with_threads(s, runner::default_threads()))
+            .collect();
+        let target = common::common_loss_target_of(
+            results.iter().flat_map(|r| r.cells.iter().map(|c| &c.report)),
+        );
+        for result in results {
+            for c in result.cells {
+                rows.push(Row {
+                    model: c.report.workload.clone(),
+                    setting: c.label,
+                    epoch_s: c.report.epoch_time_avg_s(),
+                    t_target_s: c.report.time_to_loss(target).unwrap_or(c.report.wall_clock_s),
+                });
+            }
         }
     }
     rows

@@ -8,8 +8,10 @@
 //! (Table VI: all six approaches within ~1%).
 
 use crate::common::{self, ExpCtx};
+use crate::runner;
+use crate::spec::{Arm, ExperimentSpec, MetricKind};
 use netmax_core::engine::{AlgorithmKind, PartitionKind, RunReport, Scenario};
-use netmax_ml::workload::Workload;
+use netmax_ml::workload::WorkloadSpec;
 use netmax_net::NetworkKind;
 
 /// Experiment parameters.
@@ -47,21 +49,37 @@ pub fn algorithms() -> [AlgorithmKind; 6] {
     ]
 }
 
-/// Runs MobileNet/CIFAR100 with the §V-F non-uniform setting plus the two
-/// PS baselines.
-pub fn run(p: &Params) -> Vec<(AlgorithmKind, RunReport)> {
-    let workload = Workload::mobilenet_cifar100(p.seed).time_scaled(0.25);
-    let alpha = workload.optim.lr;
-    let sc = Scenario::builder()
+/// The registry entry.
+pub fn specs(p: &Params) -> Vec<ExperimentSpec> {
+    let scenario = Scenario::builder()
         .workers(8)
         .servers(2)
         .network(NetworkKind::HeterogeneousDynamic)
-        .workload(workload)
+        .workload(WorkloadSpec::mobilenet_cifar100(p.seed).time_scaled(0.25))
         .partition(PartitionKind::Paper8Segments)
         .slowdown(common::slowdown())
         .train_config(common::train_config(p.epochs, p.seed))
         .build();
-    common::compare(&sc, &algorithms(), alpha)
+    vec![ExperimentSpec {
+        name: "fig14/mobilenet-cifar100".into(),
+        group: "fig14".into(),
+        title: "Fig. 14 + Table VI — MobileNet on CIFAR100 incl. PS baselines (§V-G)".into(),
+        scenario,
+        arms: algorithms().map(Arm::new).to_vec(),
+        seeds: vec![p.seed],
+        metrics: vec![MetricKind::TimeToTarget, MetricKind::Accuracy],
+    }]
+}
+
+/// Runs MobileNet/CIFAR100 with the §V-F non-uniform setting plus the two
+/// PS baselines.
+pub fn run(p: &Params) -> Vec<(AlgorithmKind, RunReport)> {
+    let spec = &specs(p)[0];
+    runner::execute_with_threads(spec, runner::default_threads())
+        .cells
+        .into_iter()
+        .map(|c| (c.algorithm, c.report))
+        .collect()
 }
 
 /// Prints the summary/Table VI row and writes the curves CSV.

@@ -8,8 +8,10 @@
 //! up-weights rarely-pulled (slow) neighbours.
 
 use crate::common::{self, ExpCtx};
+use crate::runner;
+use crate::spec::{Arm, ExperimentSpec, MetricKind};
 use netmax_core::engine::{AlgorithmKind, PartitionKind, RunReport, Scenario};
-use netmax_ml::workload::Workload;
+use netmax_ml::workload::WorkloadSpec;
 use netmax_net::NetworkKind;
 
 /// Experiment parameters.
@@ -35,28 +37,40 @@ impl Params {
     }
 }
 
-/// Runs the three-way comparison on ResNet18/CIFAR100 (§V-F setting).
-pub fn run(p: &Params) -> Vec<(AlgorithmKind, RunReport)> {
-    let workload = Workload::resnet18_cifar100(p.seed).time_scaled(0.25);
-    let alpha = workload.optim.lr;
-    let sc = Scenario::builder()
+/// The registry entry.
+pub fn specs(p: &Params) -> Vec<ExperimentSpec> {
+    let scenario = Scenario::builder()
         .workers(8)
         .servers(2)
         .network(NetworkKind::HeterogeneousDynamic)
-        .workload(workload)
+        .workload(WorkloadSpec::resnet18_cifar100(p.seed).time_scaled(0.25))
         .partition(PartitionKind::Paper8Segments)
         .slowdown(common::slowdown())
         .train_config(common::train_config(p.epochs, p.seed))
         .build();
-    common::compare(
-        &sc,
-        &[
-            AlgorithmKind::AdPsgd,
-            AlgorithmKind::AdPsgdMonitored,
-            AlgorithmKind::NetMax,
+    vec![ExperimentSpec {
+        name: "fig15/resnet18-cifar100".into(),
+        group: "fig15".into(),
+        title: "Fig. 15 — AD-PSGD extended with the Network Monitor (§III-D, §V-H)".into(),
+        scenario,
+        arms: vec![
+            Arm::new(AlgorithmKind::AdPsgd),
+            Arm::new(AlgorithmKind::AdPsgdMonitored),
+            Arm::new(AlgorithmKind::NetMax),
         ],
-        alpha,
-    )
+        seeds: vec![p.seed],
+        metrics: vec![MetricKind::TimeToTarget],
+    }]
+}
+
+/// Runs the three-way comparison on ResNet18/CIFAR100 (§V-F setting).
+pub fn run(p: &Params) -> Vec<(AlgorithmKind, RunReport)> {
+    let spec = &specs(p)[0];
+    runner::execute_with_threads(spec, runner::default_threads())
+        .cells
+        .into_iter()
+        .map(|c| (c.algorithm, c.report))
+        .collect()
 }
 
 /// Prints the summary and writes the curves CSV.

@@ -6,8 +6,10 @@
 //! AD-PSGD / PS-async / PS-sync over the WAN.
 
 use crate::common::{self, ExpCtx};
+use crate::runner;
+use crate::spec::{Arm, ExperimentSpec, MetricKind};
 use netmax_core::engine::{AlgorithmKind, PartitionKind, RunReport, Scenario};
-use netmax_ml::workload::Workload;
+use netmax_ml::workload::WorkloadSpec;
 use netmax_net::NetworkKind;
 
 /// Experiment parameters.
@@ -41,45 +43,58 @@ pub struct Panel {
     pub results: Vec<(AlgorithmKind, RunReport)>,
 }
 
-/// Runs both panels over the 6-region WAN.
-pub fn run(p: &Params) -> Vec<Panel> {
-    [Workload::mobilenet_mnist(p.seed), Workload::googlenet_mnist(p.seed)]
+/// The registry entries: one spec per model panel.
+pub fn specs(p: &Params) -> Vec<ExperimentSpec> {
+    [WorkloadSpec::mobilenet_mnist(p.seed), WorkloadSpec::googlenet_mnist(p.seed)]
         .into_iter()
         .map(|workload| {
-            let alpha = workload.optim.lr;
-            let model = workload.name.clone();
             let mut cfg = common::train_config(p.epochs, p.seed);
             // Accuracy-vs-time curves need dense test evaluation.
             cfg.test_eval_every_records = 1;
-            let sc = Scenario::builder()
+            let name = format!("fig19/{}", workload.kind.name());
+            let scenario = Scenario::builder()
                 .workers(6)
                 .network(NetworkKind::Wan)
                 .workload(workload)
                 .partition(PartitionKind::PaperTable7)
                 .train_config(cfg)
                 .build();
-            let results = common::compare(
-                &sc,
-                &[
-                    AlgorithmKind::NetMax,
-                    AlgorithmKind::AdPsgd,
-                    AlgorithmKind::PsAsync,
-                    AlgorithmKind::PsSync,
+            ExperimentSpec {
+                name,
+                group: "fig19".into(),
+                title: "Fig. 19 — cross-cloud training over six EC2 regions (Table VII skew)"
+                    .into(),
+                scenario,
+                arms: vec![
+                    Arm::new(AlgorithmKind::NetMax),
+                    Arm::new(AlgorithmKind::AdPsgd),
+                    Arm::new(AlgorithmKind::PsAsync),
+                    Arm::new(AlgorithmKind::PsSync),
                 ],
-                alpha,
-            );
-            Panel { model, results }
+                seeds: vec![p.seed],
+                metrics: vec![MetricKind::TimeToAccuracy, MetricKind::Accuracy],
+            }
+        })
+        .collect()
+}
+
+/// Runs both panels over the 6-region WAN.
+pub fn run(p: &Params) -> Vec<Panel> {
+    specs(p)
+        .iter()
+        .map(|spec| {
+            let result = runner::execute_with_threads(spec, runner::default_threads());
+            Panel {
+                model: result.cells[0].report.workload.clone(),
+                results: result.cells.into_iter().map(|c| (c.algorithm, c.report)).collect(),
+            }
         })
         .collect()
 }
 
 /// Seconds for the averaged model to first reach `target` test accuracy.
 pub fn time_to_accuracy(report: &RunReport, target: f64) -> Option<f64> {
-    report
-        .samples
-        .iter()
-        .find(|s| s.test_accuracy.is_some_and(|a| a >= target))
-        .map(|s| s.time_s)
+    runner::time_to_accuracy(report, target)
 }
 
 /// Prints per-panel summaries and writes the curve CSVs.

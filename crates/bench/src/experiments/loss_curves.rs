@@ -7,8 +7,10 @@
 //! NetMax and AD-PSGD nearly coincide, and both beat the collectives.
 
 use crate::common::{self, ExpCtx};
+use crate::runner;
+use crate::spec::{Arm, ExperimentSpec, MetricKind};
 use netmax_core::engine::{AlgorithmKind, RunReport, Scenario};
-use netmax_ml::workload::Workload;
+use netmax_ml::workload::WorkloadSpec;
 use netmax_net::NetworkKind;
 
 /// Experiment parameters.
@@ -46,14 +48,14 @@ pub struct Panel {
     pub results: Vec<(AlgorithmKind, RunReport)>,
 }
 
-/// Runs both panels (ResNet18 and VGG19).
-pub fn run(p: &Params) -> Vec<Panel> {
-    [Workload::resnet18_cifar10(p.seed), Workload::vgg19_cifar10(p.seed)]
+/// The registry entries: one spec per workload panel.
+pub fn specs(p: &Params) -> Vec<ExperimentSpec> {
+    let group = if p.heterogeneous { "fig08" } else { "fig09" };
+    [WorkloadSpec::resnet18_cifar10(p.seed), WorkloadSpec::vgg19_cifar10(p.seed)]
         .into_iter()
         .map(|workload| {
-            let alpha = workload.optim.lr;
-            let model = workload.name.clone();
-            let sc = Scenario::builder()
+            let name = format!("{group}/{}", workload.kind.name());
+            let scenario = Scenario::builder()
                 .workers(p.workers)
                 .network(if p.heterogeneous {
                     NetworkKind::HeterogeneousDynamic
@@ -64,7 +66,38 @@ pub fn run(p: &Params) -> Vec<Panel> {
                 .slowdown(common::slowdown())
                 .train_config(common::train_config(p.epochs, p.seed))
                 .build();
-            Panel { model, results: common::compare(&sc, &AlgorithmKind::headline_four(), alpha) }
+            ExperimentSpec {
+                name,
+                group: group.into(),
+                title: format!(
+                    "{} — training loss vs time ({} network, {} workers)",
+                    if p.heterogeneous { "Fig. 8" } else { "Fig. 9" },
+                    if p.heterogeneous { "heterogeneous" } else { "homogeneous" },
+                    p.workers
+                ),
+                scenario,
+                arms: AlgorithmKind::headline_four().map(Arm::new).to_vec(),
+                seeds: vec![p.seed],
+                metrics: vec![MetricKind::TimeToTarget, MetricKind::EpochCost, MetricKind::Accuracy],
+            }
+        })
+        .collect()
+}
+
+/// Runs both panels (ResNet18 and VGG19) through the spec executor.
+pub fn run(p: &Params) -> Vec<Panel> {
+    specs(p)
+        .iter()
+        .map(|spec| {
+            let result = runner::execute_with_threads(spec, runner::default_threads());
+            Panel {
+                model: result.cells[0].report.workload.clone(),
+                results: result
+                    .cells
+                    .into_iter()
+                    .map(|c| (c.algorithm, c.report))
+                    .collect(),
+            }
         })
         .collect()
 }

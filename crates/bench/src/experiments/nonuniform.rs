@@ -12,8 +12,10 @@
 //! * Fig. 18 — MobileNet / MNIST, 8 workers, Table IV non-IID labels.
 
 use crate::common::{self, ExpCtx};
+use crate::runner;
+use crate::spec::{Arm, ExperimentSpec, MetricKind};
 use netmax_core::engine::{AlgorithmKind, PartitionKind, RunReport, Scenario};
-use netmax_ml::workload::Workload;
+use netmax_ml::workload::WorkloadSpec;
 use netmax_net::NetworkKind;
 
 /// Which paper figure to reproduce.
@@ -61,15 +63,15 @@ impl Case {
         }
     }
 
-    fn workload(&self, seed: u64) -> Workload {
+    fn workload(&self, seed: u64) -> WorkloadSpec {
         // The paper's 120/75-epoch schedules compressed 4× (decay
         // milestones scale along, see `Workload::time_scaled`).
         match self {
-            Case::Cifar100 => Workload::resnet18_cifar100(seed).time_scaled(0.25),
-            Case::ImageNet => Workload::resnet50_imagenet(seed).time_scaled(0.25),
-            Case::Cifar10 => Workload::resnet18_cifar10(seed).time_scaled(0.5),
-            Case::TinyImageNet => Workload::resnet18_tiny_imagenet(seed).time_scaled(0.5),
-            Case::MnistNonIid => Workload::mobilenet_mnist(seed),
+            Case::Cifar100 => WorkloadSpec::resnet18_cifar100(seed).time_scaled(0.25),
+            Case::ImageNet => WorkloadSpec::resnet50_imagenet(seed).time_scaled(0.25),
+            Case::Cifar10 => WorkloadSpec::resnet18_cifar10(seed).time_scaled(0.5),
+            Case::TinyImageNet => WorkloadSpec::resnet18_tiny_imagenet(seed).time_scaled(0.5),
+            Case::MnistNonIid => WorkloadSpec::mobilenet_mnist(seed),
         }
     }
 
@@ -96,7 +98,7 @@ pub struct Params {
 impl Params {
     /// Full reproduction scale.
     pub fn full(case: Case) -> Self {
-        let epochs = case.workload(1).target_epochs;
+        let epochs = case.workload(1).instantiate().target_epochs;
         Self { case, epochs, seed: 13 }
     }
 
@@ -116,28 +118,53 @@ pub struct Outcome {
     pub results: Vec<(AlgorithmKind, RunReport)>,
 }
 
-/// Runs the case with the four headline algorithms, two GPU servers
-/// hosting the workers (the §V-F deployment).
-pub fn run(p: &Params) -> Outcome {
-    let workload = p.case.workload(p.seed);
-    let alpha = workload.optim.lr;
-    let model = workload.name.clone();
+/// The registry entry for one case (optionally under a different group,
+/// e.g. `tab05` re-registers the same runs as table rows).
+pub fn spec_for(p: &Params, group: &str) -> ExperimentSpec {
     let mut cfg = common::train_config(p.epochs, p.seed);
     if p.case == Case::ImageNet {
         // 16-node ImageNet runs are the most expensive; sample lighter.
         cfg.record_every_steps = 100;
         cfg.loss_sample_size = 256;
     }
-    let sc = Scenario::builder()
+    let scenario = Scenario::builder()
         .workers(p.case.workers())
         .servers(2)
         .network(NetworkKind::HeterogeneousDynamic)
-        .workload(workload)
+        .workload(p.case.workload(p.seed))
         .partition(p.case.partition())
         .slowdown(common::slowdown())
         .train_config(cfg)
         .build();
-    Outcome { model, results: common::compare(&sc, &AlgorithmKind::headline_four(), alpha) }
+    ExperimentSpec {
+        name: format!("{group}/{}", p.case.workload(p.seed).kind.name()),
+        group: group.into(),
+        title: format!(
+            "{} — non-uniform partitioning, {} workers on 2 servers",
+            p.case.figure(),
+            p.case.workers()
+        ),
+        scenario,
+        arms: AlgorithmKind::headline_four().map(Arm::new).to_vec(),
+        seeds: vec![p.seed],
+        metrics: vec![MetricKind::TimeToTarget, MetricKind::Accuracy],
+    }
+}
+
+/// The registry entry for this case under its own figure group.
+pub fn specs(p: &Params) -> Vec<ExperimentSpec> {
+    vec![spec_for(p, p.case.csv_stem().split('_').next().unwrap_or("nonuniform"))]
+}
+
+/// Runs the case with the four headline algorithms, two GPU servers
+/// hosting the workers (the §V-F deployment).
+pub fn run(p: &Params) -> Outcome {
+    let spec = spec_for(p, "nonuniform");
+    let result = runner::execute_with_threads(&spec, runner::default_threads());
+    Outcome {
+        model: result.cells[0].report.workload.clone(),
+        results: result.cells.into_iter().map(|c| (c.algorithm, c.report)).collect(),
+    }
 }
 
 /// Prints the convergence summary and writes the curve CSV.

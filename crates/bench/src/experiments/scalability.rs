@@ -6,8 +6,10 @@
 //! (§V-E). Heterogeneous sweeps 4–16 nodes, homogeneous 4–8.
 
 use crate::common::{self, ExpCtx};
+use crate::runner;
+use crate::spec::{Arm, ExperimentSpec, MetricKind};
 use netmax_core::engine::{AlgorithmKind, Scenario};
-use netmax_ml::workload::Workload;
+use netmax_ml::workload::WorkloadSpec;
 use netmax_net::NetworkKind;
 
 /// Experiment parameters.
@@ -60,44 +62,78 @@ pub struct Row {
     pub speedup: f64,
 }
 
-/// Runs the sweep for both workloads.
-pub fn run(p: &Params) -> Vec<Row> {
-    let mut rows = Vec::new();
-    for make in [Workload::resnet18_cifar10 as fn(u64) -> Workload, Workload::vgg19_cifar10] {
-        let workload = make(p.seed);
-        let alpha = workload.optim.lr;
-        let model = workload.name.clone();
-
-        let run_one = |nodes: usize, kind: AlgorithmKind| -> f64 {
-            let sc = Scenario::builder()
+/// The registry entries: one spec per (workload, node count).
+pub fn specs(p: &Params) -> Vec<ExperimentSpec> {
+    let group = if p.heterogeneous { "fig10" } else { "fig11" };
+    let mut out = Vec::new();
+    for make in [WorkloadSpec::resnet18_cifar10 as fn(u64) -> WorkloadSpec, WorkloadSpec::vgg19_cifar10] {
+        for &nodes in &p.node_counts {
+            let workload = make(p.seed);
+            let name = format!("{group}/{}/n{nodes}", workload.kind.name());
+            let scenario = Scenario::builder()
                 .workers(nodes)
                 .network(if p.heterogeneous {
                     NetworkKind::HeterogeneousDynamic
                 } else {
                     NetworkKind::Homogeneous
                 })
-                .workload(make(p.seed))
+                .workload(workload)
                 .slowdown(common::slowdown())
                 .train_config(common::train_config(p.epochs, p.seed))
                 .build();
-            let mut algo = common::tuned_algorithm(kind, alpha);
-            sc.run_with(algo.as_mut()).wall_clock_s
-        };
+            out.push(ExperimentSpec {
+                name,
+                group: group.into(),
+                title: format!(
+                    "{} — speedup vs worker count ({}; baseline: Allreduce@4)",
+                    if p.heterogeneous { "Fig. 10" } else { "Fig. 11" },
+                    if p.heterogeneous { "heterogeneous" } else { "homogeneous" }
+                ),
+                scenario,
+                arms: AlgorithmKind::headline_four().map(Arm::new).to_vec(),
+                seeds: vec![p.seed],
+                metrics: vec![MetricKind::TimeToTarget],
+            });
+        }
+    }
+    out
+}
 
-        let baseline = run_one(4, AlgorithmKind::AllreduceSgd);
-        for &nodes in &p.node_counts {
-            for kind in AlgorithmKind::headline_four() {
-                let time_s = if nodes == 4 && kind == AlgorithmKind::AllreduceSgd {
-                    baseline
-                } else {
-                    run_one(nodes, kind)
-                };
+/// Runs the sweep for both workloads. The speedup baseline is the
+/// Allreduce-SGD run at 4 workers (§V-E); when 4 is not among the
+/// requested node counts an extra baseline spec is executed unregistered.
+pub fn run(p: &Params) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for make in [WorkloadSpec::resnet18_cifar10 as fn(u64) -> WorkloadSpec, WorkloadSpec::vgg19_cifar10] {
+        let workload_name = make(p.seed).kind.name().to_string();
+        let results: Vec<_> = specs(p)
+            .into_iter()
+            .filter(|s| s.name.contains(&workload_name))
+            .map(|s| runner::execute_with_threads(&s, runner::default_threads()))
+            .collect();
+        let baseline = results
+            .iter()
+            .find(|r| r.spec.scenario.workers() == 4)
+            .and_then(|r| r.cell(AlgorithmKind::AllreduceSgd))
+            .map(|c| c.report.wall_clock_s)
+            .unwrap_or_else(|| {
+                let mut bp = p.clone();
+                bp.node_counts = vec![4];
+                let spec = specs(&bp)
+                    .into_iter()
+                    .find(|s| s.name.contains(&workload_name))
+                    .expect("baseline spec");
+                let r = runner::execute_with_threads(&spec, runner::default_threads());
+                r.cell(AlgorithmKind::AllreduceSgd).expect("allreduce arm").report.wall_clock_s
+            });
+        for result in results {
+            for c in result.cells {
                 rows.push(Row {
-                    model: model.clone(),
-                    algorithm: kind.label().to_string(),
-                    nodes,
-                    time_s,
-                    speedup: baseline / time_s,
+                    model: c.report.workload.clone(),
+                    algorithm: c.label,
+                    nodes: result.spec.scenario.workers(),
+                    time_s: c.report.wall_clock_s,
+                    speedup: baseline / c.report.wall_clock_s,
                 });
             }
         }

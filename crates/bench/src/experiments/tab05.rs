@@ -51,6 +51,25 @@ impl Params {
     }
 }
 
+/// The registry entries: the five non-uniform cases re-registered as
+/// Table V rows (same scenarios as the per-figure `nonuniform` entries,
+/// but under each case's own Table V budget/seed).
+pub fn specs(p: &Params) -> Vec<crate::spec::ExperimentSpec> {
+    p.cases
+        .iter()
+        .map(|&case| {
+            let mut np = nonuniform::Params::full(case);
+            np.seed = p.seed;
+            if let Some(e) = p.epochs {
+                np.epochs = e;
+            }
+            let mut spec = nonuniform::spec_for(&np, "tab05");
+            spec.title = "Table V — accuracy with non-uniform data partitioning".into();
+            spec
+        })
+        .collect()
+}
+
 /// One row of Table V.
 #[derive(Debug, Clone)]
 pub struct Row {

@@ -25,5 +25,11 @@
 
 pub mod common;
 pub mod experiments;
+pub mod registry;
+pub mod runner;
+pub mod spec;
 
 pub use common::{ExpCtx, Mode, LINK_CHANGE_PERIOD_S, MONITOR_PERIOD_S};
+pub use registry::registry;
+pub use runner::{execute, execute_with_threads, CellResult, ExperimentResult};
+pub use spec::{Arm, ExperimentSpec, MetricKind};

@@ -1,0 +1,169 @@
+//! The central experiment registry: every figure/table of the paper's
+//! evaluation declared once as [`ExperimentSpec`]s.
+//!
+//! Each experiment module contributes its specs through a `specs(..)`
+//! function; this module collects them at a given execution [`Mode`] and
+//! is the single source the `netmax-bench` CLI, the smoke tests, and the
+//! docs enumerate. Names are `group/detail` (`fig08/resnet18-cifar10`);
+//! `netmax-bench run fig08` runs a whole group, `run all` runs everything.
+
+use crate::common::{ExpCtx, Mode};
+use crate::experiments::{
+    ablations, accuracy, epoch_time, fig03, fig07, fig14, fig15, fig19, loss_curves, nonuniform,
+    scalability, tab05,
+};
+use crate::spec::{Arm, ExperimentSpec, MetricKind};
+use netmax_core::engine::{AlgorithmKind, Scenario, TrainConfig};
+use netmax_ml::workload::WorkloadSpec;
+use netmax_net::{NetworkKind, SlowdownConfig};
+
+/// The `sanity` suite: the PR-1 performance-baseline scenario (also the
+/// suite `BENCH_parallel.json` times the threaded executor on).
+pub fn sanity_spec(mode: Mode) -> ExperimentSpec {
+    ExperimentSpec {
+        name: "sanity/resnet18-cifar10".into(),
+        group: "sanity".into(),
+        title: "Sanity — headline-four shape check on the heterogeneous dynamic network".into(),
+        scenario: Scenario::builder()
+            .workers(8)
+            .network(NetworkKind::HeterogeneousDynamic)
+            .workload(WorkloadSpec::resnet18_cifar10(42))
+            .slowdown(SlowdownConfig { change_period_s: 120.0, ..SlowdownConfig::default() })
+            .train_config(TrainConfig {
+                max_epochs: mode.epochs(48.0),
+                record_every_steps: 40,
+                seed: 7,
+                ..TrainConfig::default()
+            })
+            .build(),
+        arms: AlgorithmKind::headline_four().map(Arm::new).to_vec(),
+        seeds: vec![7],
+        metrics: vec![MetricKind::TimeToTarget, MetricKind::EpochCost, MetricKind::Accuracy],
+    }
+}
+
+/// Builds the full registry at the given execution mode. Every entry's
+/// name is unique; entries of one figure/table share a `group`.
+pub fn registry(mode: Mode) -> Vec<ExperimentSpec> {
+    let ctx = ExpCtx::with_mode(mode);
+    let mut specs = Vec::new();
+    specs.extend(fig03::specs());
+    specs.extend(epoch_time::specs(&epoch_time::Params::for_mode(&ctx, true)));
+    specs.extend(epoch_time::specs(&epoch_time::Params::for_mode(&ctx, false)));
+    specs.extend(fig07::specs(&fig07::Params::for_mode(&ctx)));
+    specs.extend(loss_curves::specs(&loss_curves::Params::for_mode(&ctx, true)));
+    specs.extend(loss_curves::specs(&loss_curves::Params::for_mode(&ctx, false)));
+    specs.extend(scalability::specs(&scalability::Params::for_mode(&ctx, true)));
+    specs.extend(scalability::specs(&scalability::Params::for_mode(&ctx, false)));
+    specs.extend(accuracy::specs(&accuracy::Params::for_mode(&ctx, true)));
+    specs.extend(accuracy::specs(&accuracy::Params::for_mode(&ctx, false)));
+    for case in [
+        nonuniform::Case::Cifar100,
+        nonuniform::Case::ImageNet,
+        nonuniform::Case::Cifar10,
+        nonuniform::Case::TinyImageNet,
+        nonuniform::Case::MnistNonIid,
+    ] {
+        specs.extend(nonuniform::specs(&nonuniform::Params::for_mode(&ctx, case)));
+    }
+    specs.extend(tab05::specs(&tab05::Params::for_mode(&ctx)));
+    specs.extend(fig14::specs(&fig14::Params::for_mode(&ctx)));
+    specs.extend(fig15::specs(&fig15::Params::for_mode(&ctx)));
+    specs.extend(fig19::specs(&fig19::Params::for_mode(&ctx)));
+    specs.extend(ablations::specs(&ablations::Params::for_mode(&ctx)));
+    specs.push(sanity_spec(mode));
+    specs
+}
+
+/// Looks experiments up by exact name or by group.
+pub fn find(specs: &[ExperimentSpec], query: &str) -> Vec<ExperimentSpec> {
+    if query == "all" {
+        return specs.to_vec();
+    }
+    let exact: Vec<_> = specs.iter().filter(|s| s.name == query).cloned().collect();
+    if !exact.is_empty() {
+        return exact;
+    }
+    specs.iter().filter(|s| s.group == query).cloned().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn names_are_unique_and_grouped() {
+        let specs = registry(Mode::Tiny);
+        let names: BTreeSet<_> = specs.iter().map(|s| s.name.clone()).collect();
+        assert_eq!(names.len(), specs.len(), "duplicate experiment names");
+        for s in &specs {
+            assert!(
+                s.name == s.group || s.name.starts_with(&format!("{}/", s.group)),
+                "{}: name must extend its group `{}`",
+                s.name,
+                s.group
+            );
+        }
+        // Every figure/table of the paper's evaluation is declared.
+        let groups: BTreeSet<_> = specs.iter().map(|s| s.group.as_str()).collect();
+        for g in [
+            "fig03", "fig05", "fig06", "fig07", "fig08", "fig09", "fig10", "fig11", "fig12",
+            "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "tab02", "tab03",
+            "tab05", "abl", "sanity",
+        ] {
+            assert!(groups.contains(g), "missing group {g}");
+        }
+    }
+
+    #[test]
+    fn every_entry_builds_its_environment() {
+        // Tiny mode keeps the datasets smallest; build_env materialises
+        // topology, network, partition, and models for every entry.
+        for spec in registry(Mode::Tiny) {
+            let env = spec.scenario.build_env();
+            assert_eq!(env.num_nodes(), spec.scenario.workers(), "{}", spec.name);
+            assert!(env.topology.is_connected(), "{}", spec.name);
+            for i in 0..env.num_nodes() {
+                assert!(!env.partition.node(i).is_empty(), "{}: empty shard", spec.name);
+            }
+        }
+    }
+
+    #[test]
+    fn per_server_counts_hold_for_registered_worker_counts() {
+        use netmax_core::engine::scenario::per_server_counts;
+        let counts: BTreeSet<usize> =
+            registry(Mode::Full).iter().map(|s| s.scenario.workers()).collect();
+        for &n in &counts {
+            for servers in 1..=4 {
+                let per = per_server_counts(n, servers);
+                assert_eq!(per.iter().sum::<usize>(), n, "n={n} servers={servers}");
+                assert!(per.iter().all(|&c| c > 0), "n={n} servers={servers}: empty server");
+                let (lo, hi) = (per.iter().min().unwrap(), per.iter().max().unwrap());
+                assert!(hi - lo <= 1, "n={n} servers={servers}: unbalanced {per:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn find_matches_names_groups_and_all() {
+        let specs = registry(Mode::Tiny);
+        assert_eq!(find(&specs, "all").len(), specs.len());
+        let fig08 = find(&specs, "fig08");
+        assert_eq!(fig08.len(), 2, "fig08 has two workload panels");
+        let one = find(&specs, "fig08/resnet18-cifar10");
+        assert_eq!(one.len(), 1);
+        assert!(find(&specs, "nope").is_empty());
+    }
+
+    #[test]
+    fn registry_specs_round_trip_through_json() {
+        use netmax_json::{FromJson, Json, ToJson};
+        for spec in registry(Mode::Tiny) {
+            let text = spec.to_json().to_string();
+            let back = ExperimentSpec::from_json(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, spec, "{} must round-trip", spec.name);
+        }
+    }
+}

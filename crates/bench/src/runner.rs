@@ -1,0 +1,399 @@
+//! The experiment executor: one `(arm, seed)` cell per task, optionally
+//! fanned out over a scoped thread pool.
+//!
+//! Every cell is fully independent — it builds its own [`Environment`]
+//! from the (pure-data) scenario and runs its own algorithm instance —
+//! and every run is deterministic via the engine's per-node RNG streams,
+//! so the parallel executor produces *byte-identical* reports to the
+//! sequential one; only wall-clock changes. The datasets are instantiated
+//! once per experiment and shared across cells through the workload's
+//! internal `Arc`s.
+//!
+//! [`Environment`]: netmax_core::engine::Environment
+
+use crate::spec::{ExperimentSpec, MetricKind};
+use netmax_core::engine::{AlgorithmKind, ExecutionMode, RunReport};
+use netmax_json::{FromJson, Json, JsonError, ToJson};
+use netmax_ml::profile::ModelProfile;
+use netmax_net::LinkQuality;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Schema tag written into every artifact; bump on breaking changes.
+pub const ARTIFACT_SCHEMA: &str = "netmax-bench/run-report/v1";
+
+/// One `(arm, seed)` cell's outcome.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// Index into the spec's arm list.
+    pub arm: usize,
+    /// The arm's display label.
+    pub label: String,
+    /// The arm's algorithm.
+    pub algorithm: AlgorithmKind,
+    /// The training seed this cell ran with.
+    pub seed: u64,
+    /// The full recorded run.
+    pub report: RunReport,
+}
+
+impl ToJson for CellResult {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("arm", self.arm.to_json()),
+            ("label", self.label.to_json()),
+            ("algorithm", self.algorithm.to_json()),
+            ("seed", self.seed.to_json()),
+            ("report", self.report.to_json()),
+        ])
+    }
+}
+
+impl FromJson for CellResult {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            arm: usize::from_json(v.field("arm")?)?,
+            label: String::from_json(v.field("label")?)?,
+            algorithm: AlgorithmKind::from_json(v.field("algorithm")?)?,
+            seed: u64::from_json(v.field("seed")?)?,
+            report: RunReport::from_json(v.field("report")?)?,
+        })
+    }
+}
+
+/// All cells of one executed experiment, in `(arm, seed)` grid order.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// The spec that produced these cells.
+    pub spec: ExperimentSpec,
+    /// One result per cell, arms outermost, seeds innermost.
+    pub cells: Vec<CellResult>,
+}
+
+impl ExperimentResult {
+    /// The cells of one arm (by index), across seeds.
+    pub fn arm_cells(&self, arm: usize) -> impl Iterator<Item = &CellResult> {
+        self.cells.iter().filter(move |c| c.arm == arm)
+    }
+
+    /// The first cell matching an algorithm (convenience for adapters).
+    pub fn cell(&self, kind: AlgorithmKind) -> Option<&CellResult> {
+        self.cells.iter().find(|c| c.algorithm == kind)
+    }
+
+    /// Per-experiment record for the JSON artifact: spec, summary (per
+    /// the spec's metric list), and every cell's full report.
+    pub fn to_record(&self) -> Json {
+        Json::obj([
+            ("spec", self.spec.to_json()),
+            ("summary", self.summary()),
+            ("cells", self.cells.to_json()),
+        ])
+    }
+
+    /// Summary metrics as JSON (one entry per requested [`MetricKind`]).
+    pub fn summary(&self) -> Json {
+        let mut entries: Vec<(String, Json)> = Vec::new();
+        for metric in &self.spec.metrics {
+            let value = match metric {
+                MetricKind::TimeToTarget => {
+                    let target = crate::common::common_loss_target_of(
+                        self.cells.iter().map(|c| &c.report),
+                    );
+                    Json::obj([
+                        ("loss_target", target.to_json()),
+                        (
+                            "seconds",
+                            Json::Arr(
+                                self.cells
+                                    .iter()
+                                    .map(|c| {
+                                        cell_entry(c, c.report.time_to_loss(target).to_json())
+                                    })
+                                    .collect(),
+                            ),
+                        ),
+                    ])
+                }
+                MetricKind::EpochCost => Json::Arr(
+                    self.cells
+                        .iter()
+                        .map(|c| {
+                            cell_entry(
+                                c,
+                                Json::obj([
+                                    ("comp_s", c.report.comp_cost_per_epoch_s().to_json()),
+                                    ("comm_s", c.report.comm_cost_per_epoch_s().to_json()),
+                                    ("epoch_s", c.report.epoch_time_avg_s().to_json()),
+                                ]),
+                            )
+                        })
+                        .collect(),
+                ),
+                MetricKind::Accuracy => Json::Arr(
+                    self.cells
+                        .iter()
+                        .map(|c| cell_entry(c, c.report.final_test_accuracy.to_json()))
+                        .collect(),
+                ),
+                MetricKind::TimeToAccuracy => {
+                    let target = self
+                        .cells
+                        .iter()
+                        .map(|c| c.report.final_test_accuracy)
+                        .fold(f64::INFINITY, f64::min)
+                        * 0.98;
+                    Json::obj([
+                        ("accuracy_target", target.to_json()),
+                        (
+                            "seconds",
+                            Json::Arr(
+                                self.cells
+                                    .iter()
+                                    .map(|c| {
+                                        cell_entry(c, time_to_accuracy(&c.report, target).to_json())
+                                    })
+                                    .collect(),
+                            ),
+                        ),
+                    ])
+                }
+                MetricKind::Straggler => Json::Arr(
+                    self.cells
+                        .iter()
+                        .map(|c| {
+                            let straggler = c
+                                .report
+                                .per_node
+                                .iter()
+                                .map(|x| if x.epochs > 0.0 { x.clock_s / x.epochs } else { 0.0 })
+                                .fold(0.0f64, f64::max);
+                            cell_entry(c, straggler.to_json())
+                        })
+                        .collect(),
+                ),
+                MetricKind::IterationTime => iteration_time_summary(),
+            };
+            entries.push((metric.name().to_string(), value));
+        }
+        Json::Obj(entries)
+    }
+}
+
+fn cell_entry(c: &CellResult, value: Json) -> Json {
+    Json::obj([
+        ("arm", Json::Str(c.label.clone())),
+        ("seed", c.seed.to_json()),
+        ("value", value),
+    ])
+}
+
+/// Seconds for the averaged model to first reach `target` test accuracy.
+pub fn time_to_accuracy(report: &RunReport, target: f64) -> Option<f64> {
+    report
+        .samples
+        .iter()
+        .find(|s| s.test_accuracy.is_some_and(|a| a >= target))
+        .map(|s| s.time_s)
+}
+
+/// The Fig. 3 timing identity: intra- vs inter-machine iteration time per
+/// model profile, computed from the calibrated link presets (no training).
+pub fn iteration_time_summary() -> Json {
+    let intra = LinkQuality::intra_machine();
+    let inter = LinkQuality::gbit_ethernet();
+    Json::Arr(
+        [ModelProfile::resnet18(), ModelProfile::vgg19()]
+            .into_iter()
+            .map(|p| {
+                let c = p.compute_time(128);
+                let bytes = p.param_bytes();
+                let intra_s = ExecutionMode::Parallel.iteration_time(c, intra.transfer_time(bytes));
+                let inter_s = ExecutionMode::Parallel.iteration_time(c, inter.transfer_time(bytes));
+                Json::obj([
+                    ("model", p.name.to_json()),
+                    ("intra_s", intra_s.to_json()),
+                    ("inter_s", inter_s.to_json()),
+                    ("ratio", (inter_s / intra_s).to_json()),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Default worker-thread count: the machine's parallelism, capped by the
+/// cell count (a cell is one full training run — there is nothing smaller
+/// to parallelise).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Runs every `(arm, seed)` cell of the spec on one thread, in grid order.
+pub fn execute(spec: &ExperimentSpec) -> ExperimentResult {
+    execute_with_threads(spec, 1)
+}
+
+/// Runs the spec's cells over `threads` scoped worker threads.
+///
+/// Determinism: each cell builds a fresh environment from the pure-data
+/// scenario and owns its algorithm instance, so the result is independent
+/// of scheduling; `threads = 1` and `threads = N` produce byte-identical
+/// reports, in the same grid order.
+pub fn execute_with_threads(spec: &ExperimentSpec, threads: usize) -> ExperimentResult {
+    let seeds = spec.effective_seeds();
+    let cells: Vec<(usize, u64)> = spec
+        .arms
+        .iter()
+        .enumerate()
+        .flat_map(|(a, _)| seeds.iter().map(move |&s| (a, s)))
+        .collect();
+    if cells.is_empty() {
+        return ExperimentResult { spec: spec.clone(), cells: Vec::new() };
+    }
+    // Materialise the datasets once; cells share them via internal Arcs.
+    let workload = spec.scenario.workload();
+    let alpha = workload.optim.lr;
+
+    let run_cell = |&(arm_idx, seed): &(usize, u64)| -> CellResult {
+        let arm = &spec.arms[arm_idx];
+        let mut scenario = spec.scenario.clone();
+        scenario.cfg_mut().seed = seed;
+        let mut algo = arm.instantiate(alpha);
+        let mut env = scenario.build_env_with(workload.clone());
+        let report = algo.run(&mut env);
+        CellResult { arm: arm_idx, label: arm.label(), algorithm: arm.algorithm, seed, report }
+    };
+
+    let threads = threads.clamp(1, cells.len());
+    let results: Vec<CellResult> = if threads == 1 {
+        cells.iter().map(run_cell).collect()
+    } else {
+        let next = AtomicUsize::new(0);
+        let slots: Mutex<Vec<Option<CellResult>>> = Mutex::new(vec![None; cells.len()]);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= cells.len() {
+                        break;
+                    }
+                    let result = run_cell(&cells[i]);
+                    slots.lock().expect("result mutex")[i] = Some(result);
+                });
+            }
+        });
+        slots
+            .into_inner()
+            .expect("result mutex")
+            .into_iter()
+            .map(|slot| slot.expect("every cell ran"))
+            .collect()
+    };
+    ExperimentResult { spec: spec.clone(), cells: results }
+}
+
+/// Assembles the versioned artifact document for a set of executed
+/// experiments.
+pub fn artifact(results: &[ExperimentResult]) -> Json {
+    Json::obj([
+        ("schema", Json::Str(ARTIFACT_SCHEMA.into())),
+        ("experiments", Json::Arr(results.iter().map(ExperimentResult::to_record).collect())),
+    ])
+}
+
+/// Parses an artifact document back into `(spec, cells)` pairs, verifying
+/// the schema tag. The derived `summary` block is not re-validated — it is
+/// recomputable from the cells.
+pub fn parse_artifact(doc: &Json) -> Result<Vec<ExperimentResult>, JsonError> {
+    let schema = doc.field("schema")?.as_str()?;
+    if schema != ARTIFACT_SCHEMA {
+        return Err(JsonError::schema(format!(
+            "unsupported artifact schema `{schema}` (expected `{ARTIFACT_SCHEMA}`)"
+        )));
+    }
+    doc.field("experiments")?
+        .as_arr()?
+        .iter()
+        .map(|record| {
+            Ok(ExperimentResult {
+                spec: ExperimentSpec::from_json(record.field("spec")?)?,
+                cells: Vec::from_json(record.field("cells")?)?,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Arm;
+    use netmax_core::engine::Scenario;
+    use netmax_ml::workload::WorkloadSpec;
+
+    fn small_spec() -> ExperimentSpec {
+        ExperimentSpec {
+            name: "test/parallel".into(),
+            group: "test".into(),
+            title: "executor determinism fixture".into(),
+            scenario: Scenario::builder()
+                .workers(4)
+                .workload(WorkloadSpec::convex_ridge(3))
+                .max_epochs(1.0)
+                .seed(9)
+                .build(),
+            arms: vec![
+                Arm::new(AlgorithmKind::NetMax),
+                Arm::new(AlgorithmKind::AdPsgd),
+                Arm::new(AlgorithmKind::AllreduceSgd),
+            ],
+            seeds: vec![9, 10],
+            metrics: vec![MetricKind::TimeToTarget, MetricKind::Accuracy],
+        }
+    }
+
+    #[test]
+    fn parallel_execution_is_byte_identical_to_sequential() {
+        let spec = small_spec();
+        let sequential = execute_with_threads(&spec, 1);
+        let parallel = execute_with_threads(&spec, 4);
+        assert_eq!(sequential.cells.len(), 6);
+        let (a, b) = (artifact(&[sequential]), artifact(&[parallel]));
+        assert_eq!(a.to_string(), b.to_string(), "thread count must not change results");
+    }
+
+    #[test]
+    fn artifact_round_trips_through_json() {
+        let spec = small_spec();
+        let result = execute_with_threads(&spec, 2);
+        let doc = artifact(std::slice::from_ref(&result));
+        let text = doc.pretty();
+        let back = parse_artifact(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].spec, result.spec);
+        assert_eq!(back[0].cells.len(), result.cells.len());
+        for (x, y) in back[0].cells.iter().zip(&result.cells) {
+            assert_eq!(x.label, y.label);
+            assert_eq!(x.seed, y.seed);
+            assert_eq!(x.report.global_steps, y.report.global_steps);
+            assert_eq!(x.report.samples.len(), y.report.samples.len());
+        }
+    }
+
+    #[test]
+    fn artifact_schema_is_enforced() {
+        let doc = Json::parse(r#"{"schema":"other/v9","experiments":[]}"#).unwrap();
+        assert!(parse_artifact(&doc).is_err());
+    }
+
+    #[test]
+    fn seeds_produce_distinct_runs() {
+        let spec = small_spec();
+        let result = execute(&spec);
+        let netmax: Vec<_> = result.arm_cells(0).collect();
+        assert_eq!(netmax.len(), 2);
+        assert_ne!(
+            netmax[0].report.final_train_loss, netmax[1].report.final_train_loss,
+            "different seeds must not produce identical trajectories"
+        );
+    }
+}

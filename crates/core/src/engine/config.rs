@@ -1,5 +1,6 @@
 //! Run-level engine configuration.
 
+use netmax_json::{FromJson, Json, JsonError, ToJson};
 use serde::{Deserialize, Serialize};
 
 /// Whether gradient computation and parameter communication overlap.
@@ -27,8 +28,34 @@ impl ExecutionMode {
     }
 }
 
+impl ExecutionMode {
+    /// Stable JSON identifier.
+    pub fn name(self) -> &'static str {
+        match self {
+            ExecutionMode::Parallel => "parallel",
+            ExecutionMode::Serial => "serial",
+        }
+    }
+}
+
+impl ToJson for ExecutionMode {
+    fn to_json(&self) -> Json {
+        Json::Str(self.name().to_string())
+    }
+}
+
+impl FromJson for ExecutionMode {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v.as_str()? {
+            "parallel" => Ok(ExecutionMode::Parallel),
+            "serial" => Ok(ExecutionMode::Serial),
+            other => Err(JsonError::schema(format!("unknown execution mode `{other}`"))),
+        }
+    }
+}
+
 /// Stop conditions and recording cadence for one training run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TrainConfig {
     /// Stop when the mean per-node epoch count reaches this.
     pub max_epochs: f64,
@@ -62,6 +89,34 @@ impl Default for TrainConfig {
     }
 }
 
+impl ToJson for TrainConfig {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("max_epochs", self.max_epochs.to_json()),
+            ("max_wall_clock_s", self.max_wall_clock_s.to_json()),
+            ("record_every_steps", self.record_every_steps.to_json()),
+            ("loss_sample_size", self.loss_sample_size.to_json()),
+            ("test_eval_every_records", self.test_eval_every_records.to_json()),
+            ("execution", self.execution.to_json()),
+            ("seed", self.seed.to_json()),
+        ])
+    }
+}
+
+impl FromJson for TrainConfig {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            max_epochs: f64::from_json(v.field("max_epochs")?)?,
+            max_wall_clock_s: f64::from_json(v.field("max_wall_clock_s")?)?,
+            record_every_steps: u64::from_json(v.field("record_every_steps")?)?,
+            loss_sample_size: usize::from_json(v.field("loss_sample_size")?)?,
+            test_eval_every_records: usize::from_json(v.field("test_eval_every_records")?)?,
+            execution: ExecutionMode::from_json(v.field("execution")?)?,
+            seed: u64::from_json(v.field("seed")?)?,
+        })
+    }
+}
+
 impl TrainConfig {
     /// Config scaled for fast unit/integration tests.
     pub fn quick_test() -> Self {
@@ -91,5 +146,12 @@ mod tests {
         assert!(c.max_epochs > 0.0);
         assert!(c.record_every_steps > 0);
         assert_eq!(c.execution, ExecutionMode::Parallel);
+    }
+
+    #[test]
+    fn train_config_json_round_trip() {
+        let cfg = TrainConfig { execution: ExecutionMode::Serial, seed: u64::MAX, ..TrainConfig::quick_test() };
+        let back = TrainConfig::from_json(&Json::parse(&cfg.to_json().to_string()).unwrap()).unwrap();
+        assert_eq!(back, cfg);
     }
 }

@@ -27,6 +27,7 @@ pub use gossip::{run_gossip, GossipBehavior, PeerChoice};
 pub use recorder::{Recorder, RunReport, Sample};
 pub use scenario::{PartitionKind, Scenario, ScenarioBuilder, TopologyKind};
 
+use netmax_json::{FromJson, Json, JsonError, ToJson};
 use serde::{Deserialize, Serialize};
 
 /// A distributed training algorithm executable by the engine.
@@ -96,5 +97,58 @@ impl AlgorithmKind {
             AlgorithmKind::AdPsgd,
             AlgorithmKind::NetMax,
         ]
+    }
+
+    /// Every algorithm kind, in paper order.
+    pub fn all() -> [AlgorithmKind; 11] {
+        [
+            AlgorithmKind::NetMax,
+            AlgorithmKind::NetMaxUniform,
+            AlgorithmKind::AdPsgd,
+            AlgorithmKind::AdPsgdMonitored,
+            AlgorithmKind::GoSgd,
+            AlgorithmKind::AllreduceSgd,
+            AlgorithmKind::Prague,
+            AlgorithmKind::PsSync,
+            AlgorithmKind::PsAsync,
+            AlgorithmKind::SapsPsgd,
+            AlgorithmKind::BoundedStaleness,
+        ]
+    }
+
+    /// Stable CLI/JSON identifier (`netmax`, `ad-psgd`, …).
+    pub fn name(self) -> &'static str {
+        match self {
+            AlgorithmKind::NetMax => "netmax",
+            AlgorithmKind::NetMaxUniform => "netmax-uniform",
+            AlgorithmKind::AdPsgd => "ad-psgd",
+            AlgorithmKind::AdPsgdMonitored => "ad-psgd-monitor",
+            AlgorithmKind::GoSgd => "gosgd",
+            AlgorithmKind::AllreduceSgd => "allreduce",
+            AlgorithmKind::Prague => "prague",
+            AlgorithmKind::PsSync => "ps-sync",
+            AlgorithmKind::PsAsync => "ps-async",
+            AlgorithmKind::SapsPsgd => "saps-psgd",
+            AlgorithmKind::BoundedStaleness => "bounded-staleness",
+        }
+    }
+
+    /// Inverse of [`AlgorithmKind::name`].
+    pub fn by_name(name: &str) -> Option<AlgorithmKind> {
+        AlgorithmKind::all().into_iter().find(|k| k.name() == name)
+    }
+}
+
+impl ToJson for AlgorithmKind {
+    fn to_json(&self) -> Json {
+        Json::Str(self.name().to_string())
+    }
+}
+
+impl FromJson for AlgorithmKind {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let name = v.as_str()?;
+        AlgorithmKind::by_name(name)
+            .ok_or_else(|| JsonError::schema(format!("unknown algorithm `{name}`")))
     }
 }

@@ -1,6 +1,7 @@
 //! Metric recording and the final run report.
 
 use super::environment::Environment;
+use netmax_json::{FromJson, Json, JsonError, ToJson};
 use netmax_ml::metrics;
 use serde::{Deserialize, Serialize};
 
@@ -108,6 +109,88 @@ impl RunReport {
             .iter()
             .find(|s| s.train_loss <= loss)
             .map(|s| s.epoch)
+    }
+}
+
+impl ToJson for Sample {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("time_s", self.time_s.to_json()),
+            ("global_step", self.global_step.to_json()),
+            ("epoch", self.epoch.to_json()),
+            ("train_loss", self.train_loss.to_json()),
+            ("consensus_diameter", self.consensus_diameter.to_json()),
+            ("test_accuracy", self.test_accuracy.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Sample {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            time_s: f64::from_json(v.field("time_s")?)?,
+            global_step: u64::from_json(v.field("global_step")?)?,
+            epoch: f64::from_json(v.field("epoch")?)?,
+            train_loss: f64::from_json(v.field("train_loss")?)?,
+            consensus_diameter: f64::from_json(v.field("consensus_diameter")?)?,
+            test_accuracy: Option::from_json(v.field("test_accuracy")?)?,
+        })
+    }
+}
+
+impl ToJson for NodeCost {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("clock_s", self.clock_s.to_json()),
+            ("epochs", self.epochs.to_json()),
+            ("comp_s", self.comp_s.to_json()),
+            ("comm_s", self.comm_s.to_json()),
+        ])
+    }
+}
+
+impl FromJson for NodeCost {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            clock_s: f64::from_json(v.field("clock_s")?)?,
+            epochs: f64::from_json(v.field("epochs")?)?,
+            comp_s: f64::from_json(v.field("comp_s")?)?,
+            comm_s: f64::from_json(v.field("comm_s")?)?,
+        })
+    }
+}
+
+impl ToJson for RunReport {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("algorithm", self.algorithm.to_json()),
+            ("workload", self.workload.to_json()),
+            ("num_nodes", self.num_nodes.to_json()),
+            ("wall_clock_s", self.wall_clock_s.to_json()),
+            ("epochs_completed", self.epochs_completed.to_json()),
+            ("global_steps", self.global_steps.to_json()),
+            ("final_train_loss", self.final_train_loss.to_json()),
+            ("final_test_accuracy", self.final_test_accuracy.to_json()),
+            ("per_node", self.per_node.to_json()),
+            ("samples", self.samples.to_json()),
+        ])
+    }
+}
+
+impl FromJson for RunReport {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            algorithm: String::from_json(v.field("algorithm")?)?,
+            workload: String::from_json(v.field("workload")?)?,
+            num_nodes: usize::from_json(v.field("num_nodes")?)?,
+            wall_clock_s: f64::from_json(v.field("wall_clock_s")?)?,
+            epochs_completed: f64::from_json(v.field("epochs_completed")?)?,
+            global_steps: u64::from_json(v.field("global_steps")?)?,
+            final_train_loss: f64::from_json(v.field("final_train_loss")?)?,
+            final_test_accuracy: f64::from_json(v.field("final_test_accuracy")?)?,
+            per_node: Vec::from_json(v.field("per_node")?)?,
+            samples: Vec::from_json(v.field("samples")?)?,
+        })
     }
 }
 
@@ -310,6 +393,43 @@ mod tests {
         assert!((r.comp_cost_per_epoch_s() - 6.0).abs() < 1e-12);
         assert!((r.comm_cost_per_epoch_s() - 9.0).abs() < 1e-12);
         assert_eq!(r.min_node_epochs(), 5.0);
+    }
+
+    #[test]
+    fn run_report_json_round_trip() {
+        let report = RunReport {
+            algorithm: "netmax".into(),
+            workload: "resnet18/cifar10".into(),
+            num_nodes: 2,
+            samples: vec![Sample {
+                time_s: 1.5,
+                global_step: 40,
+                epoch: 0.25,
+                train_loss: 2.0,
+                consensus_diameter: 0.125,
+                test_accuracy: None,
+            }],
+            wall_clock_s: 10.0,
+            epochs_completed: 1.0,
+            global_steps: 100,
+            final_train_loss: 0.5,
+            final_test_accuracy: 0.875,
+            per_node: vec![NodeCost { clock_s: 10.0, epochs: 1.0, comp_s: 4.0, comm_s: 6.0 }],
+        };
+        let text = report.to_json().pretty();
+        let back = RunReport::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.algorithm, report.algorithm);
+        assert_eq!(back.samples.len(), 1);
+        assert_eq!(back.samples[0].test_accuracy, None);
+        assert_eq!(back.samples[0].train_loss, 2.0);
+        assert_eq!(back.per_node[0].comm_s, 6.0);
+        assert_eq!(back.global_steps, 100);
+        // And a NaN loss survives as null → NaN.
+        let mut nan_report = report;
+        nan_report.final_train_loss = f64::NAN;
+        let back =
+            RunReport::from_json(&Json::parse(&nan_report.to_json().to_string()).unwrap()).unwrap();
+        assert!(back.final_train_loss.is_nan());
     }
 
     #[test]

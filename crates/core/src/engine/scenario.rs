@@ -4,13 +4,21 @@
 //! experiments — worker count, network regime, workload, data partitioning,
 //! seed — and builds a fresh [`Environment`] per run so different
 //! algorithms can be compared on byte-identical initial conditions.
+//!
+//! A scenario is *pure data*: the workload is referenced by a
+//! [`WorkloadSpec`] rather than held as instantiated datasets, every field
+//! is plain configuration, and the whole struct round-trips through JSON
+//! ([`ToJson`]/[`FromJson`]). That makes scenarios storable in experiment
+//! registries and run artifacts; the datasets are materialised only at
+//! [`Scenario::build_env`] time.
 
 use super::config::TrainConfig;
 use super::environment::Environment;
 use super::recorder::RunReport;
 use super::Algorithm;
+use netmax_json::{FromJson, Json, JsonError, ToJson};
 use netmax_ml::partition::Partition;
-use netmax_ml::workload::Workload;
+use netmax_ml::workload::{Workload, WorkloadSpec};
 use netmax_net::{
     HeterogeneousDynamicNetwork, HomogeneousNetwork, Network, NetworkKind, SlowdownConfig,
     Topology, WanNetwork,
@@ -38,6 +46,44 @@ pub enum TopologyKind {
     },
 }
 
+impl ToJson for TopologyKind {
+    fn to_json(&self) -> Json {
+        match self {
+            TopologyKind::FullyConnected => Json::Str("fully_connected".into()),
+            TopologyKind::Ring => Json::Str("ring".into()),
+            TopologyKind::Torus { rows, cols } => Json::obj([
+                ("torus", Json::obj([("rows", rows.to_json()), ("cols", cols.to_json())])),
+            ]),
+            TopologyKind::Random { p } => Json::obj([("random", Json::obj([("p", p.to_json())]))]),
+        }
+    }
+}
+
+impl FromJson for TopologyKind {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Str(s) => match s.as_str() {
+                "fully_connected" => Ok(TopologyKind::FullyConnected),
+                "ring" => Ok(TopologyKind::Ring),
+                other => Err(JsonError::schema(format!("unknown topology `{other}`"))),
+            },
+            Json::Obj(_) => {
+                if let Some(t) = v.get("torus") {
+                    Ok(TopologyKind::Torus {
+                        rows: usize::from_json(t.field("rows")?)?,
+                        cols: usize::from_json(t.field("cols")?)?,
+                    })
+                } else if let Some(r) = v.get("random") {
+                    Ok(TopologyKind::Random { p: f64::from_json(r.field("p")?)? })
+                } else {
+                    Err(JsonError::schema("unknown topology variant".into()))
+                }
+            }
+            other => Err(JsonError::schema(format!("expected topology, got {}", other.kind()))),
+        }
+    }
+}
+
 /// Which data partitioning scheme to apply (§V-A vs §V-F).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum PartitionKind {
@@ -57,25 +103,67 @@ pub enum PartitionKind {
     PaperTable7,
 }
 
-/// A fully specified experiment.
-#[derive(Clone)]
+impl ToJson for PartitionKind {
+    fn to_json(&self) -> Json {
+        match self {
+            PartitionKind::Uniform => Json::Str("uniform".into()),
+            PartitionKind::Paper8Segments => Json::Str("paper_8_segments".into()),
+            PartitionKind::Paper16Segments => Json::Str("paper_16_segments".into()),
+            PartitionKind::PaperTable4 => Json::Str("paper_table4".into()),
+            PartitionKind::PaperTable7 => Json::Str("paper_table7".into()),
+            PartitionKind::Segments(segs) => Json::obj([("segments", segs.to_json())]),
+            PartitionKind::LabelSkew(lost) => Json::obj([("label_skew", lost.to_json())]),
+        }
+    }
+}
+
+impl FromJson for PartitionKind {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Str(s) => match s.as_str() {
+                "uniform" => Ok(PartitionKind::Uniform),
+                "paper_8_segments" => Ok(PartitionKind::Paper8Segments),
+                "paper_16_segments" => Ok(PartitionKind::Paper16Segments),
+                "paper_table4" => Ok(PartitionKind::PaperTable4),
+                "paper_table7" => Ok(PartitionKind::PaperTable7),
+                other => Err(JsonError::schema(format!("unknown partition `{other}`"))),
+            },
+            Json::Obj(_) => {
+                if let Some(segs) = v.get("segments") {
+                    Ok(PartitionKind::Segments(Vec::from_json(segs)?))
+                } else if let Some(lost) = v.get("label_skew") {
+                    Ok(PartitionKind::LabelSkew(Vec::from_json(lost)?))
+                } else {
+                    Err(JsonError::schema("unknown partition variant".into()))
+                }
+            }
+            other => Err(JsonError::schema(format!("expected partition, got {}", other.kind()))),
+        }
+    }
+}
+
+/// A fully specified experiment. Pure data — see the module docs.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
     workers: usize,
     servers: usize,
     network: NetworkKind,
-    workload: Workload,
+    workload: WorkloadSpec,
     partition: PartitionKind,
     cfg: TrainConfig,
     slowdown: SlowdownConfig,
     topology: TopologyKind,
 }
 
-/// Builder for [`Scenario`].
+/// Builder for [`Scenario`]. Field order never matters: every setter
+/// stores its value and [`ScenarioBuilder::build`] assembles the scenario,
+/// so e.g. `.profile(..)` may precede `.workload(..)`.
 pub struct ScenarioBuilder {
     workers: usize,
     servers: Option<usize>,
     network: NetworkKind,
-    workload: Option<Workload>,
+    workload: Option<WorkloadSpec>,
+    profile: Option<netmax_ml::profile::ModelProfile>,
     partition: PartitionKind,
     cfg: TrainConfig,
     slowdown: SlowdownConfig,
@@ -97,6 +185,7 @@ impl ScenarioBuilder {
             servers: None,
             network: NetworkKind::HeterogeneousDynamic,
             workload: None,
+            profile: None,
             partition: PartitionKind::Uniform,
             cfg: TrainConfig::default(),
             slowdown: SlowdownConfig::default(),
@@ -138,19 +227,17 @@ impl ScenarioBuilder {
         self
     }
 
-    /// Sets the workload.
-    pub fn workload(mut self, w: Workload) -> Self {
+    /// Sets the workload reference.
+    pub fn workload(mut self, w: WorkloadSpec) -> Self {
         self.workload = Some(w);
         self
     }
 
-    /// Convenience: override the timing profile of the workload.
+    /// Overrides the timing profile of the workload. May be called before
+    /// or after [`ScenarioBuilder::workload`]; the override is applied at
+    /// [`ScenarioBuilder::build`] time.
     pub fn profile(mut self, p: netmax_ml::profile::ModelProfile) -> Self {
-        if let Some(w) = self.workload.as_mut() {
-            w.profile = p;
-        } else {
-            panic!("set a workload before overriding its profile");
-        }
+        self.profile = Some(p);
         self
     }
 
@@ -183,7 +270,10 @@ impl ScenarioBuilder {
     /// # Panics
     /// Panics if no workload was provided.
     pub fn build(self) -> Scenario {
-        let workload = self.workload.expect("scenario needs a workload");
+        let mut workload = self.workload.expect("scenario needs a workload");
+        if let Some(p) = self.profile {
+            workload.profile = Some(p);
+        }
         let servers = self.servers.unwrap_or(match self.workers {
             0..=4 => 2,
             5..=8 => 3,
@@ -213,19 +303,46 @@ impl Scenario {
         self.workers
     }
 
+    /// The training config.
+    pub fn cfg(&self) -> &TrainConfig {
+        &self.cfg
+    }
+
     /// The training config (mutable for harness tweaks).
     pub fn cfg_mut(&mut self) -> &mut TrainConfig {
         &mut self.cfg
     }
 
-    /// The workload.
-    pub fn workload(&self) -> &Workload {
+    /// The workload reference.
+    pub fn workload_spec(&self) -> &WorkloadSpec {
         &self.workload
+    }
+
+    /// The network regime.
+    pub fn network_kind(&self) -> NetworkKind {
+        self.network
+    }
+
+    /// Instantiates the workload (datasets included). Pure: repeated calls
+    /// return identical workloads. Prefer [`Scenario::build_env_with`] when
+    /// running many cells of the same scenario to share the datasets.
+    pub fn workload(&self) -> Workload {
+        self.workload.instantiate()
     }
 
     /// Builds a fresh environment for one run. Identical scenarios build
     /// byte-identical environments.
     pub fn build_env(&self) -> Environment {
+        self.build_env_with(self.workload())
+    }
+
+    /// Builds a fresh environment around an already-instantiated workload.
+    ///
+    /// The caller is responsible for passing a workload equal to
+    /// `self.workload()`; the executor uses this to instantiate the
+    /// datasets once per experiment and share them (via their internal
+    /// `Arc`s) across `(arm, seed)` cells.
+    pub fn build_env_with(&self, workload: Workload) -> Environment {
         let n = self.workers;
         let topology = match &self.topology {
             TopologyKind::FullyConnected => Topology::fully_connected(n),
@@ -260,34 +377,34 @@ impl Scenario {
         };
         let partition = match &self.partition {
             PartitionKind::Uniform => {
-                Partition::uniform(&self.workload.train, n, self.cfg.seed)
+                Partition::uniform(&workload.train, n, self.cfg.seed)
             }
             PartitionKind::Segments(segs) => {
                 assert_eq!(segs.len(), n, "segment list must match worker count");
-                Partition::segmented(&self.workload.train, segs, self.cfg.seed)
+                Partition::segmented(&workload.train, segs, self.cfg.seed)
             }
             PartitionKind::Paper8Segments => {
                 assert_eq!(n, 8, "Paper8Segments requires 8 workers");
-                Partition::paper_8node_segments(&self.workload.train, self.cfg.seed)
+                Partition::paper_8node_segments(&workload.train, self.cfg.seed)
             }
             PartitionKind::Paper16Segments => {
                 assert_eq!(n, 16, "Paper16Segments requires 16 workers");
-                Partition::paper_16node_segments(&self.workload.train, self.cfg.seed)
+                Partition::paper_16node_segments(&workload.train, self.cfg.seed)
             }
             PartitionKind::LabelSkew(lost) => {
                 assert_eq!(lost.len(), n, "lost-label list must match worker count");
-                Partition::label_skew(&self.workload.train, lost)
+                Partition::label_skew(&workload.train, lost)
             }
             PartitionKind::PaperTable4 => {
                 assert_eq!(n, 8, "Table IV requires 8 workers");
-                Partition::paper_table4(&self.workload.train)
+                Partition::paper_table4(&workload.train)
             }
             PartitionKind::PaperTable7 => {
                 assert_eq!(n, 6, "Table VII requires 6 workers");
-                Partition::paper_table7(&self.workload.train)
+                Partition::paper_table7(&workload.train)
             }
         };
-        Environment::new(topology, network, self.workload.clone(), partition, self.cfg.clone())
+        Environment::new(topology, network, workload, partition, self.cfg.clone())
     }
 
     /// Builds an environment and runs `algorithm` on it.
@@ -297,7 +414,41 @@ impl Scenario {
     }
 }
 
-fn per_server_counts(n: usize, servers: usize) -> Vec<usize> {
+impl ToJson for Scenario {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("workers", self.workers.to_json()),
+            ("servers", self.servers.to_json()),
+            ("network", self.network.to_json()),
+            ("workload", self.workload.to_json()),
+            ("partition", self.partition.to_json()),
+            ("train", self.cfg.to_json()),
+            ("slowdown", self.slowdown.to_json()),
+            ("topology", self.topology.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Scenario {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            workers: usize::from_json(v.field("workers")?)?,
+            servers: usize::from_json(v.field("servers")?)?,
+            network: NetworkKind::from_json(v.field("network")?)?,
+            workload: WorkloadSpec::from_json(v.field("workload")?)?,
+            partition: PartitionKind::from_json(v.field("partition")?)?,
+            cfg: TrainConfig::from_json(v.field("train")?)?,
+            slowdown: SlowdownConfig::from_json(v.field("slowdown")?)?,
+            topology: TopologyKind::from_json(v.field("topology")?)?,
+        })
+    }
+}
+
+/// The paper's worker→server placement: `n` workers spread as evenly as
+/// possible over `servers` machines, larger groups last, empty servers
+/// dropped. Exposed so harnesses can assert placement invariants for the
+/// worker counts they register.
+pub fn per_server_counts(n: usize, servers: usize) -> Vec<usize> {
     let per = n.div_ceil(servers);
     let mut counts = vec![per; servers];
     let excess = per * servers - n;
@@ -316,7 +467,7 @@ mod tests {
     fn builder_defaults_and_env() {
         let sc = Scenario::builder()
             .workers(4)
-            .workload(Workload::convex_ridge(1))
+            .workload(WorkloadSpec::convex_ridge(1))
             .max_epochs(1.0)
             .seed(9)
             .build();
@@ -330,7 +481,7 @@ mod tests {
         let mk = || {
             Scenario::builder()
                 .workers(4)
-                .workload(Workload::convex_ridge(2))
+                .workload(WorkloadSpec::convex_ridge(2))
                 .seed(5)
                 .build()
                 .build_env()
@@ -344,6 +495,21 @@ mod tests {
     }
 
     #[test]
+    fn profile_override_is_order_independent() {
+        use netmax_ml::profile::ModelProfile;
+        let before = Scenario::builder()
+            .profile(ModelProfile::vgg19())
+            .workload(WorkloadSpec::convex_ridge(1))
+            .build();
+        let after = Scenario::builder()
+            .workload(WorkloadSpec::convex_ridge(1))
+            .profile(ModelProfile::vgg19())
+            .build();
+        assert_eq!(before, after);
+        assert_eq!(before.workload().profile, ModelProfile::vgg19());
+    }
+
+    #[test]
     fn network_kinds_build() {
         for kind in [
             NetworkKind::Homogeneous,
@@ -354,7 +520,7 @@ mod tests {
             let sc = Scenario::builder()
                 .workers(6)
                 .network(kind)
-                .workload(Workload::convex_ridge(1))
+                .workload(WorkloadSpec::convex_ridge(1))
                 .build();
             let env = sc.build_env();
             assert!(env.comm_time(0, 1, 0.0) > 0.0, "{kind:?}");
@@ -365,7 +531,7 @@ mod tests {
     fn paper_partitions_validate_worker_counts() {
         let sc = Scenario::builder()
             .workers(8)
-            .workload(Workload::mobilenet_mnist(1))
+            .workload(WorkloadSpec::mobilenet_mnist(1))
             .partition(PartitionKind::PaperTable4)
             .build();
         let env = sc.build_env();
@@ -377,7 +543,7 @@ mod tests {
     fn table4_wrong_worker_count_panics() {
         let sc = Scenario::builder()
             .workers(4)
-            .workload(Workload::mobilenet_mnist(1))
+            .workload(WorkloadSpec::mobilenet_mnist(1))
             .partition(PartitionKind::PaperTable4)
             .build();
         let _ = sc.build_env();
@@ -393,7 +559,7 @@ mod tests {
             let sc = Scenario::builder()
                 .workers(6)
                 .topology(kind.clone())
-                .workload(Workload::convex_ridge(1))
+                .workload(WorkloadSpec::convex_ridge(1))
                 .max_epochs(1.0)
                 .seed(4)
                 .build();
@@ -409,5 +575,54 @@ mod tests {
         assert_eq!(per_server_counts(4, 2), vec![2, 2]);
         assert_eq!(per_server_counts(16, 4), vec![4, 4, 4, 4]);
         assert_eq!(per_server_counts(8, 3).iter().sum::<usize>(), 8);
+    }
+
+    #[test]
+    fn scenario_json_round_trip_builds_identical_env() {
+        let sc = Scenario::builder()
+            .workers(6)
+            .network(NetworkKind::HeterogeneousDynamic)
+            .workload(WorkloadSpec::convex_ridge(2).time_scaled(0.5))
+            .partition(PartitionKind::Segments(vec![1, 2, 1, 1, 2, 1]))
+            .topology(TopologyKind::Random { p: 0.4 })
+            .max_epochs(1.0)
+            .seed(11)
+            .build();
+        let text = sc.to_json().pretty();
+        let back = Scenario::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, sc);
+        let (a, b) = (sc.build_env(), back.build_env());
+        assert_eq!(a.num_nodes(), b.num_nodes());
+        for i in 0..a.num_nodes() {
+            assert_eq!(a.nodes[i].model.params(), b.nodes[i].model.params());
+            assert_eq!(a.partition.node(i), b.partition.node(i));
+        }
+    }
+
+    #[test]
+    fn enum_kind_json_round_trips() {
+        for t in [
+            TopologyKind::FullyConnected,
+            TopologyKind::Ring,
+            TopologyKind::Torus { rows: 2, cols: 4 },
+            TopologyKind::Random { p: 0.25 },
+        ] {
+            let back =
+                TopologyKind::from_json(&Json::parse(&t.to_json().to_string()).unwrap()).unwrap();
+            assert_eq!(back, t);
+        }
+        for p in [
+            PartitionKind::Uniform,
+            PartitionKind::Segments(vec![1, 2]),
+            PartitionKind::Paper8Segments,
+            PartitionKind::Paper16Segments,
+            PartitionKind::LabelSkew(vec![vec![0, 1], vec![2]]),
+            PartitionKind::PaperTable4,
+            PartitionKind::PaperTable7,
+        ] {
+            let back =
+                PartitionKind::from_json(&Json::parse(&p.to_json().to_string()).unwrap()).unwrap();
+            assert_eq!(back, p);
+        }
     }
 }

@@ -220,14 +220,14 @@ impl Algorithm for NetMax {
 mod tests {
     use super::*;
     use crate::engine::{Scenario, TrainConfig};
-    use netmax_ml::workload::Workload;
+    use netmax_ml::workload::WorkloadSpec;
     use netmax_net::NetworkKind;
 
     fn scenario(seed: u64, kind: NetworkKind) -> Scenario {
         Scenario::builder()
             .workers(4)
             .network(kind)
-            .workload(Workload::convex_ridge(7))
+            .workload(WorkloadSpec::convex_ridge(7))
             .train_config(TrainConfig { seed, max_epochs: 3.0, ..TrainConfig::quick_test() })
             .build()
     }

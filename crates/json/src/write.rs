@@ -1,0 +1,150 @@
+//! Compact and pretty JSON writers.
+//!
+//! Floats are written with Rust's `Display`, which emits the shortest
+//! string that parses back to the same `f64` — so write→parse is exact.
+//! Non-finite floats never reach this layer (`ToJson for f64` maps them
+//! to `null`), but a direct `Json::Num(NAN)` is still written as `null`
+//! rather than producing an invalid document.
+
+use crate::Json;
+use std::fmt;
+
+pub(crate) fn compact(v: &Json, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match v {
+        Json::Null => f.write_str("null"),
+        Json::Bool(b) => write!(f, "{b}"),
+        Json::Int(i) => write!(f, "{i}"),
+        Json::Num(x) => write_f64(*x, f),
+        Json::Str(s) => write_escaped(s, f),
+        Json::Arr(items) => {
+            f.write_str("[")?;
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(",")?;
+                }
+                compact(item, f)?;
+            }
+            f.write_str("]")
+        }
+        Json::Obj(pairs) => {
+            f.write_str("{")?;
+            for (i, (k, val)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(",")?;
+                }
+                write_escaped(k, f)?;
+                f.write_str(":")?;
+                compact(val, f)?;
+            }
+            f.write_str("}")
+        }
+    }
+}
+
+pub(crate) fn pretty(v: &Json) -> String {
+    let mut out = String::new();
+    pretty_into(v, 0, &mut out);
+    out.push('\n');
+    out
+}
+
+fn pretty_into(v: &Json, indent: usize, out: &mut String) {
+    match v {
+        Json::Arr(items) if !items.is_empty() => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                out.push_str(if i == 0 { "\n" } else { ",\n" });
+                push_indent(indent + 1, out);
+                pretty_into(item, indent + 1, out);
+            }
+            out.push('\n');
+            push_indent(indent, out);
+            out.push(']');
+        }
+        Json::Obj(pairs) if !pairs.is_empty() => {
+            out.push('{');
+            for (i, (k, val)) in pairs.iter().enumerate() {
+                out.push_str(if i == 0 { "\n" } else { ",\n" });
+                push_indent(indent + 1, out);
+                out.push_str(&format!("{}: ", Json::Str(k.clone())));
+                pretty_into(val, indent + 1, out);
+            }
+            out.push('\n');
+            push_indent(indent, out);
+            out.push('}');
+        }
+        other => out.push_str(&other.to_string()),
+    }
+}
+
+fn push_indent(levels: usize, out: &mut String) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+fn write_f64(x: f64, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    if !x.is_finite() {
+        return f.write_str("null");
+    }
+    // `Display` for an integral f64 prints e.g. `42`, which would reparse
+    // as Json::Int and break PartialEq round-trips — force a `.0`.
+    if x == x.trunc() && x.abs() < 1e15 {
+        write!(f, "{x:.1}")
+    } else {
+        write!(f, "{x}")
+    }
+}
+
+fn write_escaped(s: &str, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            '\u{0008}' => f.write_str("\\b")?,
+            '\u{000C}' => f.write_str("\\f")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integral_floats_keep_their_point() {
+        assert_eq!(Json::Num(42.0).to_string(), "42.0");
+        assert_eq!(Json::parse("42.0").unwrap(), Json::Num(42.0));
+        assert_eq!(Json::Num(0.5).to_string(), "0.5");
+    }
+
+    #[test]
+    fn control_chars_escape() {
+        let s = Json::Str("a\"b\\c\nd\u{0001}".into()).to_string();
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"");
+        assert_eq!(Json::parse(&s).unwrap(), Json::Str("a\"b\\c\nd\u{0001}".into()));
+    }
+
+    #[test]
+    fn pretty_is_reparsable_and_indented() {
+        let v = Json::parse(r#"{"a":[1,2],"b":{"c":true}}"#).unwrap();
+        let p = v.pretty();
+        assert!(p.contains("  \"a\": ["));
+        assert_eq!(Json::parse(&p).unwrap(), v);
+    }
+
+    #[test]
+    fn huge_floats_do_not_get_point_forced() {
+        let x = 1e300;
+        let text = Json::Num(x).to_string();
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(back.as_f64().unwrap(), x);
+    }
+}

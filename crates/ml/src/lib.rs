@@ -40,4 +40,4 @@ pub use model::{LeastSquares, Mlp, Model, ModelKind, SoftmaxRegression};
 pub use optim::{SgdConfig, SgdState};
 pub use partition::Partition;
 pub use profile::ModelProfile;
-pub use workload::Workload;
+pub use workload::{Workload, WorkloadKind, WorkloadSpec};

@@ -12,6 +12,7 @@
 //! reproduces the paper's shape: communication dominates, and the gap is
 //! several-fold on slow links.
 
+use netmax_json::{FromJson, Json, JsonError, ToJson};
 use serde::{Deserialize, Serialize};
 
 /// Timing profile of a training model: message size and per-batch compute.
@@ -102,9 +103,39 @@ impl ModelProfile {
     }
 }
 
+impl ToJson for ModelProfile {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", self.name.to_json()),
+            ("param_count", self.param_count.to_json()),
+            ("compute_time_s", self.compute_time_s.to_json()),
+            ("reference_batch", self.reference_batch.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ModelProfile {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            name: String::from_json(v.field("name")?)?,
+            param_count: u64::from_json(v.field("param_count")?)?,
+            compute_time_s: f64::from_json(v.field("compute_time_s")?)?,
+            reference_batch: usize::from_json(v.field("reference_batch")?)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn json_round_trip() {
+        let p = ModelProfile::vgg19();
+        let back =
+            ModelProfile::from_json(&Json::parse(&p.to_json().to_string()).unwrap()).unwrap();
+        assert_eq!(back, p);
+    }
 
     #[test]
     fn paper_parameter_counts() {

@@ -11,7 +11,226 @@ use crate::datasets;
 use crate::model::{Model, ModelKind};
 use crate::optim::SgdConfig;
 use crate::profile::ModelProfile;
+use netmax_json::{FromJson, Json, JsonError, ToJson};
+use serde::{Deserialize, Serialize};
 use std::sync::Arc;
+
+/// A *reference* to one of the named workloads — pure data, no datasets.
+///
+/// [`Workload`] carries the instantiated (synthetic) datasets and is
+/// therefore neither cheap to clone deeply nor serializable; scenario
+/// specs store a `WorkloadKind` (inside a [`WorkloadSpec`]) instead and
+/// instantiate the real thing at environment-build time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WorkloadKind {
+    /// ResNet18 on CIFAR10 (§V-B–E headline workload).
+    Resnet18Cifar10,
+    /// VGG19 on CIFAR10.
+    Vgg19Cifar10,
+    /// ResNet18 on CIFAR100 (§V-F).
+    Resnet18Cifar100,
+    /// ResNet18 on Tiny-ImageNet (§V-F).
+    Resnet18TinyImagenet,
+    /// ResNet50 on ImageNet (§V-F, 16 workers).
+    Resnet50Imagenet,
+    /// MobileNet on MNIST (§V-F non-IID).
+    MobilenetMnist,
+    /// MobileNet on CIFAR100 (§V-G).
+    MobilenetCifar100,
+    /// GoogLeNet on MNIST (Appendix G cross-cloud).
+    GooglenetMnist,
+    /// Convex ridge regression (theory tests and quick benches).
+    ConvexRidge,
+}
+
+impl WorkloadKind {
+    /// Every named workload, in paper order.
+    pub fn all() -> [WorkloadKind; 9] {
+        [
+            WorkloadKind::Resnet18Cifar10,
+            WorkloadKind::Vgg19Cifar10,
+            WorkloadKind::Resnet18Cifar100,
+            WorkloadKind::Resnet18TinyImagenet,
+            WorkloadKind::Resnet50Imagenet,
+            WorkloadKind::MobilenetMnist,
+            WorkloadKind::MobilenetCifar100,
+            WorkloadKind::GooglenetMnist,
+            WorkloadKind::ConvexRidge,
+        ]
+    }
+
+    /// Stable CLI/JSON identifier (`resnet18-cifar10`, …).
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadKind::Resnet18Cifar10 => "resnet18-cifar10",
+            WorkloadKind::Vgg19Cifar10 => "vgg19-cifar10",
+            WorkloadKind::Resnet18Cifar100 => "resnet18-cifar100",
+            WorkloadKind::Resnet18TinyImagenet => "resnet18-tiny-imagenet",
+            WorkloadKind::Resnet50Imagenet => "resnet50-imagenet",
+            WorkloadKind::MobilenetMnist => "mobilenet-mnist",
+            WorkloadKind::MobilenetCifar100 => "mobilenet-cifar100",
+            WorkloadKind::GooglenetMnist => "googlenet-mnist",
+            WorkloadKind::ConvexRidge => "ridge",
+        }
+    }
+
+    /// Inverse of [`WorkloadKind::name`].
+    pub fn by_name(name: &str) -> Option<WorkloadKind> {
+        WorkloadKind::all().into_iter().find(|k| k.name() == name)
+    }
+
+    /// Instantiates the workload (datasets included) with `seed`.
+    pub fn instantiate(self, seed: u64) -> Workload {
+        match self {
+            WorkloadKind::Resnet18Cifar10 => Workload::resnet18_cifar10(seed),
+            WorkloadKind::Vgg19Cifar10 => Workload::vgg19_cifar10(seed),
+            WorkloadKind::Resnet18Cifar100 => Workload::resnet18_cifar100(seed),
+            WorkloadKind::Resnet18TinyImagenet => Workload::resnet18_tiny_imagenet(seed),
+            WorkloadKind::Resnet50Imagenet => Workload::resnet50_imagenet(seed),
+            WorkloadKind::MobilenetMnist => Workload::mobilenet_mnist(seed),
+            WorkloadKind::MobilenetCifar100 => Workload::mobilenet_cifar100(seed),
+            WorkloadKind::GooglenetMnist => Workload::googlenet_mnist(seed),
+            WorkloadKind::ConvexRidge => Workload::convex_ridge(seed),
+        }
+    }
+}
+
+impl ToJson for WorkloadKind {
+    fn to_json(&self) -> Json {
+        Json::Str(self.name().to_string())
+    }
+}
+
+impl FromJson for WorkloadKind {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let name = v.as_str()?;
+        WorkloadKind::by_name(name)
+            .ok_or_else(|| JsonError::schema(format!("unknown workload kind `{name}`")))
+    }
+}
+
+/// A fully serializable workload description: which named workload, the
+/// dataset seed, an optional epoch-schedule compression, and an optional
+/// communication-profile override. Identical specs instantiate
+/// byte-identical [`Workload`]s.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Which named workload.
+    pub kind: WorkloadKind,
+    /// Dataset-generation seed (distinct from the training seed).
+    pub seed: u64,
+    /// Epoch-budget compression applied via [`Workload::time_scaled`]
+    /// (1.0 = the paper's schedule).
+    pub time_scale: f64,
+    /// Overrides the workload's communication/compute profile when set.
+    pub profile: Option<ModelProfile>,
+}
+
+impl WorkloadSpec {
+    /// A spec for `kind` with dataset seed `seed` and no overrides.
+    pub fn new(kind: WorkloadKind, seed: u64) -> Self {
+        Self { kind, seed, time_scale: 1.0, profile: None }
+    }
+
+    /// ResNet18 on CIFAR10.
+    pub fn resnet18_cifar10(seed: u64) -> Self {
+        Self::new(WorkloadKind::Resnet18Cifar10, seed)
+    }
+
+    /// VGG19 on CIFAR10.
+    pub fn vgg19_cifar10(seed: u64) -> Self {
+        Self::new(WorkloadKind::Vgg19Cifar10, seed)
+    }
+
+    /// ResNet18 on CIFAR100.
+    pub fn resnet18_cifar100(seed: u64) -> Self {
+        Self::new(WorkloadKind::Resnet18Cifar100, seed)
+    }
+
+    /// ResNet18 on Tiny-ImageNet.
+    pub fn resnet18_tiny_imagenet(seed: u64) -> Self {
+        Self::new(WorkloadKind::Resnet18TinyImagenet, seed)
+    }
+
+    /// ResNet50 on ImageNet.
+    pub fn resnet50_imagenet(seed: u64) -> Self {
+        Self::new(WorkloadKind::Resnet50Imagenet, seed)
+    }
+
+    /// MobileNet on MNIST.
+    pub fn mobilenet_mnist(seed: u64) -> Self {
+        Self::new(WorkloadKind::MobilenetMnist, seed)
+    }
+
+    /// MobileNet on CIFAR100.
+    pub fn mobilenet_cifar100(seed: u64) -> Self {
+        Self::new(WorkloadKind::MobilenetCifar100, seed)
+    }
+
+    /// GoogLeNet on MNIST.
+    pub fn googlenet_mnist(seed: u64) -> Self {
+        Self::new(WorkloadKind::GooglenetMnist, seed)
+    }
+
+    /// Convex ridge regression.
+    pub fn convex_ridge(seed: u64) -> Self {
+        Self::new(WorkloadKind::ConvexRidge, seed)
+    }
+
+    /// CIFAR10-like convenience spec matching [`Workload::cifar10_like`].
+    pub fn cifar10_like() -> Self {
+        Self::resnet18_cifar10(0xC1FA_0010)
+    }
+
+    /// Returns a copy with the epoch schedule compressed by `f`
+    /// (multiplied into any scale already present).
+    pub fn time_scaled(mut self, f: f64) -> Self {
+        assert!(f > 0.0, "scale must be positive");
+        self.time_scale *= f;
+        self
+    }
+
+    /// Returns a copy with the communication profile overridden.
+    pub fn with_profile(mut self, p: ModelProfile) -> Self {
+        self.profile = Some(p);
+        self
+    }
+
+    /// Instantiates the described [`Workload`] (pure: same spec, same
+    /// datasets and hyper-parameters).
+    pub fn instantiate(&self) -> Workload {
+        let mut w = self.kind.instantiate(self.seed);
+        if self.time_scale != 1.0 {
+            w = w.time_scaled(self.time_scale);
+        }
+        if let Some(p) = &self.profile {
+            w.profile = p.clone();
+        }
+        w
+    }
+}
+
+impl ToJson for WorkloadSpec {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("kind", self.kind.to_json()),
+            ("seed", self.seed.to_json()),
+            ("time_scale", self.time_scale.to_json()),
+            ("profile", self.profile.to_json()),
+        ])
+    }
+}
+
+impl FromJson for WorkloadSpec {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            kind: WorkloadKind::from_json(v.field("kind")?)?,
+            seed: u64::from_json(v.field("seed")?)?,
+            time_scale: f64::from_json(v.field("time_scale")?)?,
+            profile: Option::from_json(v.field("profile")?)?,
+        })
+    }
+}
 
 /// A complete training workload.
 #[derive(Clone)]
@@ -251,6 +470,33 @@ mod tests {
         let a = w.build_model(0);
         let b = w.build_model(1);
         assert_ne!(a.params(), b.params());
+    }
+
+    #[test]
+    fn workload_kinds_cover_constructors_and_round_trip() {
+        for kind in WorkloadKind::all() {
+            let w = kind.instantiate(3);
+            assert!(!w.name.is_empty());
+            assert_eq!(WorkloadKind::by_name(kind.name()), Some(kind), "{}", kind.name());
+            let spec = WorkloadSpec::new(kind, 3);
+            let json = spec.to_json().to_string();
+            let back = WorkloadSpec::from_json(&Json::parse(&json).unwrap()).unwrap();
+            assert_eq!(back, spec);
+        }
+    }
+
+    #[test]
+    fn spec_instantiation_is_pure_and_applies_overrides() {
+        let spec = WorkloadSpec::resnet18_cifar100(9)
+            .time_scaled(0.25)
+            .with_profile(ModelProfile::mobilenet());
+        let a = spec.instantiate();
+        let b = spec.instantiate();
+        assert_eq!(a.target_epochs, 30.0, "120-epoch schedule compressed 4x");
+        assert_eq!(a.optim.lr_milestones, vec![20.0]);
+        assert_eq!(a.profile, ModelProfile::mobilenet());
+        assert_eq!(a.train.len(), b.train.len());
+        assert_eq!(a.build_model(7).params(), b.build_model(7).params());
     }
 
     #[test]

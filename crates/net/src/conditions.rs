@@ -17,6 +17,7 @@
 
 use crate::link::LinkQuality;
 use crate::topology::Placement;
+use netmax_json::{FromJson, Json, JsonError, ToJson};
 use serde::{Deserialize, Serialize};
 
 /// A network: the ground-truth communication cost between worker nodes.
@@ -46,6 +47,44 @@ pub enum NetworkKind {
     HeterogeneousStatic,
     /// Appendix G: six EC2 regions.
     Wan,
+}
+
+impl NetworkKind {
+    /// Stable CLI/JSON identifier (`hetero`, `homo`, `static`, `wan`).
+    pub fn name(self) -> &'static str {
+        match self {
+            NetworkKind::Homogeneous => "homo",
+            NetworkKind::HeterogeneousDynamic => "hetero",
+            NetworkKind::HeterogeneousStatic => "static",
+            NetworkKind::Wan => "wan",
+        }
+    }
+
+    /// Inverse of [`NetworkKind::name`].
+    pub fn by_name(name: &str) -> Option<NetworkKind> {
+        [
+            NetworkKind::Homogeneous,
+            NetworkKind::HeterogeneousDynamic,
+            NetworkKind::HeterogeneousStatic,
+            NetworkKind::Wan,
+        ]
+        .into_iter()
+        .find(|k| k.name() == name)
+    }
+}
+
+impl ToJson for NetworkKind {
+    fn to_json(&self) -> Json {
+        Json::Str(self.name().to_string())
+    }
+}
+
+impl FromJson for NetworkKind {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let name = v.as_str()?;
+        NetworkKind::by_name(name)
+            .ok_or_else(|| JsonError::schema(format!("unknown network kind `{name}`")))
+    }
 }
 
 /// Physical cluster description: how many workers per server and the two
@@ -121,7 +160,7 @@ impl Network for HomogeneousNetwork {
 }
 
 /// Configuration of the paper's dynamic slow-link regime.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SlowdownConfig {
     /// Minimum slowdown factor (paper: 2).
     pub min_factor: f64,
@@ -138,6 +177,28 @@ pub struct SlowdownConfig {
 impl Default for SlowdownConfig {
     fn default() -> Self {
         Self { min_factor: 2.0, max_factor: 100.0, change_period_s: 300.0, dynamic: true }
+    }
+}
+
+impl ToJson for SlowdownConfig {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("min_factor", self.min_factor.to_json()),
+            ("max_factor", self.max_factor.to_json()),
+            ("change_period_s", self.change_period_s.to_json()),
+            ("dynamic", self.dynamic.to_json()),
+        ])
+    }
+}
+
+impl FromJson for SlowdownConfig {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            min_factor: f64::from_json(v.field("min_factor")?)?,
+            max_factor: f64::from_json(v.field("max_factor")?)?,
+            change_period_s: f64::from_json(v.field("change_period_s")?)?,
+            dynamic: bool::from_json(v.field("dynamic")?)?,
+        })
     }
 }
 

@@ -19,12 +19,13 @@ use netmax::prelude::*;
 const REGIONS: [&str; 6] = ["us-west", "us-east", "ireland", "mumbai", "singapore", "tokyo"];
 
 fn main() {
-    let workload = Workload::mobilenet_mnist(23);
+    let spec = WorkloadSpec::mobilenet_mnist(23);
+    let workload = spec.instantiate(); // datasets built once, shared below
     let alpha = workload.optim.lr;
     let scenario = ScenarioBuilder::new()
         .workers(6)
         .network(NetworkKind::Wan)
-        .workload(workload)
+        .workload(spec)
         .partition(PartitionKind::PaperTable7)
         .max_epochs(10.0)
         .seed(23)
@@ -44,7 +45,8 @@ fn main() {
         AlgorithmKind::PsSync,
     ] {
         let mut algo = algorithm_for(kind, alpha);
-        reports.push((kind, scenario.run_with(algo.as_mut())));
+        let mut env = scenario.build_env_with(workload.clone());
+        reports.push((kind, algo.run(&mut env)));
     }
     let target = reports
         .iter()

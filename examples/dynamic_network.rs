@@ -18,14 +18,14 @@ use netmax::core::monitor::MonitorConfig;
 use netmax::prelude::*;
 
 fn main() {
-    let workload = Workload::cifar10_like();
+    let workload = WorkloadSpec::cifar10_like().instantiate(); // built once
     let alpha = workload.optim.lr;
 
     let scenario = |seed: u64| {
         ScenarioBuilder::new()
             .workers(8)
             .network(NetworkKind::HeterogeneousDynamic)
-            .workload(Workload::cifar10_like())
+            .workload(WorkloadSpec::cifar10_like())
             .max_epochs(20.0)
             .seed(seed)
             .build()
@@ -35,7 +35,7 @@ fn main() {
     let mut cfg = NetMaxConfig::paper_default(alpha);
     cfg.monitor = MonitorConfig { period_s: 30.0, ..MonitorConfig::paper_default(alpha) };
     let mut adaptive = NetMax::new(cfg.clone());
-    let r_adaptive = scenario(3).run_with(&mut adaptive);
+    let r_adaptive = adaptive.run(&mut scenario(3).build_env_with(workload.clone()));
 
     // 2. "Static subgraph": one early policy, then the monitor stops.
     //    Emulated with a very long period — the first policy lands and is
@@ -52,16 +52,16 @@ fn main() {
         let sc = ScenarioBuilder::new()
             .workers(8)
             .network(NetworkKind::HeterogeneousStatic) // slow link frozen at window 0
-            .workload(Workload::cifar10_like())
+            .workload(WorkloadSpec::cifar10_like())
             .max_epochs(20.0)
             .seed(3)
             .build();
-        sc.run_with(&mut frozen)
+        frozen.run(&mut sc.build_env_with(workload.clone()))
     };
 
     // 3. Uniform selection on the dynamic network.
     let mut uniform = NetMax::new(NetMaxConfig::uniform(alpha));
-    let r_uniform = scenario(3).run_with(&mut uniform);
+    let r_uniform = uniform.run(&mut scenario(3).build_env_with(workload.clone()));
 
     println!("dynamic heterogeneous network, 8 workers, 20 epochs\n");
     // The telling metric is per-node epoch time: with uniform selection,

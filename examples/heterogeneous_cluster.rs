@@ -9,12 +9,13 @@
 use netmax::prelude::*;
 
 fn main() {
-    let workload = Workload::cifar10_like();
+    let spec = WorkloadSpec::cifar10_like();
+    let workload = spec.instantiate(); // datasets built once, shared below
     let alpha = workload.optim.lr;
     let scenario = ScenarioBuilder::new()
         .workers(8)
         .network(NetworkKind::HeterogeneousDynamic)
-        .workload(workload)
+        .workload(spec)
         .max_epochs(16.0)
         .seed(7)
         .build();
@@ -33,7 +34,8 @@ fn main() {
         AlgorithmKind::NetMax,
     ] {
         let mut algo = algorithm_for(kind, alpha);
-        let r = scenario.run_with(algo.as_mut());
+        let mut env = scenario.build_env_with(workload.clone());
+        let r = algo.run(&mut env);
         println!(
             "{:<12} {:>10.1} {:>10.2} {:>10.2} {:>10.2} {:>7.2}%",
             kind.label(),

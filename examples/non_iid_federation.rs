@@ -14,14 +14,15 @@ use netmax::core::netmax::MergeWeighting;
 use netmax::prelude::*;
 
 fn main() {
-    let workload = Workload::mobilenet_mnist(5);
+    let spec = WorkloadSpec::mobilenet_mnist(5);
+    let workload = spec.instantiate(); // datasets built once, shared below
     let alpha = workload.optim.lr;
 
     let scenario = ScenarioBuilder::new()
         .workers(8)
         .servers(2)
         .network(NetworkKind::HeterogeneousDynamic)
-        .workload(workload)
+        .workload(spec)
         .partition(PartitionKind::PaperTable4)
         .max_epochs(10.0)
         .seed(5)
@@ -31,17 +32,17 @@ fn main() {
 
     // Paper NetMax: inverse-probability weighting.
     let mut paper = NetMax::paper_default(alpha);
-    let r_paper = scenario.run_with(&mut paper);
+    let r_paper = paper.run(&mut scenario.build_env_with(workload.clone()));
 
     // Ablated NetMax: fixed 0.5 weighting (AD-PSGD style merges).
     let mut cfg = NetMaxConfig::paper_default(alpha);
     cfg.weighting = MergeWeighting::Fixed(0.5);
     let mut fixed = NetMax::new(cfg);
-    let r_fixed = scenario.run_with(&mut fixed);
+    let r_fixed = fixed.run(&mut scenario.build_env_with(workload.clone()));
 
     // AD-PSGD reference.
     let mut adpsgd = algorithm_for(AlgorithmKind::AdPsgd, alpha);
-    let r_adpsgd = scenario.run_with(adpsgd.as_mut());
+    let r_adpsgd = adpsgd.run(&mut scenario.build_env_with(workload.clone()));
 
     println!(
         "{:<36} {:>10} {:>10} {:>8}",

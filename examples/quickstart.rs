@@ -11,7 +11,9 @@ fn main() {
     // A CIFAR10-class workload with the ResNet18 communication profile:
     // 11.7M parameters on the wire per pull, paper hyper-parameters
     // (batch 128, momentum 0.9, weight decay 1e-4, lr 0.1).
-    let workload = Workload::cifar10_like();
+    let spec = WorkloadSpec::cifar10_like();
+    // Instantiate the datasets once; the environment below shares them.
+    let workload = spec.instantiate();
     let alpha = workload.optim.lr;
 
     // Eight workers spread over three servers; intra-machine links are
@@ -21,7 +23,7 @@ fn main() {
     let scenario = ScenarioBuilder::new()
         .workers(8)
         .network(NetworkKind::HeterogeneousDynamic)
-        .workload(workload)
+        .workload(spec)
         .max_epochs(12.0)
         .seed(42)
         .build();
@@ -29,7 +31,8 @@ fn main() {
     // NetMax with paper defaults: consensus SGD workers + Network Monitor
     // (Ts = 120 s) + Algorithm 3 policy generation.
     let mut netmax = NetMax::paper_default(alpha);
-    let report = scenario.run_with(&mut netmax);
+    let mut env = scenario.build_env_with(workload);
+    let report = netmax.run(&mut env);
 
     println!("workload        : {}", report.workload);
     println!("workers         : {}", report.num_nodes);

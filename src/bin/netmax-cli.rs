@@ -118,99 +118,43 @@ impl Options {
     }
 }
 
-fn workload_by_name(name: &str, seed: u64) -> Option<Workload> {
-    Some(match name {
-        "resnet18-cifar10" => Workload::resnet18_cifar10(seed),
-        "vgg19-cifar10" => Workload::vgg19_cifar10(seed),
-        "resnet18-cifar100" => Workload::resnet18_cifar100(seed),
-        "resnet18-tiny-imagenet" => Workload::resnet18_tiny_imagenet(seed),
-        "resnet50-imagenet" => Workload::resnet50_imagenet(seed),
-        "mobilenet-mnist" => Workload::mobilenet_mnist(seed),
-        "mobilenet-cifar100" => Workload::mobilenet_cifar100(seed),
-        "googlenet-mnist" => Workload::googlenet_mnist(seed),
-        "ridge" => Workload::convex_ridge(seed),
-        _ => return None,
-    })
-}
-
-fn algorithm_by_name(name: &str, alpha: f64) -> Option<AlgorithmKind> {
-    let _ = alpha;
-    Some(match name {
-        "netmax" => AlgorithmKind::NetMax,
-        "netmax-uniform" => AlgorithmKind::NetMaxUniform,
-        "ad-psgd" => AlgorithmKind::AdPsgd,
-        "ad-psgd-monitor" => AlgorithmKind::AdPsgdMonitored,
-        "gosgd" => AlgorithmKind::GoSgd,
-        "allreduce" => AlgorithmKind::AllreduceSgd,
-        "prague" => AlgorithmKind::Prague,
-        "ps-sync" => AlgorithmKind::PsSync,
-        "ps-async" => AlgorithmKind::PsAsync,
-        _ => return None,
-    })
-}
-
-fn network_by_name(name: &str) -> Option<NetworkKind> {
-    Some(match name {
-        "hetero" => NetworkKind::HeterogeneousDynamic,
-        "static" => NetworkKind::HeterogeneousStatic,
-        "homo" => NetworkKind::Homogeneous,
-        "wan" => NetworkKind::Wan,
-        _ => return None,
-    })
-}
-
 fn list() -> ExitCode {
     println!("workloads:");
-    for w in [
-        "resnet18-cifar10",
-        "vgg19-cifar10",
-        "resnet18-cifar100",
-        "resnet18-tiny-imagenet",
-        "resnet50-imagenet",
-        "mobilenet-mnist",
-        "mobilenet-cifar100",
-        "googlenet-mnist",
-        "ridge",
-    ] {
-        println!("  {w}");
+    for kind in WorkloadKind::all() {
+        println!("  {}", kind.name());
     }
     println!("algorithms:");
-    for a in [
-        "netmax",
-        "netmax-uniform",
-        "ad-psgd",
-        "ad-psgd-monitor",
-        "gosgd",
-        "allreduce",
-        "prague",
-        "ps-sync",
-        "ps-async",
-    ] {
-        println!("  {a}");
+    for kind in AlgorithmKind::all() {
+        println!("  {}", kind.name());
     }
     println!("networks:\n  hetero\n  static\n  homo\n  wan");
     ExitCode::SUCCESS
 }
 
-fn build_scenario(o: &Options) -> Option<(Scenario, f64)> {
-    let workload = workload_by_name(&o.workload, o.seed).or_else(|| {
-        eprintln!("unknown workload '{}' (see `netmax-cli list`)", o.workload);
-        None
-    })?;
-    let network = network_by_name(&o.network).or_else(|| {
+/// Builds the scenario plus one instantiated workload (datasets
+/// included); runs share the instantiation through `build_env_with`
+/// instead of regenerating the datasets per run.
+fn build_scenario(o: &Options) -> Option<(Scenario, Workload)> {
+    let spec = WorkloadKind::by_name(&o.workload)
+        .map(|k| WorkloadSpec::new(k, o.seed))
+        .or_else(|| {
+            eprintln!("unknown workload '{}' (see `netmax-cli list`)", o.workload);
+            None
+        })?;
+    let network = NetworkKind::by_name(&o.network).or_else(|| {
         eprintln!("unknown network '{}' (see `netmax-cli list`)", o.network);
         None
     })?;
-    let alpha = workload.optim.lr;
     let workers = if network == NetworkKind::Wan { 6 } else { o.workers };
     let sc = ScenarioBuilder::new()
         .workers(workers)
         .network(network)
-        .workload(workload)
+        .workload(spec)
         .max_epochs(o.epochs)
         .seed(o.seed)
         .build();
-    Some((sc, alpha))
+    let workload = sc.workload();
+    Some((sc, workload))
 }
 
 fn print_report(r: &netmax::core::engine::RunReport) {
@@ -226,27 +170,28 @@ fn print_report(r: &netmax::core::engine::RunReport) {
 }
 
 fn run(o: &Options) -> ExitCode {
-    let Some((sc, alpha)) = build_scenario(o) else {
+    let Some((sc, workload)) = build_scenario(o) else {
         return ExitCode::from(2);
     };
-    let Some(kind) = algorithm_by_name(&o.algorithm, alpha) else {
+    let Some(kind) = AlgorithmKind::by_name(&o.algorithm) else {
         eprintln!("unknown algorithm '{}' (see `netmax-cli list`)", o.algorithm);
         return ExitCode::from(2);
     };
-    let mut algo = algorithm_for(kind, alpha);
-    let report = sc.run_with(algo.as_mut());
-    print_report(&report);
+    let mut algo = algorithm_for(kind, workload.optim.lr);
+    let mut env = sc.build_env_with(workload);
+    print_report(&algo.run(&mut env));
     ExitCode::SUCCESS
 }
 
 fn compare(o: &Options) -> ExitCode {
-    let Some((sc, alpha)) = build_scenario(o) else {
+    let Some((sc, workload)) = build_scenario(o) else {
         return ExitCode::from(2);
     };
     for kind in AlgorithmKind::headline_four() {
-        let mut algo = algorithm_for(kind, alpha);
-        let report = sc.run_with(algo.as_mut());
-        print_report(&report);
+        let mut algo = algorithm_for(kind, workload.optim.lr);
+        // Arc-shared datasets: one instantiation serves all four runs.
+        let mut env = sc.build_env_with(workload.clone());
+        print_report(&algo.run(&mut env));
     }
     ExitCode::SUCCESS
 }

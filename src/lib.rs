@@ -27,10 +27,13 @@
 //!
 //! // 4 workers, fully connected, heterogeneous dynamic network,
 //! // CIFAR10-like synthetic workload, ResNet18 communication profile.
+//! // The scenario is pure data (see `WorkloadSpec`): it serializes to
+//! // JSON and instantiates its datasets only when an environment is
+//! // built.
 //! let scenario = ScenarioBuilder::new()
 //!     .workers(4)
 //!     .network(NetworkKind::HeterogeneousDynamic)
-//!     .workload(Workload::cifar10_like())
+//!     .workload(WorkloadSpec::cifar10_like())
 //!     .profile(ModelProfile::resnet18())
 //!     .train_config(TrainConfig::quick_test())
 //!     .seed(42)
@@ -60,11 +63,12 @@ pub mod prelude {
         algorithm_for, AdPsgd, AllreduceSgd, GoSgd, ParameterServer, Prague,
     };
     pub use netmax_core::engine::{
-        AlgorithmKind, PartitionKind, RunReport, Scenario, ScenarioBuilder, TrainConfig,
+        Algorithm, AlgorithmKind, PartitionKind, RunReport, Scenario, ScenarioBuilder,
+        TrainConfig,
     };
     pub use netmax_core::netmax::{NetMax, NetMaxConfig};
     pub use netmax_core::policy::{PolicyGenerator, PolicySearchConfig};
     pub use netmax_ml::profile::ModelProfile;
-    pub use netmax_ml::workload::Workload;
+    pub use netmax_ml::workload::{Workload, WorkloadKind, WorkloadSpec};
     pub use netmax_net::NetworkKind;
 }

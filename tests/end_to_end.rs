@@ -8,7 +8,7 @@ fn hetero_scenario(epochs: f64, seed: u64) -> Scenario {
     ScenarioBuilder::new()
         .workers(8)
         .network(NetworkKind::HeterogeneousDynamic)
-        .workload(Workload::resnet18_cifar10(7))
+        .workload(WorkloadSpec::resnet18_cifar10(7))
         .train_config(TrainConfig {
             max_epochs: epochs,
             record_every_steps: 40,
@@ -133,7 +133,7 @@ fn workers_scale_from_4_to_16() {
         let sc = ScenarioBuilder::new()
             .workers(n)
             .network(NetworkKind::HeterogeneousDynamic)
-            .workload(Workload::resnet18_cifar10(7))
+            .workload(WorkloadSpec::resnet18_cifar10(7))
             .max_epochs(2.0)
             .seed(1)
             .build();

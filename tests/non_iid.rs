@@ -11,8 +11,8 @@ fn gossip_recovers_labels_a_single_worker_never_sees() {
     // those digits well above chance — the information can only have
     // arrived through gossip. This exercises partitioning, the engine,
     // merging, and metrics together.
-    let workload = Workload::mobilenet_mnist(5);
-    let test = workload.test.clone();
+    let workload = WorkloadSpec::mobilenet_mnist(5);
+    let test = workload.instantiate().test.clone();
     let sc = ScenarioBuilder::new()
         .workers(8)
         .servers(2)
@@ -50,7 +50,7 @@ fn gossip_recovers_labels_a_single_worker_never_sees() {
 fn segmented_batches_scale_with_data_share() {
     // §V-F: "The batch size of each worker node is set to 64 × the
     // segment number" — verify through the environment.
-    let workload = Workload::resnet18_cifar100(1);
+    let workload = WorkloadSpec::resnet18_cifar100(1);
     let sc = ScenarioBuilder::new()
         .workers(8)
         .servers(2)
@@ -82,7 +82,7 @@ fn noniid_accuracy_does_not_beat_iid() {
             .workers(8)
             .servers(2)
             .network(NetworkKind::HeterogeneousDynamic)
-            .workload(Workload::mobilenet_mnist(5))
+            .workload(WorkloadSpec::mobilenet_mnist(5))
             .partition(partition)
             .max_epochs(6.0)
             .seed(5)
@@ -115,7 +115,7 @@ fn wan_cross_cloud_training_runs() {
     let sc = ScenarioBuilder::new()
         .workers(6)
         .network(NetworkKind::Wan)
-        .workload(Workload::googlenet_mnist(3))
+        .workload(WorkloadSpec::googlenet_mnist(3))
         .partition(PartitionKind::PaperTable7)
         .max_epochs(3.0)
         .seed(3)
