@@ -12,10 +12,12 @@
 //! weight stays at 1/2 instead of NetMax's `αργ_{i,m}` compensation —
 //! this implementation reproduces exactly that difference.
 
+use netmax_core::engine::session::{matrix_from_json, matrix_to_json};
 use netmax_core::engine::{
-    run_gossip, Algorithm, Environment, GossipBehavior, PeerChoice, RunReport,
+    Algorithm, Environment, GossipBehavior, GossipDriver, PeerChoice, SessionDriver,
 };
 use netmax_core::monitor::{EmaTimeTracker, MonitorConfig, NetworkMonitor};
+use netmax_json::{FromJson, Json, JsonError, ToJson};
 use netmax_linalg::Matrix;
 use rand::Rng;
 
@@ -83,6 +85,10 @@ impl Default for AdPsgd {
 }
 
 impl GossipBehavior for AdPsgd {
+    fn on_start(&mut self, env: &mut Environment) {
+        self.reset(env.num_nodes());
+    }
+
     fn select_peer(&mut self, env: &mut Environment, i: usize) -> PeerChoice {
         if let Some(policy) = &self.policy {
             // Monitor-steered selection (same sampling as NetMax).
@@ -139,6 +145,50 @@ impl GossipBehavior for AdPsgd {
             self.policies_applied += 1;
         }
     }
+
+    fn checkpoint_state(&self) -> Json {
+        Json::obj([
+            (
+                "tracker",
+                match &self.tracker {
+                    Some(t) => t.checkpoint(),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "monitor",
+                match &self.monitor {
+                    Some(m) => m.checkpoint(),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "policy",
+                match &self.policy {
+                    Some(p) => matrix_to_json(p),
+                    None => Json::Null,
+                },
+            ),
+            ("policies_applied", self.policies_applied.to_json()),
+        ])
+    }
+
+    fn restore_state(&mut self, _env: &Environment, state: &Json) -> Result<(), JsonError> {
+        self.tracker = match state.field("tracker")? {
+            Json::Null => None,
+            t => Some(EmaTimeTracker::restore(t)?),
+        };
+        if let (Some(monitor), m @ Json::Obj(_)) = (self.monitor.as_mut(), state.field("monitor")?)
+        {
+            monitor.restore(m)?;
+        }
+        self.policy = match state.field("policy")? {
+            Json::Null => None,
+            p => Some(matrix_from_json(p)?),
+        };
+        self.policies_applied = u64::from_json(state.field("policies_applied")?)?;
+        Ok(())
+    }
 }
 
 impl Algorithm for AdPsgd {
@@ -150,10 +200,9 @@ impl Algorithm for AdPsgd {
         }
     }
 
-    fn run(&mut self, env: &mut Environment) -> RunReport {
-        self.reset(env.num_nodes());
+    fn driver(&mut self) -> Box<dyn SessionDriver + '_> {
         let name = self.name();
-        run_gossip(self, env, name)
+        Box::new(GossipDriver::new(self, name))
     }
 }
 

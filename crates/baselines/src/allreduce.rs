@@ -8,7 +8,8 @@
 //! paper's Fig. 5/8 exposes.
 
 use crate::collectives::ring_allreduce_time;
-use netmax_core::engine::{Algorithm, Environment, Recorder, RunReport};
+use netmax_core::engine::{Algorithm, DriverEvent, Environment, SessionDriver};
+use netmax_json::{FromJson, Json, JsonError, ToJson};
 
 /// Synchronous ring-allreduce SGD.
 pub struct AllreduceSgd {
@@ -33,52 +34,79 @@ impl Algorithm for AllreduceSgd {
         "allreduce"
     }
 
-    fn run(&mut self, env: &mut Environment) -> RunReport {
+    fn driver(&mut self) -> Box<dyn SessionDriver + '_> {
+        Box::new(AllreduceDriver { started: false })
+    }
+}
+
+/// Round-granular session driver: one advance = one fully synchronous
+/// round (compute, ring-allreduce, identical averaged update on every
+/// replica).
+struct AllreduceDriver {
+    started: bool,
+}
+
+impl SessionDriver for AllreduceDriver {
+    fn name(&self) -> &str {
+        "allreduce"
+    }
+
+    fn advance(&mut self, env: &mut Environment) -> DriverEvent {
         let n = env.num_nodes();
-        let mut rec = Recorder::new();
+        if !self.started {
+            self.started = true;
+            // Real allreduce training broadcasts rank 0's initialisation
+            // so the replicas are identical from the first step.
+            let init = env.pull_params(0);
+            for i in 1..n {
+                env.nodes[i].model.params_mut().copy_from_slice(&init);
+            }
+        }
         let bytes = env.workload.profile.param_bytes();
         let ring: Vec<usize> = (0..n).collect();
+        let now = env.nodes[0].clock; // all clocks advance in lockstep
 
-        // Real allreduce training broadcasts rank 0's initialisation so the
-        // replicas are identical from the first step.
-        let init = env.pull_params(0);
-        for i in 1..n {
-            env.nodes[i].model.params_mut().copy_from_slice(&init);
-        }
-
-        while !env.should_stop() {
-            let now = env.nodes[0].clock; // all clocks advance in lockstep
-
-            // Parallel gradient computation; the round waits for the
-            // slowest worker.
-            let mut mean_grad: Vec<f32> = Vec::new();
-            let mut compute: Vec<f64> = Vec::with_capacity(n);
-            for i in 0..n {
-                let (g, c) = env.compute_gradient(i);
-                compute.push(c);
-                if mean_grad.is_empty() {
-                    mean_grad = g;
-                } else {
-                    for (a, b) in mean_grad.iter_mut().zip(&g) {
-                        *a += b;
-                    }
+        // Parallel gradient computation; the round waits for the slowest
+        // worker.
+        let mut mean_grad: Vec<f32> = Vec::new();
+        let mut compute: Vec<f64> = Vec::with_capacity(n);
+        for i in 0..n {
+            let (g, c) = env.compute_gradient(i);
+            compute.push(c);
+            if mean_grad.is_empty() {
+                mean_grad = g;
+            } else {
+                for (a, b) in mean_grad.iter_mut().zip(&g) {
+                    *a += b;
                 }
             }
-            let inv = 1.0 / n as f32;
-            for a in &mut mean_grad {
-                *a *= inv;
-            }
-            let c_max = compute.iter().copied().fold(0.0, f64::max);
-            let ar = ring_allreduce_time(env.network.as_ref(), &ring, bytes, now + c_max, 1.0);
-
-            for (i, &c) in compute.iter().enumerate() {
-                env.apply_gradient(i, &mean_grad);
-                env.book_iteration(i, c, c_max + ar);
-            }
-            env.global_step += n as u64;
-            rec.maybe_record(env);
         }
-        rec.finish(env, self.name())
+        let inv = 1.0 / n as f32;
+        for a in &mut mean_grad {
+            *a *= inv;
+        }
+        let c_max = compute.iter().copied().fold(0.0, f64::max);
+        let ar = ring_allreduce_time(env.network.as_ref(), &ring, bytes, now + c_max, 1.0);
+
+        for (i, &c) in compute.iter().enumerate() {
+            env.apply_gradient(i, &mean_grad);
+            env.book_iteration(i, c, c_max + ar);
+        }
+        env.global_step += n as u64;
+        DriverEvent::Round { steps: n as u64, time_s: env.nodes[0].clock }
+    }
+
+    fn checkpoint_state(&self) -> Json {
+        Json::obj([("started", self.started.to_json())])
+    }
+
+    fn restore_state(&mut self, _env: &mut Environment, state: &Json) -> Result<(), JsonError> {
+        // Replicas come back from the environment checkpoint; the
+        // broadcast must not rerun (mid-run it would be a no-op anyway —
+        // allreduce keeps replicas bit-identical — but skipping is the
+        // honest restore).
+        self.started = bool::from_json(state.field("started")?)?;
+        Ok(())
     }
 }
 

@@ -9,7 +9,11 @@
 //! slowdown, the whole system would be dragged down by these low-speed
 //! links" — the bound converts one slow link into fleet-wide stalls.
 
-use netmax_core::engine::{Algorithm, Environment, Recorder, RunReport};
+use netmax_core::engine::{
+    check_node_index, queue_from_json, queue_to_json, Algorithm, DriverEvent, Environment,
+    SessionDriver,
+};
+use netmax_json::{FromJson, Json, JsonError, ToJson};
 use netmax_net::EventQueue;
 use rand::Rng;
 
@@ -30,83 +34,205 @@ impl BoundedStaleness {
     }
 }
 
-enum Ev {
-    Done { node: usize, peer: usize, compute_s: f64, iteration_s: f64 },
-}
-
 impl Algorithm for BoundedStaleness {
     fn name(&self) -> &'static str {
         "bounded-staleness"
     }
 
-    fn run(&mut self, env: &mut Environment) -> RunReport {
-        let n = env.num_nodes();
-        let mut rec = Recorder::new();
-        let mut queue: EventQueue<Ev> = EventQueue::new();
-        let compute: Vec<f64> = (0..n)
-            .map(|i| {
-                let b = env.partition.batch_size(i, env.workload.batch_size);
-                env.workload.profile.compute_time(b)
-            })
-            .collect();
-        // Iteration counts for the staleness check.
-        let mut iters = vec![0u64; n];
-        // Nodes currently blocked on the bound.
-        let mut blocked: Vec<usize> = Vec::new();
+    fn driver(&mut self) -> Box<dyn SessionDriver + '_> {
+        Box::new(BsDriver {
+            bound: self.bound,
+            queue: EventQueue::new(),
+            compute: Vec::new(),
+            iters: Vec::new(),
+            blocked: Vec::new(),
+            pending_post: None,
+            started: false,
+        })
+    }
+}
 
-        let schedule = |env: &mut Environment, queue: &mut EventQueue<Ev>, i: usize, c: f64| {
-            let nbrs = env.topology.neighbors(i);
-            let k = env.node_rng(i).gen_range(0..nbrs.len());
-            let peer = nbrs[k];
-            let start = env.nodes[i].clock;
-            let comm = env.comm_time(i, peer, start);
-            let iter = env.cfg.execution.iteration_time(c, comm);
-            queue.push(start + iter, Ev::Done { node: i, peer, compute_s: c, iteration_s: iter });
-        };
+/// One scheduled completion in the bounded-staleness event queue.
+#[derive(Debug, Clone)]
+struct Done {
+    node: usize,
+    peer: usize,
+    compute_s: f64,
+    iteration_s: f64,
+}
 
-        for i in 0..n {
-            schedule(env, &mut queue, i, compute[i]);
+impl ToJson for Done {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("node", self.node.to_json()),
+            ("peer", self.peer.to_json()),
+            ("compute_s", self.compute_s.to_json()),
+            ("iteration_s", self.iteration_s.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Done {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            node: usize::from_json(v.field("node")?)?,
+            peer: usize::from_json(v.field("peer")?)?,
+            compute_s: f64::from_json(v.field("compute_s")?)?,
+            iteration_s: f64::from_json(v.field("iteration_s")?)?,
+        })
+    }
+}
+
+/// Event-granular session driver: one advance = one completed gossip
+/// iteration. The staleness gate and the release of blocked workers for a
+/// completed iteration are deferred to the *next* advance (no environment
+/// state the recorder reads changes in between), which keeps the RNG
+/// draws and stall bookings on the far side of the session's stop check —
+/// exactly where the classic blocking loop had them.
+struct BsDriver {
+    bound: u64,
+    queue: EventQueue<Done>,
+    /// Nominal per-node compute times (derived from the environment).
+    compute: Vec<f64>,
+    /// Per-node completed-iteration counts for the staleness check.
+    iters: Vec<u64>,
+    /// Nodes currently blocked on the bound.
+    blocked: Vec<usize>,
+    /// Post-processing owed for the last completed event:
+    /// `(node, now, compute_s)`.
+    pending_post: Option<(usize, f64, f64)>,
+    started: bool,
+}
+
+impl BsDriver {
+    fn schedule(&mut self, env: &mut Environment, i: usize, c: f64) {
+        let nbrs = env.topology.neighbors(i);
+        let k = env.node_rng(i).gen_range(0..nbrs.len());
+        let peer = nbrs[k];
+        let start = env.nodes[i].clock;
+        let comm = env.comm_time(i, peer, start);
+        let iter = env.cfg.execution.iteration_time(c, comm);
+        self.queue
+            .push(start + iter, Done { node: i, peer, compute_s: c, iteration_s: iter });
+    }
+
+    /// The staleness gate + blocked-worker release for a completed
+    /// iteration of `node` at time `now`.
+    fn post_process(&mut self, env: &mut Environment, node: usize, now: f64, compute_s: f64) {
+        // Staleness gate: may `node` start another iteration?
+        let min_iters = self.iters.iter().copied().min().unwrap_or(0);
+        if self.iters[node] >= min_iters + self.bound {
+            // Blocked until the stragglers advance; the wait is booked as
+            // exposed communication when released.
+            self.blocked.push(node);
+        } else {
+            self.schedule(env, node, compute_s);
         }
 
-        while let Some((now, Ev::Done { node, peer, compute_s, iteration_s })) = queue.pop() {
-            let _ = env.gradient_step(node);
-            let pulled = env.pull_params(peer);
-            netmax_ml::params::blend(0.5, env.nodes[node].model.params_mut(), &pulled);
-            env.book_iteration(node, compute_s, iteration_s);
-            env.global_step += 1;
-            iters[node] += 1;
-            rec.maybe_record(env);
-            if env.should_stop() {
-                break;
-            }
-
-            // Staleness gate: may `node` start another iteration?
-            let min_iters = iters.iter().copied().min().unwrap_or(0);
-            if iters[node] >= min_iters + self.bound {
-                // Blocked until the stragglers advance; the wait is booked
-                // as exposed communication when released.
-                blocked.push(node);
+        // Release any blocked workers whose lead is now legal.
+        let min_iters = self.iters.iter().copied().min().unwrap_or(0);
+        let blocked = std::mem::take(&mut self.blocked);
+        for b in blocked {
+            if self.iters[b] < min_iters + self.bound {
+                // The blocked worker resumes at the *current* global time:
+                // charge the stall to its clock.
+                let stall = (now - env.nodes[b].clock).max(0.0);
+                env.book_iteration(b, 0.0, stall);
+                let c = self.compute[b];
+                self.schedule(env, b, c);
             } else {
-                schedule(env, &mut queue, node, compute_s);
+                self.blocked.push(b);
             }
-
-            // Release any blocked workers whose lead is now legal.
-            let min_iters = iters.iter().copied().min().unwrap_or(0);
-            let mut still_blocked = Vec::new();
-            for &b in &blocked {
-                if iters[b] < min_iters + self.bound {
-                    // The blocked worker resumes at the *current* global
-                    // time: charge the stall to its clock.
-                    let stall = (now - env.nodes[b].clock).max(0.0);
-                    env.book_iteration(b, 0.0, stall);
-                    schedule(env, &mut queue, b, compute[b]);
-                } else {
-                    still_blocked.push(b);
-                }
-            }
-            blocked = still_blocked;
         }
-        rec.finish(env, self.name())
+    }
+}
+
+impl SessionDriver for BsDriver {
+    fn name(&self) -> &str {
+        "bounded-staleness"
+    }
+
+    fn advance(&mut self, env: &mut Environment) -> DriverEvent {
+        if !self.started {
+            self.started = true;
+            self.compute = env.nominal_compute_times();
+            self.iters = vec![0; env.num_nodes()];
+            for i in 0..env.num_nodes() {
+                let c = self.compute[i];
+                self.schedule(env, i, c);
+            }
+        }
+        if let Some((node, now, compute_s)) = self.pending_post.take() {
+            self.post_process(env, node, now, compute_s);
+        }
+        let Some((now, Done { node, peer, compute_s, iteration_s })) = self.queue.pop() else {
+            return DriverEvent::Exhausted;
+        };
+        let _ = env.gradient_step(node);
+        let pulled = env.pull_params(peer);
+        netmax_ml::params::blend(0.5, env.nodes[node].model.params_mut(), &pulled);
+        env.book_iteration(node, compute_s, iteration_s);
+        env.global_step += 1;
+        self.iters[node] += 1;
+        self.pending_post = Some((node, now, compute_s));
+        DriverEvent::Step { node, peer: Some(peer), iteration_s }
+    }
+
+    fn checkpoint_state(&self) -> Json {
+        Json::obj([
+            ("started", self.started.to_json()),
+            ("queue", queue_to_json(&self.queue)),
+            ("iters", self.iters.to_json()),
+            ("blocked", self.blocked.to_json()),
+            (
+                "pending_post",
+                match self.pending_post {
+                    Some((node, now, compute_s)) => Json::obj([
+                        ("node", node.to_json()),
+                        ("now", now.to_json()),
+                        ("compute_s", compute_s.to_json()),
+                    ]),
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
+
+    fn restore_state(&mut self, env: &mut Environment, state: &Json) -> Result<(), JsonError> {
+        let n = env.num_nodes();
+        self.started = bool::from_json(state.field("started")?)?;
+        if self.started {
+            self.compute = env.nominal_compute_times();
+        }
+        self.queue = queue_from_json(state.field("queue")?)?;
+        for (_, _, done) in self.queue.entries() {
+            check_node_index(done.node, n)?;
+            check_node_index(done.peer, n)?;
+        }
+        self.iters = Vec::from_json(state.field("iters")?)?;
+        if self.started && self.iters.len() != n {
+            return Err(JsonError::schema(format!(
+                "checkpoint has {} iteration counters, environment has {n} nodes",
+                self.iters.len()
+            )));
+        }
+        self.blocked = Vec::from_json(state.field("blocked")?)?;
+        for &b in &self.blocked {
+            check_node_index(b, n)?;
+        }
+        self.pending_post = match state.field("pending_post")? {
+            Json::Null => None,
+            p => {
+                let node = usize::from_json(p.field("node")?)?;
+                check_node_index(node, n)?;
+                Some((
+                    node,
+                    f64::from_json(p.field("now")?)?,
+                    f64::from_json(p.field("compute_s")?)?,
+                ))
+            }
+        };
+        Ok(())
     }
 }
 

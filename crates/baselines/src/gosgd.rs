@@ -9,7 +9,7 @@
 //! hook re-weights.
 
 use netmax_core::engine::{
-    run_gossip, Algorithm, Environment, GossipBehavior, PeerChoice, RunReport,
+    Algorithm, Environment, GossipBehavior, GossipDriver, PeerChoice, SessionDriver,
 };
 use rand::Rng;
 
@@ -47,8 +47,8 @@ impl Algorithm for GoSgd {
         "gosgd"
     }
 
-    fn run(&mut self, env: &mut Environment) -> RunReport {
-        run_gossip(self, env, self.name())
+    fn driver(&mut self) -> Box<dyn SessionDriver + '_> {
+        Box::new(GossipDriver::new(self, "gosgd"))
     }
 }
 

@@ -14,7 +14,11 @@
 //!   which is exactly the bias the paper blames for PS-async's poor
 //!   per-epoch convergence in Fig. 14(a).
 
-use netmax_core::engine::{Algorithm, Environment, Recorder, RunReport};
+use netmax_core::engine::{
+    check_node_index, queue_from_json, queue_to_json, Algorithm, DriverEvent, Environment,
+    SessionDriver,
+};
+use netmax_json::{FromJson, Json, JsonError, ToJson};
 use netmax_ml::optim::SgdState;
 use netmax_net::EventQueue;
 
@@ -52,100 +56,6 @@ impl ParameterServer {
             2.0 * env.comm_time(0, i, now) * share
         }
     }
-
-    fn run_sync(&self, env: &mut Environment) -> RunReport {
-        let n = env.num_nodes();
-        let mut rec = Recorder::new();
-
-        // Global model starts from worker 0's init; broadcast.
-        let mut global = env.pull_params(0);
-        for i in 1..n {
-            env.nodes[i].model.params_mut().copy_from_slice(&global);
-        }
-        let mut server_opt = SgdState::new(global.len());
-
-        while !env.should_stop() {
-            let now = env.nodes[0].clock;
-            let mut mean_grad: Vec<f32> = Vec::new();
-            let mut compute = Vec::with_capacity(n);
-            for i in 0..n {
-                let (g, c) = env.compute_gradient(i);
-                compute.push(c);
-                if mean_grad.is_empty() {
-                    mean_grad = g;
-                } else {
-                    for (a, b) in mean_grad.iter_mut().zip(&g) {
-                        *a += b;
-                    }
-                }
-            }
-            let inv = 1.0 / n as f32;
-            for a in &mut mean_grad {
-                *a *= inv;
-            }
-            let c_max = compute.iter().copied().fold(0.0, f64::max);
-            // All workers exchange with the shared server NIC concurrently.
-            let comm = (0..n)
-                .map(|i| Self::round_trip(env, i, now + c_max, n as f64))
-                .fold(0.0, f64::max);
-
-            let lr = env.workload.optim.lr_at(env.mean_epoch());
-            server_opt.step(&env.workload.optim, lr, &mut global, &mean_grad);
-            for (i, &c) in compute.iter().enumerate() {
-                env.nodes[i].model.params_mut().copy_from_slice(&global);
-                env.book_iteration(i, c, c_max + comm);
-            }
-            env.global_step += n as u64;
-            rec.maybe_record(env);
-        }
-        rec.finish(env, self.name())
-    }
-
-    fn run_async(&self, env: &mut Environment) -> RunReport {
-        let n = env.num_nodes();
-        let mut rec = Recorder::new();
-
-        let mut global = env.pull_params(0);
-        for i in 1..n {
-            env.nodes[i].model.params_mut().copy_from_slice(&global);
-        }
-        let mut server_opt = SgdState::new(global.len());
-
-        // Per-worker completion events; steady-state NIC sharing ≈ n ways.
-        let mut queue: EventQueue<usize> = EventQueue::new();
-        let compute: Vec<f64> = (0..n)
-            .map(|i| {
-                let b = env.partition.batch_size(i, env.workload.batch_size);
-                env.workload.profile.compute_time(b)
-            })
-            .collect();
-        let share = n as f64;
-        for (i, &c) in compute.iter().enumerate() {
-            let rt = Self::round_trip(env, i, 0.0, share);
-            queue.push(env.cfg.execution.iteration_time(c, rt), i);
-        }
-
-        while let Some((now, i)) = queue.pop() {
-            // Worker i finished: its gradient (computed on its stale copy)
-            // reaches the server, which applies it immediately.
-            let (grad, _c) = env.compute_gradient(i);
-            let lr = env.lr(i);
-            server_opt.step(&env.workload.optim, lr, &mut global, &grad);
-            // Worker receives the fresh model.
-            env.nodes[i].model.params_mut().copy_from_slice(&global);
-
-            let rt = Self::round_trip(env, i, now, share);
-            let iter = env.cfg.execution.iteration_time(compute[i], rt);
-            env.book_iteration(i, compute[i], now - env.nodes[i].clock);
-            env.global_step += 1;
-            rec.maybe_record(env);
-            if env.should_stop() {
-                break;
-            }
-            queue.push(now + iter, i);
-        }
-        rec.finish(env, self.name())
-    }
 }
 
 impl Algorithm for ParameterServer {
@@ -156,11 +66,221 @@ impl Algorithm for ParameterServer {
         }
     }
 
-    fn run(&mut self, env: &mut Environment) -> RunReport {
+    fn driver(&mut self) -> Box<dyn SessionDriver + '_> {
         match self.flavor {
-            Flavor::Sync => self.run_sync(env),
-            Flavor::Async => self.run_async(env),
+            Flavor::Sync => Box::new(PsSyncDriver { server: None }),
+            Flavor::Async => Box::new(PsAsyncDriver {
+                server: None,
+                queue: EventQueue::new(),
+                compute: Vec::new(),
+                pending_push: None,
+            }),
         }
+    }
+}
+
+/// The server-side state both flavours carry across steps: the global
+/// model and the server's own momentum buffer. `None` until the first
+/// advance broadcasts the initial model.
+struct ServerState {
+    global: Vec<f32>,
+    opt: SgdState,
+}
+
+impl ServerState {
+    /// Broadcasts worker 0's init as the global model.
+    fn broadcast(env: &mut Environment) -> Self {
+        let global = env.pull_params(0);
+        for i in 1..env.num_nodes() {
+            env.nodes[i].model.params_mut().copy_from_slice(&global);
+        }
+        let opt = SgdState::new(global.len());
+        Self { global, opt }
+    }
+
+    fn checkpoint(&self) -> Json {
+        Json::obj([
+            ("global", self.global.to_json()),
+            ("velocity", self.opt.velocity().to_json()),
+        ])
+    }
+
+    fn restore(state: &Json) -> Result<Self, JsonError> {
+        let global: Vec<f32> = Vec::from_json(state.field("global")?)?;
+        let velocity: Vec<f32> = Vec::from_json(state.field("velocity")?)?;
+        if velocity.len() != global.len() {
+            return Err(JsonError::schema("server optimiser state length mismatch".into()));
+        }
+        let mut opt = SgdState::new(global.len());
+        opt.velocity_mut().copy_from_slice(&velocity);
+        Ok(Self { global, opt })
+    }
+}
+
+/// Round-granular session driver for PS-sync: one advance = one
+/// synchronous push/aggregate/pull round.
+struct PsSyncDriver {
+    server: Option<ServerState>,
+}
+
+impl SessionDriver for PsSyncDriver {
+    fn name(&self) -> &str {
+        "ps-syn"
+    }
+
+    fn advance(&mut self, env: &mut Environment) -> DriverEvent {
+        let n = env.num_nodes();
+        let server = self.server.get_or_insert_with(|| ServerState::broadcast(env));
+
+        let now = env.nodes[0].clock;
+        let mut mean_grad: Vec<f32> = Vec::new();
+        let mut compute = Vec::with_capacity(n);
+        for i in 0..n {
+            let (g, c) = env.compute_gradient(i);
+            compute.push(c);
+            if mean_grad.is_empty() {
+                mean_grad = g;
+            } else {
+                for (a, b) in mean_grad.iter_mut().zip(&g) {
+                    *a += b;
+                }
+            }
+        }
+        let inv = 1.0 / n as f32;
+        for a in &mut mean_grad {
+            *a *= inv;
+        }
+        let c_max = compute.iter().copied().fold(0.0, f64::max);
+        // All workers exchange with the shared server NIC concurrently.
+        let comm = (0..n)
+            .map(|i| ParameterServer::round_trip(env, i, now + c_max, n as f64))
+            .fold(0.0, f64::max);
+
+        let lr = env.workload.optim.lr_at(env.mean_epoch());
+        server.opt.step(&env.workload.optim, lr, &mut server.global, &mean_grad);
+        for (i, &c) in compute.iter().enumerate() {
+            env.nodes[i].model.params_mut().copy_from_slice(&server.global);
+            env.book_iteration(i, c, c_max + comm);
+        }
+        env.global_step += n as u64;
+        DriverEvent::Round { steps: n as u64, time_s: env.nodes[0].clock }
+    }
+
+    fn checkpoint_state(&self) -> Json {
+        match &self.server {
+            Some(s) => s.checkpoint(),
+            None => Json::Null,
+        }
+    }
+
+    fn restore_state(&mut self, _env: &mut Environment, state: &Json) -> Result<(), JsonError> {
+        self.server = match state {
+            Json::Null => None,
+            s => Some(ServerState::restore(s)?),
+        };
+        Ok(())
+    }
+}
+
+/// Event-granular session driver for PS-async: one advance = one worker's
+/// push/apply/pull exchange. Re-scheduling a worker is deferred to the
+/// advance after its completion so the session's stop check sits exactly
+/// where the classic loop's `break` did.
+struct PsAsyncDriver {
+    server: Option<ServerState>,
+    queue: EventQueue<usize>,
+    /// Nominal per-node compute times (derived from the environment).
+    compute: Vec<f64>,
+    /// The next completion `(worker, time)` to enqueue before the next
+    /// pop.
+    pending_push: Option<(usize, f64)>,
+}
+
+impl SessionDriver for PsAsyncDriver {
+    fn name(&self) -> &str {
+        "ps-asyn"
+    }
+
+    fn advance(&mut self, env: &mut Environment) -> DriverEvent {
+        let n = env.num_nodes();
+        // Steady-state NIC sharing ≈ n ways.
+        let share = n as f64;
+        if self.server.is_none() {
+            self.server = Some(ServerState::broadcast(env));
+            self.compute = env.nominal_compute_times();
+            for (i, &c) in self.compute.iter().enumerate() {
+                let rt = ParameterServer::round_trip(env, i, 0.0, share);
+                self.queue.push(env.cfg.execution.iteration_time(c, rt), i);
+            }
+        }
+        if let Some((i, t)) = self.pending_push.take() {
+            self.queue.push(t, i);
+        }
+        let Some((now, i)) = self.queue.pop() else {
+            return DriverEvent::Exhausted;
+        };
+        let server = self.server.as_mut().expect("server initialised above");
+        // Worker i finished: its gradient (computed on its stale copy)
+        // reaches the server, which applies it immediately.
+        let (grad, _c) = env.compute_gradient(i);
+        let lr = env.lr(i);
+        server.opt.step(&env.workload.optim, lr, &mut server.global, &grad);
+        // Worker receives the fresh model.
+        env.nodes[i].model.params_mut().copy_from_slice(&server.global);
+
+        let rt = ParameterServer::round_trip(env, i, now, share);
+        let iter = env.cfg.execution.iteration_time(self.compute[i], rt);
+        let booked = now - env.nodes[i].clock;
+        env.book_iteration(i, self.compute[i], booked);
+        env.global_step += 1;
+        self.pending_push = Some((i, now + iter));
+        DriverEvent::Step { node: i, peer: None, iteration_s: booked }
+    }
+
+    fn checkpoint_state(&self) -> Json {
+        Json::obj([
+            (
+                "server",
+                match &self.server {
+                    Some(s) => s.checkpoint(),
+                    None => Json::Null,
+                },
+            ),
+            ("queue", queue_to_json(&self.queue)),
+            (
+                "pending_push",
+                match self.pending_push {
+                    Some((i, t)) => {
+                        Json::obj([("node", i.to_json()), ("time", t.to_json())])
+                    }
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
+
+    fn restore_state(&mut self, env: &mut Environment, state: &Json) -> Result<(), JsonError> {
+        self.server = match state.field("server")? {
+            Json::Null => None,
+            s => Some(ServerState::restore(s)?),
+        };
+        if self.server.is_some() {
+            self.compute = env.nominal_compute_times();
+        }
+        self.queue = queue_from_json(state.field("queue")?)?;
+        let n = env.num_nodes();
+        for (_, _, &worker) in self.queue.entries() {
+            check_node_index(worker, n)?;
+        }
+        self.pending_push = match state.field("pending_push")? {
+            Json::Null => None,
+            p => {
+                let node = usize::from_json(p.field("node")?)?;
+                check_node_index(node, n)?;
+                Some((node, f64::from_json(p.field("time")?)?))
+            }
+        };
+        Ok(())
     }
 }
 

@@ -12,7 +12,7 @@
 //! bandwidth across the concurrently active groups.
 
 use crate::collectives::ring_allreduce_time;
-use netmax_core::engine::{Algorithm, Environment, Recorder, RunReport};
+use netmax_core::engine::{Algorithm, DriverEvent, Environment, SessionDriver};
 use rand::seq::SliceRandom;
 
 /// Randomized partial-allreduce training.
@@ -37,68 +37,82 @@ impl Algorithm for Prague {
         "prague"
     }
 
-    fn run(&mut self, env: &mut Environment) -> RunReport {
+    fn driver(&mut self) -> Box<dyn SessionDriver + '_> {
+        Box::new(PragueDriver { group_size: self.group_size })
+    }
+}
+
+/// Round-granular session driver: one advance = one full round of random
+/// grouping plus every group's partial-allreduce. The only mutable state
+/// is the environment's (the grouping draws from `env.rng`), so the
+/// driver itself checkpoints as stateless.
+struct PragueDriver {
+    group_size: usize,
+}
+
+impl SessionDriver for PragueDriver {
+    fn name(&self) -> &str {
+        "prague"
+    }
+
+    fn advance(&mut self, env: &mut Environment) -> DriverEvent {
         let n = env.num_nodes();
-        let mut rec = Recorder::new();
         let bytes = env.workload.profile.param_bytes();
 
-        while !env.should_stop() {
-            // Random group assignment for this round.
-            let mut order: Vec<usize> = (0..n).collect();
-            order.shuffle(&mut env.rng);
-            let groups: Vec<Vec<usize>> = partition_groups(&order, self.group_size);
-            let n_groups = groups.len().max(1);
-            // Concurrent partial-allreduces contend for the shared fabric.
-            // Contention is partial — groups overlap in time but not
-            // fully, and only cross-server hops share physical links — so
-            // each extra concurrent group costs 25% extra transfer time.
-            let share = 1.0 / (1.0 + 0.25 * (n_groups as f64 - 1.0));
+        // Random group assignment for this round.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(&mut env.rng);
+        let groups: Vec<Vec<usize>> = partition_groups(&order, self.group_size);
+        let n_groups = groups.len().max(1);
+        // Concurrent partial-allreduces contend for the shared fabric.
+        // Contention is partial — groups overlap in time but not
+        // fully, and only cross-server hops share physical links — so
+        // each extra concurrent group costs 25% extra transfer time.
+        let share = 1.0 / (1.0 + 0.25 * (n_groups as f64 - 1.0));
 
-            for group in &groups {
-                // Group rendezvous: members wait for the latest member.
-                let start = group
-                    .iter()
-                    .map(|&i| env.nodes[i].clock)
-                    .fold(0.0f64, f64::max);
+        for group in &groups {
+            // Group rendezvous: members wait for the latest member.
+            let start = group
+                .iter()
+                .map(|&i| env.nodes[i].clock)
+                .fold(0.0f64, f64::max);
 
-                // Local SGD step on every member (models, not gradients).
-                let mut compute = Vec::with_capacity(group.len());
-                for &i in group {
-                    compute.push(env.gradient_step(i));
-                }
-                let c_max = compute.iter().copied().fold(0.0, f64::max);
-
-                let comm = if group.len() >= 2 {
-                    ring_allreduce_time(env.network.as_ref(), group, bytes, start + c_max, share)
-                } else {
-                    0.0
-                };
-
-                // Partial-allreduce: group-average the member models.
-                if group.len() >= 2 {
-                    let dim = env.nodes[group[0]].model.num_params();
-                    let mut mean = vec![0.0f32; dim];
-                    let inv = 1.0 / group.len() as f32;
-                    for &i in group {
-                        for (a, p) in mean.iter_mut().zip(env.nodes[i].model.params()) {
-                            *a += p * inv;
-                        }
-                    }
-                    for &i in group {
-                        env.nodes[i].model.params_mut().copy_from_slice(&mean);
-                    }
-                }
-
-                for (slot, &i) in group.iter().enumerate() {
-                    // Rendezvous wait is booked as exposed communication.
-                    let wait = start - env.nodes[i].clock;
-                    env.book_iteration(i, compute[slot], wait + c_max + comm);
-                }
-                env.global_step += group.len() as u64;
+            // Local SGD step on every member (models, not gradients).
+            let mut compute = Vec::with_capacity(group.len());
+            for &i in group {
+                compute.push(env.gradient_step(i));
             }
-            rec.maybe_record(env);
+            let c_max = compute.iter().copied().fold(0.0, f64::max);
+
+            let comm = if group.len() >= 2 {
+                ring_allreduce_time(env.network.as_ref(), group, bytes, start + c_max, share)
+            } else {
+                0.0
+            };
+
+            // Partial-allreduce: group-average the member models.
+            if group.len() >= 2 {
+                let dim = env.nodes[group[0]].model.num_params();
+                let mut mean = vec![0.0f32; dim];
+                let inv = 1.0 / group.len() as f32;
+                for &i in group {
+                    for (a, p) in mean.iter_mut().zip(env.nodes[i].model.params()) {
+                        *a += p * inv;
+                    }
+                }
+                for &i in group {
+                    env.nodes[i].model.params_mut().copy_from_slice(&mean);
+                }
+            }
+
+            for (slot, &i) in group.iter().enumerate() {
+                // Rendezvous wait is booked as exposed communication.
+                let wait = start - env.nodes[i].clock;
+                env.book_iteration(i, compute[slot], wait + c_max + comm);
+            }
+            env.global_step += group.len() as u64;
         }
-        rec.finish(env, self.name())
+        DriverEvent::Round { steps: n as u64, time_s: env.wall_clock() }
     }
 }
 

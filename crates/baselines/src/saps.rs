@@ -16,7 +16,7 @@
 //! the paper criticises.
 
 use netmax_core::engine::{
-    run_gossip, Algorithm, Environment, GossipBehavior, PeerChoice, RunReport,
+    Algorithm, Environment, GossipBehavior, GossipDriver, PeerChoice, SessionDriver,
 };
 use netmax_net::Topology;
 use rand::Rng;
@@ -104,8 +104,16 @@ impl SapsPsgd {
 }
 
 impl GossipBehavior for SapsPsgd {
+    /// The warm-up probe: build the initially-fast subgraph. Runs both on
+    /// a fresh start and on checkpoint restore — the probe is a
+    /// deterministic function of the network at `t = 0`, so rebuilding it
+    /// reproduces the frozen subgraph exactly (nothing to serialize).
+    fn on_start(&mut self, env: &mut Environment) {
+        self.subgraph = Some(Self::build_subgraph(env, self.target_degree));
+    }
+
     fn select_peer(&mut self, env: &mut Environment, i: usize) -> PeerChoice {
-        let sub = self.subgraph.as_ref().expect("subgraph built in run()");
+        let sub = self.subgraph.as_ref().expect("subgraph built at session start");
         let nbrs = sub.neighbors(i);
         debug_assert!(!nbrs.is_empty(), "connected subgraph leaves no node isolated");
         let k = env.node_rng(i).gen_range(0..nbrs.len());
@@ -136,9 +144,8 @@ impl Algorithm for SapsPsgd {
         "saps-psgd"
     }
 
-    fn run(&mut self, env: &mut Environment) -> RunReport {
-        self.subgraph = Some(Self::build_subgraph(env, self.target_degree));
-        run_gossip(self, env, self.name())
+    fn driver(&mut self) -> Box<dyn SessionDriver + '_> {
+        Box::new(GossipDriver::new(self, "saps-psgd"))
     }
 }
 

@@ -1,47 +1,73 @@
 //! `netmax-bench` — the one runner CLI for every registered experiment.
 //!
 //! ```text
-//! netmax-bench list [--quick|--tiny]
+//! netmax-bench list [--json] [--quick|--tiny]
 //! netmax-bench run <name|group|all> [--quick|--tiny] [--seeds N|a,b,c]
 //!                  [--json out.json] [--threads N] [--sequential]
+//!                  [--progress] [--deadline-s S]
+//!                  [--checkpoint-dir DIR [--suspend-steps K]]
+//!                  [--resume DIR]
 //! netmax-bench show <artifact.json>
 //! ```
 //!
-//! `run` executes every `(arm, seed)` cell of the matching experiments on
-//! a scoped thread pool (runs are deterministic per cell, so parallelism
-//! cannot change results), prints one summary table per experiment, and
-//! with `--json` writes the versioned `netmax-bench/run-report/v1`
-//! artifact. `show` parses such an artifact back and re-prints its
-//! summaries — it doubles as a schema check in CI.
+//! `run` drives every `(arm, seed)` cell of the matching experiments
+//! through step-wise sessions on a scoped thread pool (runs are
+//! deterministic per cell, so parallelism cannot change results), prints
+//! one summary table per experiment, and with `--json` writes the
+//! versioned `netmax-bench/run-report/v1` artifact. With
+//! `--checkpoint-dir` each cell is *suspended* after `--suspend-steps`
+//! global steps and the experiment is written as a versioned
+//! `netmax-bench/checkpoint/v1` document instead; `--resume` picks those
+//! documents up and finishes them — byte-identical to an uninterrupted
+//! run. `show` parses a run artifact back and re-prints its summaries —
+//! it doubles as a schema check in CI.
 
-use netmax_bench::registry::{find, registry};
+use netmax_bench::registry::{find, registry, registry_json};
+use netmax_bench::runner::{CellProgress, RunOptions};
 use netmax_bench::{common, runner, Mode};
 use netmax_core::engine::AlgorithmKind;
 use netmax_json::Json;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-/// Flags that consume the following argument as their value.
-const VALUE_FLAGS: [&str; 3] = ["--seeds", "--json", "--threads"];
+/// One command's flag vocabulary: flags that consume a value, and boolean
+/// flags. Anything else starting with `-` is an error — a typo must not
+/// silently drop a requested artifact or determinism setting.
+struct FlagSpec {
+    value: &'static [&'static str],
+    boolean: &'static [&'static str],
+}
 
-/// Boolean flags.
-const BOOL_FLAGS: [&str; 3] = ["--sequential", "--quick", "--tiny"];
+const LIST_FLAGS: FlagSpec = FlagSpec { value: &[], boolean: &["--json", "--quick", "--tiny"] };
+const RUN_FLAGS: FlagSpec = FlagSpec {
+    value: &[
+        "--seeds",
+        "--json",
+        "--threads",
+        "--deadline-s",
+        "--checkpoint-dir",
+        "--suspend-steps",
+        "--resume",
+    ],
+    boolean: &["--sequential", "--quick", "--tiny", "--progress"],
+};
+const SHOW_FLAGS: FlagSpec = FlagSpec { value: &[], boolean: &[] };
 
-/// Splits argv into positional arguments, skipping flags *and* the value
-/// each value-taking flag consumes (so `run --seeds 2 sanity` parses the
-/// target as `sanity`, not `2`). Unknown or `--flag=value`-form options
-/// are an error rather than silently ignored — a typo must not drop a
-/// requested artifact or determinism setting.
-fn positionals(args: &[String]) -> Result<Vec<&str>, String> {
+/// Splits argv into positional arguments under a command's flag spec,
+/// skipping the value each value-taking flag consumes (so `run --seeds 2
+/// sanity` parses the target as `sanity`, not `2`). Unknown or
+/// `--flag=value`-form options are an error.
+fn positionals<'a>(args: &'a [String], spec: &FlagSpec) -> Result<Vec<&'a str>, String> {
     let mut out = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
-        if VALUE_FLAGS.contains(&a.as_str()) {
+        if spec.value.contains(&a.as_str()) {
             if it.next().is_none() {
                 return Err(format!("{a} needs a value"));
             }
         } else if a.starts_with('-') {
-            if !BOOL_FLAGS.contains(&a.as_str()) {
+            if !spec.boolean.contains(&a.as_str()) {
                 return Err(format!(
                     "unknown option `{a}` (note: `--flag=value` is not supported, use `--flag value`)"
                 ));
@@ -59,7 +85,29 @@ fn main() -> ExitCode {
         usage();
         return ExitCode::SUCCESS;
     }
-    let positional = match positionals(&args) {
+    // The command may appear anywhere among the flags (`--tiny list`
+    // works): it is the first argument matching a known command name.
+    // Flag *values* can't be confused for it — no command name doubles as
+    // a plausible value ("run --seeds 2 sanity" finds "run" first).
+    let known = ["list", "run", "show", "help"];
+    let Some(cmd) = args.iter().find(|a| known.contains(&a.as_str())) else {
+        if let Some(other) = args.iter().find(|a| !a.starts_with('-')) {
+            eprintln!("unknown command: {other}");
+        }
+        usage();
+        return ExitCode::from(2);
+    };
+    let spec = match cmd.as_str() {
+        "list" => &LIST_FLAGS,
+        "run" => &RUN_FLAGS,
+        "show" => &SHOW_FLAGS,
+        "help" => {
+            usage();
+            return ExitCode::SUCCESS;
+        }
+        _ => unreachable!("filtered to known commands"),
+    };
+    let mut positional = match positionals(&args, spec) {
         Ok(p) => p,
         Err(e) => {
             eprintln!("{e}");
@@ -67,23 +115,17 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let Some(cmd) = positional.first() else {
-        usage();
-        return ExitCode::from(2);
-    };
-    match *cmd {
-        "list" => list(),
-        "run" => run(&args, positional.get(1).copied()),
-        "show" => show(positional.get(1).copied()),
-        "help" => {
-            usage();
-            ExitCode::SUCCESS
-        }
-        other => {
-            eprintln!("unknown command: {other}");
-            usage();
-            ExitCode::from(2)
-        }
+    // Drop the command token itself; what remains is the operand list.
+    let idx = positional
+        .iter()
+        .position(|p| p == cmd)
+        .expect("command is a positional");
+    positional.remove(idx);
+    match cmd.as_str() {
+        "list" => list(&args),
+        "run" => run(&args, positional.first().copied()),
+        "show" => show(positional.first().copied()),
+        _ => unreachable!("filtered to known commands"),
     }
 }
 
@@ -99,10 +141,19 @@ commands:
 options:
   --quick / --tiny          compressed experiment scale (default: full; also
                             honoured via NETMAX_MODE=quick|tiny)
+  --json                    list: emit the registry as JSON on stdout
   --seeds <N | a,b,c>       N derived seeds, or an explicit seed list
-  --json <path>             write the versioned JSON run artifact
+  --json <path>             run: write the versioned JSON run artifact
   --threads <N>             worker threads (default: all cores)
-  --sequential              force one thread (same results, longer wall-clock)"
+  --sequential              force one thread (same results, longer wall-clock)
+  --progress                stream per-sample progress lines to stderr
+  --deadline-s <S>          real-time budget per cell; expiry finishes the
+                            cell early (partial report; non-deterministic)
+  --checkpoint-dir <DIR>    suspend each cell mid-run and write one
+                            netmax-bench/checkpoint/v1 document per experiment
+  --suspend-steps <K>       global steps before suspension (default 100)
+  --resume <DIR>            resume checkpoint documents written by
+                            --checkpoint-dir and run them to completion"
     );
 }
 
@@ -110,9 +161,17 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
     args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(|s| s.as_str())
 }
 
-fn list() -> ExitCode {
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+fn list(args: &[String]) -> ExitCode {
     let mode = Mode::from_env();
     let specs = registry(mode);
+    if has_flag(args, "--json") {
+        println!("{}", registry_json(&specs).pretty());
+        return ExitCode::SUCCESS;
+    }
     let seeds_heading = "seeds";
     println!(
         "{:<32} {:<8} {:>3}  {:<24} {:<7} {:>6} {:>5}x{seeds_heading}",
@@ -144,11 +203,44 @@ fn parse_seeds(text: &str, base: &[u64]) -> Option<Vec<u64>> {
     text.split(',').map(|t| t.trim().parse::<u64>().ok()).collect()
 }
 
+/// One experiment's checkpoint path inside a checkpoint directory.
+fn checkpoint_path(dir: &Path, experiment: &str) -> PathBuf {
+    dir.join(format!("{}.checkpoint.json", experiment.replace('/', "__")))
+}
+
 fn run(args: &[String], query: Option<&str>) -> ExitCode {
     let Some(query) = query else {
         eprintln!("run needs an experiment name or group (see `netmax-bench list`)");
         return ExitCode::from(2);
     };
+    let checkpoint_dir = flag_value(args, "--checkpoint-dir").map(PathBuf::from);
+    let resume_dir = flag_value(args, "--resume").map(PathBuf::from);
+    if checkpoint_dir.is_some() && resume_dir.is_some() {
+        eprintln!("--checkpoint-dir and --resume are mutually exclusive");
+        return ExitCode::from(2);
+    }
+    if flag_value(args, "--suspend-steps").is_some() && checkpoint_dir.is_none() {
+        eprintln!("--suspend-steps only makes sense with --checkpoint-dir");
+        return ExitCode::from(2);
+    }
+    if resume_dir.is_some() && flag_value(args, "--seeds").is_some() {
+        eprintln!("--seeds cannot be combined with --resume (seeds come from the checkpoint)");
+        return ExitCode::from(2);
+    }
+    if checkpoint_dir.is_some() && flag_value(args, "--json").is_some() {
+        eprintln!("--json cannot be combined with --checkpoint-dir (no reports are produced)");
+        return ExitCode::from(2);
+    }
+    if checkpoint_dir.is_some()
+        && (has_flag(args, "--progress") || flag_value(args, "--deadline-s").is_some())
+    {
+        eprintln!(
+            "--progress/--deadline-s cannot be combined with --checkpoint-dir \
+             (suspension is step-bounded, not sample- or time-driven)"
+        );
+        return ExitCode::from(2);
+    }
+
     let mode = Mode::from_env();
     let mut specs = find(&registry(mode), query);
     if specs.is_empty() {
@@ -164,30 +256,86 @@ fn run(args: &[String], query: Option<&str>) -> ExitCode {
             spec.seeds = seeds;
         }
     }
-    let threads = if args.iter().any(|a| a == "--sequential") {
+    let threads = if has_flag(args, "--sequential") {
         1
     } else {
-        flag_value(args, "--threads")
-            .and_then(|t| t.parse().ok())
-            .unwrap_or_else(runner::default_threads)
+        match flag_value(args, "--threads") {
+            Some(t) => match t.parse::<usize>() {
+                Ok(n) if n > 0 => n,
+                _ => {
+                    eprintln!("bad --threads value `{t}` (want a positive integer)");
+                    return ExitCode::from(2);
+                }
+            },
+            None => runner::default_threads(),
+        }
+    };
+    let deadline = match flag_value(args, "--deadline-s") {
+        Some(t) => match t.parse::<f64>() {
+            Ok(s) if s > 0.0 => Some(Duration::from_secs_f64(s)),
+            _ => {
+                eprintln!("bad --deadline-s value `{t}` (want positive seconds)");
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
+    };
+    let progress_fn = |p: CellProgress<'_>| {
+        eprintln!(
+            "  [{} {} seed={}] step {} epoch {:.2} t={:.1}s loss {:.4}",
+            p.experiment, p.label, p.seed, p.global_step, p.epoch, p.sim_time_s, p.train_loss
+        );
+    };
+    let opts = RunOptions {
+        threads,
+        progress: has_flag(args, "--progress").then_some(&progress_fn),
+        cell_deadline: deadline,
     };
 
-    let mut results = Vec::new();
-    for spec in &specs {
-        let cells = spec.num_cells();
-        eprintln!(
-            "running {} ({} cells on {} thread{})...",
-            spec.name,
-            cells,
-            threads.min(cells.max(1)),
-            if threads == 1 { "" } else { "s" }
-        );
-        let t0 = Instant::now();
-        let result = runner::execute_with_threads(spec, threads);
-        eprintln!("  done in {:.1}s real time", t0.elapsed().as_secs_f64());
-        print_result(&result);
-        results.push(result);
+    if let Some(dir) = checkpoint_dir {
+        let suspend_steps = match flag_value(args, "--suspend-steps") {
+            Some(t) => match t.parse::<u64>() {
+                Ok(k) if k > 0 => k,
+                _ => {
+                    eprintln!("bad --suspend-steps value `{t}` (want a positive integer)");
+                    return ExitCode::from(2);
+                }
+            },
+            None => 100,
+        };
+        return suspend(&specs, &dir, threads, suspend_steps);
     }
+
+    let results = if let Some(dir) = resume_dir {
+        match resume_from(&specs, &dir, &opts) {
+            Ok(r) => r,
+            Err(code) => return code,
+        }
+    } else {
+        let mut results = Vec::new();
+        for spec in &specs {
+            let cells = spec.num_cells();
+            eprintln!(
+                "running {} ({} cells on {} thread{})...",
+                spec.name,
+                cells,
+                threads.min(cells.max(1)),
+                if threads == 1 { "" } else { "s" }
+            );
+            let t0 = Instant::now();
+            let result = match runner::try_execute(spec, &opts) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("{}: {e}", spec.name);
+                    return ExitCode::from(2);
+                }
+            };
+            eprintln!("  done in {:.1}s real time", t0.elapsed().as_secs_f64());
+            print_result(&result);
+            results.push(result);
+        }
+        results
+    };
 
     if let Some(path) = flag_value(args, "--json") {
         let doc = runner::artifact(&results);
@@ -200,6 +348,93 @@ fn run(args: &[String], query: Option<&str>) -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// `run --checkpoint-dir`: suspend every matching experiment mid-run and
+/// write one checkpoint document per experiment.
+fn suspend(
+    specs: &[netmax_bench::ExperimentSpec],
+    dir: &Path,
+    threads: usize,
+    suspend_steps: u64,
+) -> ExitCode {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("could not create {}: {e}", dir.display());
+        return ExitCode::FAILURE;
+    }
+    for spec in specs {
+        eprintln!(
+            "suspending {} after {} global steps per cell...",
+            spec.name, suspend_steps
+        );
+        let suspended = match runner::execute_suspended(spec, threads, suspend_steps) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{}: {e}", spec.name);
+                return ExitCode::from(2);
+            }
+        };
+        let path = checkpoint_path(dir, &spec.name);
+        match std::fs::write(&path, runner::checkpoint_doc(&suspended).pretty()) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("could not write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    eprintln!("resume with `netmax-bench run <name> --resume {}`", dir.display());
+    ExitCode::SUCCESS
+}
+
+/// `run --resume`: load each matching experiment's checkpoint document and
+/// run it to completion.
+fn resume_from(
+    specs: &[netmax_bench::ExperimentSpec],
+    dir: &Path,
+    opts: &RunOptions<'_>,
+) -> Result<Vec<runner::ExperimentResult>, ExitCode> {
+    let mut results = Vec::new();
+    for spec in specs {
+        let path = checkpoint_path(dir, &spec.name);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("could not read {}: {e}", path.display());
+                return Err(ExitCode::FAILURE);
+            }
+        };
+        let doc = match Json::parse(&text) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("{}: {e}", path.display());
+                return Err(ExitCode::FAILURE);
+            }
+        };
+        // The checkpoint embeds the exact spec that produced it; resuming
+        // uses that spec, not the registry's (they normally agree, but the
+        // checkpoint is the ground truth for determinism).
+        let suspended = match runner::parse_checkpoint(&doc) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{}: {e}", path.display());
+                return Err(ExitCode::FAILURE);
+            }
+        };
+        eprintln!("resuming {} ({} cells)...", suspended.spec.name, suspended.cells.len());
+        let t0 = Instant::now();
+        let result = match runner::resume(&suspended, opts) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{}: {e}", suspended.spec.name);
+                return Err(ExitCode::from(2));
+            }
+        };
+        eprintln!("  done in {:.1}s real time", t0.elapsed().as_secs_f64());
+        print_result(&result);
+        results.push(result);
+    }
+    Ok(results)
 }
 
 fn print_result(result: &runner::ExperimentResult) {

@@ -30,6 +30,10 @@ pub mod runner;
 pub mod spec;
 
 pub use common::{ExpCtx, Mode, LINK_CHANGE_PERIOD_S, MONITOR_PERIOD_S};
-pub use registry::registry;
-pub use runner::{execute, execute_with_threads, CellResult, ExperimentResult};
+pub use registry::{registry, registry_json};
+pub use runner::{
+    checkpoint_doc, execute, execute_suspended, execute_with_threads, parse_checkpoint, resume,
+    try_execute, CellProgress, CellResult, ExperimentResult, RunOptions, SuspendedCell,
+    SuspendedExperiment,
+};
 pub use spec::{Arm, ExperimentSpec, MetricKind};

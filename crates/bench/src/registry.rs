@@ -75,6 +75,49 @@ pub fn registry(mode: Mode) -> Vec<ExperimentSpec> {
     specs
 }
 
+/// Schema tag of the machine-readable registry listing
+/// (`netmax-bench list --json`).
+pub const REGISTRY_SCHEMA: &str = "netmax-bench/registry/v1";
+
+/// The registry as a machine-readable document: one entry per experiment
+/// with its name, group, title, scenario shape, arm kinds, and seed count.
+pub fn registry_json(specs: &[ExperimentSpec]) -> netmax_json::Json {
+    use netmax_json::{Json, ToJson};
+    Json::obj([
+        ("schema", Json::Str(REGISTRY_SCHEMA.into())),
+        (
+            "experiments",
+            Json::Arr(
+                specs
+                    .iter()
+                    .map(|s| {
+                        Json::obj([
+                            ("name", s.name.to_json()),
+                            ("group", s.group.to_json()),
+                            ("title", s.title.to_json()),
+                            ("workers", s.scenario.workers().to_json()),
+                            ("workload", s.scenario.workload_spec().kind.name().to_json()),
+                            ("network", s.scenario.network_kind().name().to_json()),
+                            ("max_epochs", s.scenario.cfg().max_epochs.to_json()),
+                            (
+                                "arms",
+                                Json::Arr(
+                                    s.arms
+                                        .iter()
+                                        .map(|a| a.algorithm.name().to_json())
+                                        .collect(),
+                                ),
+                            ),
+                            ("seed_count", s.effective_seeds().len().to_json()),
+                            ("cells", s.num_cells().to_json()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
 /// Looks experiments up by exact name or by group.
 pub fn find(specs: &[ExperimentSpec], query: &str) -> Vec<ExperimentSpec> {
     if query == "all" {
@@ -127,6 +170,26 @@ mod tests {
             for i in 0..env.num_nodes() {
                 assert!(!env.partition.node(i).is_empty(), "{}: empty shard", spec.name);
             }
+        }
+    }
+
+    #[test]
+    fn registry_json_lists_every_experiment() {
+        use netmax_json::{FromJson, Json};
+        let specs = registry(Mode::Tiny);
+        let doc = registry_json(&specs);
+        let reparsed = Json::parse(&doc.pretty()).unwrap();
+        assert_eq!(reparsed.field("schema").unwrap().as_str().unwrap(), REGISTRY_SCHEMA);
+        let entries = reparsed.field("experiments").unwrap().as_arr().unwrap();
+        assert_eq!(entries.len(), specs.len());
+        for (entry, spec) in entries.iter().zip(&specs) {
+            assert_eq!(String::from_json(entry.field("name").unwrap()).unwrap(), spec.name);
+            let arms = entry.field("arms").unwrap().as_arr().unwrap();
+            assert_eq!(arms.len(), spec.arms.len());
+            assert_eq!(
+                usize::from_json(entry.field("seed_count").unwrap()).unwrap(),
+                spec.effective_seeds().len()
+            );
         }
     }
 

@@ -2,25 +2,43 @@
 //! fanned out over a scoped thread pool.
 //!
 //! Every cell is fully independent — it builds its own [`Environment`]
-//! from the (pure-data) scenario and runs its own algorithm instance —
-//! and every run is deterministic via the engine's per-node RNG streams,
-//! so the parallel executor produces *byte-identical* reports to the
-//! sequential one; only wall-clock changes. The datasets are instantiated
-//! once per experiment and shared across cells through the workload's
-//! internal `Arc`s.
+//! from the (pure-data) scenario and drives its own algorithm instance
+//! through a step-wise [`Session`] — and every run is deterministic via
+//! the engine's per-node RNG streams, so the parallel executor produces
+//! *byte-identical* reports to the sequential one; only wall-clock
+//! changes. The datasets are instantiated once per experiment and shared
+//! across cells through the workload's internal `Arc`s.
+//!
+//! Executing through sessions buys the runner three capabilities the old
+//! blocking calls could not offer:
+//!
+//! * **progress callbacks** — [`RunOptions::progress`] fires on every
+//!   recorded sample of every cell, from whichever worker thread runs it;
+//! * **real-time deadlines** — [`RunOptions::cell_deadline`] finishes a
+//!   cell early (with a truthful partial report) when its real wall-clock
+//!   budget expires;
+//! * **suspend/resume** — [`execute_suspended`] checkpoints every cell
+//!   mid-run into a versioned `netmax-bench/checkpoint/v1` document and
+//!   [`resume`] continues it, byte-identical to an uninterrupted run.
 //!
 //! [`Environment`]: netmax_core::engine::Environment
 
 use crate::spec::{ExperimentSpec, MetricKind};
-use netmax_core::engine::{AlgorithmKind, ExecutionMode, RunReport};
+use netmax_core::engine::{
+    AlgorithmKind, ExecutionMode, RunReport, Session, SessionError, StepEvent,
+};
 use netmax_json::{FromJson, Json, JsonError, ToJson};
 use netmax_ml::profile::ModelProfile;
 use netmax_net::LinkQuality;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// Schema tag written into every artifact; bump on breaking changes.
 pub const ARTIFACT_SCHEMA: &str = "netmax-bench/run-report/v1";
+
+/// Schema tag of suspended-experiment checkpoint documents.
+pub const CHECKPOINT_SCHEMA: &str = "netmax-bench/checkpoint/v1";
 
 /// One `(arm, seed)` cell's outcome.
 #[derive(Debug, Clone)]
@@ -228,7 +246,48 @@ pub fn default_threads() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
+/// Live progress of one cell, handed to [`RunOptions::progress`] at every
+/// recorded sample.
+#[derive(Debug, Clone, Copy)]
+pub struct CellProgress<'a> {
+    /// The experiment name.
+    pub experiment: &'a str,
+    /// The cell's arm label.
+    pub label: &'a str,
+    /// The cell's training seed.
+    pub seed: u64,
+    /// Global steps completed so far.
+    pub global_step: u64,
+    /// Mean fractional epoch so far.
+    pub epoch: f64,
+    /// Simulated wall-clock so far (seconds).
+    pub sim_time_s: f64,
+    /// The sample's training loss.
+    pub train_loss: f64,
+}
+
+/// A progress callback; called from worker threads, so it must be `Sync`.
+pub type ProgressFn<'a> = dyn Fn(CellProgress<'_>) + Sync + 'a;
+
+/// Execution options for [`try_execute`] / [`resume`].
+#[derive(Default, Clone, Copy)]
+pub struct RunOptions<'p> {
+    /// Worker threads (0 ⇒ [`default_threads`]).
+    pub threads: usize,
+    /// Called after every recorded sample of every cell.
+    pub progress: Option<&'p ProgressFn<'p>>,
+    /// Real wall-clock budget per cell: when it expires the cell's session
+    /// finishes immediately and reports the partial run. **Breaks
+    /// cross-run determinism** (the cut point depends on machine speed) —
+    /// off by default, meant for smoke runs under CI time limits.
+    pub cell_deadline: Option<Duration>,
+}
+
 /// Runs every `(arm, seed)` cell of the spec on one thread, in grid order.
+///
+/// # Panics
+/// Panics if the spec fails session validation; [`try_execute`] surfaces
+/// the typed error instead.
 pub fn execute(spec: &ExperimentSpec) -> ExperimentResult {
     execute_with_threads(spec, 1)
 }
@@ -239,57 +298,311 @@ pub fn execute(spec: &ExperimentSpec) -> ExperimentResult {
 /// scenario and owns its algorithm instance, so the result is independent
 /// of scheduling; `threads = 1` and `threads = N` produce byte-identical
 /// reports, in the same grid order.
+///
+/// # Panics
+/// Panics if the spec fails session validation; [`try_execute`] surfaces
+/// the typed error instead.
 pub fn execute_with_threads(spec: &ExperimentSpec, threads: usize) -> ExperimentResult {
+    try_execute(spec, &RunOptions { threads, ..RunOptions::default() })
+        .unwrap_or_else(|e| panic!("experiment `{}` failed validation: {e}", spec.name))
+}
+
+/// The `(arm, seed)` grid of a spec, arms outermost.
+fn grid(spec: &ExperimentSpec) -> Vec<(usize, u64)> {
     let seeds = spec.effective_seeds();
-    let cells: Vec<(usize, u64)> = spec
-        .arms
+    spec.arms
         .iter()
         .enumerate()
         .flat_map(|(a, _)| seeds.iter().map(move |&s| (a, s)))
-        .collect();
+        .collect()
+}
+
+/// Fans `tasks` out over `threads` scoped workers, preserving task order
+/// in the result vector. `run` must be deterministic per task for the
+/// executor's byte-identity guarantee to hold.
+fn fan_out<T: Sync, R: Send>(tasks: &[T], threads: usize, run: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    let threads = threads.clamp(1, tasks.len().max(1));
+    if threads == 1 {
+        return tasks.iter().map(run).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..tasks.len()).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= tasks.len() {
+                    break;
+                }
+                let result = run(&tasks[i]);
+                slots.lock().expect("result mutex")[i] = Some(result);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("result mutex")
+        .into_iter()
+        .map(|slot| slot.expect("every task ran"))
+        .collect()
+}
+
+/// Drives one session to completion, streaming every recorded sample —
+/// including the forced final one — to `progress` and honouring the
+/// optional real-time deadline.
+fn drive_session(
+    session: &mut Session<'_>,
+    experiment: &str,
+    label: &str,
+    seed: u64,
+    opts: &RunOptions<'_>,
+) -> RunReport {
+    let stream = |sample: &netmax_core::engine::Sample| {
+        if let Some(progress) = opts.progress {
+            progress(CellProgress {
+                experiment,
+                label,
+                seed,
+                global_step: sample.global_step,
+                epoch: sample.epoch,
+                sim_time_s: sample.time_s,
+                train_loss: sample.train_loss,
+            });
+        }
+    };
+    let t0 = Instant::now();
+    let report = loop {
+        match session.step() {
+            StepEvent::Sampled { sample } => stream(&sample),
+            StepEvent::Finished { report } => break report,
+            _ => {}
+        }
+        if opts.cell_deadline.is_some_and(|d| t0.elapsed() >= d) {
+            break session.finish_now();
+        }
+    };
+    // The finishing sample is taken inside `finish` (it carries the final
+    // test evaluation) and is not delivered as a `Sampled` event.
+    if let Some(last) = report.samples.last() {
+        stream(last);
+    }
+    report
+}
+
+/// Runs the spec's cells through step-wise sessions with the given
+/// options, surfacing configuration problems as typed errors before any
+/// cell starts.
+pub fn try_execute(
+    spec: &ExperimentSpec,
+    opts: &RunOptions<'_>,
+) -> Result<ExperimentResult, SessionError> {
+    let cells = grid(spec);
     if cells.is_empty() {
-        return ExperimentResult { spec: spec.clone(), cells: Vec::new() };
+        return Ok(ExperimentResult { spec: spec.clone(), cells: Vec::new() });
     }
     // Materialise the datasets once; cells share them via internal Arcs.
     let workload = spec.scenario.workload();
     let alpha = workload.optim.lr;
+    validate_cells(spec, &cells, &workload, alpha)?;
 
-    let run_cell = |&(arm_idx, seed): &(usize, u64)| -> CellResult {
+    let threads = if opts.threads == 0 { default_threads() } else { opts.threads };
+    let results = fan_out(&cells, threads, |&(arm_idx, seed)| -> CellResult {
         let arm = &spec.arms[arm_idx];
         let mut scenario = spec.scenario.clone();
         scenario.cfg_mut().seed = seed;
         let mut algo = arm.instantiate(alpha);
         let mut env = scenario.build_env_with(workload.clone());
-        let report = algo.run(&mut env);
-        CellResult { arm: arm_idx, label: arm.label(), algorithm: arm.algorithm, seed, report }
-    };
+        let mut session =
+            Session::new(&mut env, algo.driver()).expect("validated before fan-out");
+        let label = arm.label();
+        let report = drive_session(&mut session, &spec.name, &label, seed, opts);
+        CellResult { arm: arm_idx, label, algorithm: arm.algorithm, seed, report }
+    });
+    Ok(ExperimentResult { spec: spec.clone(), cells: results })
+}
 
-    let threads = threads.clamp(1, cells.len());
-    let results: Vec<CellResult> = if threads == 1 {
-        cells.iter().map(run_cell).collect()
-    } else {
-        let next = AtomicUsize::new(0);
-        let slots: Mutex<Vec<Option<CellResult>>> = Mutex::new(vec![None; cells.len()]);
-        std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= cells.len() {
-                        break;
-                    }
-                    let result = run_cell(&cells[i]);
-                    slots.lock().expect("result mutex")[i] = Some(result);
-                });
-            }
-        });
-        slots
-            .into_inner()
-            .expect("result mutex")
-            .into_iter()
-            .map(|slot| slot.expect("every cell ran"))
-            .collect()
+/// Validates every cell's session construction up front — one cheap env
+/// build, every arm instantiated once — so a bad spec fails before any
+/// training work.
+fn validate_cells(
+    spec: &ExperimentSpec,
+    cells: &[(usize, u64)],
+    workload: &netmax_ml::workload::Workload,
+    alpha: f64,
+) -> Result<(), SessionError> {
+    let Some(&(_, first_seed)) = cells.first() else {
+        return Ok(());
     };
-    ExperimentResult { spec: spec.clone(), cells: results }
+    let mut scenario = spec.scenario.clone();
+    scenario.cfg_mut().seed = first_seed;
+    let env = scenario.build_env_with(workload.clone());
+    env.cfg.validate()?;
+    env.cfg.effective_stop().validate()?;
+    for arm in &spec.arms {
+        let mut algo = arm.instantiate(alpha);
+        algo.driver().validate(&env)?;
+    }
+    Ok(())
+}
+
+/// One cell of a suspended experiment: its grid coordinates plus the full
+/// session checkpoint.
+#[derive(Debug, Clone)]
+pub struct SuspendedCell {
+    /// Index into the spec's arm list.
+    pub arm: usize,
+    /// The arm's display label.
+    pub label: String,
+    /// The arm's algorithm.
+    pub algorithm: AlgorithmKind,
+    /// The training seed this cell ran with.
+    pub seed: u64,
+    /// The `netmax-core/session-checkpoint/v1` document.
+    pub session: Json,
+}
+
+/// An experiment checkpointed mid-run: the exact spec plus one suspended
+/// session per cell.
+#[derive(Debug, Clone)]
+pub struct SuspendedExperiment {
+    /// The spec that produced these cells.
+    pub spec: ExperimentSpec,
+    /// One suspended session per cell, in `(arm, seed)` grid order.
+    pub cells: Vec<SuspendedCell>,
+}
+
+/// Runs every cell until it has taken at least `suspend_after_steps`
+/// global steps (or finished first), then checkpoints it. The returned
+/// document, resumed with [`resume`], yields reports byte-identical to an
+/// uninterrupted [`execute_with_threads`] run.
+pub fn execute_suspended(
+    spec: &ExperimentSpec,
+    threads: usize,
+    suspend_after_steps: u64,
+) -> Result<SuspendedExperiment, SessionError> {
+    let cells = grid(spec);
+    let workload = spec.scenario.workload();
+    let alpha = workload.optim.lr;
+    validate_cells(spec, &cells, &workload, alpha)?;
+
+    let threads = if threads == 0 { default_threads() } else { threads };
+    let suspended = fan_out(&cells, threads, |&(arm_idx, seed)| -> SuspendedCell {
+        let arm = &spec.arms[arm_idx];
+        let mut scenario = spec.scenario.clone();
+        scenario.cfg_mut().seed = seed;
+        let mut algo = arm.instantiate(alpha);
+        let mut env = scenario.build_env_with(workload.clone());
+        let mut session =
+            Session::new(&mut env, algo.driver()).expect("validated before fan-out");
+        while session.env().global_step < suspend_after_steps && !session.is_finished() {
+            session.step();
+        }
+        SuspendedCell {
+            arm: arm_idx,
+            label: arm.label(),
+            algorithm: arm.algorithm,
+            seed,
+            session: session.checkpoint(),
+        }
+    });
+    Ok(SuspendedExperiment { spec: spec.clone(), cells: suspended })
+}
+
+/// Resumes a suspended experiment to completion.
+pub fn resume(
+    suspended: &SuspendedExperiment,
+    opts: &RunOptions<'_>,
+) -> Result<ExperimentResult, SessionError> {
+    let spec = &suspended.spec;
+    let workload = spec.scenario.workload();
+    let alpha = workload.optim.lr;
+
+    let threads = if opts.threads == 0 { default_threads() } else { opts.threads };
+    // Each cell restores its own session (driver-state shapes differ per
+    // arm), so defects are surfaced per cell as typed errors — never as a
+    // worker-thread panic.
+    let results = fan_out(
+        &suspended.cells,
+        threads,
+        |cell| -> Result<CellResult, SessionError> {
+            let arm = spec.arms.get(cell.arm).ok_or_else(|| {
+                SessionError::BadCheckpoint(format!(
+                    "cell references arm {} not in spec",
+                    cell.arm
+                ))
+            })?;
+            let mut scenario = spec.scenario.clone();
+            scenario.cfg_mut().seed = cell.seed;
+            let mut algo = arm.instantiate(alpha);
+            let mut env = scenario.build_env_with(workload.clone());
+            let mut session = Session::restore(&mut env, algo.driver(), &cell.session)?;
+            let report = drive_session(&mut session, &spec.name, &cell.label, cell.seed, opts);
+            Ok(CellResult {
+                arm: cell.arm,
+                label: cell.label.clone(),
+                algorithm: cell.algorithm,
+                seed: cell.seed,
+                report,
+            })
+        },
+    );
+    let cells = results.into_iter().collect::<Result<Vec<_>, _>>()?;
+    Ok(ExperimentResult { spec: spec.clone(), cells })
+}
+
+/// Assembles the versioned `netmax-bench/checkpoint/v1` document for one
+/// suspended experiment.
+pub fn checkpoint_doc(suspended: &SuspendedExperiment) -> Json {
+    Json::obj([
+        ("schema", Json::Str(CHECKPOINT_SCHEMA.into())),
+        ("spec", suspended.spec.to_json()),
+        (
+            "cells",
+            Json::Arr(
+                suspended
+                    .cells
+                    .iter()
+                    .map(|c| {
+                        Json::obj([
+                            ("arm", c.arm.to_json()),
+                            ("label", c.label.to_json()),
+                            ("algorithm", c.algorithm.to_json()),
+                            ("seed", c.seed.to_json()),
+                            ("session", c.session.clone()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Parses a `netmax-bench/checkpoint/v1` document, verifying the schema
+/// tag.
+pub fn parse_checkpoint(doc: &Json) -> Result<SuspendedExperiment, JsonError> {
+    let schema = doc.field("schema")?.as_str()?;
+    if schema != CHECKPOINT_SCHEMA {
+        return Err(JsonError::schema(format!(
+            "unsupported checkpoint schema `{schema}` (expected `{CHECKPOINT_SCHEMA}`)"
+        )));
+    }
+    Ok(SuspendedExperiment {
+        spec: ExperimentSpec::from_json(doc.field("spec")?)?,
+        cells: doc
+            .field("cells")?
+            .as_arr()?
+            .iter()
+            .map(|c| {
+                Ok(SuspendedCell {
+                    arm: usize::from_json(c.field("arm")?)?,
+                    label: String::from_json(c.field("label")?)?,
+                    algorithm: AlgorithmKind::from_json(c.field("algorithm")?)?,
+                    seed: u64::from_json(c.field("seed")?)?,
+                    session: c.field("session")?.clone(),
+                })
+            })
+            .collect::<Result<_, JsonError>>()?,
+    })
 }
 
 /// Assembles the versioned artifact document for a set of executed
@@ -395,5 +708,133 @@ mod tests {
             netmax[0].report.final_train_loss, netmax[1].report.final_train_loss,
             "different seeds must not produce identical trajectories"
         );
+    }
+
+    #[test]
+    fn progress_callback_streams_samples() {
+        use std::sync::atomic::AtomicU64;
+        let mut spec = small_spec();
+        spec.arms.truncate(1);
+        spec.seeds.truncate(1);
+        let samples = AtomicU64::new(0);
+        let progress = |p: CellProgress<'_>| {
+            assert_eq!(p.experiment, "test/parallel");
+            assert!(p.global_step > 0);
+            samples.fetch_add(1, Ordering::Relaxed);
+        };
+        let result = try_execute(
+            &spec,
+            &RunOptions { threads: 1, progress: Some(&progress), cell_deadline: None },
+        )
+        .unwrap();
+        let recorded = result.cells[0].report.samples.len() as u64;
+        // Every recorded sample, the forced final one included, streams
+        // through the callback.
+        assert_eq!(samples.load(Ordering::Relaxed), recorded);
+    }
+
+    #[test]
+    fn suspend_resume_is_byte_identical_through_the_checkpoint_file() {
+        let spec = small_spec();
+        let direct = execute_with_threads(&spec, 2);
+
+        let suspended = execute_suspended(&spec, 2, 40).unwrap();
+        let doc = checkpoint_doc(&suspended);
+        let text = doc.pretty();
+        let parsed = parse_checkpoint(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(parsed.spec, spec);
+        assert_eq!(parsed.cells.len(), 6);
+        let resumed = resume(&parsed, &RunOptions { threads: 2, ..Default::default() }).unwrap();
+
+        let (a, b) = (artifact(&[direct]), artifact(&[resumed]));
+        assert_eq!(
+            a.to_string(),
+            b.to_string(),
+            "suspend + resume must reproduce the uninterrupted artifact byte-for-byte"
+        );
+    }
+
+    #[test]
+    fn checkpoint_schema_is_enforced() {
+        let doc = Json::parse(r#"{"schema":"netmax-bench/run-report/v1","cells":[]}"#).unwrap();
+        assert!(parse_checkpoint(&doc).is_err());
+    }
+
+    #[test]
+    fn invalid_spec_fails_before_any_work() {
+        let mut spec = small_spec();
+        spec.scenario.cfg_mut().record_every_steps = 0;
+        let err = try_execute(&spec, &RunOptions::default()).unwrap_err();
+        assert!(err.to_string().contains("record_every_steps"), "{err}");
+    }
+
+    #[test]
+    fn max_sim_seconds_safety_net_stops_the_run() {
+        let mut spec = small_spec();
+        spec.arms.truncate(1);
+        spec.seeds.truncate(1);
+        // A simulated-time budget far below what the epoch target needs.
+        spec.scenario.cfg_mut().max_wall_clock_s = 2.0;
+        let result = execute(&spec);
+        let report = &result.cells[0].report;
+        assert!(
+            report.wall_clock_s >= 2.0,
+            "run must reach the budget before stopping, got {}",
+            report.wall_clock_s
+        );
+        assert!(
+            report.epochs_completed < spec.scenario.cfg().max_epochs,
+            "the time budget, not the epoch target, must have stopped the run"
+        );
+        // And the safety net composes with explicit stop conditions too.
+        spec.scenario.cfg_mut().stop =
+            Some(netmax_core::engine::StopCondition::LossBelow(-1.0));
+        let report = &execute(&spec).cells[0].report;
+        assert!(report.wall_clock_s >= 2.0, "unreachable loss target must hit the net");
+    }
+
+    fn accuracy_fixture(points: &[(f64, Option<f64>)]) -> RunReport {
+        RunReport {
+            algorithm: "x".into(),
+            workload: "w".into(),
+            num_nodes: 1,
+            samples: points
+                .iter()
+                .map(|&(t, acc)| netmax_core::engine::Sample {
+                    time_s: t,
+                    global_step: (t * 10.0) as u64,
+                    epoch: t,
+                    train_loss: 1.0,
+                    consensus_diameter: 0.0,
+                    test_accuracy: acc,
+                })
+                .collect(),
+            wall_clock_s: points.last().map(|&(t, _)| t).unwrap_or(0.0),
+            epochs_completed: 1.0,
+            global_steps: 10,
+            final_train_loss: 1.0,
+            final_test_accuracy: 0.0,
+            per_node: vec![],
+        }
+    }
+
+    #[test]
+    fn time_to_accuracy_never_reached_is_none() {
+        let r = accuracy_fixture(&[(1.0, Some(0.2)), (2.0, None), (3.0, Some(0.5))]);
+        assert_eq!(time_to_accuracy(&r, 0.9), None);
+        // Samples without accuracy evaluation never satisfy the target.
+        assert_eq!(time_to_accuracy(&r, 0.4), Some(3.0));
+    }
+
+    #[test]
+    fn time_to_accuracy_met_at_step_zero() {
+        // Target already met by the very first evaluated sample.
+        let r = accuracy_fixture(&[(0.0, Some(0.95)), (1.0, Some(0.96))]);
+        assert_eq!(time_to_accuracy(&r, 0.9), Some(0.0));
+        // An exactly-met target counts (>=, not >).
+        assert_eq!(time_to_accuracy(&r, 0.95), Some(0.0));
+        // Empty sample list: trivially never reached.
+        let empty = accuracy_fixture(&[]);
+        assert_eq!(time_to_accuracy(&empty, 0.0), None);
     }
 }

@@ -1,5 +1,7 @@
 //! Run-level engine configuration.
 
+use super::session::SessionError;
+use super::stop::StopCondition;
 use netmax_json::{FromJson, Json, JsonError, ToJson};
 use serde::{Deserialize, Serialize};
 
@@ -73,6 +75,10 @@ pub struct TrainConfig {
     /// Master seed; node init seeds, batch order, and peer selection all
     /// derive from it deterministically.
     pub seed: u64,
+    /// Optional declarative stop condition. When set it *replaces* the
+    /// `max_epochs` criterion (the `max_wall_clock_s` safety net always
+    /// applies on top) — see [`TrainConfig::effective_stop`].
+    pub stop: Option<StopCondition>,
 }
 
 impl Default for TrainConfig {
@@ -85,6 +91,7 @@ impl Default for TrainConfig {
             test_eval_every_records: 5,
             execution: ExecutionMode::Parallel,
             seed: 42,
+            stop: None,
         }
     }
 }
@@ -99,6 +106,7 @@ impl ToJson for TrainConfig {
             ("test_eval_every_records", self.test_eval_every_records.to_json()),
             ("execution", self.execution.to_json()),
             ("seed", self.seed.to_json()),
+            ("stop", self.stop.to_json()),
         ])
     }
 }
@@ -113,6 +121,11 @@ impl FromJson for TrainConfig {
             test_eval_every_records: usize::from_json(v.field("test_eval_every_records")?)?,
             execution: ExecutionMode::from_json(v.field("execution")?)?,
             seed: u64::from_json(v.field("seed")?)?,
+            // Absent in pre-session documents; tolerate for compatibility.
+            stop: match v.get("stop") {
+                None | Some(Json::Null) => None,
+                Some(s) => Some(StopCondition::from_json(s)?),
+            },
         })
     }
 }
@@ -126,6 +139,47 @@ impl TrainConfig {
             loss_sample_size: 128,
             ..Self::default()
         }
+    }
+
+    /// The stop condition a [`Session`](super::session::Session) runs
+    /// under: the explicit [`TrainConfig::stop`] when set (otherwise the
+    /// classic `max_epochs` criterion), always composed with the
+    /// `max_wall_clock_s` simulated-time safety net so no condition — e.g.
+    /// an unreachable loss target — can run a session forever.
+    pub fn effective_stop(&self) -> StopCondition {
+        let primary = match &self.stop {
+            Some(s) => s.clone(),
+            None => StopCondition::MaxEpochs(self.max_epochs),
+        };
+        StopCondition::Any(vec![primary, StopCondition::MaxSimSeconds(self.max_wall_clock_s)])
+    }
+
+    /// Validates the configuration, surfacing problems as typed errors at
+    /// session construction instead of mid-run panics.
+    pub fn validate(&self) -> Result<(), SessionError> {
+        let bad = |msg: String| Err(SessionError::InvalidConfig(msg));
+        if !(self.max_epochs.is_finite() && self.max_epochs > 0.0) {
+            return bad(format!("max_epochs must be finite and positive, got {}", self.max_epochs));
+        }
+        if !(self.max_wall_clock_s.is_finite() && self.max_wall_clock_s > 0.0) {
+            return bad(format!(
+                "max_wall_clock_s must be finite and positive, got {}",
+                self.max_wall_clock_s
+            ));
+        }
+        if self.record_every_steps == 0 {
+            return bad("record_every_steps must be positive".into());
+        }
+        if self.loss_sample_size == 0 {
+            return bad("loss_sample_size must be positive".into());
+        }
+        if self.test_eval_every_records == 0 {
+            return bad("test_eval_every_records must be positive".into());
+        }
+        if let Some(stop) = &self.stop {
+            stop.validate()?;
+        }
+        Ok(())
     }
 }
 
@@ -150,8 +204,45 @@ mod tests {
 
     #[test]
     fn train_config_json_round_trip() {
-        let cfg = TrainConfig { execution: ExecutionMode::Serial, seed: u64::MAX, ..TrainConfig::quick_test() };
+        let cfg = TrainConfig {
+            execution: ExecutionMode::Serial,
+            seed: u64::MAX,
+            stop: Some(StopCondition::All(vec![
+                StopCondition::MaxGlobalSteps(500),
+                StopCondition::LossBelow(0.3),
+            ])),
+            ..TrainConfig::quick_test()
+        };
         let back = TrainConfig::from_json(&Json::parse(&cfg.to_json().to_string()).unwrap()).unwrap();
         assert_eq!(back, cfg);
+        // Pre-session documents (no `stop` key) still parse.
+        let mut legacy = cfg.to_json();
+        if let Json::Obj(pairs) = &mut legacy {
+            pairs.retain(|(k, _)| k != "stop");
+        }
+        let back = TrainConfig::from_json(&legacy).unwrap();
+        assert_eq!(back.stop, None);
+    }
+
+    #[test]
+    fn effective_stop_keeps_the_time_safety_net() {
+        let cfg = TrainConfig { stop: Some(StopCondition::LossBelow(0.1)), ..TrainConfig::default() };
+        let stop = cfg.effective_stop();
+        assert_eq!(
+            stop,
+            StopCondition::Any(vec![
+                StopCondition::LossBelow(0.1),
+                StopCondition::MaxSimSeconds(cfg.max_wall_clock_s),
+            ])
+        );
+        assert!(stop.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_names_the_bad_field() {
+        let cfg = TrainConfig { record_every_steps: 0, ..TrainConfig::default() };
+        let err = cfg.validate().unwrap_err().to_string();
+        assert!(err.contains("record_every_steps"), "{err}");
+        assert!(TrainConfig::default().validate().is_ok());
     }
 }

@@ -1,6 +1,8 @@
 //! Shared simulation state: node replicas, data shards, network, clocks.
 
 use super::config::TrainConfig;
+use super::session::{rng_from_json, rng_to_json};
+use netmax_json::{FromJson, Json, JsonError, ToJson};
 use netmax_ml::batch::BatchSampler;
 use netmax_ml::model::Model;
 use netmax_ml::optim::SgdState;
@@ -127,6 +129,18 @@ impl Environment {
         self.nodes.len()
     }
 
+    /// Nominal per-node gradient-compute times (fixed batch size ⇒ fixed
+    /// `C_i`) — the schedule basis every event-driven session driver
+    /// derives at start/restore.
+    pub fn nominal_compute_times(&self) -> Vec<f64> {
+        (0..self.num_nodes())
+            .map(|i| {
+                let b = self.partition.batch_size(i, self.workload.batch_size);
+                self.workload.profile.compute_time(b)
+            })
+            .collect()
+    }
+
     /// Node `i`'s private RNG stream. All randomness attributable to a
     /// single node (peer selection above all) must come from here, so that
     /// the node's decision sequence is independent of the global event
@@ -203,12 +217,6 @@ impl Environment {
         self.nodes.iter().map(|n| n.clock).fold(0.0, f64::max)
     }
 
-    /// `true` once a stop condition is met.
-    pub fn should_stop(&self) -> bool {
-        self.mean_epoch() >= self.cfg.max_epochs
-            || self.wall_clock() >= self.cfg.max_wall_clock_s
-    }
-
     /// Books the timing of one completed iteration on node `i`:
     /// advances its clock and cost accumulators.
     pub fn book_iteration(&mut self, i: usize, compute_s: f64, iteration_s: f64) {
@@ -218,12 +226,84 @@ impl Environment {
         node.comp_time_total += compute_s;
         node.comm_exposed_total += (iteration_s - compute_s).max(0.0);
     }
+
+    /// Serializes the environment's *mutable* state — replicas, optimiser
+    /// buffers, samplers, clocks, cost accumulators, RNG streams, and the
+    /// global step counter. The immutable parts (topology, network,
+    /// datasets, config) are pure data reconstructed from the scenario at
+    /// restore time.
+    pub fn checkpoint(&self) -> Json {
+        let nodes = self
+            .nodes
+            .iter()
+            .map(|n| {
+                Json::obj([
+                    ("params", n.model.params().to_json()),
+                    ("velocity", n.opt.velocity().to_json()),
+                    ("sampler", n.sampler.checkpoint()),
+                    ("clock", n.clock.to_json()),
+                    ("comp_time_total", n.comp_time_total.to_json()),
+                    ("comm_exposed_total", n.comm_exposed_total.to_json()),
+                    ("local_steps", n.local_steps.to_json()),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("global_step", self.global_step.to_json()),
+            ("rng", rng_to_json(&self.rng)),
+            ("node_rngs", Json::Arr(self.node_rngs.iter().map(rng_to_json).collect())),
+            ("nodes", Json::Arr(nodes)),
+        ])
+    }
+
+    /// Restores state captured by [`Environment::checkpoint`] onto this
+    /// (freshly built, same-scenario) environment.
+    pub fn restore(&mut self, state: &Json) -> Result<(), JsonError> {
+        let nodes = state.field("nodes")?.as_arr()?;
+        if nodes.len() != self.nodes.len() {
+            return Err(JsonError::schema(format!(
+                "checkpoint has {} nodes, environment has {}",
+                nodes.len(),
+                self.nodes.len()
+            )));
+        }
+        let node_rngs = state.field("node_rngs")?.as_arr()?;
+        if node_rngs.len() != self.node_rngs.len() {
+            return Err(JsonError::schema("node rng stream count mismatch".into()));
+        }
+        for (node, saved) in self.nodes.iter_mut().zip(nodes) {
+            let params: Vec<f32> = Vec::from_json(saved.field("params")?)?;
+            if params.len() != node.model.num_params() {
+                return Err(JsonError::schema(format!(
+                    "checkpoint has {} parameters, model has {}",
+                    params.len(),
+                    node.model.num_params()
+                )));
+            }
+            node.model.params_mut().copy_from_slice(&params);
+            let velocity: Vec<f32> = Vec::from_json(saved.field("velocity")?)?;
+            if velocity.len() != node.opt.velocity().len() {
+                return Err(JsonError::schema("optimiser state length mismatch".into()));
+            }
+            node.opt.velocity_mut().copy_from_slice(&velocity);
+            node.sampler = BatchSampler::restore(saved.field("sampler")?)?;
+            node.clock = f64::from_json(saved.field("clock")?)?;
+            node.comp_time_total = f64::from_json(saved.field("comp_time_total")?)?;
+            node.comm_exposed_total = f64::from_json(saved.field("comm_exposed_total")?)?;
+            node.local_steps = u64::from_json(saved.field("local_steps")?)?;
+        }
+        self.rng = rng_from_json(state.field("rng")?)?;
+        self.node_rngs = node_rngs.iter().map(rng_from_json).collect::<Result<_, _>>()?;
+        self.global_step = u64::from_json(state.field("global_step")?)?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use netmax_net::HomogeneousNetwork;
+    use rand::RngCore;
 
     fn tiny_env() -> Environment {
         let workload = Workload::convex_ridge(1);
@@ -266,12 +346,37 @@ mod tests {
     }
 
     #[test]
-    fn stop_on_wall_clock() {
+    fn stop_condition_trips_on_wall_clock() {
         let mut env = tiny_env();
-        assert!(!env.should_stop());
         env.cfg.max_wall_clock_s = 1.0;
+        let stop = env.cfg.effective_stop();
+        assert!(!stop.satisfied(&env, None));
         env.book_iteration(0, 0.5, 2.0);
-        assert!(env.should_stop());
+        assert!(stop.satisfied(&env, None));
+    }
+
+    #[test]
+    fn checkpoint_restore_round_trips_mutable_state() {
+        let mut env = tiny_env();
+        let _ = env.gradient_step(0);
+        let _ = env.gradient_step(1);
+        env.book_iteration(0, 0.2, 0.5);
+        env.global_step = 2;
+        let _ = env.node_rng(3).next_u64();
+        let state = env.checkpoint();
+        let text = state.pretty();
+
+        let mut fresh = tiny_env();
+        fresh.restore(&netmax_json::Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(fresh.global_step, 2);
+        assert_eq!(fresh.nodes[0].model.params(), env.nodes[0].model.params());
+        assert_eq!(fresh.nodes[0].clock, env.nodes[0].clock);
+        assert_eq!(fresh.nodes[1].local_steps, 1);
+        // RNG streams resume where the original left off.
+        assert_eq!(fresh.node_rng(3).next_u64(), env.node_rng(3).next_u64());
+        assert_eq!(fresh.rng.next_u64(), env.rng.next_u64());
+        // The next batches drawn match.
+        assert_eq!(fresh.nodes[0].sampler.next_batch(), env.nodes[0].sampler.next_batch());
     }
 
     #[test]

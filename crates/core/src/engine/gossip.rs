@@ -1,18 +1,28 @@
 //! The asynchronous gossip driver.
 //!
-//! NetMax, AD-PSGD, and GoSGD share the same execution skeleton (§III-B):
-//! every worker loops { pick a peer, pull its model while computing local
-//! gradients, apply the two-step update }, entirely asynchronously. The
-//! driver implements that skeleton once over the virtual clock; the three
-//! algorithms differ only in *how peers are selected* and *how pulled
-//! parameters are merged* — the two methods of [`GossipBehavior`].
+//! NetMax, AD-PSGD, GoSGD, and SAPS-PSGD share the same execution
+//! skeleton (§III-B): every worker loops { pick a peer, pull its model
+//! while computing local gradients, apply the two-step update }, entirely
+//! asynchronously. [`GossipDriver`] implements that skeleton once over the
+//! virtual clock as a step-wise [`SessionDriver`]; the algorithms differ
+//! only in *how peers are selected* and *how pulled parameters are
+//! merged* — the two required methods of [`GossipBehavior`].
 //!
 //! Staleness is modelled faithfully: the parameters a worker merges are
 //! whatever its peer holds at the *completion* time of the pull, exactly
 //! like the freshest-parameter semantics of Algorithm 2 line 10/12.
+//!
+//! Scheduling of a worker's *next* iteration is deferred to the driver
+//! advance that follows its completion event. That keeps the RNG draw for
+//! peer selection on the far side of the session's stop check — exactly
+//! where the classic blocking loop made it — so step-wise execution,
+//! checkpoint/resume, and the old `run_gossip` all consume byte-identical
+//! random streams.
 
 use super::environment::Environment;
-use super::recorder::{Recorder, RunReport};
+use super::recorder::RunReport;
+use super::session::{DriverEvent, Session, SessionDriver, SessionError};
+use netmax_json::{FromJson, Json, JsonError, ToJson};
 use netmax_net::EventQueue;
 
 /// A worker's choice at the start of an iteration.
@@ -35,6 +45,12 @@ pub trait GossipBehavior {
     /// (Algorithm 2 lines 13–15 for NetMax; plain averaging for AD-PSGD).
     fn merge(&mut self, env: &mut Environment, i: usize, m: usize, pulled: &[f32]);
 
+    /// Called once before the first iteration is scheduled; the place for
+    /// warm-up work (probing links, resetting trackers). Must not draw
+    /// from the environment's RNG streams — restore re-runs it to rebuild
+    /// derived state before overwriting with the checkpoint.
+    fn on_start(&mut self, _env: &mut Environment) {}
+
     /// Called after node `i` completes an iteration, with the realised
     /// iteration time (drives the EMA of Algorithm 2 line 16).
     fn on_iteration(&mut self, _env: &Environment, _i: usize, _peer: Option<usize>, _t: f64) {}
@@ -48,108 +64,336 @@ pub trait GossipBehavior {
     /// Handles a Network-Monitor firing (collect times, regenerate and
     /// disseminate the policy).
     fn on_monitor(&mut self, _env: &mut Environment, _now: f64) {}
+
+    /// Serializes algorithm-internal mutable state (policies, trackers,
+    /// counters) for checkpointing. Default: no state (`Json::Null`).
+    fn checkpoint_state(&self) -> Json {
+        Json::Null
+    }
+
+    /// Restores state captured by [`GossipBehavior::checkpoint_state`].
+    /// Runs after [`GossipBehavior::on_start`] rebuilt derived state, so
+    /// stateless behaviors need no override. Default: no-op.
+    fn restore_state(&mut self, _env: &Environment, _state: &Json) -> Result<(), JsonError> {
+        Ok(())
+    }
 }
 
+impl<B: GossipBehavior + ?Sized> GossipBehavior for &mut B {
+    fn select_peer(&mut self, env: &mut Environment, i: usize) -> PeerChoice {
+        (**self).select_peer(env, i)
+    }
+    fn merge(&mut self, env: &mut Environment, i: usize, m: usize, pulled: &[f32]) {
+        (**self).merge(env, i, m, pulled)
+    }
+    fn on_start(&mut self, env: &mut Environment) {
+        (**self).on_start(env)
+    }
+    fn on_iteration(&mut self, env: &Environment, i: usize, peer: Option<usize>, t: f64) {
+        (**self).on_iteration(env, i, peer, t)
+    }
+    fn monitor_period(&self) -> Option<f64> {
+        (**self).monitor_period()
+    }
+    fn on_monitor(&mut self, env: &mut Environment, now: f64) {
+        (**self).on_monitor(env, now)
+    }
+    fn checkpoint_state(&self) -> Json {
+        (**self).checkpoint_state()
+    }
+    fn restore_state(&mut self, env: &Environment, state: &Json) -> Result<(), JsonError> {
+        (**self).restore_state(env, state)
+    }
+}
+
+/// One scheduled completion in the gossip event queue.
+#[derive(Debug, Clone)]
 enum Ev {
     NodeDone { node: usize, peer: Option<usize>, compute_s: f64, iteration_s: f64 },
     Monitor,
 }
 
-/// Runs an asynchronous gossip algorithm to completion and returns its
-/// report.
-///
-/// Workers are dispatched in completion-time order (one dispatch = one
-/// global step `k`); iteration times follow the configured
+impl ToJson for Ev {
+    fn to_json(&self) -> Json {
+        match self {
+            Ev::Monitor => Json::Str("monitor".into()),
+            Ev::NodeDone { node, peer, compute_s, iteration_s } => Json::obj([
+                ("node", node.to_json()),
+                ("peer", peer.to_json()),
+                ("compute_s", compute_s.to_json()),
+                ("iteration_s", iteration_s.to_json()),
+            ]),
+        }
+    }
+}
+
+impl FromJson for Ev {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Str(s) if s == "monitor" => Ok(Ev::Monitor),
+            Json::Obj(_) => Ok(Ev::NodeDone {
+                node: usize::from_json(v.field("node")?)?,
+                peer: Option::from_json(v.field("peer")?)?,
+                compute_s: f64::from_json(v.field("compute_s")?)?,
+                iteration_s: f64::from_json(v.field("iteration_s")?)?,
+            }),
+            other => Err(JsonError::schema(format!("expected event, got {}", other.kind()))),
+        }
+    }
+}
+
+/// Serializes an event queue (entries with explicit FIFO sequence
+/// numbers, plus the next sequence counter) for a driver checkpoint.
+pub fn queue_to_json<E: ToJson>(queue: &EventQueue<E>) -> Json {
+    Json::obj([
+        (
+            "entries",
+            Json::Arr(
+                queue
+                    .entries()
+                    .into_iter()
+                    .map(|(time, seq, ev)| {
+                        Json::obj([
+                            ("time", time.to_json()),
+                            ("seq", seq.to_json()),
+                            ("event", ev.to_json()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("next_seq", queue.next_seq().to_json()),
+    ])
+}
+
+/// Checks a checkpointed worker index against the environment's node
+/// count, so corrupt documents surface as typed errors rather than
+/// out-of-bounds panics mid-run.
+pub fn check_node_index(node: usize, num_nodes: usize) -> Result<(), JsonError> {
+    if node >= num_nodes {
+        return Err(JsonError::schema(format!(
+            "checkpoint references node {node}, environment has {num_nodes}"
+        )));
+    }
+    Ok(())
+}
+
+/// Inverse of [`queue_to_json`].
+pub fn queue_from_json<E: FromJson>(v: &Json) -> Result<EventQueue<E>, JsonError> {
+    let mut queue = EventQueue::new();
+    for entry in v.field("entries")?.as_arr()? {
+        let time = f64::from_json(entry.field("time")?)?;
+        // Reject what `EventQueue::restore_entry` would assert on, so a
+        // corrupt checkpoint surfaces as a typed error, not a panic.
+        if !(time.is_finite() && time >= 0.0) {
+            return Err(JsonError::schema(format!(
+                "event time must be finite and non-negative, got {time}"
+            )));
+        }
+        queue.restore_entry(
+            time,
+            u64::from_json(entry.field("seq")?)?,
+            E::from_json(entry.field("event")?)?,
+        );
+    }
+    queue.set_next_seq(u64::from_json(v.field("next_seq")?)?);
+    Ok(queue)
+}
+
+/// The sessionized asynchronous gossip skeleton: dispatches workers in
+/// completion-time order (one dispatch = one global step `k`), with
+/// iteration times following the configured
 /// [`ExecutionMode`](super::config::ExecutionMode).
-pub fn run_gossip<B: GossipBehavior>(
-    behavior: &mut B,
-    env: &mut Environment,
-    name: &str,
-) -> RunReport {
-    let n = env.num_nodes();
-    let mut rec = Recorder::new();
-    let mut queue: EventQueue<Ev> = EventQueue::new();
+pub struct GossipDriver<B: GossipBehavior> {
+    behavior: B,
+    name: String,
+    queue: EventQueue<Ev>,
+    /// Nominal per-node compute times (fixed batch size ⇒ fixed `C_i`);
+    /// derived from the environment at start/restore.
+    compute: Vec<f64>,
+    /// The node whose next iteration must be scheduled before the next
+    /// event pops — deferred so the peer-selection RNG draw happens after
+    /// the session's stop check, like the classic loop.
+    pending_next: Option<(usize, f64)>,
+    started: bool,
+}
 
-    // Nominal per-node compute times (fixed batch size ⇒ fixed C_i).
-    let compute: Vec<f64> = (0..n)
-        .map(|i| {
-            let b = env.partition.batch_size(i, env.workload.batch_size);
-            env.workload.profile.compute_time(b)
-        })
-        .collect();
-
-    // Kick off the first iteration of every node.
-    for (i, &c) in compute.iter().enumerate() {
-        schedule_next(behavior, env, &mut queue, i, c);
+impl<B: GossipBehavior> GossipDriver<B> {
+    /// Wraps `behavior` as a session driver reporting under `name`.
+    pub fn new(behavior: B, name: impl Into<String>) -> Self {
+        Self {
+            behavior,
+            name: name.into(),
+            queue: EventQueue::new(),
+            compute: Vec::new(),
+            pending_next: None,
+            started: false,
+        }
     }
-    if let Some(ts) = behavior.monitor_period() {
-        assert!(ts > 0.0, "monitor period must be positive");
-        queue.push(ts, Ev::Monitor);
+
+    /// The wrapped behavior.
+    pub fn behavior(&self) -> &B {
+        &self.behavior
     }
 
-    while let Some((now, ev)) = queue.pop() {
-        match ev {
-            Ev::Monitor => {
-                behavior.on_monitor(env, now);
-                if let Some(ts) = behavior.monitor_period() {
-                    queue.push(now + ts, Ev::Monitor);
-                }
+    /// Starts node `i`'s next iteration: selects a peer at the node's
+    /// current clock and schedules the completion event.
+    fn schedule_next(&mut self, env: &mut Environment, i: usize, compute_s: f64) {
+        let start = env.nodes[i].clock;
+        let (peer, comm_s) = match self.behavior.select_peer(env, i) {
+            PeerChoice::Peer(m) => {
+                debug_assert!(
+                    env.topology.is_edge(i, m),
+                    "behavior selected non-neighbour {m} for node {i}"
+                );
+                (Some(m), env.comm_time(i, m, start))
             }
-            Ev::NodeDone { node, peer, compute_s, iteration_s } => {
+            PeerChoice::SelfStep => (None, 0.0),
+        };
+        let iteration_s = env.cfg.execution.iteration_time(compute_s, comm_s);
+        self.queue.push(
+            start + iteration_s,
+            Ev::NodeDone { node: i, peer, compute_s, iteration_s },
+        );
+    }
+
+    fn start(&mut self, env: &mut Environment) {
+        self.started = true;
+        self.behavior.on_start(env);
+        self.compute = env.nominal_compute_times();
+        for i in 0..env.num_nodes() {
+            let c = self.compute[i];
+            self.schedule_next(env, i, c);
+        }
+        if let Some(ts) = self.behavior.monitor_period() {
+            self.queue.push(ts, Ev::Monitor);
+        }
+    }
+}
+
+impl<B: GossipBehavior> SessionDriver for GossipDriver<B> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn validate(&self, _env: &Environment) -> Result<(), SessionError> {
+        if let Some(ts) = self.behavior.monitor_period() {
+            if !(ts.is_finite() && ts > 0.0) {
+                return Err(SessionError::InvalidConfig(format!(
+                    "monitor period must be finite and positive, got {ts}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    fn advance(&mut self, env: &mut Environment) -> DriverEvent {
+        if !self.started {
+            self.start(env);
+        }
+        if let Some((node, compute_s)) = self.pending_next.take() {
+            self.schedule_next(env, node, compute_s);
+        }
+        match self.queue.pop() {
+            None => DriverEvent::Exhausted,
+            Some((now, Ev::Monitor)) => {
+                self.behavior.on_monitor(env, now);
+                if let Some(ts) = self.behavior.monitor_period() {
+                    self.queue.push(now + ts, Ev::Monitor);
+                }
+                DriverEvent::Monitor { time_s: now }
+            }
+            Some((_, Ev::NodeDone { node, peer, compute_s, iteration_s })) => {
                 // First update: local gradients (Algorithm 2 line 11).
                 let _ = env.gradient_step(node);
                 // Second update: merge the pulled model (lines 12–15).
                 if let Some(m) = peer {
                     let pulled = env.pull_params(m);
-                    behavior.merge(env, node, m, &pulled);
+                    self.behavior.merge(env, node, m, &pulled);
                 }
                 env.book_iteration(node, compute_s, iteration_s);
                 env.global_step += 1;
-                behavior.on_iteration(env, node, peer, iteration_s);
-                rec.maybe_record(env);
-
-                if env.should_stop() {
-                    break;
-                }
-                schedule_next(behavior, env, &mut queue, node, compute_s);
+                self.behavior.on_iteration(env, node, peer, iteration_s);
+                self.pending_next = Some((node, compute_s));
+                DriverEvent::Step { node, peer, iteration_s }
             }
         }
     }
 
-    rec.finish(env, name)
+    fn checkpoint_state(&self) -> Json {
+        Json::obj([
+            ("started", self.started.to_json()),
+            ("queue", queue_to_json(&self.queue)),
+            (
+                "pending_next",
+                match self.pending_next {
+                    Some((node, compute_s)) => Json::obj([
+                        ("node", node.to_json()),
+                        ("compute_s", compute_s.to_json()),
+                    ]),
+                    None => Json::Null,
+                },
+            ),
+            ("behavior", self.behavior.checkpoint_state()),
+        ])
+    }
+
+    fn restore_state(&mut self, env: &mut Environment, state: &Json) -> Result<(), JsonError> {
+        let n = env.num_nodes();
+        self.started = bool::from_json(state.field("started")?)?;
+        if self.started {
+            // Rebuild derived state the same way a fresh start would, then
+            // let the behavior overwrite it from the checkpoint.
+            self.behavior.on_start(env);
+            self.compute = env.nominal_compute_times();
+        }
+        self.queue = queue_from_json(state.field("queue")?)?;
+        for (_, _, ev) in self.queue.entries() {
+            if let Ev::NodeDone { node, peer, .. } = ev {
+                check_node_index(*node, n)?;
+                if let Some(m) = peer {
+                    check_node_index(*m, n)?;
+                }
+            }
+        }
+        self.pending_next = match state.field("pending_next")? {
+            Json::Null => None,
+            p => {
+                let node = usize::from_json(p.field("node")?)?;
+                check_node_index(node, n)?;
+                Some((node, f64::from_json(p.field("compute_s")?)?))
+            }
+        };
+        self.behavior.restore_state(env, state.field("behavior")?)?;
+        Ok(())
+    }
 }
 
-/// Starts node `i`'s next iteration: selects a peer at the node's current
-/// clock and schedules the completion event.
-fn schedule_next<B: GossipBehavior>(
+/// Runs an asynchronous gossip algorithm to completion and returns its
+/// report — the blocking convenience over [`Session`] +
+/// [`GossipDriver`].
+///
+/// # Panics
+/// Panics if the behavior/config combination fails session validation
+/// (use [`Session::new`] directly for a typed error).
+pub fn run_gossip<B: GossipBehavior>(
     behavior: &mut B,
     env: &mut Environment,
-    queue: &mut EventQueue<Ev>,
-    i: usize,
-    compute_s: f64,
-) {
-    let start = env.nodes[i].clock;
-    let (peer, comm_s) = match behavior.select_peer(env, i) {
-        PeerChoice::Peer(m) => {
-            debug_assert!(
-                env.topology.is_edge(i, m),
-                "behavior selected non-neighbour {m} for node {i}"
-            );
-            (Some(m), env.comm_time(i, m, start))
-        }
-        PeerChoice::SelfStep => (None, 0.0),
-    };
-    let iteration_s = env.cfg.execution.iteration_time(compute_s, comm_s);
-    queue.push(
-        start + iteration_s,
-        Ev::NodeDone { node: i, peer, compute_s, iteration_s },
-    );
+    name: &str,
+) -> RunReport {
+    let driver = GossipDriver::new(behavior, name);
+    let mut session = Session::new(env, Box::new(driver))
+        .unwrap_or_else(|e| panic!("invalid gossip session: {e}"));
+    session.run()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::engine::config::TrainConfig;
+    use crate::engine::session::StepEvent;
+    use crate::engine::stop::StopCondition;
+    use netmax_json::ToJson;
     use netmax_ml::partition::Partition;
     use netmax_ml::workload::Workload;
     use netmax_net::{HomogeneousNetwork, Topology};
@@ -264,6 +508,101 @@ mod tests {
         assert!(
             last < first,
             "replica disagreement should shrink: {first} -> {last}"
+        );
+    }
+
+    #[test]
+    fn bad_monitor_period_is_a_typed_construction_error() {
+        struct BadPeriod;
+        impl GossipBehavior for BadPeriod {
+            fn select_peer(&mut self, _env: &mut Environment, _i: usize) -> PeerChoice {
+                PeerChoice::SelfStep
+            }
+            fn merge(&mut self, _env: &mut Environment, _i: usize, _m: usize, _p: &[f32]) {}
+            fn monitor_period(&self) -> Option<f64> {
+                Some(0.0)
+            }
+        }
+        let mut e = env(16);
+        let mut b = BadPeriod;
+        let err = Session::new(&mut e, Box::new(GossipDriver::new(&mut b, "bad")))
+            .err()
+            .expect("zero monitor period must fail construction");
+        assert!(matches!(err, SessionError::InvalidConfig(_)), "{err}");
+        assert!(err.to_string().contains("monitor period"), "{err}");
+    }
+
+    #[test]
+    fn stepwise_session_matches_blocking_run() {
+        let blocking = run_gossip(&mut UniformAveraging, &mut env(17), "uniform-avg");
+
+        let mut e = env(17);
+        let mut b = UniformAveraging;
+        let mut session =
+            Session::new(&mut e, Box::new(GossipDriver::new(&mut b, "uniform-avg"))).unwrap();
+        let mut steps = 0u64;
+        let mut samples = 0usize;
+        let stepped = loop {
+            match session.step() {
+                StepEvent::GlobalStep { .. } => steps += 1,
+                StepEvent::Sampled { .. } => samples += 1,
+                StepEvent::Finished { report } => break report,
+                _ => {}
+            }
+        };
+        assert_eq!(steps, stepped.global_steps);
+        // The finishing sample is not delivered as a `Sampled` event.
+        assert_eq!(samples + 1, stepped.samples.len());
+        assert_eq!(
+            blocking.to_json().to_string(),
+            stepped.to_json().to_string(),
+            "step-wise execution must be byte-identical to the blocking loop"
+        );
+    }
+
+    #[test]
+    fn max_global_steps_stops_exactly() {
+        let mut e = env(18);
+        e.cfg.stop = Some(StopCondition::MaxGlobalSteps(37));
+        let mut b = UniformAveraging;
+        let mut session =
+            Session::new(&mut e, Box::new(GossipDriver::new(&mut b, "uniform-avg"))).unwrap();
+        let report = session.run();
+        assert_eq!(report.global_steps, 37);
+    }
+
+    #[test]
+    fn checkpoint_resume_is_byte_identical_mid_run() {
+        let full = run_gossip(&mut UniformAveraging, &mut env(19), "uniform-avg");
+
+        // Run 25 global steps, checkpoint, resume in a fresh session.
+        let mut e = env(19);
+        let mut b = UniformAveraging;
+        let mut session =
+            Session::new(&mut e, Box::new(GossipDriver::new(&mut b, "uniform-avg"))).unwrap();
+        let mut steps = 0;
+        while steps < 25 {
+            if let StepEvent::GlobalStep { .. } = session.step() {
+                steps += 1;
+            }
+        }
+        let ckpt = session.checkpoint();
+        let text = ckpt.pretty();
+        drop(session);
+
+        let mut e2 = env(19);
+        let mut b2 = UniformAveraging;
+        let mut resumed = Session::restore(
+            &mut e2,
+            Box::new(GossipDriver::new(&mut b2, "uniform-avg")),
+            &netmax_json::Json::parse(&text).unwrap(),
+        )
+        .unwrap();
+        let report = resumed.run();
+        assert_eq!(
+            report.to_json().to_string(),
+            full.to_json().to_string(),
+            "checkpoint-at-k + resume must equal the uninterrupted run"
         );
     }
 }

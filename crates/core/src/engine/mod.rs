@@ -10,8 +10,11 @@
 //! * [`environment`] — per-node state and the shared [`Environment`]
 //!   (models, shards, network, clocks).
 //! * [`recorder`] — metric sampling and the final [`RunReport`].
+//! * [`session`] — the step-wise execution surface: [`Session`],
+//!   [`SessionDriver`], [`StepEvent`], [`Observer`], checkpoint/resume.
+//! * [`stop`] — serializable [`StopCondition`] expressions.
 //! * [`gossip`] — the asynchronous gossip driver shared by NetMax,
-//!   AD-PSGD, and GoSGD ([`GossipBehavior`]).
+//!   AD-PSGD, GoSGD, and SAPS-PSGD ([`GossipBehavior`]).
 //! * [`scenario`] — declarative experiment construction
 //!   ([`ScenarioBuilder`]).
 
@@ -20,24 +23,51 @@ pub mod environment;
 pub mod gossip;
 pub mod recorder;
 pub mod scenario;
+pub mod session;
+pub mod stop;
 
 pub use config::{ExecutionMode, TrainConfig};
 pub use environment::{Environment, NodeState};
-pub use gossip::{run_gossip, GossipBehavior, PeerChoice};
+pub use gossip::{
+    check_node_index, queue_from_json, queue_to_json, run_gossip, GossipBehavior, GossipDriver,
+    PeerChoice,
+};
 pub use recorder::{Recorder, RunReport, Sample};
 pub use scenario::{PartitionKind, Scenario, ScenarioBuilder, TopologyKind};
+pub use session::{
+    DriverEvent, Observer, Session, SessionDriver, SessionError, StepEvent,
+    SESSION_CHECKPOINT_SCHEMA,
+};
+pub use stop::StopCondition;
 
 use netmax_json::{FromJson, Json, JsonError, ToJson};
 use serde::{Deserialize, Serialize};
 
 /// A distributed training algorithm executable by the engine.
+///
+/// The execution surface is the step-wise [`Session`]: an algorithm's job
+/// is to provide a [`SessionDriver`] via [`Algorithm::driver`], and
+/// [`Algorithm::run`] is a one-line blocking convenience over it.
 pub trait Algorithm {
     /// Short identifier used in reports and figures ("netmax", "ad-psgd" …).
     fn name(&self) -> &'static str;
 
-    /// Runs to completion (per [`TrainConfig`] stop conditions) and
-    /// returns the recorded metrics.
-    fn run(&mut self, env: &mut Environment) -> RunReport;
+    /// Wraps this algorithm in a [`SessionDriver`] (borrowing `self` for
+    /// the duration of the session).
+    fn driver(&mut self) -> Box<dyn SessionDriver + '_>;
+
+    /// Runs to completion (per the environment's
+    /// [`TrainConfig::effective_stop`]) and returns the recorded metrics.
+    ///
+    /// # Panics
+    /// Panics if the configuration fails session validation; use
+    /// [`Session::new`] directly for a typed error.
+    fn run(&mut self, env: &mut Environment) -> RunReport {
+        let driver = self.driver();
+        let mut session =
+            Session::new(env, driver).unwrap_or_else(|e| panic!("invalid session: {e}"));
+        session.run()
+    }
 }
 
 /// The algorithms evaluated in the paper, for declarative selection in

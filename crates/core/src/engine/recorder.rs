@@ -213,15 +213,26 @@ impl Recorder {
         Self { samples: Vec::new(), records_taken: 0, last_recorded_step: 0 }
     }
 
+    /// `true` when the configured cadence calls for a sample at the
+    /// current global step.
+    pub fn due(&self, env: &Environment) -> bool {
+        env.global_step == 1
+            || env.global_step - self.last_recorded_step >= env.cfg.record_every_steps
+    }
+
     /// Records a sample if the configured cadence says so; call after
     /// every global step.
     pub fn maybe_record(&mut self, env: &Environment) {
-        let due = env.global_step == 1
-            || env.global_step - self.last_recorded_step >= env.cfg.record_every_steps;
-        if !due {
-            return;
+        if self.due(env) {
+            self.force_record(env);
         }
+    }
+
+    /// Records a sample unconditionally and returns it (the session's
+    /// `Sampled` event payload).
+    pub fn record_now(&mut self, env: &Environment) -> Sample {
         self.force_record(env);
+        self.samples.last().expect("force_record pushed a sample").clone()
     }
 
     /// Records a sample unconditionally.
@@ -250,8 +261,26 @@ impl Recorder {
         });
     }
 
+    /// Serializes the recorder's state (samples taken so far and cadence
+    /// counters) for checkpoint/resume.
+    pub fn checkpoint(&self) -> Json {
+        Json::obj([
+            ("samples", self.samples.to_json()),
+            ("records_taken", self.records_taken.to_json()),
+            ("last_recorded_step", self.last_recorded_step.to_json()),
+        ])
+    }
+
+    /// Restores state captured by [`Recorder::checkpoint`] in place.
+    pub fn restore(&mut self, state: &Json) -> Result<(), JsonError> {
+        self.samples = Vec::from_json(state.field("samples")?)?;
+        self.records_taken = usize::from_json(state.field("records_taken")?)?;
+        self.last_recorded_step = u64::from_json(state.field("last_recorded_step")?)?;
+        Ok(())
+    }
+
     /// Finalises the report (records one last sample with test accuracy).
-    pub fn finish(mut self, env: &Environment, algorithm: &str) -> RunReport {
+    pub fn finish(&mut self, env: &Environment, algorithm: &str) -> RunReport {
         // Always end with a fully evaluated sample.
         self.records_taken = 0; // forces test eval below
         self.force_record(env);
@@ -281,7 +310,7 @@ impl Recorder {
             final_train_loss: final_loss,
             final_test_accuracy: final_acc,
             per_node,
-            samples: self.samples,
+            samples: self.samples.clone(),
         }
     }
 }
@@ -361,7 +390,7 @@ mod tests {
         let mut e = env();
         e.global_step = 1;
         e.book_iteration(0, 0.1, 0.3);
-        let rec = Recorder::new();
+        let mut rec = Recorder::new();
         let report = rec.finish(&e, "test-algo");
         assert_eq!(report.algorithm, "test-algo");
         assert_eq!(report.num_nodes, 3);

@@ -1,0 +1,487 @@
+//! The step-wise training session: a resumable state machine around the
+//! engine.
+//!
+//! [`Algorithm::run`](super::Algorithm::run) is a convenience blocking
+//! call; the real execution surface is [`Session`]. A session owns a
+//! borrowed [`Environment`], a boxed [`SessionDriver`] (the
+//! algorithm-specific event source), the metric [`Recorder`] (the
+//! built-in observer), and a [`StopCondition`]. [`Session::step`]
+//! advances exactly one event and
+//! reports it as a [`StepEvent`], so callers can
+//!
+//! * **observe** a run in flight (match on events, or register
+//!   [`Observer`]s for callback-style streaming),
+//! * **stop** it on any serializable [`StopCondition`] — or imperatively
+//!   via [`Session::finish_now`],
+//! * **checkpoint** the full mid-run state to JSON and **resume** it later
+//!   with the guarantee that *checkpoint-at-step-k then resume* produces a
+//!   [`RunReport`] byte-identical to an uninterrupted run.
+//!
+//! Determinism is the load-bearing property: a checkpoint captures the
+//! virtual clocks, the pending event queue (with its FIFO tie-break
+//! sequence numbers), every parameter replica and optimiser buffer, every
+//! per-node RNG stream, the recorder, and the driver/behavior state.
+//! Everything *not* in the checkpoint (topology, datasets, network timing)
+//! is pure data reconstructed from the
+//! [`Scenario`](super::scenario::Scenario).
+
+use super::environment::Environment;
+use super::recorder::{Recorder, RunReport, Sample};
+use super::stop::StopCondition;
+use netmax_json::{FromJson, Json, JsonError, ToJson};
+use std::fmt;
+
+/// Schema tag of [`Session::checkpoint`] documents; bump on breaking
+/// changes.
+pub const SESSION_CHECKPOINT_SCHEMA: &str = "netmax-core/session-checkpoint/v1";
+
+/// Typed errors surfaced at session construction or restore — before any
+/// training work is done.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionError {
+    /// A configuration value is invalid; the message names the field.
+    InvalidConfig(String),
+    /// A checkpoint document is malformed or inconsistent with the
+    /// session being restored.
+    BadCheckpoint(String),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            SessionError::BadCheckpoint(msg) => write!(f, "bad checkpoint: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<JsonError> for SessionError {
+    fn from(e: JsonError) -> Self {
+        SessionError::BadCheckpoint(e.to_string())
+    }
+}
+
+/// What one [`Session::step`] call did.
+#[derive(Debug, Clone)]
+pub enum StepEvent {
+    /// One asynchronous worker completed one iteration (one global step
+    /// `k` of the paper's §IV model).
+    GlobalStep {
+        /// The worker that completed.
+        node: usize,
+        /// The peer it pulled from (`None` for a self/communication-free
+        /// step, or for exchanges with a central server).
+        peer: Option<usize>,
+        /// The realised iteration time in simulated seconds.
+        iteration_s: f64,
+    },
+    /// A Network-Monitor collection round fired (Algorithm 1).
+    MonitorRound {
+        /// Simulated time of the firing.
+        time_s: f64,
+    },
+    /// A round-structured algorithm (Allreduce, Prague, PS-sync) completed
+    /// one synchronous round, advancing several global steps at once.
+    RoundComplete {
+        /// Global steps the round contributed.
+        steps: u64,
+        /// Simulated wall-clock after the round.
+        time_s: f64,
+    },
+    /// A metric sample was recorded (at the cadence of
+    /// [`TrainConfig`](super::config::TrainConfig)).
+    Sampled {
+        /// The freshly recorded sample.
+        sample: Sample,
+    },
+    /// The session finished; the report is final. Subsequent `step` calls
+    /// keep returning this event.
+    Finished {
+        /// The complete run report.
+        report: RunReport,
+    },
+}
+
+/// Callback-style consumer of session progress. All methods default to
+/// no-ops; implement the ones you need and register with
+/// [`Session::observe`].
+pub trait Observer {
+    /// Called after every completed global step.
+    fn on_step(&mut self, env: &Environment, node: usize, peer: Option<usize>, iteration_s: f64) {
+        let _ = (env, node, peer, iteration_s);
+    }
+
+    /// Called after every synchronous round of a round-structured driver.
+    fn on_round(&mut self, env: &Environment, steps: u64, time_s: f64) {
+        let _ = (env, steps, time_s);
+    }
+
+    /// Called after every Network-Monitor firing.
+    fn on_monitor(&mut self, env: &Environment, time_s: f64) {
+        let _ = (env, time_s);
+    }
+
+    /// Called after every recorded metric sample (including the final one
+    /// taken when the session finishes).
+    fn on_sample(&mut self, env: &Environment, sample: &Sample) {
+        let _ = (env, sample);
+    }
+}
+
+/// What one driver advance produced (the driver-side analogue of
+/// [`StepEvent`]; the session layers sampling, stop conditions, and
+/// finishing on top).
+#[derive(Debug, Clone)]
+pub enum DriverEvent {
+    /// One worker completed one iteration.
+    Step {
+        /// The worker that completed.
+        node: usize,
+        /// The peer it pulled from, if any.
+        peer: Option<usize>,
+        /// The realised iteration time in simulated seconds.
+        iteration_s: f64,
+    },
+    /// A Network-Monitor round fired.
+    Monitor {
+        /// Simulated time of the firing.
+        time_s: f64,
+    },
+    /// One synchronous round completed.
+    Round {
+        /// Global steps the round contributed.
+        steps: u64,
+        /// Simulated wall-clock after the round.
+        time_s: f64,
+    },
+    /// The driver has no further events (never the case for the training
+    /// drivers in this workspace, which schedule forever; the session
+    /// normally ends via its [`StopCondition`]).
+    Exhausted,
+}
+
+/// An algorithm's event source: the pluggable half of a [`Session`].
+///
+/// A driver owns the algorithm-specific scheduling state (event queues,
+/// round structure, behavior state) and advances the [`Environment`] one
+/// event at a time. Drivers must be *suspendable*: `advance` may never be
+/// called again after any event, and [`SessionDriver::checkpoint_state`] /
+/// [`SessionDriver::restore_state`] must round-trip all internal state so
+/// a restored driver continues byte-identically.
+pub trait SessionDriver {
+    /// Algorithm identifier used in reports ("netmax", "ad-psgd", …).
+    fn name(&self) -> &str;
+
+    /// Validates configuration against the environment; called once at
+    /// [`Session::new`] so a bad spec fails before any work is done.
+    fn validate(&self, env: &Environment) -> Result<(), SessionError> {
+        let _ = env;
+        Ok(())
+    }
+
+    /// Advances the simulation by exactly one event. The first call must
+    /// lazily perform any start-up work (initial scheduling, warm-up
+    /// probes).
+    fn advance(&mut self, env: &mut Environment) -> DriverEvent;
+
+    /// Serializes the driver's internal state (event queue, pending
+    /// scheduling decisions, behavior state). `Json::Null` when stateless.
+    fn checkpoint_state(&self) -> Json {
+        Json::Null
+    }
+
+    /// Restores internal state captured by
+    /// [`SessionDriver::checkpoint_state`], rebuilding any derived state
+    /// from `env`. After this call the driver must behave as if it had
+    /// advanced to the checkpointed event itself.
+    fn restore_state(&mut self, env: &mut Environment, state: &Json) -> Result<(), JsonError> {
+        let _ = (env, state);
+        Ok(())
+    }
+}
+
+/// A resumable, observable, step-wise training run. See the module docs.
+pub struct Session<'a> {
+    env: &'a mut Environment,
+    driver: Box<dyn SessionDriver + 'a>,
+    observers: Vec<&'a mut dyn Observer>,
+    recorder: Recorder,
+    stop: StopCondition,
+    algorithm: String,
+    /// A sample is due before the next driver advance (set when the
+    /// recording cadence hits after a step; delivered as the next event).
+    sample_due: bool,
+    /// Most recent recorded sample — the input to metric stop conditions.
+    latest: Option<Sample>,
+    finished: Option<RunReport>,
+}
+
+impl<'a> Session<'a> {
+    /// Creates a session over `env` driven by `driver`, stopping per the
+    /// environment's
+    /// [`TrainConfig::effective_stop`](super::config::TrainConfig::effective_stop).
+    /// Fails with a typed [`SessionError`] — before any training work —
+    /// if the config or driver parameters are invalid.
+    pub fn new(
+        env: &'a mut Environment,
+        driver: Box<dyn SessionDriver + 'a>,
+    ) -> Result<Self, SessionError> {
+        env.cfg.validate()?;
+        let stop = env.cfg.effective_stop();
+        stop.validate()?;
+        driver.validate(env)?;
+        let algorithm = driver.name().to_string();
+        Ok(Self {
+            env,
+            driver,
+            observers: Vec::new(),
+            recorder: Recorder::new(),
+            stop,
+            algorithm,
+            sample_due: false,
+            latest: None,
+            finished: None,
+        })
+    }
+
+    /// Replaces the stop condition (validated).
+    pub fn set_stop(&mut self, stop: StopCondition) -> Result<(), SessionError> {
+        stop.validate()?;
+        self.stop = stop;
+        Ok(())
+    }
+
+    /// The active stop condition.
+    pub fn stop_condition(&self) -> &StopCondition {
+        &self.stop
+    }
+
+    /// Registers an observer for callback-style progress streaming.
+    pub fn observe(&mut self, observer: &'a mut dyn Observer) {
+        self.observers.push(observer);
+    }
+
+    /// The algorithm identifier the final report will carry.
+    pub fn algorithm(&self) -> &str {
+        &self.algorithm
+    }
+
+    /// Read access to the simulation state.
+    pub fn env(&self) -> &Environment {
+        self.env
+    }
+
+    /// `true` once the session has produced its final report.
+    pub fn is_finished(&self) -> bool {
+        self.finished.is_some()
+    }
+
+    /// The final report, once finished.
+    pub fn report(&self) -> Option<&RunReport> {
+        self.finished.as_ref()
+    }
+
+    /// Advances the session by exactly one event.
+    ///
+    /// Event order mirrors the classic blocking loop exactly: after a
+    /// `GlobalStep`/`RoundComplete` that hits the recording cadence the
+    /// next call returns `Sampled` (the environment does not change in
+    /// between); the stop condition is evaluated before each driver
+    /// advance; and finishing forces one last fully evaluated sample into
+    /// the report.
+    pub fn step(&mut self) -> StepEvent {
+        if let Some(report) = &self.finished {
+            return StepEvent::Finished { report: report.clone() };
+        }
+        if self.sample_due {
+            self.sample_due = false;
+            let sample = self.recorder.record_now(self.env);
+            for obs in &mut self.observers {
+                obs.on_sample(self.env, &sample);
+            }
+            self.latest = Some(sample.clone());
+            return StepEvent::Sampled { sample };
+        }
+        if self.stop.satisfied(self.env, self.latest.as_ref()) {
+            return self.finish_event();
+        }
+        match self.driver.advance(self.env) {
+            DriverEvent::Step { node, peer, iteration_s } => {
+                for obs in &mut self.observers {
+                    obs.on_step(self.env, node, peer, iteration_s);
+                }
+                self.sample_due = self.recorder.due(self.env);
+                StepEvent::GlobalStep { node, peer, iteration_s }
+            }
+            DriverEvent::Round { steps, time_s } => {
+                for obs in &mut self.observers {
+                    obs.on_round(self.env, steps, time_s);
+                }
+                self.sample_due = self.recorder.due(self.env);
+                StepEvent::RoundComplete { steps, time_s }
+            }
+            DriverEvent::Monitor { time_s } => {
+                for obs in &mut self.observers {
+                    obs.on_monitor(self.env, time_s);
+                }
+                StepEvent::MonitorRound { time_s }
+            }
+            DriverEvent::Exhausted => self.finish_event(),
+        }
+    }
+
+    /// Runs the session to completion and returns the report.
+    pub fn run(&mut self) -> RunReport {
+        loop {
+            if let StepEvent::Finished { report } = self.step() {
+                return report;
+            }
+        }
+    }
+
+    /// Finishes immediately (e.g. on an external wall-clock deadline),
+    /// forcing the final sample and report exactly as a condition-driven
+    /// stop would.
+    pub fn finish_now(&mut self) -> RunReport {
+        match self.finish_event() {
+            StepEvent::Finished { report } => report,
+            _ => unreachable!("finish_event always finishes"),
+        }
+    }
+
+    fn finish_event(&mut self) -> StepEvent {
+        if let Some(report) = &self.finished {
+            return StepEvent::Finished { report: report.clone() };
+        }
+        let report = self.recorder.finish(self.env, &self.algorithm);
+        if let Some(sample) = report.samples.last() {
+            for obs in &mut self.observers {
+                obs.on_sample(self.env, sample);
+            }
+        }
+        self.finished = Some(report.clone());
+        StepEvent::Finished { report }
+    }
+
+    /// Serializes the complete mid-run state as a versioned JSON document.
+    ///
+    /// The checkpoint holds only *mutable* state — everything derivable
+    /// from the scenario (datasets, topology, network timing, config) is
+    /// reconstructed by building a fresh session and calling
+    /// [`Session::restore`].
+    pub fn checkpoint(&self) -> Json {
+        Json::obj([
+            ("schema", Json::Str(SESSION_CHECKPOINT_SCHEMA.into())),
+            ("algorithm", self.algorithm.to_json()),
+            ("stop", self.stop.to_json()),
+            ("env", self.env.checkpoint()),
+            ("recorder", self.recorder.checkpoint()),
+            ("driver", self.driver.checkpoint_state()),
+            ("sample_due", self.sample_due.to_json()),
+            ("latest", self.latest.to_json()),
+            (
+                "finished",
+                match &self.finished {
+                    Some(r) => r.to_json(),
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
+
+    /// Rebuilds a session from a [`Session::checkpoint`] document.
+    ///
+    /// `env` and `driver` must be *freshly constructed* from the same
+    /// scenario and algorithm configuration that produced the checkpoint
+    /// (the checkpoint's `algorithm` tag is verified). The restored
+    /// session continues byte-identically to the one that was
+    /// checkpointed.
+    pub fn restore(
+        env: &'a mut Environment,
+        driver: Box<dyn SessionDriver + 'a>,
+        checkpoint: &Json,
+    ) -> Result<Self, SessionError> {
+        let schema = checkpoint.field("schema")?.as_str()?;
+        if schema != SESSION_CHECKPOINT_SCHEMA {
+            return Err(SessionError::BadCheckpoint(format!(
+                "unsupported checkpoint schema `{schema}` (expected `{SESSION_CHECKPOINT_SCHEMA}`)"
+            )));
+        }
+        let algorithm = String::from_json(checkpoint.field("algorithm")?)?;
+        if algorithm != driver.name() {
+            return Err(SessionError::BadCheckpoint(format!(
+                "checkpoint is for algorithm `{algorithm}`, driver is `{}`",
+                driver.name()
+            )));
+        }
+        let mut session = Session::new(env, driver)?;
+        let stop = StopCondition::from_json(checkpoint.field("stop")?)?;
+        stop.validate()?;
+        session.stop = stop;
+        session.env.restore(checkpoint.field("env")?)?;
+        session.recorder.restore(checkpoint.field("recorder")?)?;
+        session
+            .driver
+            .restore_state(session.env, checkpoint.field("driver")?)?;
+        session.sample_due = bool::from_json(checkpoint.field("sample_due")?)?;
+        session.latest = Option::from_json(checkpoint.field("latest")?)?;
+        session.finished = match checkpoint.field("finished")? {
+            Json::Null => None,
+            other => Some(RunReport::from_json(other)?),
+        };
+        Ok(session)
+    }
+}
+
+/// Serializes a `netmax_linalg::Matrix` for checkpoints (module-internal
+/// helper shared by the monitor-bearing behaviors; the orphan rule keeps
+/// this out of `netmax-linalg` itself).
+pub fn matrix_to_json(m: &netmax_linalg::Matrix) -> Json {
+    Json::obj([
+        ("rows", m.rows().to_json()),
+        ("cols", m.cols().to_json()),
+        ("data", m.as_slice().to_json()),
+    ])
+}
+
+/// Inverse of [`matrix_to_json`].
+pub fn matrix_from_json(v: &Json) -> Result<netmax_linalg::Matrix, JsonError> {
+    let rows = usize::from_json(v.field("rows")?)?;
+    let cols = usize::from_json(v.field("cols")?)?;
+    let data: Vec<f64> = Vec::from_json(v.field("data")?)?;
+    if data.len() != rows * cols {
+        return Err(JsonError::schema(format!(
+            "matrix data length {} does not match {rows}x{cols}",
+            data.len()
+        )));
+    }
+    let mut m = netmax_linalg::Matrix::zeros(rows, cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            m[(r, c)] = data[r * cols + c];
+        }
+    }
+    Ok(m)
+}
+
+/// Serializes an RNG stream's raw state.
+pub(crate) fn rng_to_json(rng: &rand::rngs::StdRng) -> Json {
+    rng.state().to_vec().to_json()
+}
+
+/// Inverse of [`rng_to_json`].
+pub(crate) fn rng_from_json(v: &Json) -> Result<rand::rngs::StdRng, JsonError> {
+    let words: Vec<u64> = Vec::from_json(v)?;
+    let state: [u64; 4] = words
+        .try_into()
+        .map_err(|_| JsonError::schema("rng state must have 4 words".into()))?;
+    // The all-zero state is outside xoshiro's period (and can never be
+    // produced by a live generator); surface it as a schema error rather
+    // than letting the shim's assert abort the process.
+    if state.iter().all(|&w| w == 0) {
+        return Err(JsonError::schema("rng state must not be all-zero".into()));
+    }
+    Ok(rand::rngs::StdRng::from_state(state))
+}

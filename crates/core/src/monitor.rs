@@ -12,7 +12,9 @@
 //! (node, neighbour) pair whose smoothing factor β trades recency against
 //! stability.
 
+use crate::engine::session::{matrix_from_json, matrix_to_json};
 use crate::policy::{PolicyGenerator, PolicyResult, PolicySearchConfig};
+use netmax_json::{FromJson, Json, JsonError, ToJson};
 use netmax_linalg::Matrix;
 use netmax_net::Topology;
 use serde::{Deserialize, Serialize};
@@ -84,6 +86,39 @@ impl EmaTimeTracker {
             }
         }
         out
+    }
+
+    /// Serializes the tracker's full state for checkpoint/resume.
+    pub fn checkpoint(&self) -> Json {
+        Json::obj([
+            ("beta", self.beta.to_json()),
+            ("n", self.n.to_json()),
+            ("times", matrix_to_json(&self.times)),
+            ("observed", self.observed.to_json()),
+        ])
+    }
+
+    /// Rebuilds a tracker from [`EmaTimeTracker::checkpoint`] state.
+    pub fn restore(state: &Json) -> Result<Self, JsonError> {
+        let n = usize::from_json(state.field("n")?)?;
+        let observed: Vec<bool> = Vec::from_json(state.field("observed")?)?;
+        if observed.len() != n * n {
+            return Err(JsonError::schema("tracker observed-flag length mismatch".into()));
+        }
+        let times = matrix_from_json(state.field("times")?)?;
+        if times.rows() != n || times.cols() != n {
+            return Err(JsonError::schema(format!(
+                "tracker time matrix is {}x{}, expected {n}x{n}",
+                times.rows(),
+                times.cols()
+            )));
+        }
+        Ok(Self {
+            times,
+            observed,
+            beta: f64::from_json(state.field("beta")?)?,
+            n,
+        })
     }
 
     /// Fraction of (ordered, adjacent) pairs with at least one observation.
@@ -159,6 +194,18 @@ impl NetworkMonitor {
     /// The most recent successful policy, if any.
     pub fn last_policy(&self) -> Option<&PolicyResult> {
         self.last.as_ref()
+    }
+
+    /// Serializes the monitor's mutable counters for checkpoint/resume
+    /// (the last produced policy lives with the behavior that applies it).
+    pub fn checkpoint(&self) -> Json {
+        Json::obj([("rounds", self.rounds.to_json())])
+    }
+
+    /// Restores counters captured by [`NetworkMonitor::checkpoint`].
+    pub fn restore(&mut self, state: &Json) -> Result<(), JsonError> {
+        self.rounds = u64::from_json(state.field("rounds")?)?;
+        Ok(())
     }
 
     /// One monitor round (Algorithm 1 lines 3–6): collect the time matrix

@@ -14,10 +14,10 @@
 //! Every `Ts` the Network Monitor collects the EMA matrix and disseminates
 //! a freshly optimised `(P, ρ)`.
 
-use crate::engine::{
-    run_gossip, Algorithm, Environment, GossipBehavior, PeerChoice, RunReport,
-};
+use crate::engine::session::{matrix_from_json, matrix_to_json};
+use crate::engine::{Algorithm, Environment, GossipBehavior, GossipDriver, PeerChoice, SessionDriver};
 use crate::monitor::{EmaTimeTracker, MonitorConfig, NetworkMonitor};
+use netmax_json::{FromJson, Json, JsonError, ToJson};
 use netmax_linalg::Matrix;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -134,6 +134,10 @@ impl NetMax {
 }
 
 impl GossipBehavior for NetMax {
+    fn on_start(&mut self, env: &mut Environment) {
+        self.reset(env.num_nodes());
+    }
+
     fn select_peer(&mut self, env: &mut Environment, i: usize) -> PeerChoice {
         if self.policy.is_some() {
             self.sample_policy_row(env, i)
@@ -198,6 +202,43 @@ impl GossipBehavior for NetMax {
             self.policies_applied += 1;
         }
     }
+
+    fn checkpoint_state(&self) -> Json {
+        Json::obj([
+            (
+                "tracker",
+                match &self.tracker {
+                    Some(t) => t.checkpoint(),
+                    None => Json::Null,
+                },
+            ),
+            ("monitor", self.monitor.checkpoint()),
+            (
+                "policy",
+                match &self.policy {
+                    Some(p) => matrix_to_json(p),
+                    None => Json::Null,
+                },
+            ),
+            ("rho", self.rho.to_json()),
+            ("policies_applied", self.policies_applied.to_json()),
+        ])
+    }
+
+    fn restore_state(&mut self, _env: &Environment, state: &Json) -> Result<(), JsonError> {
+        self.tracker = match state.field("tracker")? {
+            Json::Null => None,
+            t => Some(EmaTimeTracker::restore(t)?),
+        };
+        self.monitor.restore(state.field("monitor")?)?;
+        self.policy = match state.field("policy")? {
+            Json::Null => None,
+            p => Some(matrix_from_json(p)?),
+        };
+        self.rho = Option::from_json(state.field("rho")?)?;
+        self.policies_applied = u64::from_json(state.field("policies_applied")?)?;
+        Ok(())
+    }
 }
 
 impl Algorithm for NetMax {
@@ -209,10 +250,9 @@ impl Algorithm for NetMax {
         }
     }
 
-    fn run(&mut self, env: &mut Environment) -> RunReport {
-        self.reset(env.num_nodes());
+    fn driver(&mut self) -> Box<dyn SessionDriver + '_> {
         let name = self.name();
-        run_gossip(self, env, name)
+        Box::new(GossipDriver::new(self, name))
     }
 }
 

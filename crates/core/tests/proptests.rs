@@ -1,15 +1,20 @@
 //! Property-based tests for the NetMax core: policy feasibility over
 //! random heterogeneous time matrices, Y_P structure for random feasible
-//! policies, and EMA tracker behaviour.
+//! policies, EMA tracker behaviour, and the session checkpoint/resume
+//! determinism guarantee over random scenarios.
 
+use netmax_core::engine::{Algorithm, Scenario, Session, StepEvent, TrainConfig};
 use netmax_core::gossip_matrix::{build_y, node_probabilities};
 use netmax_core::monitor::EmaTimeTracker;
+use netmax_core::netmax::{NetMax, NetMaxConfig};
 use netmax_core::policy::{PolicyGenerator, PolicySearchConfig};
+use netmax_json::{Json, ToJson};
 use netmax_linalg::{
     is_doubly_stochastic, is_irreducible, is_nonnegative, is_symmetric,
     second_largest_eigenvalue, Matrix,
 };
-use netmax_net::Topology;
+use netmax_ml::workload::WorkloadSpec;
+use netmax_net::{NetworkKind, Topology};
 use proptest::prelude::*;
 
 /// Strategy: a random symmetric iteration-time matrix over `m` nodes with
@@ -129,5 +134,80 @@ proptest! {
             t.record(0, 1, o);
         }
         prop_assert!((t.get(0, 1).unwrap() - obs.last().unwrap()).abs() < 1e-12);
+    }
+}
+
+/// A small random scenario: 2–5 workers, random seed and network regime.
+fn small_scenario() -> impl Strategy<Value = Scenario> {
+    (2usize..6, 0u64..1000, 0usize..3).prop_map(|(workers, seed, net)| {
+        let network = match net {
+            0 => NetworkKind::Homogeneous,
+            1 => NetworkKind::HeterogeneousStatic,
+            _ => NetworkKind::HeterogeneousDynamic,
+        };
+        Scenario::builder()
+            .workers(workers)
+            .network(network)
+            .workload(WorkloadSpec::convex_ridge(seed % 17))
+            .train_config(TrainConfig { seed, max_epochs: 1.5, ..TrainConfig::quick_test() })
+            .build()
+    })
+}
+
+/// NetMax with a monitor period short enough to fire within the tiny runs,
+/// so checkpoints capture mid-run policy/tracker state too.
+fn netmax_algo() -> NetMax {
+    let mut cfg = NetMaxConfig::paper_default(0.05);
+    cfg.monitor.period_s = 2.0;
+    NetMax::new(cfg)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The checkpoint JSON round-trip guarantee over random scenarios:
+    /// `Session::restore(checkpoint-at-step-k)` resumes to a `RunReport`
+    /// byte-identical to the uninterrupted run, for arbitrary k.
+    #[test]
+    fn checkpoint_round_trip_resumes_byte_identically(
+        sc in small_scenario(),
+        k in 0u64..200,
+    ) {
+        // Uninterrupted reference run.
+        let mut algo = netmax_algo();
+        let mut env = sc.build_env();
+        let full = {
+            let mut session = Session::new(&mut env, algo.driver()).unwrap();
+            session.run()
+        };
+
+        // Interrupted: step to >= k global steps (or completion),
+        // checkpoint through serialized text, restore, finish.
+        let mut algo1 = netmax_algo();
+        let mut env1 = sc.build_env();
+        let text = {
+            let mut session = Session::new(&mut env1, algo1.driver()).unwrap();
+            while session.env().global_step < k {
+                if let StepEvent::Finished { .. } = session.step() {
+                    break;
+                }
+            }
+            session.checkpoint().pretty()
+        };
+
+        let mut algo2 = netmax_algo();
+        let mut env2 = sc.build_env();
+        let mut resumed = Session::restore(
+            &mut env2,
+            algo2.driver(),
+            &Json::parse(&text).unwrap(),
+        )
+        .unwrap();
+        let report = resumed.run();
+        prop_assert_eq!(
+            report.to_json().to_string(),
+            full.to_json().to_string(),
+            "resume at k={} diverged for {:?}", k, sc
+        );
     }
 }

@@ -199,6 +199,20 @@ impl FromJson for f64 {
     }
 }
 
+impl ToJson for f32 {
+    fn to_json(&self) -> Json {
+        // Widening to f64 is exact, and the f64 writer emits the shortest
+        // round-tripping decimal, so `f32 → Json → f32` is lossless.
+        f64::from(*self).to_json()
+    }
+}
+
+impl FromJson for f32 {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(v.as_f64()? as f32)
+    }
+}
+
 impl ToJson for String {
     fn to_json(&self) -> Json {
         Json::Str(self.clone())
@@ -325,6 +339,15 @@ mod tests {
         for bad in ["", "{", "[1,]", "{\"a\":}", "01", "1 2", "\"\\q\"", "nul"] {
             assert!(Json::parse(bad).is_err(), "{bad:?} should not parse");
         }
+    }
+
+    #[test]
+    fn f32_round_trips_exactly() {
+        for x in [0.1f32, -3.625, f32::MIN_POSITIVE, 1.0e30, 0.0] {
+            let back = f32::from_json(&Json::parse(&x.to_json().to_string()).unwrap()).unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{x}");
+        }
+        assert!(f32::from_json(&Json::Null).unwrap().is_nan());
     }
 
     #[test]

@@ -60,6 +60,19 @@ impl SgdState {
         Self { velocity: vec![0.0; num_params] }
     }
 
+    /// The momentum buffer (checkpointing hook).
+    pub fn velocity(&self) -> &[f32] {
+        &self.velocity
+    }
+
+    /// Mutable momentum buffer (checkpoint restore hook).
+    ///
+    /// # Panics
+    /// Callers must preserve the length; [`SgdState::step`] asserts it.
+    pub fn velocity_mut(&mut self) -> &mut [f32] {
+        &mut self.velocity
+    }
+
     /// Applies one SGD step: `v ← µv + (g + wd·θ)`, `θ ← θ − lr·v`.
     ///
     /// This is the PyTorch-convention momentum update the paper's

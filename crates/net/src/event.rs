@@ -89,6 +89,41 @@ impl<E> EventQueue<E> {
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }
+
+    /// The pending entries as `(time, seq, event)` triples in pop order —
+    /// the queue's full state for checkpointing (together with
+    /// [`EventQueue::next_seq`]).
+    pub fn entries(&self) -> Vec<(f64, u64, &E)> {
+        let mut out: Vec<(f64, u64, &E)> =
+            self.heap.iter().map(|e| (e.time, e.seq, &e.event)).collect();
+        out.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0).expect("event time was NaN").then(a.1.cmp(&b.1))
+        });
+        out
+    }
+
+    /// The sequence number the next [`EventQueue::push`] will use. Part of
+    /// the checkpointable state: FIFO tie-breaking depends on it.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Re-inserts an entry with an explicit sequence number (checkpoint
+    /// restore). Keeps `next_seq` above every restored sequence.
+    ///
+    /// # Panics
+    /// Panics if `time` is NaN or negative.
+    pub fn restore_entry(&mut self, time: f64, seq: u64, event: E) {
+        assert!(time.is_finite() && time >= 0.0, "event time must be finite and non-negative");
+        self.heap.push(Entry { time, seq, event });
+        self.next_seq = self.next_seq.max(seq + 1);
+    }
+
+    /// Overrides the next sequence number (checkpoint restore). Never
+    /// lowers it below a value already implied by restored entries.
+    pub fn set_next_seq(&mut self, seq: u64) {
+        self.next_seq = self.next_seq.max(seq);
+    }
 }
 
 #[cfg(test)]
@@ -125,6 +160,30 @@ mod tests {
         assert_eq!(q.peek_time(), Some(5.0));
         assert_eq!(q.len(), 1);
         assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn snapshot_and_restore_preserve_order() {
+        let mut q = EventQueue::new();
+        q.push(2.0, "b");
+        q.push(1.0, "a1");
+        q.push(1.0, "a2");
+        let entries: Vec<(f64, u64, String)> =
+            q.entries().into_iter().map(|(t, s, e)| (t, s, e.to_string())).collect();
+        assert_eq!(entries.len(), 3);
+        assert_eq!(entries[0], (1.0, 1, "a1".to_string()));
+        assert_eq!(entries[1], (1.0, 2, "a2".to_string()));
+        let next = q.next_seq();
+
+        let mut r: EventQueue<String> = EventQueue::new();
+        for (t, s, e) in entries {
+            r.restore_entry(t, s, e);
+        }
+        r.set_next_seq(next);
+        assert_eq!(r.next_seq(), next);
+        assert_eq!(r.pop().unwrap().1, "a1");
+        assert_eq!(r.pop().unwrap().1, "a2");
+        assert_eq!(r.pop().unwrap().1, "b");
     }
 
     #[test]

@@ -186,6 +186,27 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// Raw 256-bit generator state — an offline-shim extension used by
+        /// the workspace's checkpoint/resume machinery. (The real crate
+        /// exposes generator state through its optional `serde1` feature;
+        /// when migrating off the shim, swap these for serde.)
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from raw state captured by
+        /// [`StdRng::state`].
+        ///
+        /// # Panics
+        /// Panics on the all-zero state, which is outside xoshiro256\*\*'s
+        /// period (and can never be produced by [`StdRng::state`]).
+        pub fn from_state(s: [u64; 4]) -> Self {
+            assert!(s.iter().any(|&w| w != 0), "all-zero xoshiro state is degenerate");
+            StdRng { s }
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             // xoshiro256** step.

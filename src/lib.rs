@@ -46,6 +46,45 @@
 //! assert!(report.final_train_loss.is_finite());
 //! ```
 //!
+//! ## Step-wise sessions
+//!
+//! `run_with` blocks to completion; the full execution surface is the
+//! resumable [`Session`](netmax_core::engine::Session) state machine —
+//! observe a run in flight, stop it on a declarative condition, or
+//! checkpoint and resume it byte-identically:
+//!
+//! ```
+//! use netmax::prelude::*;
+//!
+//! let mut scenario = ScenarioBuilder::new()
+//!     .workers(4)
+//!     .workload(WorkloadSpec::convex_ridge(7))
+//!     .train_config(TrainConfig::quick_test())
+//!     .seed(42)
+//!     .build();
+//! // Serializable stop condition: 150 global steps, whichever of it and
+//! // the simulated-time safety net comes first.
+//! scenario.cfg_mut().stop = Some(StopCondition::MaxGlobalSteps(150));
+//!
+//! let mut algo = algorithm_for(AlgorithmKind::AdPsgd, 0.1);
+//! let mut env = scenario.build_env();
+//! let mut session = Session::new(&mut env, algo.driver())?;
+//! let report = loop {
+//!     match session.step() {
+//!         StepEvent::Sampled { sample } => assert!(sample.train_loss.is_finite()),
+//!         StepEvent::Finished { report } => break report,
+//!         _ => {} // GlobalStep / RoundComplete / MonitorRound
+//!     }
+//! };
+//! assert_eq!(report.global_steps, 150);
+//!
+//! // The checkpoint is a versioned JSON document; restoring it into a
+//! // fresh session resumes byte-identically (see ARCHITECTURE.md §3).
+//! let checkpoint = session.checkpoint();
+//! assert!(checkpoint.to_string().contains("session-checkpoint/v1"));
+//! # Ok::<(), netmax::core::engine::SessionError>(())
+//! ```
+//!
 //! Scale up the same scenario (8+ workers, 48-epoch budgets, the paper's
 //! network regimes) with the figure binaries in `crates/bench/src/bin/` —
 //! see the README's figure map.
@@ -63,8 +102,8 @@ pub mod prelude {
         algorithm_for, AdPsgd, AllreduceSgd, GoSgd, ParameterServer, Prague,
     };
     pub use netmax_core::engine::{
-        Algorithm, AlgorithmKind, PartitionKind, RunReport, Scenario, ScenarioBuilder,
-        TrainConfig,
+        Algorithm, AlgorithmKind, Observer, PartitionKind, RunReport, Sample, Scenario,
+        ScenarioBuilder, Session, SessionError, StepEvent, StopCondition, TrainConfig,
     };
     pub use netmax_core::netmax::{NetMax, NetMaxConfig};
     pub use netmax_core::policy::{PolicyGenerator, PolicySearchConfig};
