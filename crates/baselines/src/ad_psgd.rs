@@ -107,9 +107,9 @@ impl GossipBehavior for AdPsgd {
             }
             PeerChoice::SelfStep
         } else {
-            let nbrs = env.topology.neighbors(i);
-            let k = env.node_rng(i).gen_range(0..nbrs.len());
-            PeerChoice::Peer(nbrs[k])
+            let degree = env.topology.neighbors(i).len();
+            let k = env.node_rng(i).gen_range(0..degree);
+            PeerChoice::Peer(env.topology.neighbors(i)[k])
         }
     }
 

@@ -35,15 +35,25 @@ impl Algorithm for AllreduceSgd {
     }
 
     fn driver(&mut self) -> Box<dyn SessionDriver + '_> {
-        Box::new(AllreduceDriver { started: false })
+        Box::new(AllreduceDriver {
+            started: false,
+            ring: Vec::new(),
+            compute: Vec::new(),
+            mean_grad: Vec::new(),
+        })
     }
 }
 
 /// Round-granular session driver: one advance = one fully synchronous
 /// round (compute, ring-allreduce, identical averaged update on every
-/// replica).
+/// replica). The per-round work buffers persist across advances so a
+/// steady-state round allocates nothing; they are transient scratch, not
+/// checkpointed state.
 struct AllreduceDriver {
     started: bool,
+    ring: Vec<usize>,
+    compute: Vec<f64>,
+    mean_grad: Vec<f32>,
 }
 
 impl SessionDriver for AllreduceDriver {
@@ -63,33 +73,35 @@ impl SessionDriver for AllreduceDriver {
             }
         }
         let bytes = env.workload.profile.param_bytes();
-        let ring: Vec<usize> = (0..n).collect();
+        self.ring.clear();
+        self.ring.extend(0..n);
         let now = env.nodes[0].clock; // all clocks advance in lockstep
 
         // Parallel gradient computation; the round waits for the slowest
         // worker.
-        let mut mean_grad: Vec<f32> = Vec::new();
-        let mut compute: Vec<f64> = Vec::with_capacity(n);
+        self.compute.clear();
+        self.mean_grad.clear();
         for i in 0..n {
-            let (g, c) = env.compute_gradient(i);
-            compute.push(c);
-            if mean_grad.is_empty() {
-                mean_grad = g;
+            let c = env.compute_gradient(i);
+            self.compute.push(c);
+            let g = env.grad(i);
+            if self.mean_grad.is_empty() {
+                self.mean_grad.extend_from_slice(g);
             } else {
-                for (a, b) in mean_grad.iter_mut().zip(&g) {
+                for (a, b) in self.mean_grad.iter_mut().zip(g) {
                     *a += b;
                 }
             }
         }
         let inv = 1.0 / n as f32;
-        for a in &mut mean_grad {
+        for a in &mut self.mean_grad {
             *a *= inv;
         }
-        let c_max = compute.iter().copied().fold(0.0, f64::max);
-        let ar = ring_allreduce_time(env.network.as_ref(), &ring, bytes, now + c_max, 1.0);
+        let c_max = self.compute.iter().copied().fold(0.0, f64::max);
+        let ar = ring_allreduce_time(env.network.as_ref(), &self.ring, bytes, now + c_max, 1.0);
 
-        for (i, &c) in compute.iter().enumerate() {
-            env.apply_gradient(i, &mean_grad);
+        for (i, &c) in self.compute.iter().enumerate() {
+            env.apply_gradient(i, &self.mean_grad);
             env.book_iteration(i, c, c_max + ar);
         }
         env.global_step += n as u64;

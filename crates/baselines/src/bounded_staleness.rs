@@ -46,6 +46,7 @@ impl Algorithm for BoundedStaleness {
             compute: Vec::new(),
             iters: Vec::new(),
             blocked: Vec::new(),
+            blocked_scratch: Vec::new(),
             pending_post: None,
             started: false,
         })
@@ -98,6 +99,9 @@ struct BsDriver {
     iters: Vec<u64>,
     /// Nodes currently blocked on the bound.
     blocked: Vec<usize>,
+    /// Swap buffer for the blocked-worker release pass (transient scratch,
+    /// not checkpointed; keeps the release loop allocation-free).
+    blocked_scratch: Vec<usize>,
     /// Post-processing owed for the last completed event:
     /// `(node, now, compute_s)`.
     pending_post: Option<(usize, f64, f64)>,
@@ -106,9 +110,9 @@ struct BsDriver {
 
 impl BsDriver {
     fn schedule(&mut self, env: &mut Environment, i: usize, c: f64) {
-        let nbrs = env.topology.neighbors(i);
-        let k = env.node_rng(i).gen_range(0..nbrs.len());
-        let peer = nbrs[k];
+        let degree = env.topology.neighbors(i).len();
+        let k = env.node_rng(i).gen_range(0..degree);
+        let peer = env.topology.neighbors(i)[k];
         let start = env.nodes[i].clock;
         let comm = env.comm_time(i, peer, start);
         let iter = env.cfg.execution.iteration_time(c, comm);
@@ -129,10 +133,13 @@ impl BsDriver {
             self.schedule(env, node, compute_s);
         }
 
-        // Release any blocked workers whose lead is now legal.
+        // Release any blocked workers whose lead is now legal. Swapping
+        // through the scratch buffer retains both vectors' capacity, so
+        // the release pass never allocates.
         let min_iters = self.iters.iter().copied().min().unwrap_or(0);
-        let blocked = std::mem::take(&mut self.blocked);
-        for b in blocked {
+        std::mem::swap(&mut self.blocked, &mut self.blocked_scratch);
+        for idx in 0..self.blocked_scratch.len() {
+            let b = self.blocked_scratch[idx];
             if self.iters[b] < min_iters + self.bound {
                 // The blocked worker resumes at the *current* global time:
                 // charge the stall to its clock.
@@ -144,6 +151,7 @@ impl BsDriver {
                 self.blocked.push(b);
             }
         }
+        self.blocked_scratch.clear();
     }
 }
 
@@ -169,8 +177,10 @@ impl SessionDriver for BsDriver {
             return DriverEvent::Exhausted;
         };
         let _ = env.gradient_step(node);
-        let pulled = env.pull_params(peer);
+        let mut pulled = env.take_param_buf();
+        env.pull_params_into(peer, &mut pulled);
         netmax_ml::params::blend(0.5, env.nodes[node].model.params_mut(), &pulled);
+        env.recycle_param_buf(pulled);
         env.book_iteration(node, compute_s, iteration_s);
         env.global_step += 1;
         self.iters[node] += 1;

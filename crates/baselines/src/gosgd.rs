@@ -32,9 +32,9 @@ impl GoSgd {
 
 impl GossipBehavior for GoSgd {
     fn select_peer(&mut self, env: &mut Environment, i: usize) -> PeerChoice {
-        let nbrs = env.topology.neighbors(i);
-        let k = env.node_rng(i).gen_range(0..nbrs.len());
-        PeerChoice::Peer(nbrs[k])
+        let degree = env.topology.neighbors(i).len();
+        let k = env.node_rng(i).gen_range(0..degree);
+        PeerChoice::Peer(env.topology.neighbors(i)[k])
     }
 
     fn merge(&mut self, env: &mut Environment, i: usize, _m: usize, pulled: &[f32]) {

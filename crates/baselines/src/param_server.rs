@@ -68,7 +68,11 @@ impl Algorithm for ParameterServer {
 
     fn driver(&mut self) -> Box<dyn SessionDriver + '_> {
         match self.flavor {
-            Flavor::Sync => Box::new(PsSyncDriver { server: None }),
+            Flavor::Sync => Box::new(PsSyncDriver {
+                server: None,
+                compute: Vec::new(),
+                mean_grad: Vec::new(),
+            }),
             Flavor::Async => Box::new(PsAsyncDriver {
                 server: None,
                 queue: EventQueue::new(),
@@ -118,9 +122,12 @@ impl ServerState {
 }
 
 /// Round-granular session driver for PS-sync: one advance = one
-/// synchronous push/aggregate/pull round.
+/// synchronous push/aggregate/pull round. The per-round work buffers
+/// persist across advances (transient scratch, not checkpointed).
 struct PsSyncDriver {
     server: Option<ServerState>,
+    compute: Vec<f64>,
+    mean_grad: Vec<f32>,
 }
 
 impl SessionDriver for PsSyncDriver {
@@ -130,35 +137,42 @@ impl SessionDriver for PsSyncDriver {
 
     fn advance(&mut self, env: &mut Environment) -> DriverEvent {
         let n = env.num_nodes();
-        let server = self.server.get_or_insert_with(|| ServerState::broadcast(env));
+        if self.server.is_none() {
+            self.server = Some(ServerState::broadcast(env));
+        }
 
         let now = env.nodes[0].clock;
-        let mut mean_grad: Vec<f32> = Vec::new();
-        let mut compute = Vec::with_capacity(n);
+        // The server's lr is read before the round's batch draws advance
+        // the epoch counters — the same read-before-draw milestone
+        // semantics as `Environment::gradient_step`.
+        let lr = env.workload.optim.lr_at(env.mean_epoch());
+        self.compute.clear();
+        self.mean_grad.clear();
         for i in 0..n {
-            let (g, c) = env.compute_gradient(i);
-            compute.push(c);
-            if mean_grad.is_empty() {
-                mean_grad = g;
+            let c = env.compute_gradient(i);
+            self.compute.push(c);
+            let g = env.grad(i);
+            if self.mean_grad.is_empty() {
+                self.mean_grad.extend_from_slice(g);
             } else {
-                for (a, b) in mean_grad.iter_mut().zip(&g) {
+                for (a, b) in self.mean_grad.iter_mut().zip(g) {
                     *a += b;
                 }
             }
         }
         let inv = 1.0 / n as f32;
-        for a in &mut mean_grad {
+        for a in &mut self.mean_grad {
             *a *= inv;
         }
-        let c_max = compute.iter().copied().fold(0.0, f64::max);
+        let c_max = self.compute.iter().copied().fold(0.0, f64::max);
         // All workers exchange with the shared server NIC concurrently.
         let comm = (0..n)
             .map(|i| ParameterServer::round_trip(env, i, now + c_max, n as f64))
             .fold(0.0, f64::max);
 
-        let lr = env.workload.optim.lr_at(env.mean_epoch());
-        server.opt.step(&env.workload.optim, lr, &mut server.global, &mean_grad);
-        for (i, &c) in compute.iter().enumerate() {
+        let server = self.server.as_mut().expect("server initialised above");
+        server.opt.step(&env.workload.optim, lr, &mut server.global, &self.mean_grad);
+        for (i, &c) in self.compute.iter().enumerate() {
             env.nodes[i].model.params_mut().copy_from_slice(&server.global);
             env.book_iteration(i, c, c_max + comm);
         }
@@ -219,12 +233,13 @@ impl SessionDriver for PsAsyncDriver {
         let Some((now, i)) = self.queue.pop() else {
             return DriverEvent::Exhausted;
         };
-        let server = self.server.as_mut().expect("server initialised above");
         // Worker i finished: its gradient (computed on its stale copy)
-        // reaches the server, which applies it immediately.
-        let (grad, _c) = env.compute_gradient(i);
-        let lr = env.lr(i);
-        server.opt.step(&env.workload.optim, lr, &mut server.global, &grad);
+        // reaches the server, which applies it immediately at the lr
+        // captured before the worker's batch draw.
+        let _c = env.compute_gradient(i);
+        let lr = env.pending_lr(i);
+        let server = self.server.as_mut().expect("server initialised above");
+        server.opt.step(&env.workload.optim, lr, &mut server.global, env.grad(i));
         // Worker receives the fresh model.
         env.nodes[i].model.params_mut().copy_from_slice(&server.global);
 

@@ -38,16 +38,28 @@ impl Algorithm for Prague {
     }
 
     fn driver(&mut self) -> Box<dyn SessionDriver + '_> {
-        Box::new(PragueDriver { group_size: self.group_size })
+        Box::new(PragueDriver {
+            group_size: self.group_size,
+            order: Vec::new(),
+            bounds: Vec::new(),
+            compute: Vec::new(),
+        })
     }
 }
 
 /// Round-granular session driver: one advance = one full round of random
-/// grouping plus every group's partial-allreduce. The only mutable state
-/// is the environment's (the grouping draws from `env.rng`), so the
-/// driver itself checkpoints as stateless.
+/// grouping plus every group's partial-allreduce. The only *checkpointed*
+/// mutable state is the environment's (the grouping draws from
+/// `env.rng`); the work buffers below are per-round scratch that persists
+/// across advances so steady-state rounds allocate nothing.
 struct PragueDriver {
     group_size: usize,
+    /// This round's shuffled node order (groups are contiguous ranges).
+    order: Vec<usize>,
+    /// `(start, end)` group boundaries into `order`.
+    bounds: Vec<(usize, usize)>,
+    /// Per-member compute times of the current group.
+    compute: Vec<f64>,
 }
 
 impl SessionDriver for PragueDriver {
@@ -60,29 +72,33 @@ impl SessionDriver for PragueDriver {
         let bytes = env.workload.profile.param_bytes();
 
         // Random group assignment for this round.
-        let mut order: Vec<usize> = (0..n).collect();
-        order.shuffle(&mut env.rng);
-        let groups: Vec<Vec<usize>> = partition_groups(&order, self.group_size);
-        let n_groups = groups.len().max(1);
+        self.order.clear();
+        self.order.extend(0..n);
+        self.order.shuffle(&mut env.rng);
+        partition_groups(n, self.group_size, &mut self.bounds);
+        let n_groups = self.bounds.len().max(1);
         // Concurrent partial-allreduces contend for the shared fabric.
         // Contention is partial — groups overlap in time but not
         // fully, and only cross-server hops share physical links — so
         // each extra concurrent group costs 25% extra transfer time.
         let share = 1.0 / (1.0 + 0.25 * (n_groups as f64 - 1.0));
 
-        for group in &groups {
+        for b in 0..self.bounds.len() {
+            let (gs, ge) = self.bounds[b];
             // Group rendezvous: members wait for the latest member.
-            let start = group
+            let start = self.order[gs..ge]
                 .iter()
                 .map(|&i| env.nodes[i].clock)
                 .fold(0.0f64, f64::max);
 
             // Local SGD step on every member (models, not gradients).
-            let mut compute = Vec::with_capacity(group.len());
-            for &i in group {
-                compute.push(env.gradient_step(i));
+            self.compute.clear();
+            for k in gs..ge {
+                let i = self.order[k];
+                self.compute.push(env.gradient_step(i));
             }
-            let c_max = compute.iter().copied().fold(0.0, f64::max);
+            let group = &self.order[gs..ge];
+            let c_max = self.compute.iter().copied().fold(0.0, f64::max);
 
             let comm = if group.len() >= 2 {
                 ring_allreduce_time(env.network.as_ref(), group, bytes, start + c_max, share)
@@ -90,10 +106,13 @@ impl SessionDriver for PragueDriver {
                 0.0
             };
 
-            // Partial-allreduce: group-average the member models.
+            // Partial-allreduce: group-average the member models (into a
+            // pooled parameter buffer).
             if group.len() >= 2 {
                 let dim = env.nodes[group[0]].model.num_params();
-                let mut mean = vec![0.0f32; dim];
+                let mut mean = env.take_param_buf();
+                mean.clear();
+                mean.resize(dim, 0.0);
                 let inv = 1.0 / group.len() as f32;
                 for &i in group {
                     for (a, p) in mean.iter_mut().zip(env.nodes[i].model.params()) {
@@ -103,12 +122,13 @@ impl SessionDriver for PragueDriver {
                 for &i in group {
                     env.nodes[i].model.params_mut().copy_from_slice(&mean);
                 }
+                env.recycle_param_buf(mean);
             }
 
             for (slot, &i) in group.iter().enumerate() {
                 // Rendezvous wait is booked as exposed communication.
                 let wait = start - env.nodes[i].clock;
-                env.book_iteration(i, compute[slot], wait + c_max + comm);
+                env.book_iteration(i, self.compute[slot], wait + c_max + comm);
             }
             env.global_step += group.len() as u64;
         }
@@ -116,18 +136,21 @@ impl SessionDriver for PragueDriver {
     }
 }
 
-/// Splits a shuffled order into groups of `size`, folding a trailing
-/// single node into the previous group.
-fn partition_groups(order: &[usize], size: usize) -> Vec<Vec<usize>> {
-    let mut groups: Vec<Vec<usize>> = order.chunks(size).map(<[usize]>::to_vec).collect();
-    if groups.len() >= 2 && groups.last().is_some_and(|g| g.len() == 1) {
-        let last = groups.pop().expect("checked non-empty");
-        groups
-            .last_mut()
-            .expect("checked len >= 2")
-            .extend(last);
+/// Splits a shuffled order of `n` nodes into contiguous groups of `size`,
+/// folding a trailing single node into the previous group; boundaries are
+/// written into `bounds`.
+fn partition_groups(n: usize, size: usize, bounds: &mut Vec<(usize, usize)>) {
+    bounds.clear();
+    let mut start = 0;
+    while start < n {
+        let end = (start + size).min(n);
+        bounds.push((start, end));
+        start = end;
     }
-    groups
+    if bounds.len() >= 2 && bounds.last().is_some_and(|&(s, e)| e - s == 1) {
+        let (_, end) = bounds.pop().expect("checked non-empty");
+        bounds.last_mut().expect("checked len >= 2").1 = end;
+    }
 }
 
 #[cfg(test)]
@@ -148,14 +171,17 @@ mod tests {
 
     #[test]
     fn partitioning_covers_everyone_without_singletons() {
-        let order: Vec<usize> = (0..9).collect();
-        let groups = partition_groups(&order, 4);
-        let total: usize = groups.iter().map(Vec::len).sum();
+        let mut bounds = Vec::new();
+        partition_groups(9, 4, &mut bounds);
+        let total: usize = bounds.iter().map(|&(s, e)| e - s).sum();
         assert_eq!(total, 9);
-        assert!(groups.iter().all(|g| g.len() >= 2));
+        assert!(bounds.iter().all(|&(s, e)| e - s >= 2));
+        // Contiguous cover of 0..9.
+        assert_eq!(bounds.first().map(|&(s, _)| s), Some(0));
+        assert!(bounds.windows(2).all(|w| w[0].1 == w[1].0));
 
-        let groups = partition_groups(&(0..8).collect::<Vec<_>>(), 4);
-        assert_eq!(groups.len(), 2);
+        partition_groups(8, 4, &mut bounds);
+        assert_eq!(bounds.len(), 2);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //!                  [--progress] [--deadline-s S]
 //!                  [--checkpoint-dir DIR [--suspend-steps K]]
 //!                  [--resume DIR]
+//! netmax-bench throughput [--quick] [--steps N] [--repeats R] [--out path]
 //! netmax-bench show <artifact.json>
 //! ```
 //!
@@ -53,6 +54,8 @@ const RUN_FLAGS: FlagSpec = FlagSpec {
     boolean: &["--sequential", "--quick", "--tiny", "--progress"],
 };
 const SHOW_FLAGS: FlagSpec = FlagSpec { value: &[], boolean: &[] };
+const THROUGHPUT_FLAGS: FlagSpec =
+    FlagSpec { value: &["--steps", "--repeats", "--out"], boolean: &["--quick"] };
 
 /// Splits argv into positional arguments under a command's flag spec,
 /// skipping the value each value-taking flag consumes (so `run --seeds 2
@@ -86,11 +89,30 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     // The command may appear anywhere among the flags (`--tiny list`
-    // works): it is the first argument matching a known command name.
-    // Flag *values* can't be confused for it — no command name doubles as
-    // a plausible value ("run --seeds 2 sanity" finds "run" first).
-    let known = ["list", "run", "show", "help"];
-    let Some(cmd) = args.iter().find(|a| known.contains(&a.as_str())) else {
+    // works): it is the first argument matching a known command name that
+    // is not the value of a flag. Flags that take a value in *every*
+    // command that accepts them shield their value from command
+    // detection (`throughput --out list` writes to a file named `list`);
+    // `--json` is the one ambiguous flag (boolean for `list`, value for
+    // `run`), so an artifact path literally named after a command must be
+    // placed after the command word.
+    let known = ["list", "run", "show", "throughput", "help"];
+    let always_value = [
+        "--seeds",
+        "--threads",
+        "--deadline-s",
+        "--checkpoint-dir",
+        "--suspend-steps",
+        "--resume",
+        "--steps",
+        "--repeats",
+        "--out",
+    ];
+    let cmd = args.iter().enumerate().find_map(|(i, a)| {
+        let shielded = i > 0 && always_value.contains(&args[i - 1].as_str());
+        (!shielded && known.contains(&a.as_str())).then_some(a)
+    });
+    let Some(cmd) = cmd else {
         if let Some(other) = args.iter().find(|a| !a.starts_with('-')) {
             eprintln!("unknown command: {other}");
         }
@@ -101,6 +123,7 @@ fn main() -> ExitCode {
         "list" => &LIST_FLAGS,
         "run" => &RUN_FLAGS,
         "show" => &SHOW_FLAGS,
+        "throughput" => &THROUGHPUT_FLAGS,
         "help" => {
             usage();
             return ExitCode::SUCCESS;
@@ -125,6 +148,7 @@ fn main() -> ExitCode {
         "list" => list(&args),
         "run" => run(&args, positional.first().copied()),
         "show" => show(positional.first().copied()),
+        "throughput" => throughput(&args),
         _ => unreachable!("filtered to known commands"),
     }
 }
@@ -137,6 +161,9 @@ commands:
   list                      all registered experiments (name, scenario, arms)
   run <name|group|all>      execute matching experiments over (arm, seed) cells
   show <artifact.json>      parse a run artifact and re-print its summaries
+  throughput                measure real global-steps/sec and samples/sec per
+                            algorithm on the sanity workload (pipeline and
+                            engine modes) and write BENCH_throughput.json
 
 options:
   --quick / --tiny          compressed experiment scale (default: full; also
@@ -153,7 +180,10 @@ options:
                             netmax-bench/checkpoint/v1 document per experiment
   --suspend-steps <K>       global steps before suspension (default 100)
   --resume <DIR>            resume checkpoint documents written by
-                            --checkpoint-dir and run them to completion"
+                            --checkpoint-dir and run them to completion
+  --steps <N>               throughput: global steps per repetition
+  --repeats <R>             throughput: repetitions per cell (best kept)
+  --out <path>              throughput: output path (BENCH_throughput.json)"
     );
 }
 
@@ -506,6 +536,50 @@ fn show(path: Option<&str>) -> ExitCode {
         }
         Err(e) => {
             eprintln!("{path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn throughput(args: &[String]) -> ExitCode {
+    let mut opts = if has_flag(args, "--quick") {
+        netmax_bench::throughput::ThroughputOptions::quick()
+    } else {
+        netmax_bench::throughput::ThroughputOptions::full()
+    };
+    if let Some(steps) = flag_value(args, "--steps") {
+        match steps.parse::<u64>() {
+            Ok(n) if n > 0 => opts.steps = n,
+            _ => {
+                eprintln!("--steps needs a positive integer, got `{steps}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if let Some(repeats) = flag_value(args, "--repeats") {
+        match repeats.parse::<usize>() {
+            Ok(n) if n > 0 => opts.repeats = n,
+            _ => {
+                eprintln!("--repeats needs a positive integer, got `{repeats}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let out = flag_value(args, "--out").unwrap_or("BENCH_throughput.json");
+    eprintln!(
+        "measuring sanity-workload throughput: {} steps x {} repeats per (arm, mode)...",
+        opts.steps, opts.repeats
+    );
+    let rows = netmax_bench::throughput::measure(&opts);
+    print!("{}", netmax_bench::throughput::render_table(&rows));
+    let doc = netmax_bench::throughput::throughput_doc(&opts, &rows);
+    match std::fs::write(out, doc.pretty() + "\n") {
+        Ok(()) => {
+            eprintln!("wrote {out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("could not write {out}: {e}");
             ExitCode::FAILURE
         }
     }

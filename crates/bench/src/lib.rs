@@ -28,6 +28,7 @@ pub mod experiments;
 pub mod registry;
 pub mod runner;
 pub mod spec;
+pub mod throughput;
 
 pub use common::{ExpCtx, Mode, LINK_CHANGE_PERIOD_S, MONITOR_PERIOD_S};
 pub use registry::{registry, registry_json};

@@ -370,15 +370,18 @@ fn drive_session(
             });
         }
     };
-    let t0 = Instant::now();
+    // The deadline is enforced *inside* the session's step loop, before
+    // every driver advance — a round-granular driver can overshoot by at
+    // most the one event in flight when the budget expires, never by
+    // further rounds.
+    if let Some(d) = opts.cell_deadline {
+        session.set_deadline(Instant::now() + d);
+    }
     let report = loop {
         match session.step() {
             StepEvent::Sampled { sample } => stream(&sample),
             StepEvent::Finished { report } => break report,
             _ => {}
-        }
-        if opts.cell_deadline.is_some_and(|d| t0.elapsed() >= d) {
-            break session.finish_now();
         }
     };
     // The finishing sample is taken inside `finish` (it carries the final
@@ -766,6 +769,35 @@ mod tests {
         spec.scenario.cfg_mut().record_every_steps = 0;
         let err = try_execute(&spec, &RunOptions::default()).unwrap_err();
         assert!(err.to_string().contains("record_every_steps"), "{err}");
+    }
+
+    #[test]
+    fn expired_cell_deadline_bounds_overshoot_to_zero_driver_advances() {
+        // A zero budget expires before the first driver advance: the
+        // deadline check inside the session step loop must finish every
+        // cell immediately with a truthful empty partial report — no
+        // round-granular driver gets to run "one more round".
+        let mut spec = small_spec();
+        spec.seeds.truncate(1);
+        let result = try_execute(
+            &spec,
+            &RunOptions {
+                threads: 1,
+                progress: None,
+                cell_deadline: Some(Duration::ZERO),
+            },
+        )
+        .unwrap();
+        assert_eq!(result.cells.len(), 3);
+        for cell in &result.cells {
+            assert_eq!(
+                cell.report.global_steps, 0,
+                "{}: deadline expired before any step, but {} steps ran",
+                cell.label, cell.report.global_steps
+            );
+            // The forced final sample still makes the report truthful.
+            assert_eq!(cell.report.samples.len(), 1);
+        }
     }
 
     #[test]

@@ -4,7 +4,7 @@ use super::config::TrainConfig;
 use super::session::{rng_from_json, rng_to_json};
 use netmax_json::{FromJson, Json, JsonError, ToJson};
 use netmax_ml::batch::BatchSampler;
-use netmax_ml::model::Model;
+use netmax_ml::model::{Model, Scratch};
 use netmax_ml::optim::SgdState;
 use netmax_ml::partition::Partition;
 use netmax_ml::workload::Workload;
@@ -30,8 +30,15 @@ pub struct NodeState {
     pub comm_exposed_total: f64,
     /// Local iteration counter (`n` of Algorithm 2).
     pub local_steps: u64,
-    /// Scratch gradient buffer (reused every step).
-    grad: Vec<f32>,
+    /// Reusable gradient workspace (forward/backward buffers plus the
+    /// batch-mean gradient); steady-state steps allocate nothing.
+    scratch: Scratch,
+    /// Learning rate captured by [`Environment::compute_gradient`] *before*
+    /// its batch draw, consumed by [`Environment::apply_gradient`] — the
+    /// split compute/apply path of the synchronous baselines charges the
+    /// same lr as the fused [`Environment::gradient_step`]. Transient
+    /// within one driver advance, so it is not checkpointed.
+    pending_lr: f64,
 }
 
 impl NodeState {
@@ -68,6 +75,9 @@ pub struct Environment {
     node_rngs: Vec<StdRng>,
     /// Global step counter `k` (advanced by drivers).
     pub global_step: u64,
+    /// Pool of parameter-sized buffers for transient pulls/aggregations
+    /// ([`Environment::take_param_buf`]); transient, never checkpointed.
+    param_pool: Vec<Vec<f32>>,
 }
 
 impl Environment {
@@ -106,7 +116,8 @@ impl Environment {
                     comp_time_total: 0.0,
                     comm_exposed_total: 0.0,
                     local_steps: 0,
-                    grad: vec![0.0; num_params],
+                    scratch: Scratch::new(),
+                    pending_lr: workload.optim.lr_at(0.0),
                 }
             })
             .collect();
@@ -121,7 +132,18 @@ impl Environment {
                 )
             })
             .collect();
-        Self { topology, network, workload, partition, nodes, cfg, rng, node_rngs, global_step: 0 }
+        Self {
+            topology,
+            network,
+            workload,
+            partition,
+            nodes,
+            cfg,
+            rng,
+            node_rngs,
+            global_step: 0,
+            param_pool: Vec::new(),
+        }
     }
 
     /// Number of worker nodes.
@@ -153,45 +175,71 @@ impl Environment {
     /// draws a mini-batch, computes the gradient, applies the momentum SGD
     /// update at the scheduled learning rate. Returns the simulated
     /// compute time `C_i`.
+    ///
+    /// The learning rate is read **before** the batch draw advances the
+    /// epoch counter, so a milestone at epoch `E` first applies to the
+    /// first step *of* epoch `E` — not to the step that completes epoch
+    /// `E − 1`. [`Environment::compute_gradient`] captures the lr at the
+    /// same point, so the fused and the split compute/apply paths cross
+    /// milestones on exactly the same step.
     pub fn gradient_step(&mut self, i: usize) -> f64 {
+        let lr = self.workload.optim.lr_at(self.nodes[i].epochs());
         let node = &mut self.nodes[i];
         let batch = node.sampler.next_batch();
-        let lr = self.workload.optim.lr_at(node.epochs());
         let _loss = node
             .model
-            .loss_grad(&self.workload.train, &batch, &mut node.grad);
+            .loss_grad_scratch(&self.workload.train, batch, &mut node.scratch);
         node.opt
-            .step(&self.workload.optim, lr, node.model.params_mut(), &node.grad);
+            .step(&self.workload.optim, lr, node.model.params_mut(), &node.scratch.grad);
         node.local_steps += 1;
         self.workload.profile.compute_time(batch.len())
     }
 
     /// Computes a mini-batch gradient on node `i` **without** applying it
     /// — the primitive the synchronous baselines (Allreduce-SGD, PS-sync)
-    /// need to average gradients before updating. Returns the gradient
-    /// and the simulated compute time `C_i`.
-    pub fn compute_gradient(&mut self, i: usize) -> (Vec<f32>, f64) {
+    /// need to average gradients before updating. The gradient lands in
+    /// the node's reusable buffer ([`Environment::grad`]); no allocation.
+    /// Also captures the pre-draw learning rate for
+    /// [`Environment::apply_gradient`]. Returns the simulated compute
+    /// time `C_i`.
+    pub fn compute_gradient(&mut self, i: usize) -> f64 {
+        let lr = self.workload.optim.lr_at(self.nodes[i].epochs());
         let node = &mut self.nodes[i];
+        node.pending_lr = lr;
         let batch = node.sampler.next_batch();
         let _loss = node
             .model
-            .loss_grad(&self.workload.train, &batch, &mut node.grad);
+            .loss_grad_scratch(&self.workload.train, batch, &mut node.scratch);
         node.local_steps += 1;
-        (node.grad.clone(), self.workload.profile.compute_time(batch.len()))
+        self.workload.profile.compute_time(batch.len())
+    }
+
+    /// The gradient computed by the last [`Environment::compute_gradient`]
+    /// on node `i`.
+    pub fn grad(&self, i: usize) -> &[f32] {
+        &self.nodes[i].scratch.grad
     }
 
     /// Applies a (possibly aggregated) gradient to node `i` through its
-    /// momentum optimiser at the node's scheduled learning rate.
+    /// momentum optimiser, at the learning rate captured when the node's
+    /// gradient was computed (see [`Environment::gradient_step`] for the
+    /// milestone semantics).
     pub fn apply_gradient(&mut self, i: usize, grad: &[f32]) {
-        let lr = self.workload.optim.lr_at(self.nodes[i].epochs());
         let node = &mut self.nodes[i];
         node.opt
-            .step(&self.workload.optim, lr, node.model.params_mut(), grad);
+            .step(&self.workload.optim, node.pending_lr, node.model.params_mut(), grad);
     }
 
     /// Learning rate currently in effect for node `i`.
     pub fn lr(&self, i: usize) -> f64 {
         self.workload.optim.lr_at(self.nodes[i].epochs())
+    }
+
+    /// The learning rate captured by node `i`'s last
+    /// [`Environment::compute_gradient`] (the rate its pending gradient
+    /// must be applied at).
+    pub fn pending_lr(&self, i: usize) -> f64 {
+        self.nodes[i].pending_lr
     }
 
     /// Communication time to pull one full model from `m` to `i` starting
@@ -204,6 +252,28 @@ impl Environment {
     /// Snapshot of node `m`'s parameters (the pulled `x_m`).
     pub fn pull_params(&self, m: usize) -> Vec<f32> {
         self.nodes[m].model.params().to_vec()
+    }
+
+    /// Copies node `m`'s parameters into `out` (cleared first) — the
+    /// allocation-free pull used with the
+    /// [`Environment::take_param_buf`] pool.
+    pub fn pull_params_into(&self, m: usize, out: &mut Vec<f32>) {
+        out.clear();
+        out.extend_from_slice(self.nodes[m].model.params());
+    }
+
+    /// Checks a parameter-sized buffer out of the pool (empty on first
+    /// use; warm afterwards). Return it with
+    /// [`Environment::recycle_param_buf`] so steady-state gossip steps
+    /// allocate nothing.
+    pub fn take_param_buf(&mut self) -> Vec<f32> {
+        self.param_pool.pop().unwrap_or_default()
+    }
+
+    /// Returns a buffer obtained from [`Environment::take_param_buf`] to
+    /// the pool, retaining its capacity.
+    pub fn recycle_param_buf(&mut self, buf: Vec<f32>) {
+        self.param_pool.push(buf);
     }
 
     /// Mean fractional epoch across nodes (the paper's per-epoch x-axes
@@ -286,7 +356,19 @@ impl Environment {
                 return Err(JsonError::schema("optimiser state length mismatch".into()));
             }
             node.opt.velocity_mut().copy_from_slice(&velocity);
-            node.sampler = BatchSampler::restore(saved.field("sampler")?)?;
+            let sampler = BatchSampler::restore(saved.field("sampler")?)?;
+            // Reject what the gradient step would otherwise panic on —
+            // corrupt checkpoints surface as typed errors, not as
+            // out-of-bounds panics mid-run (same convention as
+            // `check_node_index`).
+            if let Some(&bad) = sampler.indices().iter().find(|&&i| i >= self.workload.train.len())
+            {
+                return Err(JsonError::schema(format!(
+                    "sampler references example {bad}, dataset has {}",
+                    self.workload.train.len()
+                )));
+            }
+            node.sampler = sampler;
             node.clock = f64::from_json(saved.field("clock")?)?;
             node.comp_time_total = f64::from_json(saved.field("comp_time_total")?)?;
             node.comm_exposed_total = f64::from_json(saved.field("comm_exposed_total")?)?;
@@ -377,6 +459,106 @@ mod tests {
         assert_eq!(fresh.rng.next_u64(), env.rng.next_u64());
         // The next batches drawn match.
         assert_eq!(fresh.nodes[0].sampler.next_batch(), env.nodes[0].sampler.next_batch());
+    }
+
+    #[test]
+    fn restore_rejects_sampler_indices_outside_the_dataset() {
+        // A checkpoint from a 20k-example workload restored onto an
+        // environment whose dataset is far smaller must fail with a typed
+        // error, not panic out-of-bounds on the next gradient step.
+        let mut env = tiny_env();
+        let _ = env.gradient_step(0);
+        let state = env.checkpoint();
+        let text = state.pretty();
+
+        let (train, test) = netmax_ml::datasets::gaussian_mixture(
+            netmax_ml::datasets::MixtureSpec {
+                num_classes: 10,
+                dim: 32,
+                train_n: 100,
+                test_n: 20,
+                mean_scale: 1.0,
+                noise: 0.5,
+            },
+            3,
+        );
+        let mut small_workload = Workload::convex_ridge(1);
+        small_workload.train = std::sync::Arc::new(train);
+        small_workload.test = std::sync::Arc::new(test);
+        let topology = Topology::fully_connected(4);
+        let network = Box::new(HomogeneousNetwork::paper_default(4));
+        let partition = Partition::uniform(&small_workload.train, 4, 7);
+        let mut small = Environment::new(
+            topology,
+            network,
+            small_workload,
+            partition,
+            TrainConfig::quick_test(),
+        );
+        let err = small
+            .restore(&netmax_json::Json::parse(&text).unwrap())
+            .expect_err("out-of-range sampler indices must be rejected");
+        assert!(err.to_string().contains("sampler references example"), "{err}");
+    }
+
+    /// The lr schedule must be read *before* the batch draw, identically
+    /// in the fused (`gradient_step`) and split (`compute_gradient` +
+    /// `apply_gradient`) paths: a milestone at epoch E first applies to
+    /// the first step *of* epoch E. The old code read the lr after the
+    /// draw, so the step that completed epoch E−1 already decayed — one
+    /// step early — and only on some paths.
+    #[test]
+    fn lr_milestone_applies_first_step_of_new_epoch_on_both_paths() {
+        let mut fused = tiny_env();
+        let mut split = tiny_env();
+        let mut control = tiny_env(); // no milestone
+        let b = fused.nodes[0].sampler.batch_size();
+        let l = fused.nodes[0].sampler.shard_len();
+        let k = 2u64; // decay milestone falls exactly after k draws
+        let milestone = (k * b as u64) as f64 / l as f64;
+        for env in [&mut fused, &mut split] {
+            env.workload.optim.lr_milestones = vec![milestone];
+            env.workload.optim.lr_decay = 0.1;
+        }
+
+        for step in 1..=k {
+            let _ = fused.gradient_step(0);
+            let _ = split.compute_gradient(0);
+            let g = split.grad(0).to_vec();
+            split.apply_gradient(0, &g);
+            let _ = control.gradient_step(0);
+            // Step k's draw reaches the milestone exactly; read-before-draw
+            // means the decay must NOT be charged to it yet.
+            assert_eq!(
+                fused.nodes[0].model.params(),
+                control.nodes[0].model.params(),
+                "decay applied early at step {step}"
+            );
+            assert_eq!(
+                fused.nodes[0].model.params(),
+                split.nodes[0].model.params(),
+                "fused and split paths disagree at step {step}"
+            );
+        }
+        assert!(fused.nodes[0].epochs() >= milestone, "milestone not reached in test setup");
+
+        // Step k+1 opens the post-milestone epoch: the decayed lr kicks in,
+        // on both paths identically.
+        let _ = fused.gradient_step(0);
+        let _ = split.compute_gradient(0);
+        let g = split.grad(0).to_vec();
+        split.apply_gradient(0, &g);
+        let _ = control.gradient_step(0);
+        assert_ne!(
+            fused.nodes[0].model.params(),
+            control.nodes[0].model.params(),
+            "decay never applied"
+        );
+        assert_eq!(
+            fused.nodes[0].model.params(),
+            split.nodes[0].model.params(),
+            "fused and split paths cross the milestone differently"
+        );
     }
 
     #[test]

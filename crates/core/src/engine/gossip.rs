@@ -306,10 +306,14 @@ impl<B: GossipBehavior> SessionDriver for GossipDriver<B> {
             Some((_, Ev::NodeDone { node, peer, compute_s, iteration_s })) => {
                 // First update: local gradients (Algorithm 2 line 11).
                 let _ = env.gradient_step(node);
-                // Second update: merge the pulled model (lines 12–15).
+                // Second update: merge the pulled model (lines 12–15). The
+                // pull buffer comes from the environment's pool so the
+                // steady-state step is allocation-free.
                 if let Some(m) = peer {
-                    let pulled = env.pull_params(m);
+                    let mut pulled = env.take_param_buf();
+                    env.pull_params_into(m, &mut pulled);
                     self.behavior.merge(env, node, m, &pulled);
+                    env.recycle_param_buf(pulled);
                 }
                 env.book_iteration(node, compute_s, iteration_s);
                 env.global_step += 1;
@@ -405,9 +409,9 @@ mod tests {
 
     impl GossipBehavior for UniformAveraging {
         fn select_peer(&mut self, env: &mut Environment, i: usize) -> PeerChoice {
-            let nbrs = env.topology.neighbors(i);
-            let k = env.node_rng(i).gen_range(0..nbrs.len());
-            PeerChoice::Peer(nbrs[k])
+            let degree = env.topology.neighbors(i).len();
+            let k = env.node_rng(i).gen_range(0..degree);
+            PeerChoice::Peer(env.topology.neighbors(i)[k])
         }
 
         fn merge(&mut self, env: &mut Environment, i: usize, _m: usize, pulled: &[f32]) {
@@ -569,6 +573,30 @@ mod tests {
             Session::new(&mut e, Box::new(GossipDriver::new(&mut b, "uniform-avg"))).unwrap();
         let report = session.run();
         assert_eq!(report.global_steps, 37);
+    }
+
+    #[test]
+    fn expired_deadline_finishes_without_another_driver_advance() {
+        let mut e = env(21);
+        let mut b = UniformAveraging;
+        let mut session =
+            Session::new(&mut e, Box::new(GossipDriver::new(&mut b, "uniform-avg"))).unwrap();
+        let mut steps = 0;
+        while steps < 10 {
+            if let StepEvent::GlobalStep { .. } = session.step() {
+                steps += 1;
+            }
+        }
+        session.set_deadline(std::time::Instant::now());
+        let before = session.env().global_step;
+        // The overshoot past an expired deadline is bounded at zero driver
+        // advances: the very next step finishes with a truthful partial
+        // report.
+        match session.step() {
+            StepEvent::Finished { report } => assert_eq!(report.global_steps, before),
+            other => panic!("expected immediate finish, got {other:?}"),
+        }
+        assert_eq!(session.env().global_step, before, "driver advanced past the deadline");
     }
 
     #[test]

@@ -199,6 +199,11 @@ pub struct Recorder {
     samples: Vec<Sample>,
     records_taken: usize,
     last_recorded_step: u64,
+    /// Reusable evaluation workspace — loss curves are sampled thousands
+    /// of times per run, so the recorder evaluates through the models'
+    /// scratch kernels (bitwise identical to the plain metric functions).
+    /// Transient; never checkpointed.
+    eval: netmax_ml::model::Scratch,
 }
 
 impl Default for Recorder {
@@ -210,7 +215,12 @@ impl Default for Recorder {
 impl Recorder {
     /// Creates an empty recorder.
     pub fn new() -> Self {
-        Self { samples: Vec::new(), records_taken: 0, last_recorded_step: 0 }
+        Self {
+            samples: Vec::new(),
+            records_taken: 0,
+            last_recorded_step: 0,
+            eval: netmax_ml::model::Scratch::new(),
+        }
     }
 
     /// `true` when the configured cadence calls for a sample at the
@@ -235,18 +245,29 @@ impl Recorder {
         self.samples.last().expect("force_record pushed a sample").clone()
     }
 
-    /// Records a sample unconditionally.
+    /// Records a sample unconditionally. Replicas are evaluated in place
+    /// (no cloning) through the recorder's scratch workspace; every
+    /// recorded value is bitwise identical to the plain
+    /// `mean_loss_across_replicas`/`consensus_diameter`/`accuracy` path.
     pub fn force_record(&mut self, env: &Environment) {
         self.last_recorded_step = env.global_step;
-        let models: Vec<_> = env.nodes.iter().map(|n| n.model.clone_box()).collect();
-        let train_loss = metrics::mean_loss_across_replicas(
-            &models,
-            &env.workload.train,
-            env.cfg.loss_sample_size,
-        );
-        let consensus = metrics::consensus_diameter(&models);
+        let train_loss = env
+            .nodes
+            .iter()
+            .map(|n| {
+                metrics::subsampled_loss_scratch(
+                    n.model.as_ref(),
+                    &env.workload.train,
+                    env.cfg.loss_sample_size,
+                    &mut self.eval,
+                )
+            })
+            .sum::<f64>()
+            / env.nodes.len() as f64;
+        let params: Vec<&[f32]> = env.nodes.iter().map(|n| n.model.params()).collect();
+        let consensus = metrics::consensus_diameter_params(&params);
         let test_accuracy = if self.records_taken.is_multiple_of(env.cfg.test_eval_every_records) {
-            Some(evaluate_averaged(env))
+            Some(evaluate_averaged(env, &mut self.eval))
         } else {
             None
         };
@@ -339,7 +360,7 @@ fn safe_div(a: f64, b: f64) -> f64 {
 /// Test accuracy of the parameter-averaged model — the paper evaluates
 /// "the trained model"; at consensus all replicas agree, and averaging is
 /// the standard readout.
-fn evaluate_averaged(env: &Environment) -> f64 {
+fn evaluate_averaged(env: &Environment, scratch: &mut netmax_ml::model::Scratch) -> f64 {
     let mut avg = env.nodes[0].model.clone_box();
     let n = env.num_nodes() as f32;
     let dim = avg.num_params();
@@ -350,7 +371,7 @@ fn evaluate_averaged(env: &Environment) -> f64 {
         }
     }
     avg.params_mut().copy_from_slice(&acc);
-    metrics::accuracy(avg.as_ref(), &env.workload.test)
+    metrics::accuracy_scratch(avg.as_ref(), &env.workload.test, scratch)
 }
 
 #[cfg(test)]

@@ -215,6 +215,13 @@ pub struct Session<'a> {
     sample_due: bool,
     /// Most recent recorded sample — the input to metric stop conditions.
     latest: Option<Sample>,
+    /// Optional *real* wall-clock deadline: once it passes, the very next
+    /// [`Session::step`] finishes the session (truthful partial report)
+    /// without another driver advance, bounding the overshoot to at most
+    /// the one event already in flight when the deadline expired.
+    /// Transient — never checkpointed (a resumed session gets a fresh
+    /// budget from its caller).
+    deadline: Option<std::time::Instant>,
     finished: Option<RunReport>,
 }
 
@@ -242,8 +249,19 @@ impl<'a> Session<'a> {
             algorithm,
             sample_due: false,
             latest: None,
+            deadline: None,
             finished: None,
         })
+    }
+
+    /// Sets a real wall-clock deadline: after `at`, the next
+    /// [`Session::step`] (and therefore [`Session::run`]) finishes the
+    /// session instead of advancing the driver. A round-granular driver
+    /// can thus overshoot by at most one in-flight event, never by a
+    /// whole monitor round of further work. **Breaks cross-run
+    /// determinism** — the cut point depends on machine speed.
+    pub fn set_deadline(&mut self, at: std::time::Instant) {
+        self.deadline = Some(at);
     }
 
     /// Replaces the stop condition (validated).
@@ -303,6 +321,12 @@ impl<'a> Session<'a> {
             }
             self.latest = Some(sample.clone());
             return StepEvent::Sampled { sample };
+        }
+        if self
+            .deadline
+            .is_some_and(|d| std::time::Instant::now() >= d)
+        {
+            return self.finish_event();
         }
         if self.stop.satisfied(self.env, self.latest.as_ref()) {
             return self.finish_event();

@@ -145,12 +145,12 @@ impl GossipBehavior for NetMax {
             // Initial uniform policy of Algorithm 2 line 2: each of the M
             // entries (self included) gets equal probability; on sparse
             // graphs the mass is spread over {self} ∪ neighbours.
-            let nbrs = env.topology.neighbors(i);
-            let k = env.node_rng(i).gen_range(0..=nbrs.len());
-            if k == nbrs.len() {
+            let degree = env.topology.neighbors(i).len();
+            let k = env.node_rng(i).gen_range(0..=degree);
+            if k == degree {
                 PeerChoice::SelfStep
             } else {
-                PeerChoice::Peer(nbrs[k])
+                PeerChoice::Peer(env.topology.neighbors(i)[k])
             }
         }
     }

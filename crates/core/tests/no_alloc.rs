@@ -1,0 +1,141 @@
+// A global allocator shim is inherently `unsafe`; this is the one test
+// harness in the workspace that needs it.
+#![allow(unsafe_code)]
+
+//! Proof that the steady-state training hot path allocates nothing.
+//!
+//! A counting global allocator tracks every allocation on this thread;
+//! after a warm-up phase (buffers sized, pools filled, event-queue
+//! capacity reached) a window of pure `GlobalStep` events must perform
+//! **zero** heap allocations. Metric samples and monitor rounds are
+//! excluded by construction (their cadences are pushed past the window)
+//! — they are allowed to allocate, bounded per round, not per step.
+
+use netmax_core::engine::{
+    Environment, GossipBehavior, GossipDriver, PeerChoice, Session, StepEvent, StopCondition,
+    TrainConfig,
+};
+use netmax_ml::partition::Partition;
+use netmax_ml::workload::Workload;
+use netmax_net::{HomogeneousNetwork, Topology};
+use rand::Rng;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+struct CountingAlloc;
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn alloc_count() -> u64 {
+    ALLOCS.with(Cell::get)
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+/// Uniform gossip averaging — the AD-PSGD-shaped exercise of the full
+/// gossip hot path (sampler, gradient, pull pool, blend, event queue).
+struct UniformAveraging;
+
+impl GossipBehavior for UniformAveraging {
+    fn select_peer(&mut self, env: &mut Environment, i: usize) -> PeerChoice {
+        let degree = env.topology.neighbors(i).len();
+        let k = env.node_rng(i).gen_range(0..degree);
+        PeerChoice::Peer(env.topology.neighbors(i)[k])
+    }
+
+    fn merge(&mut self, env: &mut Environment, i: usize, _m: usize, pulled: &[f32]) {
+        netmax_ml::params::blend(0.5, env.nodes[i].model.params_mut(), pulled);
+    }
+}
+
+fn build_env(workload: Workload) -> Environment {
+    let n = 4;
+    let partition = Partition::uniform(&workload.train, n, 7);
+    let cfg = TrainConfig {
+        // Push sampling far past the measurement window; steps 100..600
+        // must be pure GlobalStep events.
+        record_every_steps: u64::MAX / 2,
+        stop: Some(StopCondition::MaxGlobalSteps(10_000)),
+        ..TrainConfig::quick_test()
+    };
+    Environment::new(
+        Topology::fully_connected(n),
+        Box::new(HomogeneousNetwork::paper_default(n)),
+        workload,
+        partition,
+        cfg,
+    )
+}
+
+fn assert_steady_state_alloc_free(workload: Workload, label: &str) {
+    let mut env = build_env(workload);
+    let mut behavior = UniformAveraging;
+    let mut session =
+        Session::new(&mut env, Box::new(GossipDriver::new(&mut behavior, "no-alloc"))).unwrap();
+
+    // Warm-up: size every scratch buffer, fill the pull-buffer pool, let
+    // the event queue and samplers reach steady capacity (including at
+    // least one epoch-boundary reshuffle).
+    let mut steps = 0;
+    while steps < 100 {
+        if let StepEvent::GlobalStep { .. } = session.step() {
+            steps += 1;
+        }
+    }
+
+    let before = alloc_count();
+    let mut measured = 0;
+    while measured < 500 {
+        match session.step() {
+            StepEvent::GlobalStep { .. } => measured += 1,
+            other => panic!("{label}: unexpected event in steady-state window: {other:?}"),
+        }
+    }
+    let allocs = alloc_count() - before;
+    assert_eq!(
+        allocs, 0,
+        "{label}: {allocs} allocation(s) in 500 steady-state global steps"
+    );
+}
+
+#[test]
+fn gossip_steady_state_is_allocation_free_ridge() {
+    // LeastSquares: exercises the default `loss_grad_scratch` path.
+    assert_steady_state_alloc_free(Workload::convex_ridge(3), "ridge");
+}
+
+#[test]
+fn gossip_steady_state_is_allocation_free_softmax() {
+    // Softmax: exercises the batched forward/softmax kernels.
+    assert_steady_state_alloc_free(Workload::resnet18_cifar10(11), "softmax");
+}
+
+#[test]
+fn gossip_steady_state_is_allocation_free_mlp() {
+    // MLP: exercises the hidden-layer scratch buffers.
+    assert_steady_state_alloc_free(Workload::mobilenet_cifar100(12), "mlp");
+}

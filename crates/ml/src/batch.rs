@@ -42,18 +42,19 @@ impl BatchSampler {
     }
 
     /// Draws the next mini-batch (clipped at the epoch boundary; a new
-    /// epoch reshuffles).
-    pub fn next_batch(&mut self) -> Vec<usize> {
+    /// epoch reshuffles). Returns a view into the sampler's shuffle order —
+    /// no allocation per draw — valid until the next call.
+    pub fn next_batch(&mut self) -> &[usize] {
         if self.cursor >= self.indices.len() {
             self.indices.shuffle(&mut self.rng);
             self.cursor = 0;
             self.epoch += 1;
         }
-        let end = (self.cursor + self.batch_size).min(self.indices.len());
-        let batch = self.indices[self.cursor..end].to_vec();
+        let start = self.cursor;
+        let end = (start + self.batch_size).min(self.indices.len());
         self.cursor = end;
-        self.samples_drawn += batch.len() as u64;
-        batch
+        self.samples_drawn += (end - start) as u64;
+        &self.indices[start..end]
     }
 
     /// Completed epochs plus the fraction of the current one.
@@ -64,6 +65,11 @@ impl BatchSampler {
     /// Number of examples in the shard.
     pub fn shard_len(&self) -> usize {
         self.indices.len()
+    }
+
+    /// The shard's example indices (restore-time validation hook).
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
     }
 
     /// Configured batch size.
@@ -101,9 +107,13 @@ impl BatchSampler {
         if rng_state.iter().all(|&w| w == 0) {
             return Err(JsonError::schema("sampler rng state must not be all-zero".into()));
         }
+        let batch_size = usize::from_json(state.field("batch_size")?)?;
+        if batch_size == 0 {
+            return Err(JsonError::schema("sampler batch size must be positive".into()));
+        }
         Ok(Self {
             indices,
-            batch_size: usize::from_json(state.field("batch_size")?)?,
+            batch_size,
             cursor: usize::from_json(state.field("cursor")?)?,
             epoch: u64::from_json(state.field("epoch")?)?,
             samples_drawn: u64::from_json(state.field("samples_drawn")?)?,
@@ -119,7 +129,7 @@ mod tests {
     #[test]
     fn covers_every_example_each_epoch() {
         let mut s = BatchSampler::new((0..10).collect(), 3, 1);
-        let mut seen = Vec::new();
+        let mut seen: Vec<usize> = Vec::new();
         for _ in 0..4 {
             seen.extend(s.next_batch());
         }

@@ -1,7 +1,14 @@
 //! Evaluation metrics: loss and accuracy over datasets or subsamples.
+//!
+//! The `_scratch` variants route through a reusable
+//! [`Scratch`] workspace: numerically **bitwise
+//! identical** to their plain counterparts, but free of per-sample
+//! temporaries and running the models' transposed batch kernels — the
+//! metric recorder samples loss curves thousands of times per run, so
+//! this path is as hot as training itself.
 
 use crate::dataset::Dataset;
-use crate::model::Model;
+use crate::model::{Model, Scratch};
 
 /// Classification accuracy of `model` over the whole `data` set.
 pub fn accuracy(model: &dyn Model, data: &Dataset) -> f64 {
@@ -10,6 +17,12 @@ pub fn accuracy(model: &dyn Model, data: &Dataset) -> f64 {
         .filter(|&i| model.predict(data.feature(i)) == data.label(i))
         .count();
     correct as f64 / data.len() as f64
+}
+
+/// [`accuracy`] through a reusable workspace (bitwise identical).
+pub fn accuracy_scratch(model: &dyn Model, data: &Dataset, scratch: &mut Scratch) -> f64 {
+    assert!(!data.is_empty(), "accuracy over empty dataset");
+    model.count_correct_scratch(data, scratch) as f64 / data.len() as f64
 }
 
 /// Mean loss of `model` over the whole `data` set.
@@ -31,6 +44,30 @@ pub fn subsampled_loss(model: &dyn Model, data: &Dataset, max_n: usize) -> f64 {
     model.loss(data, &idx) as f64
 }
 
+/// [`subsampled_loss`] through a reusable workspace (bitwise identical,
+/// allocation-free once warm).
+pub fn subsampled_loss_scratch(
+    model: &dyn Model,
+    data: &Dataset,
+    max_n: usize,
+    scratch: &mut Scratch,
+) -> f64 {
+    assert!(max_n > 0);
+    // The index buffer lives in the scratch; take it out so the batch
+    // slice and the workspace can be borrowed simultaneously.
+    let mut idx = std::mem::take(&mut scratch.idx);
+    idx.clear();
+    if data.len() <= max_n {
+        idx.extend(0..data.len());
+    } else {
+        let stride = data.len() / max_n;
+        idx.extend((0..max_n).map(|k| k * stride));
+    }
+    let loss = model.loss_scratch(data, &idx, scratch) as f64;
+    scratch.idx = idx;
+    loss
+}
+
 /// Mean of per-node losses — the global objective `F` of Eq. (1) without
 /// the (vanishing-at-consensus) disagreement term.
 pub fn mean_loss_across_replicas(models: &[Box<dyn Model>], data: &Dataset, max_n: usize) -> f64 {
@@ -46,6 +83,19 @@ pub fn consensus_diameter(models: &[Box<dyn Model>]) -> f64 {
     for i in 0..models.len() {
         for j in (i + 1)..models.len() {
             let d = crate::params::distance(models[i].params(), models[j].params()) as f64;
+            worst = worst.max(d);
+        }
+    }
+    worst
+}
+
+/// [`consensus_diameter`] over raw parameter views — same pair order and
+/// arithmetic, usable without cloning replicas behind trait objects.
+pub fn consensus_diameter_params(params: &[&[f32]]) -> f64 {
+    let mut worst = 0.0f64;
+    for i in 0..params.len() {
+        for j in (i + 1)..params.len() {
+            let d = crate::params::distance(params[i], params[j]) as f64;
             worst = worst.max(d);
         }
     }

@@ -22,6 +22,135 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
+/// Reusable workspace for the gradient hot path.
+///
+/// One `Scratch` per worker replica makes `loss_grad_scratch` free of
+/// heap traffic at steady state: the forward/backward buffers (`h`,
+/// `logits`, `dh`) and the batch-mean gradient (`grad`) are sized on
+/// first use and reused on every subsequent call. Buffers only ever grow,
+/// so a scratch can be shared across models of different shapes (the
+/// largest shape wins).
+#[derive(Debug, Clone, Default)]
+pub struct Scratch {
+    /// Batch-mean gradient output of the last
+    /// [`Model::loss_grad_scratch`] call (`num_params` long).
+    pub grad: Vec<f32>,
+    /// Hidden activations (MLP forward pass).
+    h: Vec<f32>,
+    /// Logits / class probabilities.
+    logits: Vec<f32>,
+    /// Backpropagated hidden-layer gradient.
+    dh: Vec<f32>,
+    /// Feature-major (transposed) batch block for [`batch_logits`].
+    xb: Vec<f32>,
+    /// Per-batch logits block (`classes × chunk`).
+    logits_all: Vec<f32>,
+    /// Per-sample running maxima for [`softmax_block`].
+    maxs: Vec<f32>,
+    /// Per-sample exp-sums for [`softmax_block`].
+    sums: Vec<f32>,
+    /// Example-index buffer for evaluation subsampling
+    /// ([`crate::metrics::subsampled_loss_scratch`]).
+    pub(crate) idx: Vec<usize>,
+}
+
+impl Scratch {
+    /// Creates an empty workspace; buffers are sized lazily by the first
+    /// `loss_grad_scratch` call.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Samples per block in the batched forward kernels: bounds the
+/// feature-major scratch block (`BATCH_CHUNK · dim` floats) to stay
+/// cache-resident regardless of batch size.
+const BATCH_CHUNK: usize = 256;
+
+/// Writes the feature-major transpose of a batch block into `xb`:
+/// `xb[d·B + s] = feature(batch[s])[d]`.
+fn transpose_batch(data: &Dataset, batch: &[usize], dim: usize, xb: &mut Vec<f32>) {
+    let nb = batch.len();
+    xb.clear();
+    xb.resize(dim * nb, 0.0);
+    for (s, &i) in batch.iter().enumerate() {
+        for (d, &v) in data.feature(i).iter().enumerate() {
+            xb[d * nb + s] = v;
+        }
+    }
+}
+
+/// Logits for a whole batch block at once:
+/// `out[c·B + s] = Σ_d w[c·D + d] · xb[d·B + s] + b[c]`.
+///
+/// Every output accumulates its terms in ascending-`d` order — exactly
+/// the sequential `dot(row, x) + b[c]` it replaces, so each logit is
+/// **bitwise identical** (Rust float semantics permit no reassociation).
+/// The difference is purely mechanical: the batch dimension is contiguous
+/// and its accumulators are independent, so the inner loop vectorises
+/// across samples instead of serialising one latency-bound add chain per
+/// dot product. This kernel is why the simulation's per-step cost is
+/// dominated by `exp`/`ln` rather than by the mat-vecs.
+/// In-place softmax over a `classes × nb` logits block, one sample per
+/// column.
+///
+/// For each sample the operations and their order are exactly those of
+/// [`softmax_inplace`] on its logit column — max-fold over ascending
+/// class index from `NEG_INFINITY`, exp-and-accumulate in class order
+/// from `0.0`, then one divide per class — so every probability is
+/// **bitwise identical**. Laying the loops class-outer makes the
+/// max/sum/divide passes vectorise across the contiguous sample
+/// dimension; only the `exp` calls remain scalar, which is the
+/// irreducible cost of a bit-stable softmax.
+fn softmax_block(
+    block: &mut [f32],
+    nb: usize,
+    maxs: &mut Vec<f32>,
+    sums: &mut Vec<f32>,
+) {
+    debug_assert_eq!(block.len() % nb, 0);
+    maxs.clear();
+    maxs.resize(nb, f32::NEG_INFINITY);
+    for row in block.chunks(nb) {
+        for (m, &v) in maxs.iter_mut().zip(row) {
+            *m = m.max(v);
+        }
+    }
+    sums.clear();
+    sums.resize(nb, 0.0);
+    for row in block.chunks_mut(nb) {
+        for ((l, &m), s) in row.iter_mut().zip(&*maxs).zip(sums.iter_mut()) {
+            *l = (*l - m).exp();
+            *s += *l;
+        }
+    }
+    for row in block.chunks_mut(nb) {
+        for (l, &s) in row.iter_mut().zip(&*sums) {
+            *l /= s;
+        }
+    }
+}
+
+fn batch_logits(w: &[f32], b: &[f32], xb: &[f32], dim: usize, nb: usize, out: &mut [f32]) {
+    debug_assert_eq!(out.len(), b.len() * nb);
+    debug_assert_eq!(xb.len(), dim * nb);
+    for (c, &bc) in b.iter().enumerate() {
+        let row = &w[c * dim..(c + 1) * dim];
+        let acc = &mut out[c * nb..(c + 1) * nb];
+        acc.fill(0.0);
+        for (d, &wcd) in row.iter().enumerate() {
+            let xrow = &xb[d * nb..(d + 1) * nb];
+            for (a, &xv) in acc.iter_mut().zip(xrow) {
+                *a += wcd * xv;
+            }
+        }
+        for a in acc.iter_mut() {
+            *a += bc;
+        }
+    }
+}
+
+
 /// A supervised model with flat parameters.
 pub trait Model: Send {
     /// Number of parameters.
@@ -41,8 +170,37 @@ pub trait Model: Send {
     /// dataset shape does not match the model.
     fn loss_grad(&self, data: &Dataset, batch: &[usize], grad: &mut [f32]) -> f32;
 
+    /// [`Model::loss_grad`] through a reusable workspace: the mean
+    /// gradient lands in `scratch.grad` and the result is bitwise
+    /// identical to `loss_grad`. The provided implementations allocate
+    /// nothing once `scratch` is warm; the default falls back to
+    /// `loss_grad` (which may use per-call temporaries).
+    fn loss_grad_scratch(&self, data: &Dataset, batch: &[usize], scratch: &mut Scratch) -> f32 {
+        scratch.grad.resize(self.num_params(), 0.0);
+        self.loss_grad(data, batch, &mut scratch.grad)
+    }
+
     /// Mean loss over `batch` without computing gradients.
     fn loss(&self, data: &Dataset, batch: &[usize]) -> f32;
+
+    /// [`Model::loss`] through the reusable workspace — bitwise identical
+    /// result, but the provided implementations allocate nothing once the
+    /// scratch is warm and run the transposed batch kernel. The metric
+    /// recorder evaluates loss curves through this entry point.
+    fn loss_scratch(&self, data: &Dataset, batch: &[usize], scratch: &mut Scratch) -> f32 {
+        let _ = scratch;
+        self.loss(data, batch)
+    }
+
+    /// Number of correctly classified examples over the whole `data` set,
+    /// through the reusable workspace — bitwise identical to counting
+    /// [`Model::predict`] hits, without the per-sample temporaries.
+    fn count_correct_scratch(&self, data: &Dataset, scratch: &mut Scratch) -> usize {
+        let _ = scratch;
+        (0..data.len())
+            .filter(|&i| self.predict(data.feature(i)) == data.label(i))
+            .count()
+    }
 
     /// Predicted class for a feature vector. Regression models return 0.
     fn predict(&self, x: &[f32]) -> u32;
@@ -123,19 +281,109 @@ impl SoftmaxRegression {
     }
 
     fn logits(&self, x: &[f32]) -> Vec<f32> {
+        let mut out = Vec::new();
+        self.logits_into(x, &mut out);
+        out
+    }
+
+    fn logits_into(&self, x: &[f32], out: &mut Vec<f32>) {
         debug_assert_eq!(x.len(), self.dim);
         let (w, b) = self.params.split_at(self.dim * self.classes);
-        (0..self.classes)
-            .map(|c| {
-                let row = &w[c * self.dim..(c + 1) * self.dim];
-                crate::params::dot(row, x) + b[c]
-            })
-            .collect()
+        out.clear();
+        out.extend((0..self.classes).map(|c| {
+            let row = &w[c * self.dim..(c + 1) * self.dim];
+            crate::params::dot_sequential(row, x) + b[c]
+        }));
+    }
+
+    /// The gradient kernel behind both `loss_grad` entry points; the
+    /// forward runs through the batched [`batch_logits`] kernel (bitwise
+    /// identical to per-sample dots, but vectorised across samples).
+    fn loss_grad_core(
+        &self,
+        data: &Dataset,
+        batch: &[usize],
+        grad: &mut [f32],
+        scratch_bufs: (&mut Vec<f32>, &mut Vec<f32>, &mut Vec<f32>, &mut Vec<f32>),
+    ) -> f32 {
+        let (xb, logits_all, maxs, sums) = scratch_bufs;
+        assert_eq!(grad.len(), self.num_params(), "grad buffer size mismatch");
+        assert_eq!(data.dim(), self.dim, "dataset dim mismatch");
+        assert!(!batch.is_empty(), "empty batch");
+        grad.fill(0.0);
+        let (w, b) = self.params.split_at(self.dim * self.classes);
+        let inv = 1.0 / batch.len() as f32;
+        let mut loss = 0.0f32;
+        let (gw, gb) = grad.split_at_mut(self.dim * self.classes);
+        for chunk in batch.chunks(BATCH_CHUNK) {
+            let nb = chunk.len();
+            transpose_batch(data, chunk, self.dim, xb);
+            logits_all.resize(self.classes * nb, 0.0);
+            batch_logits(w, b, xb, self.dim, nb, logits_all);
+            softmax_block(logits_all, nb, maxs, sums);
+            for (s, &i) in chunk.iter().enumerate() {
+                loss -= (logits_all[data.label(i) as usize * nb + s].max(1e-12)).ln();
+            }
+            // Backward, class-outer: every `gw[c][d]` (and `gb[c]`) still
+            // accumulates its per-sample contributions in ascending sample
+            // order — each (c, s) pair contributes exactly once, so the
+            // sums are bitwise identical to the sample-outer loop — but
+            // the probability row is now a contiguous slice and the
+            // gradient row stays resident across the chunk.
+            for c in 0..self.classes {
+                let prow = &logits_all[c * nb..(c + 1) * nb];
+                let row = &mut gw[c * self.dim..(c + 1) * self.dim];
+                for (s, &i) in chunk.iter().enumerate() {
+                    let y = data.label(i) as usize;
+                    let coef = (prow[s] - if c == y { 1.0 } else { 0.0 }) * inv;
+                    if coef == 0.0 {
+                        continue;
+                    }
+                    // Inline axpy: element-independent, vectorises.
+                    for (yi, xi) in row.iter_mut().zip(data.feature(i)) {
+                        *yi += coef * xi;
+                    }
+                    gb[c] += coef;
+                }
+            }
+        }
+        loss * inv
+    }
+
+    /// The loss kernel behind [`Model::loss_scratch`]; bitwise identical
+    /// to [`Model::loss`].
+    fn loss_core(
+        &self,
+        data: &Dataset,
+        batch: &[usize],
+        xb: &mut Vec<f32>,
+        logits_all: &mut Vec<f32>,
+        maxs: &mut Vec<f32>,
+        sums: &mut Vec<f32>,
+    ) -> f32 {
+        assert!(!batch.is_empty(), "empty batch");
+        let (w, b) = self.params.split_at(self.dim * self.classes);
+        let mut loss = 0.0f32;
+        for chunk in batch.chunks(BATCH_CHUNK) {
+            let nb = chunk.len();
+            transpose_batch(data, chunk, self.dim, xb);
+            logits_all.resize(self.classes * nb, 0.0);
+            batch_logits(w, b, xb, self.dim, nb, logits_all);
+            softmax_block(logits_all, nb, maxs, sums);
+            for (s, &i) in chunk.iter().enumerate() {
+                loss -= (logits_all[data.label(i) as usize * nb + s].max(1e-12)).ln();
+            }
+        }
+        loss / batch.len() as f32
     }
 }
 
-/// Numerically stable in-place softmax.
-fn softmax_inplace(logits: &mut [f32]) {
+/// Numerically stable in-place softmax over a compile-time length —
+/// identical operations in identical order to the dynamic loop (bitwise
+/// equal), but the known trip count lets the compiler unroll the max
+/// fold and the normalisation.
+#[inline]
+fn softmax_fixed<const N: usize>(logits: &mut [f32; N]) {
     let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
     let mut sum = 0.0f32;
     for l in logits.iter_mut() {
@@ -144,6 +392,27 @@ fn softmax_inplace(logits: &mut [f32]) {
     }
     for l in logits.iter_mut() {
         *l /= sum;
+    }
+}
+
+/// Numerically stable in-place softmax.
+#[inline]
+fn softmax_inplace(logits: &mut [f32]) {
+    // Class counts of the benchmark registry get unrolled bodies.
+    match logits.len() {
+        10 => softmax_fixed::<10>(logits.try_into().expect("len checked")),
+        100 => softmax_fixed::<100>(logits.try_into().expect("len checked")),
+        _ => {
+            let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0f32;
+            for l in logits.iter_mut() {
+                *l = (*l - max).exp();
+                sum += *l;
+            }
+            for l in logits.iter_mut() {
+                *l /= sum;
+            }
+        }
     }
 }
 
@@ -161,30 +430,15 @@ impl Model for SoftmaxRegression {
     }
 
     fn loss_grad(&self, data: &Dataset, batch: &[usize], grad: &mut [f32]) -> f32 {
-        assert_eq!(grad.len(), self.num_params(), "grad buffer size mismatch");
-        assert_eq!(data.dim(), self.dim, "dataset dim mismatch");
-        assert!(!batch.is_empty(), "empty batch");
-        grad.fill(0.0);
-        let inv = 1.0 / batch.len() as f32;
-        let mut loss = 0.0f32;
-        let (gw, gb) = grad.split_at_mut(self.dim * self.classes);
-        for &i in batch {
-            let x = data.feature(i);
-            let y = data.label(i) as usize;
-            let mut p = self.logits(x);
-            softmax_inplace(&mut p);
-            loss -= (p[y].max(1e-12)).ln();
-            for c in 0..self.classes {
-                let coef = (p[c] - if c == y { 1.0 } else { 0.0 }) * inv;
-                if coef == 0.0 {
-                    continue;
-                }
-                let row = &mut gw[c * self.dim..(c + 1) * self.dim];
-                crate::params::axpy(coef, x, row);
-                gb[c] += coef;
-            }
-        }
-        loss * inv
+        let (mut xb, mut logits_all) = (Vec::new(), Vec::new());
+        let (mut maxs, mut sums) = (Vec::new(), Vec::new());
+        self.loss_grad_core(data, batch, grad, (&mut xb, &mut logits_all, &mut maxs, &mut sums))
+    }
+
+    fn loss_grad_scratch(&self, data: &Dataset, batch: &[usize], scratch: &mut Scratch) -> f32 {
+        let Scratch { grad, xb, logits_all, maxs, sums, .. } = scratch;
+        grad.resize(self.num_params(), 0.0);
+        self.loss_grad_core(data, batch, grad, (xb, logits_all, maxs, sums))
     }
 
     fn loss(&self, data: &Dataset, batch: &[usize]) -> f32 {
@@ -195,6 +449,38 @@ impl Model for SoftmaxRegression {
             loss -= (p[data.label(i) as usize].max(1e-12)).ln();
         }
         loss / batch.len() as f32
+    }
+
+    fn loss_scratch(&self, data: &Dataset, batch: &[usize], scratch: &mut Scratch) -> f32 {
+        let Scratch { xb, logits_all, maxs, sums, .. } = scratch;
+        self.loss_core(data, batch, xb, logits_all, maxs, sums)
+    }
+
+    fn count_correct_scratch(&self, data: &Dataset, scratch: &mut Scratch) -> usize {
+        let Scratch { logits, xb, logits_all, idx, .. } = scratch;
+        logits.resize(self.classes, 0.0);
+        let (w, b) = self.params.split_at(self.dim * self.classes);
+        let mut correct = 0usize;
+        let mut start = 0usize;
+        while start < data.len() {
+            let end = (start + BATCH_CHUNK).min(data.len());
+            let nb = end - start;
+            idx.clear();
+            idx.extend(start..end);
+            transpose_batch(data, idx, self.dim, xb);
+            logits_all.resize(self.classes * nb, 0.0);
+            batch_logits(w, b, xb, self.dim, nb, logits_all);
+            for s in 0..nb {
+                for (c, lc) in logits.iter_mut().enumerate() {
+                    *lc = logits_all[c * nb + s];
+                }
+                if argmax(logits) == data.label(start + s) {
+                    correct += 1;
+                }
+            }
+            start = end;
+        }
+        correct
     }
 
     fn predict(&self, x: &[f32]) -> u32 {
@@ -254,18 +540,88 @@ impl Mlp {
 
     /// Forward pass; returns (hidden activations post-ReLU, logits).
     fn forward(&self, x: &[f32]) -> (Vec<f32>, Vec<f32>) {
-        let (w1, b1, w2, b2) = self.split();
         let mut h = vec![0.0f32; self.hidden];
+        let mut logits = vec![0.0f32; self.classes];
+        self.forward_into(x, &mut h, &mut logits);
+        (h, logits)
+    }
+
+    /// Forward pass into caller-provided buffers (`h` and `logits` must
+    /// already have the right lengths).
+    fn forward_into(&self, x: &[f32], h: &mut [f32], logits: &mut [f32]) {
+        let (w1, b1, w2, b2) = self.split();
         for (j, hj) in h.iter_mut().enumerate() {
             let row = &w1[j * self.dim..(j + 1) * self.dim];
-            *hj = (crate::params::dot(row, x) + b1[j]).max(0.0);
+            *hj = (crate::params::dot_sequential(row, x) + b1[j]).max(0.0);
         }
-        let mut logits = vec![0.0f32; self.classes];
         for (c, lc) in logits.iter_mut().enumerate() {
             let row = &w2[c * self.hidden..(c + 1) * self.hidden];
-            *lc = crate::params::dot(row, &h) + b2[c];
+            *lc = crate::params::dot_sequential(row, h) + b2[c];
         }
-        (h, logits)
+    }
+
+    /// The gradient kernel behind both `loss_grad` entry points; `h`,
+    /// `logits`, and `dh` are the only temporaries it needs.
+    fn loss_grad_core(
+        &self,
+        data: &Dataset,
+        batch: &[usize],
+        grad: &mut [f32],
+        h: &mut Vec<f32>,
+        logits: &mut Vec<f32>,
+        dh: &mut Vec<f32>,
+    ) -> f32 {
+        assert_eq!(grad.len(), self.num_params(), "grad buffer size mismatch");
+        assert_eq!(data.dim(), self.dim, "dataset dim mismatch");
+        assert!(!batch.is_empty(), "empty batch");
+        grad.fill(0.0);
+        h.resize(self.hidden, 0.0);
+        logits.resize(self.classes, 0.0);
+        dh.resize(self.hidden, 0.0);
+        let inv = 1.0 / batch.len() as f32;
+        let mut loss = 0.0f32;
+
+        let (w1_len, b1_len, w2_len) =
+            (self.hidden * self.dim, self.hidden, self.classes * self.hidden);
+        // `grad` is caller-owned, so the weight views below coexist with
+        // it without copies (the old implementation cloned `w2` here).
+        let (_, _, w2, _) = self.split();
+        let (gw1, rest) = grad.split_at_mut(w1_len);
+        let (gb1, rest) = rest.split_at_mut(b1_len);
+        let (gw2, gb2) = rest.split_at_mut(w2_len);
+
+        for &i in batch {
+            let x = data.feature(i);
+            let y = data.label(i) as usize;
+            self.forward_into(x, h, logits);
+            softmax_inplace(logits);
+            loss -= (logits[y].max(1e-12)).ln();
+
+            // dL/dlogit_c = p_c - 1{c=y}; output layer grads + backprop
+            // into the hidden layer.
+            dh.fill(0.0);
+            for c in 0..self.classes {
+                let d = (logits[c] - if c == y { 1.0 } else { 0.0 }) * inv;
+                if d == 0.0 {
+                    continue;
+                }
+                let row = &mut gw2[c * self.hidden..(c + 1) * self.hidden];
+                crate::params::axpy(d, h, row);
+                gb2[c] += d;
+                let w2row = &w2[c * self.hidden..(c + 1) * self.hidden];
+                crate::params::axpy(d, w2row, dh);
+            }
+            // ReLU gate, then input layer grads.
+            for (j, dhj) in dh.iter().enumerate() {
+                if h[j] <= 0.0 || *dhj == 0.0 {
+                    continue;
+                }
+                let row = &mut gw1[j * self.dim..(j + 1) * self.dim];
+                crate::params::axpy(*dhj, x, row);
+                gb1[j] += *dhj;
+            }
+        }
+        loss * inv
     }
 }
 
@@ -283,54 +639,14 @@ impl Model for Mlp {
     }
 
     fn loss_grad(&self, data: &Dataset, batch: &[usize], grad: &mut [f32]) -> f32 {
-        assert_eq!(grad.len(), self.num_params(), "grad buffer size mismatch");
-        assert_eq!(data.dim(), self.dim, "dataset dim mismatch");
-        assert!(!batch.is_empty(), "empty batch");
-        grad.fill(0.0);
-        let inv = 1.0 / batch.len() as f32;
-        let mut loss = 0.0f32;
+        let (mut h, mut logits, mut dh) = (Vec::new(), Vec::new(), Vec::new());
+        self.loss_grad_core(data, batch, grad, &mut h, &mut logits, &mut dh)
+    }
 
-        let (w1_len, b1_len, w2_len) =
-            (self.hidden * self.dim, self.hidden, self.classes * self.hidden);
-        let (_, _, w2, _) = self.split();
-        let w2 = w2.to_vec(); // borrow w2 while writing into grad
-
-        for &i in batch {
-            let x = data.feature(i);
-            let y = data.label(i) as usize;
-            let (h, mut p) = self.forward(x);
-            softmax_inplace(&mut p);
-            loss -= (p[y].max(1e-12)).ln();
-
-            // dL/dlogit_c = p_c - 1{c=y}
-            let (gw1, rest) = grad.split_at_mut(w1_len);
-            let (gb1, rest) = rest.split_at_mut(b1_len);
-            let (gw2, gb2) = rest.split_at_mut(w2_len);
-
-            // Output layer grads + backprop into hidden.
-            let mut dh = vec![0.0f32; self.hidden];
-            for c in 0..self.classes {
-                let d = (p[c] - if c == y { 1.0 } else { 0.0 }) * inv;
-                if d == 0.0 {
-                    continue;
-                }
-                let row = &mut gw2[c * self.hidden..(c + 1) * self.hidden];
-                crate::params::axpy(d, &h, row);
-                gb2[c] += d;
-                let w2row = &w2[c * self.hidden..(c + 1) * self.hidden];
-                crate::params::axpy(d, w2row, &mut dh);
-            }
-            // ReLU gate, then input layer grads.
-            for (j, dhj) in dh.iter().enumerate() {
-                if h[j] <= 0.0 || *dhj == 0.0 {
-                    continue;
-                }
-                let row = &mut gw1[j * self.dim..(j + 1) * self.dim];
-                crate::params::axpy(*dhj, x, row);
-                gb1[j] += *dhj;
-            }
-        }
-        loss * inv
+    fn loss_grad_scratch(&self, data: &Dataset, batch: &[usize], scratch: &mut Scratch) -> f32 {
+        let Scratch { grad, h, logits, dh, .. } = scratch;
+        grad.resize(self.num_params(), 0.0);
+        self.loss_grad_core(data, batch, grad, h, logits, dh)
     }
 
     fn loss(&self, data: &Dataset, batch: &[usize]) -> f32 {
@@ -342,6 +658,32 @@ impl Model for Mlp {
             loss -= (p[data.label(i) as usize].max(1e-12)).ln();
         }
         loss / batch.len() as f32
+    }
+
+    fn loss_scratch(&self, data: &Dataset, batch: &[usize], scratch: &mut Scratch) -> f32 {
+        assert!(!batch.is_empty(), "empty batch");
+        let Scratch { h, logits, .. } = scratch;
+        h.resize(self.hidden, 0.0);
+        logits.resize(self.classes, 0.0);
+        let mut loss = 0.0f32;
+        for &i in batch {
+            self.forward_into(data.feature(i), h, logits);
+            softmax_inplace(logits);
+            loss -= (logits[data.label(i) as usize].max(1e-12)).ln();
+        }
+        loss / batch.len() as f32
+    }
+
+    fn count_correct_scratch(&self, data: &Dataset, scratch: &mut Scratch) -> usize {
+        let Scratch { h, logits, .. } = scratch;
+        h.resize(self.hidden, 0.0);
+        logits.resize(self.classes, 0.0);
+        (0..data.len())
+            .filter(|&i| {
+                self.forward_into(data.feature(i), h, logits);
+                argmax(logits) == data.label(i)
+            })
+            .count()
     }
 
     fn predict(&self, x: &[f32]) -> u32 {
@@ -563,6 +905,99 @@ mod tests {
         let mut c = m.clone_box();
         c.params_mut()[0] += 1.0;
         assert_ne!(m.params()[0], c.params()[0]);
+    }
+
+    #[test]
+    fn scratch_path_is_bitwise_identical_for_all_models() {
+        let data = small_data();
+        let models: Vec<Box<dyn Model>> = vec![
+            Box::new(SoftmaxRegression::new(8, 3, 7)),
+            Box::new(Mlp::new(8, 12, 3, 7)),
+            Box::new(LeastSquares::new(8, 0.01, 7)),
+        ];
+        let mut rng = StdRng::seed_from_u64(99);
+        for m in &models {
+            let mut scratch = Scratch::new();
+            let mut grad = vec![0.0f32; m.num_params()];
+            for trial in 0..8 {
+                let len = rng.gen_range(1..=32usize);
+                let batch: Vec<usize> =
+                    (0..len).map(|_| rng.gen_range(0..data.len())).collect();
+                let loss = m.loss_grad(&data, &batch, &mut grad);
+                let loss_s = m.loss_grad_scratch(&data, &batch, &mut scratch);
+                assert_eq!(
+                    loss.to_bits(),
+                    loss_s.to_bits(),
+                    "trial {trial}: loss mismatch {loss} vs {loss_s}"
+                );
+                assert_eq!(scratch.grad.len(), grad.len());
+                for (k, (a, b)) in grad.iter().zip(&scratch.grad).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "trial {trial}, param {k}: {a} vs {b}"
+                    );
+                }
+                // Evaluation entry points are bitwise identical too.
+                let eval = m.loss(&data, &batch);
+                let eval_s = m.loss_scratch(&data, &batch, &mut scratch);
+                assert_eq!(
+                    eval.to_bits(),
+                    eval_s.to_bits(),
+                    "trial {trial}: eval loss mismatch {eval} vs {eval_s}"
+                );
+            }
+            let correct = (0..data.len())
+                .filter(|&i| m.predict(data.feature(i)) == data.label(i))
+                .count();
+            assert_eq!(m.count_correct_scratch(&data, &mut scratch), correct);
+        }
+    }
+
+    #[test]
+    fn scratch_parity_holds_beyond_the_pairwise_block() {
+        // Feature dims wider than params::PAIRWISE_BLOCK must not break
+        // the bitwise guarantee: the forward kernels accumulate strictly
+        // sequentially on every path (plain `loss`/`predict` included),
+        // never through the pairwise `dot`.
+        let (data, _) = gaussian_mixture(
+            MixtureSpec {
+                num_classes: 3,
+                dim: 4100,
+                train_n: 12,
+                test_n: 3,
+                mean_scale: 1.0,
+                noise: 0.5,
+            },
+            5,
+        );
+        let m = SoftmaxRegression::new(4100, 3, 7);
+        let batch: Vec<usize> = (0..data.len()).collect();
+        let mut scratch = Scratch::new();
+        let plain = m.loss(&data, &batch);
+        let scratched = m.loss_scratch(&data, &batch, &mut scratch);
+        assert_eq!(plain.to_bits(), scratched.to_bits(), "{plain} vs {scratched}");
+        let correct = (0..data.len())
+            .filter(|&i| m.predict(data.feature(i)) == data.label(i))
+            .count();
+        assert_eq!(m.count_correct_scratch(&data, &mut scratch), correct);
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_model_shapes() {
+        // A warm scratch from a big model serves a smaller one (buffers
+        // resize down logically; capacity is retained).
+        let data = small_data();
+        let big = Mlp::new(8, 24, 3, 1);
+        let small = SoftmaxRegression::new(8, 3, 1);
+        let batch: Vec<usize> = (0..16).collect();
+        let mut scratch = Scratch::new();
+        let _ = big.loss_grad_scratch(&data, &batch, &mut scratch);
+        let mut grad = vec![0.0f32; small.num_params()];
+        let loss = small.loss_grad(&data, &batch, &mut grad);
+        let loss_s = small.loss_grad_scratch(&data, &batch, &mut scratch);
+        assert_eq!(loss.to_bits(), loss_s.to_bits());
+        assert_eq!(scratch.grad, grad);
     }
 
     #[test]

@@ -5,53 +5,150 @@
 //! line 10). These helpers are the hot loops of the whole simulation, so
 //! they are written as simple slice iterations the compiler auto-vectorises.
 
-/// `y += a * x` (BLAS `axpy`).
-///
-/// # Panics
-/// Panics if the slices have different lengths.
-pub fn axpy(a: f32, x: &[f32], y: &mut [f32]) {
-    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
-    for (yi, xi) in y.iter_mut().zip(x) {
+/// Known-length axpy kernel (see [`dot_fixed`] for why the compile-time
+/// trip count matters; bitwise identical to the dynamic loop).
+#[inline]
+fn axpy_fixed<const N: usize>(a: f32, x: &[f32], y: &mut [f32]) {
+    for (yi, xi) in y[..N].iter_mut().zip(&x[..N]) {
         *yi += a * xi;
     }
 }
 
+/// `y += a * x` (BLAS `axpy`).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn axpy(a: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    match x.len() {
+        16 => axpy_fixed::<16>(a, x, y),
+        32 => axpy_fixed::<32>(a, x, y),
+        48 => axpy_fixed::<48>(a, x, y),
+        64 => axpy_fixed::<64>(a, x, y),
+        96 => axpy_fixed::<96>(a, x, y),
+        128 => axpy_fixed::<128>(a, x, y),
+        _ => {
+            for (yi, xi) in y.iter_mut().zip(x) {
+                *yi += a * xi;
+            }
+        }
+    }
+}
+
 /// `y = a * y`.
+#[inline]
 pub fn scale(a: f32, y: &mut [f32]) {
     for yi in y.iter_mut() {
         *yi *= a;
     }
 }
 
-/// Dot product.
+/// Block size below which reductions accumulate sequentially. Vectors at
+/// or under this length produce **bitwise-identical** results to a plain
+/// sequential sum (every model in the benchmark registry is far smaller,
+/// which keeps recorded baselines stable); longer vectors combine their
+/// blocks pairwise, so the rounding error of [`dot`]/[`norm_sq`]/
+/// [`distance`] grows as `O(log(n/B))` instead of `O(n)` — at 10⁶-element
+/// parameter vectors a naive sequential f32 sum visibly drifts from the
+/// f64 reference, which corrupts the monitor's `‖x_i − x_m‖` distances.
+const PAIRWISE_BLOCK: usize = 4096;
+
+/// Known-length dot kernel: the `[..N]` bounds give LLVM a compile-time
+/// trip count, so the chain is fully unrolled and software-pipelined.
+/// Rust/LLVM float semantics are strict (no reassociation without
+/// fast-math), so the result is bitwise identical to the dynamic loop —
+/// only the instruction schedule changes.
+#[inline]
+fn dot_fixed<const N: usize>(x: &[f32], y: &[f32]) -> f32 {
+    x[..N].iter().zip(&y[..N]).map(|(a, b)| a * b).sum()
+}
+
+/// Strictly sequential dot product — the accumulation order of the
+/// model forward kernels. Model code must use this (not [`dot`]) so the
+/// plain and batched/scratch evaluation paths stay bitwise identical at
+/// *every* dimension: [`dot`] switches to pairwise accumulation above
+/// [`PAIRWISE_BLOCK`], which would silently diverge from the batched
+/// kernels' sequential order for very wide feature vectors.
+#[inline]
+pub(crate) fn dot_sequential(x: &[f32], y: &[f32]) -> f32 {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    dot_seq(x, y)
+}
+
+#[inline]
+fn dot_seq(x: &[f32], y: &[f32]) -> f32 {
+    // Length specialisation for the model dimensions of the benchmark
+    // registry (feature dims 32/64/96, MLP hidden widths 48/64): the
+    // models' forward passes are dominated by these dots, and the
+    // runtime-length loop is latency-bound where the unrolled one is not.
+    match x.len() {
+        16 => dot_fixed::<16>(x, y),
+        32 => dot_fixed::<32>(x, y),
+        48 => dot_fixed::<48>(x, y),
+        64 => dot_fixed::<64>(x, y),
+        96 => dot_fixed::<96>(x, y),
+        128 => dot_fixed::<128>(x, y),
+        _ => x.iter().zip(y).map(|(a, b)| a * b).sum(),
+    }
+}
+
+#[inline]
+fn dot_pairwise(x: &[f32], y: &[f32]) -> f32 {
+    if x.len() <= PAIRWISE_BLOCK {
+        return dot_seq(x, y);
+    }
+    let mid = x.len() / 2;
+    dot_pairwise(&x[..mid], &y[..mid]) + dot_pairwise(&x[mid..], &y[mid..])
+}
+
+/// Dot product (chunked pairwise accumulation; blocks of 4096 sum
+/// sequentially, block results combine pairwise).
 ///
 /// # Panics
 /// Panics if the slices have different lengths.
+#[inline]
 pub fn dot(x: &[f32], y: &[f32]) -> f32 {
     assert_eq!(x.len(), y.len(), "dot: length mismatch");
-    x.iter().zip(y).map(|(a, b)| a * b).sum()
+    dot_pairwise(x, y)
 }
 
 /// Squared L2 norm.
+#[inline]
 pub fn norm_sq(x: &[f32]) -> f32 {
     dot(x, x)
 }
 
-/// Euclidean distance between two parameter vectors — the paper's model
-/// difference `‖x_i − x_m‖` from Eq. (1).
-///
-/// # Panics
-/// Panics if the slices have different lengths.
-pub fn distance(x: &[f32], y: &[f32]) -> f32 {
-    assert_eq!(x.len(), y.len(), "distance: length mismatch");
+#[inline]
+fn dist_sq_seq(x: &[f32], y: &[f32]) -> f32 {
     x.iter()
         .zip(y)
         .map(|(a, b)| {
             let d = a - b;
             d * d
         })
-        .sum::<f32>()
-        .sqrt()
+        .sum()
+}
+
+#[inline]
+fn dist_sq_pairwise(x: &[f32], y: &[f32]) -> f32 {
+    if x.len() <= PAIRWISE_BLOCK {
+        return dist_sq_seq(x, y);
+    }
+    let mid = x.len() / 2;
+    dist_sq_pairwise(&x[..mid], &y[..mid]) + dist_sq_pairwise(&x[mid..], &y[mid..])
+}
+
+/// Euclidean distance between two parameter vectors — the paper's model
+/// difference `‖x_i − x_m‖` from Eq. (1). Accumulates chunked-pairwise
+/// like [`dot`].
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn distance(x: &[f32], y: &[f32]) -> f32 {
+    assert_eq!(x.len(), y.len(), "distance: length mismatch");
+    dist_sq_pairwise(x, y).sqrt()
 }
 
 /// In-place convex blend `x = (1 - w) * x + w * y` — the gossip averaging
@@ -59,6 +156,7 @@ pub fn distance(x: &[f32], y: &[f32]) -> f32 {
 ///
 /// # Panics
 /// Panics if the slices have different lengths.
+#[inline]
 pub fn blend(w: f32, x: &mut [f32], y: &[f32]) {
     assert_eq!(x.len(), y.len(), "blend: length mismatch");
     for (xi, yi) in x.iter_mut().zip(y) {
@@ -66,8 +164,34 @@ pub fn blend(w: f32, x: &mut [f32], y: &[f32]) {
     }
 }
 
+/// How many vectors [`mean_into`] accumulates sequentially before
+/// switching to a pairwise combination tree. Below the threshold the
+/// result is bitwise-identical to the historical sequential loop.
+const MEAN_PAIRWISE_THRESHOLD: usize = 8;
+
+fn sum_into(vectors: &[&[f32]], out: &mut [f32]) {
+    if vectors.len() <= MEAN_PAIRWISE_THRESHOLD {
+        out.fill(0.0);
+        for v in vectors {
+            for (o, x) in out.iter_mut().zip(*v) {
+                *o += x;
+            }
+        }
+        return;
+    }
+    let mid = vectors.len() / 2;
+    sum_into(&vectors[..mid], out);
+    let mut hi = vec![0.0f32; out.len()];
+    sum_into(&vectors[mid..], &mut hi);
+    for (o, x) in out.iter_mut().zip(&hi) {
+        *o += x;
+    }
+}
+
 /// Elementwise mean of several equally-long parameter vectors, written into
-/// `out` (used by the allreduce collectives).
+/// `out` (used by the allreduce collectives). Large fleets accumulate
+/// pairwise so the per-element error grows logarithmically in the vector
+/// count rather than linearly.
 ///
 /// # Panics
 /// Panics if `vectors` is empty or lengths mismatch.
@@ -77,12 +201,17 @@ pub fn mean_into(vectors: &[&[f32]], out: &mut [f32]) {
         assert_eq!(v.len(), out.len(), "mean_into: length mismatch");
     }
     let inv = 1.0 / vectors.len() as f32;
-    out.fill(0.0);
-    for v in vectors {
-        for (o, x) in out.iter_mut().zip(*v) {
-            *o += x * inv;
+    if vectors.len() <= MEAN_PAIRWISE_THRESHOLD {
+        out.fill(0.0);
+        for v in vectors {
+            for (o, x) in out.iter_mut().zip(*v) {
+                *o += x * inv;
+            }
         }
+        return;
     }
+    sum_into(vectors, out);
+    scale(inv, out);
 }
 
 #[cfg(test)]
@@ -136,5 +265,103 @@ mod tests {
         let mut y = [2.0f32, -4.0];
         scale(0.5, &mut y);
         assert_eq!(y, [1.0, -2.0]);
+    }
+
+    /// Deterministic pseudo-random f32s in [0, 1) (splitmix-style; no RNG
+    /// dependency so the drift fixtures are stable forever).
+    fn pseudo(n: usize, mut seed: u64) -> Vec<f32> {
+        (0..n)
+            .map(|_| {
+                seed = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+                let bits = (seed >> 40) as u32;
+                bits as f32 / (1u32 << 24) as f32
+            })
+            .collect()
+    }
+
+    #[test]
+    fn small_vectors_match_sequential_bitwise() {
+        // Below the block size the chunked reductions must be the exact
+        // historical sequential sums — recorded benchmark baselines
+        // (BENCH_sanity.json) depend on it.
+        let x = pseudo(PAIRWISE_BLOCK, 1);
+        let y = pseudo(PAIRWISE_BLOCK, 2);
+        assert_eq!(dot(&x, &y).to_bits(), dot_seq(&x, &y).to_bits());
+        assert_eq!(
+            distance(&x, &y).to_bits(),
+            dist_sq_seq(&x, &y).sqrt().to_bits()
+        );
+    }
+
+    #[test]
+    fn chunked_dot_tracks_f64_reference_at_1e6_elements() {
+        let n = 1_000_000;
+        let x = pseudo(n, 3);
+        let y = pseudo(n, 4);
+        let reference: f64 = x
+            .iter()
+            .zip(&y)
+            .map(|(a, b)| f64::from(*a) * f64::from(*b))
+            .sum();
+        let chunked_err = (f64::from(dot(&x, &y)) - reference).abs() / reference;
+        let seq_err = (f64::from(dot_seq(&x, &y)) - reference).abs() / reference;
+        assert!(chunked_err < 1e-6, "chunked dot drifted: rel err {chunked_err:e}");
+        assert!(
+            chunked_err <= seq_err,
+            "pairwise accumulation must not be worse than sequential: {chunked_err:e} vs {seq_err:e}"
+        );
+        // norm_sq goes through the same reduction.
+        let norm_ref: f64 = x.iter().map(|a| f64::from(*a) * f64::from(*a)).sum();
+        let norm_err = (f64::from(norm_sq(&x)) - norm_ref).abs() / norm_ref;
+        assert!(norm_err < 1e-6, "chunked norm_sq drifted: rel err {norm_err:e}");
+    }
+
+    #[test]
+    fn chunked_distance_tracks_f64_reference_at_1e6_elements() {
+        let n = 1_000_000;
+        let x = pseudo(n, 5);
+        let y = pseudo(n, 6);
+        let reference: f64 = x
+            .iter()
+            .zip(&y)
+            .map(|(a, b)| {
+                let d = f64::from(*a) - f64::from(*b);
+                d * d
+            })
+            .sum::<f64>()
+            .sqrt();
+        let err = (f64::from(distance(&x, &y)) - reference).abs() / reference;
+        assert!(err < 1e-6, "chunked distance drifted: rel err {err:e}");
+    }
+
+    #[test]
+    fn mean_into_pairwise_tracks_f64_reference() {
+        // 64 vectors trip the pairwise tree; compare against an f64 mean.
+        let vecs: Vec<Vec<f32>> = (0..64).map(|k| pseudo(1000, 100 + k)).collect();
+        let refs: Vec<&[f32]> = vecs.iter().map(Vec::as_slice).collect();
+        let mut out = vec![0.0f32; 1000];
+        mean_into(&refs, &mut out);
+        for j in (0..1000).step_by(97) {
+            let reference: f64 =
+                vecs.iter().map(|v| f64::from(v[j])).sum::<f64>() / 64.0;
+            assert!(
+                (f64::from(out[j]) - reference).abs() < 1e-6,
+                "element {j}: {} vs {reference}",
+                out[j]
+            );
+        }
+        // At or below the threshold the historical sequential loop is
+        // reproduced exactly.
+        let small: Vec<&[f32]> = refs[..MEAN_PAIRWISE_THRESHOLD].to_vec();
+        let mut chunked = vec![0.0f32; 1000];
+        mean_into(&small, &mut chunked);
+        let inv = 1.0 / small.len() as f32;
+        let mut seq = vec![0.0f32; 1000];
+        for v in &small {
+            for (o, x) in seq.iter_mut().zip(*v) {
+                *o += x * inv;
+            }
+        }
+        assert_eq!(chunked, seq);
     }
 }

@@ -123,7 +123,7 @@ proptest! {
     ) {
         let mut s = BatchSampler::new((0..shard_len).collect(), batch, seed);
         for epoch in 0..3 {
-            let mut seen = Vec::new();
+            let mut seen: Vec<usize> = Vec::new();
             while seen.len() < shard_len {
                 seen.extend(s.next_batch());
             }

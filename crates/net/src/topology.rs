@@ -15,13 +15,17 @@ pub struct Topology {
     n: usize,
     /// Row-major adjacency, `adj[i * n + m] == true` iff `d_{i,m} = 1`.
     adj: Vec<bool>,
+    /// Per-node sorted neighbour lists, maintained by [`Topology::set_edge`]
+    /// so [`Topology::neighbors`] is an allocation-free slice lookup on the
+    /// peer-selection hot path.
+    nbrs: Vec<Vec<usize>>,
 }
 
 impl Topology {
     /// Creates an edgeless topology over `n` nodes.
     pub fn empty(n: usize) -> Self {
         assert!(n > 0, "topology needs at least one node");
-        Self { n, adj: vec![false; n * n] }
+        Self { n, adj: vec![false; n * n], nbrs: vec![Vec::new(); n] }
     }
 
     /// Fully-connected graph (every distinct pair is an edge). This is the
@@ -99,13 +103,26 @@ impl Topology {
     pub fn set_edge(&mut self, i: usize, m: usize, present: bool) {
         assert!(i < self.n && m < self.n, "set_edge: node out of range");
         assert_ne!(i, m, "set_edge: self-loops are not part of G");
+        if self.adj[i * self.n + m] == present {
+            return;
+        }
         self.adj[i * self.n + m] = present;
         self.adj[m * self.n + i] = present;
+        for (a, b) in [(i, m), (m, i)] {
+            match self.nbrs[a].binary_search(&b) {
+                Ok(pos) if !present => {
+                    self.nbrs[a].remove(pos);
+                }
+                Err(pos) if present => self.nbrs[a].insert(pos, b),
+                _ => {}
+            }
+        }
     }
 
-    /// Neighbours of node `i` in ascending order.
-    pub fn neighbors(&self, i: usize) -> Vec<usize> {
-        (0..self.n).filter(|&m| self.is_edge(i, m)).collect()
+    /// Neighbours of node `i` in ascending order (a cached slice; no
+    /// allocation).
+    pub fn neighbors(&self, i: usize) -> &[usize] {
+        &self.nbrs[i]
     }
 
     /// Node degree.
@@ -120,7 +137,7 @@ impl Topology {
         seen[0] = true;
         let mut count = 1;
         while let Some(u) = stack.pop() {
-            for v in self.neighbors(u) {
+            for &v in self.neighbors(u) {
                 if !seen[v] {
                     seen[v] = true;
                     count += 1;
