@@ -91,13 +91,14 @@ impl GossipBehavior for AdPsgd {
 
     fn select_peer(&mut self, env: &mut Environment, i: usize) -> PeerChoice {
         if let Some(policy) = &self.policy {
-            // Monitor-steered selection (same sampling as NetMax).
+            // Monitor-steered selection (same sampling as NetMax); mass a
+            // stale policy still assigns to crashed peers is skipped.
             let n = env.num_nodes();
             let u: f64 = env.node_rng(i).gen();
             let mut acc = 0.0;
             for m in 0..n {
                 let p = policy[(i, m)];
-                if p <= 0.0 {
+                if p <= 0.0 || (m != i && !env.is_active(m)) {
                     continue;
                 }
                 acc += p;
@@ -107,9 +108,11 @@ impl GossipBehavior for AdPsgd {
             }
             PeerChoice::SelfStep
         } else {
-            let degree = env.topology.neighbors(i).len();
-            let k = env.node_rng(i).gen_range(0..degree);
-            PeerChoice::Peer(env.topology.neighbors(i)[k])
+            match env.sample_active_neighbor(i) {
+                Some(m) => PeerChoice::Peer(m),
+                // Every neighbour is down: a gradient-only iteration.
+                None => PeerChoice::SelfStep,
+            }
         }
     }
 
@@ -140,7 +143,7 @@ impl GossipBehavior for AdPsgd {
             return;
         };
         let alpha = env.workload.optim.lr_at(env.mean_epoch());
-        if let Some(res) = monitor.round(tracker, &env.topology, alpha) {
+        if let Some(res) = monitor.round(tracker, &env.topology, alpha, env.active_flags()) {
             self.policy = Some(res.policy);
             self.policies_applied += 1;
         }

@@ -49,8 +49,17 @@ impl Algorithm for AllreduceSgd {
 /// replica). The per-round work buffers persist across advances so a
 /// steady-state round allocates nothing; they are transient scratch, not
 /// checkpointed state.
+///
+/// Failure semantics: every round re-derives its membership from the
+/// environment — crashed workers are excluded from the ring, the
+/// gradient average, and the update (their clocks freeze), while
+/// straggler workers pace the whole round (`c_max`), exactly the
+/// synchronous weakness the paper's Fig. 5/8 exposes. A rejoining worker
+/// is warm-started by the engine from a live replica, so the surviving
+/// fleet's replicas stay bit-identical throughout.
 struct AllreduceDriver {
     started: bool,
+    /// This round's ring membership (the active workers).
     ring: Vec<usize>,
     compute: Vec<f64>,
     mean_grad: Vec<f32>,
@@ -63,28 +72,35 @@ impl SessionDriver for AllreduceDriver {
 
     fn advance(&mut self, env: &mut Environment) -> DriverEvent {
         let n = env.num_nodes();
+        self.ring.clear();
+        self.ring.extend((0..n).filter(|&i| env.is_active(i)));
+        let Some(&lead) = self.ring.first() else {
+            // Every worker is down: nothing left to train.
+            return DriverEvent::Exhausted;
+        };
         if !self.started {
             self.started = true;
             // Real allreduce training broadcasts rank 0's initialisation
             // so the replicas are identical from the first step.
-            let init = env.pull_params(0);
-            for i in 1..n {
+            let init = env.pull_params(lead).expect("broadcast source is active");
+            for &i in &self.ring[1..] {
                 env.nodes[i].model.params_mut().copy_from_slice(&init);
             }
         }
         let bytes = env.workload.profile.param_bytes();
-        self.ring.clear();
-        self.ring.extend(0..n);
-        let now = env.nodes[0].clock; // all clocks advance in lockstep
+        let members = self.ring.len();
+        // Member clocks advance in lockstep; a freshly rejoined worker may
+        // lag the fleet, so the round rendezvous at the latest member.
+        let now = self.ring.iter().map(|&i| env.nodes[i].clock).fold(0.0f64, f64::max);
 
         // Parallel gradient computation; the round waits for the slowest
-        // worker.
+        // member.
         self.compute.clear();
         self.mean_grad.clear();
-        for i in 0..n {
-            let c = env.compute_gradient(i);
+        for k in 0..members {
+            let c = env.compute_gradient(self.ring[k]);
             self.compute.push(c);
-            let g = env.grad(i);
+            let g = env.grad(self.ring[k]);
             if self.mean_grad.is_empty() {
                 self.mean_grad.extend_from_slice(g);
             } else {
@@ -93,19 +109,27 @@ impl SessionDriver for AllreduceDriver {
                 }
             }
         }
-        let inv = 1.0 / n as f32;
+        let inv = 1.0 / members as f32;
         for a in &mut self.mean_grad {
             *a *= inv;
         }
         let c_max = self.compute.iter().copied().fold(0.0, f64::max);
-        let ar = ring_allreduce_time(env.network.as_ref(), &self.ring, bytes, now + c_max, 1.0);
+        let ar = if members >= 2 {
+            ring_allreduce_time(env.network.as_ref(), &self.ring, bytes, now + c_max, 1.0)
+        } else {
+            0.0
+        };
 
-        for (i, &c) in self.compute.iter().enumerate() {
+        for (slot, &c) in self.compute.iter().enumerate() {
+            let i = self.ring[slot];
             env.apply_gradient(i, &self.mean_grad);
-            env.book_iteration(i, c, c_max + ar);
+            // Rendezvous wait (zero in lockstep) is booked as exposed
+            // communication.
+            let wait = now - env.nodes[i].clock;
+            env.book_iteration(i, c, wait + c_max + ar);
         }
-        env.global_step += n as u64;
-        DriverEvent::Round { steps: n as u64, time_s: env.nodes[0].clock }
+        env.global_step += members as u64;
+        DriverEvent::Round { steps: members as u64, time_s: env.nodes[lead].clock }
     }
 
     fn checkpoint_state(&self) -> Json {

@@ -10,12 +10,11 @@
 //! links" — the bound converts one slow link into fleet-wide stalls.
 
 use netmax_core::engine::{
-    check_node_index, queue_from_json, queue_to_json, Algorithm, DriverEvent, Environment,
-    SessionDriver,
+    check_node_index, purge_events, queue_from_json, queue_to_json, Algorithm, DriverEvent,
+    Environment, SessionDriver,
 };
 use netmax_json::{FromJson, Json, JsonError, ToJson};
 use netmax_net::EventQueue;
-use rand::Rng;
 
 /// AD-PSGD-style gossip with a hard staleness bound.
 pub struct BoundedStaleness {
@@ -110,21 +109,38 @@ struct BsDriver {
 
 impl BsDriver {
     fn schedule(&mut self, env: &mut Environment, i: usize, c: f64) {
-        let degree = env.topology.neighbors(i).len();
-        let k = env.node_rng(i).gen_range(0..degree);
-        let peer = env.topology.neighbors(i)[k];
         let start = env.nodes[i].clock;
-        let comm = env.comm_time(i, peer, start);
+        // Peer draw over the *active* neighbours (the full list when
+        // everyone is up). With no live neighbour the worker runs a
+        // communication-free iteration against itself.
+        let (peer, comm) = match env.sample_active_neighbor(i) {
+            Some(m) => (m, env.comm_time(i, m, start)),
+            None => (i, 0.0),
+        };
         let iter = env.cfg.execution.iteration_time(c, comm);
         self.queue
             .push(start + iter, Done { node: i, peer, compute_s: c, iteration_s: iter });
+    }
+
+    /// Minimum completed-iteration count over the *live* fleet — the
+    /// staleness reference. A crashed worker's frozen counter must not
+    /// gate the survivors forever (dead-worker events are dropped, so its
+    /// counter would never advance).
+    fn min_live_iters(&self, env: &Environment) -> u64 {
+        self.iters
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| env.is_active(j))
+            .map(|(_, &v)| v)
+            .min()
+            .unwrap_or(0)
     }
 
     /// The staleness gate + blocked-worker release for a completed
     /// iteration of `node` at time `now`.
     fn post_process(&mut self, env: &mut Environment, node: usize, now: f64, compute_s: f64) {
         // Staleness gate: may `node` start another iteration?
-        let min_iters = self.iters.iter().copied().min().unwrap_or(0);
+        let min_iters = self.min_live_iters(env);
         if self.iters[node] >= min_iters + self.bound {
             // Blocked until the stragglers advance; the wait is booked as
             // exposed communication when released.
@@ -132,14 +148,22 @@ impl BsDriver {
         } else {
             self.schedule(env, node, compute_s);
         }
+        self.release_blocked(env, now);
+    }
 
-        // Release any blocked workers whose lead is now legal. Swapping
-        // through the scratch buffer retains both vectors' capacity, so
-        // the release pass never allocates.
-        let min_iters = self.iters.iter().copied().min().unwrap_or(0);
+    /// Releases every blocked worker whose lead is legal again (the gate
+    /// reference may have advanced — or a gating straggler may have
+    /// crashed). Swapping through the scratch buffer retains both
+    /// vectors' capacity, so the release pass never allocates.
+    fn release_blocked(&mut self, env: &mut Environment, now: f64) {
+        let min_iters = self.min_live_iters(env);
         std::mem::swap(&mut self.blocked, &mut self.blocked_scratch);
         for idx in 0..self.blocked_scratch.len() {
             let b = self.blocked_scratch[idx];
+            if !env.is_active(b) {
+                // Crashed while blocked: it leaves the schedule entirely.
+                continue;
+            }
             if self.iters[b] < min_iters + self.bound {
                 // The blocked worker resumes at the *current* global time:
                 // charge the stall to its clock.
@@ -166,6 +190,9 @@ impl SessionDriver for BsDriver {
             self.compute = env.nominal_compute_times();
             self.iters = vec![0; env.num_nodes()];
             for i in 0..env.num_nodes() {
+                if !env.is_active(i) {
+                    continue;
+                }
                 let c = self.compute[i];
                 self.schedule(env, i, c);
             }
@@ -173,19 +200,66 @@ impl SessionDriver for BsDriver {
         if let Some((node, now, compute_s)) = self.pending_post.take() {
             self.post_process(env, node, now, compute_s);
         }
-        let Some((now, Done { node, peer, compute_s, iteration_s })) = self.queue.pop() else {
-            return DriverEvent::Exhausted;
+        let (now, Done { node, peer, compute_s, iteration_s }) = loop {
+            let Some(entry) = self.queue.pop() else {
+                return DriverEvent::Exhausted;
+            };
+            // Safety net only: `on_membership_change` eagerly purges a
+            // crashed worker's events, so this should never fire.
+            if env.is_active(entry.1.node) {
+                break entry;
+            }
         };
         let _ = env.gradient_step(node);
-        let mut pulled = env.take_param_buf();
-        env.pull_params_into(peer, &mut pulled);
-        netmax_ml::params::blend(0.5, env.nodes[node].model.params_mut(), &pulled);
-        env.recycle_param_buf(pulled);
+        // A self-peer (no live neighbour at scheduling time) or a peer
+        // that crashed mid-pull delivers nothing.
+        if peer != node {
+            let mut pulled = env.take_param_buf();
+            if env.pull_params_into(peer, &mut pulled).is_ok() {
+                netmax_ml::params::blend(0.5, env.nodes[node].model.params_mut(), &pulled);
+            }
+            env.recycle_param_buf(pulled);
+        }
         env.book_iteration(node, compute_s, iteration_s);
         env.global_step += 1;
         self.iters[node] += 1;
         self.pending_post = Some((node, now, compute_s));
         DriverEvent::Step { node, peer: Some(peer), iteration_s }
+    }
+
+    fn on_membership_change(&mut self, env: &mut Environment, node: usize, active: bool) {
+        if !self.started {
+            return;
+        }
+        if active {
+            // The rejoined worker restarts at the fleet's pace: its
+            // counter jumps to the slowest *other* live worker's, so its
+            // stale count neither trips its own gate instantly nor drags
+            // the whole fleet back to it.
+            if let Some(floor) = self
+                .iters
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != node && env.is_active(j))
+                .map(|(_, &v)| v)
+                .min()
+            {
+                self.iters[node] = floor;
+            }
+            let c = self.compute[node];
+            self.schedule(env, node, c);
+        } else {
+            if matches!(self.pending_post, Some((n, _, _)) if n == node) {
+                self.pending_post = None;
+            }
+            // Purge the crashed worker's in-flight iteration now — a
+            // stale pre-crash event popping after a rejoin would give
+            // the worker two concurrent iteration chains.
+            self.queue = purge_events(&self.queue, |d: &Done| d.node != node);
+            // A crashed straggler no longer gates the fleet: re-evaluate
+            // every blocked worker against the live minimum.
+            self.release_blocked(env, env.wall_clock());
+        }
     }
 
     fn checkpoint_state(&self) -> Json {

@@ -11,7 +11,6 @@
 use netmax_core::engine::{
     Algorithm, Environment, GossipBehavior, GossipDriver, PeerChoice, SessionDriver,
 };
-use rand::Rng;
 
 /// Gossip SGD with a fixed mixing weight.
 pub struct GoSgd {
@@ -32,9 +31,10 @@ impl GoSgd {
 
 impl GossipBehavior for GoSgd {
     fn select_peer(&mut self, env: &mut Environment, i: usize) -> PeerChoice {
-        let degree = env.topology.neighbors(i).len();
-        let k = env.node_rng(i).gen_range(0..degree);
-        PeerChoice::Peer(env.topology.neighbors(i)[k])
+        match env.sample_active_neighbor(i) {
+            Some(m) => PeerChoice::Peer(m),
+            None => PeerChoice::SelfStep,
+        }
     }
 
     fn merge(&mut self, env: &mut Environment, i: usize, _m: usize, pulled: &[f32]) {

@@ -15,8 +15,8 @@
 //!   per-epoch convergence in Fig. 14(a).
 
 use netmax_core::engine::{
-    check_node_index, queue_from_json, queue_to_json, Algorithm, DriverEvent, Environment,
-    SessionDriver,
+    check_node_index, purge_events, queue_from_json, queue_to_json, Algorithm, DriverEvent,
+    Environment, SessionDriver,
 };
 use netmax_json::{FromJson, Json, JsonError, ToJson};
 use netmax_ml::optim::SgdState;
@@ -70,6 +70,7 @@ impl Algorithm for ParameterServer {
         match self.flavor {
             Flavor::Sync => Box::new(PsSyncDriver {
                 server: None,
+                members: Vec::new(),
                 compute: Vec::new(),
                 mean_grad: Vec::new(),
             }),
@@ -92,14 +93,18 @@ struct ServerState {
 }
 
 impl ServerState {
-    /// Broadcasts worker 0's init as the global model.
-    fn broadcast(env: &mut Environment) -> Self {
-        let global = env.pull_params(0);
-        for i in 1..env.num_nodes() {
-            env.nodes[i].model.params_mut().copy_from_slice(&global);
+    /// Broadcasts the lowest-indexed *active* worker's init as the global
+    /// model (the server itself never crashes; worker 0 might).
+    fn broadcast(env: &mut Environment) -> Option<Self> {
+        let lead = (0..env.num_nodes()).find(|&i| env.is_active(i))?;
+        let global = env.pull_params(lead).expect("broadcast source is active");
+        for i in 0..env.num_nodes() {
+            if i != lead && env.is_active(i) {
+                env.nodes[i].model.params_mut().copy_from_slice(&global);
+            }
         }
         let opt = SgdState::new(global.len());
-        Self { global, opt }
+        Some(Self { global, opt })
     }
 
     fn checkpoint(&self) -> Json {
@@ -124,8 +129,16 @@ impl ServerState {
 /// Round-granular session driver for PS-sync: one advance = one
 /// synchronous push/aggregate/pull round. The per-round work buffers
 /// persist across advances (transient scratch, not checkpointed).
+///
+/// Failure semantics: membership is re-derived every round — crashed
+/// workers are excluded from the push/aggregate/pull exchange and their
+/// clocks freeze; stragglers pace the whole round. The server itself
+/// survives node crashes (it is a separate process co-located with
+/// worker 0's *machine*, not with the worker).
 struct PsSyncDriver {
     server: Option<ServerState>,
+    /// This round's membership (the active workers).
+    members: Vec<usize>,
     compute: Vec<f64>,
     mean_grad: Vec<f32>,
 }
@@ -137,21 +150,29 @@ impl SessionDriver for PsSyncDriver {
 
     fn advance(&mut self, env: &mut Environment) -> DriverEvent {
         let n = env.num_nodes();
+        self.members.clear();
+        self.members.extend((0..n).filter(|&i| env.is_active(i)));
+        let Some(&lead) = self.members.first() else {
+            return DriverEvent::Exhausted;
+        };
         if self.server.is_none() {
-            self.server = Some(ServerState::broadcast(env));
+            self.server = ServerState::broadcast(env);
         }
 
-        let now = env.nodes[0].clock;
+        let members = self.members.len();
+        // Round rendezvous: a freshly rejoined worker may lag the
+        // lockstep fleet.
+        let now = self.members.iter().map(|&i| env.nodes[i].clock).fold(0.0f64, f64::max);
         // The server's lr is read before the round's batch draws advance
         // the epoch counters — the same read-before-draw milestone
         // semantics as `Environment::gradient_step`.
         let lr = env.workload.optim.lr_at(env.mean_epoch());
         self.compute.clear();
         self.mean_grad.clear();
-        for i in 0..n {
-            let c = env.compute_gradient(i);
+        for k in 0..members {
+            let c = env.compute_gradient(self.members[k]);
             self.compute.push(c);
-            let g = env.grad(i);
+            let g = env.grad(self.members[k]);
             if self.mean_grad.is_empty() {
                 self.mean_grad.extend_from_slice(g);
             } else {
@@ -160,24 +181,29 @@ impl SessionDriver for PsSyncDriver {
                 }
             }
         }
-        let inv = 1.0 / n as f32;
+        let inv = 1.0 / members as f32;
         for a in &mut self.mean_grad {
             *a *= inv;
         }
         let c_max = self.compute.iter().copied().fold(0.0, f64::max);
-        // All workers exchange with the shared server NIC concurrently.
-        let comm = (0..n)
-            .map(|i| ParameterServer::round_trip(env, i, now + c_max, n as f64))
+        // All live workers exchange with the shared server NIC
+        // concurrently.
+        let comm = self
+            .members
+            .iter()
+            .map(|&i| ParameterServer::round_trip(env, i, now + c_max, members as f64))
             .fold(0.0, f64::max);
 
-        let server = self.server.as_mut().expect("server initialised above");
+        let server = self.server.as_mut().expect("at least one live worker above");
         server.opt.step(&env.workload.optim, lr, &mut server.global, &self.mean_grad);
-        for (i, &c) in self.compute.iter().enumerate() {
+        for (slot, &c) in self.compute.iter().enumerate() {
+            let i = self.members[slot];
             env.nodes[i].model.params_mut().copy_from_slice(&server.global);
-            env.book_iteration(i, c, c_max + comm);
+            let wait = now - env.nodes[i].clock;
+            env.book_iteration(i, c, wait + c_max + comm);
         }
-        env.global_step += n as u64;
-        DriverEvent::Round { steps: n as u64, time_s: env.nodes[0].clock }
+        env.global_step += members as u64;
+        DriverEvent::Round { steps: members as u64, time_s: env.nodes[lead].clock }
     }
 
     fn checkpoint_state(&self) -> Json {
@@ -200,6 +226,12 @@ impl SessionDriver for PsSyncDriver {
 /// push/apply/pull exchange. Re-scheduling a worker is deferred to the
 /// advance after its completion so the session's stop check sits exactly
 /// where the classic loop's `break` did.
+///
+/// Failure semantics: a crashed worker's in-flight exchange is dropped at
+/// the pop (the server never sees its gradient) and it is not
+/// re-scheduled; a rejoining worker pulls the fresh global model (the
+/// engine warm-starts it) and re-enters the schedule from its rejoin
+/// time.
 struct PsAsyncDriver {
     server: Option<ServerState>,
     queue: EventQueue<usize>,
@@ -220,18 +252,33 @@ impl SessionDriver for PsAsyncDriver {
         // Steady-state NIC sharing ≈ n ways.
         let share = n as f64;
         if self.server.is_none() {
-            self.server = Some(ServerState::broadcast(env));
+            self.server = ServerState::broadcast(env);
+            if self.server.is_none() {
+                return DriverEvent::Exhausted;
+            }
             self.compute = env.nominal_compute_times();
             for (i, &c) in self.compute.iter().enumerate() {
+                if !env.is_active(i) {
+                    continue;
+                }
                 let rt = ParameterServer::round_trip(env, i, 0.0, share);
                 self.queue.push(env.cfg.execution.iteration_time(c, rt), i);
             }
         }
         if let Some((i, t)) = self.pending_push.take() {
-            self.queue.push(t, i);
+            if env.is_active(i) {
+                self.queue.push(t, i);
+            }
         }
-        let Some((now, i)) = self.queue.pop() else {
-            return DriverEvent::Exhausted;
+        let (now, i) = loop {
+            let Some((now, i)) = self.queue.pop() else {
+                return DriverEvent::Exhausted;
+            };
+            // Safety net only: `on_membership_change` eagerly purges a
+            // crashed worker's events, so this should never fire.
+            if env.is_active(i) {
+                break (now, i);
+            }
         };
         // Worker i finished: its gradient (computed on its stale copy)
         // reaches the server, which applies it immediately at the lr
@@ -250,6 +297,33 @@ impl SessionDriver for PsAsyncDriver {
         env.global_step += 1;
         self.pending_push = Some((i, now + iter));
         DriverEvent::Step { node: i, peer: None, iteration_s: booked }
+    }
+
+    fn on_membership_change(&mut self, env: &mut Environment, node: usize, active: bool) {
+        if self.server.is_none() {
+            return;
+        }
+        if active {
+            // A rejoining PS worker pulls the authoritative global model
+            // (overriding the engine's peer-replica warm start), then
+            // re-enters the schedule from its rejoin time.
+            if let Some(server) = &self.server {
+                env.nodes[node].model.params_mut().copy_from_slice(&server.global);
+            }
+            let share = env.num_nodes() as f64;
+            let start = env.nodes[node].clock;
+            let rt = ParameterServer::round_trip(env, node, start, share);
+            let iter = env.cfg.execution.iteration_time(self.compute[node], rt);
+            self.queue.push(start + iter, node);
+        } else {
+            if matches!(self.pending_push, Some((i, _)) if i == node) {
+                self.pending_push = None;
+            }
+            // Purge the crashed worker's in-flight exchange now — a stale
+            // pre-crash event popping after a rejoin would give the
+            // worker two concurrent exchange chains.
+            self.queue = purge_events(&self.queue, |&i| i != node);
+        }
     }
 
     fn checkpoint_state(&self) -> Json {

@@ -71,11 +71,18 @@ impl SessionDriver for PragueDriver {
         let n = env.num_nodes();
         let bytes = env.workload.profile.param_bytes();
 
-        // Random group assignment for this round.
+        // Random group assignment for this round, over the *live* fleet:
+        // Prague re-forms its groups from whoever is up (crashed workers
+        // simply stop being drawn; a lone survivor trains in a singleton
+        // "group" without a collective).
         self.order.clear();
-        self.order.extend(0..n);
+        self.order.extend((0..n).filter(|&i| env.is_active(i)));
+        let live = self.order.len();
+        if live == 0 {
+            return DriverEvent::Exhausted;
+        }
         self.order.shuffle(&mut env.rng);
-        partition_groups(n, self.group_size, &mut self.bounds);
+        partition_groups(live, self.group_size, &mut self.bounds);
         let n_groups = self.bounds.len().max(1);
         // Concurrent partial-allreduces contend for the shared fabric.
         // Contention is partial — groups overlap in time but not
@@ -132,7 +139,7 @@ impl SessionDriver for PragueDriver {
             }
             env.global_step += group.len() as u64;
         }
-        DriverEvent::Round { steps: n as u64, time_s: env.wall_clock() }
+        DriverEvent::Round { steps: live as u64, time_s: env.wall_clock() }
     }
 }
 

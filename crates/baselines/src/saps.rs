@@ -19,7 +19,6 @@ use netmax_core::engine::{
     Algorithm, Environment, GossipBehavior, GossipDriver, PeerChoice, SessionDriver,
 };
 use netmax_net::Topology;
-use rand::Rng;
 
 /// SAPS-PSGD: fixed initially-fast subgraph gossip.
 pub struct SapsPsgd {
@@ -116,8 +115,13 @@ impl GossipBehavior for SapsPsgd {
         let sub = self.subgraph.as_ref().expect("subgraph built at session start");
         let nbrs = sub.neighbors(i);
         debug_assert!(!nbrs.is_empty(), "connected subgraph leaves no node isolated");
-        let k = env.node_rng(i).gen_range(0..nbrs.len());
-        PeerChoice::Peer(nbrs[k])
+        // The frozen subgraph is exactly SAPS's static assumption — but a
+        // crashed peer cannot serve pulls, so the draw is over the
+        // subgraph's *active* neighbours (full list when everyone is up).
+        match env.sample_active_from(i, nbrs) {
+            Some(m) => PeerChoice::Peer(m),
+            None => PeerChoice::SelfStep,
+        }
     }
 
     fn merge(&mut self, env: &mut Environment, i: usize, _m: usize, pulled: &[f32]) {

@@ -20,8 +20,11 @@
 //! global steps and the experiment is written as a versioned
 //! `netmax-bench/checkpoint/v1` document instead; `--resume` picks those
 //! documents up and finishes them — byte-identical to an uninterrupted
-//! run. `show` parses a run artifact back and re-prints its summaries —
-//! it doubles as a schema check in CI.
+//! run. `show` parses a run artifact back and re-prints its summaries, or
+//! summarizes a checkpoint document per cell (algorithm, seed, global
+//! step; the embedded session schema may be v1 or v2); any other schema
+//! is a typed "unknown schema" error — it doubles as a schema check in
+//! CI.
 
 use netmax_bench::registry::{find, registry, registry_json};
 use netmax_bench::runner::{CellProgress, RunOptions};
@@ -160,7 +163,9 @@ fn usage() {
 commands:
   list                      all registered experiments (name, scenario, arms)
   run <name|group|all>      execute matching experiments over (arm, seed) cells
-  show <artifact.json>      parse a run artifact and re-print its summaries
+  show <artifact.json>      parse a run artifact (re-printing its summaries)
+                            or a checkpoint document (per-cell algorithm,
+                            seed, global step); unknown schemas fail
   throughput                measure real global-steps/sec and samples/sec per
                             algorithm on the sanity workload (pipeline and
                             engine modes) and write BENCH_throughput.json
@@ -522,8 +527,8 @@ fn show(path: Option<&str>) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match runner::parse_artifact(&doc) {
-        Ok(results) => {
+    match runner::summarize_doc(&doc) {
+        Ok(runner::ShownDoc::RunReport(results)) => {
             println!(
                 "{path}: valid {} artifact, {} experiment(s)",
                 runner::ARTIFACT_SCHEMA,
@@ -531,6 +536,30 @@ fn show(path: Option<&str>) -> ExitCode {
             );
             for r in &results {
                 print_result(r);
+            }
+            ExitCode::SUCCESS
+        }
+        Ok(runner::ShownDoc::Checkpoint(summary)) => {
+            println!(
+                "{path}: valid {} document — suspended experiment [{}], {} cell(s)",
+                runner::CHECKPOINT_SCHEMA,
+                summary.experiment,
+                summary.cells.len()
+            );
+            let schema_heading = "session schema";
+            println!(
+                "{:<28} {:>18} {:>12} {:>12}  {schema_heading}",
+                "arm", "algorithm", "seed", "step"
+            );
+            for c in &summary.cells {
+                println!(
+                    "{:<28} {:>18} {:>12} {:>12}  {}",
+                    c.label,
+                    c.algorithm.name(),
+                    c.seed,
+                    c.global_step,
+                    c.session_schema
+                );
             }
             ExitCode::SUCCESS
         }

@@ -14,10 +14,12 @@
 //! | [`fig15`] | Fig. 15 — AD-PSGD + Network Monitor extension |
 //! | [`fig19`] | Fig. 19 — cross-cloud (WAN) test accuracy vs time |
 //! | [`ablations`] | weighting / Ts / β ablations from DESIGN.md |
+//! | [`faults`] | elastic-network stress suite: drift, crash, churn, stragglers |
 
 pub mod ablations;
 pub mod accuracy;
 pub mod epoch_time;
+pub mod faults;
 pub mod fig03;
 pub mod fig07;
 pub mod fig14;

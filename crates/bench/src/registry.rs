@@ -9,8 +9,8 @@
 
 use crate::common::{ExpCtx, Mode};
 use crate::experiments::{
-    ablations, accuracy, epoch_time, fig03, fig07, fig14, fig15, fig19, loss_curves, nonuniform,
-    scalability, tab05,
+    ablations, accuracy, epoch_time, faults, fig03, fig07, fig14, fig15, fig19, loss_curves,
+    nonuniform, scalability, tab05,
 };
 use crate::spec::{Arm, ExperimentSpec, MetricKind};
 use netmax_core::engine::{AlgorithmKind, Scenario, TrainConfig};
@@ -71,6 +71,7 @@ pub fn registry(mode: Mode) -> Vec<ExperimentSpec> {
     specs.extend(fig15::specs(&fig15::Params::for_mode(&ctx)));
     specs.extend(fig19::specs(&fig19::Params::for_mode(&ctx)));
     specs.extend(ablations::specs(&ablations::Params::for_mode(&ctx)));
+    specs.extend(faults::specs(&faults::Params::for_mode(&ctx)));
     specs.push(sanity_spec(mode));
     specs
 }

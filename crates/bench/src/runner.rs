@@ -608,6 +608,107 @@ pub fn parse_checkpoint(doc: &Json) -> Result<SuspendedExperiment, JsonError> {
     })
 }
 
+/// Typed outcome of `netmax-bench show` document dispatch: either a run
+/// artifact or a suspended-experiment checkpoint.
+#[derive(Debug, Clone)]
+pub enum ShownDoc {
+    /// A `netmax-bench/run-report/v1` artifact.
+    RunReport(Vec<ExperimentResult>),
+    /// A `netmax-bench/checkpoint/v1` document, summarized per cell.
+    Checkpoint(CheckpointSummary),
+}
+
+/// Summary of one suspended experiment's checkpoint document.
+#[derive(Debug, Clone)]
+pub struct CheckpointSummary {
+    /// The suspended experiment's name.
+    pub experiment: String,
+    /// One row per suspended cell.
+    pub cells: Vec<CheckpointCellSummary>,
+}
+
+/// One suspended cell: who was training, how far it got, and which
+/// session-checkpoint schema its state is stored under (v1 documents
+/// from pre-fault runs remain loadable alongside v2).
+#[derive(Debug, Clone)]
+pub struct CheckpointCellSummary {
+    /// The arm's display label.
+    pub label: String,
+    /// The cell's algorithm.
+    pub algorithm: AlgorithmKind,
+    /// The cell's training seed.
+    pub seed: u64,
+    /// Global steps completed at suspension.
+    pub global_step: u64,
+    /// The embedded session document's schema tag.
+    pub session_schema: String,
+}
+
+/// Typed errors from [`summarize_doc`]: a document whose schema tag is
+/// not one this tool understands is distinguished from one that is
+/// structurally broken.
+#[derive(Debug, Clone)]
+pub enum ShowError {
+    /// The document carries a schema tag `show` does not understand.
+    UnknownSchema(String),
+    /// The document is malformed under its declared schema.
+    Malformed(JsonError),
+}
+
+impl std::fmt::Display for ShowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShowError::UnknownSchema(s) => write!(
+                f,
+                "unknown schema `{s}` (expected `{ARTIFACT_SCHEMA}` or `{CHECKPOINT_SCHEMA}`)"
+            ),
+            ShowError::Malformed(e) => write!(f, "malformed document: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ShowError {}
+
+impl From<JsonError> for ShowError {
+    fn from(e: JsonError) -> Self {
+        ShowError::Malformed(e)
+    }
+}
+
+/// Dispatches a JSON document by its `schema` tag: run artifacts parse
+/// fully, checkpoint documents are summarized per cell (algorithm, seed,
+/// global step), anything else is a typed
+/// [`ShowError::UnknownSchema`].
+pub fn summarize_doc(doc: &Json) -> Result<ShownDoc, ShowError> {
+    let schema = doc.field("schema")?.as_str()?;
+    match schema {
+        ARTIFACT_SCHEMA => Ok(ShownDoc::RunReport(parse_artifact(doc)?)),
+        CHECKPOINT_SCHEMA => {
+            let suspended = parse_checkpoint(doc)?;
+            let cells = suspended
+                .cells
+                .iter()
+                .map(|c| {
+                    Ok(CheckpointCellSummary {
+                        label: c.label.clone(),
+                        algorithm: c.algorithm,
+                        seed: c.seed,
+                        global_step: u64::from_json(
+                            c.session.field("env")?.field("global_step")?,
+                        )?,
+                        session_schema: c.session.field("schema")?.as_str()?.to_string(),
+                    })
+                })
+                .collect::<Result<_, JsonError>>()?;
+            Ok(ShownDoc::Checkpoint(CheckpointSummary {
+                experiment: suspended.spec.name.clone(),
+                cells,
+            }))
+        }
+        other => Err(ShowError::UnknownSchema(other.to_string())),
+    }
+}
+
 /// Assembles the versioned artifact document for a set of executed
 /// experiments.
 pub fn artifact(results: &[ExperimentResult]) -> Json {
@@ -761,6 +862,54 @@ mod tests {
     fn checkpoint_schema_is_enforced() {
         let doc = Json::parse(r#"{"schema":"netmax-bench/run-report/v1","cells":[]}"#).unwrap();
         assert!(parse_checkpoint(&doc).is_err());
+    }
+
+    #[test]
+    fn show_dispatch_summarizes_artifacts_and_checkpoints() {
+        let mut spec = small_spec();
+        spec.arms.truncate(2);
+        spec.seeds.truncate(1);
+
+        // A run artifact dispatches to RunReport.
+        let result = execute(&spec);
+        let doc = artifact(std::slice::from_ref(&result));
+        match summarize_doc(&Json::parse(&doc.pretty()).unwrap()).unwrap() {
+            ShownDoc::RunReport(results) => assert_eq!(results.len(), 1),
+            other => panic!("expected a run report, got {other:?}"),
+        }
+
+        // A checkpoint document dispatches to a per-cell summary carrying
+        // algorithm, seed, global step, and the session schema tag.
+        let suspended = execute_suspended(&spec, 1, 30).unwrap();
+        let doc = checkpoint_doc(&suspended);
+        match summarize_doc(&Json::parse(&doc.pretty()).unwrap()).unwrap() {
+            ShownDoc::Checkpoint(summary) => {
+                assert_eq!(summary.experiment, spec.name);
+                assert_eq!(summary.cells.len(), 2);
+                for cell in &summary.cells {
+                    assert!(cell.global_step >= 30, "{}: {}", cell.label, cell.global_step);
+                    assert_eq!(
+                        cell.session_schema,
+                        netmax_core::engine::SESSION_CHECKPOINT_SCHEMA
+                    );
+                }
+                assert_eq!(summary.cells[0].algorithm, AlgorithmKind::NetMax);
+                assert_eq!(summary.cells[0].seed, 9);
+            }
+            other => panic!("expected a checkpoint summary, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn show_dispatch_rejects_unknown_schemas_with_a_typed_error() {
+        let doc = Json::parse(r#"{"schema":"netmax-bench/mystery/v7","cells":[]}"#).unwrap();
+        match summarize_doc(&doc) {
+            Err(ShowError::UnknownSchema(s)) => assert_eq!(s, "netmax-bench/mystery/v7"),
+            other => panic!("expected UnknownSchema, got {other:?}"),
+        }
+        // Structurally broken documents are a different typed error.
+        let doc = Json::parse(r#"{"no_schema_at_all": 1}"#).unwrap();
+        assert!(matches!(summarize_doc(&doc), Err(ShowError::Malformed(_))));
     }
 
     #[test]

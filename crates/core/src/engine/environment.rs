@@ -1,16 +1,16 @@
 //! Shared simulation state: node replicas, data shards, network, clocks.
 
 use super::config::TrainConfig;
-use super::session::{rng_from_json, rng_to_json};
+use super::session::{rng_from_json, rng_to_json, SessionError};
 use netmax_json::{FromJson, Json, JsonError, ToJson};
 use netmax_ml::batch::BatchSampler;
 use netmax_ml::model::{Model, Scratch};
 use netmax_ml::optim::SgdState;
 use netmax_ml::partition::Partition;
 use netmax_ml::workload::Workload;
-use netmax_net::{Network, Topology};
+use netmax_net::{FaultPlan, Network, Topology};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 /// Per-worker simulation state: one model replica plus its optimiser,
 /// shard sampler, and virtual clock.
@@ -78,6 +78,21 @@ pub struct Environment {
     /// Pool of parameter-sized buffers for transient pulls/aggregations
     /// ([`Environment::take_param_buf`]); transient, never checkpointed.
     param_pool: Vec<Vec<f32>>,
+    /// The scenario's declarative fault schedule (empty by default). Link
+    /// faults are interpreted by the network; node faults and stragglers
+    /// by this environment and the [`Session`](super::session::Session)
+    /// walking its membership schedule.
+    fault_plan: FaultPlan,
+    /// Active-membership flags: `active[i]` is `false` while node `i` is
+    /// crashed. Driven by the session on the virtual clock.
+    active: Vec<bool>,
+    /// Count of `false` entries in `active`, kept in sync by
+    /// [`Environment::set_active`] — the zero check is the fast path that
+    /// keeps fault-free peer draws at the old one-index cost.
+    num_inactive: usize,
+    /// Per-node compute-time multipliers from the fault plan's straggler
+    /// entries (1.0 everywhere by default).
+    compute_factors: Vec<f64>,
 }
 
 impl Environment {
@@ -143,7 +158,32 @@ impl Environment {
             node_rngs,
             global_step: 0,
             param_pool: Vec::new(),
+            fault_plan: FaultPlan::none(),
+            active: vec![true; n],
+            num_inactive: 0,
+            compute_factors: vec![1.0; n],
         }
+    }
+
+    /// Installs the scenario's fault plan: straggler compute multipliers
+    /// take effect immediately; crash/rejoin transitions are walked by
+    /// the session on the virtual clock.
+    ///
+    /// # Panics
+    /// Panics if the plan fails validation against this fleet size (same
+    /// convention as the other construction-time shape checks).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        plan.validate(self.num_nodes())
+            .unwrap_or_else(|e| panic!("invalid fault plan: {e}"));
+        for (i, f) in self.compute_factors.iter_mut().enumerate() {
+            *f = plan.compute_factor(i);
+        }
+        self.fault_plan = plan;
+    }
+
+    /// The installed fault plan (empty by default).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.fault_plan
     }
 
     /// Number of worker nodes.
@@ -151,14 +191,117 @@ impl Environment {
         self.nodes.len()
     }
 
+    /// Whether node `i` is currently alive (crashed nodes are excluded
+    /// from scheduling, peer selection, and fleet metrics).
+    #[inline]
+    pub fn is_active(&self, i: usize) -> bool {
+        self.active[i]
+    }
+
+    /// The active-membership flags, indexed by node.
+    pub fn active_flags(&self) -> &[bool] {
+        &self.active
+    }
+
+    /// Number of currently active nodes.
+    #[inline]
+    pub fn num_active(&self) -> usize {
+        self.active.len() - self.num_inactive
+    }
+
+    /// Flips node `i`'s membership flag (driven by the session walking
+    /// the fault plan's schedule).
+    pub fn set_active(&mut self, i: usize, active: bool) {
+        if self.active[i] != active {
+            if active {
+                self.num_inactive -= 1;
+            } else {
+                self.num_inactive += 1;
+            }
+            self.active[i] = active;
+        }
+    }
+
+    /// Number of *active* neighbours of `i` in the communication graph.
+    pub fn active_degree(&self, i: usize) -> usize {
+        let nbrs = self.topology.neighbors(i);
+        if self.num_inactive == 0 {
+            return nbrs.len();
+        }
+        nbrs.iter().filter(|&&m| self.active[m]).count()
+    }
+
+    /// The `k`-th active neighbour of `i` (in neighbour-list order).
+    ///
+    /// # Panics
+    /// Panics if fewer than `k + 1` active neighbours exist.
+    pub fn nth_active_neighbor(&self, i: usize, k: usize) -> usize {
+        self.topology
+            .neighbors(i)
+            .iter()
+            .copied()
+            .filter(|&m| self.active[m])
+            .nth(k)
+            .expect("active neighbour index out of range")
+    }
+
+    /// Draws a uniformly random *active* neighbour of `i` from the node's
+    /// private RNG stream, or `None` when every neighbour is down. With
+    /// all nodes active this consumes exactly the same draw as the
+    /// classic `gen_range(0..degree)` over the full neighbour list at the
+    /// same one-index cost, and it allocates nothing.
+    pub fn sample_active_neighbor(&mut self, i: usize) -> Option<usize> {
+        draw_active(
+            self.topology.neighbors(i),
+            &self.active,
+            self.num_inactive == 0,
+            &mut self.node_rngs[i],
+        )
+    }
+
+    /// [`Environment::sample_active_neighbor`] over an arbitrary
+    /// neighbour list (e.g. SAPS-PSGD's frozen fast subgraph) instead of
+    /// the environment's own topology. Same guarantees: the all-active
+    /// draw is the classic full-list `gen_range` on the same RNG stream,
+    /// allocation-free.
+    pub fn sample_active_from(&mut self, i: usize, nbrs: &[usize]) -> Option<usize> {
+        draw_active(nbrs, &self.active, self.num_inactive == 0, &mut self.node_rngs[i])
+    }
+
+    /// Warm-starts a rejoining node from a live peer's replica: copies
+    /// the parameters *and* momentum buffer of the lowest-indexed active
+    /// donor (a full optimiser-state clone — the lockstep drivers rely
+    /// on identical velocity to keep replicas bit-identical after a
+    /// rejoin), and advances the node's clock to the rejoin time.
+    /// Returns the donor, or `None` (cold restart from its own stale
+    /// replica) when no other node is alive.
+    pub fn warm_start(&mut self, i: usize, now: f64) -> Option<usize> {
+        let donor = (0..self.num_nodes()).find(|&j| j != i && self.active[j]);
+        if let Some(d) = donor {
+            let (src, dst) = if d < i {
+                let (a, b) = self.nodes.split_at_mut(i);
+                (&a[d], &mut b[0])
+            } else {
+                let (a, b) = self.nodes.split_at_mut(d);
+                (&b[0], &mut a[i])
+            };
+            dst.model.params_mut().copy_from_slice(src.model.params());
+            dst.opt.velocity_mut().copy_from_slice(src.opt.velocity());
+        }
+        let node = &mut self.nodes[i];
+        node.clock = node.clock.max(now);
+        donor
+    }
+
     /// Nominal per-node gradient-compute times (fixed batch size ⇒ fixed
-    /// `C_i`) — the schedule basis every event-driven session driver
-    /// derives at start/restore.
+    /// `C_i`, scaled by the fault plan's straggler multipliers) — the
+    /// schedule basis every event-driven session driver derives at
+    /// start/restore.
     pub fn nominal_compute_times(&self) -> Vec<f64> {
         (0..self.num_nodes())
             .map(|i| {
                 let b = self.partition.batch_size(i, self.workload.batch_size);
-                self.workload.profile.compute_time(b)
+                self.compute_factors[i] * self.workload.profile.compute_time(b)
             })
             .collect()
     }
@@ -192,7 +335,7 @@ impl Environment {
         node.opt
             .step(&self.workload.optim, lr, node.model.params_mut(), &node.scratch.grad);
         node.local_steps += 1;
-        self.workload.profile.compute_time(batch.len())
+        self.compute_factors[i] * self.workload.profile.compute_time(batch.len())
     }
 
     /// Computes a mini-batch gradient on node `i` **without** applying it
@@ -211,7 +354,7 @@ impl Environment {
             .model
             .loss_grad_scratch(&self.workload.train, batch, &mut node.scratch);
         node.local_steps += 1;
-        self.workload.profile.compute_time(batch.len())
+        self.compute_factors[i] * self.workload.profile.compute_time(batch.len())
     }
 
     /// The gradient computed by the last [`Environment::compute_gradient`]
@@ -249,17 +392,39 @@ impl Environment {
             .comm_time(m, i, self.workload.profile.param_bytes(), now)
     }
 
-    /// Snapshot of node `m`'s parameters (the pulled `x_m`).
-    pub fn pull_params(&self, m: usize) -> Vec<f32> {
-        self.nodes[m].model.params().to_vec()
+    /// Checks that node `m` exists and is alive — the gate on every pull
+    /// path, so an out-of-range index or a peer that crashed mid-transfer
+    /// surfaces as a typed [`SessionError`] instead of a panic.
+    fn check_peer(&self, m: usize) -> Result<(), SessionError> {
+        if m >= self.nodes.len() {
+            return Err(SessionError::NodeUnavailable(format!(
+                "node {m} is out of range (fleet has {})",
+                self.nodes.len()
+            )));
+        }
+        if !self.active[m] {
+            return Err(SessionError::NodeUnavailable(format!("node {m} is down")));
+        }
+        Ok(())
+    }
+
+    /// Snapshot of node `m`'s parameters (the pulled `x_m`). Fails with a
+    /// typed error when `m` is out of range or currently down.
+    pub fn pull_params(&self, m: usize) -> Result<Vec<f32>, SessionError> {
+        self.check_peer(m)?;
+        Ok(self.nodes[m].model.params().to_vec())
     }
 
     /// Copies node `m`'s parameters into `out` (cleared first) — the
     /// allocation-free pull used with the
-    /// [`Environment::take_param_buf`] pool.
-    pub fn pull_params_into(&self, m: usize, out: &mut Vec<f32>) {
+    /// [`Environment::take_param_buf`] pool. Fails with a typed error
+    /// when `m` is out of range or currently down (the caller decides
+    /// whether a failed pull skips the merge or aborts).
+    pub fn pull_params_into(&self, m: usize, out: &mut Vec<f32>) -> Result<(), SessionError> {
+        self.check_peer(m)?;
         out.clear();
         out.extend_from_slice(self.nodes[m].model.params());
+        Ok(())
     }
 
     /// Checks a parameter-sized buffer out of the pool (empty on first
@@ -276,10 +441,27 @@ impl Environment {
         self.param_pool.push(buf);
     }
 
-    /// Mean fractional epoch across nodes (the paper's per-epoch x-axes
-    /// average over workers with unequal shard sizes).
+    /// Mean fractional epoch across *active* nodes (the paper's per-epoch
+    /// x-axes average over workers with unequal shard sizes; crashed
+    /// nodes' frozen counters would otherwise stall every epoch-driven
+    /// stop condition). With everyone active this is exactly the historic
+    /// all-nodes mean.
     pub fn mean_epoch(&self) -> f64 {
-        self.nodes.iter().map(NodeState::epochs).sum::<f64>() / self.nodes.len() as f64
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for (node, &alive) in self.nodes.iter().zip(&self.active) {
+            if alive {
+                sum += node.epochs();
+                n += 1;
+            }
+        }
+        if n == 0 {
+            // Whole fleet down: report the frozen all-nodes mean rather
+            // than pretending no training ever happened.
+            return self.nodes.iter().map(NodeState::epochs).sum::<f64>()
+                / self.nodes.len() as f64;
+        }
+        sum / n as f64
     }
 
     /// Largest node clock = simulated wall-clock so far.
@@ -379,6 +561,32 @@ impl Environment {
         self.global_step = u64::from_json(state.field("global_step")?)?;
         Ok(())
     }
+}
+
+/// The shared active-neighbour draw: the classic full-list index when
+/// everyone is up (`all_active` — the caller's O(1) fleet-level check),
+/// a filtered count/draw/walk otherwise. One implementation serves both
+/// the topology and external neighbour lists so the "same RNG stream
+/// when all nodes are up" invariant has exactly one home.
+fn draw_active(
+    nbrs: &[usize],
+    active: &[bool],
+    all_active: bool,
+    rng: &mut StdRng,
+) -> Option<usize> {
+    if all_active {
+        if nbrs.is_empty() {
+            return None;
+        }
+        let k = rng.gen_range(0..nbrs.len());
+        return Some(nbrs[k]);
+    }
+    let degree = nbrs.iter().filter(|&&m| active[m]).count();
+    if degree == 0 {
+        return None;
+    }
+    let k = rng.gen_range(0..degree);
+    nbrs.iter().copied().filter(|&m| active[m]).nth(k)
 }
 
 #[cfg(test)]

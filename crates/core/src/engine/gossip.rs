@@ -55,6 +55,13 @@ pub trait GossipBehavior {
     /// iteration time (drives the EMA of Algorithm 2 line 16).
     fn on_iteration(&mut self, _env: &Environment, _i: usize, _peer: Option<usize>, _t: f64) {}
 
+    /// Called after a membership transition (node crash or rejoin); the
+    /// environment's active flags are already updated. Behaviors that
+    /// hold per-node state (policies, trackers) may react here; the
+    /// default is a no-op — peer selection already consults the active
+    /// set through the environment.
+    fn on_membership_change(&mut self, _env: &mut Environment, _node: usize, _active: bool) {}
+
     /// If `Some(Ts)`, a Network-Monitor event fires every `Ts` simulated
     /// seconds (Algorithm 1's collection period).
     fn monitor_period(&self) -> Option<f64> {
@@ -91,6 +98,9 @@ impl<B: GossipBehavior + ?Sized> GossipBehavior for &mut B {
     }
     fn on_iteration(&mut self, env: &Environment, i: usize, peer: Option<usize>, t: f64) {
         (**self).on_iteration(env, i, peer, t)
+    }
+    fn on_membership_change(&mut self, env: &mut Environment, node: usize, active: bool) {
+        (**self).on_membership_change(env, node, active)
     }
     fn monitor_period(&self) -> Option<f64> {
         (**self).monitor_period()
@@ -178,6 +188,26 @@ pub fn check_node_index(node: usize, num_nodes: usize) -> Result<(), JsonError> 
     Ok(())
 }
 
+/// Rebuilds an event queue without the entries `keep` rejects, preserving
+/// every surviving entry's time and FIFO sequence number (and the next
+/// sequence counter) so determinism is unaffected. Drivers use this to
+/// remove a crashed node's in-flight events *at crash time* — a lazy
+/// active-flag check at pop time would mistake a stale pre-crash event
+/// for a live one when the node rejoins before it pops.
+pub fn purge_events<E: Clone>(
+    queue: &EventQueue<E>,
+    keep: impl Fn(&E) -> bool,
+) -> EventQueue<E> {
+    let mut out = EventQueue::new();
+    for (time, seq, ev) in queue.entries() {
+        if keep(ev) {
+            out.restore_entry(time, seq, ev.clone());
+        }
+    }
+    out.set_next_seq(queue.next_seq());
+    out
+}
+
 /// Inverse of [`queue_to_json`].
 pub fn queue_from_json<E: FromJson>(v: &Json) -> Result<EventQueue<E>, JsonError> {
     let mut queue = EventQueue::new();
@@ -262,6 +292,9 @@ impl<B: GossipBehavior> GossipDriver<B> {
         self.behavior.on_start(env);
         self.compute = env.nominal_compute_times();
         for i in 0..env.num_nodes() {
+            if !env.is_active(i) {
+                continue;
+            }
             let c = self.compute[i];
             self.schedule_next(env, i, c);
         }
@@ -292,35 +325,92 @@ impl<B: GossipBehavior> SessionDriver for GossipDriver<B> {
             self.start(env);
         }
         if let Some((node, compute_s)) = self.pending_next.take() {
-            self.schedule_next(env, node, compute_s);
+            if env.is_active(node) {
+                self.schedule_next(env, node, compute_s);
+            }
         }
-        match self.queue.pop() {
-            None => DriverEvent::Exhausted,
-            Some((now, Ev::Monitor)) => {
-                self.behavior.on_monitor(env, now);
-                if let Some(ts) = self.behavior.monitor_period() {
-                    self.queue.push(now + ts, Ev::Monitor);
+        loop {
+            return match self.queue.pop() {
+                None => DriverEvent::Exhausted,
+                // With the whole fleet down no worker events can advance
+                // the clock; re-arming the monitor would tick forever
+                // against a frozen simulation. Let the queue drain.
+                Some((_, Ev::Monitor)) if env.num_active() == 0 => continue,
+                Some((now, Ev::Monitor)) => {
+                    self.behavior.on_monitor(env, now);
+                    if let Some(ts) = self.behavior.monitor_period() {
+                        self.queue.push(now + ts, Ev::Monitor);
+                    }
+                    DriverEvent::Monitor { time_s: now }
                 }
-                DriverEvent::Monitor { time_s: now }
-            }
-            Some((_, Ev::NodeDone { node, peer, compute_s, iteration_s })) => {
-                // First update: local gradients (Algorithm 2 line 11).
-                let _ = env.gradient_step(node);
-                // Second update: merge the pulled model (lines 12–15). The
-                // pull buffer comes from the environment's pool so the
-                // steady-state step is allocation-free.
-                if let Some(m) = peer {
-                    let mut pulled = env.take_param_buf();
-                    env.pull_params_into(m, &mut pulled);
-                    self.behavior.merge(env, node, m, &pulled);
-                    env.recycle_param_buf(pulled);
+                // Safety net only: `on_membership_change` eagerly purges
+                // a crashed node's events (the load-bearing mechanism —
+                // see `purge_events`), so a dead node's completion should
+                // never reach this pop.
+                Some((_, Ev::NodeDone { node, .. })) if !env.is_active(node) => continue,
+                Some((_, Ev::NodeDone { node, peer, compute_s, iteration_s })) => {
+                    // First update: local gradients (Algorithm 2 line 11).
+                    let _ = env.gradient_step(node);
+                    // Second update: merge the pulled model (lines 12–15).
+                    // The pull buffer comes from the environment's pool so
+                    // the steady-state step is allocation-free. A peer that
+                    // crashed mid-pull delivers nothing — the time was
+                    // already paid, the merge is skipped.
+                    if let Some(m) = peer {
+                        let mut pulled = env.take_param_buf();
+                        if env.pull_params_into(m, &mut pulled).is_ok() {
+                            self.behavior.merge(env, node, m, &pulled);
+                        }
+                        env.recycle_param_buf(pulled);
+                    }
+                    env.book_iteration(node, compute_s, iteration_s);
+                    env.global_step += 1;
+                    self.behavior.on_iteration(env, node, peer, iteration_s);
+                    self.pending_next = Some((node, compute_s));
+                    DriverEvent::Step { node, peer, iteration_s }
                 }
-                env.book_iteration(node, compute_s, iteration_s);
-                env.global_step += 1;
-                self.behavior.on_iteration(env, node, peer, iteration_s);
-                self.pending_next = Some((node, compute_s));
-                DriverEvent::Step { node, peer, iteration_s }
+            };
+        }
+    }
+
+    fn on_membership_change(&mut self, env: &mut Environment, node: usize, active: bool) {
+        self.behavior.on_membership_change(env, node, active);
+        if !self.started {
+            return;
+        }
+        if active {
+            // Re-admit the rejoined node: its clock was advanced to the
+            // rejoin time by the warm start, so its next iteration begins
+            // there.
+            let c = self.compute[node];
+            self.schedule_next(env, node, c);
+            // A full-fleet outage drains the monitor chain (its events
+            // are dropped rather than re-armed against a frozen clock);
+            // the first rejoin restarts it so the policy resumes
+            // adapting.
+            if let Some(ts) = self.behavior.monitor_period() {
+                let armed = self
+                    .queue
+                    .entries()
+                    .iter()
+                    .any(|(_, _, ev)| matches!(ev, Ev::Monitor));
+                if !armed {
+                    self.queue.push(env.nodes[node].clock + ts, Ev::Monitor);
+                }
             }
+        } else {
+            if matches!(self.pending_next, Some((n, _)) if n == node) {
+                // The crashed node completed the last event but its next
+                // iteration was never scheduled — drop it.
+                self.pending_next = None;
+            }
+            // Purge the node's in-flight completion *now*: a lazy
+            // active-flag check at pop time would mistake a stale
+            // pre-crash event for a live one if the node rejoins first,
+            // leaving the rejoined worker with two iteration chains.
+            self.queue = purge_events(&self.queue, |ev| {
+                !matches!(ev, Ev::NodeDone { node: n, .. } if *n == node)
+            });
         }
     }
 

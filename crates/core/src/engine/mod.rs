@@ -29,8 +29,8 @@ pub mod stop;
 pub use config::{ExecutionMode, TrainConfig};
 pub use environment::{Environment, NodeState};
 pub use gossip::{
-    check_node_index, queue_from_json, queue_to_json, run_gossip, GossipBehavior, GossipDriver,
-    PeerChoice,
+    check_node_index, purge_events, queue_from_json, queue_to_json, run_gossip, GossipBehavior,
+    GossipDriver, PeerChoice,
 };
 pub use recorder::{Recorder, RunReport, Sample};
 pub use scenario::{PartitionKind, Scenario, ScenarioBuilder, TopologyKind};

@@ -251,10 +251,21 @@ impl Recorder {
     /// `mean_loss_across_replicas`/`consensus_diameter`/`accuracy` path.
     pub fn force_record(&mut self, env: &Environment) {
         self.last_recorded_step = env.global_step;
+        // Metrics are computed over the *live* fleet: a crashed node's
+        // frozen replica is not part of the model being trained (with
+        // everyone active this is exactly the historic all-nodes path).
+        // Should every worker be down, the frozen replicas are the only
+        // honest readout — an empty filter would report loss 0.0, a
+        // perfect score for a fleet that entirely crashed.
+        let any_active = env.num_active() > 0;
+        let alive = |i: usize| !any_active || env.is_active(i);
+        let counted = if any_active { env.num_active() } else { env.num_nodes() };
         let train_loss = env
             .nodes
             .iter()
-            .map(|n| {
+            .enumerate()
+            .filter(|&(i, _)| alive(i))
+            .map(|(_, n)| {
                 metrics::subsampled_loss_scratch(
                     n.model.as_ref(),
                     &env.workload.train,
@@ -263,8 +274,14 @@ impl Recorder {
                 )
             })
             .sum::<f64>()
-            / env.nodes.len() as f64;
-        let params: Vec<&[f32]> = env.nodes.iter().map(|n| n.model.params()).collect();
+            / counted as f64;
+        let params: Vec<&[f32]> = env
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| alive(i))
+            .map(|(_, n)| n.model.params())
+            .collect();
         let consensus = metrics::consensus_diameter_params(&params);
         let test_accuracy = if self.records_taken.is_multiple_of(env.cfg.test_eval_every_records) {
             Some(evaluate_averaged(env, &mut self.eval))
@@ -359,13 +376,18 @@ fn safe_div(a: f64, b: f64) -> f64 {
 
 /// Test accuracy of the parameter-averaged model — the paper evaluates
 /// "the trained model"; at consensus all replicas agree, and averaging is
-/// the standard readout.
+/// the standard readout. Only live replicas enter the average (with
+/// everyone active this is the historic all-nodes mean).
 fn evaluate_averaged(env: &Environment, scratch: &mut netmax_ml::model::Scratch) -> f64 {
     let mut avg = env.nodes[0].model.clone_box();
-    let n = env.num_nodes() as f32;
+    let any_active = env.num_active() > 0;
+    let n = if any_active { env.num_active() } else { env.num_nodes() } as f32;
     let dim = avg.num_params();
     let mut acc = vec![0.0f32; dim];
-    for node in &env.nodes {
+    for (i, node) in env.nodes.iter().enumerate() {
+        if any_active && !env.is_active(i) {
+            continue;
+        }
         for (a, p) in acc.iter_mut().zip(node.model.params()) {
             *a += p / n;
         }

@@ -20,8 +20,8 @@ use netmax_json::{FromJson, Json, JsonError, ToJson};
 use netmax_ml::partition::Partition;
 use netmax_ml::workload::{Workload, WorkloadSpec};
 use netmax_net::{
-    HeterogeneousDynamicNetwork, HomogeneousNetwork, Network, NetworkKind, SlowdownConfig,
-    Topology, WanNetwork,
+    ElasticNetwork, FaultPlan, HomogeneousNetwork, LinkDynamics, LinkQuality, Network,
+    NetworkKind, SlowdownConfig, Topology, WanNetwork,
 };
 use serde::{Deserialize, Serialize};
 
@@ -153,6 +153,12 @@ pub struct Scenario {
     cfg: TrainConfig,
     slowdown: SlowdownConfig,
     topology: TopologyKind,
+    /// Link-dynamics override: `None` keeps the regime the network kind
+    /// implies (the paper's periodic redraw for the heterogeneous kinds,
+    /// static links otherwise).
+    dynamics: Option<LinkDynamics>,
+    /// Declarative fault schedule (empty by default).
+    faults: FaultPlan,
 }
 
 /// Builder for [`Scenario`]. Field order never matters: every setter
@@ -168,6 +174,8 @@ pub struct ScenarioBuilder {
     cfg: TrainConfig,
     slowdown: SlowdownConfig,
     topology: TopologyKind,
+    dynamics: Option<LinkDynamics>,
+    faults: FaultPlan,
 }
 
 impl Default for ScenarioBuilder {
@@ -190,6 +198,8 @@ impl ScenarioBuilder {
             cfg: TrainConfig::default(),
             slowdown: SlowdownConfig::default(),
             topology: TopologyKind::FullyConnected,
+            dynamics: None,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -203,6 +213,22 @@ impl ScenarioBuilder {
     /// the heterogeneous network kinds.
     pub fn slowdown(mut self, sd: SlowdownConfig) -> Self {
         self.slowdown = sd;
+        self
+    }
+
+    /// Overrides the link dynamics (Markov-modulated bandwidth, trace
+    /// replay, …). `None`/unset keeps the regime the network kind implies
+    /// — the paper's periodic slow-link redraw for the heterogeneous
+    /// kinds.
+    pub fn dynamics(mut self, d: LinkDynamics) -> Self {
+        self.dynamics = Some(d);
+        self
+    }
+
+    /// Attaches a declarative fault schedule (link degradation/outage
+    /// windows, node crash/rejoin times, straggler compute multipliers).
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
         self
     }
 
@@ -288,6 +314,8 @@ impl ScenarioBuilder {
             cfg: self.cfg,
             slowdown: self.slowdown,
             topology: self.topology,
+            dynamics: self.dynamics,
+            faults: self.faults,
         }
     }
 }
@@ -323,6 +351,16 @@ impl Scenario {
         self.network
     }
 
+    /// The link-dynamics override, when one is set.
+    pub fn link_dynamics(&self) -> Option<&LinkDynamics> {
+        self.dynamics.as_ref()
+    }
+
+    /// The declarative fault schedule (empty by default).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
+    }
+
     /// Instantiates the workload (datasets included). Pure: repeated calls
     /// return identical workloads. Prefer [`Scenario::build_env_with`] when
     /// running many cells of the same scenario to share the datasets.
@@ -353,14 +391,32 @@ impl Scenario {
             }
             TopologyKind::Random { p } => Topology::random_connected(n, *p, self.cfg.seed),
         };
+        let elastic = self.dynamics.is_some() || !self.faults.is_empty();
         let network: Box<dyn Network> = match self.network {
-            NetworkKind::Homogeneous => Box::new(HomogeneousNetwork::paper_default(n)),
+            NetworkKind::Homogeneous => {
+                if elastic {
+                    let net = ElasticNetwork::uniform(n, LinkQuality::virtual_switch_10g())
+                        .with_seed(self.cfg.seed)
+                        .with_dynamics(self.dynamics.clone().unwrap_or(LinkDynamics::Static))
+                        .with_faults(self.faults.clone());
+                    Box::new(net)
+                } else {
+                    Box::new(HomogeneousNetwork::paper_default(n))
+                }
+            }
             NetworkKind::HeterogeneousDynamic => {
                 let spec = netmax_net::ClusterSpec::paper_default(per_server_counts(
                     n,
                     self.servers,
                 ));
-                Box::new(HeterogeneousDynamicNetwork::new(spec, self.slowdown, self.cfg.seed))
+                let dynamics = self
+                    .dynamics
+                    .clone()
+                    .unwrap_or(LinkDynamics::PeriodicRedraw(self.slowdown));
+                Box::new(
+                    ElasticNetwork::cluster(spec, dynamics, self.cfg.seed)
+                        .with_faults(self.faults.clone()),
+                )
             }
             NetworkKind::HeterogeneousStatic => {
                 let spec = netmax_net::ClusterSpec::paper_default(per_server_counts(
@@ -368,11 +424,24 @@ impl Scenario {
                     self.servers,
                 ));
                 let sd = SlowdownConfig { dynamic: false, ..self.slowdown };
-                Box::new(HeterogeneousDynamicNetwork::new(spec, sd, self.cfg.seed))
+                let dynamics =
+                    self.dynamics.clone().unwrap_or(LinkDynamics::PeriodicRedraw(sd));
+                Box::new(
+                    ElasticNetwork::cluster(spec, dynamics, self.cfg.seed)
+                        .with_faults(self.faults.clone()),
+                )
             }
             NetworkKind::Wan => {
-                let regions = (0..n).map(|i| i % 6).collect();
-                Box::new(WanNetwork::new(regions))
+                let regions: Vec<usize> = (0..n).map(|i| i % 6).collect();
+                if elastic {
+                    let net = ElasticNetwork::wan(regions)
+                        .with_seed(self.cfg.seed)
+                        .with_dynamics(self.dynamics.clone().unwrap_or(LinkDynamics::Static))
+                        .with_faults(self.faults.clone());
+                    Box::new(net)
+                } else {
+                    Box::new(WanNetwork::new(regions))
+                }
             }
         };
         let partition = match &self.partition {
@@ -404,7 +473,9 @@ impl Scenario {
                 Partition::paper_table7(&workload.train)
             }
         };
-        Environment::new(topology, network, workload, partition, self.cfg.clone())
+        let mut env = Environment::new(topology, network, workload, partition, self.cfg.clone());
+        env.set_fault_plan(self.faults.clone());
+        env
     }
 
     /// Builds an environment and runs `algorithm` on it.
@@ -416,7 +487,7 @@ impl Scenario {
 
 impl ToJson for Scenario {
     fn to_json(&self) -> Json {
-        Json::obj([
+        let mut fields = vec![
             ("workers", self.workers.to_json()),
             ("servers", self.servers.to_json()),
             ("network", self.network.to_json()),
@@ -425,7 +496,16 @@ impl ToJson for Scenario {
             ("train", self.cfg.to_json()),
             ("slowdown", self.slowdown.to_json()),
             ("topology", self.topology.to_json()),
-        ])
+        ];
+        // Elastic extensions are emitted only when used, so pre-fault
+        // scenario documents stay byte-identical.
+        if let Some(d) = &self.dynamics {
+            fields.push(("dynamics", d.to_json()));
+        }
+        if !self.faults.is_empty() {
+            fields.push(("faults", self.faults.to_json()));
+        }
+        Json::obj(fields)
     }
 }
 
@@ -440,6 +520,15 @@ impl FromJson for Scenario {
             cfg: TrainConfig::from_json(v.field("train")?)?,
             slowdown: SlowdownConfig::from_json(v.field("slowdown")?)?,
             topology: TopologyKind::from_json(v.field("topology")?)?,
+            // Absent in pre-elastic documents; tolerate for compatibility.
+            dynamics: match v.get("dynamics") {
+                None | Some(Json::Null) => None,
+                Some(d) => Some(LinkDynamics::from_json(d)?),
+            },
+            faults: match v.get("faults") {
+                None | Some(Json::Null) => FaultPlan::none(),
+                Some(f) => FaultPlan::from_json(f)?,
+            },
         })
     }
 }

@@ -29,11 +29,19 @@ use super::environment::Environment;
 use super::recorder::{Recorder, RunReport, Sample};
 use super::stop::StopCondition;
 use netmax_json::{FromJson, Json, JsonError, ToJson};
+use netmax_net::MembershipEvent;
 use std::fmt;
 
 /// Schema tag of [`Session::checkpoint`] documents; bump on breaking
-/// changes.
-pub const SESSION_CHECKPOINT_SCHEMA: &str = "netmax-core/session-checkpoint/v1";
+/// changes. v2 added the active-membership state (fault-capable
+/// sessions); v1 documents ([`SESSION_CHECKPOINT_SCHEMA_V1`]) still
+/// restore.
+pub const SESSION_CHECKPOINT_SCHEMA: &str = "netmax-core/session-checkpoint/v2";
+
+/// The pre-fault checkpoint schema; still restorable into fault-free
+/// scenarios (restoring into a scenario with a non-empty fault plan is
+/// rejected — such a plan could only postdate the document).
+pub const SESSION_CHECKPOINT_SCHEMA_V1: &str = "netmax-core/session-checkpoint/v1";
 
 /// Typed errors surfaced at session construction or restore — before any
 /// training work is done.
@@ -44,6 +52,9 @@ pub enum SessionError {
     /// A checkpoint document is malformed or inconsistent with the
     /// session being restored.
     BadCheckpoint(String),
+    /// A peer access named a node that is out of range or currently down
+    /// (crashed per the scenario's fault plan).
+    NodeUnavailable(String),
 }
 
 impl fmt::Display for SessionError {
@@ -51,6 +62,7 @@ impl fmt::Display for SessionError {
         match self {
             SessionError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             SessionError::BadCheckpoint(msg) => write!(f, "bad checkpoint: {msg}"),
+            SessionError::NodeUnavailable(msg) => write!(f, "node unavailable: {msg}"),
         }
     }
 }
@@ -96,6 +108,25 @@ pub enum StepEvent {
         /// The freshly recorded sample.
         sample: Sample,
     },
+    /// A node crashed per the scenario's fault plan; it no longer
+    /// schedules iterations and the policy layer routes around it.
+    NodeDown {
+        /// The crashed worker.
+        node: usize,
+        /// Scheduled crash time (virtual seconds).
+        time_s: f64,
+    },
+    /// A crashed node rejoined, warm-started from a live peer's replica.
+    NodeUp {
+        /// The rejoining worker.
+        node: usize,
+        /// Scheduled rejoin time (virtual seconds).
+        time_s: f64,
+        /// The live peer whose replica seeded the rejoin (`None` when no
+        /// other node was alive and the node restarted from its own
+        /// stale replica).
+        donor: Option<usize>,
+    },
     /// The session finished; the report is final. Subsequent `step` calls
     /// keep returning this event.
     Finished {
@@ -127,6 +158,11 @@ pub trait Observer {
     /// taken when the session finishes).
     fn on_sample(&mut self, env: &Environment, sample: &Sample) {
         let _ = (env, sample);
+    }
+
+    /// Called after every membership transition (node crash or rejoin).
+    fn on_membership(&mut self, env: &Environment, node: usize, active: bool, time_s: f64) {
+        let _ = (env, node, active, time_s);
     }
 }
 
@@ -200,6 +236,16 @@ pub trait SessionDriver {
         let _ = (env, state);
         Ok(())
     }
+
+    /// Called by the session after it applied a membership transition
+    /// (the environment's active flags are already updated, and a
+    /// rejoining node is already warm-started). Event-driven drivers use
+    /// this to re-admit a rejoined node into their schedule; crashed
+    /// nodes' stale events are expected to be dropped lazily. Default:
+    /// no-op (round drivers re-derive membership every round).
+    fn on_membership_change(&mut self, env: &mut Environment, node: usize, active: bool) {
+        let _ = (env, node, active);
+    }
 }
 
 /// A resumable, observable, step-wise training run. See the module docs.
@@ -222,6 +268,11 @@ pub struct Session<'a> {
     /// Transient — never checkpointed (a resumed session gets a fresh
     /// budget from its caller).
     deadline: Option<std::time::Instant>,
+    /// The fault plan's crash/rejoin schedule, sorted by virtual time
+    /// (pure data, derived from the environment at construction).
+    membership: Vec<MembershipEvent>,
+    /// Index of the next unapplied membership event.
+    membership_next: usize,
     finished: Option<RunReport>,
 }
 
@@ -240,6 +291,7 @@ impl<'a> Session<'a> {
         stop.validate()?;
         driver.validate(env)?;
         let algorithm = driver.name().to_string();
+        let membership = env.fault_plan().membership_events();
         Ok(Self {
             env,
             driver,
@@ -250,6 +302,8 @@ impl<'a> Session<'a> {
             sample_due: false,
             latest: None,
             deadline: None,
+            membership,
+            membership_next: 0,
             finished: None,
         })
     }
@@ -322,6 +376,17 @@ impl<'a> Session<'a> {
             self.latest = Some(sample.clone());
             return StepEvent::Sampled { sample };
         }
+        // Membership transitions fire once the virtual clock has reached
+        // their scheduled time — one transition per step, before the next
+        // driver advance, so drivers always observe a consistent
+        // active-set.
+        if self
+            .membership
+            .get(self.membership_next)
+            .is_some_and(|ev| ev.time_s <= self.env.wall_clock())
+        {
+            return self.apply_membership();
+        }
         if self
             .deadline
             .is_some_and(|d| std::time::Instant::now() >= d)
@@ -352,6 +417,14 @@ impl<'a> Session<'a> {
                 }
                 StepEvent::MonitorRound { time_s }
             }
+            // An exhausted driver with membership transitions still
+            // pending is a fleet-wide outage, not the end of training:
+            // the simulation idles until the next scheduled event (a
+            // rejoin advances the clock past the gap and the driver
+            // re-admits the node). Only a drained schedule finishes.
+            DriverEvent::Exhausted if self.membership_next < self.membership.len() => {
+                self.apply_membership()
+            }
             DriverEvent::Exhausted => self.finish_event(),
         }
     }
@@ -372,6 +445,25 @@ impl<'a> Session<'a> {
         match self.finish_event() {
             StepEvent::Finished { report } => report,
             _ => unreachable!("finish_event always finishes"),
+        }
+    }
+
+    /// Applies the next pending membership transition: flips the active
+    /// flag, warm-starts a rejoining node from a live peer, and notifies
+    /// the driver and observers.
+    fn apply_membership(&mut self) -> StepEvent {
+        let ev = self.membership[self.membership_next];
+        self.membership_next += 1;
+        self.env.set_active(ev.node, ev.up);
+        let donor = if ev.up { self.env.warm_start(ev.node, ev.time_s) } else { None };
+        self.driver.on_membership_change(self.env, ev.node, ev.up);
+        for obs in &mut self.observers {
+            obs.on_membership(self.env, ev.node, ev.up, ev.time_s);
+        }
+        if ev.up {
+            StepEvent::NodeUp { node: ev.node, time_s: ev.time_s, donor }
+        } else {
+            StepEvent::NodeDown { node: ev.node, time_s: ev.time_s }
         }
     }
 
@@ -405,6 +497,8 @@ impl<'a> Session<'a> {
             ("driver", self.driver.checkpoint_state()),
             ("sample_due", self.sample_due.to_json()),
             ("latest", self.latest.to_json()),
+            ("active", self.env.active_flags().to_json()),
+            ("membership_next", self.membership_next.to_json()),
             (
                 "finished",
                 match &self.finished {
@@ -428,9 +522,11 @@ impl<'a> Session<'a> {
         checkpoint: &Json,
     ) -> Result<Self, SessionError> {
         let schema = checkpoint.field("schema")?.as_str()?;
-        if schema != SESSION_CHECKPOINT_SCHEMA {
+        let v1 = schema == SESSION_CHECKPOINT_SCHEMA_V1;
+        if schema != SESSION_CHECKPOINT_SCHEMA && !v1 {
             return Err(SessionError::BadCheckpoint(format!(
-                "unsupported checkpoint schema `{schema}` (expected `{SESSION_CHECKPOINT_SCHEMA}`)"
+                "unsupported checkpoint schema `{schema}` (expected `{SESSION_CHECKPOINT_SCHEMA}` \
+                 or `{SESSION_CHECKPOINT_SCHEMA_V1}`)"
             )));
         }
         let algorithm = String::from_json(checkpoint.field("algorithm")?)?;
@@ -445,6 +541,42 @@ impl<'a> Session<'a> {
         stop.validate()?;
         session.stop = stop;
         session.env.restore(checkpoint.field("env")?)?;
+        // Membership state: v2 documents carry it explicitly. v1
+        // documents predate fault-capable sessions — restoring one into
+        // a *faulted* scenario is rejected outright (a flag-only replay
+        // could not purge the restored driver queue of a crashed node's
+        // in-flight events, re-creating the duplicated-chain bug the
+        // eager purge exists to prevent); with an empty plan there is
+        // nothing to reconstruct.
+        if v1 {
+            if !session.env.fault_plan().is_empty() {
+                return Err(SessionError::BadCheckpoint(
+                    "v1 checkpoints predate fault-capable sessions and cannot be restored \
+                     into a scenario with a non-empty fault plan"
+                        .into(),
+                ));
+            }
+        } else {
+            let active: Vec<bool> = Vec::from_json(checkpoint.field("active")?)?;
+            if active.len() != session.env.num_nodes() {
+                return Err(SessionError::BadCheckpoint(format!(
+                    "checkpoint has {} membership flags, environment has {} nodes",
+                    active.len(),
+                    session.env.num_nodes()
+                )));
+            }
+            for (i, a) in active.into_iter().enumerate() {
+                session.env.set_active(i, a);
+            }
+            let next = usize::from_json(checkpoint.field("membership_next")?)?;
+            if next > session.membership.len() {
+                return Err(SessionError::BadCheckpoint(format!(
+                    "checkpoint applied {next} membership events, plan has {}",
+                    session.membership.len()
+                )));
+            }
+            session.membership_next = next;
+        }
         session.recorder.restore(checkpoint.field("recorder")?)?;
         session
             .driver

@@ -123,11 +123,19 @@ impl EmaTimeTracker {
 
     /// Fraction of (ordered, adjacent) pairs with at least one observation.
     pub fn coverage(&self, topo: &Topology) -> f64 {
+        self.coverage_over(topo, None)
+    }
+
+    /// [`EmaTimeTracker::coverage`] restricted to pairs whose endpoints
+    /// are both active (dead rows must not drag coverage below the
+    /// monitor's threshold after a crash).
+    pub fn coverage_over(&self, topo: &Topology, active: Option<&[bool]>) -> f64 {
+        let alive = |i: usize| active.is_none_or(|a| a[i]);
         let mut seen = 0usize;
         let mut total = 0usize;
         for i in 0..self.n {
             for m in 0..self.n {
-                if i != m && topo.is_edge(i, m) {
+                if i != m && topo.is_edge(i, m) && alive(i) && alive(m) {
                     total += 1;
                     if self.observed[i * self.n + m] {
                         seen += 1;
@@ -212,25 +220,83 @@ impl NetworkMonitor {
     /// from the tracker, regenerate the policy at the given current
     /// learning rate α, and return the new `(P, ρ)` for dissemination.
     ///
+    /// `active` masks dead workers out of the optimisation: the LP of
+    /// Eq. 14 is solved over the *live* subgraph only, and the returned
+    /// policy assigns exactly zero probability to every link touching a
+    /// dead node (dead rows are identity) — the policy layer routes
+    /// around outages. With everyone active this is exactly the classic
+    /// full-fleet round.
+    ///
     /// Returns `None` (keeping the previous policy) when coverage is too
-    /// poor or the search finds no feasible candidate.
+    /// poor, fewer than two live nodes remain, the live subgraph is
+    /// disconnected, or the search finds no feasible candidate.
     pub fn round(
         &mut self,
         tracker: &EmaTimeTracker,
         topo: &Topology,
         current_alpha: f64,
+        active: &[bool],
     ) -> Option<PolicyResult> {
         self.rounds += 1;
-        // Until workers have touched a reasonable share of their links the
-        // pessimistic fill dominates and the LP would chase noise.
-        if tracker.coverage(topo) < 0.5 {
+        let search = PolicySearchConfig { alpha: current_alpha, ..self.cfg.search.clone() };
+        if active.iter().all(|&a| a) {
+            // Until workers have touched a reasonable share of their links
+            // the pessimistic fill dominates and the LP would chase noise.
+            if tracker.coverage(topo) < 0.5 {
+                return None;
+            }
+            let times = tracker.matrix_for(topo);
+            let result = PolicyGenerator::new(search).generate(&times, topo)?;
+            self.last = Some(result.clone());
+            return Some(result);
+        }
+
+        // Masked round: compact the live nodes, optimise over their
+        // subgraph, and expand the result back to fleet indices.
+        let n = topo.len();
+        assert_eq!(active.len(), n, "active mask/topology node count mismatch");
+        let idx: Vec<usize> = (0..n).filter(|&i| active[i]).collect();
+        if idx.len() < 2 {
             return None;
         }
-        let times = tracker.matrix_for(topo);
-        let search = PolicySearchConfig { alpha: current_alpha, ..self.cfg.search.clone() };
-        let result = PolicyGenerator::new(search).generate(&times, topo)?;
-        self.last = Some(result.clone());
-        Some(result)
+        let mut sub = Topology::empty(idx.len());
+        for a in 0..idx.len() {
+            for b in (a + 1)..idx.len() {
+                if topo.is_edge(idx[a], idx[b]) {
+                    sub.set_edge(a, b, true);
+                }
+            }
+        }
+        if !sub.is_connected() {
+            return None;
+        }
+        if tracker.coverage_over(topo, Some(active)) < 0.5 {
+            return None;
+        }
+        let full = tracker.matrix_for(topo);
+        let mut times = Matrix::zeros(idx.len(), idx.len());
+        for a in 0..idx.len() {
+            for b in 0..idx.len() {
+                times[(a, b)] = full[(idx[a], idx[b])];
+            }
+        }
+        let result = PolicyGenerator::new(search).generate(&times, &sub)?;
+        let mut policy = Matrix::zeros(n, n);
+        for i in 0..n {
+            if !active[i] {
+                // Dead rows are identity: no live node is ever steered to
+                // them, and they steer nowhere.
+                policy[(i, i)] = 1.0;
+            }
+        }
+        for a in 0..idx.len() {
+            for b in 0..idx.len() {
+                policy[(idx[a], idx[b])] = result.policy[(a, b)];
+            }
+        }
+        let expanded = PolicyResult { policy, ..result };
+        self.last = Some(expanded.clone());
+        Some(expanded)
     }
 }
 
@@ -298,7 +364,7 @@ mod tests {
         let topo = Topology::fully_connected(4);
         let tracker = EmaTimeTracker::new(4, 0.5);
         let mut mon = NetworkMonitor::new(MonitorConfig::paper_default(0.1));
-        assert!(mon.round(&tracker, &topo, 0.1).is_none());
+        assert!(mon.round(&tracker, &topo, 0.1, &[true; 4]).is_none());
         assert_eq!(mon.rounds(), 1);
     }
 
@@ -319,7 +385,7 @@ mod tests {
             }
         }
         let mut mon = NetworkMonitor::new(MonitorConfig::paper_default(0.1));
-        let res = mon.round(&tracker, &topo, 0.1).expect("policy expected");
+        let res = mon.round(&tracker, &topo, 0.1, &[true; 6]).expect("policy expected");
         // Aggregate preference per node (simplex optima are vertices, so
         // per-link comparisons are not meaningful).
         for i in 0..6 {
@@ -337,5 +403,55 @@ mod tests {
             assert!(fast_sum / 2.0 > slow_sum / 3.0, "node {i}: {:?}", res.policy);
         }
         assert!(mon.last_policy().is_some());
+    }
+
+    #[test]
+    fn masked_round_zeroes_dead_links_and_keeps_live_rows_stochastic() {
+        // Same two-triad fleet, but node 5 is down: the policy must solve
+        // the LP over {0..4} only, give node 5 an identity row, and
+        // assign exactly zero mass to every link touching it.
+        let topo = Topology::fully_connected(6);
+        let mut tracker = EmaTimeTracker::new(6, 0.5);
+        let fast = |i: usize, m: usize| (i / 3) == (m / 3);
+        for i in 0..6 {
+            for m in 0..6 {
+                if i != m {
+                    tracker.record(i, m, if fast(i, m) { 0.1 } else { 1.0 });
+                }
+            }
+        }
+        let mut active = [true; 6];
+        active[5] = false;
+        let mut mon = NetworkMonitor::new(MonitorConfig::paper_default(0.1));
+        let res = mon.round(&tracker, &topo, 0.1, &active).expect("masked policy expected");
+        for i in 0..5 {
+            assert_eq!(res.policy[(i, 5)], 0.0, "live node {i} steered to the dead node");
+            assert_eq!(res.policy[(5, i)], 0.0);
+            assert!((res.policy.row_sum(i) - 1.0).abs() < 1e-6, "row {i} not stochastic");
+        }
+        assert_eq!(res.policy[(5, 5)], 1.0, "dead row must be identity");
+        assert!(res.lambda2 < 1.0 && res.lambda2 > 0.0);
+    }
+
+    #[test]
+    fn masked_round_needs_two_live_nodes_and_a_connected_live_subgraph() {
+        let mut tracker = EmaTimeTracker::new(4, 0.5);
+        for i in 0..4 {
+            for m in 0..4 {
+                if i != m {
+                    tracker.record(i, m, 1.0);
+                }
+            }
+        }
+        let mut mon = NetworkMonitor::new(MonitorConfig::paper_default(0.1));
+        // One live node: nothing to optimise.
+        assert!(mon
+            .round(&tracker, &Topology::fully_connected(4), 0.1, &[true, false, false, false])
+            .is_none());
+        // Live nodes 0 and 2 on the 4-ring are not adjacent: the live
+        // subgraph is disconnected.
+        assert!(mon
+            .round(&tracker, &Topology::ring(4), 0.1, &[true, false, true, false])
+            .is_none());
     }
 }

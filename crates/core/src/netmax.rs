@@ -112,7 +112,11 @@ impl NetMax {
         self.policies_applied = 0;
     }
 
-    /// Samples from the policy row of node `i` (neighbours + self).
+    /// Samples from the policy row of node `i` (neighbours + self). Mass
+    /// a *stale* policy still assigns to a since-crashed peer is skipped
+    /// — those draws fall through to the self-step tail, so no worker
+    /// ever commits an iteration to a dead node (the next masked monitor
+    /// round removes the mass entirely).
     fn sample_policy_row(&self, env: &mut Environment, i: usize) -> PeerChoice {
         let policy = self.policy.as_ref().expect("sample_policy_row without policy");
         let n = env.num_nodes();
@@ -120,7 +124,7 @@ impl NetMax {
         let mut acc = 0.0;
         for m in 0..n {
             let p = policy[(i, m)];
-            if p <= 0.0 {
+            if p <= 0.0 || (m != i && !env.is_active(m)) {
                 continue;
             }
             acc += p;
@@ -128,7 +132,8 @@ impl NetMax {
                 return if m == i { PeerChoice::SelfStep } else { PeerChoice::Peer(m) };
             }
         }
-        // Round-off tail: fall back to self.
+        // Round-off tail (or mass stranded on dead peers): fall back to
+        // self.
         PeerChoice::SelfStep
     }
 }
@@ -144,13 +149,14 @@ impl GossipBehavior for NetMax {
         } else {
             // Initial uniform policy of Algorithm 2 line 2: each of the M
             // entries (self included) gets equal probability; on sparse
-            // graphs the mass is spread over {self} ∪ neighbours.
-            let degree = env.topology.neighbors(i).len();
+            // graphs the mass is spread over {self} ∪ active neighbours
+            // (with everyone alive this is the classic full-degree draw).
+            let degree = env.active_degree(i);
             let k = env.node_rng(i).gen_range(0..=degree);
             if k == degree {
                 PeerChoice::SelfStep
             } else {
-                PeerChoice::Peer(env.topology.neighbors(i)[k])
+                PeerChoice::Peer(env.nth_active_neighbor(i, k))
             }
         }
     }
@@ -196,7 +202,7 @@ impl GossipBehavior for NetMax {
             return;
         };
         let alpha = env.workload.optim.lr_at(env.mean_epoch());
-        if let Some(res) = self.monitor.round(tracker, &env.topology, alpha) {
+        if let Some(res) = self.monitor.round(tracker, &env.topology, alpha, env.active_flags()) {
             self.policy = Some(res.policy);
             self.rho = Some(res.rho);
             self.policies_applied += 1;

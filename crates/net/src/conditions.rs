@@ -1,20 +1,25 @@
-//! Network conditions: the three regimes of the paper's evaluation.
+//! Network conditions: base fabrics plus the composable
+//! [`ElasticNetwork`] that layers [`LinkDynamics`] and a [`FaultPlan`]
+//! over any of them.
 //!
 //! * [`HomogeneousNetwork`] — all pairs communicate at the same speed
 //!   (the reserved server with a 10 Gbps virtual switch, §V-A).
-//! * [`HeterogeneousDynamicNetwork`] — workers placed across servers with
-//!   fast intra-machine and slow inter-machine links, plus the paper's
-//!   dynamic regime: one randomly chosen link is slowed by 2×–100× and the
-//!   choice is re-drawn on a fixed period ("we further change the slow
-//!   link every 5 minutes", §V-A).
+//! * [`ElasticNetwork`] — a base fabric (uniform link, cluster placement
+//!   with intra/inter links, or the WAN matrix) composed with per-link
+//!   [`LinkDynamics`] and an optional [`FaultPlan`]. The paper's three
+//!   regimes are special cases: the historical
+//!   [`HeterogeneousDynamicNetwork`] is now the cluster fabric with
+//!   [`LinkDynamics::PeriodicRedraw`] — bit-for-bit the same schedule.
 //! * [`WanNetwork`] — a wide-area latency/bandwidth matrix reproducing the
 //!   6-region EC2 deployment of Appendix G.
 //!
-//! All three are **pure in virtual time**: the cost of a link at time `t`
-//! is a deterministic function of `(seed, t)`, never of call order. This
-//! keeps every simulation exactly reproducible and lets the engine query
-//! link costs speculatively.
+//! All of them are **pure in virtual time**: the cost of a link at time
+//! `t` is a deterministic function of `(seed, t)`, never of call order.
+//! This keeps every simulation exactly reproducible and lets the engine
+//! query link costs speculatively.
 
+use crate::dynamics::LinkDynamics;
+use crate::faults::FaultPlan;
 use crate::link::LinkQuality;
 use crate::topology::Placement;
 use netmax_json::{FromJson, Json, JsonError, ToJson};
@@ -202,25 +207,121 @@ impl FromJson for SlowdownConfig {
     }
 }
 
-/// Heterogeneous cluster network with a dynamically slowed link.
-///
-/// The slowed (ordered pair collapsed to unordered) link and its factor in
-/// time window `w = floor(now / change_period)` are derived by hashing
-/// `(seed, w)` — no mutable state, fully reproducible.
+/// The base fabric an [`ElasticNetwork`] modulates: who is placed where
+/// and what the healthy link between each pair looks like.
 #[derive(Debug, Clone)]
-pub struct HeterogeneousDynamicNetwork {
-    spec: ClusterSpec,
-    placement: Placement,
-    slowdown: SlowdownConfig,
+enum BaseFabric {
+    /// Every distinct pair shares one link class.
+    Uniform {
+        /// Worker count.
+        n: usize,
+        /// The shared link.
+        link: LinkQuality,
+    },
+    /// Workers placed on servers: intra-machine vs inter-machine links.
+    Cluster {
+        /// The cluster description.
+        spec: ClusterSpec,
+        /// Worker→server placement derived from it.
+        placement: Placement,
+    },
+    /// The 6-region WAN matrix of Appendix G (boxed: the latency and
+    /// bandwidth tables dwarf the other variants).
+    Wan(Box<WanNetwork>),
+}
+
+impl BaseFabric {
+    fn num_nodes(&self) -> usize {
+        match self {
+            BaseFabric::Uniform { n, .. } => *n,
+            BaseFabric::Cluster { placement, .. } => placement.len(),
+            BaseFabric::Wan(w) => w.num_nodes(),
+        }
+    }
+
+    fn link(&self, from: usize, to: usize, now: f64) -> LinkQuality {
+        match self {
+            BaseFabric::Uniform { link, .. } => *link,
+            BaseFabric::Cluster { spec, placement } => {
+                if placement.same_server(from, to) {
+                    spec.intra
+                } else {
+                    spec.inter
+                }
+            }
+            BaseFabric::Wan(w) => w.link(from, to, now),
+        }
+    }
+}
+
+/// A composable network: a base fabric whose links are modulated by
+/// [`LinkDynamics`] and degraded by the link faults of a [`FaultPlan`],
+/// all pure functions of `(seed, link, t)`.
+///
+/// The paper's dynamic regime is the cluster fabric with
+/// [`LinkDynamics::PeriodicRedraw`]; [`HeterogeneousDynamicNetwork`] is
+/// now an alias constructing exactly that, with an identical slow-link
+/// schedule.
+#[derive(Debug, Clone)]
+pub struct ElasticNetwork {
+    base: BaseFabric,
+    dynamics: LinkDynamics,
+    faults: FaultPlan,
     seed: u64,
 }
 
-impl HeterogeneousDynamicNetwork {
-    /// Creates the network. `seed` drives the slow-link schedule.
+/// The paper's heterogeneous-dynamic regime, now expressed as an
+/// [`ElasticNetwork`] (cluster fabric + periodic slow-link redraw).
+pub type HeterogeneousDynamicNetwork = ElasticNetwork;
+
+impl ElasticNetwork {
+    /// Cluster fabric with the paper's periodic slow-link redraw —
+    /// the historical `HeterogeneousDynamicNetwork::new`. `seed` drives
+    /// the slow-link schedule.
     pub fn new(spec: ClusterSpec, slowdown: SlowdownConfig, seed: u64) -> Self {
+        Self::cluster(spec, LinkDynamics::PeriodicRedraw(slowdown), seed)
+    }
+
+    /// Cluster fabric with explicit link dynamics.
+    ///
+    /// # Panics
+    /// Panics on fewer than two workers or a dynamics description that
+    /// fails validation (a bad config must fail at construction with a
+    /// named error, not mid-simulation).
+    pub fn cluster(spec: ClusterSpec, dynamics: LinkDynamics, seed: u64) -> Self {
         let placement = spec.placement();
         assert!(placement.len() >= 2, "need at least two workers");
-        Self { spec, placement, slowdown, seed }
+        dynamics
+            .validate(placement.len())
+            .unwrap_or_else(|e| panic!("invalid link dynamics: {e}"));
+        Self {
+            base: BaseFabric::Cluster { spec, placement },
+            dynamics,
+            faults: FaultPlan::none(),
+            seed,
+        }
+    }
+
+    /// Uniform fabric (every pair shares `link`), statically healthy
+    /// until dynamics or faults are layered on.
+    pub fn uniform(n: usize, link: LinkQuality) -> Self {
+        assert!(n > 0);
+        Self {
+            base: BaseFabric::Uniform { n, link },
+            dynamics: LinkDynamics::Static,
+            faults: FaultPlan::none(),
+            seed: 0,
+        }
+    }
+
+    /// WAN fabric over an explicit worker→region assignment.
+    pub fn wan(region_of: Vec<usize>) -> Self {
+        Self {
+            base: BaseFabric::Wan(Box::new(WanNetwork::new(region_of))),
+            dynamics: LinkDynamics::Static,
+            faults: FaultPlan::none(),
+            seed: 0,
+        }
     }
 
     /// Paper defaults for `n` workers spread over `servers` machines.
@@ -235,39 +336,59 @@ impl HeterogeneousDynamicNetwork {
         Self::new(ClusterSpec::paper_default(counts), SlowdownConfig::default(), seed)
     }
 
-    /// The unordered pair slowed during `window`, and its factor.
-    fn slowed_pair(&self, window: u64) -> (usize, usize, f64) {
-        let n = self.placement.len();
-        let w = if self.slowdown.dynamic { window } else { 0 };
-        let h1 = splitmix64(self.seed ^ w.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-        let h2 = splitmix64(h1);
-        let h3 = splitmix64(h2);
-        // Draw an unordered pair (i < j) uniformly.
-        let i = (h1 % n as u64) as usize;
-        let mut j = (h2 % (n as u64 - 1)) as usize;
-        if j >= i {
-            j += 1;
+    /// Replaces the link dynamics.
+    ///
+    /// # Panics
+    /// Panics if the dynamics description fails validation.
+    pub fn with_dynamics(mut self, dynamics: LinkDynamics) -> Self {
+        dynamics
+            .validate(self.base.num_nodes())
+            .unwrap_or_else(|e| panic!("invalid link dynamics: {e}"));
+        self.dynamics = dynamics;
+        self
+    }
+
+    /// Attaches a fault plan (its link faults degrade this network's
+    /// links; node faults are interpreted by the engine).
+    ///
+    /// # Panics
+    /// Panics if the plan fails validation against this fleet size.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        faults
+            .validate(self.base.num_nodes())
+            .unwrap_or_else(|e| panic!("invalid fault plan: {e}"));
+        self.faults = faults;
+        self
+    }
+
+    /// Replaces the dynamics seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The cluster spec, when this network is a cluster fabric.
+    pub fn spec(&self) -> Option<&ClusterSpec> {
+        match &self.base {
+            BaseFabric::Cluster { spec, .. } => Some(spec),
+            _ => None,
         }
-        let (a, b) = if i < j { (i, j) } else { (j, i) };
-        let u = (h3 >> 11) as f64 / (1u64 << 53) as f64; // uniform [0,1)
-        let factor = self.slowdown.min_factor
-            + u * (self.slowdown.max_factor - self.slowdown.min_factor);
-        (a, b, factor)
     }
 
-    fn window_of(&self, now: f64) -> u64 {
-        (now / self.slowdown.change_period_s).floor().max(0.0) as u64
+    /// The active link dynamics.
+    pub fn dynamics(&self) -> &LinkDynamics {
+        &self.dynamics
     }
 
-    /// The cluster spec (used by the figure harnesses for reporting).
-    pub fn spec(&self) -> &ClusterSpec {
-        &self.spec
+    /// The attached fault plan.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
     }
 }
 
-impl Network for HeterogeneousDynamicNetwork {
+impl Network for ElasticNetwork {
     fn num_nodes(&self) -> usize {
-        self.placement.len()
+        self.base.num_nodes()
     }
 
     fn comm_time(&self, from: usize, to: usize, bytes: u64, now: f64) -> f64 {
@@ -278,27 +399,16 @@ impl Network for HeterogeneousDynamicNetwork {
     }
 
     fn link(&self, from: usize, to: usize, now: f64) -> LinkQuality {
-        let base = if self.placement.same_server(from, to) {
-            self.spec.intra
-        } else {
-            self.spec.inter
-        };
-        let (a, b, factor) = self.slowed_pair(self.window_of(now));
-        let (lo, hi) = if from < to { (from, to) } else { (to, from) };
-        if (lo, hi) == (a, b) {
+        let base = self.base.link(from, to, now);
+        let n = self.base.num_nodes();
+        let factor = self.dynamics.factor(self.seed, n, from, to, now)
+            * self.faults.link_factor(from, to, now);
+        if factor > 1.0 {
             base.slowed(factor)
         } else {
             base
         }
     }
-}
-
-/// SplitMix64: deterministic, platform-independent hash step.
-fn splitmix64(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
 }
 
 /// Six-region wide-area network (Appendix G deployment).
@@ -407,7 +517,7 @@ mod tests {
         let inter = net.comm_time(0, 4, 40 * MB, 0.0);
         // The slowed pair might be (0,1) or (0,4); check with a pair that is
         // not slowed in window 0.
-        let (a, b, _) = net.slowed_pair(0);
+        let (a, b, _) = crate::dynamics::periodic_slowed_pair(&SlowdownConfig::default(), 7, 8, 0);
         let (i1, i2) = if (a, b) == (0, 1) { (1, 2) } else { (0, 1) };
         let (j1, j2) = if (a, b) == (0, 4) { (1, 5) } else { (0, 4) };
         let intra_clean = net.comm_time(i1, i2, 40 * MB, 0.0);
@@ -420,8 +530,9 @@ mod tests {
 
     #[test]
     fn slow_link_changes_between_windows() {
-        let net = HeterogeneousDynamicNetwork::paper_default(8, 2, 42);
-        let pairs: Vec<_> = (0..20).map(|w| net.slowed_pair(w)).collect();
+        let cfg = SlowdownConfig::default();
+        let pairs: Vec<_> =
+            (0..20).map(|w| crate::dynamics::periodic_slowed_pair(&cfg, 42, 8, w)).collect();
         // Factors in range.
         for &(_, _, f) in &pairs {
             assert!((2.0..=100.0).contains(&f), "factor {f} out of paper range");
@@ -434,12 +545,110 @@ mod tests {
 
     #[test]
     fn static_mode_freezes_slow_link() {
-        let spec = ClusterSpec::paper_default(vec![4, 4]);
         let sd = SlowdownConfig { dynamic: false, ..SlowdownConfig::default() };
-        let net = HeterogeneousDynamicNetwork::new(spec, sd, 42);
-        let p0 = net.slowed_pair(0);
+        let p0 = crate::dynamics::periodic_slowed_pair(&sd, 42, 8, 0);
         for w in 1..10 {
-            assert_eq!(net.slowed_pair(w), p0);
+            assert_eq!(crate::dynamics::periodic_slowed_pair(&sd, 42, 8, w), p0);
+        }
+        // And the network built from it serves identical links across
+        // windows.
+        let spec = ClusterSpec::paper_default(vec![4, 4]);
+        let net = HeterogeneousDynamicNetwork::new(spec, sd, 42);
+        let t0 = net.comm_time(0, 4, 40 * MB, 0.0);
+        assert_eq!(net.comm_time(0, 4, 40 * MB, 10_000.0), t0);
+    }
+
+    #[test]
+    fn elastic_cluster_with_periodic_redraw_matches_legacy_regime() {
+        // The decomposed dynamics must reproduce the historical
+        // HeterogeneousDynamicNetwork schedule bit-for-bit: same base
+        // links, same slowed pair, same factor, at every time.
+        let spec = ClusterSpec::paper_default(vec![3, 3, 2]);
+        let sd = SlowdownConfig { change_period_s: 120.0, ..SlowdownConfig::default() };
+        let legacy = HeterogeneousDynamicNetwork::new(spec.clone(), sd, 7);
+        let composed =
+            ElasticNetwork::cluster(spec, LinkDynamics::PeriodicRedraw(sd), 7);
+        for t in [0.0, 55.5, 119.9, 120.0, 3600.0, 12345.6] {
+            for i in 0..8 {
+                for j in 0..8 {
+                    assert_eq!(
+                        legacy.comm_time(i, j, 40 * MB, t).to_bits(),
+                        composed.comm_time(i, j, 40 * MB, t).to_bits(),
+                        "({i},{j}) at t={t}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn elastic_uniform_matches_homogeneous_network() {
+        let link = LinkQuality::virtual_switch_10g();
+        let plain = HomogeneousNetwork::new(6, link);
+        let elastic = ElasticNetwork::uniform(6, link);
+        for i in 0..6 {
+            for j in 0..6 {
+                assert_eq!(
+                    plain.comm_time(i, j, 10 * MB, 3.0).to_bits(),
+                    elastic.comm_time(i, j, 10 * MB, 3.0).to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn link_faults_degrade_only_their_window() {
+        use crate::faults::{LinkFault, LinkFaultKind};
+        let net = ElasticNetwork::uniform(4, LinkQuality::gbit_ethernet()).with_faults(FaultPlan {
+            link_faults: vec![LinkFault {
+                a: 0,
+                b: 2,
+                start_s: 100.0,
+                end_s: 200.0,
+                kind: LinkFaultKind::Degrade(10.0),
+            }],
+            ..FaultPlan::none()
+        });
+        let healthy = net.comm_time(0, 2, 10 * MB, 50.0);
+        let faulty = net.comm_time(0, 2, 10 * MB, 150.0);
+        assert!((faulty / healthy - 10.0).abs() < 1e-9, "{faulty} vs {healthy}");
+        assert_eq!(net.comm_time(0, 2, 10 * MB, 200.0), healthy, "window end is exclusive");
+        assert_eq!(net.comm_time(1, 3, 10 * MB, 150.0), healthy, "other links untouched");
+    }
+
+    #[test]
+    fn outage_composes_with_dynamics() {
+        use crate::faults::{LinkFault, LinkFaultKind, OUTAGE_FACTOR};
+        let spec = ClusterSpec::paper_default(vec![2, 2]);
+        let net = ElasticNetwork::cluster(spec, LinkDynamics::Static, 1).with_faults(FaultPlan {
+            link_faults: vec![LinkFault {
+                a: 0,
+                b: 3,
+                start_s: 0.0,
+                end_s: 1e6,
+                kind: LinkFaultKind::Outage,
+            }],
+            ..FaultPlan::none()
+        });
+        let clean = net.comm_time(1, 2, 40 * MB, 10.0); // same inter class
+        let dead = net.comm_time(0, 3, 40 * MB, 10.0);
+        assert!((dead / clean - OUTAGE_FACTOR).abs() / OUTAGE_FACTOR < 1e-9);
+    }
+
+    #[test]
+    fn markov_dynamics_build_a_working_cluster_network() {
+        let spec = ClusterSpec::paper_default(vec![4, 4]);
+        let net = ElasticNetwork::cluster(
+            spec,
+            LinkDynamics::MarkovModulated(crate::dynamics::MarkovConfig::fast_drift()),
+            3,
+        );
+        // Pure in time, positive, and bounded by the worst state.
+        let base = LinkQuality::gbit_ethernet().transfer_time(40 * MB);
+        for t in [0.0, 7.0, 500.0] {
+            let a = net.comm_time(0, 5, 40 * MB, t);
+            assert!(a > 0.0 && a <= base * 16.0 * 1.001);
+            assert_eq!(a, net.comm_time(0, 5, 40 * MB, t));
         }
     }
 

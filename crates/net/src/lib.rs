@@ -18,9 +18,15 @@
 //!   directed pair.
 //! * [`Network`] (trait) and its implementations in [`conditions`]:
 //!   [`conditions::HomogeneousNetwork`] (reserved virtual-switch setup of
-//!   §V-A), [`conditions::HeterogeneousDynamicNetwork`] (the slowed-link
-//!   regime above, deterministic in virtual time), and
+//!   §V-A), [`conditions::ElasticNetwork`] (any base fabric composed with
+//!   per-link [`dynamics::LinkDynamics`] and a [`faults::FaultPlan`] —
+//!   the slowed-link regime above is its
+//!   [`dynamics::LinkDynamics::PeriodicRedraw`] special case), and
 //!   [`conditions::WanNetwork`] (the 6-region EC2 matrix of Appendix G).
+//! * [`dynamics`] — composable per-link dynamics: static, the paper's
+//!   periodic redraw, Markov-modulated bandwidth, and trace replay.
+//! * [`faults`] — declarative fault injection: link degradation/outage
+//!   windows, node crash/rejoin schedules, straggler compute multipliers.
 //! * [`EventQueue`] — a min-heap of timestamped events with stable FIFO
 //!   tie-breaking, used by the simulation engine in `netmax-core`.
 //!
@@ -29,14 +35,20 @@
 //! runs are exactly reproducible and events may be replayed.
 
 pub mod conditions;
+pub mod dynamics;
 pub mod event;
+pub mod faults;
 pub mod link;
 pub mod topology;
 
 pub use conditions::{
-    ClusterSpec, HeterogeneousDynamicNetwork, HomogeneousNetwork, Network, NetworkKind,
-    SlowdownConfig, WanNetwork,
+    ClusterSpec, ElasticNetwork, HeterogeneousDynamicNetwork, HomogeneousNetwork, Network,
+    NetworkKind, SlowdownConfig, WanNetwork,
 };
+pub use dynamics::{LinkDynamics, MarkovConfig, TraceWindow};
 pub use event::EventQueue;
+pub use faults::{
+    FaultPlan, LinkFault, LinkFaultKind, MembershipEvent, NodeFault, Straggler, OUTAGE_FACTOR,
+};
 pub use link::LinkQuality;
 pub use topology::Topology;

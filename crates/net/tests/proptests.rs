@@ -1,12 +1,103 @@
 //! Property-based tests for the network substrate: timing positivity and
-//! monotonicity, purity of the dynamic regime, topology invariants, and
-//! event-queue ordering.
+//! monotonicity, purity of every network implementation in virtual time
+//! (old regimes and the new composable dynamics alike), exact fault-plan
+//! JSON round-trips, topology invariants, and event-queue ordering.
 
 use netmax_net::{
-    EventQueue, HeterogeneousDynamicNetwork, HomogeneousNetwork, LinkQuality, Network, Topology,
-    WanNetwork,
+    ClusterSpec, ElasticNetwork, EventQueue, FaultPlan, HeterogeneousDynamicNetwork,
+    HomogeneousNetwork, LinkDynamics, LinkFault, LinkFaultKind, LinkQuality, MarkovConfig,
+    Network, NodeFault, SlowdownConfig, Straggler, Topology, TraceWindow, WanNetwork,
 };
+use netmax_json::{FromJson, Json, ToJson};
 use proptest::prelude::*;
+
+/// Builds one of every `Network` implementation family for an 8-worker
+/// fleet: the legacy regimes plus each composable dynamics variant, with
+/// an optional fault plan layered on.
+fn all_networks(seed: u64, faults: FaultPlan) -> Vec<(&'static str, Box<dyn Network>)> {
+    let spec = || ClusterSpec::paper_default(vec![3, 3, 2]);
+    let with = |net: ElasticNetwork| net.with_faults(faults.clone());
+    vec![
+        ("homogeneous", Box::new(HomogeneousNetwork::paper_default(8)) as Box<dyn Network>),
+        ("wan", Box::new(WanNetwork::new((0..8).map(|i| i % 6).collect()))),
+        (
+            "periodic-redraw",
+            Box::new(with(HeterogeneousDynamicNetwork::new(
+                spec(),
+                SlowdownConfig::default(),
+                seed,
+            ))),
+        ),
+        (
+            "static-cluster",
+            Box::new(with(ElasticNetwork::cluster(spec(), LinkDynamics::Static, seed))),
+        ),
+        (
+            "markov",
+            Box::new(with(ElasticNetwork::cluster(
+                spec(),
+                LinkDynamics::MarkovModulated(MarkovConfig::fast_drift()),
+                seed,
+            ))),
+        ),
+        (
+            "trace",
+            Box::new(with(ElasticNetwork::cluster(
+                spec(),
+                LinkDynamics::Trace(vec![
+                    TraceWindow { a: 0, b: 4, start_s: 100.0, end_s: 900.0, factor: 7.0 },
+                    TraceWindow { a: 2, b: 6, start_s: 0.0, end_s: 2500.0, factor: 3.5 },
+                ]),
+                seed,
+            ))),
+        ),
+        (
+            "elastic-uniform",
+            Box::new(with(
+                ElasticNetwork::uniform(8, LinkQuality::virtual_switch_10g()).with_seed(seed),
+            )),
+        ),
+    ]
+}
+
+/// An arbitrary (valid) fault plan over an 8-worker fleet. Distinct link
+/// endpoints come from an offset draw; the optional rejoin from a coin
+/// tuple (the offline proptest shim has no `option::of`/`filter_map`).
+fn fault_plan_strategy() -> impl Strategy<Value = FaultPlan> {
+    let link = ((0usize..8, 1usize..8), (0.0f64..2000.0, 1.0f64..1000.0), (1.0f64..50.0, 0u8..2))
+        .prop_map(|((a, delta), (start, len), (factor, outage))| LinkFault {
+            a,
+            b: (a + delta) % 8,
+            start_s: start,
+            end_s: start + len,
+            kind: if outage == 1 {
+                LinkFaultKind::Outage
+            } else {
+                LinkFaultKind::Degrade(factor)
+            },
+        });
+    let node = (0usize..8, 0.0f64..2000.0, 0u8..2, 1.0f64..1000.0).prop_map(
+        |(node, crash_s, rejoin, rejoin_after)| NodeFault {
+            node,
+            crash_s,
+            rejoin_s: (rejoin == 1).then_some(crash_s + rejoin_after),
+        },
+    );
+    let straggler =
+        (0usize..8, 1.0f64..32.0).prop_map(|(node, factor)| Straggler { node, factor });
+    (
+        proptest::collection::vec(link, 0..4),
+        proptest::collection::vec(node, 0..3),
+        proptest::collection::vec(straggler, 0..3),
+    )
+        .prop_map(|(link_faults, mut node_faults, stragglers)| {
+            // One crash/rejoin schedule per node (the plan's validation
+            // rejects overlapping entries).
+            let mut seen = [false; 8];
+            node_faults.retain(|nf: &NodeFault| !std::mem::replace(&mut seen[nf.node], true));
+            FaultPlan { link_faults, node_faults, stragglers }
+        })
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -117,6 +208,100 @@ proptest! {
         if a != b {
             t.set_edge(a, b, false);
             prop_assert!(t.is_connected(), "removing one edge from K_{m} must keep it connected");
+        }
+    }
+
+    /// Every `Network` implementation — the legacy regimes and every
+    /// composable dynamics variant, with and without a fault plan — is
+    /// pure in virtual time: identical `comm_time` and `link` answers
+    /// regardless of query order or history.
+    #[test]
+    fn every_network_impl_is_pure_in_virtual_time(
+        seed in 0u64..500,
+        faulted in 0u8..2,
+        queries in proptest::collection::vec((0usize..8, 0usize..8, 0.0f64..5000.0), 1..16),
+    ) {
+        let faults = if faulted == 1 {
+            FaultPlan {
+                link_faults: vec![LinkFault {
+                    a: 1, b: 5, start_s: 200.0, end_s: 1500.0,
+                    kind: LinkFaultKind::Degrade(9.0),
+                }],
+                ..FaultPlan::none()
+            }
+        } else {
+            FaultPlan::none()
+        };
+        let bytes = 10_000_000;
+        for (name, net) in all_networks(seed, faults) {
+            // First pass in given order; second pass reversed, with extra
+            // interleaved probes as "history".
+            let first: Vec<(u64, u64, u64)> = queries
+                .iter()
+                .map(|&(i, j, t)| {
+                    let l = net.link(i, j, t);
+                    (
+                        net.comm_time(i, j, bytes, t).to_bits(),
+                        l.latency_s.to_bits(),
+                        l.bandwidth_bps.to_bits(),
+                    )
+                })
+                .collect();
+            let second: Vec<(u64, u64, u64)> = queries
+                .iter()
+                .rev()
+                .map(|&(i, j, t)| {
+                    let _ = net.comm_time(j, i, bytes / 2, t + 17.0);
+                    let l = net.link(i, j, t);
+                    (
+                        net.comm_time(i, j, bytes, t).to_bits(),
+                        l.latency_s.to_bits(),
+                        l.bandwidth_bps.to_bits(),
+                    )
+                })
+                .collect();
+            for (a, b) in first.iter().zip(second.iter().rev()) {
+                prop_assert_eq!(a, b, "{} answered differently on re-query", name);
+            }
+        }
+    }
+
+    /// Fault plans round-trip through JSON *exactly* (bit-for-bit on
+    /// every f64 — the writer emits shortest-round-trip forms).
+    #[test]
+    fn fault_plan_json_round_trips_exactly(plan in fault_plan_strategy()) {
+        let text = plan.to_json().pretty();
+        let back = FaultPlan::from_json(&Json::parse(&text).unwrap()).unwrap();
+        prop_assert_eq!(&back, &plan);
+        // And through the compact form too.
+        let compact = plan.to_json().to_string();
+        let back = FaultPlan::from_json(&Json::parse(&compact).unwrap()).unwrap();
+        prop_assert_eq!(&back, &plan);
+    }
+
+    /// The composed factor pipeline never speeds a link up: with any
+    /// dynamics and fault plan, the elastic link is at least as slow as
+    /// its base class at every time.
+    #[test]
+    fn dynamics_and_faults_only_slow_links_down(
+        seed in 0u64..200,
+        plan in fault_plan_strategy(),
+        t in 0.0f64..3000.0,
+    ) {
+        let spec = ClusterSpec::paper_default(vec![4, 4]);
+        let base = ElasticNetwork::cluster(spec.clone(), LinkDynamics::Static, seed);
+        let net = ElasticNetwork::cluster(
+            spec,
+            LinkDynamics::MarkovModulated(MarkovConfig::slow_drift()),
+            seed,
+        )
+        .with_faults(plan);
+        let bytes = 1_000_000;
+        for i in 0..8usize {
+            for j in 0..8usize {
+                if i == j { continue; }
+                prop_assert!(net.comm_time(i, j, bytes, t) >= base.comm_time(i, j, bytes, t));
+            }
         }
     }
 

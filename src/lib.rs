@@ -80,8 +80,10 @@
 //!
 //! // The checkpoint is a versioned JSON document; restoring it into a
 //! // fresh session resumes byte-identically (see ARCHITECTURE.md §3).
+//! // The v2 schema added the active-membership state; v1 documents from
+//! // older runs still restore.
 //! let checkpoint = session.checkpoint();
-//! assert!(checkpoint.to_string().contains("session-checkpoint/v1"));
+//! assert!(checkpoint.to_string().contains("session-checkpoint/v2"));
 //! # Ok::<(), netmax::core::engine::SessionError>(())
 //! ```
 //!
@@ -109,5 +111,8 @@ pub mod prelude {
     pub use netmax_core::policy::{PolicyGenerator, PolicySearchConfig};
     pub use netmax_ml::profile::ModelProfile;
     pub use netmax_ml::workload::{Workload, WorkloadKind, WorkloadSpec};
-    pub use netmax_net::NetworkKind;
+    pub use netmax_net::{
+        FaultPlan, LinkDynamics, LinkFault, LinkFaultKind, MarkovConfig, NetworkKind, NodeFault,
+        Straggler,
+    };
 }
