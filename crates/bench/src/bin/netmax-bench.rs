@@ -8,6 +8,7 @@
 //!                  [--checkpoint-dir DIR [--suspend-steps K]]
 //!                  [--resume DIR]
 //! netmax-bench throughput [--quick] [--steps N] [--repeats R] [--out path]
+//! netmax-bench scale [--quick|--tiny] [--repeats R] [--out path]
 //! netmax-bench show <artifact.json>
 //! ```
 //!
@@ -59,6 +60,8 @@ const RUN_FLAGS: FlagSpec = FlagSpec {
 const SHOW_FLAGS: FlagSpec = FlagSpec { value: &[], boolean: &[] };
 const THROUGHPUT_FLAGS: FlagSpec =
     FlagSpec { value: &["--steps", "--repeats", "--out"], boolean: &["--quick"] };
+const SCALE_FLAGS: FlagSpec =
+    FlagSpec { value: &["--repeats", "--out"], boolean: &["--quick", "--tiny"] };
 
 /// Splits argv into positional arguments under a command's flag spec,
 /// skipping the value each value-taking flag consumes (so `run --seeds 2
@@ -99,7 +102,7 @@ fn main() -> ExitCode {
     // `--json` is the one ambiguous flag (boolean for `list`, value for
     // `run`), so an artifact path literally named after a command must be
     // placed after the command word.
-    let known = ["list", "run", "show", "throughput", "help"];
+    let known = ["list", "run", "show", "throughput", "scale", "help"];
     let always_value = [
         "--seeds",
         "--threads",
@@ -127,6 +130,7 @@ fn main() -> ExitCode {
         "run" => &RUN_FLAGS,
         "show" => &SHOW_FLAGS,
         "throughput" => &THROUGHPUT_FLAGS,
+        "scale" => &SCALE_FLAGS,
         "help" => {
             usage();
             return ExitCode::SUCCESS;
@@ -152,6 +156,7 @@ fn main() -> ExitCode {
         "run" => run(&args, positional.first().copied()),
         "show" => show(positional.first().copied()),
         "throughput" => throughput(&args),
+        "scale" => scale(&args),
         _ => unreachable!("filtered to known commands"),
     }
 }
@@ -169,6 +174,10 @@ commands:
   throughput                measure real global-steps/sec and samples/sec per
                             algorithm on the sanity workload (pipeline and
                             engine modes) and write BENCH_throughput.json
+  scale                     sweep the headline four over torus fleets (full:
+                            32-4096 workers; tiny: 32/256) measuring
+                            convergence, steps/sec, and peak RSS, and write
+                            BENCH_scale.json
 
 options:
   --quick / --tiny          compressed experiment scale (default: full; also
@@ -187,8 +196,9 @@ options:
   --resume <DIR>            resume checkpoint documents written by
                             --checkpoint-dir and run them to completion
   --steps <N>               throughput: global steps per repetition
-  --repeats <R>             throughput: repetitions per cell (best kept)
-  --out <path>              throughput: output path (BENCH_throughput.json)"
+  --repeats <R>             throughput/scale: repetitions per cell (best kept)
+  --out <path>              throughput/scale: output path
+                            (BENCH_throughput.json / BENCH_scale.json)"
     );
 }
 
@@ -565,6 +575,39 @@ fn show(path: Option<&str>) -> ExitCode {
         }
         Err(e) => {
             eprintln!("{path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn scale(args: &[String]) -> ExitCode {
+    use netmax_bench::experiments::scale;
+    let ctx = common::ExpCtx::with_mode(Mode::from_env());
+    let mut p = scale::Params::for_mode(&ctx);
+    if let Some(repeats) = flag_value(args, "--repeats") {
+        match repeats.parse::<usize>() {
+            Ok(n) if n > 0 => p.repeats = n,
+            _ => {
+                eprintln!("--repeats needs a positive integer, got `{repeats}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let out = flag_value(args, "--out").unwrap_or("BENCH_scale.json");
+    eprintln!(
+        "scale sweep: {} steps/node x {} repeats over n = {:?}...",
+        p.steps_per_node, p.repeats, p.node_counts
+    );
+    let rows = scale::run(&p);
+    scale::print(&ctx, &p, &rows);
+    let doc = scale::scale_doc(&p, &rows);
+    match std::fs::write(out, doc.pretty() + "\n") {
+        Ok(()) => {
+            eprintln!("wrote {out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("could not write {out}: {e}");
             ExitCode::FAILURE
         }
     }

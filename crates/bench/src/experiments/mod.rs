@@ -15,6 +15,7 @@
 //! | [`fig19`] | Fig. 19 — cross-cloud (WAN) test accuracy vs time |
 //! | [`ablations`] | weighting / Ts / β ablations from DESIGN.md |
 //! | [`faults`] | elastic-network stress suite: drift, crash, churn, stragglers |
+//! | [`scale`] | fleet-scale sweep (32–4 096 workers) on the sparse control plane |
 
 pub mod ablations;
 pub mod accuracy;
@@ -27,5 +28,6 @@ pub mod fig15;
 pub mod fig19;
 pub mod loss_curves;
 pub mod nonuniform;
+pub mod scale;
 pub mod scalability;
 pub mod tab05;

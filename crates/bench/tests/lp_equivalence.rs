@@ -1,0 +1,203 @@
+//! Satellite suite: the edge-set LP must be *indistinguishable* from the
+//! dense LP of Eq. (14) on every topology the benchmark registry can
+//! produce — including the mid-churn masked subgraphs the fault plans of
+//! the faults experiments create.
+//!
+//! The row-wise solver (`solve_policy_lp_rowwise`) exploits the LP's
+//! block structure, so under the deterministic Bland's-rule simplex the
+//! per-row solutions must be **bit-for-bit** the dense joint solution —
+//! not merely close. Same for the candidate-sweep bound helpers: the
+//! edge-list folds visit the same values in the same order as the dense
+//! row scans (absent entries contribute exact zeros), so ρ and t̄ grids
+//! are float-identical. These tests pin both claims across the whole
+//! registry so `scale/*` fleets select exactly the policies the dense
+//! oracle would.
+
+use netmax_bench::{registry, Mode};
+use netmax_core::policy::{rho_upper_bound, solve_policy_lp, t_bar_bounds};
+use netmax_core::sparse_policy::{rho_upper_bound_sparse, t_bar_bounds_sparse};
+use netmax_core::{solve_policy_lp_rowwise, EdgeTimes};
+use netmax_linalg::Matrix;
+use netmax_net::Topology;
+
+/// Deterministic heterogeneous iteration times over the topology's edges:
+/// strictly positive, direction-dependent, and varied enough to give the
+/// LP non-trivial vertices.
+fn synthetic_times(topo: &Topology) -> Matrix {
+    let n = topo.len();
+    let mut t = Matrix::zeros(n, n);
+    for i in 0..n {
+        for &j in topo.neighbors(i) {
+            t[(i, j)] = 0.25 + 0.05 * ((i * 31 + j * 17) % 9) as f64;
+        }
+    }
+    t
+}
+
+/// Asserts dense and row-wise LP agree (feasibility *and* bytes) over a
+/// small candidate grid derived from the shared sweep-bound helpers, and
+/// that the sparse bound helpers are float-identical to the dense ones.
+/// Returns the number of feasible candidates exercised.
+fn assert_lp_equivalent(topo: &Topology, label: &str) -> usize {
+    let times = synthetic_times(topo);
+    let edge_times = EdgeTimes::from_dense(&times, topo);
+    let mut feasible = 0usize;
+    for &alpha in &[0.05, 0.1] {
+        let u_rho = rho_upper_bound(alpha, &times, topo);
+        assert_eq!(
+            u_rho,
+            rho_upper_bound_sparse(alpha, &edge_times, topo),
+            "{label}: ρ upper bound diverged (α = {alpha})"
+        );
+        let Some(u_rho) = u_rho else { continue };
+        for k in 1..=3usize {
+            let rho = u_rho * k as f64 / 3.0;
+            let bounds = t_bar_bounds(alpha, rho, &times, topo);
+            assert_eq!(
+                bounds,
+                t_bar_bounds_sparse(alpha, rho, &edge_times, topo),
+                "{label}: t̄ bounds diverged (α = {alpha}, ρ = {rho})"
+            );
+            let Some((lower, upper)) = bounds else { continue };
+            for r in 1..=3usize {
+                let t_bar = lower + (upper - lower) * r as f64 / 4.0;
+                let dense = solve_policy_lp(alpha, rho, t_bar, &times, topo);
+                let rowwise = solve_policy_lp_rowwise(alpha, rho, t_bar, &edge_times, topo);
+                match (&dense, &rowwise) {
+                    (Some(d), Some(s)) => {
+                        assert_eq!(
+                            s.to_dense().as_slice(),
+                            d.as_slice(),
+                            "{label}: policies diverged at (α = {alpha}, ρ = {rho}, t̄ = {t_bar})"
+                        );
+                        feasible += 1;
+                    }
+                    (None, None) => {}
+                    _ => panic!(
+                        "{label}: feasibility diverged at (α = {alpha}, ρ = {rho}, t̄ = {t_bar}): \
+                         dense = {}, rowwise = {}",
+                        dense.is_some(),
+                        rowwise.is_some()
+                    ),
+                }
+            }
+        }
+    }
+    feasible
+}
+
+/// Stable fingerprint so the registry sweep solves each distinct graph
+/// once rather than once per experiment.
+fn signature(topo: &Topology) -> Vec<usize> {
+    let mut sig = vec![topo.len()];
+    for i in 0..topo.len() {
+        sig.push(usize::MAX); // row separator
+        sig.extend(topo.neighbors(i).iter().copied());
+    }
+    sig
+}
+
+/// The live-node subgraph under a mask, compacted to contiguous indices.
+/// `None` if fewer than two nodes survive or the survivors disconnect
+/// (the monitor skips those rounds; there is no LP to compare).
+fn masked_subgraph(topo: &Topology, active: &[bool]) -> Option<Topology> {
+    let idx: Vec<usize> = (0..topo.len()).filter(|&i| active[i]).collect();
+    if idx.len() < 2 {
+        return None;
+    }
+    let mut pos = vec![usize::MAX; topo.len()];
+    for (a, &i) in idx.iter().enumerate() {
+        pos[i] = a;
+    }
+    let mut sub = Topology::empty(idx.len());
+    for (a, &i) in idx.iter().enumerate() {
+        for &j in topo.neighbors(i) {
+            if j > i && active[j] {
+                sub.set_edge(a, pos[j], true);
+            }
+        }
+    }
+    if sub.is_connected() {
+        Some(sub)
+    } else {
+        None
+    }
+}
+
+#[test]
+fn rowwise_lp_matches_dense_on_every_registry_topology() {
+    let mut seen: Vec<Vec<usize>> = Vec::new();
+    let mut checked = 0usize;
+    let mut feasible = 0usize;
+    for spec in registry(Mode::Tiny) {
+        let topo = spec.scenario.build_env().topology;
+        let sig = signature(&topo);
+        if seen.contains(&sig) {
+            continue;
+        }
+        seen.push(sig);
+        feasible += assert_lp_equivalent(&topo, &spec.name);
+        checked += 1;
+    }
+    assert!(checked >= 3, "registry produced only {checked} distinct topologies");
+    assert!(feasible > 0, "no feasible candidate was ever exercised");
+}
+
+#[test]
+fn rowwise_lp_matches_dense_on_mid_churn_masked_subgraphs() {
+    // Replay every fault plan in the registry: sample the fleet's active
+    // mask just after each membership transition and compare the LPs on
+    // the compacted live subgraph — exactly what a monitor round sees
+    // mid-churn.
+    let mut masked_cases = 0usize;
+    let mut feasible = 0usize;
+    for spec in registry(Mode::Tiny) {
+        let plan = spec.scenario.fault_plan().clone();
+        let events = plan.membership_events();
+        if events.is_empty() {
+            continue;
+        }
+        let topo = spec.scenario.build_env().topology;
+        let n = topo.len();
+        for ev in &events {
+            let now = ev.time_s + 1e-6;
+            let active: Vec<bool> = (0..n).map(|i| plan.active_at(i, now)).collect();
+            if active.iter().all(|&a| a) {
+                continue;
+            }
+            let Some(sub) = masked_subgraph(&topo, &active) else { continue };
+            feasible +=
+                assert_lp_equivalent(&sub, &format!("{} @ t = {:.1}s", spec.name, ev.time_s));
+            masked_cases += 1;
+        }
+    }
+    assert!(masked_cases > 0, "no fault plan produced a masked subgraph to test");
+    assert!(feasible > 0, "no feasible masked candidate was ever exercised");
+}
+
+#[test]
+fn rowwise_lp_matches_dense_on_synthetic_crash_masks() {
+    // Independent of what the registry's fault plans happen to schedule:
+    // canonical graph shapes under hand-picked crash masks, covering the
+    // structural corners (leaf loss, hub survival, ring splits avoided).
+    let shapes: Vec<(&str, Topology)> = vec![
+        ("ring-8", Topology::ring(8)),
+        ("star-8", Topology::star(8, 0)),
+        ("full-8", Topology::fully_connected(8)),
+        ("torus-4x4", Topology::torus(4, 4)),
+    ];
+    let mut feasible = 0usize;
+    for (name, topo) in &shapes {
+        let n = topo.len();
+        let masks: Vec<Vec<bool>> = vec![
+            { let mut m = vec![true; n]; m[0] = false; m },
+            { let mut m = vec![true; n]; m[n - 1] = false; m },
+            { let mut m = vec![true; n]; m[1] = false; m[2] = false; m },
+        ];
+        for (k, mask) in masks.iter().enumerate() {
+            let Some(sub) = masked_subgraph(topo, mask) else { continue };
+            feasible += assert_lp_equivalent(&sub, &format!("{name} mask {k}"));
+        }
+    }
+    assert!(feasible > 0, "no synthetic masked candidate was feasible");
+}

@@ -30,9 +30,12 @@ pub struct NodeState {
     pub comm_exposed_total: f64,
     /// Local iteration counter (`n` of Algorithm 2).
     pub local_steps: u64,
-    /// Reusable gradient workspace (forward/backward buffers plus the
-    /// batch-mean gradient); steady-state steps allocate nothing.
-    scratch: Scratch,
+    /// The node's last gradient from the split compute/apply path
+    /// ([`Environment::compute_gradient`]) — per-node because the
+    /// synchronous baselines hold every node's gradient at once before
+    /// aggregating. Empty until that path is first used; the fused
+    /// [`Environment::gradient_step`] never touches it.
+    grad: Vec<f32>,
     /// Learning rate captured by [`Environment::compute_gradient`] *before*
     /// its batch draw, consumed by [`Environment::apply_gradient`] — the
     /// split compute/apply path of the synchronous baselines charges the
@@ -93,6 +96,13 @@ pub struct Environment {
     /// Per-node compute-time multipliers from the fault plan's straggler
     /// entries (1.0 everywhere by default).
     compute_factors: Vec<f64>,
+    /// Shared gradient workspace (forward/backward buffers plus the
+    /// batch-mean gradient). The engine dispatches exactly one node at a
+    /// time, every kernel fully overwrites what it reads, and all
+    /// replicas share one model shape — so a single pooled workspace is
+    /// bit-identical to the former per-node copies while shrinking an
+    /// n = 4096 fleet's transient memory from O(n · workspace) to O(1).
+    scratch: Scratch,
 }
 
 impl Environment {
@@ -131,7 +141,7 @@ impl Environment {
                     comp_time_total: 0.0,
                     comm_exposed_total: 0.0,
                     local_steps: 0,
-                    scratch: Scratch::new(),
+                    grad: Vec::new(),
                     pending_lr: workload.optim.lr_at(0.0),
                 }
             })
@@ -162,6 +172,7 @@ impl Environment {
             active: vec![true; n],
             num_inactive: 0,
             compute_factors: vec![1.0; n],
+            scratch: Scratch::new(),
         }
     }
 
@@ -331,9 +342,9 @@ impl Environment {
         let batch = node.sampler.next_batch();
         let _loss = node
             .model
-            .loss_grad_scratch(&self.workload.train, batch, &mut node.scratch);
+            .loss_grad_scratch(&self.workload.train, batch, &mut self.scratch);
         node.opt
-            .step(&self.workload.optim, lr, node.model.params_mut(), &node.scratch.grad);
+            .step(&self.workload.optim, lr, node.model.params_mut(), &self.scratch.grad);
         node.local_steps += 1;
         self.compute_factors[i] * self.workload.profile.compute_time(batch.len())
     }
@@ -352,7 +363,13 @@ impl Environment {
         let batch = node.sampler.next_batch();
         let _loss = node
             .model
-            .loss_grad_scratch(&self.workload.train, batch, &mut node.scratch);
+            .loss_grad_scratch(&self.workload.train, batch, &mut self.scratch);
+        // Park the result in the node's own buffer: the synchronous
+        // drivers compute every node's gradient before reading any of
+        // them, so the shared workspace cannot hold it. Steady-state
+        // cost is a copy into retained capacity, not an allocation.
+        node.grad.clear();
+        node.grad.extend_from_slice(&self.scratch.grad);
         node.local_steps += 1;
         self.compute_factors[i] * self.workload.profile.compute_time(batch.len())
     }
@@ -360,7 +377,7 @@ impl Environment {
     /// The gradient computed by the last [`Environment::compute_gradient`]
     /// on node `i`.
     pub fn grad(&self, i: usize) -> &[f32] {
-        &self.nodes[i].scratch.grad
+        &self.nodes[i].grad
     }
 
     /// Applies a (possibly aggregated) gradient to node `i` through its

@@ -13,7 +13,8 @@
 //! symmetric, doubly stochastic, non-negative, and irreducible, so its
 //! second eigenvalue λ₂ < 1 bounds the convergence rate via Eq. (23).
 
-use netmax_linalg::Matrix;
+use crate::sparse_policy::{EdgeTimes, SparsePolicy};
+use netmax_linalg::{Matrix, SparseSymmetric};
 use netmax_net::Topology;
 
 /// Computes the per-node firing probabilities `p_i` of Eq. (3) from an
@@ -103,6 +104,89 @@ pub fn build_y(
         y[(i, i)] = 1.0 - 2.0 * ar * lin + ar * ar * quad;
     }
     y
+}
+
+/// Edge-set counterpart of [`node_probabilities`]: `p_i` from sparse
+/// iteration times and a sparse policy, never materialising an `M × M`
+/// object. Entries are float-identical to the dense version's (absent
+/// pairs contribute exactly `+0.0` to each row reduction).
+///
+/// # Panics
+/// Panics if shapes disagree or a node has zero expected iteration time.
+pub fn node_probabilities_sparse(
+    times: &EdgeTimes,
+    policy: &SparsePolicy,
+    topo: &Topology,
+) -> Vec<f64> {
+    let m = topo.len();
+    assert_eq!(times.len(), m, "times shape mismatch");
+    assert_eq!(policy.len(), m, "policy shape mismatch");
+    let mut inv_t = Vec::with_capacity(m);
+    for i in 0..m {
+        let ti: f64 = times
+            .row(i)
+            .iter()
+            .map(|&(j, t)| t * policy.get(i, j) * topo.d(i, j))
+            .sum();
+        assert!(
+            ti > 0.0,
+            "node {i} has zero expected iteration time — policy gives it no neighbours"
+        );
+        inv_t.push(1.0 / ti);
+    }
+    let z: f64 = inv_t.iter().sum();
+    inv_t.iter().map(|&x| x / z).collect()
+}
+
+/// Edge-set counterpart of [`build_y`]: assembles `Y_P` (Eq. 22) as a
+/// [`SparseSymmetric`] whose pattern is the topology's edges plus the
+/// diagonal. Every stored entry is float-identical to the dense
+/// [`build_y`] output (both iterate the support in ascending column
+/// order; absent pairs are exactly zero), so the sparse λ₂ solver sees
+/// the same matrix the dense Jacobi path would.
+///
+/// # Panics
+/// Panics if shapes disagree.
+pub fn build_y_sparse(
+    policy: &SparsePolicy,
+    topo: &Topology,
+    p_node: &[f64],
+    alpha: f64,
+    rho: f64,
+) -> SparseSymmetric {
+    let m = topo.len();
+    assert_eq!(policy.len(), m, "policy shape mismatch");
+    assert_eq!(p_node.len(), m, "p_node length mismatch");
+    let ar = alpha * rho;
+    let half_d = |i: usize, j: usize| (topo.d(i, j) + topo.d(j, i)) / 2.0;
+
+    let mut rows: Vec<Vec<(usize, f64)>> = Vec::with_capacity(m);
+    for i in 0..m {
+        let nbrs = topo.neighbors(i);
+        let mut row: Vec<(usize, f64)> = Vec::with_capacity(nbrs.len() + 1);
+        // Off-diagonals in ascending order (the dense loop's j order).
+        for &j in nbrs {
+            let (pij, pji) = (policy.get(i, j), policy.get(j, i));
+            let lin = p_node[i] * half_d(i, j) * ind(pij)
+                + p_node[j] * half_d(j, i) * ind(pji);
+            let quad = p_node[i] * sq(half_d(i, j)) * safe_div(pij)
+                + p_node[j] * sq(half_d(j, i)) * safe_div(pji);
+            row.push((j, ar * lin - ar * ar * quad));
+        }
+        // Diagonal, accumulated over neighbours in the same ascending
+        // order the dense loop uses.
+        let mut lin = 0.0;
+        let mut quad = 0.0;
+        for &j in nbrs {
+            lin += p_node[i] * half_d(i, j) * ind(policy.get(i, j));
+            quad += p_node[i] * sq(half_d(i, j)) * safe_div(policy.get(i, j))
+                + p_node[j] * sq(half_d(j, i)) * safe_div(policy.get(j, i));
+        }
+        let at = row.partition_point(|&(j, _)| j < i);
+        row.insert(at, (i, 1.0 - 2.0 * ar * lin + ar * ar * quad));
+        rows.push(row);
+    }
+    SparseSymmetric::from_rows(rows)
 }
 
 /// Indicator that the probability is positive (a worker that never selects
@@ -252,6 +336,57 @@ mod tests {
         let p = node_probabilities(&times, &policy, &topo);
         assert!(p[0] > p[1] && p[0] > p[2]);
         assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sparse_y_matches_dense_entrywise() {
+        // Ring: the sparse assembly must reproduce the dense Eq. 22
+        // entries bit for bit over the pattern, and zero elsewhere.
+        let m = 8;
+        let topo = Topology::ring(m);
+        let mut policy = Matrix::zeros(m, m);
+        for i in 0..m {
+            policy[(i, i)] = 0.4;
+            policy[(i, (i + 1) % m)] = 0.25 + 0.01 * i as f64;
+            policy[(i, (i + m - 1) % m)] = 0.35 - 0.01 * i as f64;
+        }
+        let p_node = vec![1.0 / m as f64; m];
+        let (alpha, rho) = (0.05, 1.0);
+        let dense = build_y(&policy, &topo, &p_node, alpha, rho);
+        let sparse = build_y_sparse(
+            &crate::sparse_policy::SparsePolicy::from_dense(&policy),
+            &topo,
+            &p_node,
+            alpha,
+            rho,
+        );
+        for i in 0..m {
+            for j in 0..m {
+                assert_eq!(sparse.get(i, j), dense[(i, j)], "Y[{i},{j}] differs");
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_node_probabilities_match_dense() {
+        let m = 6;
+        let topo = Topology::fully_connected(m);
+        let policy = uniform_policy(m, 0.15);
+        let mut times = Matrix::zeros(m, m);
+        for i in 0..m {
+            for j in 0..m {
+                if i != j {
+                    times[(i, j)] = 0.5 + 0.1 * ((i * m + j) % 5) as f64;
+                }
+            }
+        }
+        let dense = node_probabilities(&times, &policy, &topo);
+        let sparse = node_probabilities_sparse(
+            &crate::sparse_policy::EdgeTimes::from_dense(&times, &topo),
+            &crate::sparse_policy::SparsePolicy::from_dense(&policy),
+            &topo,
+        );
+        assert_eq!(dense, sparse);
     }
 
     #[test]

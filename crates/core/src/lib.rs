@@ -8,6 +8,11 @@
 //! * [`policy`] — the communication-policy generation of Algorithm 3: the
 //!   nested (ρ, t̄) search, the LP of Eq. (14) solved with `netmax-lp`,
 //!   and λ₂ evaluation with `netmax-linalg`.
+//! * [`sparse_policy`] — the edge-set control plane for fleets beyond
+//!   [`sparse_policy::DENSE_CONTROL_THRESHOLD`] nodes: per-row Eq. (14)
+//!   LPs (bit-identical to the joint dense solve), sparse `Y_P`
+//!   assembly, and the power-iteration λ₂ of `netmax-linalg`, so every
+//!   monitor round costs O(edges), not O(n²)–O(n³).
 //! * [`monitor`] — the Network Monitor of Algorithm 1: periodic iteration-
 //!   time collection and policy dissemination.
 //! * [`netmax`] — the consensus SGD worker algorithm of Algorithm 2: the
@@ -33,13 +38,19 @@ pub mod gossip_matrix;
 pub mod monitor;
 pub mod netmax;
 pub mod policy;
+pub mod sparse_policy;
 
 pub use diagnostics::{audit_policy, PolicyAudit};
 pub use engine::{
     Algorithm, AlgorithmKind, Environment, ExecutionMode, Recorder, RunReport, Sample, Scenario,
     ScenarioBuilder, TrainConfig,
 };
-pub use gossip_matrix::{build_y, convergence_bound, node_probabilities};
+pub use gossip_matrix::{build_y, build_y_sparse, convergence_bound, node_probabilities,
+    node_probabilities_sparse};
 pub use monitor::{MonitorConfig, NetworkMonitor};
-pub use netmax::{MergeWeighting, NetMax, NetMaxConfig};
+pub use netmax::{MergeWeighting, NetMax, NetMaxConfig, PolicyView};
 pub use policy::{PolicyGenerator, PolicyResult, PolicySearchConfig};
+pub use sparse_policy::{
+    solve_policy_lp_rowwise, EdgeTimes, SparsePolicy, SparsePolicyResult,
+    DENSE_CONTROL_THRESHOLD,
+};

@@ -14,28 +14,61 @@
 
 use crate::engine::session::{matrix_from_json, matrix_to_json};
 use crate::policy::{PolicyGenerator, PolicyResult, PolicySearchConfig};
+use crate::sparse_policy::{EdgeTimes, SparsePolicy, SparsePolicyResult, DENSE_CONTROL_THRESHOLD};
 use netmax_json::{FromJson, Json, JsonError, ToJson};
 use netmax_linalg::Matrix;
 use netmax_net::Topology;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Backing storage for the EMA estimates: a dense `n × n` matrix for
+/// small fleets (byte-for-byte the historical layout), or a map keyed by
+/// ordered pair for fleets whose `n²` would dwarf the edge count — EMA
+/// entries only ever exist for pairs that actually gossiped, so the map
+/// holds O(edges) entries.
+#[derive(Debug, Clone)]
+enum TimeStore {
+    Dense { times: Matrix, observed: Vec<bool> },
+    Sparse(BTreeMap<(usize, usize), f64>),
+}
 
 /// Worker-side EMA iteration-time state for the whole fleet (the
 /// simulation keeps all workers' vectors in one place; on a real
 /// deployment each row lives on its worker).
 #[derive(Debug, Clone)]
 pub struct EmaTimeTracker {
-    times: Matrix,
-    observed: Vec<bool>,
+    store: TimeStore,
     beta: f64,
     n: usize,
 }
 
 impl EmaTimeTracker {
-    /// Creates a tracker for `n` workers with smoothing factor `beta`
-    /// (`T[m] ← β·T[m] + (1−β)·t`; smaller β forgets faster).
+    /// Creates a dense tracker for `n` workers with smoothing factor
+    /// `beta` (`T[m] ← β·T[m] + (1−β)·t`; smaller β forgets faster).
     pub fn new(n: usize, beta: f64) -> Self {
         assert!((0.0..1.0).contains(&beta), "β must be in [0, 1)");
-        Self { times: Matrix::zeros(n, n), observed: vec![false; n * n], beta, n }
+        Self {
+            store: TimeStore::Dense { times: Matrix::zeros(n, n), observed: vec![false; n * n] },
+            beta,
+            n,
+        }
+    }
+
+    /// Creates a sparse (edge-map) tracker: O(observed pairs) memory.
+    pub fn new_sparse(n: usize, beta: f64) -> Self {
+        assert!((0.0..1.0).contains(&beta), "β must be in [0, 1)");
+        Self { store: TimeStore::Sparse(BTreeMap::new()), beta, n }
+    }
+
+    /// Dense below [`DENSE_CONTROL_THRESHOLD`] nodes, sparse above — the
+    /// constructor the NetMax behavior uses so small fleets keep the
+    /// historical store bit for bit.
+    pub fn for_fleet(n: usize, beta: f64) -> Self {
+        if n > DENSE_CONTROL_THRESHOLD {
+            Self::new_sparse(n, beta)
+        } else {
+            Self::new(n, beta)
+        }
     }
 
     /// Records a completed iteration of worker `i` with neighbour `m`
@@ -43,21 +76,64 @@ impl EmaTimeTracker {
     pub fn record(&mut self, i: usize, m: usize, t: f64) {
         assert!(i < self.n && m < self.n && i != m, "bad record indices");
         assert!(t.is_finite() && t >= 0.0, "bad iteration time");
-        let idx = i * self.n + m;
-        if self.observed[idx] {
-            self.times[(i, m)] = self.beta * self.times[(i, m)] + (1.0 - self.beta) * t;
-        } else {
-            self.times[(i, m)] = t;
-            self.observed[idx] = true;
+        match &mut self.store {
+            TimeStore::Dense { times, observed } => {
+                let idx = i * self.n + m;
+                if observed[idx] {
+                    times[(i, m)] = self.beta * times[(i, m)] + (1.0 - self.beta) * t;
+                } else {
+                    times[(i, m)] = t;
+                    observed[idx] = true;
+                }
+            }
+            TimeStore::Sparse(map) => {
+                if let Some(v) = map.get_mut(&(i, m)) {
+                    *v = self.beta * *v + (1.0 - self.beta) * t;
+                } else {
+                    map.insert((i, m), t);
+                }
+            }
         }
     }
 
     /// Current EMA estimate for the pair, if any observation exists.
     pub fn get(&self, i: usize, m: usize) -> Option<f64> {
-        if self.observed[i * self.n + m] {
-            Some(self.times[(i, m)])
-        } else {
-            None
+        match &self.store {
+            TimeStore::Dense { times, observed } => {
+                if observed[i * self.n + m] {
+                    Some(times[(i, m)])
+                } else {
+                    None
+                }
+            }
+            TimeStore::Sparse(map) => map.get(&(i, m)).copied(),
+        }
+    }
+
+    /// The worst (largest) estimate observed anywhere, or `None` before
+    /// the first observation.
+    fn worst_observed(&self) -> Option<f64> {
+        match &self.store {
+            TimeStore::Dense { times, observed } => {
+                let n = self.n;
+                let worst = (0..n * n)
+                    .filter(|&k| observed[k])
+                    .map(|k| times[(k / n, k % n)])
+                    .fold(0.0f64, f64::max);
+                if worst > 0.0 {
+                    Some(worst)
+                } else {
+                    None
+                }
+            }
+            TimeStore::Sparse(map) => {
+                let worst = map.values().copied().fold(0.0f64, f64::max);
+                if worst > 0.0 {
+                    Some(worst)
+                } else {
+                    None
+                }
+            }
         }
     }
 
@@ -68,11 +144,7 @@ impl EmaTimeTracker {
     /// the reverse direction's estimate first.
     pub fn matrix_for(&self, topo: &Topology) -> Matrix {
         let n = self.n;
-        let worst = (0..n * n)
-            .filter(|&k| self.observed[k])
-            .map(|k| self.times[(k / n, k % n)])
-            .fold(0.0f64, f64::max);
-        let fallback = if worst > 0.0 { worst } else { 1.0 };
+        let fallback = self.worst_observed().unwrap_or(1.0);
         let mut out = Matrix::zeros(n, n);
         for i in 0..n {
             for m in 0..n {
@@ -88,37 +160,92 @@ impl EmaTimeTracker {
         out
     }
 
-    /// Serializes the tracker's full state for checkpoint/resume.
-    pub fn checkpoint(&self) -> Json {
-        Json::obj([
-            ("beta", self.beta.to_json()),
-            ("n", self.n.to_json()),
-            ("times", matrix_to_json(&self.times)),
-            ("observed", self.observed.to_json()),
-        ])
+    /// Edge-set counterpart of [`EmaTimeTracker::matrix_for`]: the same
+    /// pessimistic-fill and reverse-borrow rules, materialised only over
+    /// the topology's live edges (O(edges) work and memory).
+    pub fn edge_times_for(&self, topo: &Topology) -> EdgeTimes {
+        let n = self.n;
+        let fallback = self.worst_observed().unwrap_or(1.0);
+        let rows = (0..n)
+            .map(|i| {
+                topo.neighbors(i)
+                    .iter()
+                    .map(|&m| {
+                        (m, self.get(i, m).or_else(|| self.get(m, i)).unwrap_or(fallback))
+                    })
+                    .collect()
+            })
+            .collect();
+        EdgeTimes::from_rows(n, rows)
     }
 
-    /// Rebuilds a tracker from [`EmaTimeTracker::checkpoint`] state.
+    /// Serializes the tracker's full state for checkpoint/resume. Dense
+    /// trackers keep the historical `{times, observed}` shape; sparse
+    /// trackers write an `entries` list of `[i, m, t]` triples.
+    pub fn checkpoint(&self) -> Json {
+        match &self.store {
+            TimeStore::Dense { times, observed } => Json::obj([
+                ("beta", self.beta.to_json()),
+                ("n", self.n.to_json()),
+                ("times", matrix_to_json(times)),
+                ("observed", observed.to_json()),
+            ]),
+            TimeStore::Sparse(map) => Json::obj([
+                ("beta", self.beta.to_json()),
+                ("n", self.n.to_json()),
+                (
+                    "entries",
+                    Json::Arr(
+                        map.iter()
+                            .map(|(&(i, m), &t)| {
+                                Json::Arr(vec![i.to_json(), m.to_json(), t.to_json()])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        }
+    }
+
+    /// Rebuilds a tracker from [`EmaTimeTracker::checkpoint`] state
+    /// (either store shape).
     pub fn restore(state: &Json) -> Result<Self, JsonError> {
         let n = usize::from_json(state.field("n")?)?;
-        let observed: Vec<bool> = Vec::from_json(state.field("observed")?)?;
-        if observed.len() != n * n {
-            return Err(JsonError::schema("tracker observed-flag length mismatch".into()));
+        let beta = f64::from_json(state.field("beta")?)?;
+        if state.get("times").is_some() {
+            let observed: Vec<bool> = Vec::from_json(state.field("observed")?)?;
+            if observed.len() != n * n {
+                return Err(JsonError::schema("tracker observed-flag length mismatch".into()));
+            }
+            let times = matrix_from_json(state.field("times")?)?;
+            if times.rows() != n || times.cols() != n {
+                return Err(JsonError::schema(format!(
+                    "tracker time matrix is {}x{}, expected {n}x{n}",
+                    times.rows(),
+                    times.cols()
+                )));
+            }
+            return Ok(Self { store: TimeStore::Dense { times, observed }, beta, n });
         }
-        let times = matrix_from_json(state.field("times")?)?;
-        if times.rows() != n || times.cols() != n {
-            return Err(JsonError::schema(format!(
-                "tracker time matrix is {}x{}, expected {n}x{n}",
-                times.rows(),
-                times.cols()
-            )));
+        let Json::Arr(entries) = state.field("entries")? else {
+            return Err(JsonError::schema("tracker entries must be an array".into()));
+        };
+        let mut map = BTreeMap::new();
+        for e in entries {
+            let Json::Arr(triple) = e else {
+                return Err(JsonError::schema("tracker entry must be [i, m, t]".into()));
+            };
+            if triple.len() != 3 {
+                return Err(JsonError::schema("tracker entry must be [i, m, t]".into()));
+            }
+            let i = usize::from_json(&triple[0])?;
+            let m = usize::from_json(&triple[1])?;
+            if i >= n || m >= n || i == m {
+                return Err(JsonError::schema(format!("bad tracker entry ({i}, {m})")));
+            }
+            map.insert((i, m), f64::from_json(&triple[2])?);
         }
-        Ok(Self {
-            times,
-            observed,
-            beta: f64::from_json(state.field("beta")?)?,
-            n,
-        })
+        Ok(Self { store: TimeStore::Sparse(map), beta, n })
     }
 
     /// Fraction of (ordered, adjacent) pairs with at least one observation.
@@ -134,10 +261,13 @@ impl EmaTimeTracker {
         let mut seen = 0usize;
         let mut total = 0usize;
         for i in 0..self.n {
-            for m in 0..self.n {
-                if i != m && topo.is_edge(i, m) && alive(i) && alive(m) {
+            if !alive(i) {
+                continue;
+            }
+            for &m in topo.neighbors(i) {
+                if alive(m) {
                     total += 1;
-                    if self.observed[i * self.n + m] {
+                    if self.get(i, m).is_some() {
                         seen += 1;
                     }
                 }
@@ -176,12 +306,13 @@ pub struct NetworkMonitor {
     cfg: MonitorConfig,
     rounds: u64,
     last: Option<PolicyResult>,
+    last_sparse: Option<SparsePolicyResult>,
 }
 
 impl NetworkMonitor {
     /// Creates a monitor.
     pub fn new(cfg: MonitorConfig) -> Self {
-        Self { cfg, rounds: 0, last: None }
+        Self { cfg, rounds: 0, last: None, last_sparse: None }
     }
 
     /// The configured period `Ts`.
@@ -199,9 +330,15 @@ impl NetworkMonitor {
         self.rounds
     }
 
-    /// The most recent successful policy, if any.
+    /// The most recent successful dense policy, if any.
     pub fn last_policy(&self) -> Option<&PolicyResult> {
         self.last.as_ref()
+    }
+
+    /// The most recent successful edge-set policy, if any (fleets beyond
+    /// [`DENSE_CONTROL_THRESHOLD`] nodes run [`NetworkMonitor::round_sparse`]).
+    pub fn last_sparse_policy(&self) -> Option<&SparsePolicyResult> {
+        self.last_sparse.as_ref()
     }
 
     /// Serializes the monitor's mutable counters for checkpoint/resume
@@ -296,6 +433,86 @@ impl NetworkMonitor {
         }
         let expanded = PolicyResult { policy, ..result };
         self.last = Some(expanded.clone());
+        Some(expanded)
+    }
+
+    /// Edge-set counterpart of [`NetworkMonitor::round`] for fleets
+    /// beyond [`DENSE_CONTROL_THRESHOLD`] nodes: the time matrix is never
+    /// materialised densely, the LP is solved row by row, λ₂ comes from
+    /// the sparse power iteration, and the masked-subgraph path compacts
+    /// live nodes by walking neighbour lists — every step is O(edges).
+    ///
+    /// Skip conditions (coverage, live count, connectivity) are the exact
+    /// rules of the dense round.
+    pub fn round_sparse(
+        &mut self,
+        tracker: &EmaTimeTracker,
+        topo: &Topology,
+        current_alpha: f64,
+        active: &[bool],
+    ) -> Option<SparsePolicyResult> {
+        self.rounds += 1;
+        let search = PolicySearchConfig { alpha: current_alpha, ..self.cfg.search.clone() };
+        if active.iter().all(|&a| a) {
+            if tracker.coverage(topo) < 0.5 {
+                return None;
+            }
+            let times = tracker.edge_times_for(topo);
+            let result = PolicyGenerator::new(search).generate_sparse(&times, topo)?;
+            self.last_sparse = Some(result.clone());
+            return Some(result);
+        }
+
+        // Masked round: compact the live nodes via neighbour lists,
+        // optimise over their subgraph, and expand back to fleet indices
+        // with identity rows for the dead.
+        let n = topo.len();
+        assert_eq!(active.len(), n, "active mask/topology node count mismatch");
+        let idx: Vec<usize> = (0..n).filter(|&i| active[i]).collect();
+        if idx.len() < 2 {
+            return None;
+        }
+        let mut pos = vec![usize::MAX; n];
+        for (a, &i) in idx.iter().enumerate() {
+            pos[i] = a;
+        }
+        let mut sub = Topology::empty(idx.len());
+        for (a, &i) in idx.iter().enumerate() {
+            for &j in topo.neighbors(i) {
+                if j > i && active[j] {
+                    sub.set_edge(a, pos[j], true);
+                }
+            }
+        }
+        if !sub.is_connected() {
+            return None;
+        }
+        if tracker.coverage_over(topo, Some(active)) < 0.5 {
+            return None;
+        }
+        let full = tracker.edge_times_for(topo);
+        let rows: Vec<Vec<(usize, f64)>> = idx
+            .iter()
+            .map(|&i| {
+                full.row(i)
+                    .iter()
+                    .filter(|&&(j, _)| active[j])
+                    .map(|&(j, t)| (pos[j], t))
+                    .collect()
+            })
+            .collect();
+        let times = EdgeTimes::from_rows(idx.len(), rows);
+        let result = PolicyGenerator::new(search).generate_sparse(&times, &sub)?;
+        let mut rows: Vec<Vec<(usize, f64)>> =
+            (0..n).map(|i| if active[i] { Vec::new() } else { vec![(i, 1.0)] }).collect();
+        for (a, &i) in idx.iter().enumerate() {
+            // `idx` is ascending, so mapping compact columns back keeps
+            // each row strictly ascending.
+            rows[i] = result.policy.row(a).iter().map(|&(b, p)| (idx[b], p)).collect();
+        }
+        let expanded =
+            SparsePolicyResult { policy: SparsePolicy::from_rows(n, rows), ..result };
+        self.last_sparse = Some(expanded.clone());
         Some(expanded)
     }
 }
@@ -431,6 +648,140 @@ mod tests {
         }
         assert_eq!(res.policy[(5, 5)], 1.0, "dead row must be identity");
         assert!(res.lambda2 < 1.0 && res.lambda2 > 0.0);
+    }
+
+    #[test]
+    fn sparse_tracker_matches_dense_tracker() {
+        let topo = Topology::ring(6);
+        let mut dense = EmaTimeTracker::new(6, 0.5);
+        let mut sparse = EmaTimeTracker::new_sparse(6, 0.5);
+        let obs = [(0usize, 1usize, 2.0), (1, 0, 1.5), (0, 1, 4.0), (2, 3, 0.7), (5, 0, 3.0)];
+        for &(i, m, t) in &obs {
+            dense.record(i, m, t);
+            sparse.record(i, m, t);
+        }
+        for i in 0..6 {
+            for m in 0..6 {
+                if i != m {
+                    assert_eq!(dense.get(i, m), sparse.get(i, m), "pair ({i}, {m})");
+                }
+            }
+        }
+        assert_eq!(dense.coverage(&topo), sparse.coverage(&topo));
+        // The edge-set view must equal the dense matrix on every live edge
+        // (same pessimistic fill, same reverse borrowing) — bit for bit.
+        let m = dense.matrix_for(&topo);
+        let e = sparse.edge_times_for(&topo);
+        for i in 0..6 {
+            for &(j, t) in e.row(i) {
+                assert_eq!(t, m[(i, j)], "edge ({i}, {j})");
+            }
+            assert_eq!(e.row(i).len(), topo.neighbors(i).len());
+        }
+    }
+
+    #[test]
+    fn sparse_tracker_checkpoint_round_trips() {
+        let mut t = EmaTimeTracker::new_sparse(80, 0.5);
+        t.record(0, 1, 2.0);
+        t.record(0, 1, 4.0);
+        t.record(79, 3, 0.25);
+        let restored = EmaTimeTracker::restore(&t.checkpoint()).expect("restore");
+        assert_eq!(restored.get(0, 1), Some(3.0));
+        assert_eq!(restored.get(79, 3), Some(0.25));
+        assert_eq!(restored.get(1, 0), None);
+        // And the restored tracker keeps smoothing with the same β.
+        let mut r = restored;
+        r.record(0, 1, 5.0);
+        assert_eq!(r.get(0, 1), Some(4.0));
+    }
+
+    #[test]
+    fn round_sparse_matches_dense_round_when_all_active() {
+        // Same two-triad fleet as `monitor_generates_policy_with_coverage`.
+        // The candidate bounds are float-identical and the per-row LP is
+        // bit-identical to the joint dense solve, so the selected policy
+        // must match the dense round entry for entry.
+        let topo = Topology::fully_connected(6);
+        let mut tracker = EmaTimeTracker::new(6, 0.5);
+        let fast = |i: usize, m: usize| (i / 3) == (m / 3);
+        for i in 0..6 {
+            for m in 0..6 {
+                if i != m {
+                    tracker.record(i, m, if fast(i, m) { 0.1 } else { 1.0 });
+                }
+            }
+        }
+        let mut dense_mon = NetworkMonitor::new(MonitorConfig::paper_default(0.1));
+        let mut sparse_mon = NetworkMonitor::new(MonitorConfig::paper_default(0.1));
+        let d = dense_mon.round(&tracker, &topo, 0.1, &[true; 6]).expect("dense policy");
+        let s = sparse_mon.round_sparse(&tracker, &topo, 0.1, &[true; 6]).expect("sparse policy");
+        assert_eq!(s.rho, d.rho, "selected ρ diverged");
+        assert_eq!(s.t_bar, d.t_bar, "selected t̄ diverged");
+        assert_eq!(s.policy.to_dense().as_slice(), d.policy.as_slice(), "policy diverged");
+        // λ₂ itself comes from a different solver (power iteration vs
+        // Jacobi), so it is close, not bit-equal.
+        assert!((s.lambda2 - d.lambda2).abs() < 1e-6, "{} vs {}", s.lambda2, d.lambda2);
+        assert!(sparse_mon.last_sparse_policy().is_some());
+    }
+
+    #[test]
+    fn round_sparse_masked_zeroes_dead_links_and_matches_dense_masked_round() {
+        let topo = Topology::fully_connected(6);
+        let mut tracker = EmaTimeTracker::new(6, 0.5);
+        let fast = |i: usize, m: usize| (i / 3) == (m / 3);
+        for i in 0..6 {
+            for m in 0..6 {
+                if i != m {
+                    tracker.record(i, m, if fast(i, m) { 0.1 } else { 1.0 });
+                }
+            }
+        }
+        let mut active = [true; 6];
+        active[5] = false;
+        let mut dense_mon = NetworkMonitor::new(MonitorConfig::paper_default(0.1));
+        let mut sparse_mon = NetworkMonitor::new(MonitorConfig::paper_default(0.1));
+        let d = dense_mon.round(&tracker, &topo, 0.1, &active).expect("dense masked policy");
+        let s =
+            sparse_mon.round_sparse(&tracker, &topo, 0.1, &active).expect("sparse masked policy");
+        assert_eq!(s.rho, d.rho);
+        assert_eq!(s.policy.to_dense().as_slice(), d.policy.as_slice());
+        for i in 0..5 {
+            assert_eq!(s.policy.get(i, 5), 0.0, "live node {i} steered to the dead node");
+            assert_eq!(s.policy.get(5, i), 0.0);
+            assert!((s.policy.row_sum(i) - 1.0).abs() < 1e-6, "row {i} not stochastic");
+        }
+        assert_eq!(s.policy.get(5, 5), 1.0, "dead row must be identity");
+        // Dead row carries no off-diagonal entries at all in the sparse
+        // representation — the structural guarantee the n = 4096 fleet
+        // relies on for O(edges) memory.
+        assert_eq!(s.policy.row(5), &[(5, 1.0)]);
+    }
+
+    #[test]
+    fn round_sparse_applies_the_same_skip_rules_as_the_dense_round() {
+        let topo = Topology::fully_connected(4);
+        let mut mon = NetworkMonitor::new(MonitorConfig::paper_default(0.1));
+        // Poor coverage → skip (but the round still counts).
+        let empty = EmaTimeTracker::new_sparse(4, 0.5);
+        assert!(mon.round_sparse(&empty, &topo, 0.1, &[true; 4]).is_none());
+        assert_eq!(mon.rounds(), 1);
+        let mut tracker = EmaTimeTracker::new_sparse(4, 0.5);
+        for i in 0..4 {
+            for m in 0..4 {
+                if i != m {
+                    tracker.record(i, m, 1.0);
+                }
+            }
+        }
+        // One live node: nothing to optimise.
+        assert!(mon
+            .round_sparse(&tracker, &topo, 0.1, &[true, false, false, false])
+            .is_none());
+        // Live nodes 0 and 2 on the 4-ring are not adjacent: disconnected.
+        assert!(mon
+            .round_sparse(&tracker, &Topology::ring(4), 0.1, &[true, false, true, false])
+            .is_none());
     }
 
     #[test]

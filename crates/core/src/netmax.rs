@@ -17,10 +17,32 @@
 use crate::engine::session::{matrix_from_json, matrix_to_json};
 use crate::engine::{Algorithm, Environment, GossipBehavior, GossipDriver, PeerChoice, SessionDriver};
 use crate::monitor::{EmaTimeTracker, MonitorConfig, NetworkMonitor};
+use crate::sparse_policy::{SparsePolicy, DENSE_CONTROL_THRESHOLD};
 use netmax_json::{FromJson, Json, JsonError, ToJson};
 use netmax_linalg::Matrix;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+
+/// The active policy in whichever representation the fleet size calls
+/// for: dense matrices at or below [`DENSE_CONTROL_THRESHOLD`] nodes
+/// (the historical path, byte-for-byte), edge-set rows above it.
+#[derive(Debug, Clone)]
+pub enum PolicyView {
+    /// Dense `M × M` policy from [`NetworkMonitor::round`].
+    Dense(Matrix),
+    /// Edge-set policy from [`NetworkMonitor::round_sparse`].
+    Sparse(SparsePolicy),
+}
+
+impl PolicyView {
+    /// `p_{i,m}` under either representation.
+    pub fn get(&self, i: usize, m: usize) -> f64 {
+        match self {
+            PolicyView::Dense(p) => p[(i, m)],
+            PolicyView::Sparse(p) => p.get(i, m),
+        }
+    }
+}
 
 /// How the second-step update weights the pulled model.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -77,7 +99,7 @@ pub struct NetMax {
     cfg: NetMaxConfig,
     monitor: NetworkMonitor,
     tracker: Option<EmaTimeTracker>,
-    policy: Option<Matrix>,
+    policy: Option<PolicyView>,
     rho: Option<f64>,
     policies_applied: u64,
 }
@@ -99,13 +121,24 @@ impl NetMax {
         self.policies_applied
     }
 
-    /// The currently active policy matrix, if the monitor has produced one.
+    /// The currently active dense policy matrix, if the monitor has
+    /// produced one (fleets beyond [`DENSE_CONTROL_THRESHOLD`] nodes
+    /// carry an edge-set policy instead — see
+    /// [`NetMax::current_policy_view`]).
     pub fn current_policy(&self) -> Option<&Matrix> {
+        match &self.policy {
+            Some(PolicyView::Dense(p)) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// The currently active policy under either representation.
+    pub fn current_policy_view(&self) -> Option<&PolicyView> {
         self.policy.as_ref()
     }
 
     fn reset(&mut self, n: usize) {
-        self.tracker = Some(EmaTimeTracker::new(n, self.cfg.monitor.beta));
+        self.tracker = Some(EmaTimeTracker::for_fleet(n, self.cfg.monitor.beta));
         self.monitor = NetworkMonitor::new(self.cfg.monitor.clone());
         self.policy = None;
         self.rho = None;
@@ -119,17 +152,35 @@ impl NetMax {
     /// round removes the mass entirely).
     fn sample_policy_row(&self, env: &mut Environment, i: usize) -> PeerChoice {
         let policy = self.policy.as_ref().expect("sample_policy_row without policy");
-        let n = env.num_nodes();
         let u: f64 = env.node_rng(i).gen();
         let mut acc = 0.0;
-        for m in 0..n {
-            let p = policy[(i, m)];
-            if p <= 0.0 || (m != i && !env.is_active(m)) {
-                continue;
+        match policy {
+            PolicyView::Dense(policy) => {
+                let n = env.num_nodes();
+                for m in 0..n {
+                    let p = policy[(i, m)];
+                    if p <= 0.0 || (m != i && !env.is_active(m)) {
+                        continue;
+                    }
+                    acc += p;
+                    if u < acc {
+                        return if m == i { PeerChoice::SelfStep } else { PeerChoice::Peer(m) };
+                    }
+                }
             }
-            acc += p;
-            if u < acc {
-                return if m == i { PeerChoice::SelfStep } else { PeerChoice::Peer(m) };
+            PolicyView::Sparse(policy) => {
+                // The stored row visits the support in the same ascending
+                // order the dense scan does (diagonal in sorted position),
+                // so one uniform draw lands on the same choice either way.
+                for &(m, p) in policy.row(i) {
+                    if p <= 0.0 || (m != i && !env.is_active(m)) {
+                        continue;
+                    }
+                    acc += p;
+                    if u < acc {
+                        return if m == i { PeerChoice::SelfStep } else { PeerChoice::Peer(m) };
+                    }
+                }
             }
         }
         // Round-off tail (or mass stranded on dead peers): fall back to
@@ -166,7 +217,7 @@ impl GossipBehavior for NetMax {
             MergeWeighting::Fixed(w) => w,
             MergeWeighting::InverseProbability => match (&self.policy, self.rho) {
                 (Some(policy), Some(rho)) => {
-                    let p_im = policy[(i, m)];
+                    let p_im = policy.get(i, m);
                     let d_sum = env.topology.d(i, m) + env.topology.d(m, i);
                     if p_im > 0.0 {
                         let alpha = env.lr(i);
@@ -202,8 +253,18 @@ impl GossipBehavior for NetMax {
             return;
         };
         let alpha = env.workload.optim.lr_at(env.mean_epoch());
-        if let Some(res) = self.monitor.round(tracker, &env.topology, alpha, env.active_flags()) {
-            self.policy = Some(res.policy);
+        if env.num_nodes() > DENSE_CONTROL_THRESHOLD {
+            if let Some(res) =
+                self.monitor.round_sparse(tracker, &env.topology, alpha, env.active_flags())
+            {
+                self.policy = Some(PolicyView::Sparse(res.policy));
+                self.rho = Some(res.rho);
+                self.policies_applied += 1;
+            }
+        } else if let Some(res) =
+            self.monitor.round(tracker, &env.topology, alpha, env.active_flags())
+        {
+            self.policy = Some(PolicyView::Dense(res.policy));
             self.rho = Some(res.rho);
             self.policies_applied += 1;
         }
@@ -222,7 +283,9 @@ impl GossipBehavior for NetMax {
             (
                 "policy",
                 match &self.policy {
-                    Some(p) => matrix_to_json(p),
+                    // Dense policies keep the historical checkpoint shape.
+                    Some(PolicyView::Dense(p)) => matrix_to_json(p),
+                    Some(PolicyView::Sparse(p)) => sparse_policy_to_json(p),
                     None => Json::Null,
                 },
             ),
@@ -239,12 +302,66 @@ impl GossipBehavior for NetMax {
         self.monitor.restore(state.field("monitor")?)?;
         self.policy = match state.field("policy")? {
             Json::Null => None,
-            p => Some(matrix_from_json(p)?),
+            p if p.get("data").is_some() => Some(PolicyView::Dense(matrix_from_json(p)?)),
+            p => Some(PolicyView::Sparse(sparse_policy_from_json(p)?)),
         };
         self.rho = Option::from_json(state.field("rho")?)?;
         self.policies_applied = u64::from_json(state.field("policies_applied")?)?;
         Ok(())
     }
+}
+
+/// Checkpoint form of an edge-set policy: `{n, rows: [[[j, p], ...], ...]}`
+/// — distinguished from the dense matrix shape by the absence of a `data`
+/// field.
+fn sparse_policy_to_json(p: &SparsePolicy) -> Json {
+    Json::obj([
+        ("n", p.len().to_json()),
+        (
+            "rows",
+            Json::Arr(
+                (0..p.len())
+                    .map(|i| {
+                        Json::Arr(
+                            p.row(i)
+                                .iter()
+                                .map(|&(j, v)| Json::Arr(vec![j.to_json(), v.to_json()]))
+                                .collect(),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Inverse of [`sparse_policy_to_json`].
+fn sparse_policy_from_json(v: &Json) -> Result<SparsePolicy, JsonError> {
+    let n = usize::from_json(v.field("n")?)?;
+    let Json::Arr(rows_json) = v.field("rows")? else {
+        return Err(JsonError::schema("sparse policy rows must be an array".into()));
+    };
+    if rows_json.len() != n {
+        return Err(JsonError::schema("sparse policy row count mismatch".into()));
+    }
+    let mut rows = Vec::with_capacity(n);
+    for row_json in rows_json {
+        let Json::Arr(entries) = row_json else {
+            return Err(JsonError::schema("sparse policy row must be an array".into()));
+        };
+        let mut row = Vec::with_capacity(entries.len());
+        for e in entries {
+            let Json::Arr(pair) = e else {
+                return Err(JsonError::schema("sparse policy entry must be [j, p]".into()));
+            };
+            if pair.len() != 2 {
+                return Err(JsonError::schema("sparse policy entry must be [j, p]".into()));
+            }
+            row.push((usize::from_json(&pair[0])?, f64::from_json(&pair[1])?));
+        }
+        rows.push(row);
+    }
+    Ok(SparsePolicy::from_rows(n, rows))
 }
 
 impl Algorithm for NetMax {

@@ -67,7 +67,80 @@ pub struct PolicyResult {
 /// The Algorithm 3 policy generator.
 #[derive(Debug, Clone)]
 pub struct PolicyGenerator {
-    cfg: PolicySearchConfig,
+    pub(crate) cfg: PolicySearchConfig,
+}
+
+/// Upper bound of the feasible ρ interval swept by the outer loop.
+///
+/// Appendix A bounds ρ by 0.5/α. Two further caps keep every outer
+/// candidate *feasible* (the paper sweeps [0, 0.5/α] blindly, which under
+/// a severely slowed link makes L(ρ) ≥ U for every candidate and stalls
+/// the policy exactly when adaptation matters most):
+///
+/// 1. Eq. 26 vs Eq. 28 — L(ρ) = ρ · maxᵢ (α/M) Σₘ t_{i,m}(d+d) must
+///    stay below U, giving ρ < U / maxᵢ (α/M) Σₘ t_{i,m}(d+d).
+/// 2. Eq. 11 row mass — Σₘ αρ(d+d) ≤ 1 needs ρ ≤ 1/(2α·deg).
+///
+/// Returns `None` when the interval is empty or ill-defined.
+pub fn rho_upper_bound(alpha: f64, times: &Matrix, topo: &Topology) -> Option<f64> {
+    let m = topo.len();
+    let mf = m as f64;
+    let u_time = (0..m)
+        .map(|i| {
+            (1.0 / mf)
+                * (0..m)
+                    .map(|j| times[(i, j)] * topo.d(i, j))
+                    .fold(0.0f64, f64::max)
+        })
+        .fold(f64::INFINITY, f64::min);
+    let l_coef = (0..m)
+        .map(|i| {
+            (alpha / mf)
+                * (0..m)
+                    .map(|j| times[(i, j)] * (topo.d(i, j) + topo.d(j, i)))
+                    .sum::<f64>()
+        })
+        .fold(0.0f64, f64::max);
+    let max_deg = (0..m).map(|i| topo.degree(i)).max().unwrap_or(1) as f64;
+    let mut u_rho = 0.5 / alpha;
+    if l_coef > 0.0 {
+        u_rho = u_rho.min(0.95 * u_time / l_coef);
+    }
+    u_rho = u_rho.min(0.95 / (2.0 * alpha * max_deg));
+    if u_rho > 0.0 && u_rho.is_finite() {
+        Some(u_rho)
+    } else {
+        None
+    }
+}
+
+/// The `[L, U]` interval the inner loop sweeps t̄ over for a fixed ρ:
+/// `L = maxᵢ (αρ/M) Σₘ t_{i,m}(d_{i,m}+d_{m,i})` (Eq. 26) and
+/// `U = minᵢ (1/M) maxₘ t_{i,m} d_{i,m}` (Eq. 28). `None` when empty.
+pub fn t_bar_bounds(alpha: f64, rho: f64, times: &Matrix, topo: &Topology) -> Option<(f64, f64)> {
+    let m = topo.len();
+    let mf = m as f64;
+    let lower = (0..m)
+        .map(|i| {
+            (alpha * rho / mf)
+                * (0..m)
+                    .map(|j| times[(i, j)] * (topo.d(i, j) + topo.d(j, i)))
+                    .sum::<f64>()
+        })
+        .fold(f64::NEG_INFINITY, f64::max);
+    let upper = (0..m)
+        .map(|i| {
+            (1.0 / mf)
+                * (0..m)
+                    .map(|j| times[(i, j)] * topo.d(i, j))
+                    .fold(0.0f64, f64::max)
+        })
+        .fold(f64::INFINITY, f64::min);
+    if lower.is_finite() && upper.is_finite() && upper > lower {
+        Some((lower, upper))
+    } else {
+        None
+    }
 }
 
 impl PolicyGenerator {
@@ -93,40 +166,7 @@ impl PolicyGenerator {
         assert!(topo.is_connected(), "Assumption 1 requires a connected graph");
 
         let alpha = self.cfg.alpha;
-        // Appendix A bounds ρ by 0.5/α. Two further caps keep every outer
-        // candidate *feasible* (the paper sweeps [0, 0.5/α] blindly, which
-        // under a severely slowed link makes L(ρ) ≥ U for every candidate
-        // and stalls the policy exactly when adaptation matters most):
-        //
-        // 1. Eq. 26 vs Eq. 28 — L(ρ) = ρ · maxᵢ (α/M) Σₘ t_{i,m}(d+d) must
-        //    stay below U, giving ρ < U / maxᵢ (α/M) Σₘ t_{i,m}(d+d).
-        // 2. Eq. 11 row mass — Σₘ αρ(d+d) ≤ 1 needs ρ ≤ 1/(2α·deg).
-        let mf = m as f64;
-        let u_time = (0..m)
-            .map(|i| {
-                (1.0 / mf)
-                    * (0..m)
-                        .map(|j| times[(i, j)] * topo.d(i, j))
-                        .fold(0.0f64, f64::max)
-            })
-            .fold(f64::INFINITY, f64::min);
-        let l_coef = (0..m)
-            .map(|i| {
-                (alpha / mf)
-                    * (0..m)
-                        .map(|j| times[(i, j)] * (topo.d(i, j) + topo.d(j, i)))
-                        .sum::<f64>()
-            })
-            .fold(0.0f64, f64::max);
-        let max_deg = (0..m).map(|i| topo.degree(i)).max().unwrap_or(1) as f64;
-        let mut u_rho = 0.5 / alpha;
-        if l_coef > 0.0 {
-            u_rho = u_rho.min(0.95 * u_time / l_coef);
-        }
-        u_rho = u_rho.min(0.95 / (2.0 * alpha * max_deg));
-        if !(u_rho > 0.0 && u_rho.is_finite()) {
-            return None;
-        }
+        let u_rho = rho_upper_bound(alpha, times, topo)?;
         let delta_rho = u_rho / self.cfg.outer_k as f64;
 
         let mut best: Option<PolicyResult> = None;
@@ -151,29 +191,7 @@ impl PolicyGenerator {
     ) -> Option<PolicyResult> {
         let m = topo.len();
         let mf = m as f64;
-
-        // L = maxᵢ (αρ/M) Σₘ t_{i,m} (d_{i,m}+d_{m,i})      (Eq. 26)
-        let lower = (0..m)
-            .map(|i| {
-                (alpha * rho / mf)
-                    * (0..m)
-                        .map(|j| times[(i, j)] * (topo.d(i, j) + topo.d(j, i)))
-                        .sum::<f64>()
-            })
-            .fold(f64::NEG_INFINITY, f64::max);
-        // U = minᵢ (1/M) maxₘ t_{i,m} d_{i,m}                (Eq. 28)
-        let upper = (0..m)
-            .map(|i| {
-                (1.0 / mf)
-                    * (0..m)
-                        .map(|j| times[(i, j)] * topo.d(i, j))
-                        .fold(0.0f64, f64::max)
-            })
-            .fold(f64::INFINITY, f64::min);
-        if !(lower.is_finite() && upper.is_finite()) || upper <= lower {
-            return None;
-        }
-
+        let (lower, upper) = t_bar_bounds(alpha, rho, times, topo)?;
         let delta = (upper - lower) / self.cfg.inner_r as f64;
         let mut best: Option<PolicyResult> = None;
         for r in 1..=self.cfg.inner_r {

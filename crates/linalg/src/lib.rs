@@ -20,20 +20,28 @@
 //! * [`spectral`] — full eigendecomposition with eigenvectors, used by
 //!   the diagnostics layer to locate communication bottlenecks (the sign
 //!   cut of `Y_P`'s second eigenvector).
+//! * [`sparse`] — a symmetric sparse matrix ([`SparseSymmetric`]) plus a
+//!   deflated power-iteration λ₂ solver
+//!   ([`second_largest_eigenvalue_sparse`]) for large sparse fabrics,
+//!   pinned to the dense Jacobi reference by the parity test suite.
 //!
-//! Everything is `f64`; matrices in this problem are tiny (M ≤ a few dozen
-//! worker nodes), so a simple dense representation is both the fastest and
-//! the clearest choice.
+//! Everything is `f64`. At the paper's scale (M ≤ a few dozen worker
+//! nodes) the dense representation is both the fastest and the clearest
+//! choice and remains the reference oracle; the sparse path exists so
+//! per-round costs scale with the edge set, not M², at fleet sizes in the
+//! thousands.
 
 #![deny(missing_docs)]
 
 pub mod eig;
 pub mod matrix;
+pub mod sparse;
 pub mod spectral;
 pub mod stochastic;
 
 pub use eig::{power_iteration, second_largest_eigenvalue, symmetric_eigenvalues};
 pub use matrix::Matrix;
+pub use sparse::{second_largest_eigenvalue_sparse, SparseSymmetric};
 pub use spectral::{symmetric_eigen, SymmetricEigen};
 pub use stochastic::{is_doubly_stochastic, is_irreducible, is_nonnegative, is_symmetric};
 

@@ -1,0 +1,334 @@
+//! Sparse symmetric matrices and the sparse λ₂ solver.
+//!
+//! The dense Jacobi path in [`crate::eig`] is exact but O(n²) in storage
+//! and O(n³) in time — fine for the paper's 8–16 workers, a dead end at
+//! n = 4096. The policy search only ever builds `Y_P` over the live edge
+//! set of a sparse fabric (torus, random-connected), so this module stores
+//! exactly those nonzeros and estimates λ₂ with deflated power iteration.
+//!
+//! ## Why the `(Y + I)/2` shift
+//!
+//! Power iteration finds the eigenvalue of **largest magnitude** on the
+//! deflated subspace. `Y_P`'s spectrum lives in `[-1, 1]`, so a strongly
+//! negative eigenvalue near −1 could masquerade as λ₂. Iterating on
+//! `B = (Y + I)/2` maps the spectrum affinely to `[0, 1]` — order
+//! preserved, eigenvectors unchanged — so the dominant deflated eigenvalue
+//! of `B` is exactly `(1 + λ₂)/2`, and `λ₂ = 2μ − 1` is sign-safe.
+//! Near-degenerate λ₂ ≈ λ₃ pairs are benign: any mixture of their
+//! eigenvectors has a Rayleigh quotient within the pair's spread, which is
+//! all the policy search needs to rank candidates.
+
+use crate::eig::PowerIterationResult;
+use crate::matrix::Matrix;
+
+/// A symmetric `n × n` matrix stored as per-row nonzero lists.
+///
+/// Rows keep their `(column, value)` entries in **ascending column
+/// order**, so a matvec accumulates terms in the same order as a dense
+/// row scan restricted to the nonzeros — which is what makes the sparse
+/// and dense paths agree bit-for-bit when the dense matrix is zero
+/// outside the stored pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseSymmetric {
+    n: usize,
+    rows: Vec<Vec<(usize, f64)>>,
+}
+
+impl SparseSymmetric {
+    /// Creates an `n × n` all-zero matrix (no stored entries).
+    pub fn zeros(n: usize) -> Self {
+        Self { n, rows: vec![Vec::new(); n] }
+    }
+
+    /// Builds a matrix from explicit per-row `(column, value)` lists.
+    ///
+    /// # Panics
+    /// Panics if a row's columns are out of range or not strictly
+    /// ascending. Symmetry of the stored pattern is the caller's
+    /// responsibility and is checked in debug builds.
+    pub fn from_rows(rows: Vec<Vec<(usize, f64)>>) -> Self {
+        let n = rows.len();
+        for (i, row) in rows.iter().enumerate() {
+            let mut prev = None;
+            for &(j, _) in row {
+                assert!(j < n, "row {i}: column {j} out of range");
+                assert!(prev.is_none_or(|p| p < j), "row {i}: columns must be strictly ascending");
+                prev = Some(j);
+            }
+        }
+        let m = Self { n, rows };
+        debug_assert!(m.is_pattern_symmetric(), "stored pattern is not symmetric");
+        m
+    }
+
+    /// Sets `a[i][j]` (and `a[j][i]` for `i ≠ j`), inserting or updating
+    /// the stored entry. Zero values are stored too — the pattern, not
+    /// the value, defines the structure.
+    ///
+    /// # Panics
+    /// Panics on out-of-range indices.
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        assert!(i < self.n && j < self.n, "set: index out of range");
+        for (r, c) in [(i, j), (j, i)] {
+            match self.rows[r].binary_search_by_key(&c, |&(col, _)| col) {
+                Ok(pos) => self.rows[r][pos].1 = v,
+                Err(pos) => self.rows[r].insert(pos, (c, v)),
+            }
+            if i == j {
+                break;
+            }
+        }
+    }
+
+    /// The stored value at `(i, j)`, or `0.0` when outside the pattern.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.rows[i]
+            .binary_search_by_key(&j, |&(col, _)| col)
+            .map_or(0.0, |pos| self.rows[i][pos].1)
+    }
+
+    /// Matrix dimension.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` for the degenerate 0 × 0 matrix.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of stored entries (both triangles plus the diagonal).
+    pub fn nnz(&self) -> usize {
+        self.rows.iter().map(Vec::len).sum()
+    }
+
+    /// The nonzero entries of row `i` in ascending column order.
+    pub fn row(&self, i: usize) -> &[(usize, f64)] {
+        &self.rows[i]
+    }
+
+    /// Extracts the sparse pattern-and-values of a dense symmetric matrix
+    /// (entries exactly equal to `0.0` are dropped).
+    pub fn from_dense(a: &Matrix) -> Self {
+        assert!(a.is_square(), "from_dense: matrix must be square");
+        let n = a.rows();
+        let rows = (0..n)
+            .map(|i| (0..n).filter(|&j| a[(i, j)] != 0.0).map(|j| (j, a[(i, j)])).collect())
+            .collect();
+        Self { n, rows }
+    }
+
+    /// Expands back to a dense matrix (small-n tests and oracles).
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.n, self.n);
+        for (i, row) in self.rows.iter().enumerate() {
+            for &(j, v) in row {
+                m[(i, j)] = v;
+            }
+        }
+        m
+    }
+
+    /// `out ← A·v`, accumulating each row's terms in ascending column
+    /// order (allocation-free).
+    ///
+    /// # Panics
+    /// Panics if the vector lengths disagree with the dimension.
+    pub fn matvec_into(&self, v: &[f64], out: &mut [f64]) {
+        assert_eq!(v.len(), self.n, "matvec: vector length mismatch");
+        assert_eq!(out.len(), self.n, "matvec: output length mismatch");
+        for (o, row) in out.iter_mut().zip(&self.rows) {
+            *o = row.iter().map(|&(j, a)| a * v[j]).sum();
+        }
+    }
+
+    /// `A·v` as a fresh vector.
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.n];
+        self.matvec_into(v, &mut out);
+        out
+    }
+
+    fn is_pattern_symmetric(&self) -> bool {
+        self.rows.iter().enumerate().all(|(i, row)| {
+            row.iter().all(|&(j, v)| (self.get(j, i) - v).abs() <= 1e-9 * (1.0 + v.abs()))
+        })
+    }
+}
+
+/// Second-largest eigenvalue of a symmetric doubly-stochastic sparse
+/// matrix via deflated power iteration on the shifted operator
+/// `B = (Y + I)/2` (see the module docs for why the shift is needed).
+///
+/// Deflation is against the all-ones vector — the known dominant
+/// eigenvector of any doubly-stochastic `Y`. The returned
+/// [`PowerIterationResult::eigenvalue`] is `λ₂` itself (already mapped
+/// back from `B`'s spectrum).
+///
+/// # Panics
+/// Panics on an empty matrix.
+pub fn second_largest_eigenvalue_sparse(
+    y: &SparseSymmetric,
+    max_iters: usize,
+    tol: f64,
+) -> PowerIterationResult {
+    let n = y.len();
+    assert!(n > 0, "second_largest_eigenvalue_sparse: empty matrix");
+
+    // Deterministic start vector: the same SplitMix64 scheme as the dense
+    // `power_iteration`, so the two solvers are paired draws in tests.
+    let mut v: Vec<f64> = (0..n as u64)
+        .map(|i| {
+            let mut z = i.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            0.5 + (z as f64 / u64::MAX as f64)
+        })
+        .collect();
+    deflate_ones(&mut v);
+    normalize(&mut v);
+
+    let mut scratch = vec![0.0; n];
+    // Shifted matvec: w ← (Y·v + v)/2.
+    let mut apply = |v: &[f64], w: &mut Vec<f64>| {
+        y.matvec_into(v, &mut scratch);
+        w.clear();
+        w.extend(scratch.iter().zip(v).map(|(&yv, &x)| 0.5 * (yv + x)));
+    };
+
+    let mut mu = 0.0;
+    let mut w = Vec::with_capacity(n);
+    let mut bw = Vec::with_capacity(n);
+    for it in 0..max_iters {
+        apply(&v, &mut w);
+        deflate_ones(&mut w);
+        let norm = l2(&w);
+        if norm < 1e-300 {
+            // The deflated shifted operator annihilated the iterate: the
+            // deflated spectrum of B is 0, i.e. λ₂ = −1.
+            return PowerIterationResult { eigenvalue: -1.0, iterations: it, converged: true };
+        }
+        for x in &mut w {
+            *x /= norm;
+        }
+        apply(&w, &mut bw);
+        let new_mu: f64 = w.iter().zip(&bw).map(|(a, b)| a * b).sum();
+        let delta = (new_mu - mu).abs();
+        mu = new_mu;
+        std::mem::swap(&mut v, &mut w);
+        if it > 0 && delta < tol {
+            return PowerIterationResult {
+                eigenvalue: 2.0 * mu - 1.0,
+                iterations: it + 1,
+                converged: true,
+            };
+        }
+    }
+    PowerIterationResult { eigenvalue: 2.0 * mu - 1.0, iterations: max_iters, converged: false }
+}
+
+fn l2(v: &[f64]) -> f64 {
+    v.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+fn normalize(v: &mut [f64]) {
+    let n = l2(v);
+    if n > 0.0 {
+        for x in v.iter_mut() {
+            *x /= n;
+        }
+    }
+}
+
+/// Orthogonalises against the (unnormalised) all-ones vector: subtracts
+/// the mean from every component.
+fn deflate_ones(v: &mut [f64]) {
+    let mean = v.iter().sum::<f64>() / v.len() as f64;
+    for x in v.iter_mut() {
+        *x -= mean;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eig::second_largest_eigenvalue;
+
+    fn lazy_walk_triangle() -> Matrix {
+        Matrix::from_rows(&[
+            vec![0.5, 0.25, 0.25],
+            vec![0.25, 0.5, 0.25],
+            vec![0.25, 0.25, 0.5],
+        ])
+    }
+
+    #[test]
+    fn roundtrip_dense_sparse_dense() {
+        let d = lazy_walk_triangle();
+        let s = SparseSymmetric::from_dense(&d);
+        assert_eq!(s.nnz(), 9);
+        assert_eq!(s.to_dense(), d);
+        assert_eq!(s.get(0, 1), 0.25);
+        assert_eq!(s.get(2, 2), 0.5);
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let d = lazy_walk_triangle();
+        let s = SparseSymmetric::from_dense(&d);
+        let v = vec![1.0, -2.0, 3.0];
+        assert_eq!(s.matvec(&v), d.matvec(&v));
+    }
+
+    #[test]
+    fn set_and_get_maintain_symmetry() {
+        let mut s = SparseSymmetric::zeros(4);
+        s.set(0, 2, 0.7);
+        s.set(1, 1, 0.3);
+        assert_eq!(s.get(0, 2), 0.7);
+        assert_eq!(s.get(2, 0), 0.7);
+        assert_eq!(s.get(1, 1), 0.3);
+        assert_eq!(s.get(3, 3), 0.0);
+        s.set(0, 2, 0.1);
+        assert_eq!(s.get(2, 0), 0.1);
+        assert_eq!(s.nnz(), 3);
+    }
+
+    #[test]
+    fn lambda2_matches_jacobi_on_lazy_walk() {
+        let d = lazy_walk_triangle();
+        let s = SparseSymmetric::from_dense(&d);
+        let dense = second_largest_eigenvalue(&d);
+        let sparse = second_largest_eigenvalue_sparse(&s, 50_000, 1e-13);
+        assert!(sparse.converged);
+        assert!((sparse.eigenvalue - dense).abs() < 1e-8, "{} vs {dense}", sparse.eigenvalue);
+    }
+
+    #[test]
+    fn lambda2_is_sign_safe_near_minus_one() {
+        // Two-node averaging: spectrum {1, -1}; plain deflated power
+        // iteration on Y would report magnitude 1 with the wrong sign.
+        let d = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let s = SparseSymmetric::from_dense(&d);
+        let r = second_largest_eigenvalue_sparse(&s, 50_000, 1e-13);
+        assert!(r.converged);
+        assert!((r.eigenvalue - (-1.0)).abs() < 1e-8, "λ₂ should be -1, got {}", r.eigenvalue);
+    }
+
+    #[test]
+    fn disconnected_graph_reports_lambda2_one() {
+        // Block-diagonal doubly stochastic: eigenvalue 1 has multiplicity
+        // 2, so λ₂ = 1 — deflating only the global all-ones vector must
+        // still surface the second invariant subspace.
+        let d = Matrix::from_rows(&[
+            vec![0.5, 0.5, 0.0, 0.0],
+            vec![0.5, 0.5, 0.0, 0.0],
+            vec![0.0, 0.0, 0.5, 0.5],
+            vec![0.0, 0.0, 0.5, 0.5],
+        ]);
+        let s = SparseSymmetric::from_dense(&d);
+        let r = second_largest_eigenvalue_sparse(&s, 50_000, 1e-13);
+        assert!((r.eigenvalue - 1.0).abs() < 1e-8, "λ₂ should be 1, got {}", r.eigenvalue);
+    }
+}

@@ -110,9 +110,9 @@ impl FromJson for WorkloadKind {
 }
 
 /// A fully serializable workload description: which named workload, the
-/// dataset seed, an optional epoch-schedule compression, and an optional
-/// communication-profile override. Identical specs instantiate
-/// byte-identical [`Workload`]s.
+/// dataset seed, an optional epoch-schedule compression, an optional
+/// learning-rate scale, and an optional communication-profile override.
+/// Identical specs instantiate byte-identical [`Workload`]s.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct WorkloadSpec {
     /// Which named workload.
@@ -122,6 +122,11 @@ pub struct WorkloadSpec {
     /// Epoch-budget compression applied via [`Workload::time_scaled`]
     /// (1.0 = the paper's schedule).
     pub time_scale: f64,
+    /// Multiplier on the workload's base learning rate (1.0 = the
+    /// paper's rate). Scenarios that shrink per-node shards far below
+    /// the workloads' tuning point (the fleet-scale sweeps) use this to
+    /// stay inside the SGD stability region for every arm.
+    pub lr_scale: f64,
     /// Overrides the workload's communication/compute profile when set.
     pub profile: Option<ModelProfile>,
 }
@@ -129,7 +134,7 @@ pub struct WorkloadSpec {
 impl WorkloadSpec {
     /// A spec for `kind` with dataset seed `seed` and no overrides.
     pub fn new(kind: WorkloadKind, seed: u64) -> Self {
-        Self { kind, seed, time_scale: 1.0, profile: None }
+        Self { kind, seed, time_scale: 1.0, lr_scale: 1.0, profile: None }
     }
 
     /// ResNet18 on CIFAR10.
@@ -190,6 +195,14 @@ impl WorkloadSpec {
         self
     }
 
+    /// Returns a copy with the base learning rate scaled by `f`
+    /// (multiplied into any scale already present).
+    pub fn lr_scaled(mut self, f: f64) -> Self {
+        assert!(f > 0.0, "scale must be positive");
+        self.lr_scale *= f;
+        self
+    }
+
     /// Returns a copy with the communication profile overridden.
     pub fn with_profile(mut self, p: ModelProfile) -> Self {
         self.profile = Some(p);
@@ -202,6 +215,9 @@ impl WorkloadSpec {
         let mut w = self.kind.instantiate(self.seed);
         if self.time_scale != 1.0 {
             w = w.time_scaled(self.time_scale);
+        }
+        if self.lr_scale != 1.0 {
+            w.optim.lr *= self.lr_scale;
         }
         if let Some(p) = &self.profile {
             w.profile = p.clone();
@@ -216,6 +232,7 @@ impl ToJson for WorkloadSpec {
             ("kind", self.kind.to_json()),
             ("seed", self.seed.to_json()),
             ("time_scale", self.time_scale.to_json()),
+            ("lr_scale", self.lr_scale.to_json()),
             ("profile", self.profile.to_json()),
         ])
     }
@@ -227,6 +244,12 @@ impl FromJson for WorkloadSpec {
             kind: WorkloadKind::from_json(v.field("kind")?)?,
             seed: u64::from_json(v.field("seed")?)?,
             time_scale: f64::from_json(v.field("time_scale")?)?,
+            // Absent in pre-scale-sweep documents: those specs never
+            // scaled the rate.
+            lr_scale: match v.field("lr_scale") {
+                Ok(f) => f64::from_json(f)?,
+                Err(_) => 1.0,
+            },
             profile: Option::from_json(v.field("profile")?)?,
         })
     }
@@ -497,6 +520,20 @@ mod tests {
         assert_eq!(a.profile, ModelProfile::mobilenet());
         assert_eq!(a.train.len(), b.train.len());
         assert_eq!(a.build_model(7).params(), b.build_model(7).params());
+    }
+
+    #[test]
+    fn lr_scale_applies_and_round_trips() {
+        let spec = WorkloadSpec::convex_ridge(11).lr_scaled(0.2);
+        let w = spec.instantiate();
+        assert!((w.optim.lr - 0.01).abs() < 1e-12, "0.05 scaled by 0.2");
+        let back = WorkloadSpec::from_json(&Json::parse(&spec.to_json().to_string()).unwrap());
+        assert_eq!(back.unwrap(), spec);
+        // Documents written before the field existed parse at scale 1.
+        let legacy =
+            WorkloadSpec::convex_ridge(11).to_json().to_string().replace("lr_scale", "lr_scale_v0");
+        let back = WorkloadSpec::from_json(&Json::parse(&legacy).unwrap()).unwrap();
+        assert_eq!(back, WorkloadSpec::convex_ridge(11));
     }
 
     #[test]

@@ -27,8 +27,10 @@
 //!   periodic redraw, Markov-modulated bandwidth, and trace replay.
 //! * [`faults`] — declarative fault injection: link degradation/outage
 //!   windows, node crash/rejoin schedules, straggler compute multipliers.
-//! * [`EventQueue`] — a min-heap of timestamped events with stable FIFO
-//!   tie-breaking, used by the simulation engine in `netmax-core`.
+//! * [`EventQueue`] — a calendar queue of timestamped events with stable
+//!   FIFO tie-breaking (amortized O(1) push/pop, property-tested to pop
+//!   the exact (time, seq) order of a binary min-heap), used by the
+//!   simulation engine in `netmax-core`.
 //!
 //! All dynamics are **pure functions of virtual time and the seed**: asking
 //! the network for a link cost at time `t` never mutates it, so simulation
