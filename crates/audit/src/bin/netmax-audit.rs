@@ -1,0 +1,105 @@
+//! The `netmax-audit` command-line front end.
+//!
+//! ```text
+//! netmax-audit [--deny] [--json PATH] [--root DIR] [--policy PATH]
+//! ```
+//!
+//! Scans the workspace against `audit.policy.json`, prints the human
+//! report, and optionally writes the versioned JSON report
+//! (`netmax-audit/report/v1`). Exit status: 0 when clean (or when
+//! violations exist but `--deny` was not passed — report-only mode),
+//! 1 for violations under `--deny`, 2 for usage or I/O errors.
+
+use netmax_audit::{load_policy, run_audit};
+use netmax_json::ToJson;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    deny: bool,
+    json: Option<PathBuf>,
+    root: Option<PathBuf>,
+    policy: Option<PathBuf>,
+}
+
+const USAGE: &str = "usage: netmax-audit [--deny] [--json PATH] [--root DIR] [--policy PATH]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { deny: false, json: None, root: None, policy: None };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--deny" => args.deny = true,
+            "--json" => {
+                args.json = Some(it.next().ok_or("--json needs a path")?.into());
+            }
+            "--root" => {
+                args.root = Some(it.next().ok_or("--root needs a directory")?.into());
+            }
+            "--policy" => {
+                args.policy = Some(it.next().ok_or("--policy needs a path")?.into());
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+/// Walks up from the current directory to the first one containing
+/// `audit.policy.json` — the workspace root.
+fn find_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("audit.policy.json").is_file() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = match args.root.or_else(find_root) {
+        Some(r) => r,
+        None => {
+            eprintln!("netmax-audit: no audit.policy.json found here or above (try --root)");
+            return ExitCode::from(2);
+        }
+    };
+    let policy_path = args.policy.unwrap_or_else(|| root.join("audit.policy.json"));
+    let policy = match load_policy(&policy_path) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("netmax-audit: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match run_audit(&root, &policy) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("netmax-audit: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    print!("{}", report.human());
+    if let Some(json_path) = args.json {
+        let text = report.to_json().pretty();
+        if let Err(e) = std::fs::write(&json_path, text) {
+            eprintln!("netmax-audit: cannot write {}: {e}", json_path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if args.deny && !report.clean() {
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,162 @@
+//! Cross-file enum exhaustiveness: parse an enum declaration out of one
+//! file and verify every variant is *named* (as `Enum::Variant`) in the
+//! dispatch, registry, and test files the policy points at.
+//!
+//! This is the static companion to the engine's wildcard-free `match`
+//! style: a `match` with a `_` arm compiles silently when a new
+//! `StepEvent` variant lands, and a registry list can simply forget one.
+//! Requiring the qualified variant name to appear in each named file (or
+//! across a *union* of test files) turns those omissions into audit
+//! failures with a file name attached.
+
+use crate::lexer::Tok;
+use crate::scan::FileScan;
+
+/// Extracts the variant names of `enum name { … }` from a lexed file.
+/// Returns `None` when the file declares no such enum.
+pub fn enum_variants(scan: &FileScan, name: &str) -> Option<Vec<String>> {
+    let toks = &scan.tokens;
+    let mut i = 0usize;
+    while i + 2 < toks.len() {
+        if let (Tok::Ident(kw), Tok::Ident(n)) = (&toks[i].tok, &toks[i + 1].tok) {
+            if kw == "enum" && n == name {
+                // Skip optional generics to the opening brace.
+                let mut j = i + 2;
+                while j < toks.len() && !matches!(toks[j].tok, Tok::Punct('{')) {
+                    j += 1;
+                }
+                return Some(parse_variants(scan, j));
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Parses variant names from the enum body opening at `open` (a `{`
+/// token): each variant is the first identifier at brace-depth 1 after
+/// `{` or a depth-1 `,`, with attributes (`#[…]`) skipped.
+fn parse_variants(scan: &FileScan, open: usize) -> Vec<String> {
+    let toks = &scan.tokens;
+    let mut variants = Vec::new();
+    let mut depth = 0i32;
+    let mut bracket_depth = 0i32;
+    let mut paren_depth = 0i32;
+    let mut expect_variant = false;
+    let mut j = open;
+    while j < toks.len() {
+        match &toks[j].tok {
+            Tok::Punct('{') => {
+                depth += 1;
+                if depth == 1 {
+                    expect_variant = true;
+                }
+            }
+            Tok::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            Tok::Punct('[') => bracket_depth += 1,
+            Tok::Punct(']') => bracket_depth -= 1,
+            Tok::Punct('(') => paren_depth += 1,
+            Tok::Punct(')') => paren_depth -= 1,
+            Tok::Punct(',') if depth == 1 && bracket_depth == 0 && paren_depth == 0 => {
+                expect_variant = true;
+            }
+            Tok::Punct('#') => {} // attribute marker; its `[…]` is skipped
+            Tok::Ident(s) if expect_variant && depth == 1 && bracket_depth == 0 => {
+                variants.push(s.clone());
+                expect_variant = false;
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    variants
+}
+
+/// Whether `Enum::Variant` (or, for `same_file`, `Self::Variant`) appears
+/// anywhere in the file — test regions included, since restore *tests*
+/// are legitimate appearance sites.
+pub fn variant_appears(scan: &FileScan, enum_name: &str, variant: &str, same_file: bool) -> bool {
+    let toks = &scan.tokens;
+    for i in 0..toks.len() {
+        if let Tok::Ident(head) = &toks[i].tok {
+            let head_ok = head == enum_name || (same_file && head == "Self");
+            if head_ok
+                && matches!(toks.get(i + 1).map(|t| &t.tok), Some(Tok::Punct(':')))
+                && matches!(toks.get(i + 2).map(|t| &t.tok), Some(Tok::Punct(':')))
+                && matches!(toks.get(i + 3).map(|t| &t.tok), Some(Tok::Ident(v)) if v == variant)
+            {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(src: &str) -> FileScan {
+        FileScan::new("enums.rs", src)
+    }
+
+    #[test]
+    fn unit_tuple_and_struct_variants_parse() {
+        let src = r#"
+            /// Docs.
+            pub enum Event {
+                /// A unit variant.
+                Started,
+                #[allow(dead_code)]
+                Progress(u64, f64),
+                Done { code: i32, msg: String },
+            }
+        "#;
+        let v = enum_variants(&scan(src), "Event").unwrap();
+        assert_eq!(v, ["Started", "Progress", "Done"]);
+    }
+
+    #[test]
+    fn nested_payload_commas_do_not_split_variants() {
+        let src = "enum E { A { xs: [u8; 4], f: fn(u8, u8) -> u8 }, B(Vec<(u8, u8)>), C }";
+        let v = enum_variants(&scan(src), "E").unwrap();
+        assert_eq!(v, ["A", "B", "C"]);
+    }
+
+    #[test]
+    fn discriminant_values_are_not_variants() {
+        let v = enum_variants(&scan("enum E { A = 1, B = 2 }"), "E").unwrap();
+        assert_eq!(v, ["A", "B"]);
+    }
+
+    #[test]
+    fn generic_enums_parse() {
+        let v = enum_variants(&scan("enum Tree<T: Ord> { Leaf(T), Node { l: u8 } }"), "Tree")
+            .unwrap();
+        assert_eq!(v, ["Leaf", "Node"]);
+    }
+
+    #[test]
+    fn missing_enum_is_none() {
+        assert_eq!(enum_variants(&scan("struct S;"), "E"), None);
+    }
+
+    #[test]
+    fn appearance_requires_qualified_path() {
+        let s = scan("fn f(e: E) { match e { E::A => {} , _ => {} } } // E::B in a comment");
+        assert!(variant_appears(&s, "E", "A", false));
+        assert!(!variant_appears(&s, "E", "B", false), "comments must not count");
+    }
+
+    #[test]
+    fn self_qualification_counts_only_in_decl_file() {
+        let s = scan("impl E { fn f(&self) -> E { Self::A } }");
+        assert!(variant_appears(&s, "E", "A", true));
+        assert!(!variant_appears(&s, "E", "A", false));
+    }
+}

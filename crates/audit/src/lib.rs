@@ -1,0 +1,437 @@
+//! `netmax-audit` — the workspace invariant analyzer.
+//!
+//! The simulation engine's headline guarantees — bit-reproducible runs in
+//! virtual time, an allocation-free steady state, panic-free library
+//! crates, exhaustive handling of every event and algorithm variant — are
+//! enforced dynamically by tests, but tests only cover the paths they
+//! drive. This crate adds the static half: a lightweight, comment- and
+//! string-aware Rust tokenizer (no full AST, no third-party parser — the
+//! same dependency-free discipline as `netmax-json`) that walks every
+//! `.rs` file in the workspace and checks a committed rule policy
+//! (`audit.policy.json`):
+//!
+//! * **determinism** — `Instant`/`SystemTime` only in allowlisted bench
+//!   timing code; `HashMap`/`HashSet` nowhere in library sources (iteration
+//!   order leaks into artifacts);
+//! * **hot-path hygiene** — functions registered in the hot-path manifest
+//!   must not contain allocation patterns (`vec!`, `.collect`, `.clone`,
+//!   `format!`, …);
+//! * **panic-freedom ratchet** — per-crate counts of `unwrap`/`expect`/
+//!   `panic!`/`unreachable!`/indexing may never exceed the committed
+//!   budget, and the budget must be lowered as sites are removed (a
+//!   too-high budget is itself a violation);
+//! * **cross-file exhaustiveness** — every variant of registered enums
+//!   (`StepEvent`, `AlgorithmKind`) must appear, qualified, in the
+//!   dispatch, registry, and test files the policy names.
+//!
+//! Violations are suppressible only with
+//! `// audit: allow(<rule>) -- <reason>` on the offending line (or the
+//! line above); the reason is mandatory and unused suppressions are
+//! errors. Enum-exhaustiveness findings are file-level, so a suppression
+//! for that rule anywhere in the affected file covers them.
+
+#![forbid(unsafe_code)]
+
+pub mod enums;
+pub mod lexer;
+pub mod policy;
+pub mod report;
+pub mod scan;
+pub mod suppress;
+
+pub use policy::{Policy, POLICY_SCHEMA};
+pub use report::{AuditReport, BudgetStatus, Violation, REPORT_SCHEMA};
+
+use report::rules;
+use scan::{BannedPattern, FileScan, PanicCounts};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+/// A fatal analyzer error (I/O or policy parse) — distinct from audit
+/// violations, which are findings, not failures of the tool itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditError {
+    /// What went wrong, with the path involved.
+    pub message: String,
+}
+
+impl fmt::Display for AuditError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for AuditError {}
+
+fn err(message: impl Into<String>) -> AuditError {
+    AuditError { message: message.into() }
+}
+
+/// Loads and validates the policy document at `path`.
+pub fn load_policy(path: &Path) -> Result<Policy, AuditError> {
+    let text = fs::read_to_string(path)
+        .map_err(|e| err(format!("cannot read policy {}: {e}", path.display())))?;
+    let doc = netmax_json::Json::parse(&text)
+        .map_err(|e| err(format!("policy {} is not valid JSON: {e}", path.display())))?;
+    netmax_json::FromJson::from_json(&doc)
+        .map_err(|e| err(format!("policy {} is malformed: {e}", path.display())))
+}
+
+/// Whether a workspace-relative path is *library source* (subject to the
+/// determinism, hot-path, and panic rules) as opposed to tests, benches,
+/// or examples — which are only consulted for enum-coverage and
+/// required-text checks.
+pub fn is_source(rel: &str) -> bool {
+    rel.starts_with("src/") || rel.contains("/src/")
+}
+
+/// Recursively collects every `.rs` file under `root` (skipping `target`,
+/// VCS metadata, and the policy's excluded prefixes), returning
+/// `(workspace-relative path, contents)` pairs in sorted path order.
+pub fn collect_files(root: &Path, exclude: &[String]) -> Result<Vec<(String, String)>, AuditError> {
+    let mut rel_paths = Vec::new();
+    walk(root, Path::new(""), exclude, &mut rel_paths)?;
+    rel_paths.sort();
+    let mut files = Vec::with_capacity(rel_paths.len());
+    for rel in rel_paths {
+        let text = fs::read_to_string(root.join(&rel))
+            .map_err(|e| err(format!("cannot read {rel}: {e}")))?;
+        files.push((rel, text));
+    }
+    Ok(files)
+}
+
+fn walk(
+    root: &Path,
+    rel: &Path,
+    exclude: &[String],
+    out: &mut Vec<String>,
+) -> Result<(), AuditError> {
+    let dir = root.join(rel);
+    let entries = fs::read_dir(&dir)
+        .map_err(|e| err(format!("cannot list {}: {e}", dir.display())))?;
+    let mut names: Vec<String> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| err(format!("cannot list {}: {e}", dir.display())))?;
+        if let Some(name) = entry.file_name().to_str() {
+            names.push(name.to_string());
+        }
+    }
+    names.sort();
+    for name in names {
+        let child_rel = if rel.as_os_str().is_empty() {
+            name.clone().into()
+        } else {
+            rel.join(&name)
+        };
+        let rel_str = child_rel.to_string_lossy().replace('\\', "/");
+        if exclude.iter().any(|p| rel_str.starts_with(p.trim_end_matches('/'))) {
+            continue;
+        }
+        let path = root.join(&child_rel);
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            walk(root, &child_rel, exclude, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(rel_str);
+        }
+    }
+    Ok(())
+}
+
+/// Runs the full audit of the workspace at `root` under `policy`.
+pub fn run_audit(root: &Path, policy: &Policy) -> Result<AuditReport, AuditError> {
+    let banned_patterns: Vec<BannedPattern> = policy
+        .hot_path_banned
+        .iter()
+        .filter_map(|s| BannedPattern::parse(s))
+        .collect();
+    if banned_patterns.len() != policy.hot_path_banned.len() {
+        return Err(err("policy hot_path_banned contains an unparseable pattern"));
+    }
+    let time_banned: Vec<&str> =
+        policy.determinism.time_banned.iter().map(String::as_str).collect();
+    let hash_banned: Vec<&str> =
+        policy.determinism.hash_banned.iter().map(String::as_str).collect();
+
+    let files = collect_files(root, &policy.exclude)?;
+    let mut scans: BTreeMap<String, FileScan> = BTreeMap::new();
+    for (rel, text) in files {
+        let scan = FileScan::new(rel.clone(), &text);
+        scans.insert(rel, scan);
+    }
+
+    let mut rep = AuditReport { files_scanned: scans.len(), ..AuditReport::default() };
+    // Parallel to each file's suppression list: whether it silenced
+    // anything (unused suppressions become violations at the end).
+    let mut used: BTreeMap<&str, Vec<bool>> = BTreeMap::new();
+    let mut actuals: Vec<PanicCounts> = vec![PanicCounts::default(); policy.panic_budgets.len()];
+
+    for (path, scan) in &scans {
+        used.insert(path.as_str(), vec![false; scan.suppressions.len()]);
+        for (line, e) in &scan.malformed {
+            rep.violations.push(Violation {
+                rule: rules::BAD_SUPPRESSION,
+                file: path.clone(),
+                line: *line,
+                message: e.to_string(),
+            });
+        }
+        if !is_source(path) {
+            continue;
+        }
+
+        // Suppressible line-level candidates: (rule, line, message).
+        let mut candidates: Vec<(&'static str, u32, String)> = Vec::new();
+        if !Policy::allowlisted(&policy.determinism.time_allowlist, path) {
+            for (line, ident) in scan::find_banned_idents(scan, &time_banned) {
+                candidates.push((
+                    rules::DETERMINISM_TIME,
+                    line,
+                    format!("real-time clock `{ident}` outside the bench allowlist"),
+                ));
+            }
+        }
+        if !Policy::allowlisted(&policy.determinism.hash_allowlist, path) {
+            for (line, ident) in scan::find_banned_idents(scan, &hash_banned) {
+                candidates.push((
+                    rules::DETERMINISM_HASH,
+                    line,
+                    format!("iteration-order-nondeterministic `{ident}` in library source"),
+                ));
+            }
+        }
+        for entry in policy.hot_paths.iter().filter(|e| &e.file == path) {
+            let (hits, stale) = scan::scan_hot_paths(scan, &entry.functions, &banned_patterns);
+            for (line, func, pat) in hits {
+                candidates.push((
+                    rules::HOT_PATH_ALLOC,
+                    line,
+                    format!("`{pat}` inside registered hot path `{func}`"),
+                ));
+            }
+            for func in stale {
+                rep.violations.push(Violation {
+                    rule: rules::HOT_PATH_MANIFEST,
+                    file: path.clone(),
+                    line: 0,
+                    message: format!("manifest names `{func}` but the file defines no such fn"),
+                });
+            }
+        }
+
+        if let Some(flags) = used.get_mut(path.as_str()) {
+            for (rule, line, message) in candidates {
+                let matched = scan
+                    .suppressions
+                    .iter()
+                    .position(|s| s.rule == rule && s.covers(line));
+                match matched {
+                    Some(si) => flags[si] = true,
+                    None => rep.violations.push(Violation {
+                        rule,
+                        file: path.clone(),
+                        line,
+                        message,
+                    }),
+                }
+            }
+        }
+
+        if let Some(bi) = policy
+            .panic_budgets
+            .iter()
+            .position(|b| path.strip_prefix(&b.crate_dir).is_some_and(|r| r.starts_with('/')))
+        {
+            actuals[bi].add(&scan::count_panic_sites(scan));
+        }
+    }
+
+    check_enums(policy, &scans, &mut rep, &mut used);
+    check_required_text(policy, &scans, &mut rep);
+    check_budgets(policy, &actuals, &mut rep);
+
+    for (path, flags) in &used {
+        let scan = &scans[*path];
+        for (si, was_used) in flags.iter().enumerate() {
+            if !was_used {
+                let s = &scan.suppressions[si];
+                rep.violations.push(Violation {
+                    rule: rules::STALE_SUPPRESSION,
+                    file: (*path).to_string(),
+                    line: s.line,
+                    message: format!("suppression `allow({})` silences nothing", s.rule),
+                });
+            }
+            rep.suppressions_used += usize::from(*was_used);
+        }
+    }
+
+    rep.finish();
+    Ok(rep)
+}
+
+/// Enum exhaustiveness: every variant of each registered enum must appear
+/// qualified in every `each` file, and in at least one `union` file.
+/// Findings are file-level (line 0); an `enum-exhaustive` suppression
+/// anywhere in the affected file covers them.
+fn check_enums<'a>(
+    policy: &Policy,
+    scans: &'a BTreeMap<String, FileScan>,
+    rep: &mut AuditReport,
+    used: &mut BTreeMap<&'a str, Vec<bool>>,
+) {
+    for check in &policy.enums {
+        let Some(decl_scan) = scans.get(&check.decl) else {
+            rep.violations.push(Violation {
+                rule: rules::POLICY_TARGET,
+                file: check.decl.clone(),
+                line: 0,
+                message: format!("enum check `{}`: decl file not found", check.name),
+            });
+            continue;
+        };
+        let Some(variants) = enums::enum_variants(decl_scan, &check.name) else {
+            rep.violations.push(Violation {
+                rule: rules::POLICY_TARGET,
+                file: check.decl.clone(),
+                line: 0,
+                message: format!("file declares no `enum {}`", check.name),
+            });
+            continue;
+        };
+        let mut misses: Vec<(String, String)> = Vec::new();
+        for file in &check.each {
+            let Some(scan) = scans.get(file) else {
+                rep.violations.push(Violation {
+                    rule: rules::POLICY_TARGET,
+                    file: file.clone(),
+                    line: 0,
+                    message: format!("enum check `{}`: file not found", check.name),
+                });
+                continue;
+            };
+            let same_file = file == &check.decl;
+            for v in &variants {
+                if !enums::variant_appears(scan, &check.name, v, same_file) {
+                    misses.push((
+                        file.clone(),
+                        format!("`{}::{v}` never named here (dispatch incomplete?)", check.name),
+                    ));
+                }
+            }
+        }
+        if !check.union.is_empty() {
+            let union_scans: Vec<&FileScan> =
+                check.union.iter().filter_map(|f| scans.get(f)).collect();
+            if union_scans.len() != check.union.len() {
+                for file in check.union.iter().filter(|f| !scans.contains_key(*f)) {
+                    rep.violations.push(Violation {
+                        rule: rules::POLICY_TARGET,
+                        file: file.clone(),
+                        line: 0,
+                        message: format!("enum check `{}`: file not found", check.name),
+                    });
+                }
+            }
+            for v in &variants {
+                if !union_scans.iter().any(|s| enums::variant_appears(s, &check.name, v, false)) {
+                    misses.push((
+                        check.union.join(", "),
+                        format!("`{}::{v}` covered by none of the union files", check.name),
+                    ));
+                }
+            }
+        }
+        for (file, message) in misses {
+            // File-level suppression: any `enum-exhaustive` allow in the
+            // affected file covers its findings for this rule.
+            let suppressed = scans.get(&file).is_some_and(|s| {
+                s.suppressions.iter().enumerate().any(|(si, sup)| {
+                    if sup.rule == rules::ENUM_EXHAUSTIVE {
+                        if let Some(flags) = used.get_mut(file.as_str()) {
+                            flags[si] = true;
+                        }
+                        true
+                    } else {
+                        false
+                    }
+                })
+            });
+            if !suppressed {
+                rep.violations.push(Violation {
+                    rule: rules::ENUM_EXHAUSTIVE,
+                    file,
+                    line: 0,
+                    message,
+                });
+            }
+        }
+    }
+}
+
+fn check_required_text(
+    policy: &Policy,
+    scans: &BTreeMap<String, FileScan>,
+    rep: &mut AuditReport,
+) {
+    for req in &policy.required_text {
+        match scans.get(&req.file) {
+            None => rep.violations.push(Violation {
+                rule: rules::POLICY_TARGET,
+                file: req.file.clone(),
+                line: 0,
+                message: "required_text: file not found".into(),
+            }),
+            Some(scan) if !scan.raw.contains(&req.needle) => {
+                rep.violations.push(Violation {
+                    rule: rules::REQUIRED_TEXT,
+                    file: req.file.clone(),
+                    line: 0,
+                    message: format!("required text `{}` is missing", req.needle),
+                });
+            }
+            Some(_) => {}
+        }
+    }
+}
+
+/// The two-way ratchet: counts above budget are violations, and so are
+/// budgets above counts — the committed number must fall as panic sites
+/// are removed, so the budget can only ever go down.
+fn check_budgets(policy: &Policy, actuals: &[PanicCounts], rep: &mut AuditReport) {
+    for (budget, actual) in policy.panic_budgets.iter().zip(actuals) {
+        let committed = PanicCounts {
+            unwrap: budget.unwrap,
+            expect: budget.expect,
+            panic: budget.panic,
+            unreachable: budget.unreachable,
+            index: budget.index,
+        };
+        rep.budgets.push(BudgetStatus {
+            crate_dir: budget.crate_dir.clone(),
+            actual: *actual,
+            budget: committed,
+        });
+        if let Some(over) = actual.exceeds(&committed) {
+            rep.violations.push(Violation {
+                rule: rules::PANIC_BUDGET,
+                file: budget.crate_dir.clone(),
+                line: 0,
+                message: format!("panic sites over budget: {over}"),
+            });
+        }
+        if let Some(slack) = committed.exceeds(actual) {
+            rep.violations.push(Violation {
+                rule: rules::PANIC_BUDGET_STALE,
+                file: budget.crate_dir.clone(),
+                line: 0,
+                message: format!("budget above actual count, lower it: {slack}"),
+            });
+        }
+    }
+}

@@ -1,0 +1,327 @@
+//! The machine-readable rule policy (`audit.policy.json` at the
+//! workspace root, schema `netmax-audit/policy/v1`).
+//!
+//! The policy is data, not code, so a reviewer can see every allowlist
+//! entry, hot-path registration, and panic budget in one committed JSON
+//! document — and so the ratchet (budgets that may only decrease) is a
+//! one-line diff when a panic site is removed.
+
+use netmax_json::{FromJson, Json, JsonError, ToJson};
+
+/// Schema tag of the policy document.
+pub const POLICY_SCHEMA: &str = "netmax-audit/policy/v1";
+
+/// The determinism rule's configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeterminismPolicy {
+    /// Identifiers banned as real-time clocks (`Instant`, `SystemTime`).
+    pub time_banned: Vec<String>,
+    /// Files (exact path) or directories (trailing `/`) where real-time
+    /// clocks are legitimate: bench timing, CLI deadlines.
+    pub time_allowlist: Vec<String>,
+    /// Identifiers banned as iteration-order-nondeterministic containers.
+    pub hash_banned: Vec<String>,
+    /// Allowlist for the container ban, same matching rules.
+    pub hash_allowlist: Vec<String>,
+}
+
+/// One hot-path manifest entry: functions in one file whose bodies must
+/// stay free of the banned allocation patterns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HotPathEntry {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// Function names registered as hot (every same-named `fn` in the
+    /// file is scanned — trait defaults and impls alike).
+    pub functions: Vec<String>,
+}
+
+/// One crate's committed panic budget — the ratchet state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PanicBudget {
+    /// The crate's source directory, e.g. `crates/core`.
+    pub crate_dir: String,
+    /// Allowed `.unwrap()` count.
+    pub unwrap: usize,
+    /// Allowed `.expect(…)` count.
+    pub expect: usize,
+    /// Allowed `panic!`/`todo!`/`unimplemented!` count.
+    pub panic: usize,
+    /// Allowed `unreachable!` count.
+    pub unreachable: usize,
+    /// Allowed direct-index-expression count.
+    pub index: usize,
+}
+
+/// One enum exhaustiveness check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnumCheck {
+    /// The enum's name.
+    pub name: String,
+    /// The file declaring it.
+    pub decl: String,
+    /// Files in which **every** variant must appear qualified
+    /// (`Enum::Variant`; `Self::Variant` also counts in the decl file).
+    pub each: Vec<String>,
+    /// Files whose **union** must cover every variant (test coverage may
+    /// be spread across suites).
+    pub union: Vec<String>,
+}
+
+/// A raw-text requirement: `needle` must appear somewhere in `file`
+/// (string literals included — this is how schema-tag coverage is
+/// pinned, e.g. the v1 checkpoint compat test).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequiredText {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// Substring that must occur in the file's raw text.
+    pub needle: String,
+}
+
+/// The complete audit policy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Policy {
+    /// Directory prefixes excluded from every scan (fixture trees).
+    pub exclude: Vec<String>,
+    /// Determinism rule configuration.
+    pub determinism: DeterminismPolicy,
+    /// The hot-path manifest.
+    pub hot_paths: Vec<HotPathEntry>,
+    /// Banned patterns in hot-path bodies (`.collect`, `vec!`,
+    /// `Vec::new` spellings).
+    pub hot_path_banned: Vec<String>,
+    /// Per-crate panic budgets.
+    pub panic_budgets: Vec<PanicBudget>,
+    /// Enum exhaustiveness checks.
+    pub enums: Vec<EnumCheck>,
+    /// Raw-text requirements.
+    pub required_text: Vec<RequiredText>,
+}
+
+impl Policy {
+    /// Whether `path` matches an allowlist: exact entries match the whole
+    /// path, entries with a trailing `/` match as directory prefixes.
+    pub fn allowlisted(list: &[String], path: &str) -> bool {
+        list.iter().any(|entry| {
+            if let Some(dir) = entry.strip_suffix('/') {
+                path.strip_prefix(dir).is_some_and(|rest| rest.starts_with('/'))
+            } else {
+                entry == path
+            }
+        })
+    }
+}
+
+fn string_vec(v: &Json, key: &str) -> Result<Vec<String>, JsonError> {
+    Vec::<String>::from_json(v.field(key)?)
+}
+
+impl FromJson for Policy {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let schema = v.field("schema")?.as_str()?;
+        if schema != POLICY_SCHEMA {
+            return Err(JsonError::schema(format!(
+                "unsupported policy schema `{schema}` (expected `{POLICY_SCHEMA}`)"
+            )));
+        }
+        let det = v.field("determinism")?;
+        Ok(Policy {
+            exclude: string_vec(v, "exclude")?,
+            determinism: DeterminismPolicy {
+                time_banned: string_vec(det, "time_banned")?,
+                time_allowlist: string_vec(det, "time_allowlist")?,
+                hash_banned: string_vec(det, "hash_banned")?,
+                hash_allowlist: string_vec(det, "hash_allowlist")?,
+            },
+            hot_paths: v
+                .field("hot_paths")?
+                .as_arr()?
+                .iter()
+                .map(|e| {
+                    Ok(HotPathEntry {
+                        file: String::from_json(e.field("file")?)?,
+                        functions: string_vec(e, "functions")?,
+                    })
+                })
+                .collect::<Result<_, JsonError>>()?,
+            hot_path_banned: string_vec(v, "hot_path_banned")?,
+            panic_budgets: v
+                .field("panic_budgets")?
+                .as_arr()?
+                .iter()
+                .map(|e| {
+                    Ok(PanicBudget {
+                        crate_dir: String::from_json(e.field("crate")?)?,
+                        unwrap: e.field("unwrap")?.as_usize()?,
+                        expect: e.field("expect")?.as_usize()?,
+                        panic: e.field("panic")?.as_usize()?,
+                        unreachable: e.field("unreachable")?.as_usize()?,
+                        index: e.field("index")?.as_usize()?,
+                    })
+                })
+                .collect::<Result<_, JsonError>>()?,
+            enums: v
+                .field("enums")?
+                .as_arr()?
+                .iter()
+                .map(|e| {
+                    Ok(EnumCheck {
+                        name: String::from_json(e.field("enum")?)?,
+                        decl: String::from_json(e.field("decl")?)?,
+                        each: string_vec(e, "each")?,
+                        union: string_vec(e, "union")?,
+                    })
+                })
+                .collect::<Result<_, JsonError>>()?,
+            required_text: v
+                .field("required_text")?
+                .as_arr()?
+                .iter()
+                .map(|e| {
+                    Ok(RequiredText {
+                        file: String::from_json(e.field("file")?)?,
+                        needle: String::from_json(e.field("needle")?)?,
+                    })
+                })
+                .collect::<Result<_, JsonError>>()?,
+        })
+    }
+}
+
+impl ToJson for Policy {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema", Json::Str(POLICY_SCHEMA.into())),
+            ("exclude", self.exclude.to_json()),
+            (
+                "determinism",
+                Json::obj([
+                    ("time_banned", self.determinism.time_banned.to_json()),
+                    ("time_allowlist", self.determinism.time_allowlist.to_json()),
+                    ("hash_banned", self.determinism.hash_banned.to_json()),
+                    ("hash_allowlist", self.determinism.hash_allowlist.to_json()),
+                ]),
+            ),
+            (
+                "hot_paths",
+                Json::Arr(
+                    self.hot_paths
+                        .iter()
+                        .map(|e| {
+                            Json::obj([
+                                ("file", e.file.to_json()),
+                                ("functions", e.functions.to_json()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("hot_path_banned", self.hot_path_banned.to_json()),
+            (
+                "panic_budgets",
+                Json::Arr(
+                    self.panic_budgets
+                        .iter()
+                        .map(|b| {
+                            Json::obj([
+                                ("crate", b.crate_dir.to_json()),
+                                ("unwrap", b.unwrap.to_json()),
+                                ("expect", b.expect.to_json()),
+                                ("panic", b.panic.to_json()),
+                                ("unreachable", b.unreachable.to_json()),
+                                ("index", b.index.to_json()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "enums",
+                Json::Arr(
+                    self.enums
+                        .iter()
+                        .map(|e| {
+                            Json::obj([
+                                ("enum", e.name.to_json()),
+                                ("decl", e.decl.to_json()),
+                                ("each", e.each.to_json()),
+                                ("union", e.union.to_json()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "required_text",
+                Json::Arr(
+                    self.required_text
+                        .iter()
+                        .map(|r| {
+                            Json::obj([
+                                ("file", r.file.to_json()),
+                                ("needle", r.needle.to_json()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_round_trips_through_json() {
+        let p = Policy {
+            exclude: vec!["crates/audit/tests/fixtures/".into()],
+            determinism: DeterminismPolicy {
+                time_banned: vec!["Instant".into(), "SystemTime".into()],
+                time_allowlist: vec!["crates/bench/src/bin/".into(), "x/y.rs".into()],
+                hash_banned: vec!["HashMap".into(), "HashSet".into()],
+                hash_allowlist: vec![],
+            },
+            hot_paths: vec![HotPathEntry {
+                file: "crates/ml/src/model.rs".into(),
+                functions: vec!["loss_scratch".into()],
+            }],
+            hot_path_banned: vec![".collect".into(), "vec!".into(), "Vec::new".into()],
+            panic_budgets: vec![PanicBudget {
+                crate_dir: "crates/json".into(),
+                unwrap: 0,
+                expect: 1,
+                panic: 2,
+                unreachable: 3,
+                index: 44,
+            }],
+            enums: vec![EnumCheck {
+                name: "StepEvent".into(),
+                decl: "a.rs".into(),
+                each: vec!["a.rs".into()],
+                union: vec!["b.rs".into(), "c.rs".into()],
+            }],
+            required_text: vec![RequiredText { file: "d.rs".into(), needle: "v1".into() }],
+        };
+        let text = p.to_json().pretty();
+        let back = Policy::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn schema_tag_is_enforced() {
+        let doc = Json::parse(r#"{"schema":"netmax-audit/policy/v0"}"#).unwrap();
+        assert!(Policy::from_json(&doc).is_err());
+    }
+
+    #[test]
+    fn allowlist_matches_exact_and_prefix() {
+        let list = vec!["crates/bench/src/bin/".to_string(), "src/lib.rs".to_string()];
+        assert!(Policy::allowlisted(&list, "crates/bench/src/bin/sanity.rs"));
+        assert!(Policy::allowlisted(&list, "src/lib.rs"));
+        assert!(!Policy::allowlisted(&list, "crates/bench/src/binary.rs"));
+        assert!(!Policy::allowlisted(&list, "src/lib.rs.bak"));
+    }
+}

@@ -1,0 +1,243 @@
+//! Audit results: the violation list, the human rendering, and the
+//! versioned machine report (`netmax-audit/report/v1`).
+
+use crate::scan::PanicCounts;
+use netmax_json::{Json, ToJson};
+use std::fmt::Write as _;
+
+/// Schema tag of the JSON report.
+pub const REPORT_SCHEMA: &str = "netmax-audit/report/v1";
+
+/// Rule identifiers, as they appear in reports and suppression comments.
+pub mod rules {
+    /// Real-time clock (`Instant`/`SystemTime`) outside the allowlist.
+    pub const DETERMINISM_TIME: &str = "determinism-time";
+    /// Iteration-order-nondeterministic container outside the allowlist.
+    pub const DETERMINISM_HASH: &str = "determinism-hash";
+    /// Banned allocation pattern inside a registered hot-path body.
+    pub const HOT_PATH_ALLOC: &str = "hot-path-alloc";
+    /// Hot-path manifest names a function the file no longer defines.
+    pub const HOT_PATH_MANIFEST: &str = "hot-path-manifest";
+    /// Panic-site count above the committed budget.
+    pub const PANIC_BUDGET: &str = "panic-budget";
+    /// Budget higher than the actual count — the ratchet must be lowered.
+    pub const PANIC_BUDGET_STALE: &str = "panic-budget-stale";
+    /// Enum variant missing from a required dispatch/registry/test file.
+    pub const ENUM_EXHAUSTIVE: &str = "enum-exhaustive";
+    /// Required raw text missing from a file.
+    pub const REQUIRED_TEXT: &str = "required-text";
+    /// `audit:` comment that does not parse as a valid directive.
+    pub const BAD_SUPPRESSION: &str = "bad-suppression";
+    /// Well-formed suppression that silenced nothing.
+    pub const STALE_SUPPRESSION: &str = "stale-suppression";
+    /// Policy points at a file that does not exist or declares no such
+    /// enum/function.
+    pub const POLICY_TARGET: &str = "policy-target";
+}
+
+/// One audit violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Rule identifier (see [`rules`]).
+    pub rule: &'static str,
+    /// Workspace-relative file, or `<policy>` for policy-level findings.
+    pub file: String,
+    /// 1-based line, or 0 when the finding is file- or crate-level.
+    pub line: u32,
+    /// Human explanation.
+    pub message: String,
+}
+
+impl Violation {
+    /// Location string: `file:line` or just `file` for line 0.
+    pub fn locus(&self) -> String {
+        if self.line == 0 {
+            self.file.clone()
+        } else {
+            format!("{}:{}", self.file, self.line)
+        }
+    }
+}
+
+/// One crate's ratchet status in the report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BudgetStatus {
+    /// The crate directory the budget applies to.
+    pub crate_dir: String,
+    /// Counted panic sites.
+    pub actual: PanicCounts,
+    /// Committed budget.
+    pub budget: PanicCounts,
+}
+
+/// The full audit outcome.
+#[derive(Debug, Clone, Default)]
+pub struct AuditReport {
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Suppressions that silenced at least one violation.
+    pub suppressions_used: usize,
+    /// Per-crate ratchet state (always reported, violations or not).
+    pub budgets: Vec<BudgetStatus>,
+    /// Unsuppressed violations, sorted by `(file, line, rule)`.
+    pub violations: Vec<Violation>,
+}
+
+impl AuditReport {
+    /// Whether the audit passed.
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Sorts violations into the deterministic report order.
+    pub fn finish(&mut self) {
+        self.violations
+            .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    }
+
+    /// The human-readable report.
+    pub fn human(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "netmax-audit: {} file(s) scanned, {} suppression(s) in use",
+            self.files_scanned, self.suppressions_used
+        );
+        for b in &self.budgets {
+            let _ = writeln!(
+                out,
+                "  ratchet {:<16} unwrap {}/{}  expect {}/{}  panic {}/{}  unreachable {}/{}  index {}/{}",
+                b.crate_dir,
+                b.actual.unwrap,
+                b.budget.unwrap,
+                b.actual.expect,
+                b.budget.expect,
+                b.actual.panic,
+                b.budget.panic,
+                b.actual.unreachable,
+                b.budget.unreachable,
+                b.actual.index,
+                b.budget.index,
+            );
+        }
+        if self.violations.is_empty() {
+            let _ = writeln!(out, "PASS: no violations");
+        } else {
+            let _ = writeln!(out, "FAIL: {} violation(s)", self.violations.len());
+            for v in &self.violations {
+                let _ = writeln!(out, "  [{}] {}: {}", v.rule, v.locus(), v.message);
+            }
+        }
+        out
+    }
+}
+
+fn counts_json(c: &PanicCounts) -> Json {
+    Json::obj([
+        ("unwrap", c.unwrap.to_json()),
+        ("expect", c.expect.to_json()),
+        ("panic", c.panic.to_json()),
+        ("unreachable", c.unreachable.to_json()),
+        ("index", c.index.to_json()),
+    ])
+}
+
+impl ToJson for AuditReport {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema", Json::Str(REPORT_SCHEMA.into())),
+            ("pass", self.clean().to_json()),
+            ("files_scanned", self.files_scanned.to_json()),
+            ("suppressions_used", self.suppressions_used.to_json()),
+            (
+                "budgets",
+                Json::Arr(
+                    self.budgets
+                        .iter()
+                        .map(|b| {
+                            Json::obj([
+                                ("crate", b.crate_dir.to_json()),
+                                ("actual", counts_json(&b.actual)),
+                                ("budget", counts_json(&b.budget)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "violations",
+                Json::Arr(
+                    self.violations
+                        .iter()
+                        .map(|v| {
+                            Json::obj([
+                                ("rule", v.rule.to_json()),
+                                ("file", v.file.to_json()),
+                                ("line", (v.line as usize).to_json()),
+                                ("message", v.message.to_json()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> AuditReport {
+        let mut r = AuditReport {
+            files_scanned: 3,
+            suppressions_used: 1,
+            budgets: vec![BudgetStatus {
+                crate_dir: "crates/json".into(),
+                actual: PanicCounts { unwrap: 1, ..PanicCounts::default() },
+                budget: PanicCounts { unwrap: 2, ..PanicCounts::default() },
+            }],
+            violations: vec![
+                Violation {
+                    rule: rules::DETERMINISM_TIME,
+                    file: "b.rs".into(),
+                    line: 9,
+                    message: "Instant".into(),
+                },
+                Violation {
+                    rule: rules::PANIC_BUDGET,
+                    file: "a.rs".into(),
+                    line: 0,
+                    message: "over".into(),
+                },
+            ],
+        };
+        r.finish();
+        r
+    }
+
+    #[test]
+    fn violations_sort_deterministically() {
+        let r = report();
+        assert_eq!(r.violations[0].file, "a.rs");
+        assert!(!r.clean());
+    }
+
+    #[test]
+    fn json_report_has_schema_and_violations() {
+        let doc = report().to_json();
+        assert_eq!(doc.field("schema").unwrap().as_str().unwrap(), REPORT_SCHEMA);
+        assert!(!doc.field("pass").unwrap().as_bool().unwrap());
+        assert_eq!(doc.field("violations").unwrap().as_arr().unwrap().len(), 2);
+        let text = doc.pretty();
+        assert!(text.contains("determinism-time"));
+    }
+
+    #[test]
+    fn human_report_mentions_every_violation() {
+        let text = report().human();
+        assert!(text.contains("FAIL: 2 violation(s)"));
+        assert!(text.contains("b.rs:9"));
+        assert!(text.contains("ratchet crates/json"));
+    }
+}

@@ -1,0 +1,526 @@
+//! Per-file scanning: test-region detection, the determinism and
+//! hot-path rules, and the panic-site counters behind the ratchet.
+//!
+//! Everything here operates on the lexed token stream of one file. Test
+//! code — `#[cfg(test)]` modules and `#[test]`/`#[bench]` functions — is
+//! excluded from every rule: the invariants protect the *shipped* engine,
+//! and tests legitimately panic, allocate, and use hash containers.
+
+use crate::lexer::{Lexed, Tok, Token};
+use crate::suppress::{self, SuppressError, Suppression};
+
+/// One file, lexed and pre-processed for rule scans.
+#[derive(Debug, Clone)]
+pub struct FileScan {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// The raw source (kept for substring checks on schema-tag strings).
+    pub raw: String,
+    /// The token stream.
+    pub tokens: Vec<Token>,
+    /// Whether each token sits inside test-only code (parallel to
+    /// `tokens`).
+    in_test: Vec<bool>,
+    /// Parsed suppression comments.
+    pub suppressions: Vec<Suppression>,
+    /// Malformed `audit:` directives: `(line, error)`.
+    pub malformed: Vec<(u32, SuppressError)>,
+}
+
+impl FileScan {
+    /// Lexes and pre-processes one source file.
+    pub fn new(path: impl Into<String>, source: &str) -> FileScan {
+        let Lexed { tokens, comments } = crate::lexer::lex(source);
+        let in_test = test_mask(&tokens);
+        let (suppressions, malformed) = suppress::collect(&comments);
+        FileScan {
+            path: path.into(),
+            raw: source.to_string(),
+            tokens,
+            in_test,
+            suppressions,
+            malformed,
+        }
+    }
+
+    /// Whether the token at `idx` is inside `#[cfg(test)]` / `#[test]`
+    /// code.
+    pub fn is_test(&self, idx: usize) -> bool {
+        self.in_test.get(idx).copied().unwrap_or(false)
+    }
+
+    fn ident(&self, idx: usize) -> Option<&str> {
+        match self.tokens.get(idx).map(|t| &t.tok) {
+            Some(Tok::Ident(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn punct(&self, idx: usize) -> Option<char> {
+        match self.tokens.get(idx).map(|t| &t.tok) {
+            Some(Tok::Punct(c)) => Some(*c),
+            _ => None,
+        }
+    }
+
+    fn line(&self, idx: usize) -> u32 {
+        self.tokens.get(idx).map(|t| t.line).unwrap_or(0)
+    }
+}
+
+/// Marks every token inside test-only code. Detected shapes:
+///
+/// * `#[cfg(test)] mod name { … }` (and `cfg(all(test, …))` etc. — any
+///   attribute whose tokens contain both `cfg` and `test`);
+/// * `#[test] fn name() { … }` and `#[bench]` likewise;
+/// * attribute stacks: intervening attributes/doc comments between the
+///   marker attribute and the item are handled.
+fn test_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0usize;
+    let mut pending_test_attr = false;
+    while i < tokens.len() {
+        if matches!(&tokens[i].tok, Tok::Punct('#'))
+            && matches!(tokens.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('[')))
+        {
+            // Scan the attribute's bracket-balanced token range.
+            let attr_start = i + 2;
+            let mut depth = 1i32;
+            let mut j = attr_start;
+            let mut saw_cfg = false;
+            let mut saw_test = false;
+            let mut saw_not = false;
+            while j < tokens.len() && depth > 0 {
+                match &tokens[j].tok {
+                    Tok::Punct('[') => depth += 1,
+                    Tok::Punct(']') => depth -= 1,
+                    Tok::Ident(s) => match s.as_str() {
+                        "cfg" => saw_cfg = true,
+                        "test" | "bench" => saw_test = true,
+                        "not" => saw_not = true,
+                        _ => {}
+                    },
+                    _ => {}
+                }
+                j += 1;
+            }
+            // `#[test]` / `#[bench]` alone, or `#[cfg(… test …)]` — but
+            // `#[cfg(not(test))]` guards *production* code and must stay
+            // scanned (conservative: any `not` disqualifies the marker).
+            let is_marker = saw_test && !saw_not && (saw_cfg || j == attr_start + 2);
+            if is_marker {
+                pending_test_attr = true;
+                // The attribute tokens themselves are test-only too.
+                for m in mask.iter_mut().take(j).skip(i) {
+                    *m = true;
+                }
+            }
+            i = j;
+            continue;
+        }
+        if pending_test_attr {
+            // Mark everything from here through the end of the item the
+            // attribute is attached to: either a braced body or a
+            // semicolon-terminated item, whichever comes first at depth 0.
+            let start = i;
+            let mut j = i;
+            let mut end = tokens.len();
+            while j < tokens.len() {
+                match &tokens[j].tok {
+                    Tok::Punct(';') => {
+                        end = j + 1;
+                        break;
+                    }
+                    Tok::Punct('{') => {
+                        end = matching_brace(tokens, j).map_or(tokens.len(), |e| e + 1);
+                        break;
+                    }
+                    _ => j += 1,
+                }
+            }
+            for m in mask.iter_mut().take(end).skip(start) {
+                *m = true;
+            }
+            pending_test_attr = false;
+            i = end;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// The index just past the `}` matching the `{` at `open` (which must be
+/// a `{` token), or `None` if unbalanced.
+fn matching_brace(tokens: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, t) in tokens.iter().enumerate().skip(open) {
+        match t.tok {
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// A banned-identifier hit: `(line, identifier)`.
+pub type IdentHit = (u32, String);
+
+/// Finds non-test occurrences of any identifier in `banned`.
+pub fn find_banned_idents(scan: &FileScan, banned: &[&str]) -> Vec<IdentHit> {
+    let mut hits = Vec::new();
+    for (i, t) in scan.tokens.iter().enumerate() {
+        if scan.is_test(i) {
+            continue;
+        }
+        if let Tok::Ident(s) = &t.tok {
+            if banned.contains(&s.as_str()) {
+                hits.push((t.line, s.clone()));
+            }
+        }
+    }
+    hits
+}
+
+/// Per-file panic-site counts feeding the ratchet. Each field counts
+/// *non-test* occurrences.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PanicCounts {
+    /// `.unwrap()` calls.
+    pub unwrap: usize,
+    /// `.expect(…)` calls.
+    pub expect: usize,
+    /// `panic!`, `todo!`, `unimplemented!` invocations.
+    pub panic: usize,
+    /// `unreachable!` invocations.
+    pub unreachable: usize,
+    /// Direct index expressions `x[…]` (including slices `x[a..b]`).
+    pub index: usize,
+}
+
+impl PanicCounts {
+    /// Sum of all categories.
+    pub fn total(&self) -> usize {
+        self.unwrap + self.expect + self.panic + self.unreachable + self.index
+    }
+
+    /// Element-wise accumulation.
+    pub fn add(&mut self, other: &PanicCounts) {
+        self.unwrap += other.unwrap;
+        self.expect += other.expect;
+        self.panic += other.panic;
+        self.unreachable += other.unreachable;
+        self.index += other.index;
+    }
+
+    /// Whether any category of `self` exceeds the same category of
+    /// `budget`.
+    pub fn exceeds(&self, budget: &PanicCounts) -> Option<String> {
+        let pairs = [
+            ("unwrap", self.unwrap, budget.unwrap),
+            ("expect", self.expect, budget.expect),
+            ("panic", self.panic, budget.panic),
+            ("unreachable", self.unreachable, budget.unreachable),
+            ("index", self.index, budget.index),
+        ];
+        let over: Vec<String> = pairs
+            .iter()
+            .filter(|(_, actual, allowed)| actual > allowed)
+            .map(|(name, actual, allowed)| format!("{name} {actual} > {allowed}"))
+            .collect();
+        if over.is_empty() {
+            None
+        } else {
+            Some(over.join(", "))
+        }
+    }
+}
+
+/// Keywords that can directly precede a `[` that opens an array *literal*
+/// rather than an index expression (`return [a, b]`, `as [u8; 2]`, …).
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "as", "in", "return", "break", "mut", "ref", "where", "if", "else", "match", "move", "dyn",
+    "impl", "fn", "let", "const", "static", "type", "use", "pub", "crate", "self", "super",
+    "while", "loop", "for", "yield",
+];
+
+/// Counts the file's non-test panic sites.
+pub fn count_panic_sites(scan: &FileScan) -> PanicCounts {
+    let mut counts = PanicCounts::default();
+    for i in 0..scan.tokens.len() {
+        if scan.is_test(i) {
+            continue;
+        }
+        match &scan.tokens[i].tok {
+            Tok::Ident(s) => {
+                let method_call = scan.punct(i.wrapping_sub(1)) == Some('.')
+                    && scan.punct(i + 1) == Some('(');
+                let macro_call = scan.punct(i + 1) == Some('!');
+                match s.as_str() {
+                    "unwrap" if method_call => counts.unwrap += 1,
+                    "expect" if method_call => counts.expect += 1,
+                    "panic" | "todo" | "unimplemented" if macro_call => counts.panic += 1,
+                    "unreachable" if macro_call => counts.unreachable += 1,
+                    _ => {}
+                }
+            }
+            Tok::Punct('[') if i > 0 => {
+                // An index expression: `[` directly after an identifier,
+                // `)`, or `]` — but not after keywords that introduce
+                // array literals, and not attribute brackets (`#[…]`,
+                // whose preceding token is `#`).
+                let is_index = match &scan.tokens[i - 1].tok {
+                    Tok::Ident(s) => !NON_INDEX_KEYWORDS.contains(&s.as_str()),
+                    Tok::Punct(')') | Tok::Punct(']') => true,
+                    _ => false,
+                };
+                if is_index {
+                    counts.index += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    counts
+}
+
+/// A banned pattern for hot-path bodies, parsed from its policy string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BannedPattern {
+    /// `.name` — a method call, e.g. `.collect`.
+    Method(String),
+    /// `name!` — a macro invocation, e.g. `vec!`, `format!`.
+    Macro(String),
+    /// `A::b` — a two-segment path, e.g. `Vec::new`, `Box::new`.
+    Path(String, String),
+}
+
+impl BannedPattern {
+    /// Parses the policy spelling: `.collect`, `vec!`, or `Vec::new`.
+    pub fn parse(s: &str) -> Option<BannedPattern> {
+        if let Some(name) = s.strip_prefix('.') {
+            return Some(BannedPattern::Method(name.to_string()));
+        }
+        if let Some(name) = s.strip_suffix('!') {
+            return Some(BannedPattern::Macro(name.to_string()));
+        }
+        let (a, b) = s.split_once("::")?;
+        Some(BannedPattern::Path(a.to_string(), b.to_string()))
+    }
+
+    /// The policy spelling back.
+    pub fn display(&self) -> String {
+        match self {
+            BannedPattern::Method(m) => format!(".{m}"),
+            BannedPattern::Macro(m) => format!("{m}!"),
+            BannedPattern::Path(a, b) => format!("{a}::{b}"),
+        }
+    }
+
+    fn matches_at(&self, scan: &FileScan, i: usize) -> bool {
+        match self {
+            BannedPattern::Method(name) => {
+                scan.punct(i.wrapping_sub(1)) == Some('.') && scan.ident(i) == Some(name)
+            }
+            BannedPattern::Macro(name) => {
+                scan.ident(i) == Some(name) && scan.punct(i + 1) == Some('!')
+            }
+            BannedPattern::Path(a, b) => {
+                scan.ident(i) == Some(a)
+                    && scan.punct(i + 1) == Some(':')
+                    && scan.punct(i + 2) == Some(':')
+                    && scan.ident(i + 3) == Some(b)
+            }
+        }
+    }
+}
+
+/// One hot-path hit: `(line, function, pattern spelling)`.
+pub type HotPathHit = (u32, String, String);
+
+/// Scans every function named in `functions` (all occurrences — trait
+/// defaults and impls alike) for the banned allocation patterns.
+///
+/// The scan is *shallow*: only the named function's own body is checked,
+/// not its callees — the dynamic counting-allocator harnesses remain the
+/// end-to-end proof; this rule catches the regressions a reviewer can see
+/// in the diff. Returns the hits plus any manifest entries that matched
+/// no function in the file (stale manifest — itself a violation).
+pub fn scan_hot_paths(
+    scan: &FileScan,
+    functions: &[String],
+    banned: &[BannedPattern],
+) -> (Vec<HotPathHit>, Vec<String>) {
+    let mut hits = Vec::new();
+    let mut found: Vec<bool> = vec![false; functions.len()];
+    let mut i = 0usize;
+    while i < scan.tokens.len() {
+        if scan.ident(i) == Some("fn") && !scan.is_test(i) {
+            if let Some(name) = scan.ident(i + 1) {
+                if let Some(fi) = functions.iter().position(|f| f == name) {
+                    found[fi] = true;
+                    let fname = name.to_string();
+                    // The body is the first brace-balanced block after the
+                    // signature (bounds and return types contain no `{`).
+                    let mut j = i + 2;
+                    while j < scan.tokens.len() && scan.punct(j) != Some('{') {
+                        // A semicolon first means a trait method without a
+                        // default body — nothing to scan.
+                        if scan.punct(j) == Some(';') {
+                            break;
+                        }
+                        j += 1;
+                    }
+                    if scan.punct(j) == Some('{') {
+                        let end = matching_brace(&scan.tokens, j)
+                            .unwrap_or(scan.tokens.len().saturating_sub(1));
+                        for k in j..=end.min(scan.tokens.len().saturating_sub(1)) {
+                            for pat in banned {
+                                if pat.matches_at(scan, k) {
+                                    hits.push((scan.line(k), fname.clone(), pat.display()));
+                                }
+                            }
+                        }
+                        i = end + 1;
+                        continue;
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    let stale = functions
+        .iter()
+        .zip(&found)
+        .filter(|(_, f)| !**f)
+        .map(|(n, _)| n.clone())
+        .collect();
+    (hits, stale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(src: &str) -> FileScan {
+        FileScan::new("test.rs", src)
+    }
+
+    #[test]
+    fn cfg_test_modules_are_masked() {
+        let src = "
+            fn real() { x.unwrap(); }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { y.unwrap(); z.unwrap(); }
+            }
+        ";
+        let counts = count_panic_sites(&scan(src));
+        assert_eq!(counts.unwrap, 1, "only the non-test unwrap counts");
+    }
+
+    #[test]
+    fn test_attr_functions_are_masked_outside_modules() {
+        let src = "
+            #[test]
+            fn standalone() { HashMap::new(); }
+            fn real(m: &HashMap<u32, u32>) {}
+        ";
+        let hits = find_banned_idents(&scan(src), &["HashMap"]);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].0, 4);
+    }
+
+    #[test]
+    fn cfg_test_on_use_item_masks_only_that_item() {
+        let src = "
+            #[cfg(test)]
+            use std::collections::HashSet;
+            fn real() { let t = Instant::now(); }
+        ";
+        let hits = find_banned_idents(&scan(src), &["HashSet", "Instant"]);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].1, "Instant");
+    }
+
+    #[test]
+    fn panic_counting_distinguishes_categories() {
+        let src = r#"
+            fn f(v: &[u32], o: Option<u32>) -> u32 {
+                let a = v[0];
+                let b = o.unwrap();
+                let c = o.expect("msg");
+                if a > 9 { panic!("no") }
+                match a { 0 => unreachable!(), _ => {} }
+                let s = &v[1..3];
+                b + c + s[0]
+            }
+        "#;
+        let counts = count_panic_sites(&scan(src));
+        assert_eq!(
+            counts,
+            PanicCounts { unwrap: 1, expect: 1, panic: 1, unreachable: 1, index: 3 }
+        );
+    }
+
+    #[test]
+    fn index_heuristic_skips_literals_attrs_and_types() {
+        let src = "
+            #[derive(Clone)]
+            struct S { xs: [f64; 4] }
+            fn f() -> [u8; 2] { return [1, 2]; }
+            fn g(s: &S) -> f64 { s.xs[0] }
+            fn h(m: &Vec<Vec<u8>>) -> u8 { m[0][1] }
+        ";
+        let counts = count_panic_sites(&scan(src));
+        assert_eq!(counts.index, 3, "s.xs[0], m[0], [0][1]");
+    }
+
+    #[test]
+    fn unwrap_or_is_not_unwrap() {
+        let src = "fn f(o: Option<u32>) -> u32 { o.unwrap_or(3) + o.unwrap_or_default() }";
+        assert_eq!(count_panic_sites(&scan(src)).unwrap, 0);
+    }
+
+    #[test]
+    fn hot_path_scan_flags_only_listed_functions() {
+        let src = r#"
+            fn hot(&mut self) {
+                let v: Vec<u32> = xs.iter().collect();
+                let w = vec![1, 2];
+                let s = format!("x");
+            }
+            fn cold(&mut self) { let v = vec![9]; }
+        "#;
+        let banned: Vec<BannedPattern> =
+            [".collect", "vec!", "format!", "Vec::new"].iter().map(|s| BannedPattern::parse(s).unwrap()).collect();
+        let (hits, stale) = scan_hot_paths(&scan(src), &["hot".to_string()], &banned);
+        assert_eq!(hits.len(), 3, "{hits:?}");
+        assert!(stale.is_empty());
+        assert!(hits.iter().all(|(_, f, _)| f == "hot"));
+    }
+
+    #[test]
+    fn hot_path_scan_reports_stale_manifest_entries() {
+        let (hits, stale) =
+            scan_hot_paths(&scan("fn present() {}"), &["present".into(), "gone".into()], &[]);
+        assert!(hits.is_empty());
+        assert_eq!(stale, ["gone"]);
+    }
+
+    #[test]
+    fn trait_method_without_body_is_not_stale() {
+        let src = "trait T { fn hot(&self); } impl T for U { fn hot(&self) { x.to_vec(); } }";
+        let banned = [BannedPattern::parse(".to_vec").unwrap()];
+        let (hits, stale) = scan_hot_paths(&scan(src), &["hot".to_string()], &banned);
+        assert_eq!(hits.len(), 1);
+        assert!(stale.is_empty());
+    }
+}

@@ -1,0 +1,43 @@
+//! Clean fixture: no audit rule fires on this file.
+
+use std::collections::BTreeMap;
+
+pub enum Mode {
+    Fast,
+    Slow,
+    Off,
+}
+
+pub fn label(m: &Mode) -> &'static str {
+    match m {
+        Mode::Fast => "fast",
+        Mode::Slow => "slow",
+        Mode::Off => "off",
+    }
+}
+
+pub fn count(m: &BTreeMap<u32, u32>) -> usize {
+    m.len()
+}
+
+pub fn hot(xs: &[u32], out: &mut [u32]) {
+    for (dst, src) in out.iter_mut().zip(xs) {
+        *dst = src.wrapping_add(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use std::time::Instant;
+
+    #[test]
+    fn test_code_is_exempt_from_every_rule() {
+        let t = Instant::now();
+        let mut m = HashMap::new();
+        m.insert(1u32, 2u32);
+        assert_eq!(m.get(&1).copied().unwrap(), 2);
+        assert!(t.elapsed().as_secs_f64() >= 0.0);
+    }
+}

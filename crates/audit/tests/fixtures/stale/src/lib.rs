@@ -1,0 +1,17 @@
+//! Stale fixture: directives that are themselves defective — an unused
+//! suppression, an unknown rule, and a missing reason.
+
+// audit: allow(determinism-time) -- nothing on this or the next line reads a clock
+pub fn quiet() -> u32 {
+    7
+}
+
+// audit: allow(bogus-rule) -- no such rule exists
+pub fn also_quiet() -> u32 {
+    9
+}
+
+// audit: allow(determinism-hash)
+pub fn still_quiet() -> u32 {
+    11
+}

@@ -1,0 +1,19 @@
+//! The tier-1 gate: the committed `audit.policy.json` must hold over the
+//! entire workspace, so `cargo test` fails the moment a banned pattern,
+//! budget overrun, or stale suppression lands — no separate CI step
+//! needed to notice locally.
+
+use netmax_audit::{load_policy, run_audit};
+use std::path::PathBuf;
+
+#[test]
+fn workspace_is_audit_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let policy = load_policy(&root.join("audit.policy.json")).expect("committed policy loads");
+    let report = run_audit(&root, &policy).expect("workspace audit runs");
+    assert!(report.clean(), "\n{}", report.human());
+    // The engine's sanctioned real-clock escape hatches stay suppressed,
+    // not silently dropped: the session deadline sites are three reasoned
+    // allows, and losing them (or adding unreviewed ones) shows up here.
+    assert_eq!(report.suppressions_used, 3, "\n{}", report.human());
+}

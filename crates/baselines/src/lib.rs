@@ -23,6 +23,8 @@
 //! as NetMax, so every comparison in the figure harnesses is apples to
 //! apples.
 
+#![forbid(unsafe_code)]
+
 pub mod ad_psgd;
 pub mod allreduce;
 pub mod bounded_staleness;

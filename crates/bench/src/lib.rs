@@ -23,6 +23,8 @@
 //! `Ts < change period` still holds, so the monitor can track the network
 //! exactly as in §III-A.
 
+#![forbid(unsafe_code)]
+
 pub mod common;
 pub mod experiments;
 pub mod registry;

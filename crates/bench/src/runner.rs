@@ -335,16 +335,26 @@ fn fan_out<T: Sync, R: Send>(tasks: &[T], threads: usize, run: impl Fn(&T) -> R 
                     break;
                 }
                 let result = run(&tasks[i]);
-                slots.lock().expect("result mutex")[i] = Some(result);
+                // Poisoning can only mean another worker panicked; the
+                // slot writes are independent, so recover the guard and
+                // keep filling — `scope` re-raises the panic afterwards.
+                let mut guard =
+                    slots.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                guard[i] = Some(result);
             });
         }
     });
-    slots
+    let out: Vec<R> = slots
         .into_inner()
-        .expect("result mutex")
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
         .into_iter()
-        .map(|slot| slot.expect("every task ran"))
-        .collect()
+        .flatten()
+        .collect();
+    // Every index < tasks.len() is claimed exactly once and a panicking
+    // worker propagates through `scope`, so all slots are filled; the
+    // assert keeps a silent result/task misalignment impossible.
+    assert_eq!(out.len(), tasks.len(), "fan_out lost a task result");
+    out
 }
 
 /// Drives one session to completion, streaming every recorded sample —
@@ -409,19 +419,21 @@ pub fn try_execute(
     validate_cells(spec, &cells, &workload, alpha)?;
 
     let threads = if opts.threads == 0 { default_threads() } else { opts.threads };
-    let results = fan_out(&cells, threads, |&(arm_idx, seed)| -> CellResult {
+    // Construction was validated up front, but the error stays typed all
+    // the way through rather than being unwrapped on a worker thread.
+    let results = fan_out(&cells, threads, |&(arm_idx, seed)| -> Result<CellResult, SessionError> {
         let arm = &spec.arms[arm_idx];
         let mut scenario = spec.scenario.clone();
         scenario.cfg_mut().seed = seed;
         let mut algo = arm.instantiate(alpha);
         let mut env = scenario.build_env_with(workload.clone());
-        let mut session =
-            Session::new(&mut env, algo.driver()).expect("validated before fan-out");
+        let mut session = Session::new(&mut env, algo.driver())?;
         let label = arm.label();
         let report = drive_session(&mut session, &spec.name, &label, seed, opts);
-        CellResult { arm: arm_idx, label, algorithm: arm.algorithm, seed, report }
+        Ok(CellResult { arm: arm_idx, label, algorithm: arm.algorithm, seed, report })
     });
-    Ok(ExperimentResult { spec: spec.clone(), cells: results })
+    let cells = results.into_iter().collect::<Result<Vec<_>, _>>()?;
+    Ok(ExperimentResult { spec: spec.clone(), cells })
 }
 
 /// Validates every cell's session construction up front — one cheap env
@@ -489,26 +501,27 @@ pub fn execute_suspended(
     validate_cells(spec, &cells, &workload, alpha)?;
 
     let threads = if threads == 0 { default_threads() } else { threads };
-    let suspended = fan_out(&cells, threads, |&(arm_idx, seed)| -> SuspendedCell {
-        let arm = &spec.arms[arm_idx];
-        let mut scenario = spec.scenario.clone();
-        scenario.cfg_mut().seed = seed;
-        let mut algo = arm.instantiate(alpha);
-        let mut env = scenario.build_env_with(workload.clone());
-        let mut session =
-            Session::new(&mut env, algo.driver()).expect("validated before fan-out");
-        while session.env().global_step < suspend_after_steps && !session.is_finished() {
-            session.step();
-        }
-        SuspendedCell {
-            arm: arm_idx,
-            label: arm.label(),
-            algorithm: arm.algorithm,
-            seed,
-            session: session.checkpoint(),
-        }
-    });
-    Ok(SuspendedExperiment { spec: spec.clone(), cells: suspended })
+    let suspended =
+        fan_out(&cells, threads, |&(arm_idx, seed)| -> Result<SuspendedCell, SessionError> {
+            let arm = &spec.arms[arm_idx];
+            let mut scenario = spec.scenario.clone();
+            scenario.cfg_mut().seed = seed;
+            let mut algo = arm.instantiate(alpha);
+            let mut env = scenario.build_env_with(workload.clone());
+            let mut session = Session::new(&mut env, algo.driver())?;
+            while session.env().global_step < suspend_after_steps && !session.is_finished() {
+                session.step();
+            }
+            Ok(SuspendedCell {
+                arm: arm_idx,
+                label: arm.label(),
+                algorithm: arm.algorithm,
+                seed,
+                session: session.checkpoint(),
+            })
+        });
+    let cells = suspended.into_iter().collect::<Result<Vec<_>, _>>()?;
+    Ok(SuspendedExperiment { spec: spec.clone(), cells })
 }
 
 /// Resumes a suspended experiment to completion.

@@ -99,7 +99,7 @@ pub fn audit_policy(
             }
         }
     }
-    link_times.sort_by(|a, b| a.partial_cmp(b).expect("time NaN"));
+    link_times.sort_by(f64::total_cmp);
     let cut = link_times[(link_times.len() * 3) / 4];
     let mut slow_mass = 0.0;
     let mut total_mass = 0.0;

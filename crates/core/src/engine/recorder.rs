@@ -241,15 +241,14 @@ impl Recorder {
     /// Records a sample unconditionally and returns it (the session's
     /// `Sampled` event payload).
     pub fn record_now(&mut self, env: &Environment) -> Sample {
-        self.force_record(env);
-        self.samples.last().expect("force_record pushed a sample").clone()
+        self.force_record(env)
     }
 
     /// Records a sample unconditionally. Replicas are evaluated in place
     /// (no cloning) through the recorder's scratch workspace; every
     /// recorded value is bitwise identical to the plain
     /// `mean_loss_across_replicas`/`consensus_diameter`/`accuracy` path.
-    pub fn force_record(&mut self, env: &Environment) {
+    pub fn force_record(&mut self, env: &Environment) -> Sample {
         self.last_recorded_step = env.global_step;
         // Metrics are computed over the *live* fleet: a crashed node's
         // frozen replica is not part of the model being trained (with
@@ -289,14 +288,16 @@ impl Recorder {
             None
         };
         self.records_taken += 1;
-        self.samples.push(Sample {
+        let sample = Sample {
             time_s: env.wall_clock(),
             global_step: env.global_step,
             epoch: env.mean_epoch(),
             train_loss,
             consensus_diameter: consensus,
             test_accuracy,
-        });
+        };
+        self.samples.push(sample.clone());
+        sample
     }
 
     /// Serializes the recorder's state (samples taken so far and cadence

@@ -267,6 +267,7 @@ pub struct Session<'a> {
     /// the one event already in flight when the deadline expired.
     /// Transient — never checkpointed (a resumed session gets a fresh
     /// budget from its caller).
+    // audit: allow(determinism-time) -- the deadline is the one sanctioned real-clock escape hatch; it never feeds simulated state
     deadline: Option<std::time::Instant>,
     /// The fault plan's crash/rejoin schedule, sorted by virtual time
     /// (pure data, derived from the environment at construction).
@@ -314,6 +315,7 @@ impl<'a> Session<'a> {
     /// can thus overshoot by at most one in-flight event, never by a
     /// whole monitor round of further work. **Breaks cross-run
     /// determinism** — the cut point depends on machine speed.
+    // audit: allow(determinism-time) -- deadline entry point; callers opt into real-time cuts explicitly
     pub fn set_deadline(&mut self, at: std::time::Instant) {
         self.deadline = Some(at);
     }
@@ -387,10 +389,8 @@ impl<'a> Session<'a> {
         {
             return self.apply_membership();
         }
-        if self
-            .deadline
-            .is_some_and(|d| std::time::Instant::now() >= d)
-        {
+        // audit: allow(determinism-time) -- the only real-clock read in the engine; compares against the caller-set deadline
+        if self.deadline.is_some_and(|d| std::time::Instant::now() >= d) {
             return self.finish_event();
         }
         if self.stop.satisfied(self.env, self.latest.as_ref()) {
@@ -442,10 +442,7 @@ impl<'a> Session<'a> {
     /// forcing the final sample and report exactly as a condition-driven
     /// stop would.
     pub fn finish_now(&mut self) -> RunReport {
-        match self.finish_event() {
-            StepEvent::Finished { report } => report,
-            _ => unreachable!("finish_event always finishes"),
-        }
+        self.finish_report()
     }
 
     /// Applies the next pending membership transition: flips the active
@@ -468,8 +465,14 @@ impl<'a> Session<'a> {
     }
 
     fn finish_event(&mut self) -> StepEvent {
+        StepEvent::Finished { report: self.finish_report() }
+    }
+
+    /// Forces the final sample and report. Idempotent: the first call's
+    /// report is cached and later calls return it unchanged.
+    fn finish_report(&mut self) -> RunReport {
         if let Some(report) = &self.finished {
-            return StepEvent::Finished { report: report.clone() };
+            return report.clone();
         }
         let report = self.recorder.finish(self.env, &self.algorithm);
         if let Some(sample) = report.samples.last() {
@@ -478,7 +481,7 @@ impl<'a> Session<'a> {
             }
         }
         self.finished = Some(report.clone());
-        StepEvent::Finished { report }
+        report
     }
 
     /// Serializes the complete mid-run state as a versioned JSON document.

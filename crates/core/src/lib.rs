@@ -31,6 +31,7 @@
 //! link speeds are all captured while runs remain fully deterministic.
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod diagnostics;
 pub mod engine;

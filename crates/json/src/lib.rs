@@ -17,6 +17,7 @@
 //! round-trip exactly instead of being squeezed through an `f64`.
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod parse;
 mod write;

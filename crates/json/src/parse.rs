@@ -35,7 +35,7 @@ impl fmt::Display for JsonError {
 impl std::error::Error for JsonError {}
 
 pub(crate) fn parse(text: &str) -> Result<Json, JsonError> {
-    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    let mut p = Parser { text, bytes: text.as_bytes(), pos: 0 };
     p.skip_ws();
     let v = p.value()?;
     p.skip_ws();
@@ -46,6 +46,10 @@ pub(crate) fn parse(text: &str) -> Result<Json, JsonError> {
 }
 
 struct Parser<'a> {
+    /// The input as a `&str`, for panic-free scalar decoding (`pos` stays
+    /// on character boundaries by construction; `str::get` makes that
+    /// assumption fallible instead of a bounds panic).
+    text: &'a str,
     bytes: &'a [u8],
     pos: usize,
 }
@@ -65,7 +69,7 @@ impl Parser<'_> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), JsonError> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -91,7 +95,7 @@ impl Parser<'_> {
     }
 
     fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
-        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+        if self.bytes.get(self.pos..).is_some_and(|r| r.starts_with(word.as_bytes())) {
             self.pos += word.len();
             Ok(value)
         } else {
@@ -100,7 +104,7 @@ impl Parser<'_> {
     }
 
     fn object(&mut self) -> Result<Json, JsonError> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut pairs = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -111,7 +115,7 @@ impl Parser<'_> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_ws();
             let value = self.value()?;
             pairs.push((key, value));
@@ -128,7 +132,7 @@ impl Parser<'_> {
     }
 
     fn array(&mut self) -> Result<Json, JsonError> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -151,7 +155,7 @@ impl Parser<'_> {
     }
 
     fn string(&mut self) -> Result<String, JsonError> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             match self.peek() {
@@ -188,13 +192,16 @@ impl Parser<'_> {
                     return Err(JsonError::parse("unescaped control character", self.pos))
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar (input is a &str, so the
-                    // byte stream is valid UTF-8 by construction).
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest).expect("input was a &str");
-                    let c = s.chars().next().expect("non-empty");
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    // Consume one UTF-8 scalar.
+                    match self.text.get(self.pos..).and_then(|s| s.chars().next()) {
+                        Some(c) => {
+                            out.push(c);
+                            self.pos += c.len_utf8();
+                        }
+                        None => {
+                            return Err(JsonError::parse("malformed UTF-8 sequence", self.pos))
+                        }
+                    }
                 }
             }
         }
@@ -204,7 +211,7 @@ impl Parser<'_> {
         let first = self.hex4()?;
         // Combine UTF-16 surrogate pairs (`😀` style).
         let code = if (0xD800..0xDC00).contains(&first) {
-            if self.bytes[self.pos..].starts_with(b"\\u") {
+            if self.bytes.get(self.pos..).is_some_and(|r| r.starts_with(b"\\u")) {
                 self.pos += 2;
                 let second = self.hex4()?;
                 if !(0xDC00..0xE000).contains(&second) {
@@ -281,7 +288,9 @@ impl Parser<'_> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        let Some(text) = self.text.get(start..self.pos) else {
+            return Err(JsonError::parse("invalid number", start));
+        };
         if fractional {
             text.parse::<f64>()
                 .map(Json::Num)

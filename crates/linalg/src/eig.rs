@@ -54,7 +54,7 @@ pub fn symmetric_eigenvalues(a: &Matrix) -> Vec<f64> {
     }
 
     let mut eigs = m.diagonal();
-    eigs.sort_by(|a, b| b.partial_cmp(a).expect("eigenvalue was NaN"));
+    eigs.sort_by(|a, b| b.total_cmp(a));
     eigs
 }
 

@@ -32,6 +32,7 @@
 //! thousands.
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod eig;
 pub mod matrix;

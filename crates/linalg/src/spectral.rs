@@ -45,7 +45,7 @@ pub fn symmetric_eigen(a: &Matrix) -> SymmetricEigen {
     // Sort eigenpairs by descending eigenvalue.
     let mut order: Vec<usize> = (0..n).collect();
     let diag = m.diagonal();
-    order.sort_by(|&x, &y| diag[y].partial_cmp(&diag[x]).expect("eigenvalue NaN"));
+    order.sort_by(|&x, &y| diag[y].total_cmp(&diag[x]));
 
     let values: Vec<f64> = order.iter().map(|&k| diag[k]).collect();
     let mut vectors = Matrix::zeros(n, n);

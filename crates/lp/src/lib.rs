@@ -25,6 +25,8 @@
 //! per-variable lower bounds), so the solver is reusable and can be tested
 //! against textbook instances independently of NetMax.
 
+#![forbid(unsafe_code)]
+
 pub mod problem;
 pub mod simplex;
 

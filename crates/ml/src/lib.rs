@@ -24,6 +24,8 @@
 //! ([`partition`]): uniform, segmented non-uniform (§V-F), and non-IID
 //! label removal (Tables IV and VII).
 
+#![forbid(unsafe_code)]
+
 pub mod batch;
 pub mod dataset;
 pub mod datasets;

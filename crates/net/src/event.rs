@@ -141,9 +141,7 @@ impl<E> EventQueue<E> {
             .iter()
             .filter_map(|s| s.event.as_ref().map(|e| (s.time, s.seq, e)))
             .collect();
-        out.sort_by(|a, b| {
-            a.0.partial_cmp(&b.0).expect("event time was NaN").then(a.1.cmp(&b.1))
-        });
+        out.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         out
     }
 
@@ -254,9 +252,7 @@ impl<E> EventQueue<E> {
             .iter()
             .enumerate()
             .filter(|&(_, &h)| h != NIL)
-            .min_by(|&(_, &a), &(_, &b)| {
-                self.slots[a].time.partial_cmp(&self.slots[b].time).expect("event time was NaN")
-            })
+            .min_by(|&(_, &a), &(_, &b)| self.slots[a].time.total_cmp(&self.slots[b].time))
             .map(|(b, _)| b)
     }
 

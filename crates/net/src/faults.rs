@@ -300,11 +300,7 @@ impl FaultPlan {
             }
         }
         events.sort_by(|x, y| {
-            x.time_s
-                .partial_cmp(&y.time_s)
-                .expect("membership times are finite")
-                .then(x.up.cmp(&y.up))
-                .then(x.node.cmp(&y.node))
+            x.time_s.total_cmp(&y.time_s).then(x.up.cmp(&y.up)).then(x.node.cmp(&y.node))
         });
         events
     }

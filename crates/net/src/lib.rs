@@ -36,6 +36,8 @@
 //! the network for a link cost at time `t` never mutates it, so simulation
 //! runs are exactly reproducible and events may be replayed.
 
+#![forbid(unsafe_code)]
+
 pub mod conditions;
 pub mod dynamics;
 pub mod event;

@@ -91,6 +91,8 @@
 //! network regimes) with the figure binaries in `crates/bench/src/bin/` —
 //! see the README's figure map.
 
+#![forbid(unsafe_code)]
+
 pub use netmax_baselines as baselines;
 pub use netmax_core as core;
 pub use netmax_linalg as linalg;
