@@ -1,35 +1,53 @@
 //! The `netmax-audit` command-line front end.
 //!
 //! ```text
-//! netmax-audit [--deny] [--json PATH] [--root DIR] [--policy PATH]
+//! netmax-audit [--deny] [--closure] [--dump-graph] [--json PATH]
+//!              [--root DIR] [--policy PATH]
 //! ```
 //!
 //! Scans the workspace against `audit.policy.json`, prints the human
 //! report, and optionally writes the versioned JSON report
-//! (`netmax-audit/report/v1`). Exit status: 0 when clean (or when
-//! violations exist but `--deny` was not passed — report-only mode),
-//! 1 for violations under `--deny`, 2 for usage or I/O errors.
+//! (`netmax-audit/report/v1`). `--closure` recomputes the closure
+//! report (`netmax-audit/closure/v1`) and writes it to the committed
+//! location `audit.closure.json` at the root — CI then diffs the
+//! working tree, so any closure growth must be a reviewed commit.
+//! `--dump-graph` prints the whole resolved call graph. Exit status:
+//! 0 when clean (or when violations exist but `--deny` was not passed —
+//! report-only mode), 1 for violations under `--deny`, 2 for usage or
+//! I/O errors.
 
-use netmax_audit::{load_policy, run_audit};
+use netmax_audit::{load_policy, run_audit_full};
 use netmax_json::ToJson;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 struct Args {
     deny: bool,
+    closure: bool,
+    dump_graph: bool,
     json: Option<PathBuf>,
     root: Option<PathBuf>,
     policy: Option<PathBuf>,
 }
 
-const USAGE: &str = "usage: netmax-audit [--deny] [--json PATH] [--root DIR] [--policy PATH]";
+const USAGE: &str = "usage: netmax-audit [--deny] [--closure] [--dump-graph] [--json PATH] \
+                     [--root DIR] [--policy PATH]";
 
 fn parse_args() -> Result<Args, String> {
-    let mut args = Args { deny: false, json: None, root: None, policy: None };
+    let mut args = Args {
+        deny: false,
+        closure: false,
+        dump_graph: false,
+        json: None,
+        root: None,
+        policy: None,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--deny" => args.deny = true,
+            "--closure" => args.closure = true,
+            "--dump-graph" => args.dump_graph = true,
             "--json" => {
                 args.json = Some(it.next().ok_or("--json needs a path")?.into());
             }
@@ -83,22 +101,37 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let report = match run_audit(&root, &policy) {
-        Ok(r) => r,
+    let outcome = match run_audit_full(&root, &policy) {
+        Ok(o) => o,
         Err(e) => {
             eprintln!("netmax-audit: {e}");
             return ExitCode::from(2);
         }
     };
-    print!("{}", report.human());
+    if args.dump_graph {
+        print!("{}", outcome.graph.dump());
+    }
+    print!("{}", outcome.report.human());
     if let Some(json_path) = args.json {
-        let text = report.to_json().pretty();
+        let text = outcome.report.to_json().pretty();
         if let Err(e) = std::fs::write(&json_path, text) {
             eprintln!("netmax-audit: cannot write {}: {e}", json_path.display());
             return ExitCode::from(2);
         }
     }
-    if args.deny && !report.clean() {
+    if args.closure {
+        let closure_path = root.join("audit.closure.json");
+        if let Err(e) = std::fs::write(&closure_path, outcome.closures.pretty_text()) {
+            eprintln!("netmax-audit: cannot write {}: {e}", closure_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "closure report: {} set(s) written to {}",
+            outcome.closures.closures.len(),
+            closure_path.display()
+        );
+    }
+    if args.deny && !outcome.report.clean() {
         return ExitCode::from(1);
     }
     ExitCode::SUCCESS

@@ -77,6 +77,17 @@ fn is_ident_continue(b: u8) -> bool {
     b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
 }
 
+/// Byte length of the UTF-8 scalar whose leading byte is `b`. Invalid
+/// leading bytes report 1 so the lexer always makes progress.
+fn utf8_len(b: u8) -> usize {
+    match b {
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        0xF0..=0xF7 => 4,
+        _ => 1,
+    }
+}
+
 impl Lexer<'_> {
     fn run(mut self) -> Lexed {
         while let Some(b) = self.peek(0) {
@@ -215,8 +226,13 @@ impl Lexer<'_> {
                 }
             }
             // `'a` / `'static` lifetime: an identifier follows with no
-            // closing quote right after one character.
-            Some(b) if is_ident_start(b) && self.peek(2) != Some(b'\'') => {
+            // closing quote right after one *character* — measured in
+            // UTF-8 bytes, so `'é'` (a 2-byte scalar) is a char literal,
+            // not a lifetime that would desynchronize on the stray quote.
+            Some(b)
+                if is_ident_start(b)
+                    && self.peek(1 + utf8_len(b)) != Some(b'\'') =>
+            {
                 self.pos += 2;
                 while self.peek(0).is_some_and(is_ident_continue) {
                     self.pos += 1;
@@ -381,6 +397,57 @@ mod tests {
             })
             .collect();
         assert!(puncts.windows(2).any(|w| w == ['.', '.']), "{puncts:?}");
+    }
+
+    /// Regression: a quote *inside* a raw string must not desynchronize
+    /// masking — everything after the true closing delimiter is code.
+    #[test]
+    fn raw_strings_with_inner_quotes_do_not_desync() {
+        let cases = [
+            "let y = r#\"a \" b\"#; let t = Instant::now();",
+            "let y = r\"a\\\"; let t = Instant::now();", // `\` is literal in raw strings
+            "let y = br##\"x \"# y\"##; let t = Instant::now();",
+            "let s = r#\"/* \"#; let t = Instant::now();", // comment opener inside raw string
+            "let s = r#\"\"#; let t = Instant::now();",    // empty raw string
+        ];
+        for src in cases {
+            assert!(idents(src).contains(&"Instant".to_string()), "desync on {src:?}");
+        }
+        // And the converse: contents of a raw string never leak as tokens.
+        assert!(!idents("let y = r##\"Instant SystemTime\"##;").contains(&"Instant".to_string()));
+    }
+
+    /// Regression: inner `/* */` pairs inside block comments nest like
+    /// rustc's, and quotes inside comments do not open strings.
+    #[test]
+    fn nested_block_comments_do_not_desync() {
+        let cases = [
+            "/* a /* b */ c */ let t = Instant::now();",
+            "/* \" */ let t = Instant::now(); /* \" */",
+            "/* /*/ */ */ let t = Instant::now();",
+            "/** doc /* inner */ still doc */ let t = Instant::now();",
+        ];
+        for src in cases {
+            let ids = idents(src);
+            assert!(ids.contains(&"Instant".to_string()), "desync on {src:?}");
+            assert!(!ids.contains(&"a".to_string()) && !ids.contains(&"doc".to_string()));
+        }
+        // Unbalanced inner opener comments out the rest of the file.
+        assert!(!idents("/* a /* b */ let t = Instant::now();").contains(&"Instant".to_string()));
+    }
+
+    /// Regression: a multi-byte char literal is a char literal, not a
+    /// lifetime — the old byte-offset check misread `'é'` as `'é` + a
+    /// stray quote that swallowed the rest of the line.
+    #[test]
+    fn multibyte_char_literals_are_not_lifetimes() {
+        let ids = idents("let c = 'é'; let t = Instant::now();");
+        assert!(ids.contains(&"Instant".to_string()), "{ids:?}");
+        let ids = idents("let c = '\u{1F600}'; let t = Instant::now();");
+        assert!(ids.contains(&"Instant".to_string()), "{ids:?}");
+        // Lifetimes still lex as lifetimes, including non-ASCII ones.
+        let ids = idents("fn f<'é>(x: &'é str) -> &'é str { x } Instant");
+        assert!(ids.contains(&"Instant".to_string()), "{ids:?}");
     }
 
     #[test]

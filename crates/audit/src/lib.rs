@@ -33,17 +33,24 @@
 #![forbid(unsafe_code)]
 
 pub mod enums;
+pub mod graph;
+pub mod items;
 pub mod lexer;
 pub mod policy;
 pub mod report;
 pub mod scan;
 pub mod suppress;
 
+pub use graph::CallGraph;
 pub use policy::{Policy, POLICY_SCHEMA};
-pub use report::{AuditReport, BudgetStatus, Violation, REPORT_SCHEMA};
+pub use report::{
+    AuditReport, BudgetStatus, ClosureInfo, ClosureReport, Violation, CLOSURE_SCHEMA,
+    REPORT_SCHEMA,
+};
 
 use report::rules;
 use scan::{BannedPattern, FileScan, PanicCounts};
+use std::collections::BTreeSet;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::fs;
@@ -143,8 +150,29 @@ fn walk(
     Ok(())
 }
 
-/// Runs the full audit of the workspace at `root` under `policy`.
+/// Everything one audit run produces: the violation report, the closure
+/// report CI diffs against the committed copy, and the resolved call
+/// graph (for `--dump-graph`).
+#[derive(Debug, Clone)]
+pub struct AuditOutcome {
+    /// The violation report.
+    pub report: AuditReport,
+    /// The computed closures (empty when the policy declares no root
+    /// sets, i.e. for v1 documents).
+    pub closures: ClosureReport,
+    /// The workspace call graph.
+    pub graph: CallGraph,
+}
+
+/// Runs the full audit of the workspace at `root` under `policy`,
+/// returning only the violation report. See [`run_audit_full`] for the
+/// closure report and call graph.
 pub fn run_audit(root: &Path, policy: &Policy) -> Result<AuditReport, AuditError> {
+    run_audit_full(root, policy).map(|o| o.report)
+}
+
+/// Runs the full audit of the workspace at `root` under `policy`.
+pub fn run_audit_full(root: &Path, policy: &Policy) -> Result<AuditOutcome, AuditError> {
     let banned_patterns: Vec<BannedPattern> = policy
         .hot_path_banned
         .iter()
@@ -251,6 +279,22 @@ pub fn run_audit(root: &Path, policy: &Policy) -> Result<AuditReport, AuditError
         }
     }
 
+    // The call-graph layer: parse items out of every library source
+    // file, resolve calls, and (for v2 policies) enforce the per-closure
+    // rules over everything reachable from the declared root sets.
+    let mut fns = Vec::new();
+    for (path, scan) in &scans {
+        if is_source(path) {
+            fns.extend(items::parse_items(scan));
+        }
+    }
+    let call_graph = CallGraph::build(fns);
+    let mut closures = ClosureReport::default();
+    if !policy.root_sets.is_empty() {
+        closure_checks(policy, &scans, &call_graph, &mut rep, &mut used, &mut closures);
+    }
+    closures.finish();
+
     check_enums(policy, &scans, &mut rep, &mut used);
     check_required_text(policy, &scans, &mut rep);
     check_budgets(policy, &actuals, &mut rep);
@@ -272,7 +316,212 @@ pub fn run_audit(root: &Path, policy: &Policy) -> Result<AuditReport, AuditError
     }
 
     rep.finish();
-    Ok(rep)
+    Ok(AuditOutcome { report: rep, closures, graph: call_graph })
+}
+
+/// Enforces the per-closure rules for every policy root set and fills
+/// the closure report.
+///
+/// Closure findings are keyed by `(file, line, rule, message)` before
+/// they become violations, so a function belonging to several closures
+/// is reported once per offending site, not once per closure. A closure
+/// finding honors either its own rule's suppression or the matching
+/// per-file rule's (`determinism-time`/`-hash` for closure-determinism,
+/// `hot-path-alloc` for closure-alloc) — one allow-comment covers both
+/// layers. The closure panic budget is not suppressible: the committed
+/// budget itself is the escape hatch.
+fn closure_checks<'a>(
+    policy: &Policy,
+    scans: &'a BTreeMap<String, FileScan>,
+    graph: &CallGraph,
+    rep: &mut AuditReport,
+    used: &mut BTreeMap<&'a str, Vec<bool>>,
+    out: &mut ClosureReport,
+) {
+    let time_banned: Vec<&str> =
+        policy.determinism.time_banned.iter().map(String::as_str).collect();
+    let hash_banned: Vec<&str> =
+        policy.determinism.hash_banned.iter().map(String::as_str).collect();
+    let banned_patterns: Vec<BannedPattern> =
+        policy.hot_path_banned.iter().filter_map(|s| BannedPattern::parse(s)).collect();
+
+    // (file, line, rule, alternate suppressible rule, message)
+    let mut candidates: BTreeSet<(String, u32, &'static str, &'static str, String)> =
+        BTreeSet::new();
+
+    for set in &policy.root_sets {
+        // The legacy v1 manifest rides along as extra hot_path roots, so
+        // a half-migrated policy loses no coverage.
+        let mut root_entries = set.roots.clone();
+        if set.name == "hot_path" {
+            root_entries.extend(policy.hot_paths.iter().cloned());
+        }
+        let (roots, missing) = graph.select(&root_entries);
+        let (pruned, missing_prune) = graph.select(&set.prune);
+        for (kind, misses) in [("root", missing), ("prune", missing_prune)] {
+            for (file, func) in misses {
+                rep.violations.push(Violation {
+                    rule: rules::POLICY_TARGET,
+                    file,
+                    line: 0,
+                    message: format!(
+                        "root set `{}` {kind} names `{func}` but the file defines no such fn",
+                        set.name
+                    ),
+                });
+            }
+        }
+        let closure = graph.closure(&roots, &pruned);
+        out.closures.push(ClosureInfo {
+            name: set.name.clone(),
+            roots: graph.ids(&roots),
+            functions: graph.ids(&closure),
+            edges: graph.edge_ids(&closure),
+            unresolved: graph.unresolved_in(&closure),
+        });
+
+        // Rule 1 — determinism, in *every* closure: no real-time clocks,
+        // no iteration-order-nondeterministic containers, no allowlist.
+        for &i in &closure {
+            let f = &graph.fns[i];
+            let Some((open, close)) = f.body else { continue };
+            let Some(scan) = scans.get(&f.file) else { continue };
+            for (line, ident) in scan::find_banned_idents_in(scan, open, close, &time_banned) {
+                candidates.insert((
+                    f.file.clone(),
+                    line,
+                    rules::CLOSURE_DETERMINISM,
+                    rules::DETERMINISM_TIME,
+                    format!("real-time clock `{ident}` in closure member `{}`", f.qual()),
+                ));
+            }
+            for (line, ident) in scan::find_banned_idents_in(scan, open, close, &hash_banned) {
+                candidates.insert((
+                    f.file.clone(),
+                    line,
+                    rules::CLOSURE_DETERMINISM,
+                    rules::DETERMINISM_HASH,
+                    format!("nondeterministic container `{ident}` in closure member `{}`", f.qual()),
+                ));
+            }
+        }
+
+        // Rule 2 — the allocation ban over the hot_path closure.
+        if set.name == "hot_path" {
+            for &i in &closure {
+                let f = &graph.fns[i];
+                let Some((open, close)) = f.body else { continue };
+                let Some(scan) = scans.get(&f.file) else { continue };
+                for (line, pat) in
+                    scan::find_banned_patterns_in(scan, open, close, &banned_patterns)
+                {
+                    candidates.insert((
+                        f.file.clone(),
+                        line,
+                        rules::CLOSURE_ALLOC,
+                        rules::HOT_PATH_ALLOC,
+                        format!("`{pat}` in hot_path-closure member `{}`", f.qual()),
+                    ));
+                }
+            }
+        }
+
+        // Rule 3 — the panic ratchet over the step_loop closure. Sites
+        // are keyed by token index so nested bodies never double-count.
+        if set.name == "step_loop" {
+            if let Some(budget) = &policy.step_loop_budget {
+                let mut seen: BTreeSet<(&str, usize)> = BTreeSet::new();
+                let mut actual = PanicCounts::default();
+                for &i in &closure {
+                    let f = &graph.fns[i];
+                    let Some((open, close)) = f.body else { continue };
+                    let Some(scan) = scans.get(&f.file) else { continue };
+                    for (idx, category) in scan::panic_sites_in(scan, open, close) {
+                        if seen.insert((f.file.as_str(), idx)) {
+                            actual.bump(category);
+                        }
+                    }
+                }
+                let crate_dir = format!("closure:{}", set.name);
+                rep.budgets.push(BudgetStatus {
+                    crate_dir: crate_dir.clone(),
+                    actual,
+                    budget: *budget,
+                });
+                if let Some(over) = actual.exceeds(budget) {
+                    rep.violations.push(Violation {
+                        rule: rules::CLOSURE_PANIC_BUDGET,
+                        file: crate_dir.clone(),
+                        line: 0,
+                        message: format!("panic sites over the closure budget: {over}"),
+                    });
+                }
+                if let Some(slack) = budget.exceeds(&actual) {
+                    rep.violations.push(Violation {
+                        rule: rules::CLOSURE_PANIC_BUDGET_STALE,
+                        file: crate_dir,
+                        line: 0,
+                        message: format!("closure budget above actual count, lower it: {slack}"),
+                    });
+                }
+            }
+        }
+
+        // Rule 4 — the reassociation boundary: every numeric-helper call
+        // out of the strict_numerics closure must be on the approved
+        // list. "Numeric helper" means a function defined in one of the
+        // boundary modules, or an unresolved call with a float-intrinsic
+        // name (`.exp(…)`, `.mul_add(…)` resolve to nothing in the
+        // workspace but are exactly the calls a fast-math tier rewires).
+        if set.name == "strict_numerics" {
+            if let Some(re) = &policy.reassociation {
+                let boundary: BTreeSet<&str> = graph
+                    .fns
+                    .iter()
+                    .filter(|f| re.modules.contains(&f.file))
+                    .map(|f| f.name.as_str())
+                    .collect();
+                for &i in &closure {
+                    let f = &graph.fns[i];
+                    for site in &f.calls {
+                        let name = site.call.name();
+                        let numeric = boundary.contains(name)
+                            || re.intrinsics.iter().any(|x| x == name);
+                        if numeric && !re.approved.iter().any(|a| a == name) {
+                            candidates.insert((
+                                f.file.clone(),
+                                site.line,
+                                rules::REASSOCIATION_BOUNDARY,
+                                rules::REASSOCIATION_BOUNDARY,
+                                format!(
+                                    "`{}` called from strict_numerics member `{}` is not an \
+                                     approved numeric helper",
+                                    site.call.display(),
+                                    f.qual()
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    for (file, line, rule, alt, message) in candidates {
+        let Some(scan) = scans.get(&file) else { continue };
+        let matched = scan
+            .suppressions
+            .iter()
+            .position(|s| (s.rule == rule || s.rule == alt) && s.covers(line));
+        match matched {
+            Some(si) => {
+                if let Some(flags) = used.get_mut(file.as_str()) {
+                    flags[si] = true;
+                }
+            }
+            None => rep.violations.push(Violation { rule, file, line, message }),
+        }
+    }
 }
 
 /// Enum exhaustiveness: every variant of each registered enum must appear

@@ -1,15 +1,26 @@
 //! The machine-readable rule policy (`audit.policy.json` at the
-//! workspace root, schema `netmax-audit/policy/v1`).
+//! workspace root, schema `netmax-audit/policy/v2`).
 //!
 //! The policy is data, not code, so a reviewer can see every allowlist
-//! entry, hot-path registration, and panic budget in one committed JSON
+//! entry, closure root set, and panic budget in one committed JSON
 //! document — and so the ratchet (budgets that may only decrease) is a
 //! one-line diff when a panic site is removed.
+//!
+//! v2 adds the call-graph layer: named **root sets** from which the
+//! analyzer computes reachability closures, an optional panic budget
+//! over the `step_loop` closure, and the `reassociation` boundary
+//! configuration for the `strict_numerics` closure. v1 documents still
+//! parse — the new fields default to empty, and the legacy `hot_paths`
+//! manifest is honored as extra `hot_path` roots either way.
 
+use crate::scan::PanicCounts;
 use netmax_json::{FromJson, Json, JsonError, ToJson};
 
-/// Schema tag of the policy document.
-pub const POLICY_SCHEMA: &str = "netmax-audit/policy/v1";
+/// Schema tag of the current policy document.
+pub const POLICY_SCHEMA: &str = "netmax-audit/policy/v2";
+
+/// The previous schema tag, still accepted on input.
+pub const POLICY_SCHEMA_V1: &str = "netmax-audit/policy/v1";
 
 /// The determinism rule's configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -68,6 +79,46 @@ pub struct EnumCheck {
     pub union: Vec<String>,
 }
 
+/// One root-set (or prune-set) entry: functions named by file, with the
+/// same matching rules as the legacy hot-path manifest — every `fn` in
+/// the file with that bare name, trait defaults and impls alike.
+pub type RootEntry = HotPathEntry;
+
+/// One named closure root set. The closure is everything reachable from
+/// `roots` through the call graph, never entering `prune` — prunes are
+/// the policy-visible escape hatch for conservative false edges (a cold
+/// function that merely shares a method name with a hot one), reviewed
+/// in the committed policy instead of hidden in analyzer code.
+///
+/// Set names carry the rule semantics: `hot_path` gets the allocation
+/// ban, `step_loop` gets the closure panic ratchet, `strict_numerics`
+/// gets the reassociation boundary; every set gets the determinism ban.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RootSet {
+    /// The set's name (`hot_path`, `step_loop`, `strict_numerics`, …).
+    pub name: String,
+    /// Functions the closure starts from.
+    pub roots: Vec<RootEntry>,
+    /// Functions the traversal must never enter.
+    pub prune: Vec<RootEntry>,
+}
+
+/// The reassociation-boundary configuration: the `strict_numerics`
+/// closure may only call numeric helpers from the approved list — the
+/// seam a future reassociated fast-math tier plugs into without any
+/// bitwise-pinned kernel noticing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reassociation {
+    /// Files whose functions count as numeric helpers: any call from
+    /// the closure into these modules must be approved.
+    pub modules: Vec<String>,
+    /// Float-intrinsic method names (`exp`, `mul_add`, …): unresolved
+    /// calls with these names must be approved too.
+    pub intrinsics: Vec<String>,
+    /// The approved callee names.
+    pub approved: Vec<String>,
+}
+
 /// A raw-text requirement: `needle` must appear somewhere in `file`
 /// (string literals included — this is how schema-tag coverage is
 /// pinned, e.g. the v1 checkpoint compat test).
@@ -86,13 +137,23 @@ pub struct Policy {
     pub exclude: Vec<String>,
     /// Determinism rule configuration.
     pub determinism: DeterminismPolicy,
-    /// The hot-path manifest.
+    /// The legacy hot-path manifest (v1) — still honored as extra
+    /// `hot_path` roots in v2 documents.
     pub hot_paths: Vec<HotPathEntry>,
     /// Banned patterns in hot-path bodies (`.collect`, `vec!`,
-    /// `Vec::new` spellings).
+    /// `Vec::new` spellings). Also enforced over the whole `hot_path`
+    /// closure.
     pub hot_path_banned: Vec<String>,
     /// Per-crate panic budgets.
     pub panic_budgets: Vec<PanicBudget>,
+    /// Named closure root sets (v2; empty for v1 documents).
+    pub root_sets: Vec<RootSet>,
+    /// Panic budget over the `step_loop` closure — the ratchet on
+    /// everything `Session::step` can reach, finer than the per-crate
+    /// budgets because cold code does not dilute it.
+    pub step_loop_budget: Option<PanicCounts>,
+    /// Reassociation-boundary configuration for `strict_numerics`.
+    pub reassociation: Option<Reassociation>,
     /// Enum exhaustiveness checks.
     pub enums: Vec<EnumCheck>,
     /// Raw-text requirements.
@@ -117,10 +178,34 @@ fn string_vec(v: &Json, key: &str) -> Result<Vec<String>, JsonError> {
     Vec::<String>::from_json(v.field(key)?)
 }
 
+fn entry_vec(v: &Json, key: &str) -> Result<Vec<RootEntry>, JsonError> {
+    // `prune` may be omitted from a root set entirely.
+    let Some(arr) = v.get(key) else { return Ok(Vec::new()) };
+    arr.as_arr()?
+        .iter()
+        .map(|e| {
+            Ok(RootEntry {
+                file: String::from_json(e.field("file")?)?,
+                functions: string_vec(e, "functions")?,
+            })
+        })
+        .collect()
+}
+
+fn counts_from(v: &Json) -> Result<PanicCounts, JsonError> {
+    Ok(PanicCounts {
+        unwrap: v.field("unwrap")?.as_usize()?,
+        expect: v.field("expect")?.as_usize()?,
+        panic: v.field("panic")?.as_usize()?,
+        unreachable: v.field("unreachable")?.as_usize()?,
+        index: v.field("index")?.as_usize()?,
+    })
+}
+
 impl FromJson for Policy {
     fn from_json(v: &Json) -> Result<Self, JsonError> {
         let schema = v.field("schema")?.as_str()?;
-        if schema != POLICY_SCHEMA {
+        if schema != POLICY_SCHEMA && schema != POLICY_SCHEMA_V1 {
             return Err(JsonError::schema(format!(
                 "unsupported policy schema `{schema}` (expected `{POLICY_SCHEMA}`)"
             )));
@@ -161,6 +246,33 @@ impl FromJson for Policy {
                     })
                 })
                 .collect::<Result<_, JsonError>>()?,
+            // v2 extensions — all optional so v1 documents keep parsing.
+            root_sets: match v.get("root_sets") {
+                None => Vec::new(),
+                Some(arr) => arr
+                    .as_arr()?
+                    .iter()
+                    .map(|e| {
+                        Ok(RootSet {
+                            name: String::from_json(e.field("name")?)?,
+                            roots: entry_vec(e, "roots")?,
+                            prune: entry_vec(e, "prune")?,
+                        })
+                    })
+                    .collect::<Result<_, JsonError>>()?,
+            },
+            step_loop_budget: match v.get("step_loop_budget") {
+                None => None,
+                Some(b) => Some(counts_from(b)?),
+            },
+            reassociation: match v.get("reassociation") {
+                None => None,
+                Some(r) => Some(Reassociation {
+                    modules: string_vec(r, "modules")?,
+                    intrinsics: string_vec(r, "intrinsics")?,
+                    approved: string_vec(r, "approved")?,
+                }),
+            },
             enums: v
                 .field("enums")?
                 .as_arr()?
@@ -189,9 +301,30 @@ impl FromJson for Policy {
     }
 }
 
+fn entries_json(entries: &[RootEntry]) -> Json {
+    Json::Arr(
+        entries
+            .iter()
+            .map(|e| {
+                Json::obj([("file", e.file.to_json()), ("functions", e.functions.to_json())])
+            })
+            .collect(),
+    )
+}
+
+fn counts_to(c: &PanicCounts) -> Json {
+    Json::obj([
+        ("unwrap", c.unwrap.to_json()),
+        ("expect", c.expect.to_json()),
+        ("panic", c.panic.to_json()),
+        ("unreachable", c.unreachable.to_json()),
+        ("index", c.index.to_json()),
+    ])
+}
+
 impl ToJson for Policy {
     fn to_json(&self) -> Json {
-        Json::obj([
+        let mut fields = vec![
             ("schema", Json::Str(POLICY_SCHEMA.into())),
             ("exclude", self.exclude.to_json()),
             (
@@ -266,7 +399,36 @@ impl ToJson for Policy {
                         .collect(),
                 ),
             ),
-        ])
+            (
+                "root_sets",
+                Json::Arr(
+                    self.root_sets
+                        .iter()
+                        .map(|s| {
+                            Json::obj([
+                                ("name", s.name.to_json()),
+                                ("roots", entries_json(&s.roots)),
+                                ("prune", entries_json(&s.prune)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ];
+        if let Some(b) = &self.step_loop_budget {
+            fields.push(("step_loop_budget", counts_to(b)));
+        }
+        if let Some(r) = &self.reassociation {
+            fields.push((
+                "reassociation",
+                Json::obj([
+                    ("modules", r.modules.to_json()),
+                    ("intrinsics", r.intrinsics.to_json()),
+                    ("approved", r.approved.to_json()),
+                ]),
+            ));
+        }
+        Json::obj(fields)
     }
 }
 
@@ -304,6 +466,23 @@ mod tests {
                 union: vec!["b.rs".into(), "c.rs".into()],
             }],
             required_text: vec![RequiredText { file: "d.rs".into(), needle: "v1".into() }],
+            root_sets: vec![RootSet {
+                name: "hot_path".into(),
+                roots: vec![RootEntry {
+                    file: "crates/ml/src/model.rs".into(),
+                    functions: vec!["loss_scratch".into()],
+                }],
+                prune: vec![RootEntry {
+                    file: "crates/core/src/engine/gossip.rs".into(),
+                    functions: vec!["start".into()],
+                }],
+            }],
+            step_loop_budget: Some(PanicCounts { expect: 1, index: 4, ..PanicCounts::default() }),
+            reassociation: Some(Reassociation {
+                modules: vec!["crates/ml/src/params.rs".into()],
+                intrinsics: vec!["exp".into(), "mul_add".into()],
+                approved: vec!["axpy".into(), "exp".into(), "mul_add".into()],
+            }),
         };
         let text = p.to_json().pretty();
         let back = Policy::from_json(&Json::parse(&text).unwrap()).unwrap();
@@ -314,6 +493,56 @@ mod tests {
     fn schema_tag_is_enforced() {
         let doc = Json::parse(r#"{"schema":"netmax-audit/policy/v0"}"#).unwrap();
         assert!(Policy::from_json(&doc).is_err());
+    }
+
+    #[test]
+    fn v1_documents_still_parse_with_defaults() {
+        let doc = Json::parse(
+            r#"{
+                "schema": "netmax-audit/policy/v1",
+                "exclude": [],
+                "determinism": {
+                    "time_banned": ["Instant"], "time_allowlist": [],
+                    "hash_banned": ["HashMap"], "hash_allowlist": []
+                },
+                "hot_paths": [{"file": "src/a.rs", "functions": ["hot"]}],
+                "hot_path_banned": ["vec!"],
+                "panic_budgets": [],
+                "enums": [],
+                "required_text": []
+            }"#,
+        )
+        .unwrap();
+        let p = Policy::from_json(&doc).unwrap();
+        assert!(p.root_sets.is_empty());
+        assert!(p.step_loop_budget.is_none());
+        assert!(p.reassociation.is_none());
+        assert_eq!(p.hot_paths.len(), 1, "the v1 manifest still loads (as extra roots)");
+    }
+
+    #[test]
+    fn prune_may_be_omitted_from_a_root_set() {
+        let doc = Json::parse(
+            r#"{
+                "schema": "netmax-audit/policy/v2",
+                "exclude": [],
+                "determinism": {
+                    "time_banned": [], "time_allowlist": [],
+                    "hash_banned": [], "hash_allowlist": []
+                },
+                "hot_paths": [],
+                "hot_path_banned": [],
+                "panic_budgets": [],
+                "enums": [],
+                "required_text": [],
+                "root_sets": [{"name": "hot_path",
+                               "roots": [{"file": "src/a.rs", "functions": ["hot"]}]}]
+            }"#,
+        )
+        .unwrap();
+        let p = Policy::from_json(&doc).unwrap();
+        assert_eq!(p.root_sets.len(), 1);
+        assert!(p.root_sets[0].prune.is_empty());
     }
 
     #[test]

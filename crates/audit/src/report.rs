@@ -33,6 +33,18 @@ pub mod rules {
     /// Policy points at a file that does not exist or declares no such
     /// enum/function.
     pub const POLICY_TARGET: &str = "policy-target";
+    /// Banned allocation pattern anywhere in the `hot_path` *closure* —
+    /// the transitive version of `hot-path-alloc`.
+    pub const CLOSURE_ALLOC: &str = "closure-alloc";
+    /// Real-time clock or hash container in any closure member's body.
+    pub const CLOSURE_DETERMINISM: &str = "closure-determinism";
+    /// Panic sites over the `step_loop` closure exceed its budget.
+    pub const CLOSURE_PANIC_BUDGET: &str = "closure-panic-budget";
+    /// The `step_loop` closure budget is above the actual count.
+    pub const CLOSURE_PANIC_BUDGET_STALE: &str = "closure-panic-budget-stale";
+    /// The `strict_numerics` closure calls a numeric helper outside the
+    /// approved list.
+    pub const REASSOCIATION_BOUNDARY: &str = "reassociation-boundary";
 }
 
 /// One audit violation.
@@ -89,8 +101,21 @@ impl AuditReport {
         self.violations.is_empty()
     }
 
-    /// Sorts violations into the deterministic report order.
+    /// Normalizes paths and sorts violations into the deterministic
+    /// report order — after this, the emitted report is byte-stable
+    /// across platforms and filesystem iteration order: every path uses
+    /// `/` separators and violations sort by `(file, line, rule)`.
     pub fn finish(&mut self) {
+        for v in &mut self.violations {
+            if v.file.contains('\\') {
+                v.file = v.file.replace('\\', "/");
+            }
+        }
+        for b in &mut self.budgets {
+            if b.crate_dir.contains('\\') {
+                b.crate_dir = b.crate_dir.replace('\\', "/");
+            }
+        }
         self.violations
             .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     }
@@ -184,6 +209,87 @@ impl ToJson for AuditReport {
     }
 }
 
+/// Schema tag of the committed closure report (`audit.closure.json`).
+pub const CLOSURE_SCHEMA: &str = "netmax-audit/closure/v1";
+
+/// One computed closure in the report.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClosureInfo {
+    /// The root set's name.
+    pub name: String,
+    /// Display ids (`file#qual`) of the resolved roots, sorted.
+    pub roots: Vec<String>,
+    /// Display ids of every function in the closure, sorted.
+    pub functions: Vec<String>,
+    /// `caller -> callee` edges with both ends in the closure, sorted.
+    pub edges: Vec<String>,
+    /// Calls the analyzer could not resolve to a workspace function,
+    /// deduplicated and sorted — published so reviewers see exactly
+    /// what the closure proof does *not* cover.
+    pub unresolved: Vec<String>,
+}
+
+/// The committed closure report: what each root set actually reaches.
+/// CI diffs this against a fresh run, so closure growth is a reviewed
+/// change to a committed file, never a silent analyzer decision.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClosureReport {
+    /// One entry per policy root set, sorted by name.
+    pub closures: Vec<ClosureInfo>,
+}
+
+impl ClosureReport {
+    /// Normalizes into the committed byte-stable form: closures sorted
+    /// by name, every list sorted, `/` path separators throughout.
+    pub fn finish(&mut self) {
+        for c in &mut self.closures {
+            for list in [&mut c.roots, &mut c.functions, &mut c.edges, &mut c.unresolved] {
+                for s in list.iter_mut() {
+                    if s.contains('\\') {
+                        *s = s.replace('\\', "/");
+                    }
+                }
+                list.sort();
+                list.dedup();
+            }
+        }
+        self.closures.sort_by(|a, b| a.name.cmp(&b.name));
+    }
+
+    /// The exact text committed to `audit.closure.json` (trailing
+    /// newline included).
+    pub fn pretty_text(&self) -> String {
+        let mut text = self.to_json().pretty();
+        text.push('\n');
+        text
+    }
+}
+
+impl ToJson for ClosureReport {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema", Json::Str(CLOSURE_SCHEMA.into())),
+            (
+                "closures",
+                Json::Arr(
+                    self.closures
+                        .iter()
+                        .map(|c| {
+                            Json::obj([
+                                ("name", c.name.to_json()),
+                                ("roots", c.roots.to_json()),
+                                ("functions", c.functions.to_json()),
+                                ("edges", c.edges.to_json()),
+                                ("unresolved", c.unresolved.to_json()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -239,5 +345,40 @@ mod tests {
         assert!(text.contains("FAIL: 2 violation(s)"));
         assert!(text.contains("b.rs:9"));
         assert!(text.contains("ratchet crates/json"));
+    }
+
+    #[test]
+    fn finish_normalizes_backslash_paths() {
+        let mut r = AuditReport {
+            violations: vec![Violation {
+                rule: rules::DETERMINISM_TIME,
+                file: "crates\\core\\src\\lib.rs".into(),
+                line: 3,
+                message: "m".into(),
+            }],
+            ..AuditReport::default()
+        };
+        r.finish();
+        assert_eq!(r.violations[0].file, "crates/core/src/lib.rs");
+    }
+
+    #[test]
+    fn closure_report_is_sorted_and_stable() {
+        let mut c = ClosureReport {
+            closures: vec![
+                ClosureInfo { name: "step_loop".into(), ..ClosureInfo::default() },
+                ClosureInfo {
+                    name: "hot_path".into(),
+                    functions: vec!["b.rs#g".into(), "a\\x.rs#f".into(), "b.rs#g".into()],
+                    ..ClosureInfo::default()
+                },
+            ],
+        };
+        c.finish();
+        assert_eq!(c.closures[0].name, "hot_path");
+        assert_eq!(c.closures[0].functions, ["a/x.rs#f", "b.rs#g"]);
+        let doc = c.to_json();
+        assert_eq!(doc.field("schema").unwrap().as_str().unwrap(), CLOSURE_SCHEMA);
+        assert!(c.pretty_text().ends_with('\n'));
     }
 }

@@ -253,39 +253,11 @@ const NON_INDEX_KEYWORDS: &[&str] = &[
 /// Counts the file's non-test panic sites.
 pub fn count_panic_sites(scan: &FileScan) -> PanicCounts {
     let mut counts = PanicCounts::default();
-    for i in 0..scan.tokens.len() {
-        if scan.is_test(i) {
-            continue;
-        }
-        match &scan.tokens[i].tok {
-            Tok::Ident(s) => {
-                let method_call = scan.punct(i.wrapping_sub(1)) == Some('.')
-                    && scan.punct(i + 1) == Some('(');
-                let macro_call = scan.punct(i + 1) == Some('!');
-                match s.as_str() {
-                    "unwrap" if method_call => counts.unwrap += 1,
-                    "expect" if method_call => counts.expect += 1,
-                    "panic" | "todo" | "unimplemented" if macro_call => counts.panic += 1,
-                    "unreachable" if macro_call => counts.unreachable += 1,
-                    _ => {}
-                }
-            }
-            Tok::Punct('[') if i > 0 => {
-                // An index expression: `[` directly after an identifier,
-                // `)`, or `]` — but not after keywords that introduce
-                // array literals, and not attribute brackets (`#[…]`,
-                // whose preceding token is `#`).
-                let is_index = match &scan.tokens[i - 1].tok {
-                    Tok::Ident(s) => !NON_INDEX_KEYWORDS.contains(&s.as_str()),
-                    Tok::Punct(')') | Tok::Punct(']') => true,
-                    _ => false,
-                };
-                if is_index {
-                    counts.index += 1;
-                }
-            }
-            _ => {}
-        }
+    if scan.tokens.is_empty() {
+        return counts;
+    }
+    for (_, category) in panic_sites_in(scan, 0, scan.tokens.len() - 1) {
+        counts.bump(category);
     }
     counts
 }
@@ -337,6 +309,106 @@ impl BannedPattern {
                     && scan.punct(i + 2) == Some(':')
                     && scan.ident(i + 3) == Some(b)
             }
+        }
+    }
+}
+
+/// Finds non-test occurrences of any identifier in `banned` within the
+/// inclusive token range — the closure rules scan one function body at
+/// a time instead of the whole file.
+pub fn find_banned_idents_in(
+    scan: &FileScan,
+    open: usize,
+    close: usize,
+    banned: &[&str],
+) -> Vec<IdentHit> {
+    let mut hits = Vec::new();
+    for i in open..=close.min(scan.tokens.len().saturating_sub(1)) {
+        if scan.is_test(i) {
+            continue;
+        }
+        if let Tok::Ident(s) = &scan.tokens[i].tok {
+            if banned.contains(&s.as_str()) {
+                hits.push((scan.tokens[i].line, s.clone()));
+            }
+        }
+    }
+    hits
+}
+
+/// Finds banned-pattern matches within the inclusive token range:
+/// `(line, pattern spelling)` pairs in source order.
+pub fn find_banned_patterns_in(
+    scan: &FileScan,
+    open: usize,
+    close: usize,
+    banned: &[BannedPattern],
+) -> Vec<(u32, String)> {
+    let mut hits = Vec::new();
+    for i in open..=close.min(scan.tokens.len().saturating_sub(1)) {
+        for pat in banned {
+            if pat.matches_at(scan, i) {
+                hits.push((scan.tokens[i].line, pat.display()));
+            }
+        }
+    }
+    hits
+}
+
+/// One panic site within a token range: `(token index, category)`. The
+/// token index (not the line) identifies the site, so overlapping
+/// function bodies — a nested `fn` inside another — never double-count
+/// when a closure contains both.
+pub type PanicSite = (usize, &'static str);
+
+/// Lists the non-test panic sites within the inclusive token range.
+pub fn panic_sites_in(scan: &FileScan, open: usize, close: usize) -> Vec<PanicSite> {
+    let mut sites = Vec::new();
+    for i in open..=close.min(scan.tokens.len().saturating_sub(1)) {
+        if scan.is_test(i) {
+            continue;
+        }
+        match &scan.tokens[i].tok {
+            Tok::Ident(s) => {
+                let method_call = scan.punct(i.wrapping_sub(1)) == Some('.')
+                    && scan.punct(i + 1) == Some('(');
+                let macro_call = scan.punct(i + 1) == Some('!');
+                match s.as_str() {
+                    "unwrap" if method_call => sites.push((i, "unwrap")),
+                    "expect" if method_call => sites.push((i, "expect")),
+                    "panic" | "todo" | "unimplemented" if macro_call => {
+                        sites.push((i, "panic"));
+                    }
+                    "unreachable" if macro_call => sites.push((i, "unreachable")),
+                    _ => {}
+                }
+            }
+            Tok::Punct('[') if i > 0 => {
+                let is_index = match &scan.tokens[i - 1].tok {
+                    Tok::Ident(s) => !NON_INDEX_KEYWORDS.contains(&s.as_str()),
+                    Tok::Punct(')') | Tok::Punct(']') => true,
+                    _ => false,
+                };
+                if is_index {
+                    sites.push((i, "index"));
+                }
+            }
+            _ => {}
+        }
+    }
+    sites
+}
+
+impl PanicCounts {
+    /// Adds one categorized site (as produced by [`panic_sites_in`]).
+    pub fn bump(&mut self, category: &str) {
+        match category {
+            "unwrap" => self.unwrap += 1,
+            "expect" => self.expect += 1,
+            "panic" => self.panic += 1,
+            "unreachable" => self.unreachable += 1,
+            "index" => self.index += 1,
+            _ => {}
         }
     }
 }

@@ -10,9 +10,21 @@
 use crate::lexer::LineComment;
 use std::fmt;
 
-/// The rules a suppression comment may name.
-pub const SUPPRESSIBLE_RULES: &[&str] =
-    &["determinism-time", "determinism-hash", "hot-path-alloc", "enum-exhaustive"];
+/// The rules a suppression comment may name. The closure rules also
+/// honor the matching per-file rule's suppression at the same line
+/// (`determinism-time`/`-hash` covers `closure-determinism`,
+/// `hot-path-alloc` covers `closure-alloc`) so one allow-comment keeps
+/// silencing both layers; the closure *budget* rules are deliberately
+/// not suppressible — the budget itself is the escape hatch.
+pub const SUPPRESSIBLE_RULES: &[&str] = &[
+    "determinism-time",
+    "determinism-hash",
+    "hot-path-alloc",
+    "enum-exhaustive",
+    "closure-alloc",
+    "closure-determinism",
+    "reassociation-boundary",
+];
 
 /// One parsed `audit: allow` comment.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -50,6 +50,9 @@ fn fixture_policy() -> Policy {
             union: vec![],
         }],
         required_text: vec![],
+        root_sets: vec![],
+        step_loop_budget: None,
+        reassociation: None,
     }
 }
 

@@ -1,0 +1,62 @@
+//! Differential guarantee for the v1 → v2 migration: the `hot_path`
+//! closure computed from the committed v2 root sets must cover every
+//! function the retired hand-listed `hot_paths` manifest named. The v2
+//! analyzer may widen coverage (that is the point of the closure), but
+//! it must never silently narrow it.
+
+use netmax_audit::{load_policy, run_audit_full};
+use std::path::PathBuf;
+
+/// The hand-listed manifest exactly as the last v1 policy committed it,
+/// frozen here so a future edit to the live policy cannot rewrite the
+/// baseline this test compares against.
+const V1_MANIFEST: &[(&str, &[&str])] = &[
+    (
+        "crates/ml/src/model.rs",
+        &["loss_scratch", "loss_grad_scratch", "count_correct_scratch"],
+    ),
+    (
+        "crates/core/src/engine/environment.rs",
+        &[
+            "compute_gradient",
+            "gradient_step",
+            "apply_gradient",
+            "pull_params_into",
+            "sample_active_neighbor",
+            "sample_active_from",
+            "book_iteration",
+        ],
+    ),
+    ("crates/core/src/engine/gossip.rs", &["advance", "schedule_next"]),
+    ("crates/net/src/event.rs", &["push", "pop", "insert", "link"]),
+];
+
+#[test]
+fn hot_path_closure_covers_every_v1_manifest_function() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let policy = load_policy(&root.join("audit.policy.json")).expect("committed policy loads");
+    let outcome = run_audit_full(&root, &policy).expect("workspace audit runs");
+    let hot = outcome
+        .closures
+        .closures
+        .iter()
+        .find(|c| c.name == "hot_path")
+        .expect("committed policy declares a hot_path root set");
+    // A closure member id is `file#Owner::name` (or `file#name` for free
+    // fns); a manifest entry is covered when some member in the same
+    // file carries the bare name.
+    let covered = |file: &str, func: &str| {
+        hot.functions.iter().chain(&hot.roots).any(|id| {
+            let Some((f, qual)) = id.split_once('#') else { return false };
+            f == file && qual.rsplit("::").next() == Some(func)
+        })
+    };
+    for (file, funcs) in V1_MANIFEST {
+        for func in *funcs {
+            assert!(
+                covered(file, func),
+                "v1 manifest entry {file}#{func} is not in the v2 hot_path closure"
+            );
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Closure-rule clean fixture: same root shapes as the violating tree —
+//! roots calling transitive helpers — but every helper is allocation-free,
+//! clock-free, panic-free, and numerically approved.
+
+pub mod math;
+
+/// The `hot_path` root.
+pub fn hot_root(xs: &mut [f64]) {
+    spill(xs);
+}
+
+/// Transitive hot-path member: pure slice arithmetic.
+fn spill(xs: &mut [f64]) {
+    for x in xs.iter_mut() {
+        *x += 1.0;
+    }
+}
+
+/// The `step_loop` root.
+pub fn step_root(xs: &mut [f64]) {
+    risky(xs);
+}
+
+/// Transitive step-loop member: no panic sites, no index expressions.
+fn risky(xs: &mut [f64]) {
+    if let Some(first) = xs.first_mut() {
+        *first += 1.0;
+    }
+}
+
+/// The `strict_numerics` root: only approved numeric helpers.
+pub fn kernel(xs: &mut [f64]) {
+    let mut acc = [0.0; 1];
+    math::axpy(2.0, &acc, xs);
+    if let Some(a) = acc.first_mut() {
+        *a += 1.0;
+    }
+}

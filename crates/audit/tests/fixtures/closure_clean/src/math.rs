@@ -1,0 +1,9 @@
+//! The numeric-helper boundary module of the clean fixture: only the
+//! approved `axpy` exists.
+
+/// Approved helper.
+pub fn axpy(a: f64, xs: &[f64], ys: &mut [f64]) {
+    for (y, x) in ys.iter_mut().zip(xs) {
+        *y += a * *x;
+    }
+}

@@ -1,0 +1,20 @@
+//! Closure-rule suppressed fixture: the same violations as the violating
+//! tree, silenced by reasoned suppressions — one written against the
+//! closure rule itself, one against the per-site rule it shadows, so the
+//! alt-rule matching is exercised in both directions.
+
+/// The `hot_path` root.
+pub fn hot_root(xs: &mut [f64]) {
+    spill(xs);
+}
+
+/// Transitive hot-path member with both violations suppressed.
+fn spill(xs: &mut [f64]) {
+    // audit: allow(closure-alloc) -- one-time scratch warm-up, measured cold
+    let extra = vec![1.0; 4];
+    // audit: allow(determinism-time) -- wall clock feeds a deadline, not the math
+    let t = std::time::Instant::now();
+    for (dst, src) in xs.iter_mut().zip(&extra) {
+        *dst += *src + t.elapsed().as_secs_f64() * 0.0;
+    }
+}

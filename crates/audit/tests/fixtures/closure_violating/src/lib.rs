@@ -1,0 +1,40 @@
+//! Closure-rule violating fixture: every closure rule must fire here,
+//! and every violation sits in a *transitive* callee — never in a root —
+//! so a pass proves the rules walk the call graph instead of rescanning
+//! the root bodies.
+
+pub mod math;
+
+/// The `hot_path` root: clean itself, but calls an allocating helper.
+pub fn hot_root(xs: &mut [f64]) {
+    spill(xs);
+}
+
+/// Transitive hot-path member: allocates and reads the wall clock.
+fn spill(xs: &mut [f64]) {
+    let extra = vec![1.0; 4];
+    let t = std::time::Instant::now();
+    for (dst, src) in xs.iter_mut().zip(&extra) {
+        *dst += *src + t.elapsed().as_secs_f64() * 0.0;
+    }
+}
+
+/// The `step_loop` root: clean itself, but calls a panicking helper.
+pub fn step_root(xs: &mut [f64]) {
+    risky(xs);
+}
+
+/// Transitive step-loop member: one `.unwrap()` and one index site.
+fn risky(xs: &mut [f64]) {
+    let first: Option<f64> = xs.first().copied();
+    xs[0] = first.unwrap() + 1.0;
+}
+
+/// The `strict_numerics` root: calls an unapproved boundary helper and
+/// an unapproved float intrinsic.
+pub fn kernel(xs: &mut [f64]) {
+    math::shuffle(xs);
+    for x in xs.iter_mut() {
+        *x = x.exp();
+    }
+}

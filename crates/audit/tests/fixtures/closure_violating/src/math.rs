@@ -1,0 +1,17 @@
+//! The numeric-helper boundary module of the violating fixture:
+//! `axpy` is on the approved list, `shuffle` is not.
+
+/// Approved helper — calling this from the strict closure is fine.
+pub fn axpy(a: f64, xs: &[f64], ys: &mut [f64]) {
+    for (y, x) in ys.iter_mut().zip(xs) {
+        *y += a * *x;
+    }
+}
+
+/// Unapproved helper — calling this from the strict closure must trip
+/// the reassociation boundary.
+pub fn shuffle(xs: &mut [f64]) {
+    if xs.len() >= 2 {
+        xs.swap(0, 1);
+    }
+}

@@ -3,17 +3,37 @@
 //! budget overrun, or stale suppression lands — no separate CI step
 //! needed to notice locally.
 
-use netmax_audit::{load_policy, run_audit};
+use netmax_audit::{load_policy, run_audit_full};
 use std::path::PathBuf;
 
 #[test]
 fn workspace_is_audit_clean() {
     let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
     let policy = load_policy(&root.join("audit.policy.json")).expect("committed policy loads");
-    let report = run_audit(&root, &policy).expect("workspace audit runs");
+    let report = run_audit_full(&root, &policy).expect("workspace audit runs").report;
     assert!(report.clean(), "\n{}", report.human());
     // The engine's sanctioned real-clock escape hatches stay suppressed,
     // not silently dropped: the session deadline sites are three reasoned
     // allows, and losing them (or adding unreviewed ones) shows up here.
     assert_eq!(report.suppressions_used, 3, "\n{}", report.human());
+}
+
+#[test]
+fn committed_closure_report_is_current_and_deterministic() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let policy = load_policy(&root.join("audit.policy.json")).expect("committed policy loads");
+    let first = run_audit_full(&root, &policy).expect("workspace audit runs");
+    let second = run_audit_full(&root, &policy).expect("workspace audit runs twice");
+    // Two independent runs render byte-identically — the closure report
+    // is a pure function of the tree and the policy.
+    assert_eq!(first.closures.pretty_text(), second.closures.pretty_text());
+    // And the committed `audit.closure.json` matches, so closure growth
+    // is always a reviewed diff, never a silent drift.
+    let committed = std::fs::read_to_string(root.join("audit.closure.json"))
+        .expect("committed closure report exists (run `netmax-audit --closure`)");
+    assert_eq!(
+        first.closures.pretty_text(),
+        committed,
+        "audit.closure.json is stale — regenerate with `netmax-audit --closure`"
+    );
 }

@@ -414,13 +414,13 @@ impl Environment {
     /// surfaces as a typed [`SessionError`] instead of a panic.
     fn check_peer(&self, m: usize) -> Result<(), SessionError> {
         if m >= self.nodes.len() {
-            return Err(SessionError::NodeUnavailable(format!(
-                "node {m} is out of range (fleet has {})",
-                self.nodes.len()
-            )));
+            return Err(SessionError::NodeUnavailable {
+                node: m,
+                fleet: Some(self.nodes.len()),
+            });
         }
         if !self.active[m] {
-            return Err(SessionError::NodeUnavailable(format!("node {m} is down")));
+            return Err(SessionError::NodeUnavailable { node: m, fleet: None });
         }
         Ok(())
     }

@@ -53,8 +53,18 @@ pub enum SessionError {
     /// session being restored.
     BadCheckpoint(String),
     /// A peer access named a node that is out of range or currently down
-    /// (crashed per the scenario's fault plan).
-    NodeUnavailable(String),
+    /// (crashed per the scenario's fault plan). `fleet` is `Some(size)`
+    /// when the index was out of range, `None` when the node exists but
+    /// is down. Structured (not a `String`) so the pull path that
+    /// constructs it never allocates; the message is rendered lazily by
+    /// `Display`.
+    NodeUnavailable {
+        /// The node index the peer access named.
+        node: usize,
+        /// `Some(fleet_size)` when `node` was out of range; `None` when
+        /// the node exists but is down.
+        fleet: Option<usize>,
+    },
 }
 
 impl fmt::Display for SessionError {
@@ -62,7 +72,12 @@ impl fmt::Display for SessionError {
         match self {
             SessionError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             SessionError::BadCheckpoint(msg) => write!(f, "bad checkpoint: {msg}"),
-            SessionError::NodeUnavailable(msg) => write!(f, "node unavailable: {msg}"),
+            SessionError::NodeUnavailable { node, fleet: Some(n) } => {
+                write!(f, "node unavailable: node {node} is out of range (fleet has {n})")
+            }
+            SessionError::NodeUnavailable { node, fleet: None } => {
+                write!(f, "node unavailable: node {node} is down")
+            }
         }
     }
 }

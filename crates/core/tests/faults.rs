@@ -124,7 +124,7 @@ fn pull_paths_return_typed_errors_for_bad_or_dead_peers() {
     let mut env = sc.build_env();
     // Out of range: typed error, not a panic.
     let err = env.pull_params(99).unwrap_err();
-    assert!(matches!(err, SessionError::NodeUnavailable(_)), "{err}");
+    assert!(matches!(err, SessionError::NodeUnavailable { .. }), "{err}");
     assert!(err.to_string().contains("out of range"), "{err}");
     // Alive: fine.
     let mut buf = Vec::new();
@@ -134,7 +134,7 @@ fn pull_paths_return_typed_errors_for_bad_or_dead_peers() {
     // typed refusal.
     env.set_active(1, false);
     let err = env.pull_params_into(1, &mut buf).unwrap_err();
-    assert!(matches!(err, SessionError::NodeUnavailable(_)), "{err}");
+    assert!(matches!(err, SessionError::NodeUnavailable { .. }), "{err}");
     assert!(err.to_string().contains("down"), "{err}");
 }
 

@@ -106,9 +106,12 @@ impl<E> EventQueue<E> {
     pub fn pop(&mut self) -> Option<(f64, E)> {
         let b = self.min_bucket()?;
         let s = self.heads[b];
-        self.heads[b] = self.slots[s].next;
+        // Taking the event before unlinking keeps this total: a slot on
+        // a head list is always occupied, but if that invariant ever
+        // broke the queue would report empty instead of panicking.
+        let event = self.slots[s].event.take()?;
         let time = self.slots[s].time;
-        let event = self.slots[s].event.take().expect("min slot is occupied");
+        self.heads[b] = self.slots[s].next;
         self.slots[s].next = self.free;
         self.free = s;
         self.len -= 1;
