@@ -328,8 +328,9 @@ pub fn run_audit_full(root: &Path, policy: &Policy) -> Result<AuditOutcome, Audi
 /// finding honors either its own rule's suppression or the matching
 /// per-file rule's (`determinism-time`/`-hash` for closure-determinism,
 /// `hot-path-alloc` for closure-alloc) — one allow-comment covers both
-/// layers. The closure panic budget is not suppressible: the committed
-/// budget itself is the escape hatch.
+/// layers. The closure panic budget and the tier-isolation rule are not
+/// suppressible: the committed budget (resp. a reviewed policy `prune`)
+/// is the escape hatch.
 fn closure_checks<'a>(
     policy: &Policy,
     scans: &'a BTreeMap<String, FileScan>,
@@ -348,6 +349,10 @@ fn closure_checks<'a>(
     // (file, line, rule, alternate suppressible rule, message)
     let mut candidates: BTreeSet<(String, u32, &'static str, &'static str, String)> =
         BTreeSet::new();
+
+    // Saved for rule 5 (tier isolation) after the per-set loop.
+    let mut strict_closure: Option<BTreeSet<usize>> = None;
+    let mut fast_closure: Option<BTreeSet<usize>> = None;
 
     for set in &policy.root_sets {
         // The legacy v1 manifest rides along as extra hot_path roots, so
@@ -372,6 +377,11 @@ fn closure_checks<'a>(
             }
         }
         let closure = graph.closure(&roots, &pruned);
+        if set.name == "strict_numerics" {
+            strict_closure = Some(closure.clone());
+        } else if set.name == "fast_numerics" {
+            fast_closure = Some(closure.clone());
+        }
         out.closures.push(ClosureInfo {
             name: set.name.clone(),
             roots: graph.ids(&roots),
@@ -504,6 +514,29 @@ fn closure_checks<'a>(
                     }
                 }
             }
+        }
+    }
+
+    // Rule 5 — tier isolation: the strict and fast numerics closures
+    // must be disjoint. A function reachable from both roots is a shared
+    // numeric helper, and an edit aimed at the reassociated tier would
+    // silently move strict-tier bits through it. Like the closure panic
+    // budget this is not suppressible: the fix is duplicating the helper
+    // into the fast module or recording a false edge as a reviewed
+    // `prune` entry in the committed policy.
+    if let (Some(strict), Some(fast)) = (&strict_closure, &fast_closure) {
+        for &i in strict.intersection(fast) {
+            let f = &graph.fns[i];
+            rep.violations.push(Violation {
+                rule: rules::TIER_ISOLATION,
+                file: f.file.clone(),
+                line: f.line,
+                message: format!(
+                    "`{}` is reachable from both the strict_numerics and fast_numerics \
+                     roots — the tiers must not share numeric code",
+                    f.qual()
+                ),
+            });
         }
     }
 

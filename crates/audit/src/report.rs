@@ -45,6 +45,13 @@ pub mod rules {
     /// The `strict_numerics` closure calls a numeric helper outside the
     /// approved list.
     pub const REASSOCIATION_BOUNDARY: &str = "reassociation-boundary";
+    /// A function is reachable from both the `strict_numerics` and
+    /// `fast_numerics` roots. The tiers must never share numeric code:
+    /// a helper edited for the reassociated tier would silently move
+    /// strict-tier bits. Deliberately not suppressible — disjointness is
+    /// restored by duplicating the helper or pruning a false edge in the
+    /// committed policy, never by an inline allow.
+    pub const TIER_ISOLATION: &str = "tier-isolation";
 }
 
 /// One audit violation.

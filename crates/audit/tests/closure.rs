@@ -187,6 +187,69 @@ fn v1_policies_compute_no_closures_and_fire_no_closure_rules() {
     }
 }
 
+/// Minimal two-set policy over the `closure_tiers` fixture: one strict
+/// root, one fast root, both reaching `shared_accum`.
+fn tiers_policy() -> Policy {
+    Policy {
+        exclude: vec![],
+        determinism: DeterminismPolicy {
+            time_banned: vec!["Instant".into()],
+            time_allowlist: vec![],
+            hash_banned: vec!["HashMap".into()],
+            hash_allowlist: vec![],
+        },
+        hot_paths: vec![],
+        hot_path_banned: vec![],
+        panic_budgets: vec![],
+        enums: vec![],
+        required_text: vec![],
+        root_sets: vec![
+            root_set("strict_numerics", &["strict_root"], &[]),
+            root_set("fast_numerics", &["fast_root"], &[]),
+        ],
+        step_loop_budget: None,
+        reassociation: None,
+    }
+}
+
+#[test]
+fn tier_isolation_fires_on_a_shared_helper_and_resists_suppression() {
+    let outcome = audit("closure_tiers", &tiers_policy());
+    let fired = rules_fired(&outcome);
+    assert!(fired.contains(&"tier-isolation"), "{fired:?}");
+    let shared: Vec<&str> = outcome
+        .report
+        .violations
+        .iter()
+        .filter(|v| v.rule == "tier-isolation")
+        .map(|v| v.message.as_str())
+        .collect();
+    assert!(shared.iter().all(|m| m.contains("shared_accum")), "{shared:?}");
+    // The fixture's inline `allow(tier-isolation)` directive must not
+    // silence anything: the rule is not suppressible, so the directive
+    // itself is rejected as naming an unknown rule.
+    assert!(fired.contains(&"bad-suppression"), "{fired:?}");
+    assert_eq!(outcome.report.suppressions_used, 0);
+}
+
+#[test]
+fn tier_isolation_is_silenced_by_a_reviewed_prune_only() {
+    let mut policy = tiers_policy();
+    policy.root_sets[1] = root_set("fast_numerics", &["fast_root"], &["shared_accum"]);
+    let outcome = audit("closure_tiers", &policy);
+    let fired = rules_fired(&outcome);
+    assert!(!fired.contains(&"tier-isolation"), "prune must cut the shared helper: {fired:?}");
+}
+
+#[test]
+fn tier_isolation_stays_off_without_a_fast_numerics_set() {
+    let mut policy = tiers_policy();
+    policy.root_sets.pop();
+    let outcome = audit("closure_tiers", &policy);
+    let fired = rules_fired(&outcome);
+    assert!(!fired.contains(&"tier-isolation"), "{fired:?}");
+}
+
 #[test]
 fn missing_roots_and_prunes_are_policy_target_violations() {
     let mut policy = closure_policy();

@@ -6,8 +6,9 @@
 //!                  [--json out.json] [--threads N] [--sequential]
 //!                  [--progress] [--deadline-s S]
 //!                  [--checkpoint-dir DIR [--suspend-steps K]]
-//!                  [--resume DIR]
+//!                  [--resume DIR] [--tier strict|fast]
 //! netmax-bench throughput [--quick] [--steps N] [--repeats R] [--out path]
+//!                  [--tier strict|fast]
 //! netmax-bench scale [--quick|--tiny] [--repeats R] [--out path]
 //! netmax-bench show <artifact.json>
 //! ```
@@ -54,12 +55,13 @@ const RUN_FLAGS: FlagSpec = FlagSpec {
         "--checkpoint-dir",
         "--suspend-steps",
         "--resume",
+        "--tier",
     ],
     boolean: &["--sequential", "--quick", "--tiny", "--progress"],
 };
 const SHOW_FLAGS: FlagSpec = FlagSpec { value: &[], boolean: &[] };
 const THROUGHPUT_FLAGS: FlagSpec =
-    FlagSpec { value: &["--steps", "--repeats", "--out"], boolean: &["--quick"] };
+    FlagSpec { value: &["--steps", "--repeats", "--out", "--tier"], boolean: &["--quick"] };
 const SCALE_FLAGS: FlagSpec =
     FlagSpec { value: &["--repeats", "--out"], boolean: &["--quick", "--tiny"] };
 
@@ -113,6 +115,7 @@ fn main() -> ExitCode {
         "--steps",
         "--repeats",
         "--out",
+        "--tier",
     ];
     let cmd = args.iter().enumerate().find_map(|(i, a)| {
         let shielded = i > 0 && always_value.contains(&args[i - 1].as_str());
@@ -195,6 +198,9 @@ options:
   --suspend-steps <K>       global steps before suspension (default 100)
   --resume <DIR>            resume checkpoint documents written by
                             --checkpoint-dir and run them to completion
+  --tier <strict|fast>      run: numerics tier for every matching experiment;
+                            throughput: restrict the grid to one tier
+                            (default: strict for run, both for throughput)
   --steps <N>               throughput: global steps per repetition
   --repeats <R>             throughput/scale: repetitions per cell (best kept)
   --out <path>              throughput/scale: output path
@@ -204,6 +210,21 @@ options:
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
     args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(|s| s.as_str())
+}
+
+/// Parses `--tier`, turning an unknown tier name into a typed usage
+/// error (exit 2) instead of silently running the default tier.
+fn parse_tier(args: &[String]) -> Result<Option<netmax_ml::NumericsTier>, ExitCode> {
+    match flag_value(args, "--tier") {
+        None => Ok(None),
+        Some(name) => match netmax_ml::NumericsTier::from_name(name) {
+            Some(t) => Ok(Some(t)),
+            None => {
+                eprintln!("unknown numerics tier `{name}` (want `strict` or `fast`)");
+                Err(ExitCode::from(2))
+            }
+        },
+    }
 }
 
 fn has_flag(args: &[String], flag: &str) -> bool {
@@ -272,6 +293,17 @@ fn run(args: &[String], query: Option<&str>) -> ExitCode {
         eprintln!("--seeds cannot be combined with --resume (seeds come from the checkpoint)");
         return ExitCode::from(2);
     }
+    let tier = match parse_tier(args) {
+        Ok(t) => t,
+        Err(code) => return code,
+    };
+    if resume_dir.is_some() && tier.is_some() {
+        eprintln!(
+            "--tier cannot be combined with --resume (the tier is recorded in the \
+             checkpoint; resuming under a different tier is rejected)"
+        );
+        return ExitCode::from(2);
+    }
     if checkpoint_dir.is_some() && flag_value(args, "--json").is_some() {
         eprintln!("--json cannot be combined with --checkpoint-dir (no reports are produced)");
         return ExitCode::from(2);
@@ -299,6 +331,11 @@ fn run(args: &[String], query: Option<&str>) -> ExitCode {
                 return ExitCode::from(2);
             };
             spec.seeds = seeds;
+        }
+    }
+    if let Some(t) = tier {
+        for spec in &mut specs {
+            spec.scenario.cfg_mut().tier = t;
         }
     }
     let threads = if has_flag(args, "--sequential") {
@@ -619,6 +656,10 @@ fn throughput(args: &[String]) -> ExitCode {
     } else {
         netmax_bench::throughput::ThroughputOptions::full()
     };
+    opts.tier = match parse_tier(args) {
+        Ok(t) => t,
+        Err(code) => return code,
+    };
     if let Some(steps) = flag_value(args, "--steps") {
         match steps.parse::<u64>() {
             Ok(n) if n > 0 => opts.steps = n,
@@ -639,7 +680,7 @@ fn throughput(args: &[String]) -> ExitCode {
     }
     let out = flag_value(args, "--out").unwrap_or("BENCH_throughput.json");
     eprintln!(
-        "measuring sanity-workload throughput: {} steps x {} repeats per (arm, mode)...",
+        "measuring sanity-workload throughput: {} steps x {} repeats per (arm, tier, mode)...",
         opts.steps, opts.repeats
     );
     let rows = netmax_bench::throughput::measure(&opts);

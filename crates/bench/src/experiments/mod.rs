@@ -16,10 +16,12 @@
 //! | [`ablations`] | weighting / Ts / β ablations from DESIGN.md |
 //! | [`faults`] | elastic-network stress suite: drift, crash, churn, stragglers |
 //! | [`scale`] | fleet-scale sweep (32–4 096 workers) on the sparse control plane |
+//! | [`equivalence`] | strict-vs-fast numerics-tier statistical-equivalence gates |
 
 pub mod ablations;
 pub mod accuracy;
 pub mod epoch_time;
+pub mod equivalence;
 pub mod faults;
 pub mod fig03;
 pub mod fig07;

@@ -9,8 +9,8 @@
 
 use crate::common::{ExpCtx, Mode};
 use crate::experiments::{
-    ablations, accuracy, epoch_time, faults, fig03, fig07, fig14, fig15, fig19, loss_curves,
-    nonuniform, scale, scalability, tab05,
+    ablations, accuracy, epoch_time, equivalence, faults, fig03, fig07, fig14, fig15, fig19,
+    loss_curves, nonuniform, scale, scalability, tab05,
 };
 use crate::spec::{Arm, ExperimentSpec, MetricKind};
 use netmax_core::engine::{AlgorithmKind, Scenario, TrainConfig};
@@ -73,6 +73,7 @@ pub fn registry(mode: Mode) -> Vec<ExperimentSpec> {
     specs.extend(ablations::specs(&ablations::Params::for_mode(&ctx)));
     specs.extend(faults::specs(&faults::Params::for_mode(&ctx)));
     specs.extend(scale::specs(&scale::Params::for_mode(&ctx)));
+    specs.extend(equivalence::specs(&equivalence::Params::for_mode(&ctx)));
     specs.push(sanity_spec(mode));
     specs
 }
@@ -155,7 +156,7 @@ mod tests {
         for g in [
             "fig03", "fig05", "fig06", "fig07", "fig08", "fig09", "fig10", "fig11", "fig12",
             "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "tab02", "tab03",
-            "tab05", "abl", "sanity", "scale",
+            "tab05", "abl", "sanity", "scale", "equivalence",
         ] {
             assert!(groups.contains(g), "missing group {g}");
         }

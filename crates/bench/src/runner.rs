@@ -99,11 +99,13 @@ impl ExperimentResult {
         self.cells.iter().find(|c| c.algorithm == kind)
     }
 
-    /// Per-experiment record for the JSON artifact: spec, summary (per
-    /// the spec's metric list), and every cell's full report.
+    /// Per-experiment record for the JSON artifact: spec, numerics tier
+    /// (hoisted from the spec's scenario for quick artifact filtering),
+    /// summary (per the spec's metric list), and every cell's full report.
     pub fn to_record(&self) -> Json {
         Json::obj([
             ("spec", self.spec.to_json()),
+            ("tier", self.spec.scenario.cfg().tier.to_json()),
             ("summary", self.summary()),
             ("cells", self.cells.to_json()),
         ])

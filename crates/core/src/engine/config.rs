@@ -3,6 +3,7 @@
 use super::session::SessionError;
 use super::stop::StopCondition;
 use netmax_json::{FromJson, Json, JsonError, ToJson};
+use netmax_ml::NumericsTier;
 use serde::{Deserialize, Serialize};
 
 /// Whether gradient computation and parameter communication overlap.
@@ -79,6 +80,11 @@ pub struct TrainConfig {
     /// `max_epochs` criterion (the `max_wall_clock_s` safety net always
     /// applies on top) — see [`TrainConfig::effective_stop`].
     pub stop: Option<StopCondition>,
+    /// Numerics tier the gradient hot path runs under. `Strict` (the
+    /// default) is bit-stable against the committed baselines; `Fast`
+    /// opts in to the reassociated kernel family. The tier is recorded in
+    /// checkpoints so a resume can never silently cross tiers.
+    pub tier: NumericsTier,
 }
 
 impl Default for TrainConfig {
@@ -92,6 +98,7 @@ impl Default for TrainConfig {
             execution: ExecutionMode::Parallel,
             seed: 42,
             stop: None,
+            tier: NumericsTier::Strict,
         }
     }
 }
@@ -107,6 +114,7 @@ impl ToJson for TrainConfig {
             ("execution", self.execution.to_json()),
             ("seed", self.seed.to_json()),
             ("stop", self.stop.to_json()),
+            ("tier", self.tier.to_json()),
         ])
     }
 }
@@ -125,6 +133,11 @@ impl FromJson for TrainConfig {
             stop: match v.get("stop") {
                 None | Some(Json::Null) => None,
                 Some(s) => Some(StopCondition::from_json(s)?),
+            },
+            // Absent in pre-tier documents; they were all strict.
+            tier: match v.get("tier") {
+                None | Some(Json::Null) => NumericsTier::Strict,
+                Some(t) => NumericsTier::from_json(t)?,
             },
         })
     }
@@ -222,6 +235,31 @@ mod tests {
         }
         let back = TrainConfig::from_json(&legacy).unwrap();
         assert_eq!(back.stop, None);
+    }
+
+    #[test]
+    fn tier_round_trips_and_legacy_documents_default_to_strict() {
+        let cfg = TrainConfig { tier: NumericsTier::Fast, ..TrainConfig::quick_test() };
+        let back =
+            TrainConfig::from_json(&Json::parse(&cfg.to_json().to_string()).unwrap()).unwrap();
+        assert_eq!(back.tier, NumericsTier::Fast);
+        // Pre-tier documents (no `tier` key) parse as strict.
+        let mut legacy = cfg.to_json();
+        if let Json::Obj(pairs) = &mut legacy {
+            pairs.retain(|(k, _)| k != "tier");
+        }
+        let back = TrainConfig::from_json(&legacy).unwrap();
+        assert_eq!(back.tier, NumericsTier::Strict);
+        // Unknown tags are typed schema errors, not silent strict.
+        let mut bad = cfg.to_json();
+        if let Json::Obj(pairs) = &mut bad {
+            for (k, v) in pairs.iter_mut() {
+                if k == "tier" {
+                    *v = Json::Str("ludicrous".into());
+                }
+            }
+        }
+        assert!(TrainConfig::from_json(&bad).is_err());
     }
 
     #[test]

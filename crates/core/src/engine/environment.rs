@@ -147,6 +147,7 @@ impl Environment {
             })
             .collect();
 
+        let cfg_tier = cfg.tier;
         let rng = StdRng::seed_from_u64(cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let node_rngs = (0..n)
             .map(|i| {
@@ -172,7 +173,7 @@ impl Environment {
             active: vec![true; n],
             num_inactive: 0,
             compute_factors: vec![1.0; n],
-            scratch: Scratch::new(),
+            scratch: Scratch::for_tier(cfg_tier),
         }
     }
 

@@ -29,6 +29,7 @@ use super::environment::Environment;
 use super::recorder::{Recorder, RunReport, Sample};
 use super::stop::StopCondition;
 use netmax_json::{FromJson, Json, JsonError, ToJson};
+use netmax_ml::NumericsTier;
 use netmax_net::MembershipEvent;
 use std::fmt;
 
@@ -509,6 +510,7 @@ impl<'a> Session<'a> {
         Json::obj([
             ("schema", Json::Str(SESSION_CHECKPOINT_SCHEMA.into())),
             ("algorithm", self.algorithm.to_json()),
+            ("tier", self.env.cfg.tier.to_json()),
             ("stop", self.stop.to_json()),
             ("env", self.env.checkpoint()),
             ("recorder", self.recorder.checkpoint()),
@@ -552,6 +554,21 @@ impl<'a> Session<'a> {
             return Err(SessionError::BadCheckpoint(format!(
                 "checkpoint is for algorithm `{algorithm}`, driver is `{}`",
                 driver.name()
+            )));
+        }
+        // A resume must never silently cross numerics tiers: the restored
+        // trajectory would be neither the strict nor the fast one.
+        // Pre-tier documents (no `tier` key) were all strict.
+        let ckpt_tier = match checkpoint.get("tier") {
+            None | Some(Json::Null) => NumericsTier::Strict,
+            Some(t) => NumericsTier::from_json(t)?,
+        };
+        if ckpt_tier != env.cfg.tier {
+            return Err(SessionError::BadCheckpoint(format!(
+                "checkpoint was recorded under the `{}` numerics tier, session is configured \
+                 for `{}`",
+                ckpt_tier.tier_name(),
+                env.cfg.tier.tier_name()
             )));
         }
         let mut session = Session::new(env, driver)?;

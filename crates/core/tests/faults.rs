@@ -309,6 +309,67 @@ fn v1_checkpoints_are_rejected_under_a_nonempty_fault_plan() {
 }
 
 #[test]
+fn cross_tier_resume_is_rejected() {
+    use netmax_ml::NumericsTier;
+    // Record a strict-tier checkpoint, then try to resume it into a
+    // session configured for the fast tier (and vice versa): both must
+    // fail with a typed error naming the two tiers, because the resumed
+    // trajectory would belong to neither.
+    let strict_sc = scenario(31, FaultPlan::none());
+    let mut env = strict_sc.build_env();
+    let mut algo = netmax();
+    let mut session = Session::new(&mut env, algo.driver()).unwrap();
+    let mut steps = 0;
+    while steps < 10 {
+        if let StepEvent::GlobalStep { .. } = session.step() {
+            steps += 1;
+        }
+    }
+    let doc = session.checkpoint();
+    assert!(doc.pretty().contains("\"strict\""), "checkpoint must record its tier");
+    drop(session);
+
+    let mut fast_sc = scenario(31, FaultPlan::none());
+    fast_sc.cfg_mut().tier = NumericsTier::Fast;
+    let mut env2 = fast_sc.build_env();
+    let mut algo2 = netmax();
+    let err = match Session::restore(&mut env2, algo2.driver(), &doc) {
+        Err(e) => e,
+        Ok(_) => panic!("strict checkpoint into a fast session must be rejected"),
+    };
+    assert!(matches!(err, SessionError::BadCheckpoint(_)), "{err}");
+    assert!(err.to_string().contains("strict") && err.to_string().contains("fast"), "{err}");
+
+    // A fast-tier checkpoint resumes fine into a fast session, and a
+    // pre-tier (stripped) document still restores as strict.
+    let mut env3 = fast_sc.build_env();
+    let mut algo3 = netmax();
+    let mut session = Session::new(&mut env3, algo3.driver()).unwrap();
+    let mut steps = 0;
+    while steps < 10 {
+        if let StepEvent::GlobalStep { .. } = session.step() {
+            steps += 1;
+        }
+    }
+    let fast_doc = session.checkpoint();
+    drop(session);
+    let mut env4 = fast_sc.build_env();
+    let mut algo4 = netmax();
+    assert!(Session::restore(&mut env4, algo4.driver(), &fast_doc).is_ok());
+
+    let mut legacy = doc.clone();
+    if let Json::Obj(pairs) = &mut legacy {
+        pairs.retain(|(k, _)| k != "tier");
+    }
+    let mut env5 = strict_sc.build_env();
+    let mut algo5 = netmax();
+    assert!(
+        Session::restore(&mut env5, algo5.driver(), &legacy).is_ok(),
+        "pre-tier checkpoints restore as strict"
+    );
+}
+
+#[test]
 fn unknown_checkpoint_schema_is_a_typed_error() {
     let sc = scenario(9, FaultPlan::none());
     let mut env = sc.build_env();

@@ -59,7 +59,15 @@ pub fn symmetric_eigenvalues(a: &Matrix) -> Vec<f64> {
 }
 
 /// Applies one Jacobi rotation zeroing `m[(p, q)]` (and `m[(q, p)]`).
+///
+/// The iterate stays *exactly* symmetric (both triangles are written with
+/// the same value), so the rotation reads row `p`/`q` contiguously where
+/// the textbook form walks columns: `m[(k, p)] == m[(p, k)]` bit-for-bit,
+/// and `c·a_kp − s·a_kq` is computed from the same inputs either way. The
+/// row walk turns the strided, branchy column update into two slice
+/// passes the compiler vectorises.
 fn jacobi_rotate(m: &mut Matrix, p: usize, q: usize) {
+    debug_assert!(p < q, "jacobi_rotate: requires p < q");
     let apq = m[(p, q)];
     if apq.abs() < f64::MIN_POSITIVE {
         return;
@@ -78,20 +86,32 @@ fn jacobi_rotate(m: &mut Matrix, p: usize, q: usize) {
     let s = t * c;
 
     let n = m.rows();
-    for k in 0..n {
-        if k != p && k != q {
-            let akp = m[(k, p)];
-            let akq = m[(k, q)];
-            m[(k, p)] = c * akp - s * akq;
-            m[(p, k)] = m[(k, p)];
-            m[(k, q)] = s * akp + c * akq;
-            m[(q, k)] = m[(k, q)];
+    {
+        let data = m.as_mut_slice();
+        let (lo, hi) = data.split_at_mut(q * n);
+        let rp = &mut lo[p * n..p * n + n];
+        let rq = &mut hi[..n];
+        for (a, b) in rp.iter_mut().zip(rq.iter_mut()) {
+            let akp = *a;
+            let akq = *b;
+            *a = c * akp - s * akq;
+            *b = s * akp + c * akq;
         }
     }
+    // The four entries in rows p/q that the closed forms govern were
+    // rotated along with the rest of the rows; overwrite them.
     m[(p, p)] = app - t * apq;
     m[(q, q)] = aqq + t * apq;
     m[(p, q)] = 0.0;
     m[(q, p)] = 0.0;
+    // Mirror the rotated rows back onto columns p and q so the exact
+    // symmetry invariant survives for the next rotation.
+    for k in 0..n {
+        if k != p && k != q {
+            m[(k, p)] = m[(p, k)];
+            m[(k, q)] = m[(q, k)];
+        }
+    }
 }
 
 /// Returns the second largest eigenvalue of a symmetric matrix.

@@ -78,6 +78,11 @@ impl Matrix {
         &self.data
     }
 
+    /// Mutable view of the flat row-major storage.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
     /// Immutable view of row `i`.
     #[inline]
     pub fn row(&self, i: usize) -> &[f64] {

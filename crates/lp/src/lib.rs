@@ -31,7 +31,7 @@ pub mod problem;
 pub mod simplex;
 
 pub use problem::{Constraint, LpProblem, Relation};
-pub use simplex::{solve, LpOutcome, LpSolution};
+pub use simplex::{solve, solve_with, LpOutcome, LpSolution, LpWorkspace};
 
 /// Numerical tolerance used for pivoting and feasibility classification.
 pub const LP_EPS: f64 = 1e-9;

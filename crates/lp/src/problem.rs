@@ -99,6 +99,22 @@ impl LpProblem {
         self
     }
 
+    /// Overwrites the right-hand side of constraint row `row`.
+    ///
+    /// The policy generator solves the same constraint *structure* for a
+    /// grid of `(ρ, t̄)` candidates; re-stamping the rhs (and lower
+    /// bounds) in place avoids rebuilding every coefficient row per
+    /// candidate.
+    ///
+    /// # Panics
+    /// Panics if `row` is out of range or `rhs` is not finite.
+    pub fn set_constraint_rhs(&mut self, row: usize, rhs: f64) -> &mut Self {
+        assert!(row < self.constraints.len(), "set_constraint_rhs: row out of range");
+        assert!(rhs.is_finite(), "set_constraint_rhs: rhs must be finite");
+        self.constraints[row].rhs = rhs;
+        self
+    }
+
     /// The objective vector (minimization).
     pub fn objective(&self) -> &[f64] {
         &self.objective

@@ -105,29 +105,50 @@ impl Tableau {
         self.pivots += 1;
     }
 
-    /// Reduced costs for objective `c` given the current basis.
-    fn reduced_costs(&self, c: &[f64]) -> Vec<f64> {
-        // z_j - c_j form: r_j = c_j - Σ_r c_basis[r] * a[r][j]
-        let mut red = c.to_vec();
+    /// Reduced costs `r_j = c_j - Σ_r c_basis[r] * a[r][j]` for the column
+    /// chunk `j0..j1`, written into `red[j0..j1]`. Rows are accumulated in
+    /// ascending order with the same zero-cost skip as a full-width pass,
+    /// so each entry is bit-identical whether computed chunked or whole.
+    fn reduced_costs_chunk(&self, c: &[f64], red: &mut [f64], j0: usize, j1: usize) {
+        red[j0..j1].copy_from_slice(&c[j0..j1]);
         for r in 0..self.m {
             let cb = c[self.basis[r]];
             if cb == 0.0 {
                 continue;
             }
-            for j in 0..self.n {
-                red[j] -= cb * self.at(r, j);
+            let row = &self.a[r * self.n + j0..r * self.n + j1];
+            for (rj, &arj) in red[j0..j1].iter_mut().zip(row) {
+                *rj -= cb * arj;
             }
         }
-        red
+    }
+
+    /// Bland's entering column: the smallest index with negative reduced
+    /// cost, or `None` at optimality. Columns are priced in chunks so the
+    /// scan stops at the first chunk containing an eligible column —
+    /// pricing the full tableau every pivot is the dominant cost of the
+    /// dense simplex, and Bland's rule usually enters a low-index column.
+    fn entering_column(&self, c: &[f64], red: &mut [f64]) -> Option<usize> {
+        const CHUNK: usize = 16;
+        let mut j0 = 0;
+        while j0 < self.n {
+            let j1 = (j0 + CHUNK).min(self.n);
+            self.reduced_costs_chunk(c, red, j0, j1);
+            if let Some(j) = (j0..j1).find(|&j| red[j] < -LP_EPS) {
+                return Some(j);
+            }
+            j0 = j1;
+        }
+        None
     }
 
     /// Runs simplex minimization of `c^T y` from the current basic feasible
-    /// solution. Returns `false` if unbounded.
-    fn minimize(&mut self, c: &[f64], max_pivots: usize) -> bool {
+    /// solution. `red` is scratch for reduced costs (length ≥ n). Returns
+    /// `false` if unbounded.
+    fn minimize(&mut self, c: &[f64], max_pivots: usize, red: &mut [f64]) -> bool {
         for _ in 0..max_pivots {
-            let red = self.reduced_costs(c);
             // Bland: entering column = smallest index with negative reduced cost.
-            let Some(col) = (0..self.n).find(|&j| red[j] < -LP_EPS) else {
+            let Some(col) = self.entering_column(c, red) else {
                 return true; // optimal
             };
             // Ratio test, Bland tie-break on basis index.
@@ -157,12 +178,29 @@ impl Tableau {
         true
     }
 
-    /// Extracts the current value of structural variable `j`.
-    fn value_of(&self, j: usize) -> f64 {
-        self.basis
-            .iter()
-            .position(|&bj| bj == j)
-            .map_or(0.0, |r| self.b[r])
+}
+
+/// Reusable buffers for [`solve_with`]: the tableau, objective rows, and
+/// pricing scratch survive across solves, so a caller sweeping many LPs of
+/// the same shape (the policy generator's `(ρ, t̄)` grid) performs no
+/// steady-state allocation. Every buffer is re-stamped from the problem
+/// before use — reuse changes memory traffic only, never a computed value.
+#[derive(Debug, Default)]
+pub struct LpWorkspace {
+    a: Vec<f64>,
+    b: Vec<f64>,
+    basis: Vec<usize>,
+    phase1_c: Vec<f64>,
+    phase2_c: Vec<f64>,
+    red: Vec<f64>,
+    /// `pos[col]` = row in which `col` is basic (`usize::MAX` if nonbasic).
+    pos: Vec<usize>,
+}
+
+impl LpWorkspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 
@@ -172,6 +210,12 @@ impl Tableau {
 /// artificial variables to zero, and [`LpOutcome::Unbounded`] when phase 2
 /// finds a descent ray.
 pub fn solve(problem: &LpProblem) -> LpOutcome {
+    solve_with(problem, &mut LpWorkspace::new())
+}
+
+/// [`solve`] with caller-provided scratch buffers. Results are identical
+/// to a fresh-workspace solve; only allocation traffic differs.
+pub fn solve_with(problem: &LpProblem, ws: &mut LpWorkspace) -> LpOutcome {
     let n_orig = problem.num_vars();
     let rows = problem.constraints();
     let m = rows.len();
@@ -187,8 +231,12 @@ pub fn solve(problem: &LpProblem) -> LpOutcome {
     let n_total_no_art = n_struct + n_slack;
     let n_total = n_total_no_art + m; // one artificial per row (some unused)
 
-    let mut a = vec![0.0; m * n_total];
-    let mut b = vec![0.0; m];
+    let mut a = std::mem::take(&mut ws.a);
+    a.clear();
+    a.resize(m * n_total, 0.0);
+    let mut b = std::mem::take(&mut ws.b);
+    b.clear();
+    b.resize(m, 0.0);
 
     let mut slack_cursor = 0usize;
     for (r, row) in rows.iter().enumerate() {
@@ -226,31 +274,46 @@ pub fn solve(problem: &LpProblem) -> LpOutcome {
 
     // Install artificial columns: artificial for row r is column
     // n_total_no_art + r, forming an identity basis.
-    let mut basis = Vec::with_capacity(m);
+    let mut basis = std::mem::take(&mut ws.basis);
+    basis.clear();
     for r in 0..m {
         a[r * n_total + n_total_no_art + r] = 1.0;
         basis.push(n_total_no_art + r);
     }
 
     let mut tab = Tableau { a, b, m, n: n_total, basis, pivots: 0 };
+    // Hand the tableau buffers back to the workspace whatever path exits.
+    macro_rules! finish {
+        ($outcome:expr) => {{
+            ws.a = tab.a;
+            ws.b = tab.b;
+            ws.basis = tab.basis;
+            return $outcome;
+        }};
+    }
 
     // Phase 1: minimize the sum of artificials.
-    let mut phase1_c = vec![0.0; n_total];
+    let phase1_c = &mut ws.phase1_c;
+    phase1_c.clear();
+    phase1_c.resize(n_total, 0.0);
     for c in phase1_c.iter_mut().skip(n_total_no_art) {
         *c = 1.0;
     }
     let max_pivots = 50 * (n_total + m + 10);
-    if !tab.minimize(&phase1_c, max_pivots) {
+    let red = &mut ws.red;
+    red.clear();
+    red.resize(n_total, 0.0);
+    if !tab.minimize(phase1_c, max_pivots, red) {
         // Phase 1 objective is bounded below by 0; unbounded is impossible
         // for well-formed input, treat defensively as infeasible.
-        return LpOutcome::Infeasible;
+        finish!(LpOutcome::Infeasible);
     }
     let phase1_obj: f64 = (0..m)
         .filter(|&r| tab.basis[r] >= n_total_no_art)
         .map(|r| tab.b[r])
         .sum();
     if phase1_obj > 1e-7 {
-        return LpOutcome::Infeasible;
+        finish!(LpOutcome::Infeasible);
     }
 
     // Drive any residual artificial variables out of the basis (they are at
@@ -267,7 +330,9 @@ pub fn solve(problem: &LpProblem) -> LpOutcome {
     // Phase 2: original objective on shifted variables (constant offset
     // Σ c_j lb_j added back at extraction). Forbid re-entry of artificials
     // by pricing them prohibitively.
-    let mut phase2_c = vec![0.0; n_total];
+    let phase2_c = &mut ws.phase2_c;
+    phase2_c.clear();
+    phase2_c.resize(n_total, 0.0);
     phase2_c[..n_orig].copy_from_slice(problem.objective());
     // Large positive cost keeps artificial columns out of the basis.
     let big = 1.0
@@ -279,16 +344,29 @@ pub fn solve(problem: &LpProblem) -> LpOutcome {
     for c in phase2_c.iter_mut().skip(n_total_no_art) {
         *c = big;
     }
-    if !tab.minimize(&phase2_c, max_pivots) {
-        return LpOutcome::Unbounded;
+    if !tab.minimize(phase2_c, max_pivots, red) {
+        finish!(LpOutcome::Unbounded);
     }
 
-    // Extract solution: x_j = lb_j + y_j.
+    // Extract solution: x_j = lb_j + y_j. A column is basic in at most
+    // one row, so the row map reads off the same value `value_of` finds
+    // by scanning.
+    let pos = &mut ws.pos;
+    pos.clear();
+    pos.resize(n_total, usize::MAX);
+    for r in 0..m {
+        if pos[tab.basis[r]] == usize::MAX {
+            pos[tab.basis[r]] = r;
+        }
+    }
     let x: Vec<f64> = (0..n_orig)
-        .map(|j| lb[j] + tab.value_of(j))
+        .map(|j| {
+            let y = if pos[j] == usize::MAX { 0.0 } else { tab.b[pos[j]] };
+            lb[j] + y
+        })
         .collect();
     let objective = problem.objective_value(&x);
-    LpOutcome::Optimal(LpSolution { x, objective, pivots: tab.pivots })
+    finish!(LpOutcome::Optimal(LpSolution { x, objective, pivots: tab.pivots }));
 }
 
 #[cfg(test)]

@@ -64,6 +64,14 @@ impl Dataset {
         self.labels[i]
     }
 
+    /// The raw sample-major feature storage (example `i` occupies
+    /// `features()[i·dim .. (i+1)·dim]`) — the zero-copy view the
+    /// fast-tier blocked kernels index directly.
+    #[inline]
+    pub fn features(&self) -> &[f32] {
+        &self.features
+    }
+
     /// All labels.
     pub fn labels(&self) -> &[u32] {
         &self.labels

@@ -23,22 +23,32 @@
 //! class counts of the originals, partitioned by the paper's three schemes
 //! ([`partition`]): uniform, segmented non-uniform (§V-F), and non-IID
 //! label removal (Tables IV and VII).
+//!
+//! Gradient numerics run under an explicit [`tier::NumericsTier`]: the
+//! default **strict** tier is bit-stable against the committed baselines,
+//! while the opt-in **fast** tier dispatches through a
+//! [`tier::KernelTable`] to the reassociated kernel family in [`fast`]
+//! (bounded-error polynomial `exp`/`ln`, multi-lane reductions). The two
+//! families never share accumulation code paths.
 
 #![forbid(unsafe_code)]
 
 pub mod batch;
 pub mod dataset;
 pub mod datasets;
+pub mod fast;
 pub mod metrics;
 pub mod model;
 pub mod optim;
 pub mod params;
 pub mod partition;
 pub mod profile;
+pub mod tier;
 pub mod workload;
 
 pub use dataset::Dataset;
 pub use model::{LeastSquares, Mlp, Model, ModelKind, SoftmaxRegression};
+pub use tier::{KernelTable, NumericsTier};
 pub use optim::{SgdConfig, SgdState};
 pub use partition::Partition;
 pub use profile::ModelProfile;

@@ -18,6 +18,8 @@
 //!   against a model that satisfies their hypotheses.
 
 use crate::dataset::Dataset;
+use crate::fast::{softmax_xent_grad_fast, transpose_block_fast};
+use crate::tier::{KernelTable, NumericsTier};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -30,7 +32,15 @@ use serde::{Deserialize, Serialize};
 /// first use and reused on every subsequent call. Buffers only ever grow,
 /// so a scratch can be shared across models of different shapes (the
 /// largest shape wins).
-#[derive(Debug, Clone, Default)]
+///
+/// The scratch also carries the session's [`KernelTable`]: gradient entry
+/// points branch **once** on [`KernelTable::tier`] and dispatch either to
+/// the strict cores (bit-stable, the default) or to the fast-tier cores,
+/// which reach every reassociated kernel through the table. Evaluation
+/// entry points (`loss_scratch`, `count_correct_scratch`, `predict`) stay
+/// strict under both tiers, so recorded metric curves differ between
+/// tiers only through the trained parameters.
+#[derive(Debug, Clone)]
 pub struct Scratch {
     /// Batch-mean gradient output of the last
     /// [`Model::loss_grad_scratch`] call (`num_params` long).
@@ -52,13 +62,44 @@ pub struct Scratch {
     /// Example-index buffer for evaluation subsampling
     /// ([`crate::metrics::subsampled_loss_scratch`]).
     pub(crate) idx: Vec<usize>,
+    /// Per-sample coefficient row for the fast-tier backward
+    /// ([`softmax_xent_grad_fast`]).
+    coefs: Vec<f32>,
+    /// Per-chunk label buffer for the fast-tier forward.
+    labels: Vec<u32>,
+    /// The tier's kernel family; chosen once at construction.
+    pub kernels: &'static KernelTable,
+}
+
+impl Default for Scratch {
+    fn default() -> Self {
+        Self::for_tier(NumericsTier::Strict)
+    }
 }
 
 impl Scratch {
-    /// Creates an empty workspace; buffers are sized lazily by the first
-    /// `loss_grad_scratch` call.
+    /// Creates an empty strict-tier workspace; buffers are sized lazily
+    /// by the first `loss_grad_scratch` call.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty workspace dispatching through `tier`'s kernels.
+    pub fn for_tier(tier: NumericsTier) -> Self {
+        Self {
+            grad: Vec::new(),
+            h: Vec::new(),
+            logits: Vec::new(),
+            dh: Vec::new(),
+            xb: Vec::new(),
+            logits_all: Vec::new(),
+            maxs: Vec::new(),
+            sums: Vec::new(),
+            idx: Vec::new(),
+            coefs: Vec::new(),
+            labels: Vec::new(),
+            kernels: tier.kernels(),
+        }
     }
 }
 
@@ -376,6 +417,46 @@ impl SoftmaxRegression {
         }
         loss / batch.len() as f32
     }
+
+    /// Fast-tier gradient core: same chunking as [`Self::loss_grad_core`],
+    /// but the whole forward/backward runs through the reassociated block
+    /// kernel ([`softmax_xent_grad_fast`]). Statistically equivalent to
+    /// the strict core, not bit-equal.
+    fn loss_grad_fast(&self, data: &Dataset, batch: &[usize], scratch: &mut Scratch) -> f32 {
+        let Scratch { grad, xb, logits_all, maxs, sums, coefs, labels, .. } = scratch;
+        grad.resize(self.num_params(), 0.0);
+        assert_eq!(data.dim(), self.dim, "dataset dim mismatch");
+        assert!(!batch.is_empty(), "empty batch");
+        grad.fill(0.0);
+        let (w, b) = self.params.split_at(self.dim * self.classes);
+        let (gw, gb) = grad.split_at_mut(self.dim * self.classes);
+        let inv = 1.0 / batch.len() as f32;
+        let mut loss = 0.0f32;
+        for chunk in batch.chunks(BATCH_CHUNK) {
+            let nb = chunk.len();
+            transpose_block_fast(data.features(), chunk, self.dim, xb);
+            labels.clear();
+            labels.extend(chunk.iter().map(|&i| data.label(i)));
+            loss += softmax_xent_grad_fast(
+                w,
+                b,
+                xb,
+                data.features(),
+                chunk,
+                labels,
+                self.dim,
+                nb,
+                logits_all,
+                maxs,
+                sums,
+                coefs,
+                gw,
+                gb,
+                inv,
+            );
+        }
+        loss * inv
+    }
 }
 
 /// Numerically stable in-place softmax over a compile-time length —
@@ -436,6 +517,9 @@ impl Model for SoftmaxRegression {
     }
 
     fn loss_grad_scratch(&self, data: &Dataset, batch: &[usize], scratch: &mut Scratch) -> f32 {
+        if scratch.kernels.tier == NumericsTier::Fast {
+            return self.loss_grad_fast(data, batch, scratch);
+        }
         let Scratch { grad, xb, logits_all, maxs, sums, .. } = scratch;
         grad.resize(self.num_params(), 0.0);
         self.loss_grad_core(data, batch, grad, (xb, logits_all, maxs, sums))
@@ -623,6 +707,78 @@ impl Mlp {
         }
         loss * inv
     }
+
+    /// Fast-tier gradient core: the per-sample structure of
+    /// [`Self::loss_grad_core`], but every dot/axpy/exp/ln dispatches
+    /// through the scratch's [`KernelTable`] function pointers, so the
+    /// whole pass runs on the reassociated family without touching the
+    /// strict kernels.
+    fn loss_grad_fast(&self, data: &Dataset, batch: &[usize], scratch: &mut Scratch) -> f32 {
+        let k = scratch.kernels;
+        let Scratch { grad, h, logits, dh, .. } = scratch;
+        grad.resize(self.num_params(), 0.0);
+        assert_eq!(data.dim(), self.dim, "dataset dim mismatch");
+        assert!(!batch.is_empty(), "empty batch");
+        grad.fill(0.0);
+        h.resize(self.hidden, 0.0);
+        logits.resize(self.classes, 0.0);
+        dh.resize(self.hidden, 0.0);
+        let inv = 1.0 / batch.len() as f32;
+        let mut loss = 0.0f32;
+
+        let (w1_len, b1_len, w2_len) =
+            (self.hidden * self.dim, self.hidden, self.classes * self.hidden);
+        let (w1, b1, w2, b2) = self.split();
+        let (gw1, rest) = grad.split_at_mut(w1_len);
+        let (gb1, rest) = rest.split_at_mut(b1_len);
+        let (gw2, gb2) = rest.split_at_mut(w2_len);
+
+        for &i in batch {
+            let x = data.feature(i);
+            let y = data.label(i) as usize;
+            for (j, hj) in h.iter_mut().enumerate() {
+                let row = &w1[j * self.dim..(j + 1) * self.dim];
+                *hj = ((k.dot)(row, x) + b1[j]).max(0.0);
+            }
+            for (c, lc) in logits.iter_mut().enumerate() {
+                let row = &w2[c * self.hidden..(c + 1) * self.hidden];
+                *lc = (k.dot)(row, h) + b2[c];
+            }
+            let maxv = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0f32;
+            for l in logits.iter_mut() {
+                *l = (k.exp)(*l - maxv);
+                sum += *l;
+            }
+            let isum = 1.0 / sum;
+            for l in logits.iter_mut() {
+                *l *= isum;
+            }
+            loss -= (k.ln)(logits[y].max(1e-12));
+
+            dh.fill(0.0);
+            for c in 0..self.classes {
+                let d = (logits[c] - if c == y { 1.0 } else { 0.0 }) * inv;
+                if d == 0.0 {
+                    continue;
+                }
+                let row = &mut gw2[c * self.hidden..(c + 1) * self.hidden];
+                (k.axpy)(d, h, row);
+                gb2[c] += d;
+                let w2row = &w2[c * self.hidden..(c + 1) * self.hidden];
+                (k.axpy)(d, w2row, dh);
+            }
+            for (j, dhj) in dh.iter().enumerate() {
+                if h[j] <= 0.0 || *dhj == 0.0 {
+                    continue;
+                }
+                let row = &mut gw1[j * self.dim..(j + 1) * self.dim];
+                (k.axpy)(*dhj, x, row);
+                gb1[j] += *dhj;
+            }
+        }
+        loss * inv
+    }
 }
 
 impl Model for Mlp {
@@ -644,6 +800,9 @@ impl Model for Mlp {
     }
 
     fn loss_grad_scratch(&self, data: &Dataset, batch: &[usize], scratch: &mut Scratch) -> f32 {
+        if scratch.kernels.tier == NumericsTier::Fast {
+            return self.loss_grad_fast(data, batch, scratch);
+        }
         let Scratch { grad, h, logits, dh, .. } = scratch;
         grad.resize(self.num_params(), 0.0);
         self.loss_grad_core(data, batch, grad, h, logits, dh)
@@ -726,6 +885,31 @@ impl LeastSquares {
     fn value(&self, x: &[f32]) -> f32 {
         crate::params::dot(&self.params[..self.dim], x) + self.params[self.dim]
     }
+
+    /// Fast-tier gradient core: [`Model::loss_grad`]'s structure with
+    /// every dot/axpy/norm dispatched through the scratch's
+    /// [`KernelTable`].
+    fn loss_grad_fast(&self, data: &Dataset, batch: &[usize], scratch: &mut Scratch) -> f32 {
+        let k = scratch.kernels;
+        let grad = &mut scratch.grad;
+        grad.resize(self.num_params(), 0.0);
+        assert!(!batch.is_empty(), "empty batch");
+        grad.fill(0.0);
+        let inv = 1.0 / batch.len() as f32;
+        let mut loss = 0.0f32;
+        for &i in batch {
+            let x = data.feature(i);
+            let y = data.label(i) as f32;
+            let r = (k.dot)(&self.params[..self.dim], x) + self.params[self.dim] - y;
+            loss += 0.5 * r * r;
+            (k.axpy)(r * inv, x, &mut grad[..self.dim]);
+            grad[self.dim] += r * inv;
+        }
+        let w = &self.params[..self.dim];
+        loss += 0.5 * self.l2 * (k.norm_sq)(w) * batch.len() as f32;
+        (k.axpy)(self.l2, w, &mut grad[..self.dim]);
+        loss * inv
+    }
 }
 
 impl Model for LeastSquares {
@@ -760,6 +944,14 @@ impl Model for LeastSquares {
         loss += 0.5 * self.l2 * crate::params::norm_sq(w) * batch.len() as f32;
         crate::params::axpy(self.l2, w, &mut grad[..self.dim]);
         loss * inv + 0.0 // already averaged data term; reg term below
+    }
+
+    fn loss_grad_scratch(&self, data: &Dataset, batch: &[usize], scratch: &mut Scratch) -> f32 {
+        if scratch.kernels.tier == NumericsTier::Fast {
+            return self.loss_grad_fast(data, batch, scratch);
+        }
+        scratch.grad.resize(self.num_params(), 0.0);
+        self.loss_grad(data, batch, &mut scratch.grad)
     }
 
     fn loss(&self, data: &Dataset, batch: &[usize]) -> f32 {
@@ -998,6 +1190,60 @@ mod tests {
         let loss_s = small.loss_grad_scratch(&data, &batch, &mut scratch);
         assert_eq!(loss.to_bits(), loss_s.to_bits());
         assert_eq!(scratch.grad, grad);
+    }
+
+    #[test]
+    fn fast_tier_tracks_the_strict_gradient() {
+        // The fast tier reassociates sums and uses polynomial exp/ln, so
+        // it is *not* bit-equal — but every loss and gradient coordinate
+        // must stay within a tight relative band of the strict tier.
+        let data = small_data();
+        let models: Vec<Box<dyn Model>> = vec![
+            Box::new(SoftmaxRegression::new(8, 3, 7)),
+            Box::new(Mlp::new(8, 12, 3, 7)),
+            Box::new(LeastSquares::new(8, 0.01, 7)),
+        ];
+        let batch: Vec<usize> = (0..64).collect();
+        for m in &models {
+            let mut strict = Scratch::new();
+            let mut fast = Scratch::for_tier(NumericsTier::Fast);
+            let ls = m.loss_grad_scratch(&data, &batch, &mut strict);
+            let lf = m.loss_grad_scratch(&data, &batch, &mut fast);
+            assert!((ls - lf).abs() <= 5e-4 * (1.0 + ls.abs()), "loss {ls} vs {lf}");
+            assert_eq!(strict.grad.len(), fast.grad.len());
+            for (k, (a, b)) in strict.grad.iter().zip(&fast.grad).enumerate() {
+                assert!((a - b).abs() <= 5e-4 * (1.0 + a.abs()), "param {k}: {a} vs {b}");
+            }
+            // Evaluation stays strict under both tiers: bit-equal curves
+            // for identical parameters.
+            let es = m.loss_scratch(&data, &batch, &mut strict);
+            let ef = m.loss_scratch(&data, &batch, &mut fast);
+            assert_eq!(es.to_bits(), ef.to_bits());
+        }
+    }
+
+    #[test]
+    fn fast_softmax_handles_ragged_and_chunked_batches() {
+        // Batch lengths around BATCH_CHUNK exercise the multi-chunk path
+        // and a ragged tail; every chunk must contribute exactly once.
+        let data = small_data();
+        let m = SoftmaxRegression::new(8, 3, 7);
+        let mut rng = StdRng::seed_from_u64(3);
+        for len in [1usize, 2, BATCH_CHUNK - 1, BATCH_CHUNK, BATCH_CHUNK + 5] {
+            let batch: Vec<usize> =
+                (0..len).map(|_| rng.gen_range(0..data.len())).collect();
+            let mut strict = Scratch::new();
+            let mut fast = Scratch::for_tier(NumericsTier::Fast);
+            let ls = m.loss_grad_scratch(&data, &batch, &mut strict);
+            let lf = m.loss_grad_scratch(&data, &batch, &mut fast);
+            assert!((ls - lf).abs() <= 5e-4 * (1.0 + ls.abs()), "len {len}: {ls} vs {lf}");
+            for (k, (a, b)) in strict.grad.iter().zip(&fast.grad).enumerate() {
+                assert!(
+                    (a - b).abs() <= 5e-4 * (1.0 + a.abs()),
+                    "len {len}, param {k}: {a} vs {b}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -4,6 +4,7 @@
 
 use netmax_ml::batch::BatchSampler;
 use netmax_ml::dataset::Dataset;
+use netmax_ml::fast;
 use netmax_ml::model::ModelKind;
 use netmax_ml::optim::{SgdConfig, SgdState};
 use netmax_ml::partition::Partition;
@@ -131,6 +132,88 @@ proptest! {
             prop_assert_eq!(seen.len(), shard_len, "epoch {}", epoch);
             prop_assert_eq!(seen, (0..shard_len).collect::<Vec<_>>());
         }
+    }
+
+    /// Fast-tier dot stays within its reassociation error bound of an
+    /// f64 sequential reference: `|fast − ref| ≤ 1e-5·Σ|xᵢyᵢ|`. Lengths
+    /// straddle the FAST_CHUNK lane width (the chunking threshold), so
+    /// the tail-only, exactly-one-chunk, and chunk+tail paths all run.
+    #[test]
+    fn fast_dot_tracks_f64_reference(
+        len in 0usize..20 * fast::FAST_CHUNK,
+        extra in proptest::collection::vec(-3.0f32..3.0, 640),
+    ) {
+        let x = &extra[..len.min(extra.len() / 2)];
+        let y = &extra[extra.len() / 2..][..x.len()];
+        let reference: f64 = x.iter().zip(y).map(|(&a, &b)| a as f64 * b as f64).sum();
+        let bound: f64 = x.iter().zip(y).map(|(&a, &b)| (a as f64 * b as f64).abs()).sum();
+        let got = fast::dot_fast(x, y) as f64;
+        prop_assert!(
+            (got - reference).abs() <= 1e-5 * bound + 1e-30,
+            "n={}: {got} vs {reference}", x.len()
+        );
+    }
+
+    /// Fast-tier norm_sq stays within the same bound (all terms
+    /// positive, so the bound is relative to the result itself).
+    #[test]
+    fn fast_norm_sq_tracks_f64_reference(
+        x in proptest::collection::vec(-3.0f32..3.0, 0..5 * fast::FAST_CHUNK),
+    ) {
+        let reference: f64 = x.iter().map(|&a| a as f64 * a as f64).sum();
+        let got = fast::norm_sq_fast(&x) as f64;
+        prop_assert!(
+            (got - reference).abs() <= 1e-5 * reference + 1e-30,
+            "n={}: {got} vs {reference}", x.len()
+        );
+    }
+
+    /// Fast-tier mean stays within per-element f64-reference bounds for
+    /// vector counts straddling the lane width.
+    #[test]
+    fn fast_mean_into_tracks_f64_reference(
+        flat in proptest::collection::vec(-3.0f32..3.0, 24..48 * 7),
+        count in 1usize..40,
+    ) {
+        let dim = (flat.len() / count).clamp(1, 24);
+        let vecs: Vec<&[f32]> = (0..count.min(flat.len() / dim))
+            .map(|k| &flat[k * dim..(k + 1) * dim])
+            .collect();
+        prop_assume!(!vecs.is_empty());
+        let mut out = vec![0.0f32; dim];
+        fast::mean_into_fast(&vecs, &mut out);
+        for (j, &o) in out.iter().enumerate() {
+            let reference: f64 =
+                vecs.iter().map(|v| v[j] as f64).sum::<f64>() / vecs.len() as f64;
+            let bound: f64 =
+                vecs.iter().map(|v| (v[j] as f64).abs()).sum::<f64>() / vecs.len() as f64;
+            prop_assert!(
+                (o as f64 - reference).abs() <= 1e-5 * bound + 1e-30,
+                "elem {j}: {o} vs {reference}"
+            );
+        }
+    }
+
+    /// Polynomial exp stays within 1e-6 relative error of the f64
+    /// reference over the whole clamp domain.
+    #[test]
+    fn fast_exp_relative_error_bounded(x in -87.0f32..88.0) {
+        let got = fast::exp_fast(x) as f64;
+        let reference = (x as f64).exp();
+        let rel = ((got - reference) / reference).abs();
+        prop_assert!(rel < 1e-6, "x={x}: {got} vs {reference} (rel {rel})");
+    }
+
+    /// Polynomial ln stays within its stated mixed absolute/relative
+    /// bound of the f64 reference across thirty decades.
+    #[test]
+    fn fast_ln_error_bounded(mantissa in 0.01f32..10.0, exp10 in -15i32..15) {
+        let x = mantissa * 10.0f32.powi(exp10);
+        prop_assume!(x.is_finite() && x > 0.0 && x >= f32::MIN_POSITIVE);
+        let got = fast::ln_fast(x) as f64;
+        let reference = (x as f64).ln();
+        let tol = 1e-6 * reference.abs().max(1.0);
+        prop_assert!((got - reference).abs() <= tol, "x={x}: {got} vs {reference}");
     }
 
     /// Momentum state keeps parameter updates finite for sane inputs.
