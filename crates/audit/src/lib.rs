@@ -436,44 +436,47 @@ fn closure_checks<'a>(
             }
         }
 
-        // Rule 3 — the panic ratchet over the step_loop closure. Sites
-        // are keyed by token index so nested bodies never double-count.
-        if set.name == "step_loop" {
-            if let Some(budget) = &policy.step_loop_budget {
-                let mut seen: BTreeSet<(&str, usize)> = BTreeSet::new();
-                let mut actual = PanicCounts::default();
-                for &i in &closure {
-                    let f = &graph.fns[i];
-                    let Some((open, close)) = f.body else { continue };
-                    let Some(scan) = scans.get(&f.file) else { continue };
-                    for (idx, category) in scan::panic_sites_in(scan, open, close) {
-                        if seen.insert((f.file.as_str(), idx)) {
-                            actual.bump(category);
-                        }
+        // Rule 3 — the panic ratchet over a closure. Any set may carry a
+        // `budget`; `step_loop` falls back to the legacy top-level
+        // `step_loop_budget`. Sites are keyed by token index so nested
+        // bodies never double-count.
+        let budget = set.budget.as_ref().or_else(|| {
+            (set.name == "step_loop").then_some(policy.step_loop_budget.as_ref()).flatten()
+        });
+        if let Some(budget) = budget {
+            let mut seen: BTreeSet<(&str, usize)> = BTreeSet::new();
+            let mut actual = PanicCounts::default();
+            for &i in &closure {
+                let f = &graph.fns[i];
+                let Some((open, close)) = f.body else { continue };
+                let Some(scan) = scans.get(&f.file) else { continue };
+                for (idx, category) in scan::panic_sites_in(scan, open, close) {
+                    if seen.insert((f.file.as_str(), idx)) {
+                        actual.bump(category);
                     }
                 }
-                let crate_dir = format!("closure:{}", set.name);
-                rep.budgets.push(BudgetStatus {
-                    crate_dir: crate_dir.clone(),
-                    actual,
-                    budget: *budget,
+            }
+            let crate_dir = format!("closure:{}", set.name);
+            rep.budgets.push(BudgetStatus {
+                crate_dir: crate_dir.clone(),
+                actual,
+                budget: *budget,
+            });
+            if let Some(over) = actual.exceeds(budget) {
+                rep.violations.push(Violation {
+                    rule: rules::CLOSURE_PANIC_BUDGET,
+                    file: crate_dir.clone(),
+                    line: 0,
+                    message: format!("panic sites over the closure budget: {over}"),
                 });
-                if let Some(over) = actual.exceeds(budget) {
-                    rep.violations.push(Violation {
-                        rule: rules::CLOSURE_PANIC_BUDGET,
-                        file: crate_dir.clone(),
-                        line: 0,
-                        message: format!("panic sites over the closure budget: {over}"),
-                    });
-                }
-                if let Some(slack) = budget.exceeds(&actual) {
-                    rep.violations.push(Violation {
-                        rule: rules::CLOSURE_PANIC_BUDGET_STALE,
-                        file: crate_dir,
-                        line: 0,
-                        message: format!("closure budget above actual count, lower it: {slack}"),
-                    });
-                }
+            }
+            if let Some(slack) = budget.exceeds(&actual) {
+                rep.violations.push(Violation {
+                    rule: rules::CLOSURE_PANIC_BUDGET_STALE,
+                    file: crate_dir,
+                    line: 0,
+                    message: format!("closure budget above actual count, lower it: {slack}"),
+                });
             }
         }
 

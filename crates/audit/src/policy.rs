@@ -101,6 +101,10 @@ pub struct RootSet {
     pub roots: Vec<RootEntry>,
     /// Functions the traversal must never enter.
     pub prune: Vec<RootEntry>,
+    /// Panic budget ratcheted over this set's closure. Any set may carry
+    /// one; for `step_loop` the legacy top-level `step_loop_budget` is
+    /// the fallback when this is absent.
+    pub budget: Option<PanicCounts>,
 }
 
 /// The reassociation-boundary configuration: the `strict_numerics`
@@ -257,6 +261,10 @@ impl FromJson for Policy {
                             name: String::from_json(e.field("name")?)?,
                             roots: entry_vec(e, "roots")?,
                             prune: entry_vec(e, "prune")?,
+                            budget: match e.get("budget") {
+                                None => None,
+                                Some(b) => Some(counts_from(b)?),
+                            },
                         })
                     })
                     .collect::<Result<_, JsonError>>()?,
@@ -405,11 +413,15 @@ impl ToJson for Policy {
                     self.root_sets
                         .iter()
                         .map(|s| {
-                            Json::obj([
+                            let mut set_fields = vec![
                                 ("name", s.name.to_json()),
                                 ("roots", entries_json(&s.roots)),
                                 ("prune", entries_json(&s.prune)),
-                            ])
+                            ];
+                            if let Some(b) = &s.budget {
+                                set_fields.push(("budget", counts_to(b)));
+                            }
+                            Json::obj(set_fields)
                         })
                         .collect(),
                 ),
@@ -476,6 +488,7 @@ mod tests {
                     file: "crates/core/src/engine/gossip.rs".into(),
                     functions: vec!["start".into()],
                 }],
+                budget: Some(PanicCounts { unwrap: 1, ..PanicCounts::default() }),
             }],
             step_loop_budget: Some(PanicCounts { expect: 1, index: 4, ..PanicCounts::default() }),
             reassociation: Some(Reassociation {

@@ -25,6 +25,7 @@ fn root_set(name: &str, functions: &[&str], prune: &[&str]) -> RootSet {
         name: name.into(),
         roots: vec![entry(functions)],
         prune: if prune.is_empty() { vec![] } else { vec![entry(prune)] },
+        budget: None,
     }
 }
 
@@ -150,6 +151,33 @@ fn stale_closure_budget_is_flagged() {
     let outcome = audit("closure_violating", &policy);
     let fired = rules_fired(&outcome);
     assert!(fired.contains(&"closure-panic-budget-stale"), "{fired:?}");
+}
+
+#[test]
+fn per_set_budget_overrides_the_legacy_step_loop_budget() {
+    let mut policy = closure_policy();
+    // The set-level budget (far above actual) must win over the zero
+    // top-level budget: the stale arm fires, not the over-budget arm.
+    policy.root_sets[1].budget =
+        Some(PanicCounts { unwrap: 9, expect: 9, panic: 9, unreachable: 9, index: 9 });
+    let outcome = audit("closure_violating", &policy);
+    let fired = rules_fired(&outcome);
+    assert!(!fired.contains(&"closure-panic-budget"), "{fired:?}");
+    assert!(fired.contains(&"closure-panic-budget-stale"), "{fired:?}");
+}
+
+#[test]
+fn any_root_set_may_carry_a_panic_budget() {
+    let mut policy = closure_policy();
+    // A zero budget on the strict_numerics set: the ratchet now reports
+    // a `closure:strict_numerics` status row alongside step_loop's.
+    policy.root_sets[2].budget = Some(PanicCounts::default());
+    let outcome = audit("closure_clean", &policy);
+    assert!(outcome.report.clean(), "\n{}", outcome.report.human());
+    let rows: Vec<&str> =
+        outcome.report.budgets.iter().map(|b| b.crate_dir.as_str()).collect();
+    assert!(rows.contains(&"closure:strict_numerics"), "{rows:?}");
+    assert!(rows.contains(&"closure:step_loop"), "{rows:?}");
 }
 
 #[test]

@@ -6,7 +6,8 @@
 
 use netmax_baselines::algorithm_for;
 use netmax_core::engine::{
-    AlgorithmKind, Scenario, Session, StepEvent, StopCondition, TrainConfig,
+    AlgorithmKind, CheckpointFormat, CheckpointScratch, Scenario, Session, StepEvent,
+    StopCondition, TrainConfig,
 };
 use netmax_json::{Json, ToJson};
 use netmax_ml::workload::WorkloadSpec;
@@ -73,6 +74,53 @@ fn assert_resume_identical(kind: AlgorithmKind, k: u64) {
 fn every_variant_resumes_byte_identically() {
     for kind in AlgorithmKind::all() {
         assert_resume_identical(kind, 60);
+    }
+}
+
+/// The same determinism guarantee through the binary
+/// (`session-checkpoint/v3`) on-disk path: suspend at step `k` into
+/// binary bytes, restore via the magic-sniffing entry point, and the
+/// finished report is byte-identical to the uninterrupted run. Covers
+/// every algorithm variant, i.e. all four driver families (gossip,
+/// round-structured, parameter-server, monitor-bearing).
+fn assert_binary_resume_identical(kind: AlgorithmKind, k: u64) {
+    let sc = scenario(kind);
+
+    let mut algo = algorithm_for(kind, ALPHA);
+    let mut env = sc.build_env();
+    let full = algo.run(&mut env);
+
+    let mut algo1 = algorithm_for(kind, ALPHA);
+    let mut env1 = sc.build_env();
+    let bytes = {
+        let mut session = Session::new(&mut env1, algo1.driver()).expect("valid session");
+        while session.env().global_step < k {
+            if let StepEvent::Finished { .. } = session.step() {
+                break;
+            }
+        }
+        // What the CLI writes with `--format binary` is what must restore.
+        let mut scratch = CheckpointScratch::new();
+        session.checkpoint_bytes(CheckpointFormat::Binary, &mut scratch).expect("binary encode")
+    };
+
+    let mut algo2 = algorithm_for(kind, ALPHA);
+    let mut env2 = sc.build_env();
+    let mut resumed = Session::restore_bytes(&mut env2, algo2.driver(), &bytes)
+        .expect("binary checkpoint restores");
+    let report = resumed.run();
+
+    assert_eq!(
+        report.to_json().to_string(),
+        full.to_json().to_string(),
+        "{kind:?}: binary resume after {k} steps must match the uninterrupted run"
+    );
+}
+
+#[test]
+fn every_variant_resumes_byte_identically_through_binary_checkpoints() {
+    for kind in AlgorithmKind::all() {
+        assert_binary_resume_identical(kind, 60);
     }
 }
 

@@ -5,12 +5,13 @@
 //! netmax-bench run <name|group|all> [--quick|--tiny] [--seeds N|a,b,c]
 //!                  [--json out.json] [--threads N] [--sequential]
 //!                  [--progress] [--deadline-s S]
-//!                  [--checkpoint-dir DIR [--suspend-steps K]]
+//!                  [--checkpoint-dir DIR [--suspend-steps K] [--format F]]
 //!                  [--resume DIR] [--tier strict|fast]
 //! netmax-bench throughput [--quick] [--steps N] [--repeats R] [--out path]
 //!                  [--tier strict|fast]
 //! netmax-bench scale [--quick|--tiny] [--repeats R] [--out path]
-//! netmax-bench show <artifact.json>
+//! netmax-bench checkpoint [--quick] [--out path]
+//! netmax-bench show <artifact.json|checkpoint.bin>
 //! ```
 //!
 //! `run` drives every `(arm, seed)` cell of the matching experiments
@@ -20,19 +21,22 @@
 //! versioned `netmax-bench/run-report/v1` artifact. With
 //! `--checkpoint-dir` each cell is *suspended* after `--suspend-steps`
 //! global steps and the experiment is written as a versioned
-//! `netmax-bench/checkpoint/v1` document instead; `--resume` picks those
-//! documents up and finishes them — byte-identical to an uninterrupted
-//! run. `show` parses a run artifact back and re-prints its summaries, or
-//! summarizes a checkpoint document per cell (algorithm, seed, global
-//! step; the embedded session schema may be v1 or v2); any other schema
-//! is a typed "unknown schema" error — it doubles as a schema check in
-//! CI.
+//! `netmax-bench/checkpoint/v1` document instead — as pretty JSON by
+//! default, or as the binary container (same schema tag, sniffed by
+//! magic) with `--format binary`; `--resume` picks either kind up and
+//! finishes them — byte-identical to an uninterrupted run. `show` parses
+//! a run artifact back and re-prints its summaries, or summarizes a
+//! checkpoint document (JSON or binary) per cell (algorithm, seed, global
+//! step, tier; the embedded session schema may be v1, v2, or binary v3);
+//! any other schema is a typed "unknown schema" error — it doubles as a
+//! schema check in CI. `checkpoint` benchmarks the encode/decode paths
+//! (JSON vs binary vs delta) and writes `BENCH_checkpoint.json`.
 
 use netmax_bench::registry::{find, registry, registry_json};
 use netmax_bench::runner::{CellProgress, RunOptions};
 use netmax_bench::{common, runner, Mode};
-use netmax_core::engine::AlgorithmKind;
-use netmax_json::Json;
+use netmax_core::engine::{AlgorithmKind, CheckpointFormat};
+use netmax_json::{codec, Json};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
@@ -56,10 +60,12 @@ const RUN_FLAGS: FlagSpec = FlagSpec {
         "--suspend-steps",
         "--resume",
         "--tier",
+        "--format",
     ],
     boolean: &["--sequential", "--quick", "--tiny", "--progress"],
 };
 const SHOW_FLAGS: FlagSpec = FlagSpec { value: &[], boolean: &[] };
+const CHECKPOINT_FLAGS: FlagSpec = FlagSpec { value: &["--out"], boolean: &["--quick"] };
 const THROUGHPUT_FLAGS: FlagSpec =
     FlagSpec { value: &["--steps", "--repeats", "--out", "--tier"], boolean: &["--quick"] };
 const SCALE_FLAGS: FlagSpec =
@@ -104,7 +110,7 @@ fn main() -> ExitCode {
     // `--json` is the one ambiguous flag (boolean for `list`, value for
     // `run`), so an artifact path literally named after a command must be
     // placed after the command word.
-    let known = ["list", "run", "show", "throughput", "scale", "help"];
+    let known = ["list", "run", "show", "throughput", "scale", "checkpoint", "help"];
     let always_value = [
         "--seeds",
         "--threads",
@@ -116,6 +122,7 @@ fn main() -> ExitCode {
         "--repeats",
         "--out",
         "--tier",
+        "--format",
     ];
     let cmd = args.iter().enumerate().find_map(|(i, a)| {
         let shielded = i > 0 && always_value.contains(&args[i - 1].as_str());
@@ -134,6 +141,7 @@ fn main() -> ExitCode {
         "show" => &SHOW_FLAGS,
         "throughput" => &THROUGHPUT_FLAGS,
         "scale" => &SCALE_FLAGS,
+        "checkpoint" => &CHECKPOINT_FLAGS,
         "help" => {
             usage();
             return ExitCode::SUCCESS;
@@ -160,6 +168,7 @@ fn main() -> ExitCode {
         "show" => show(positional.first().copied()),
         "throughput" => throughput(&args),
         "scale" => scale(&args),
+        "checkpoint" => checkpoint_cmd(&args),
         _ => unreachable!("filtered to known commands"),
     }
 }
@@ -181,6 +190,9 @@ commands:
                             32-4096 workers; tiny: 32/256) measuring
                             convergence, steps/sec, and peak RSS, and write
                             BENCH_scale.json
+  checkpoint                benchmark checkpoint encode/decode (JSON vs binary
+                            vs incremental delta) over fleet sizes and write
+                            BENCH_checkpoint.json
 
 options:
   --quick / --tiny          compressed experiment scale (default: full; also
@@ -196,6 +208,8 @@ options:
   --checkpoint-dir <DIR>    suspend each cell mid-run and write one
                             netmax-bench/checkpoint/v1 document per experiment
   --suspend-steps <K>       global steps before suspension (default 100)
+  --format <json|binary>    checkpoint file format for --checkpoint-dir
+                            (default json; --resume sniffs the format)
   --resume <DIR>            resume checkpoint documents written by
                             --checkpoint-dir and run them to completion
   --tier <strict|fast>      run: numerics tier for every matching experiment;
@@ -203,8 +217,9 @@ options:
                             (default: strict for run, both for throughput)
   --steps <N>               throughput: global steps per repetition
   --repeats <R>             throughput/scale: repetitions per cell (best kept)
-  --out <path>              throughput/scale: output path
-                            (BENCH_throughput.json / BENCH_scale.json)"
+  --out <path>              throughput/scale/checkpoint: output path
+                            (BENCH_throughput.json / BENCH_scale.json /
+                            BENCH_checkpoint.json)"
     );
 }
 
@@ -269,9 +284,14 @@ fn parse_seeds(text: &str, base: &[u64]) -> Option<Vec<u64>> {
     text.split(',').map(|t| t.trim().parse::<u64>().ok()).collect()
 }
 
-/// One experiment's checkpoint path inside a checkpoint directory.
-fn checkpoint_path(dir: &Path, experiment: &str) -> PathBuf {
-    dir.join(format!("{}.checkpoint.json", experiment.replace('/', "__")))
+/// One experiment's checkpoint path inside a checkpoint directory; the
+/// extension names the on-disk format.
+fn checkpoint_path(dir: &Path, experiment: &str, format: CheckpointFormat) -> PathBuf {
+    let ext = match format {
+        CheckpointFormat::Json => "json",
+        CheckpointFormat::Binary => "bin",
+    };
+    dir.join(format!("{}.checkpoint.{ext}", experiment.replace('/', "__")))
 }
 
 fn run(args: &[String], query: Option<&str>) -> ExitCode {
@@ -293,6 +313,25 @@ fn run(args: &[String], query: Option<&str>) -> ExitCode {
         eprintln!("--seeds cannot be combined with --resume (seeds come from the checkpoint)");
         return ExitCode::from(2);
     }
+    let format = match flag_value(args, "--format") {
+        None => CheckpointFormat::Json,
+        Some(name) => {
+            if checkpoint_dir.is_none() {
+                eprintln!(
+                    "--format only makes sense with --checkpoint-dir \
+                     (--resume sniffs the format from the file)"
+                );
+                return ExitCode::from(2);
+            }
+            match CheckpointFormat::from_name(name) {
+                Some(f) => f,
+                None => {
+                    eprintln!("unknown checkpoint format `{name}` (want `json` or `binary`)");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
     let tier = match parse_tier(args) {
         Ok(t) => t,
         Err(code) => return code,
@@ -385,7 +424,7 @@ fn run(args: &[String], query: Option<&str>) -> ExitCode {
             },
             None => 100,
         };
-        return suspend(&specs, &dir, threads, suspend_steps);
+        return suspend(&specs, &dir, threads, suspend_steps, format);
     }
 
     let results = if let Some(dir) = resume_dir {
@@ -433,12 +472,14 @@ fn run(args: &[String], query: Option<&str>) -> ExitCode {
 }
 
 /// `run --checkpoint-dir`: suspend every matching experiment mid-run and
-/// write one checkpoint document per experiment.
+/// write one checkpoint document per experiment, as pretty JSON or the
+/// binary container depending on `--format`.
 fn suspend(
     specs: &[netmax_bench::ExperimentSpec],
     dir: &Path,
     threads: usize,
     suspend_steps: u64,
+    format: CheckpointFormat,
 ) -> ExitCode {
     if let Err(e) = std::fs::create_dir_all(dir) {
         eprintln!("could not create {}: {e}", dir.display());
@@ -456,8 +497,18 @@ fn suspend(
                 return ExitCode::from(2);
             }
         };
-        let path = checkpoint_path(dir, &spec.name);
-        match std::fs::write(&path, runner::checkpoint_doc(&suspended).pretty()) {
+        let bytes = match format {
+            CheckpointFormat::Json => runner::checkpoint_doc(&suspended).pretty().into_bytes(),
+            CheckpointFormat::Binary => match runner::checkpoint_bytes(&suspended) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("{}: {e}", spec.name);
+                    return ExitCode::from(2);
+                }
+            },
+        };
+        let path = checkpoint_path(dir, &spec.name, format);
+        match std::fs::write(&path, bytes) {
             Ok(()) => eprintln!("wrote {}", path.display()),
             Err(e) => {
                 eprintln!("could not write {}: {e}", path.display());
@@ -469,8 +520,9 @@ fn suspend(
     ExitCode::SUCCESS
 }
 
-/// `run --resume`: load each matching experiment's checkpoint document and
-/// run it to completion.
+/// `run --resume`: load each matching experiment's checkpoint document —
+/// trying the `.json` then the `.bin` filename, sniffing the actual
+/// format from the bytes — and run it to completion.
 fn resume_from(
     specs: &[netmax_bench::ExperimentSpec],
     dir: &Path,
@@ -478,25 +530,29 @@ fn resume_from(
 ) -> Result<Vec<runner::ExperimentResult>, ExitCode> {
     let mut results = Vec::new();
     for spec in specs {
-        let path = checkpoint_path(dir, &spec.name);
-        let text = match std::fs::read_to_string(&path) {
-            Ok(t) => t,
-            Err(e) => {
-                eprintln!("could not read {}: {e}", path.display());
-                return Err(ExitCode::FAILURE);
-            }
-        };
-        let doc = match Json::parse(&text) {
-            Ok(d) => d,
-            Err(e) => {
-                eprintln!("{}: {e}", path.display());
+        let candidates = [
+            checkpoint_path(dir, &spec.name, CheckpointFormat::Json),
+            checkpoint_path(dir, &spec.name, CheckpointFormat::Binary),
+        ];
+        let (path, bytes) = match candidates.iter().find_map(|p| {
+            std::fs::read(p).ok().map(|b| (p, b))
+        }) {
+            Some(found) => found,
+            None => {
+                eprintln!(
+                    "no checkpoint for {} in {} (looked for {} and {})",
+                    spec.name,
+                    dir.display(),
+                    candidates[0].display(),
+                    candidates[1].display()
+                );
                 return Err(ExitCode::FAILURE);
             }
         };
         // The checkpoint embeds the exact spec that produced it; resuming
         // uses that spec, not the registry's (they normally agree, but the
         // checkpoint is the ground truth for determinism).
-        let suspended = match runner::parse_checkpoint(&doc) {
+        let suspended = match parse_checkpoint_auto(&bytes) {
             Ok(s) => s,
             Err(e) => {
                 eprintln!("{}: {e}", path.display());
@@ -517,6 +573,18 @@ fn resume_from(
         results.push(result);
     }
     Ok(results)
+}
+
+/// Parses checkpoint bytes in whichever format they turn out to be:
+/// binary containers by magic, anything else as UTF-8 JSON.
+fn parse_checkpoint_auto(bytes: &[u8]) -> Result<runner::SuspendedExperiment, String> {
+    if codec::is_binary(bytes) {
+        return runner::parse_checkpoint_bytes(bytes).map_err(|e| e.to_string());
+    }
+    let text =
+        std::str::from_utf8(bytes).map_err(|_| "checkpoint is not UTF-8 JSON".to_string())?;
+    let doc = Json::parse(text).map_err(|e| e.to_string())?;
+    runner::parse_checkpoint(&doc).map_err(|e| e.to_string())
 }
 
 fn print_result(result: &runner::ExperimentResult) {
@@ -560,21 +628,15 @@ fn show(path: Option<&str>) -> ExitCode {
         eprintln!("show needs an artifact path");
         return ExitCode::from(2);
     };
-    let text = match std::fs::read_to_string(path) {
-        Ok(t) => t,
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
         Err(e) => {
             eprintln!("could not read {path}: {e}");
             return ExitCode::FAILURE;
         }
     };
-    let doc = match Json::parse(&text) {
-        Ok(d) => d,
-        Err(e) => {
-            eprintln!("{path}: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    match runner::summarize_doc(&doc) {
+    let kind = if codec::is_binary(&bytes) { "binary" } else { "JSON" };
+    match runner::summarize_bytes(&bytes) {
         Ok(runner::ShownDoc::RunReport(results)) => {
             println!(
                 "{path}: valid {} artifact, {} experiment(s)",
@@ -588,23 +650,24 @@ fn show(path: Option<&str>) -> ExitCode {
         }
         Ok(runner::ShownDoc::Checkpoint(summary)) => {
             println!(
-                "{path}: valid {} document — suspended experiment [{}], {} cell(s)",
+                "{path}: valid {} document ({kind}) — suspended experiment [{}], {} cell(s)",
                 runner::CHECKPOINT_SCHEMA,
                 summary.experiment,
                 summary.cells.len()
             );
             let schema_heading = "session schema";
             println!(
-                "{:<28} {:>18} {:>12} {:>12}  {schema_heading}",
-                "arm", "algorithm", "seed", "step"
+                "{:<28} {:>18} {:>12} {:>12} {:>7}  {schema_heading}",
+                "arm", "algorithm", "seed", "step", "tier"
             );
             for c in &summary.cells {
                 println!(
-                    "{:<28} {:>18} {:>12} {:>12}  {}",
+                    "{:<28} {:>18} {:>12} {:>12} {:>7}  {}",
                     c.label,
                     c.algorithm.name(),
                     c.seed,
                     c.global_step,
+                    c.tier,
                     c.session_schema
                 );
             }
@@ -638,6 +701,33 @@ fn scale(args: &[String]) -> ExitCode {
     let rows = scale::run(&p);
     scale::print(&ctx, &p, &rows);
     let doc = scale::scale_doc(&p, &rows);
+    match std::fs::write(out, doc.pretty() + "\n") {
+        Ok(()) => {
+            eprintln!("wrote {out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("could not write {out}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn checkpoint_cmd(args: &[String]) -> ExitCode {
+    use netmax_bench::checkpoint_bench;
+    let p = if has_flag(args, "--quick") {
+        checkpoint_bench::Params::quick()
+    } else {
+        checkpoint_bench::Params::full()
+    };
+    let out = flag_value(args, "--out").unwrap_or("BENCH_checkpoint.json");
+    eprintln!(
+        "checkpoint I/O benchmark: n = {:?}, {} repeat(s) per point...",
+        p.node_counts, p.repeats
+    );
+    let rows = checkpoint_bench::run(&p);
+    print!("{}", checkpoint_bench::render_table(&rows));
+    let doc = checkpoint_bench::checkpoint_bench_doc(&p, &rows);
     match std::fs::write(out, doc.pretty() + "\n") {
         Ok(()) => {
             eprintln!("wrote {out}");

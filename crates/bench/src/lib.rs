@@ -25,6 +25,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod checkpoint_bench;
 pub mod common;
 pub mod experiments;
 pub mod registry;

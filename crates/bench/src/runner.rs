@@ -25,9 +25,10 @@
 
 use crate::spec::{ExperimentSpec, MetricKind};
 use netmax_core::engine::{
-    AlgorithmKind, ExecutionMode, RunReport, Session, SessionError, StepEvent,
+    decode_session_v3, encode_session_v3, AlgorithmKind, ExecutionMode, RunReport, Session,
+    SessionError, StepEvent,
 };
-use netmax_json::{FromJson, Json, JsonError, ToJson};
+use netmax_json::{codec, CodecError, FromJson, Json, JsonError, ToJson};
 use netmax_ml::profile::ModelProfile;
 use netmax_net::LinkQuality;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -623,6 +624,101 @@ pub fn parse_checkpoint(doc: &Json) -> Result<SuspendedExperiment, JsonError> {
     })
 }
 
+/// Renders a binary-codec failure as the schema-error type the rest of
+/// the checkpoint plumbing speaks.
+fn codec_err(e: CodecError) -> JsonError {
+    JsonError::schema(format!("binary container: {e}"))
+}
+
+/// The numerics tier recorded in an embedded session document
+/// (pre-tier documents were all strict).
+fn session_tier(session: &Json) -> String {
+    match session.get("tier") {
+        None | Some(Json::Null) => "strict".to_string(),
+        Some(Json::Str(s)) => s.clone(),
+        Some(other) => other.to_string(),
+    }
+}
+
+/// Builds one cell's summary row for the binary container's `meta`
+/// section (everything `show` reports, so summarizing never has to
+/// decode the node payloads).
+fn cell_meta(c: &SuspendedCell) -> Result<Json, JsonError> {
+    Ok(Json::obj([
+        ("arm", c.arm.to_json()),
+        ("label", c.label.to_json()),
+        ("algorithm", c.algorithm.to_json()),
+        ("seed", c.seed.to_json()),
+        ("global_step", c.session.field("env")?.field("global_step")?.clone()),
+        ("tier", Json::Str(session_tier(&c.session))),
+        ("session_schema", Json::Str(c.session.field("schema")?.as_str()?.to_string())),
+    ]))
+}
+
+/// Serializes a suspended experiment as a binary container: the
+/// `netmax-bench/checkpoint/v1` schema tag, a `meta` section carrying the
+/// spec plus per-cell summary rows, and one `session.N` section per cell
+/// holding the cell's session as `session-checkpoint/v3` bytes. The same
+/// logical document as [`checkpoint_doc`] — [`parse_checkpoint_bytes`]
+/// reconstructs an identical [`SuspendedExperiment`].
+pub fn checkpoint_bytes(suspended: &SuspendedExperiment) -> Result<Vec<u8>, JsonError> {
+    let meta = Json::obj([
+        ("schema", Json::Str(CHECKPOINT_SCHEMA.into())),
+        ("spec", suspended.spec.to_json()),
+        (
+            "cells",
+            Json::Arr(
+                suspended.cells.iter().map(cell_meta).collect::<Result<Vec<_>, JsonError>>()?,
+            ),
+        ),
+    ]);
+    let mut meta_bytes = Vec::new();
+    codec::encode_value(&mut meta_bytes, &meta).map_err(codec_err)?;
+    let sessions = suspended
+        .cells
+        .iter()
+        .map(|c| encode_session_v3(&c.session).map_err(codec_err))
+        .collect::<Result<Vec<_>, JsonError>>()?;
+    let names: Vec<String> = (0..sessions.len()).map(|i| format!("session.{i}")).collect();
+    let mut sections: Vec<(&str, &[u8])> = vec![("meta", &meta_bytes)];
+    sections
+        .extend(names.iter().map(String::as_str).zip(sessions.iter().map(Vec::as_slice)));
+    let mut out = Vec::new();
+    codec::write_document(&mut out, CHECKPOINT_SCHEMA, &sections).map_err(codec_err)?;
+    Ok(out)
+}
+
+/// Parses a binary checkpoint container written by [`checkpoint_bytes`],
+/// verifying the schema tag; every cell's session decodes back to its v2
+/// logical document.
+pub fn parse_checkpoint_bytes(bytes: &[u8]) -> Result<SuspendedExperiment, JsonError> {
+    let doc = codec::read_document(bytes).map_err(codec_err)?;
+    if doc.schema != CHECKPOINT_SCHEMA {
+        return Err(JsonError::schema(format!(
+            "unsupported checkpoint schema `{}` (expected `{CHECKPOINT_SCHEMA}`)",
+            doc.schema
+        )));
+    }
+    let meta = codec::decode_value(doc.require("meta").map_err(codec_err)?).map_err(codec_err)?;
+    let cells = meta
+        .field("cells")?
+        .as_arr()?
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            let payload = doc.require(&format!("session.{i}")).map_err(codec_err)?;
+            Ok(SuspendedCell {
+                arm: usize::from_json(c.field("arm")?)?,
+                label: String::from_json(c.field("label")?)?,
+                algorithm: AlgorithmKind::from_json(c.field("algorithm")?)?,
+                seed: u64::from_json(c.field("seed")?)?,
+                session: decode_session_v3(payload).map_err(codec_err)?,
+            })
+        })
+        .collect::<Result<_, JsonError>>()?;
+    Ok(SuspendedExperiment { spec: ExperimentSpec::from_json(meta.field("spec")?)?, cells })
+}
+
 /// Typed outcome of `netmax-bench show` document dispatch: either a run
 /// artifact or a suspended-experiment checkpoint.
 #[derive(Debug, Clone)]
@@ -655,6 +751,8 @@ pub struct CheckpointCellSummary {
     pub seed: u64,
     /// Global steps completed at suspension.
     pub global_step: u64,
+    /// The numerics tier the cell was running under.
+    pub tier: String,
     /// The embedded session document's schema tag.
     pub session_schema: String,
 }
@@ -711,6 +809,7 @@ pub fn summarize_doc(doc: &Json) -> Result<ShownDoc, ShowError> {
                         global_step: u64::from_json(
                             c.session.field("env")?.field("global_step")?,
                         )?,
+                        tier: session_tier(&c.session),
                         session_schema: c.session.field("schema")?.as_str()?.to_string(),
                     })
                 })
@@ -722,6 +821,45 @@ pub fn summarize_doc(doc: &Json) -> Result<ShownDoc, ShowError> {
         }
         other => Err(ShowError::UnknownSchema(other.to_string())),
     }
+}
+
+/// Dispatches raw on-disk bytes for `netmax-bench show`: binary
+/// containers (sniffed by magic) are summarized from their `meta`
+/// section alone — the per-cell session payloads stay undecoded — and
+/// anything else is treated as UTF-8 JSON and routed through
+/// [`summarize_doc`]. A binary document under an unrecognized schema tag
+/// is a typed [`ShowError::UnknownSchema`], exactly like its JSON twin.
+pub fn summarize_bytes(bytes: &[u8]) -> Result<ShownDoc, ShowError> {
+    if !codec::is_binary(bytes) {
+        let text = std::str::from_utf8(bytes)
+            .map_err(|_| ShowError::Malformed(JsonError::schema("not UTF-8 JSON".to_string())))?;
+        return summarize_doc(&Json::parse(text)?);
+    }
+    let doc = codec::read_document(bytes).map_err(|e| ShowError::Malformed(codec_err(e)))?;
+    if doc.schema != CHECKPOINT_SCHEMA {
+        return Err(ShowError::UnknownSchema(doc.schema.to_string()));
+    }
+    let meta = codec::decode_value(doc.require("meta").map_err(|e| ShowError::Malformed(codec_err(e)))?)
+        .map_err(|e| ShowError::Malformed(codec_err(e)))?;
+    let cells = meta
+        .field("cells")?
+        .as_arr()?
+        .iter()
+        .map(|c| {
+            Ok(CheckpointCellSummary {
+                label: String::from_json(c.field("label")?)?,
+                algorithm: AlgorithmKind::from_json(c.field("algorithm")?)?,
+                seed: u64::from_json(c.field("seed")?)?,
+                global_step: u64::from_json(c.field("global_step")?)?,
+                tier: String::from_json(c.field("tier")?)?,
+                session_schema: String::from_json(c.field("session_schema")?)?,
+            })
+        })
+        .collect::<Result<_, JsonError>>()?;
+    Ok(ShownDoc::Checkpoint(CheckpointSummary {
+        experiment: String::from_json(meta.field("spec")?.field("name")?)?,
+        cells,
+    }))
 }
 
 /// Assembles the versioned artifact document for a set of executed
@@ -874,6 +1012,81 @@ mod tests {
     }
 
     #[test]
+    fn binary_suspend_resume_is_byte_identical_across_driver_families() {
+        // All four driver families in one suspended experiment:
+        // monitor-bearing (NetMax), gossip (AD-PSGD), round-structured
+        // (Allreduce), and parameter-server (PS-async).
+        let mut spec = small_spec();
+        spec.arms.push(Arm::new(AlgorithmKind::PsAsync));
+        spec.seeds.truncate(1);
+        let direct = execute_with_threads(&spec, 2);
+
+        let suspended = execute_suspended(&spec, 2, 40).unwrap();
+        let bytes = checkpoint_bytes(&suspended).unwrap();
+        let parsed = parse_checkpoint_bytes(&bytes).unwrap();
+        assert_eq!(parsed.spec, spec);
+        assert_eq!(parsed.cells.len(), 4);
+        // The binary container carries the same logical document as the
+        // JSON file: decoding reproduces it field-for-field.
+        assert_eq!(
+            checkpoint_doc(&parsed).to_string(),
+            checkpoint_doc(&suspended).to_string(),
+            "binary round trip must preserve the logical checkpoint document"
+        );
+        let resumed = resume(&parsed, &RunOptions { threads: 2, ..Default::default() }).unwrap();
+
+        let (a, b) = (artifact(&[direct]), artifact(&[resumed]));
+        assert_eq!(
+            a.to_string(),
+            b.to_string(),
+            "binary suspend + resume must reproduce the uninterrupted artifact byte-for-byte"
+        );
+    }
+
+    #[test]
+    fn show_dispatch_handles_binary_containers() {
+        let mut spec = small_spec();
+        spec.arms.truncate(1);
+        spec.seeds.truncate(1);
+        let suspended = execute_suspended(&spec, 1, 30).unwrap();
+        let bytes = checkpoint_bytes(&suspended).unwrap();
+
+        match summarize_bytes(&bytes).unwrap() {
+            ShownDoc::Checkpoint(summary) => {
+                assert_eq!(summary.experiment, spec.name);
+                assert_eq!(summary.cells.len(), 1);
+                let cell = &summary.cells[0];
+                assert_eq!(cell.algorithm, AlgorithmKind::NetMax);
+                assert_eq!(cell.seed, 9);
+                assert!(cell.global_step >= 30, "{}", cell.global_step);
+                assert_eq!(cell.tier, "strict");
+                assert_eq!(cell.session_schema, netmax_core::engine::SESSION_CHECKPOINT_SCHEMA);
+            }
+            other => panic!("expected a checkpoint summary, got {other:?}"),
+        }
+
+        // JSON bytes route through the text path unchanged.
+        let text = checkpoint_doc(&suspended).pretty();
+        assert!(matches!(
+            summarize_bytes(text.as_bytes()).unwrap(),
+            ShownDoc::Checkpoint(_)
+        ));
+
+        // A binary document under a foreign schema tag is the same typed
+        // error as its JSON twin; truncated bytes are Malformed.
+        let mut alien = Vec::new();
+        codec::write_document(&mut alien, "netmax-bench/mystery/v9", &[]).unwrap();
+        match summarize_bytes(&alien) {
+            Err(ShowError::UnknownSchema(s)) => assert_eq!(s, "netmax-bench/mystery/v9"),
+            other => panic!("expected UnknownSchema, got {other:?}"),
+        }
+        assert!(matches!(
+            summarize_bytes(&bytes[..bytes.len() - 3]),
+            Err(ShowError::Malformed(_))
+        ));
+    }
+
+    #[test]
     fn checkpoint_schema_is_enforced() {
         let doc = Json::parse(r#"{"schema":"netmax-bench/run-report/v1","cells":[]}"#).unwrap();
         assert!(parse_checkpoint(&doc).is_err());
@@ -903,6 +1116,7 @@ mod tests {
                 assert_eq!(summary.cells.len(), 2);
                 for cell in &summary.cells {
                     assert!(cell.global_step >= 30, "{}: {}", cell.label, cell.global_step);
+                    assert_eq!(cell.tier, "strict");
                     assert_eq!(
                         cell.session_schema,
                         netmax_core::engine::SESSION_CHECKPOINT_SCHEMA

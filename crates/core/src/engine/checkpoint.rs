@@ -1,0 +1,486 @@
+//! Binary checkpoint fast path: `session-checkpoint/v3` containers and
+//! node-granular incremental deltas.
+//!
+//! A v3 document is a [`netmax_json::codec`] container
+//! (`NMXB` magic + schema tag) **wrapping the v2 logical document**: a
+//! `meta` section holding every v2 field except `env.nodes`
+//! (generic-value-encoded), and a `nodes` section holding one
+//! length-prefixed blob per node. Decoding a v3 document
+//! ([`decode_session_v3`]) yields exactly the v2 [`Json`] that
+//! [`Session::checkpoint`](super::Session::checkpoint) would have
+//! produced, so [`Session::restore`](super::Session::restore) — with all
+//! its schema/tier/membership validation — is the single restore path
+//! for every format.
+//!
+//! Two encoders produce v3 bytes, provably identical:
+//!
+//! * [`encode_session_v3`] transcodes an existing v2 `Json` document
+//!   (what `netmax-bench` uses on its suspended-cell documents), and
+//! * the [`CheckpointScratch`] fast path streams node state straight
+//!   from the [`Environment`] through the codec's typed writers —
+//!   no per-node `Json`, no per-node allocation once the scratch
+//!   buffers are warm.
+//!
+//! Incremental snapshots (`session-delta/v1`) re-serialize only the
+//! nodes whose encoded bytes changed since the previous snapshot taken
+//! through the same scratch. Each delta records FNV-1a fingerprints of
+//! the chain state before and after, and [`reconstruct_chain`] replays
+//! `base + deltas` into bytes **bit-identical** to a full v3 snapshot
+//! taken at the same point.
+
+use super::environment::{Environment, NodeState};
+use netmax_json::{codec, CodecError, Json};
+
+/// Schema tag of binary full-session checkpoint containers. The wrapped
+/// content is the v2 logical document.
+pub const SESSION_CHECKPOINT_SCHEMA_V3: &str = "netmax-core/session-checkpoint/v3";
+
+/// Schema tag of binary incremental (delta) checkpoint containers.
+pub const SESSION_DELTA_SCHEMA: &str = "netmax-core/session-delta/v1";
+
+/// The on-disk form a session checkpoint is written in. Both formats
+/// carry the same logical document; JSON stays the debug/interop form,
+/// binary is the compact fast path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointFormat {
+    /// Pretty-printed `session-checkpoint/v2` JSON text.
+    Json,
+    /// `session-checkpoint/v3` binary container.
+    Binary,
+}
+
+impl CheckpointFormat {
+    /// The CLI name (`json` / `binary`).
+    pub fn name(self) -> &'static str {
+        match self {
+            CheckpointFormat::Json => "json",
+            CheckpointFormat::Binary => "binary",
+        }
+    }
+
+    /// Parses a CLI name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "json" => Some(CheckpointFormat::Json),
+            "binary" => Some(CheckpointFormat::Binary),
+            _ => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Byte-level helpers (panic-free, no indexing).
+// ---------------------------------------------------------------------
+
+fn split_prefix<'a>(bytes: &mut &'a [u8], n: usize) -> Result<&'a [u8], CodecError> {
+    let (head, tail) = bytes.split_at_checked(n).ok_or(CodecError::Truncated)?;
+    *bytes = tail;
+    Ok(head)
+}
+
+fn read_u32(bytes: &mut &[u8]) -> Result<u32, CodecError> {
+    let b: [u8; 4] = split_prefix(bytes, 4)?.try_into().map_err(|_| CodecError::Truncated)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64(bytes: &mut &[u8]) -> Result<u64, CodecError> {
+    let b: [u8; 8] = split_prefix(bytes, 8)?.try_into().map_err(|_| CodecError::Truncated)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn push_u32(out: &mut Vec<u8>, v: usize) -> Result<(), CodecError> {
+    let v = u32::try_from(v).map_err(|_| CodecError::Length)?;
+    out.extend_from_slice(&v.to_le_bytes());
+    Ok(())
+}
+
+fn push_u64(out: &mut Vec<u8>, v: usize) -> Result<(), CodecError> {
+    let v = u64::try_from(v).map_err(|_| CodecError::Length)?;
+    out.extend_from_slice(&v.to_le_bytes());
+    Ok(())
+}
+
+/// FNV-1a 64 over the node blobs (length-framed, so blob boundaries are
+/// part of the digest). Chain links verify against this before a delta
+/// applies — a delta spliced onto the wrong base is a typed error, not
+/// silent corruption.
+fn fingerprint<'a>(blobs: impl Iterator<Item = &'a [u8]>) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    let mut eat = |byte: u8| {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    };
+    for blob in blobs {
+        for b in (blob.len() as u64).to_le_bytes() {
+            eat(b);
+        }
+        for b in blob {
+            eat(*b);
+        }
+    }
+    h
+}
+
+/// Assembles a `nodes` section payload: element count, then one
+/// length-prefixed blob per node. Shared by both encoders and by
+/// [`reconstruct_chain`], so every path frames nodes identically.
+fn write_nodes_payload<'a>(
+    out: &mut Vec<u8>,
+    count: usize,
+    blobs: impl Iterator<Item = &'a [u8]>,
+) -> Result<(), CodecError> {
+    push_u32(out, count)?;
+    for blob in blobs {
+        push_u64(out, blob.len())?;
+        out.extend_from_slice(blob);
+    }
+    Ok(())
+}
+
+/// Splits a `nodes` section payload back into per-node blob views.
+fn split_nodes_payload(mut payload: &[u8]) -> Result<Vec<&[u8]>, CodecError> {
+    let count = read_u32(&mut payload)? as usize;
+    if count > payload.len() {
+        return Err(CodecError::Length);
+    }
+    let mut blobs = Vec::with_capacity(count);
+    for _ in 0..count {
+        let len = read_u64(&mut payload)?;
+        let len = usize::try_from(len).map_err(|_| CodecError::Length)?;
+        blobs.push(split_prefix(&mut payload, len)?);
+    }
+    if !payload.is_empty() {
+        return Err(CodecError::Trailing);
+    }
+    Ok(blobs)
+}
+
+// ---------------------------------------------------------------------
+// Node encoding (the fast direct-from-environment path).
+// ---------------------------------------------------------------------
+
+/// Streams one node's checkpoint state in the binary codec's wire form —
+/// byte-identical to `codec::encode_value` on the node object that
+/// [`Environment::checkpoint`] builds, but straight from the typed state.
+fn encode_node_binary(node: &NodeState, out: &mut Vec<u8>) -> Result<(), CodecError> {
+    codec::write_obj_header(out, 7)?;
+    codec::write_key(out, "params")?;
+    codec::write_f32_slice(out, node.model.params())?;
+    codec::write_key(out, "velocity")?;
+    codec::write_f32_slice(out, node.opt.velocity())?;
+    codec::write_key(out, "sampler")?;
+    node.sampler.encode_checkpoint_into(out)?;
+    codec::write_key(out, "clock")?;
+    codec::write_f64_json(out, node.clock);
+    codec::write_key(out, "comp_time_total")?;
+    codec::write_f64_json(out, node.comp_time_total);
+    codec::write_key(out, "comm_exposed_total")?;
+    codec::write_f64_json(out, node.comm_exposed_total);
+    codec::write_key(out, "local_steps")?;
+    codec::write_int(out, i128::from(node.local_steps));
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// The reusable scratch.
+// ---------------------------------------------------------------------
+
+/// Reusable buffers for periodic binary snapshots.
+///
+/// The per-node encode path allocates nothing once the buffers are warm:
+/// each node's blob is rebuilt in place (capacity retained across
+/// snapshots), the section payloads reuse their buffers, and emitting a
+/// snapshot swaps the current blobs into the delta base instead of
+/// copying. Only the small `meta` document (recorder samples, driver
+/// state) still passes through `Json` — its cost is bounded per
+/// snapshot, not proportional to fleet or model size.
+#[derive(Debug, Default)]
+pub struct CheckpointScratch {
+    /// Per-node blobs of the snapshot being built.
+    cur: Vec<Vec<u8>>,
+    /// Per-node blobs of the last emitted snapshot — the state deltas
+    /// diff against. Empty until a full binary snapshot seeds the chain.
+    base: Vec<Vec<u8>>,
+    /// Encoded `meta` section.
+    meta: Vec<u8>,
+    /// Assembled `nodes` (or delta `nodes`) section payload.
+    payload: Vec<u8>,
+}
+
+impl CheckpointScratch {
+    /// A scratch with no buffers warmed and no delta base.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether a delta can be emitted (a prior full binary snapshot of a
+    /// same-sized fleet seeded the chain).
+    pub fn has_base(&self, num_nodes: usize) -> bool {
+        !self.base.is_empty() && self.base.len() == num_nodes
+    }
+
+    /// Drops the delta base, ending the current chain. The next binary
+    /// snapshot starts a fresh one.
+    pub fn reset_chain(&mut self) {
+        self.base.clear();
+    }
+
+    /// Rebuilds every node blob in `cur` from the environment, reusing
+    /// buffer capacity. Zero allocations in steady state (same fleet,
+    /// same model shapes, warm buffers).
+    fn encode_nodes(&mut self, env: &Environment) -> Result<(), CodecError> {
+        if self.cur.len() != env.nodes.len() {
+            self.cur.resize_with(env.nodes.len(), Vec::new);
+        }
+        for (buf, node) in self.cur.iter_mut().zip(env.nodes.iter()) {
+            buf.clear();
+            encode_node_binary(node, buf)?;
+        }
+        Ok(())
+    }
+
+    /// Encodes a full v3 snapshot into `out` (cleared first) and seeds /
+    /// advances the delta chain state.
+    ///
+    /// Building block behind
+    /// [`Session::checkpoint_binary`](super::Session::checkpoint_binary)
+    /// (which supplies the real `meta` document); public so harnesses can
+    /// drive the node-encoding path with a fixed meta — the
+    /// counting-allocator test proves this call allocates nothing once
+    /// the buffers are warm.
+    pub fn encode_full(
+        &mut self,
+        meta: &Json,
+        env: &Environment,
+        out: &mut Vec<u8>,
+    ) -> Result<(), CodecError> {
+        self.meta.clear();
+        codec::encode_value(&mut self.meta, meta)?;
+        self.encode_nodes(env)?;
+        self.payload.clear();
+        let count = self.cur.len();
+        {
+            let blobs = self.cur.iter().map(|b| b.as_slice());
+            write_nodes_payload(&mut self.payload, count, blobs)?;
+        }
+        out.clear();
+        codec::write_document(
+            out,
+            SESSION_CHECKPOINT_SCHEMA_V3,
+            &[("meta", &self.meta), ("nodes", &self.payload)],
+        )?;
+        std::mem::swap(&mut self.base, &mut self.cur);
+        Ok(())
+    }
+
+    /// Encodes a delta snapshot into `out` (cleared first): only nodes
+    /// whose encoded bytes differ from the chain state are included. The
+    /// chain state advances to this snapshot. Building block behind
+    /// [`Session::checkpoint_delta`](super::Session::checkpoint_delta).
+    pub fn encode_delta(
+        &mut self,
+        meta: &Json,
+        env: &Environment,
+        out: &mut Vec<u8>,
+    ) -> Result<(), CodecError> {
+        if !self.has_base(env.nodes.len()) {
+            return Err(CodecError::MissingSection("delta base".to_string()));
+        }
+        self.meta.clear();
+        codec::encode_value(&mut self.meta, meta)?;
+        self.encode_nodes(env)?;
+        let parent = fingerprint(self.base.iter().map(|b| b.as_slice()));
+        let result = fingerprint(self.cur.iter().map(|b| b.as_slice()));
+        self.payload.clear();
+        let changed =
+            self.base.iter().zip(self.cur.iter()).filter(|(b, c)| b != c).count();
+        push_u32(&mut self.payload, changed)?;
+        for (i, (_, cur)) in self
+            .base
+            .iter()
+            .zip(self.cur.iter())
+            .enumerate()
+            .filter(|(_, (b, c))| b != c)
+        {
+            push_u32(&mut self.payload, i)?;
+            push_u64(&mut self.payload, cur.len())?;
+            self.payload.extend_from_slice(cur);
+        }
+        out.clear();
+        codec::write_document(
+            out,
+            SESSION_DELTA_SCHEMA,
+            &[
+                ("meta", &self.meta),
+                ("parent", &parent.to_le_bytes()),
+                ("result", &result.to_le_bytes()),
+                ("nodes", &self.payload),
+            ],
+        )?;
+        std::mem::swap(&mut self.base, &mut self.cur);
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Json-level transcoding (the bench / interop path).
+// ---------------------------------------------------------------------
+
+/// Splits a v2 session document into `(meta, nodes)`: the document with
+/// `env.nodes` removed, and the node array itself.
+fn split_v2(doc: &Json) -> Result<(Json, &[Json]), CodecError> {
+    let bad = |msg: &str| CodecError::Schema(msg.to_string(), "session-checkpoint/v2".to_string());
+    let schema = doc.field("schema").ok().and_then(|s| s.as_str().ok()).unwrap_or("?");
+    if schema != super::session::SESSION_CHECKPOINT_SCHEMA {
+        return Err(CodecError::Schema(
+            schema.to_string(),
+            super::session::SESSION_CHECKPOINT_SCHEMA.to_string(),
+        ));
+    }
+    let Json::Obj(entries) = doc else {
+        return Err(bad("non-object session document"));
+    };
+    let mut nodes: Option<&[Json]> = None;
+    let mut meta_entries = Vec::with_capacity(entries.len());
+    for (key, val) in entries {
+        if key == "env" {
+            let Json::Obj(env_entries) = val else {
+                return Err(bad("non-object env state"));
+            };
+            let mut env_meta = Vec::with_capacity(env_entries.len());
+            for (ek, ev) in env_entries {
+                if ek == "nodes" {
+                    let Json::Arr(items) = ev else {
+                        return Err(bad("env.nodes is not an array"));
+                    };
+                    nodes = Some(items.as_slice());
+                } else {
+                    env_meta.push((ek.clone(), ev.clone()));
+                }
+            }
+            meta_entries.push((key.clone(), Json::Obj(env_meta)));
+        } else {
+            meta_entries.push((key.clone(), val.clone()));
+        }
+    }
+    let nodes = nodes.ok_or_else(|| bad("session document has no env.nodes"))?;
+    Ok((Json::Obj(meta_entries), nodes))
+}
+
+/// Transcodes a `session-checkpoint/v2` [`Json`] document into v3 binary
+/// bytes. Byte-identical to the [`CheckpointScratch`] fast path on the
+/// session that produced the document (asserted in tests).
+pub fn encode_session_v3(doc: &Json) -> Result<Vec<u8>, CodecError> {
+    let (meta_doc, nodes) = split_v2(doc)?;
+    let mut meta = Vec::new();
+    codec::encode_value(&mut meta, &meta_doc)?;
+    let mut blobs: Vec<Vec<u8>> = Vec::with_capacity(nodes.len());
+    for node in nodes {
+        let mut blob = Vec::new();
+        codec::encode_value(&mut blob, node)?;
+        blobs.push(blob);
+    }
+    let mut payload = Vec::new();
+    write_nodes_payload(&mut payload, blobs.len(), blobs.iter().map(|b| b.as_slice()))?;
+    let mut out = Vec::new();
+    codec::write_document(
+        &mut out,
+        SESSION_CHECKPOINT_SCHEMA_V3,
+        &[("meta", &meta), ("nodes", &payload)],
+    )?;
+    Ok(out)
+}
+
+/// Decodes v3 binary bytes back into the wrapped v2 logical [`Json`]
+/// document (node objects spliced back into `env.nodes`). Never panics;
+/// all failures are typed.
+pub fn decode_session_v3(bytes: &[u8]) -> Result<Json, CodecError> {
+    let doc = codec::read_document(bytes)?;
+    if doc.schema == SESSION_DELTA_SCHEMA {
+        return Err(CodecError::Schema(
+            SESSION_DELTA_SCHEMA.to_string(),
+            SESSION_CHECKPOINT_SCHEMA_V3.to_string(),
+        ));
+    }
+    doc.check_schema(SESSION_CHECKPOINT_SCHEMA_V3)?;
+    let mut meta = codec::decode_value(doc.require("meta")?)?;
+    let blobs = split_nodes_payload(doc.require("nodes")?)?;
+    let mut nodes = Vec::with_capacity(blobs.len());
+    for blob in blobs {
+        nodes.push(codec::decode_value(blob)?);
+    }
+    let not_v2 =
+        || CodecError::Schema("malformed v3 meta".to_string(), "session-checkpoint/v2".to_string());
+    let Json::Obj(entries) = &mut meta else {
+        return Err(not_v2());
+    };
+    let env = entries
+        .iter_mut()
+        .find(|(k, _)| k == "env")
+        .map(|(_, v)| v)
+        .ok_or_else(not_v2)?;
+    let Json::Obj(env_entries) = env else {
+        return Err(not_v2());
+    };
+    // The v2 writer puts `nodes` last in the env object; splicing it back
+    // at the end reproduces the v2 field order exactly.
+    env_entries.push(("nodes".to_string(), Json::Arr(nodes)));
+    Ok(meta)
+}
+
+/// Replays a delta chain: `base` (a full v3 snapshot) plus `deltas` in
+/// order, verifying every fingerprint link, and re-emits the final state
+/// as full v3 bytes — **bit-identical** to a full snapshot taken at the
+/// same point (both paths share the same section writers).
+pub fn reconstruct_chain(base: &[u8], deltas: &[Vec<u8>]) -> Result<Vec<u8>, CodecError> {
+    let doc = codec::read_document(base)?;
+    doc.check_schema(SESSION_CHECKPOINT_SCHEMA_V3)?;
+    let mut meta: Vec<u8> = doc.require("meta")?.to_vec();
+    let mut blobs: Vec<Vec<u8>> =
+        split_nodes_payload(doc.require("nodes")?)?.iter().map(|b| b.to_vec()).collect();
+    let link_err = |msg: &str| CodecError::Schema(msg.to_string(), SESSION_DELTA_SCHEMA.to_string());
+    for delta in deltas {
+        let d = codec::read_document(delta)?;
+        d.check_schema(SESSION_DELTA_SCHEMA)?;
+        let mut parent_bytes = d.require("parent")?;
+        let parent = read_u64(&mut parent_bytes)?;
+        if parent != fingerprint(blobs.iter().map(|b| b.as_slice())) {
+            return Err(link_err("delta parent fingerprint does not match chain state"));
+        }
+        meta.clear();
+        meta.extend_from_slice(d.require("meta")?);
+        let mut payload = d.require("nodes")?;
+        let changed = read_u32(&mut payload)? as usize;
+        if changed > payload.len() {
+            return Err(CodecError::Length);
+        }
+        for _ in 0..changed {
+            let idx = read_u32(&mut payload)? as usize;
+            let len = read_u64(&mut payload)?;
+            let len = usize::try_from(len).map_err(|_| CodecError::Length)?;
+            let blob = split_prefix(&mut payload, len)?;
+            let slot = blobs
+                .get_mut(idx)
+                .ok_or_else(|| link_err("delta names a node index outside the fleet"))?;
+            slot.clear();
+            slot.extend_from_slice(blob);
+        }
+        if !payload.is_empty() {
+            return Err(CodecError::Trailing);
+        }
+        let mut result_bytes = d.require("result")?;
+        let result = read_u64(&mut result_bytes)?;
+        if result != fingerprint(blobs.iter().map(|b| b.as_slice())) {
+            return Err(link_err("delta result fingerprint does not match spliced state"));
+        }
+    }
+    let mut payload = Vec::new();
+    write_nodes_payload(&mut payload, blobs.len(), blobs.iter().map(|b| b.as_slice()))?;
+    let mut out = Vec::new();
+    codec::write_document(
+        &mut out,
+        SESSION_CHECKPOINT_SCHEMA_V3,
+        &[("meta", &meta), ("nodes", &payload)],
+    )?;
+    Ok(out)
+}

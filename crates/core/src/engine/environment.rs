@@ -518,11 +518,24 @@ impl Environment {
                 ])
             })
             .collect();
+        let mut doc = self.checkpoint_meta();
+        if let Json::Obj(entries) = &mut doc {
+            entries.push(("nodes".to_string(), Json::Arr(nodes)));
+        }
+        doc
+    }
+
+    /// The environment checkpoint *without* the per-node array — the
+    /// fleet-size-independent remainder (`global_step` and the RNG
+    /// streams). The binary fast path serializes this small object
+    /// through [`Json`] and streams the node state separately; the v2
+    /// writer above appends `nodes` last, and the binary decoder relies
+    /// on that ordering to splice the array back in.
+    pub(crate) fn checkpoint_meta(&self) -> Json {
         Json::obj([
             ("global_step", self.global_step.to_json()),
             ("rng", rng_to_json(&self.rng)),
             ("node_rngs", Json::Arr(self.node_rngs.iter().map(rng_to_json).collect())),
-            ("nodes", Json::Arr(nodes)),
         ])
     }
 

@@ -6,6 +6,8 @@
 //! completes its iteration first. One dispatch = one global step `k`.
 //!
 //! Layout:
+//! * [`checkpoint`] — binary snapshot containers and incremental deltas
+//!   ([`CheckpointFormat`], [`CheckpointScratch`]).
 //! * [`config`] — run-level knobs ([`TrainConfig`], [`ExecutionMode`]).
 //! * [`environment`] — per-node state and the shared [`Environment`]
 //!   (models, shards, network, clocks).
@@ -18,6 +20,7 @@
 //! * [`scenario`] — declarative experiment construction
 //!   ([`ScenarioBuilder`]).
 
+pub mod checkpoint;
 pub mod config;
 pub mod environment;
 pub mod gossip;
@@ -26,6 +29,10 @@ pub mod scenario;
 pub mod session;
 pub mod stop;
 
+pub use checkpoint::{
+    decode_session_v3, encode_session_v3, reconstruct_chain, CheckpointFormat, CheckpointScratch,
+    SESSION_CHECKPOINT_SCHEMA_V3, SESSION_DELTA_SCHEMA,
+};
 pub use config::{ExecutionMode, TrainConfig};
 pub use environment::{Environment, NodeState};
 pub use gossip::{

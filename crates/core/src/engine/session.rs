@@ -25,10 +25,11 @@
 //! is pure data reconstructed from the
 //! [`Scenario`](super::scenario::Scenario).
 
+use super::checkpoint::{self, CheckpointFormat, CheckpointScratch};
 use super::environment::Environment;
 use super::recorder::{Recorder, RunReport, Sample};
 use super::stop::StopCondition;
-use netmax_json::{FromJson, Json, JsonError, ToJson};
+use netmax_json::{CodecError, FromJson, Json, JsonError, ToJson};
 use netmax_ml::NumericsTier;
 use netmax_net::MembershipEvent;
 use std::fmt;
@@ -88,6 +89,12 @@ impl std::error::Error for SessionError {}
 impl From<JsonError> for SessionError {
     fn from(e: JsonError) -> Self {
         SessionError::BadCheckpoint(e.to_string())
+    }
+}
+
+impl From<CodecError> for SessionError {
+    fn from(e: CodecError) -> Self {
+        SessionError::BadCheckpoint(format!("binary codec: {e}"))
     }
 }
 
@@ -507,12 +514,19 @@ impl<'a> Session<'a> {
     /// reconstructed by building a fresh session and calling
     /// [`Session::restore`].
     pub fn checkpoint(&self) -> Json {
+        self.checkpoint_with_env(self.env.checkpoint())
+    }
+
+    /// The single home of the v2 field order: builds the session document
+    /// around a caller-supplied `env` value, so the full JSON checkpoint
+    /// and the binary fast path's `meta` section can never drift apart.
+    fn checkpoint_with_env(&self, env_state: Json) -> Json {
         Json::obj([
             ("schema", Json::Str(SESSION_CHECKPOINT_SCHEMA.into())),
             ("algorithm", self.algorithm.to_json()),
             ("tier", self.env.cfg.tier.to_json()),
             ("stop", self.stop.to_json()),
-            ("env", self.env.checkpoint()),
+            ("env", env_state),
             ("recorder", self.recorder.checkpoint()),
             ("driver", self.driver.checkpoint_state()),
             ("sample_due", self.sample_due.to_json()),
@@ -527,6 +541,91 @@ impl<'a> Session<'a> {
                 },
             ),
         ])
+    }
+
+    /// The checkpoint document minus the per-node array (`env.nodes`) —
+    /// the fleet-size-independent `meta` section of a binary snapshot.
+    fn checkpoint_meta(&self) -> Json {
+        self.checkpoint_with_env(self.env.checkpoint_meta())
+    }
+
+    /// Encodes a full binary (`session-checkpoint/v3`) snapshot into
+    /// `out` (cleared first). Node state streams straight from the
+    /// environment through `scratch`'s reusable buffers — zero
+    /// steady-state allocations on the per-node path — and the scratch's
+    /// delta chain is (re)seeded at this snapshot. The bytes are
+    /// identical to [`checkpoint::encode_session_v3`] applied to
+    /// [`Session::checkpoint`].
+    pub fn checkpoint_binary(
+        &self,
+        scratch: &mut CheckpointScratch,
+        out: &mut Vec<u8>,
+    ) -> Result<(), SessionError> {
+        let meta = self.checkpoint_meta();
+        scratch.encode_full(&meta, self.env, out).map_err(SessionError::from)
+    }
+
+    /// Encodes an incremental (`session-delta/v1`) snapshot into `out`
+    /// (cleared first): only nodes whose encoded bytes changed since the
+    /// last snapshot taken through `scratch` are included. Requires a
+    /// prior [`Session::checkpoint_binary`] on the same scratch to seed
+    /// the chain; [`checkpoint::reconstruct_chain`] replays base + deltas
+    /// into bytes bit-identical to a fresh full snapshot.
+    pub fn checkpoint_delta(
+        &self,
+        scratch: &mut CheckpointScratch,
+        out: &mut Vec<u8>,
+    ) -> Result<(), SessionError> {
+        if !scratch.has_base(self.env.num_nodes()) {
+            return Err(SessionError::BadCheckpoint(
+                "delta checkpoint requires a prior full binary snapshot through the same \
+                 scratch (same fleet size)"
+                    .into(),
+            ));
+        }
+        let meta = self.checkpoint_meta();
+        scratch.encode_delta(&meta, self.env, out).map_err(SessionError::from)
+    }
+
+    /// Serializes a checkpoint in the requested on-disk format: pretty
+    /// v2 JSON text or a v3 binary container (both carry the same
+    /// logical document).
+    pub fn checkpoint_bytes(
+        &self,
+        format: CheckpointFormat,
+        scratch: &mut CheckpointScratch,
+    ) -> Result<Vec<u8>, SessionError> {
+        match format {
+            CheckpointFormat::Json => Ok(self.checkpoint().pretty().into_bytes()),
+            CheckpointFormat::Binary => {
+                let mut out = Vec::new();
+                self.checkpoint_binary(scratch, &mut out)?;
+                Ok(out)
+            }
+        }
+    }
+
+    /// Restores a session from checkpoint bytes in either format,
+    /// sniffing the binary magic: v3 containers decode to the wrapped v2
+    /// document, anything else must be UTF-8 JSON text (v1 or v2). All
+    /// validation happens in [`Session::restore`] regardless of format.
+    pub fn restore_bytes(
+        env: &'a mut Environment,
+        driver: Box<dyn SessionDriver + 'a>,
+        bytes: &[u8],
+    ) -> Result<Self, SessionError> {
+        if netmax_json::codec::is_binary(bytes) {
+            let doc = checkpoint::decode_session_v3(bytes)?;
+            Session::restore(env, driver, &doc)
+        } else {
+            let text = std::str::from_utf8(bytes).map_err(|_| {
+                SessionError::BadCheckpoint(
+                    "checkpoint bytes are neither a binary container nor UTF-8 JSON".into(),
+                )
+            })?;
+            let doc = Json::parse(text)?;
+            Session::restore(env, driver, &doc)
+        }
     }
 
     /// Rebuilds a session from a [`Session::checkpoint`] document.

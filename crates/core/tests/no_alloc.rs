@@ -12,9 +12,10 @@
 //! — they are allowed to allocate, bounded per round, not per step.
 
 use netmax_core::engine::{
-    Environment, GossipBehavior, GossipDriver, PeerChoice, Session, StepEvent, StopCondition,
-    TrainConfig,
+    CheckpointScratch, Environment, GossipBehavior, GossipDriver, PeerChoice, Session, StepEvent,
+    StopCondition, TrainConfig,
 };
+use netmax_json::Json;
 use netmax_ml::partition::Partition;
 use netmax_ml::workload::Workload;
 use netmax_net::{HomogeneousNetwork, Topology};
@@ -138,4 +139,64 @@ fn gossip_steady_state_is_allocation_free_softmax() {
 fn gossip_steady_state_is_allocation_free_mlp() {
     // MLP: exercises the hidden-layer scratch buffers.
     assert_steady_state_alloc_free(Workload::mobilenet_cifar100(12), "mlp");
+}
+
+/// The checkpoint fast path in steady state: once the scratch buffers are
+/// warm, streaming every node's parameters, momentum, sampler, and clock
+/// state into a binary snapshot — full or delta — performs **zero** heap
+/// allocations, interleaved with live training steps. This is the fix for
+/// the old `Session::checkpoint()` behaviour of rebuilding per-node
+/// `Json` vectors on every periodic snapshot. (The fleet-size-independent
+/// `meta` document is built outside the window here; its cost is bounded
+/// per snapshot, not proportional to model or fleet size.)
+#[test]
+fn binary_checkpoint_cycle_is_allocation_free_in_steady_state() {
+    let mut env = build_env(Workload::convex_ridge(3));
+    let mut behavior = UniformAveraging;
+    let mut session =
+        Session::new(&mut env, Box::new(GossipDriver::new(&mut behavior, "no-alloc"))).unwrap();
+
+    // Warm-up: steady-state training buffers plus one full snapshot to
+    // size the scratch (per-node blobs, section payloads, output buffer)
+    // and seed the delta chain.
+    let mut steps = 0;
+    while steps < 100 {
+        if let StepEvent::GlobalStep { .. } = session.step() {
+            steps += 1;
+        }
+    }
+    let meta = Json::obj([("probe", Json::Str("no-alloc".into()))]);
+    let mut scratch = CheckpointScratch::new();
+    let mut out = Vec::new();
+    scratch.encode_full(&meta, session.env(), &mut out).unwrap();
+    // An all-nodes-changed delta is the largest payload either emitter
+    // produces (full framing plus a 4-byte index per node); warm the
+    // shared payload buffer to that worst case before measuring.
+    while steps < 110 {
+        if let StepEvent::GlobalStep { .. } = session.step() {
+            steps += 1;
+        }
+    }
+    scratch.encode_delta(&meta, session.env(), &mut out).unwrap();
+
+    let before = alloc_count();
+    let mut measured = 0;
+    while measured < 200 {
+        match session.step() {
+            StepEvent::GlobalStep { .. } => measured += 1,
+            other => panic!("unexpected event in steady-state window: {other:?}"),
+        }
+        match measured % 100 {
+            // Deltas mid-cycle (every node changed since the chain last
+            // advanced), full snapshots at the cycle boundary.
+            50 => scratch.encode_delta(&meta, session.env(), &mut out).unwrap(),
+            0 => scratch.encode_full(&meta, session.env(), &mut out).unwrap(),
+            _ => {}
+        }
+    }
+    let allocs = alloc_count() - before;
+    assert_eq!(
+        allocs, 0,
+        "{allocs} allocation(s) across 200 steady-state steps with 2 full + 2 delta snapshots"
+    );
 }

@@ -3,7 +3,10 @@
 //! policies, EMA tracker behaviour, and the session checkpoint/resume
 //! determinism guarantee over random scenarios.
 
-use netmax_core::engine::{Algorithm, Scenario, Session, StepEvent, TrainConfig};
+use netmax_core::engine::{
+    decode_session_v3, encode_session_v3, reconstruct_chain, Algorithm, CheckpointScratch,
+    Scenario, Session, StepEvent, TrainConfig,
+};
 use netmax_core::gossip_matrix::{build_y, node_probabilities};
 use netmax_core::monitor::EmaTimeTracker;
 use netmax_core::netmax::{NetMax, NetMaxConfig};
@@ -208,6 +211,78 @@ proptest! {
             report.to_json().to_string(),
             full.to_json().to_string(),
             "resume at k={} diverged for {:?}", k, sc
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The binary checkpoint guarantees, over random scenarios and
+    /// suspend points:
+    /// 1. the direct-from-environment fast path emits bytes identical to
+    ///    the `Json`-level v3 transcoder,
+    /// 2. decoding yields exactly the v2 logical document,
+    /// 3. a base + delta chain reconstructs **bit-identically** to a
+    ///    fresh full snapshot taken at the chain's end, and
+    /// 4. restoring from the reconstructed bytes resumes to a report
+    ///    byte-identical to the uninterrupted run.
+    #[test]
+    fn binary_checkpoints_and_delta_chains_are_bit_exact(
+        sc in small_scenario(),
+        k in 0u64..120,
+    ) {
+        let mut algo = netmax_algo();
+        let mut env = sc.build_env();
+        let mut session = Session::new(&mut env, algo.driver()).unwrap();
+        while session.env().global_step < k {
+            if let StepEvent::Finished { .. } = session.step() {
+                break;
+            }
+        }
+
+        // (1) fast path ≡ transcoder, (2) decode ≡ logical v2 document.
+        let mut scratch = CheckpointScratch::new();
+        let mut base = Vec::new();
+        session.checkpoint_binary(&mut scratch, &mut base).unwrap();
+        let v2 = session.checkpoint();
+        prop_assert_eq!(&base, &encode_session_v3(&v2).unwrap());
+        prop_assert_eq!(
+            decode_session_v3(&base).unwrap().to_string(),
+            v2.to_string()
+        );
+
+        // (3) run on, emitting a delta every few steps; the replayed
+        // chain must equal a fresh full snapshot bit-for-bit.
+        let mut deltas = Vec::new();
+        let mut done = false;
+        for _ in 0..3 {
+            for _ in 0..7 {
+                if done {
+                    break;
+                }
+                if let StepEvent::Finished { .. } = session.step() {
+                    done = true;
+                }
+            }
+            let mut d = Vec::new();
+            session.checkpoint_delta(&mut scratch, &mut d).unwrap();
+            deltas.push(d);
+        }
+        let mut fresh = Vec::new();
+        session.checkpoint_binary(&mut CheckpointScratch::new(), &mut fresh).unwrap();
+        let rebuilt = reconstruct_chain(&base, &deltas).unwrap();
+        prop_assert_eq!(&rebuilt, &fresh);
+
+        // (4) the reconstructed bytes restore and finish identically to
+        // the uninterrupted run.
+        let full_report = session.run();
+        let mut algo2 = netmax_algo();
+        let mut env2 = sc.build_env();
+        let mut resumed = Session::restore_bytes(&mut env2, algo2.driver(), &rebuilt).unwrap();
+        prop_assert_eq!(
+            resumed.run().to_json().to_string(),
+            full_report.to_json().to_string()
         );
     }
 }

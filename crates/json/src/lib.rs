@@ -19,9 +19,11 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod codec;
 mod parse;
 mod write;
 
+pub use codec::CodecError;
 pub use parse::JsonError;
 
 use std::fmt;

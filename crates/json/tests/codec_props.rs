@@ -1,0 +1,164 @@
+//! Property tests for the binary document codec: canonical bit-exact
+//! round-trips over arbitrary checkpoint-shaped values, and panic-freedom
+//! on arbitrary / corrupted / truncated input bytes.
+
+use netmax_json::codec;
+use netmax_json::Json;
+use proptest::prelude::*;
+use proptest::{collection, TestRng};
+use rand::Rng;
+
+/// Strategy for arbitrary depth-bounded [`Json`] values, biased toward
+/// the shapes checkpoints contain: full-range integers, arbitrary `f64`
+/// bit patterns (subnormals, NaN payloads, infinities), and homogeneous
+/// numeric arrays that exercise the packed f32/f64/u64 lanes.
+struct ArbJson {
+    max_depth: u32,
+}
+
+impl Strategy for ArbJson {
+    type Value = Json;
+
+    fn generate(&self, rng: &mut TestRng) -> Json {
+        gen_json(rng, self.max_depth)
+    }
+}
+
+fn gen_json(rng: &mut TestRng, depth: u32) -> Json {
+    let pick = if depth == 0 { rng.gen_range(0..5) } else { rng.gen_range(0..9) };
+    match pick {
+        0 => Json::Null,
+        1 => Json::Bool(rng.gen_range(0..2) == 1),
+        2 => match rng.gen_range(0..3) {
+            0 => Json::Int(i128::from(rng.gen::<u64>())),
+            1 => Json::Int(-i128::from(rng.gen::<u64>())),
+            _ => Json::Int(i128::from(rng.gen::<u64>() as i64)),
+        },
+        3 => Json::Num(f64::from_bits(rng.gen::<u64>())),
+        4 => {
+            let len = rng.gen_range(0..12);
+            Json::Str((0..len).map(|_| char::from(rng.gen_range(32u8..127))).collect())
+        }
+        // Homogeneous numeric arrays: candidates for the packed lanes.
+        5 => {
+            let len = rng.gen_range(0..10);
+            match rng.gen_range(0..3) {
+                0 => Json::Arr(
+                    (0..len)
+                        .map(|_| Json::Num(f64::from(f32::from_bits(rng.gen::<u32>()))))
+                        .collect(),
+                ),
+                1 => Json::Arr(
+                    (0..len).map(|_| Json::Num(f64::from_bits(rng.gen::<u64>()))).collect(),
+                ),
+                _ => Json::Arr((0..len).map(|_| Json::Int(i128::from(rng.gen::<u64>()))).collect()),
+            }
+        }
+        6 | 7 => {
+            let len = rng.gen_range(0..6);
+            Json::Arr((0..len).map(|_| gen_json(rng, depth - 1)).collect())
+        }
+        _ => {
+            let len = rng.gen_range(0..6);
+            Json::Obj((0..len).map(|i| (format!("k{i}"), gen_json(rng, depth - 1))).collect())
+        }
+    }
+}
+
+/// Strategy for an arbitrary byte vector (the shim's ranges are
+/// half-open, so draw `u16` and narrow).
+fn bytes(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<u8>> {
+    collection::vec(0u16..256, len).prop_map(|v| v.into_iter().map(|b| b as u8).collect())
+}
+
+/// `true` when the value contains no NaN — the one case where `Json`'s
+/// derived `PartialEq` cannot witness a bit-exact round-trip.
+fn nan_free(v: &Json) -> bool {
+    match v {
+        Json::Num(x) => !x.is_nan(),
+        Json::Arr(items) => items.iter().all(nan_free),
+        Json::Obj(entries) => entries.iter().all(|(_, v)| nan_free(v)),
+        _ => true,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Canonical bit-exact round-trip: encoding, decoding, and re-encoding
+    /// an arbitrary value reproduces the original bytes exactly — packed
+    /// lanes, NaN payloads, and negative zero included. For NaN-free
+    /// values the decoded structure is also `==` the original.
+    #[test]
+    fn value_round_trip_is_bit_exact(v in ArbJson { max_depth: 3 }) {
+        let mut bytes = Vec::new();
+        codec::encode_value(&mut bytes, &v).unwrap();
+        let decoded = codec::decode_value(&bytes).unwrap();
+        let mut again = Vec::new();
+        codec::encode_value(&mut again, &decoded).unwrap();
+        prop_assert_eq!(&bytes, &again, "re-encode changed bytes for {}", v);
+        if nan_free(&v) {
+            prop_assert_eq!(&decoded, &v);
+        }
+    }
+
+    /// Document containers round-trip: schema and every section payload
+    /// come back verbatim, and every *proper prefix* of the container is
+    /// a typed error, never a panic or a silent success.
+    #[test]
+    fn document_round_trip_and_truncation(
+        payloads in collection::vec(bytes(0..40), 1..5),
+    ) {
+        let names: Vec<String> = (0..payloads.len()).map(|i| format!("s{i}")).collect();
+        let sections: Vec<(&str, &[u8])> = names
+            .iter()
+            .map(String::as_str)
+            .zip(payloads.iter().map(Vec::as_slice))
+            .collect();
+        let mut bytes = Vec::new();
+        codec::write_document(&mut bytes, "netmax-test/doc/v1", &sections).unwrap();
+        prop_assert!(codec::is_binary(&bytes));
+        let doc = codec::read_document(&bytes).unwrap();
+        prop_assert_eq!(doc.schema, "netmax-test/doc/v1");
+        for (name, payload) in &sections {
+            prop_assert_eq!(doc.require(name).unwrap(), *payload);
+        }
+        for cut in 0..bytes.len() {
+            prop_assert!(
+                codec::read_document(&bytes[..cut]).is_err(),
+                "prefix of {} bytes parsed as a document", cut
+            );
+        }
+    }
+
+    /// Decoding arbitrary bytes never panics — both entry points return
+    /// typed errors (or a legitimate value) for any input.
+    #[test]
+    fn arbitrary_bytes_never_panic(raw in bytes(0..300)) {
+        let _ = codec::decode_value(&raw);
+        let _ = codec::read_document(&raw);
+    }
+
+    /// Single-byte corruption of a valid encoding never panics, and every
+    /// proper prefix of a valid value encoding is a typed error.
+    #[test]
+    fn corrupted_and_truncated_values_never_panic(
+        v in ArbJson { max_depth: 2 },
+        flip_pos in 0usize..10_000,
+        flip_bit in 0u32..8,
+    ) {
+        let mut bytes = Vec::new();
+        codec::encode_value(&mut bytes, &v).unwrap();
+        for cut in 0..bytes.len() {
+            prop_assert!(
+                codec::decode_value(&bytes[..cut]).is_err(),
+                "proper prefix of {} bytes decoded successfully", cut
+            );
+        }
+        if !bytes.is_empty() {
+            let pos = flip_pos % bytes.len();
+            bytes[pos] ^= 1 << flip_bit;
+            let _ = codec::decode_value(&bytes);
+        }
+    }
+}

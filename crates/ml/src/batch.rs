@@ -5,7 +5,7 @@
 //! each epoch boundary, which is both what the reference PyTorch loaders
 //! do and what keeps epoch accounting exact.
 
-use netmax_json::{FromJson, Json, JsonError, ToJson};
+use netmax_json::{codec, CodecError, FromJson, Json, JsonError, ToJson};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -92,6 +92,28 @@ impl BatchSampler {
         ])
     }
 
+    /// Streams the sampler's checkpoint state into `out` in the binary
+    /// codec's wire form — byte-identical to
+    /// `codec::encode_value(out, &self.checkpoint())` but without
+    /// materializing the intermediate [`Json`] (no per-snapshot
+    /// allocation beyond `out`'s own growth). The field layout knowledge
+    /// stays here, next to [`BatchSampler::checkpoint`].
+    pub fn encode_checkpoint_into(&self, out: &mut Vec<u8>) -> Result<(), CodecError> {
+        codec::write_obj_header(out, 6)?;
+        codec::write_key(out, "indices")?;
+        codec::write_usize_slice(out, &self.indices)?;
+        codec::write_key(out, "batch_size")?;
+        codec::write_int(out, self.batch_size as i128);
+        codec::write_key(out, "cursor")?;
+        codec::write_int(out, self.cursor as i128);
+        codec::write_key(out, "epoch")?;
+        codec::write_int(out, self.epoch as i128);
+        codec::write_key(out, "samples_drawn")?;
+        codec::write_int(out, self.samples_drawn as i128);
+        codec::write_key(out, "rng")?;
+        codec::write_u64_slice(out, &self.rng.state())
+    }
+
     /// Rebuilds a sampler from [`BatchSampler::checkpoint`] state.
     pub fn restore(state: &Json) -> Result<Self, JsonError> {
         let indices: Vec<usize> = Vec::from_json(state.field("indices")?)?;
@@ -169,6 +191,24 @@ mod tests {
         assert_eq!(b.epochs_elapsed(), a.epochs_elapsed());
         for _ in 0..20 {
             assert_eq!(a.next_batch(), b.next_batch());
+        }
+    }
+
+    #[test]
+    fn binary_encode_matches_generic_codec_on_checkpoint_json() {
+        let mut s = BatchSampler::new((0..23).collect(), 4, 7);
+        for _ in 0..9 {
+            s.next_batch();
+        }
+        let mut typed = Vec::new();
+        s.encode_checkpoint_into(&mut typed).unwrap();
+        let mut generic = Vec::new();
+        codec::encode_value(&mut generic, &s.checkpoint()).unwrap();
+        assert_eq!(typed, generic);
+        // And the decoded bytes restore an identical sampler.
+        let mut back = BatchSampler::restore(&codec::decode_value(&typed).unwrap()).unwrap();
+        for _ in 0..20 {
+            assert_eq!(s.next_batch(), back.next_batch());
         }
     }
 
